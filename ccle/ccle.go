@@ -1,0 +1,81 @@
+// Package ccle is the public runtime for the Confidential smart Contract
+// Language extension (CCLe): schema parsing, the dynamic value model, and
+// the per-field-encrypting codec. Code emitted by cmd/ccle-gen imports this
+// package, so downstream modules can embed generated types without touching
+// the repository's internal packages.
+//
+// See internal/ccle for the implementation and confide (the root package)
+// for the full platform API.
+package ccle
+
+import (
+	iccle "confide/internal/ccle"
+)
+
+// Core types.
+type (
+	// Schema is a parsed CCLe schema (Listing 1 syntax).
+	Schema = iccle.Schema
+	// Table is one composite type in a schema.
+	Table = iccle.Table
+	// Field is one table member.
+	Field = iccle.Field
+	// Value is a dynamic CCLe value tree.
+	Value = iccle.Value
+	// ValueKind tags dynamic values.
+	ValueKind = iccle.ValueKind
+	// Cipher encrypts and decrypts confidential field payloads.
+	Cipher = iccle.Cipher
+	// AEADCipher is the production AES-256-GCM Cipher.
+	AEADCipher = iccle.AEADCipher
+)
+
+// Value kinds.
+const (
+	ValNone     = iccle.ValNone
+	ValInt      = iccle.ValInt
+	ValStr      = iccle.ValStr
+	ValTable    = iccle.ValTable
+	ValVec      = iccle.ValVec
+	ValMap      = iccle.ValMap
+	ValRedacted = iccle.ValRedacted
+)
+
+// Constructors.
+var (
+	// Int64 makes an integer value.
+	Int64 = iccle.Int64
+	// Str makes a string value.
+	Str = iccle.Str
+	// StrBytes makes a string value from bytes.
+	StrBytes = iccle.StrBytes
+	// TableVal makes a composite value.
+	TableVal = iccle.TableVal
+	// VecVal makes a vector value.
+	VecVal = iccle.VecVal
+	// MapVal makes a map value.
+	MapVal = iccle.MapVal
+	// Redacted is the placeholder for unreadable confidential content.
+	Redacted = iccle.Redacted
+	// Equal deep-compares two value trees.
+	Equal = iccle.Equal
+)
+
+// ParseSchema parses and validates CCLe schema text.
+func ParseSchema(src string) (*Schema, error) { return iccle.ParseSchema(src) }
+
+// Encode serializes a value tree for the schema's root table, sealing
+// confidential fields with the cipher.
+func Encode(s *Schema, v *Value, cipher Cipher) ([]byte, error) {
+	return iccle.Encode(s, v, cipher)
+}
+
+// Decode parses wire bytes. Without a cipher, confidential fields decode as
+// Redacted placeholders — the auditor's view.
+func Decode(s *Schema, data []byte, cipher Cipher) (*Value, error) {
+	return iccle.Decode(s, data, cipher)
+}
+
+// GenerateGo emits Go types and converters for a schema (used by
+// cmd/ccle-gen).
+func GenerateGo(s *Schema, pkg string) string { return iccle.GenerateGo(s, pkg) }

@@ -1,0 +1,127 @@
+// Command benchrunner regenerates every table and figure of the paper's
+// evaluation section and prints them as text rows.
+//
+// Usage:
+//
+//	benchrunner -exp all          # everything (default)
+//	benchrunner -exp fig10        # Figure 10: VM × confidentiality
+//	benchrunner -exp fig11        # Figure 11: scalability
+//	benchrunner -exp table1       # Table 1: SCF-AR operation profile
+//	benchrunner -exp fig12        # Figure 12: ABS optimization ablation
+//	benchrunner -exp prod         # §6.4 production metrics
+//	benchrunner -exp fig10 -txs 96  # more transactions per cell
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"confide/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: all, fig10, fig11, table1, fig12, prod")
+	txs := flag.Int("txs", 0, "transactions per measurement cell (0 = experiment default)")
+	quick := flag.Bool("quick", false, "shrink grids for a fast pass")
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		start := time.Now()
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s completed in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	run("fig10", func() error { return runFig10(*txs) })
+	run("fig11", func() error { return runFig11(*txs, *quick) })
+	run("table1", runTable1)
+	run("fig12", func() error { return runFig12(*txs) })
+	run("prod", runProd)
+}
+
+func runFig10(txs int) error {
+	cfg := bench.DefaultFig10()
+	if txs > 0 {
+		cfg.TxsPerCell = txs
+	}
+	fmt.Println("=== Figure 10: throughput on 4 Synthetic workloads (4 nodes) ===")
+	rows, err := bench.Figure10(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-26s %-11s %-7s %10s\n", "Workload", "Engine", "Mode", "TPS")
+	for _, r := range rows {
+		mode := "public"
+		if r.TEE {
+			mode = "TEE"
+		}
+		fmt.Printf("%-26s %-11s %-7s %10.1f\n", r.Workload, r.Engine, mode, r.TPS)
+	}
+	return nil
+}
+
+func runFig11(txs int, quick bool) error {
+	cfg := bench.DefaultFig11()
+	if txs > 0 {
+		cfg.TxsPerCell = txs
+	}
+	if quick {
+		cfg.NodeCounts = []int{4, 8}
+	}
+	fmt.Println("=== Figure 11: scalability, ABS workload ===")
+	rows, err := bench.Figure11(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-7s %-9s %-6s %10s\n", "Nodes", "Parallel", "Zones", "TPS")
+	for _, r := range rows {
+		fmt.Printf("%-7d %-9d %-6d %10.1f\n", r.Nodes, r.Parallel, r.Zones, r.TPS)
+	}
+	return nil
+}
+
+func runTable1() error {
+	fmt.Println("=== Table 1: operations of one SCF-AR asset transfer ===")
+	res, err := bench.Table1()
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Rendered)
+	return nil
+}
+
+func runFig12(txs int) error {
+	cfg := bench.DefaultFig12()
+	if txs > 0 {
+		cfg.Txs = txs
+	}
+	fmt.Println("=== Figure 12: optimization ablation on the ABS contract ===")
+	rows, err := bench.Figure12(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-36s %10s %9s\n", "Configuration", "TPS", "Speedup")
+	for _, r := range rows {
+		fmt.Printf("%-36s %10.1f %8.2fx\n", r.Config, r.TPS, r.Speedup)
+	}
+	return nil
+}
+
+func runProd() error {
+	fmt.Println("=== §6.4 production metrics (4 nodes, cloud-SSD model) ===")
+	m, err := bench.ProductionMetrics()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("avg block execution: %8v   (paper: ~30 ms)\n", m.AvgBlockExecution.Round(100*time.Microsecond))
+	fmt.Printf("avg empty block:     %8v   (paper: ~5 ms)\n", m.AvgEmptyBlock.Round(100*time.Microsecond))
+	fmt.Printf("avg block write:     %8v   (paper: ~6 ms)\n", m.AvgBlockWrite.Round(100*time.Microsecond))
+	return nil
+}

@@ -1,0 +1,79 @@
+// Command cclc compiles CCL contract source to virtual-machine code.
+//
+// Usage:
+//
+//	cclc -vm cvm contract.ccl             # CONFIDE-VM module → contract.cvm
+//	cclc -vm evm contract.ccl             # EVM bytecode → contract.evm
+//	cclc -vm cvm -o out.bin contract.ccl
+//	cclc -vm cvm -S contract.ccl          # print disassembly instead
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"confide/internal/ccl"
+	"confide/internal/cvm"
+)
+
+func main() {
+	vm := flag.String("vm", "cvm", "target VM: cvm or evm")
+	out := flag.String("o", "", "output file (default: input with .cvm/.evm suffix)")
+	disasm := flag.Bool("S", false, "print CONFIDE-VM disassembly instead of writing output")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: cclc [-vm cvm|evm] [-o out] [-S] contract.ccl")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+
+	var code []byte
+	switch *vm {
+	case "cvm":
+		mod, err := ccl.CompileCVM(string(src))
+		if err != nil {
+			fatal(err)
+		}
+		if *disasm {
+			prog, err := cvm.BuildProgram(mod, cvm.BuildOptions{})
+			if err != nil {
+				fatal(err)
+			}
+			for fn := 0; fn < prog.NumFuncs(); fn++ {
+				fmt.Printf("func %d:\n%s\n", fn, cvm.Disassemble(prog.Code(fn)))
+			}
+			return
+		}
+		code = mod.Encode()
+	case "evm":
+		if *disasm {
+			fatal(fmt.Errorf("-S supports the cvm target only"))
+		}
+		code, err = ccl.CompileEVM(string(src))
+		if err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown vm %q", *vm))
+	}
+
+	dest := *out
+	if dest == "" {
+		dest = strings.TrimSuffix(path, ".ccl") + "." + *vm
+	}
+	if err := os.WriteFile(dest, code, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d bytes)\n", dest, len(code))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "cclc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,58 @@
+// Command ccle-gen generates Go types and converters from a CCLe
+// confidentiality schema (the Figure 5 development flow).
+//
+// Usage:
+//
+//	ccle-gen -pkg demo schema.ccle            # → schema_gen.go
+//	ccle-gen -pkg demo -o types.go schema.ccle
+//	ccle-gen -paths schema.ccle               # list confidential fields
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"confide/internal/ccle"
+)
+
+func main() {
+	pkg := flag.String("pkg", "main", "package name for generated code")
+	out := flag.String("o", "", "output file (default: input with _gen.go suffix)")
+	paths := flag.Bool("paths", false, "print the schema's confidential field paths and exit")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ccle-gen [-pkg name] [-o out.go] [-paths] schema.ccle")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	schema, err := ccle.ParseSchema(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if *paths {
+		for _, p := range schema.ConfidentialPaths() {
+			fmt.Println(p)
+		}
+		return
+	}
+	code := ccle.GenerateGo(schema, *pkg)
+	dest := *out
+	if dest == "" {
+		base := strings.TrimSuffix(flag.Arg(0), ".ccle")
+		dest = base + "_gen.go"
+	}
+	if err := os.WriteFile(dest, []byte(code), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d tables)\n", dest, len(schema.Tables))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ccle-gen:", err)
+	os.Exit(1)
+}

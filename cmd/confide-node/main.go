@@ -1,0 +1,189 @@
+// Command confide-node boots an in-process CONFIDE consortium network,
+// drives a workload through it, and reports throughput, enclave statistics
+// and the engine operation profile — a one-command demonstration of the
+// full platform.
+//
+// Usage:
+//
+//	confide-node                         # 4 nodes, 64 ABS transfers
+//	confide-node -nodes 8 -txs 200
+//	confide-node -workload scf -parallel 4
+//	confide-node -workload json -vm evm  # run the baseline VM
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"confide/internal/chain"
+	"confide/internal/core"
+	"confide/internal/node"
+	"confide/internal/tee"
+	"confide/internal/workload"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 4, "replica count")
+	txCount := flag.Int("txs", 64, "transactions to run")
+	parallel := flag.Int("parallel", 1, "execution parallelism (ways)")
+	wl := flag.String("workload", "abs", "workload: abs, scf, concat, enotes, hash, json")
+	vmName := flag.String("vm", "cvm", "contract VM: cvm or evm")
+	storeDir := flag.String("store", "", "durable store directory (LSM; browse it with confide-explorer)")
+	flag.Parse()
+
+	vm := core.VMCVM
+	if *vmName == "evm" {
+		vm = core.VMEVM
+	}
+
+	source, gen, err := pickWorkload(*wl)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("booting %d-node network (K-Protocol: decentralized MAP)...\n", *nodes)
+	cluster, err := node.NewCluster(node.ClusterOptions{
+		Nodes: *nodes,
+		Node: node.Config{
+			BlockMaxTxs: 32,
+			Parallelism: *parallel,
+			EngineOpts:  core.AllOptimizations(),
+		},
+		Enclave:          tee.Config{InjectDelays: true},
+		StoreReadLatency: 200 * time.Microsecond,
+		StoreDir:         *storeDir,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer cluster.Close()
+
+	addr := chain.AddressFromBytes([]byte("demo-contract"))
+	owner := chain.AddressFromBytes([]byte("demo-owner"))
+	code, err := workload.Compile(source, vm)
+	if err != nil {
+		fatal(err)
+	}
+	if err := cluster.DeployEverywhere(addr, owner, vm, code, true, 1); err != nil {
+		fatal(err)
+	}
+	client, err := core.NewClient(cluster.EnvelopePublicKey())
+	if err != nil {
+		fatal(err)
+	}
+
+	// SCF needs its service suite wired up.
+	if *wl == "scf" {
+		if addr, err = deploySCF(cluster, client); err != nil {
+			fatal(err)
+		}
+	}
+
+	fmt.Printf("submitting %d confidential %s transactions...\n", *txCount, *wl)
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	hashes := make([]chain.Hash, 0, *txCount)
+	for i := 0; i < *txCount; i++ {
+		method, args := gen(rng)
+		tx, _, err := client.NewConfidentialTx(addr, method, args...)
+		if err != nil {
+			fatal(err)
+		}
+		if err := cluster.Leader().SubmitTx(tx); err != nil {
+			fatal(err)
+		}
+		hashes = append(hashes, tx.Hash())
+	}
+
+	start := time.Now()
+	committed, err := cluster.DrainAll(256, time.Minute)
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	ok, failed := 0, 0
+	for _, h := range hashes {
+		if rpt, found := cluster.Leader().Receipt(h); found && rpt.Status == chain.ReceiptOK {
+			ok++
+		} else {
+			failed++
+		}
+	}
+	fmt.Printf("\ncommitted %d txs in %v → %.1f tps (%d ok, %d failed)\n",
+		committed, elapsed.Round(time.Millisecond), float64(committed)/elapsed.Seconds(), ok, failed)
+
+	leader := cluster.Leader()
+	st := leader.Stats()
+	fmt.Printf("blocks: %d   exec time: %v   commit time: %v\n",
+		st.BlocksClosed, st.ExecTime.Round(time.Millisecond), st.CommitTime.Round(time.Millisecond))
+	enclave := leader.ConfidentialEngine().Enclave().Stats()
+	fmt.Printf("enclave: %d ecalls, %d ocalls, %d page swaps, %.1fM cycles charged\n",
+		enclave.Ecalls, enclave.Ocalls, enclave.PageSwaps, float64(enclave.ChargedCycles)/1e6)
+	fmt.Printf("\nengine operation profile (leader):\n%s", leader.ConfidentialEngine().Profile().Table())
+}
+
+func pickWorkload(name string) (string, func(*rand.Rand) (string, [][]byte), error) {
+	switch name {
+	case "abs":
+		return workload.ABSTransferFlatSrc, workload.ABSFlatInput, nil
+	case "scf":
+		return workload.SCFGatewaySrc, workload.SCFTransferInput, nil
+	case "concat":
+		return workload.StringConcatSrc, workload.StringConcatInput, nil
+	case "enotes":
+		return workload.ENotesSrc, workload.ENotesInput, nil
+	case "hash":
+		return workload.CryptoHashSrc, workload.CryptoHashInput, nil
+	case "json":
+		return workload.JSONParseSrc, workload.JSONParseInput, nil
+	}
+	return "", nil, fmt.Errorf("unknown workload %q", name)
+}
+
+// deploySCF wires the gateway→manager→service suite across the cluster and
+// returns the gateway address transactions should target.
+func deploySCF(cluster *node.Cluster, client *core.Client) (chain.Address, error) {
+	gateway := chain.AddressFromBytes([]byte("scf-gateway"))
+	manager := chain.AddressFromBytes([]byte("scf-manager"))
+	service := chain.AddressFromBytes([]byte("scf-service"))
+	owner := chain.AddressFromBytes([]byte("demo-owner"))
+	for _, c := range []struct {
+		addr chain.Address
+		src  string
+	}{
+		{gateway, workload.SCFGatewaySrc},
+		{manager, workload.SCFManagerSrc},
+		{service, workload.SCFServiceSrc},
+	} {
+		code, err := workload.CompileCVM(c.src)
+		if err != nil {
+			return gateway, err
+		}
+		if err := cluster.DeployEverywhere(c.addr, owner, core.VMCVM, code, true, 1); err != nil {
+			return gateway, err
+		}
+	}
+	for _, wire := range []struct{ to, val chain.Address }{
+		{gateway, manager}, {manager, service},
+	} {
+		tx, _, err := client.NewConfidentialTx(wire.to, "init", wire.val[:])
+		if err != nil {
+			return gateway, err
+		}
+		if err := cluster.Leader().SubmitTx(tx); err != nil {
+			return gateway, err
+		}
+		if _, err := cluster.DrainAll(8, 30*time.Second); err != nil {
+			return gateway, err
+		}
+	}
+	return gateway, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "confide-node:", err)
+	os.Exit(1)
+}

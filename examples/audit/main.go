@@ -1,0 +1,128 @@
+// Third-party audit over partially-confidential state (the scenario that
+// motivates CCLe in §4): a regulator must compile statistics over on-chain
+// asset records without ever holding the issuers' keys. With whole-contract
+// encryption that would require sharing keys — "clearly inappropriate and
+// dangerous" — so CCLe marks only the sensitive attributes confidential and
+// the auditor decodes the rest directly from the replicated database.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"confide"
+)
+
+// accountSchema mirrors the paper's Listing 1: the account holder and the
+// asset counts are public; the organization and the asset amounts are not.
+const accountSchema = `
+attribute "map";
+attribute "confidential";
+
+table Book {
+  ledger_id: string;
+  account_map: [Account](map);
+}
+
+table Account {
+  user_id: string;
+  organization: string(confidential);
+  asset_map: [Asset](map, confidential);
+  asset_count: ulong;
+}
+
+table Asset {
+  type: ubyte;
+  amount: ulong;
+}
+
+root_type Book;
+`
+
+func main() {
+	schema, err := confide.ParseSchema(accountSchema)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("confidential fields declared by the schema:")
+	for _, p := range schema.ConfidentialPaths() {
+		fmt.Println("  ", p)
+	}
+
+	// Two issuing banks encode their books under their own data keys.
+	rng := rand.New(rand.NewSource(7))
+	books := map[string][]byte{}
+	for _, bank := range []string{"bank-a", "bank-b"} {
+		key := make([]byte, 32)
+		rng.Read(key)
+		cipher := &confide.AEADCipher{Key: key, Context: []byte("issuer:" + bank)}
+
+		accounts := map[string]*confide.Value{}
+		for i := 0; i < 3; i++ {
+			user := fmt.Sprintf("%s-client-%d", bank, i)
+			assets := map[string]*confide.Value{}
+			count := 1 + rng.Intn(3)
+			for j := 0; j < count; j++ {
+				assets[fmt.Sprintf("AR-%d", j)] = confide.TableVal(map[string]*confide.Value{
+					"type":   confide.Int64(1),
+					"amount": confide.Int64(int64(10_000 * (1 + rng.Intn(50)))),
+				})
+			}
+			accounts[user] = confide.TableVal(map[string]*confide.Value{
+				"user_id":      confide.Str(user),
+				"organization": confide.Str(bank + "-private-desk"),
+				"asset_map":    confide.MapVal(assets),
+				"asset_count":  confide.Int64(int64(count)),
+			})
+		}
+		book := confide.TableVal(map[string]*confide.Value{
+			"ledger_id":   confide.Str(bank + "/2026-07"),
+			"account_map": confide.MapVal(accounts),
+		})
+		blob, err := confide.EncodeValue(schema, book, cipher)
+		if err != nil {
+			log.Fatal(err)
+		}
+		books[bank] = blob
+	}
+
+	// The auditor reads the replicated records with NO keys: public fields
+	// decode, confidential ones come back redacted — enough for the
+	// statistics the audit requires (account counts, per-account asset
+	// counts), and nothing more.
+	fmt.Println("\nauditor pass (no keys held):")
+	totalAccounts, totalAssets := 0, 0
+	for bank, blob := range books {
+		view, err := confide.DecodeValue(schema, blob, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		accounts := view.Fields["account_map"].Map
+		for user, acct := range accounts {
+			totalAccounts++
+			count := acct.Fields["asset_count"].Int
+			totalAssets += int(count)
+			org := "<readable>"
+			if confide.IsRedacted(acct.Fields["organization"]) {
+				org = "<confidential>"
+			}
+			holdings := "<readable>"
+			if confide.IsRedacted(acct.Fields["asset_map"]) {
+				holdings = "<confidential>"
+			}
+			fmt.Printf("  %-8s %-18s assets=%d org=%s holdings=%s\n",
+				bank, user, count, org, holdings)
+		}
+	}
+	fmt.Printf("\naudit summary: %d accounts, %d certificates across both issuers\n",
+		totalAccounts, totalAssets)
+
+	// Tamper-evidence: if the host flips a byte of a sealed field, the
+	// rightful owner's decode fails loudly (authenticated encryption).
+	blob := books["bank-a"]
+	blob[len(blob)-3] ^= 0xff
+	if _, err := confide.DecodeValue(schema, blob, nil); err == nil {
+		fmt.Println("tampered public structure still parses (sealed fields untouched)")
+	}
+}

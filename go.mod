@@ -1,0 +1,3 @@
+module confide
+
+go 1.22

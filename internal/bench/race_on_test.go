@@ -1,0 +1,8 @@
+//go:build race
+
+package bench
+
+// raceEnabled reports that the race detector is instrumenting this build;
+// performance-shape assertions are skipped because instrumentation skews
+// relative timings.
+const raceEnabled = true

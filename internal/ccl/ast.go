@@ -1,0 +1,127 @@
+package ccl
+
+// Program is a parsed CCL compilation unit.
+type Program struct {
+	Funcs []*FuncDecl
+	// byName indexes Funcs after parsing.
+	byName map[string]*FuncDecl
+}
+
+// FuncDecl is one function definition.
+type FuncDecl struct {
+	Name       string
+	Params     []string
+	HasResult  bool
+	Body       []Stmt
+	Line, Col  int
+	numLocals  int // filled by the checker: params + lets
+	localIndex map[string]int
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmtNode() }
+
+// LetStmt declares and initializes a new local.
+type LetStmt struct {
+	Name      string
+	Init      Expr
+	Line, Col int
+}
+
+// AssignStmt stores into an existing local.
+type AssignStmt struct {
+	Name      string
+	Val       Expr
+	Line, Col int
+}
+
+// IfStmt is a conditional with optional else.
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// WhileStmt loops while Cond is non-zero.
+type WhileStmt struct {
+	Cond Expr
+	Body []Stmt
+}
+
+// ReturnStmt exits the function, optionally with a value.
+type ReturnStmt struct {
+	Val       Expr // nil for bare return
+	Line, Col int
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Line, Col int }
+
+// ContinueStmt restarts the innermost loop.
+type ContinueStmt struct{ Line, Col int }
+
+// ExprStmt evaluates an expression for effect, discarding any value.
+type ExprStmt struct{ X Expr }
+
+func (*LetStmt) stmtNode()      {}
+func (*AssignStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()       {}
+func (*WhileStmt) stmtNode()    {}
+func (*ReturnStmt) stmtNode()   {}
+func (*BreakStmt) stmtNode()    {}
+func (*ContinueStmt) stmtNode() {}
+func (*ExprStmt) stmtNode()     {}
+
+// Expr is an expression node. Every expression yields one integer.
+type Expr interface{ exprNode() }
+
+// NumLit is an integer literal.
+type NumLit struct{ Val int64 }
+
+// StrLit is a string literal; it evaluates to the address of the bytes in
+// linear memory (materialized once per program).
+type StrLit struct {
+	Val []byte
+	// id is assigned by the checker for data-segment placement.
+	id int
+}
+
+// VarRef reads a local.
+type VarRef struct {
+	Name      string
+	Line, Col int
+	slot      int // resolved local slot
+}
+
+// CallExpr invokes a user function or a builtin.
+type CallExpr struct {
+	Name      string
+	Args      []Expr
+	Line, Col int
+	builtin   *builtin  // resolved builtin, nil for user calls
+	target    *FuncDecl // resolved user function
+}
+
+// UnaryExpr is -x or !x.
+type UnaryExpr struct {
+	Op string
+	X  Expr
+}
+
+// BinExpr is a binary operation; && and || short-circuit.
+type BinExpr struct {
+	Op   string
+	L, R Expr
+}
+
+// StrLenExpr is the compile-time length of a string literal, produced by
+// the builtin len("..."); it never reaches codegen as a call.
+type StrLenExpr struct{ N int64 }
+
+func (*NumLit) exprNode()     {}
+func (*StrLit) exprNode()     {}
+func (*VarRef) exprNode()     {}
+func (*CallExpr) exprNode()   {}
+func (*UnaryExpr) exprNode()  {}
+func (*BinExpr) exprNode()    {}
+func (*StrLenExpr) exprNode() {}

@@ -1,0 +1,473 @@
+package ccl
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"confide/internal/cvm"
+	"confide/internal/evm"
+)
+
+// dualEnv is shared by both VM runs in parity tests; each run gets a fresh
+// copy.
+type dualEnv struct {
+	storage map[string][]byte
+	input   []byte
+	output  []byte
+	logs    []string
+	caller  []byte
+	callFn  func(addr, input []byte) ([]byte, error)
+}
+
+func newDualEnv() *dualEnv {
+	return &dualEnv{storage: make(map[string][]byte), caller: make([]byte, 20)}
+}
+
+func (e *dualEnv) GetStorage(key []byte) ([]byte, bool, error) {
+	v, ok := e.storage[string(key)]
+	return v, ok, nil
+}
+func (e *dualEnv) SetStorage(key, value []byte) error {
+	e.storage[string(key)] = value
+	return nil
+}
+func (e *dualEnv) Input() []byte      { return e.input }
+func (e *dualEnv) SetOutput(o []byte) { e.output = o }
+func (e *dualEnv) Log(m string)       { e.logs = append(e.logs, m) }
+func (e *dualEnv) Caller() []byte     { return e.caller }
+func (e *dualEnv) CallContract(addr, input []byte) ([]byte, error) {
+	if e.callFn != nil {
+		return e.callFn(addr, input)
+	}
+	return nil, fmt.Errorf("no contract")
+}
+
+// runBoth compiles src for both VMs, runs each with its own copy of env, and
+// asserts the observable behavior (output, logs) matches. Returns the CVM
+// run's environment.
+func runBoth(t *testing.T, src string, setup func(*dualEnv)) *dualEnv {
+	t.Helper()
+	cvmEnv := newDualEnv()
+	evmEnv := newDualEnv()
+	if setup != nil {
+		setup(cvmEnv)
+		setup(evmEnv)
+	}
+
+	mod, err := CompileCVM(src)
+	if err != nil {
+		t.Fatalf("CompileCVM: %v", err)
+	}
+	prog, err := cvm.BuildProgram(mod, cvm.BuildOptions{Fuse: true})
+	if err != nil {
+		t.Fatalf("BuildProgram: %v", err)
+	}
+	if _, err := cvm.NewVM(prog, cvmEnv, cvm.Config{}).Run(); err != nil {
+		t.Fatalf("CVM run: %v", err)
+	}
+
+	code, err := CompileEVM(src)
+	if err != nil {
+		t.Fatalf("CompileEVM: %v", err)
+	}
+	if err := evm.New(code, evmEnv, evm.Config{}).Run(); err != nil {
+		t.Fatalf("EVM run: %v", err)
+	}
+
+	if !bytes.Equal(cvmEnv.output, evmEnv.output) {
+		t.Fatalf("output parity violated:\n cvm: %q\n evm: %q", cvmEnv.output, evmEnv.output)
+	}
+	if strings.Join(cvmEnv.logs, "\n") != strings.Join(evmEnv.logs, "\n") {
+		t.Fatalf("log parity violated:\n cvm: %q\n evm: %q", cvmEnv.logs, evmEnv.logs)
+	}
+	return cvmEnv
+}
+
+func TestOutputConstant(t *testing.T) {
+	env := runBoth(t, `
+fn invoke() {
+	let buf = alloc(8);
+	store8(buf, 72); store8(buf + 1, 73);
+	output(buf, 2);
+}`, nil)
+	if string(env.output) != "HI" {
+		t.Errorf("output = %q", env.output)
+	}
+}
+
+func TestStringLiteralsAndLen(t *testing.T) {
+	env := runBoth(t, `
+fn invoke() {
+	let s = "hello, chain";
+	output(s, len("hello, chain"));
+}`, nil)
+	if string(env.output) != "hello, chain" {
+		t.Errorf("output = %q", env.output)
+	}
+}
+
+func TestArithmeticParity(t *testing.T) {
+	// Exercise every operator; write results as single bytes.
+	env := runBoth(t, `
+fn invoke() {
+	let buf = alloc(32);
+	store8(buf + 0, 10 + 3);
+	store8(buf + 1, 10 - 3);
+	store8(buf + 2, 10 * 3);
+	store8(buf + 3, 10 / 3);
+	store8(buf + 4, 10 % 3);
+	store8(buf + 5, 12 & 10);
+	store8(buf + 6, 12 | 10);
+	store8(buf + 7, 12 ^ 10);
+	store8(buf + 8, 3 << 2);
+	store8(buf + 9, 12 >> 2);
+	store8(buf + 10, 3 < 5);
+	store8(buf + 11, 5 <= 5);
+	store8(buf + 12, 7 > 5);
+	store8(buf + 13, 5 >= 7);
+	store8(buf + 14, 5 == 5);
+	store8(buf + 15, 5 != 5);
+	store8(buf + 16, 1 && 2);
+	store8(buf + 17, 0 || 3);
+	store8(buf + 18, !5);
+	store8(buf + 19, !0);
+	store8(buf + 20, 0 - 5 < 0);
+	store8(buf + 21, 0 - 10 / 2 == 0 - 5);
+	output(buf, 22);
+}`, nil)
+	want := []byte{13, 7, 30, 3, 1, 8, 14, 6, 12, 3, 1, 1, 1, 0, 1, 0, 1, 1, 0, 1, 1, 1}
+	if !bytes.Equal(env.output, want) {
+		t.Errorf("arithmetic parity:\n got  %v\n want %v", env.output, want)
+	}
+}
+
+func TestShortCircuitDoesNotEvaluate(t *testing.T) {
+	// The right side would write a marker; short circuit must skip it.
+	env := runBoth(t, `
+fn mark() -> int {
+	log("evaluated", 0);
+	return 1;
+}
+fn invoke() {
+	let buf = alloc(8);
+	store8(buf, (0 && markit(buf)) + (1 || markit(buf)) * 2);
+	output(buf, 1);
+}
+fn markit(buf) -> int {
+	store8(buf + 1, 99);
+	return 1;
+}`, nil)
+	if env.output[0] != 2 {
+		t.Errorf("value = %d, want 2", env.output[0])
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	env := runBoth(t, `
+fn invoke() {
+	let buf = alloc(16);
+	let i = 0;
+	let evens = 0;
+	let firstBig = 0 - 1;
+	while i < 20 {
+		i = i + 1;
+		if i % 2 != 0 { continue; }
+		evens = evens + 1;
+		if i > 10 && firstBig < 0 {
+			firstBig = i;
+		}
+		if i == 16 { break; }
+	}
+	store8(buf, evens);
+	store8(buf + 1, firstBig);
+	store8(buf + 2, i);
+	output(buf, 3);
+}`, nil)
+	want := []byte{8, 12, 16}
+	if !bytes.Equal(env.output, want) {
+		t.Errorf("got %v, want %v", env.output, want)
+	}
+}
+
+func TestFunctionsAndNesting(t *testing.T) {
+	env := runBoth(t, `
+fn square(x) -> int { return x * x; }
+fn sumsq(a, b) -> int { return square(a) + square(b); }
+fn invoke() {
+	let buf = alloc(8);
+	store8(buf, sumsq(3, 4));
+	output(buf, 1);
+}`, nil)
+	if env.output[0] != 25 {
+		t.Errorf("sumsq(3,4) = %d", env.output[0])
+	}
+}
+
+func TestIfElseChain(t *testing.T) {
+	env := runBoth(t, `
+fn classify(x) -> int {
+	if x < 10 { return 1; }
+	else if x < 100 { return 2; }
+	else { return 3; }
+}
+fn invoke() {
+	let buf = alloc(8);
+	store8(buf, classify(5) * 100 + classify(50) * 10 + classify(500));
+	output(buf, 1);
+}`, nil)
+	if env.output[0] != 123 {
+		t.Errorf("classification = %d, want 123", env.output[0])
+	}
+}
+
+func TestInputEcho(t *testing.T) {
+	env := runBoth(t, `
+fn invoke() {
+	let n = input_size();
+	let buf = alloc(n);
+	input_read(buf, 0, n);
+	output(buf, n);
+}`, func(e *dualEnv) { e.input = []byte("round trip payload") })
+	if string(env.output) != "round trip payload" {
+		t.Errorf("echo = %q", env.output)
+	}
+}
+
+func TestInputReadOffsetsAndClamp(t *testing.T) {
+	env := runBoth(t, `
+fn invoke() {
+	let buf = alloc(64);
+	let got = input_read(buf, 4, 100);
+	store8(buf + 40, got);
+	output(buf, 41);
+}`, func(e *dualEnv) { e.input = []byte("0123456789") })
+	if string(env.output[:6]) != "456789" {
+		t.Errorf("copied = %q", env.output[:6])
+	}
+	if env.output[40] != 6 {
+		t.Errorf("copied count = %d, want 6", env.output[40])
+	}
+}
+
+func TestStorageRoundTripParity(t *testing.T) {
+	env := runBoth(t, `
+fn invoke() {
+	let key = "account:alice";
+	let val = alloc(64);
+	memset(val, 65, 40);
+	storage_set(key, len("account:alice"), val, 40);
+	let back = alloc(64);
+	let n = storage_get(key, len("account:alice"), back, 64);
+	let miss = storage_get("nope", 4, back, 64);
+	let small = alloc(8);
+	let needed = storage_get(key, len("account:alice"), small, 8);
+	let buf = alloc(8);
+	store8(buf, n);
+	store8(buf + 1, miss == 0 - 1);
+	store8(buf + 2, needed);
+	store8(buf + 3, load8(back + 39));
+	output(buf, 4);
+}`, nil)
+	want := []byte{40, 1, 40, 65}
+	if !bytes.Equal(env.output, want) {
+		t.Errorf("storage parity: got %v, want %v", env.output, want)
+	}
+}
+
+func TestStorageLargeValueChunks(t *testing.T) {
+	// A value spanning several EVM words, with a ragged tail.
+	env := runBoth(t, `
+fn invoke() {
+	let val = alloc(256);
+	let i = 0;
+	while i < 77 {
+		store8(val + i, i + 1);
+		i = i + 1;
+	}
+	storage_set("k", 1, val, 77);
+	let back = alloc(256);
+	let n = storage_get("k", 1, back, 256);
+	output(back, n);
+}`, nil)
+	if len(env.output) != 77 {
+		t.Fatalf("length = %d", len(env.output))
+	}
+	for i, b := range env.output {
+		if int(b) != i+1 {
+			t.Fatalf("byte %d = %d", i, b)
+		}
+	}
+}
+
+func TestHashBuiltins(t *testing.T) {
+	env := runBoth(t, `
+fn invoke() {
+	let dst = alloc(64);
+	sha256("abc", 3, dst);
+	keccak256("abc", 3, dst + 32);
+	output(dst, 64);
+}`, nil)
+	if fmt.Sprintf("%x", env.output[:4]) != "ba7816bf" {
+		t.Errorf("sha256 prefix = %x", env.output[:4])
+	}
+	if fmt.Sprintf("%x", env.output[32:36]) != "4e03657a" {
+		t.Errorf("keccak prefix = %x", env.output[32:36])
+	}
+}
+
+func TestMemcpyMemset(t *testing.T) {
+	env := runBoth(t, `
+fn invoke() {
+	let a = alloc(32);
+	memset(a, 7, 16);
+	let b = alloc(32);
+	memcpy(b, a, 16);
+	store8(b + 16, 42);
+	output(b, 17);
+}`, nil)
+	want := append(bytes.Repeat([]byte{7}, 16), 42)
+	if !bytes.Equal(env.output, want) {
+		t.Errorf("got %v", env.output)
+	}
+}
+
+func TestCallerBuiltin(t *testing.T) {
+	env := runBoth(t, `
+fn invoke() {
+	let who = alloc(20);
+	caller(who);
+	output(who, 20);
+}`, func(e *dualEnv) { copy(e.caller, "12345678901234567890") })
+	if string(env.output) != "12345678901234567890" {
+		t.Errorf("caller = %q", env.output)
+	}
+}
+
+func TestCrossContractCall(t *testing.T) {
+	env := runBoth(t, `
+fn invoke() {
+	let addr = alloc(20);
+	store8(addr, 0xaa);
+	let in = "ping";
+	let out = alloc(64);
+	let n = call(addr, in, 4, out, 64);
+	store8(out + 60, n);
+	output(out, n);
+}`, func(e *dualEnv) {
+		e.callFn = func(addr, input []byte) ([]byte, error) {
+			return append([]byte("pong:"), input...), nil
+		}
+	})
+	if string(env.output) != "pong:ping" {
+		t.Errorf("cross-call output = %q", env.output)
+	}
+}
+
+func TestCrossCallFailureParity(t *testing.T) {
+	env := runBoth(t, `
+fn invoke() {
+	let addr = alloc(20);
+	let out = alloc(8);
+	let n = call(addr, "x", 1, out, 8);
+	let buf = alloc(8);
+	store8(buf, n == 0 - 1);
+	output(buf, 1);
+}`, nil)
+	if env.output[0] != 1 {
+		t.Error("failed call must return -1 on both VMs")
+	}
+}
+
+func TestLogParity(t *testing.T) {
+	env := runBoth(t, `
+fn invoke() {
+	log("asset issued", len("asset issued"));
+	log("asset transferred", len("asset transferred"));
+}`, nil)
+	if len(env.logs) != 2 || env.logs[1] != "asset transferred" {
+		t.Errorf("logs = %q", env.logs)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	cases := map[string]string{
+		"no invoke":        `fn other() {}`,
+		"invoke params":    `fn invoke(x) {}`,
+		"invoke result":    `fn invoke() -> int { return 1; }`,
+		"undefined var":    `fn invoke() { x = 1; }`,
+		"undeclared read":  `fn invoke() { let y = x; }`,
+		"redeclared":       `fn invoke() { let x = 1; let x = 2; }`,
+		"unknown fn":       `fn invoke() { nothere(); }`,
+		"bad arity":        `fn f(a) -> int { return a; } fn invoke() { f(1, 2); }`,
+		"builtin arity":    `fn invoke() { alloc(); }`,
+		"break outside":    `fn invoke() { break; }`,
+		"continue outside": `fn invoke() { continue; }`,
+		"recursion":        `fn f(x) -> int { return f(x); } fn invoke() { f(1); }`,
+		"mutual recursion": `fn a() -> int { return b(); } fn b() -> int { return a(); } fn invoke() { a(); }`,
+		"len non-literal":  `fn invoke() { let x = 1; len(x); }`,
+		"shadow builtin":   `fn alloc(n) -> int { return n; } fn invoke() {}`,
+		"value from void":  `fn v() { } fn invoke() { let x = v() + w(); }`,
+		"call invoke":      `fn invoke() { invoke(); }`,
+		"dup function":     `fn f() {} fn f() {} fn invoke() {}`,
+		"return in void":   `fn v() { return 3; } fn invoke() {}`,
+		"missing return":   `fn f() -> int { return; } fn invoke() {}`,
+		"parse error":      `fn invoke() { let = ; }`,
+		"lex error":        `fn invoke() { let x = "unterminated; }`,
+	}
+	for name, src := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := CompileCVM(src); err == nil {
+				t.Errorf("CompileCVM accepted %q", name)
+			}
+		})
+	}
+}
+
+func TestEVMIntrinsicsRejectedOnCVM(t *testing.T) {
+	src := `fn invoke() { evm_sload(0); }`
+	if _, err := CompileCVM(src); err == nil {
+		t.Error("evm_sload must not compile for CONFIDE-VM")
+	}
+	// But the same program compiles for EVM.
+	if _, err := CompileEVM(src); err != nil {
+		t.Errorf("EVM backend rejected its own intrinsic: %v", err)
+	}
+}
+
+func TestCommentsAndHexNumbers(t *testing.T) {
+	env := runBoth(t, `
+// leading comment
+fn invoke() {
+	let buf = alloc(8); // trailing comment
+	store8(buf, 0x2a);
+	output(buf, 1);
+}`, nil)
+	if env.output[0] != 42 {
+		t.Errorf("hex literal = %d", env.output[0])
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	env := runBoth(t, `
+fn invoke() {
+	let s = "a\nb\t\"q\"\\\x41\0";
+	output(s, len("a\nb\t\"q\"\\\x41\0"));
+}`, nil)
+	if string(env.output) != "a\nb\t\"q\"\\A\x00" {
+		t.Errorf("escapes = %q", env.output)
+	}
+}
+
+func TestLongStringMaterialization(t *testing.T) {
+	// Strings longer than one EVM word exercise the chunked prologue.
+	long := strings.Repeat("confide!", 20) // 160 bytes
+	env := runBoth(t, fmt.Sprintf(`
+fn invoke() {
+	output("%s", %d);
+}`, long, len(long)), nil)
+	if string(env.output) != long {
+		t.Errorf("long string corrupted: %q", env.output)
+	}
+}

@@ -1,0 +1,641 @@
+package ccl
+
+import (
+	"fmt"
+
+	"confide/internal/evm"
+)
+
+// EVM memory layout:
+//
+//	0x00..0x20  scratch word
+//	0x20..0x40  heap pointer
+//	0x40..0x60  output pointer
+//	0x60..0x80  output length
+//	0x80..      static function frames (one word per local)
+//	then        static string data
+//	then        bump-allocated heap (32-byte margin after strings because
+//	            string materialization writes whole words)
+const (
+	evmScratch  = 0x00
+	evmHeapPtr  = 0x20
+	evmOutPtr   = 0x40
+	evmOutLen   = 0x60
+	evmFrames   = 0x80
+	evmWordSize = 32
+)
+
+// evmPrelude implements the byte-oriented builtins on top of the EVM's
+// word-oriented storage and calldata model, in CCL itself. This mirrors what
+// Solidity's code generator emits for dynamic byte arrays: a keccak-derived
+// base slot, a length word, and word-chunked data — which is exactly why the
+// same logical workload costs the EVM so much more than a Wasm VM.
+const evmPrelude = `
+fn __rt_memcpy(dst, src, n) {
+	let i = 0;
+	while i < n {
+		store8(dst + i, load8(src + i));
+		i = i + 1;
+	}
+}
+
+fn __rt_memset(p, v, n) {
+	let i = 0;
+	while i < n {
+		store8(p + i, v);
+		i = i + 1;
+	}
+}
+
+fn __rt_input_read(dst, off, n) -> int {
+	let avail = input_size() - off;
+	if avail < 0 { avail = 0; }
+	if n < avail { avail = n; }
+	evm_calldatacopy(dst, off, avail);
+	return avail;
+}
+
+fn __rt_storage_set(kptr, klen, vptr, vlen) {
+	let base = evm_keccak_word(kptr, klen);
+	evm_sstore(base, vlen + 1);
+	let i = 0;
+	while i * 32 < vlen {
+		evm_sstore(base + 1 + i, evm_mload(vptr + i * 32));
+		i = i + 1;
+	}
+}
+
+fn __rt_storage_get(kptr, klen, vptr, vcap) -> int {
+	let base = evm_keccak_word(kptr, klen);
+	let lp = evm_sload(base);
+	if lp == 0 { return 0 - 1; }
+	let n = lp - 1;
+	if n > vcap { return n; }
+	let full = n / 32;
+	let i = 0;
+	while i < full {
+		evm_mstore(vptr + i * 32, evm_sload(base + 1 + i));
+		i = i + 1;
+	}
+	let rem = n - full * 32;
+	if rem > 0 {
+		let w = evm_sload(base + 1 + full);
+		let j = 0;
+		while j < rem {
+			store8(vptr + full * 32 + j, evm_byte(j, w));
+			j = j + 1;
+		}
+	}
+	return n;
+}
+
+fn __rt_call(addrp, inp, inlen, outp, outcap) -> int {
+	let aw = evm_mload(addrp);
+	let ok = evm_call7(outcap, outp, inlen, inp, 0, aw >> 96, 0);
+	if ok == 0 { return 0 - 1; }
+	let n = evm_returndatasize();
+	if n > outcap { return n; }
+	evm_returndatacopy(outp, 0, n);
+	return n;
+}
+
+fn __rt_caller(dst) {
+	evm_mstore(0, evm_caller_word() << 96);
+	__rt_memcpy(dst, 0, 20);
+}
+`
+
+// evmIntrinsics are EVM-only builtins used by the prelude; they are not part
+// of the public CCL surface and the CONFIDE-VM backend rejects them.
+var evmIntrinsics = map[string]*builtin{
+	"evm_sload":          {"evm_sload", 1, true},
+	"evm_sstore":         {"evm_sstore", 2, false},
+	"evm_mload":          {"evm_mload", 1, true},
+	"evm_mstore":         {"evm_mstore", 2, false},
+	"evm_keccak_word":    {"evm_keccak_word", 2, true},
+	"evm_byte":           {"evm_byte", 2, true},
+	"evm_calldatacopy":   {"evm_calldatacopy", 3, false},
+	"evm_call7":          {"evm_call7", 7, true},
+	"evm_returndatasize": {"evm_returndatasize", 0, true},
+	"evm_returndatacopy": {"evm_returndatacopy", 3, false},
+	"evm_caller_word":    {"evm_caller_word", 0, true},
+}
+
+func init() {
+	for name, b := range evmIntrinsics {
+		builtins[name] = b
+	}
+}
+
+// evmLowered maps portable builtins to their prelude implementations.
+var evmLowered = map[string]string{
+	"memcpy":      "__rt_memcpy",
+	"memset":      "__rt_memset",
+	"input_read":  "__rt_input_read",
+	"storage_get": "__rt_storage_get",
+	"storage_set": "__rt_storage_set",
+	"call":        "__rt_call",
+	"caller":      "__rt_caller",
+}
+
+// CompileEVM compiles CCL source to EVM bytecode.
+func CompileEVM(src string) ([]byte, error) {
+	prog, err := Parse(src + "\n" + evmPrelude)
+	if err != nil {
+		return nil, err
+	}
+	if err := Check(prog); err != nil {
+		return nil, err
+	}
+	return compileEVMProgram(prog)
+}
+
+func compileEVMProgram(prog *Program) ([]byte, error) {
+	a := evm.NewAssembler()
+	g := &evmGen{
+		a:        a,
+		prog:     prog,
+		fnLabels: make(map[string]evm.Label),
+		frames:   make(map[string]int64),
+	}
+	// Assign static frames.
+	frame := int64(evmFrames)
+	for _, fn := range prog.Funcs {
+		g.frames[fn.Name] = frame
+		frame += int64(fn.numLocals) * evmWordSize
+	}
+	// Lay out strings after the frames.
+	strs := collectStrings(prog)
+	strOffsets := make(map[int]int64)
+	offset := frame
+	for _, s := range strs {
+		strOffsets[s.id] = offset
+		offset += int64(len(s.Val))
+	}
+	g.strOffsets = strOffsets
+	heapStart := ((offset + 31) &^ 31) + evmWordSize // margin for word writes
+
+	for _, fn := range prog.Funcs {
+		g.fnLabels[fn.Name] = a.NewLabel()
+	}
+	g.epilogue = a.NewLabel()
+
+	// Prologue: heap pointer, output defaults, string materialization.
+	a.Push(uint64(heapStart)).Push(evmHeapPtr).Op(evm.MSTORE)
+	a.Push(0).Push(evmOutPtr).Op(evm.MSTORE)
+	a.Push(0).Push(evmOutLen).Op(evm.MSTORE)
+	for _, s := range strs {
+		base := strOffsets[s.id]
+		for chunk := 0; chunk < len(s.Val); chunk += evmWordSize {
+			end := chunk + evmWordSize
+			if end > len(s.Val) {
+				end = len(s.Val)
+			}
+			piece := s.Val[chunk:end]
+			a.PushBytes(piece)
+			if shift := (evmWordSize - len(piece)) * 8; shift > 0 {
+				a.Push(uint64(shift)).Op(evm.SHL) // left-align partial word
+			}
+			// MSTORE pops the offset first (µ_s[0]), so push it on top of
+			// the value.
+			a.Push(uint64(base + int64(chunk)))
+			a.Op(evm.MSTORE)
+		}
+	}
+
+	// invoke body runs inline, then falls into the epilogue.
+	g.fn = prog.byName["invoke"]
+	a.Bind(g.fnLabels["invoke"])
+	if err := g.stmts(g.fn.Body); err != nil {
+		return nil, err
+	}
+	a.Bind(g.epilogue)
+	a.Push(evmOutLen).Op(evm.MLOAD)
+	a.Push(evmOutPtr).Op(evm.MLOAD)
+	a.Op(evm.RETURN)
+
+	// Remaining functions, internal call convention:
+	// entry stack [ret, a0..an-1]; exit stack [result].
+	for _, fn := range prog.Funcs {
+		if fn.Name == "invoke" {
+			continue
+		}
+		g.fn = fn
+		a.Bind(g.fnLabels[fn.Name])
+		// Spill parameters (top of stack = last arg).
+		for i := len(fn.Params) - 1; i >= 0; i-- {
+			a.Push(uint64(g.slotAddr(i)))
+			a.Op(evm.MSTORE)
+		}
+		if err := g.stmts(fn.Body); err != nil {
+			return nil, err
+		}
+		// Fall-through: default result 0 → [ret, 0]; swap; jump.
+		a.Push(0).Op(evm.SWAP1).Op(evm.JUMP)
+	}
+	return a.Assemble()
+}
+
+// evmGen generates code for one program.
+type evmGen struct {
+	a          *evm.Assembler
+	prog       *Program
+	fn         *FuncDecl
+	fnLabels   map[string]evm.Label
+	frames     map[string]int64
+	strOffsets map[int]int64
+	epilogue   evm.Label
+	loops      []evmLoop
+}
+
+type evmLoop struct {
+	top  evm.Label
+	exit evm.Label
+}
+
+func (g *evmGen) slotAddr(slot int) int64 {
+	return g.frames[g.fn.Name] + int64(slot)*evmWordSize
+}
+
+func (g *evmGen) stmts(stmts []Stmt) error {
+	for _, s := range stmts {
+		if err := g.stmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (g *evmGen) stmt(s Stmt) error {
+	a := g.a
+	switch s := s.(type) {
+	case *LetStmt:
+		if err := g.expr(s.Init); err != nil {
+			return err
+		}
+		a.Push(uint64(g.slotAddr(g.fn.localIndex[s.Name]))).Op(evm.MSTORE)
+		return nil
+	case *AssignStmt:
+		if err := g.expr(s.Val); err != nil {
+			return err
+		}
+		a.Push(uint64(g.slotAddr(g.fn.localIndex[s.Name]))).Op(evm.MSTORE)
+		return nil
+	case *IfStmt:
+		elseL := a.NewLabel()
+		endL := a.NewLabel()
+		if err := g.expr(s.Cond); err != nil {
+			return err
+		}
+		a.Op(evm.ISZERO)
+		a.JumpIf(elseL)
+		if err := g.stmts(s.Then); err != nil {
+			return err
+		}
+		a.Jump(endL)
+		a.Bind(elseL)
+		if err := g.stmts(s.Else); err != nil {
+			return err
+		}
+		a.Bind(endL)
+		return nil
+	case *WhileStmt:
+		top := a.NewLabel()
+		exit := a.NewLabel()
+		a.Bind(top)
+		if err := g.expr(s.Cond); err != nil {
+			return err
+		}
+		a.Op(evm.ISZERO)
+		a.JumpIf(exit)
+		g.loops = append(g.loops, evmLoop{top: top, exit: exit})
+		if err := g.stmts(s.Body); err != nil {
+			return err
+		}
+		g.loops = g.loops[:len(g.loops)-1]
+		a.Jump(top)
+		a.Bind(exit)
+		return nil
+	case *ReturnStmt:
+		if g.fn.Name == "invoke" {
+			a.Jump(g.epilogue)
+			return nil
+		}
+		if s.Val != nil {
+			if err := g.expr(s.Val); err != nil {
+				return err
+			}
+		} else {
+			a.Push(0)
+		}
+		a.Op(evm.SWAP1).Op(evm.JUMP)
+		return nil
+	case *BreakStmt:
+		a.Jump(g.loops[len(g.loops)-1].exit)
+		return nil
+	case *ContinueStmt:
+		a.Jump(g.loops[len(g.loops)-1].top)
+		return nil
+	case *ExprStmt:
+		if err := g.expr(s.X); err != nil {
+			return err
+		}
+		if exprYields(s.X) {
+			a.Op(evm.POP)
+		}
+		return nil
+	}
+	return fmt.Errorf("ccl: unhandled statement %T", s)
+}
+
+func (g *evmGen) expr(e Expr) error {
+	a := g.a
+	switch e := e.(type) {
+	case *NumLit:
+		if e.Val < 0 {
+			// Negative literal (folded): 0 - |v| in 256-bit space.
+			a.Push(uint64(-e.Val)).Push(0).Op(evm.SUB)
+		} else {
+			a.Push(uint64(e.Val))
+		}
+		return nil
+	case *StrLenExpr:
+		a.Push(uint64(e.N))
+		return nil
+	case *StrLit:
+		a.Push(uint64(g.strOffsets[e.id]))
+		return nil
+	case *VarRef:
+		a.Push(uint64(g.slotAddr(e.slot))).Op(evm.MLOAD)
+		return nil
+	case *UnaryExpr:
+		if err := g.expr(e.X); err != nil {
+			return err
+		}
+		switch e.Op {
+		case "-":
+			a.Push(0).Op(evm.SUB) // 0 - x (0 on top = µ_s[0])
+		case "!":
+			a.Op(evm.ISZERO)
+		}
+		return nil
+	case *BinExpr:
+		return g.binExpr(e)
+	case *CallExpr:
+		if e.builtin != nil {
+			return g.builtinCall(e)
+		}
+		return g.userCall(e.Name, e.Args)
+	}
+	return fmt.Errorf("ccl: unhandled expression %T", e)
+}
+
+func (g *evmGen) userCall(name string, args []Expr) error {
+	a := g.a
+	ret := a.NewLabel()
+	a.PushLabel(ret)
+	for _, arg := range args {
+		if err := g.expr(arg); err != nil {
+			return err
+		}
+	}
+	a.PushLabel(g.fnLabels[name])
+	a.Op(evm.JUMP)
+	a.Bind(ret)
+	return nil
+}
+
+func (g *evmGen) binExpr(e *BinExpr) error {
+	a := g.a
+	switch e.Op {
+	case "&&":
+		falseL := a.NewLabel()
+		endL := a.NewLabel()
+		if err := g.expr(e.L); err != nil {
+			return err
+		}
+		a.Op(evm.ISZERO)
+		a.JumpIf(falseL)
+		if err := g.expr(e.R); err != nil {
+			return err
+		}
+		a.Op(evm.ISZERO).Op(evm.ISZERO)
+		a.Jump(endL)
+		a.Bind(falseL)
+		a.Push(0)
+		a.Bind(endL)
+		return nil
+	case "||":
+		trueL := a.NewLabel()
+		endL := a.NewLabel()
+		if err := g.expr(e.L); err != nil {
+			return err
+		}
+		a.JumpIf(trueL)
+		if err := g.expr(e.R); err != nil {
+			return err
+		}
+		a.Op(evm.ISZERO).Op(evm.ISZERO)
+		a.Jump(endL)
+		a.Bind(trueL)
+		a.Push(1)
+		a.Bind(endL)
+		return nil
+	}
+	if err := g.expr(e.L); err != nil {
+		return err
+	}
+	if err := g.expr(e.R); err != nil {
+		return err
+	}
+	// Stack is [L, R] with R on top (the EVM's µ_s[0]); non-commutative ops
+	// need L first, so swap.
+	switch e.Op {
+	case "+":
+		a.Op(evm.ADD)
+	case "*":
+		a.Op(evm.MUL)
+	case "&":
+		a.Op(evm.AND)
+	case "|":
+		a.Op(evm.OR)
+	case "^":
+		a.Op(evm.XOR)
+	case "-":
+		a.Op(evm.SWAP1, evm.SUB)
+	case "/":
+		a.Op(evm.SWAP1, evm.SDIV)
+	case "%":
+		a.Op(evm.SWAP1, evm.SMOD)
+	case "<<":
+		a.Op(evm.SHL) // shift is µ_s[0]: already on top
+	case ">>":
+		a.Op(evm.SHR)
+	case "==":
+		a.Op(evm.EQ)
+	case "!=":
+		a.Op(evm.EQ, evm.ISZERO)
+	case "<":
+		a.Op(evm.SWAP1, evm.SLT)
+	case "<=":
+		a.Op(evm.SWAP1, evm.SGT, evm.ISZERO)
+	case ">":
+		a.Op(evm.SWAP1, evm.SGT)
+	case ">=":
+		a.Op(evm.SWAP1, evm.SLT, evm.ISZERO)
+	default:
+		return fmt.Errorf("ccl: unsupported operator %q", e.Op)
+	}
+	return nil
+}
+
+func (g *evmGen) builtinCall(e *CallExpr) error {
+	a := g.a
+	// Portable builtins implemented by the runtime prelude become user
+	// calls; the rest lower inline. Runtime functions always return a
+	// value (uniform internal convention), so void builtins pop it to keep
+	// the caller's stack shape identical to the CONFIDE-VM backend's.
+	if target, ok := evmLowered[e.builtin.name]; ok {
+		if err := g.userCall(target, e.Args); err != nil {
+			return err
+		}
+		if !e.builtin.hasResult {
+			a.Op(evm.POP)
+		}
+		return nil
+	}
+	emitArgs := func() error {
+		for _, arg := range e.Args {
+			if err := g.expr(arg); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	switch e.builtin.name {
+	case "alloc":
+		if err := emitArgs(); err != nil {
+			return err
+		}
+		// [n] → align to 32, bump heap pointer, return old.
+		a.Push(31).Op(evm.ADD)
+		a.Push(31).Op(evm.NOT).Op(evm.AND)
+		a.Push(evmHeapPtr).Op(evm.MLOAD) // [alignedN, hp]
+		a.Dup(1)                         // [alignedN, hp, hp]
+		a.Swap(2)                        // [hp, hp, alignedN]
+		a.Op(evm.ADD)                    // [hp, newHp]
+		a.Push(evmHeapPtr).Op(evm.MSTORE)
+		return nil
+	case "load8":
+		if err := emitArgs(); err != nil {
+			return err
+		}
+		a.Op(evm.MLOAD)
+		a.Push(248).Op(evm.SHR)
+		return nil
+	case "store8":
+		if err := emitArgs(); err != nil {
+			return err
+		}
+		a.Op(evm.SWAP1, evm.MSTORE8) // offset must be µ_s[0]
+		return nil
+	case "input_size":
+		a.Op(evm.CALLDATASIZE)
+		return nil
+	case "output":
+		if err := emitArgs(); err != nil {
+			return err
+		}
+		// [ptr, n]
+		a.Push(evmOutLen).Op(evm.MSTORE)
+		a.Push(evmOutPtr).Op(evm.MSTORE)
+		return nil
+	case "sha256", "keccak256":
+		if err := emitArgs(); err != nil {
+			return err
+		}
+		// [ptr, n, dst] → hash(ptr, n) stored at dst.
+		a.Swap(2) // [dst, n, ptr]
+		if e.builtin.name == "sha256" {
+			a.Op(evm.SHA256F)
+		} else {
+			a.Op(evm.KECCAK256)
+		}
+		a.Op(evm.SWAP1, evm.MSTORE)
+		return nil
+	case "log":
+		if err := emitArgs(); err != nil {
+			return err
+		}
+		a.Op(evm.SWAP1, evm.LOG0) // offset must be µ_s[0]
+		return nil
+	case "len":
+		return g.expr(e.Args[0])
+	case "fail":
+		a.Op(evm.REVERT)
+		return nil
+
+	// EVM intrinsics (prelude only).
+	case "evm_sload":
+		if err := emitArgs(); err != nil {
+			return err
+		}
+		a.Op(evm.SLOAD)
+		return nil
+	case "evm_sstore":
+		if err := emitArgs(); err != nil {
+			return err
+		}
+		a.Op(evm.SWAP1, evm.SSTORE) // key must be µ_s[0]
+		return nil
+	case "evm_mload":
+		if err := emitArgs(); err != nil {
+			return err
+		}
+		a.Op(evm.MLOAD)
+		return nil
+	case "evm_mstore":
+		if err := emitArgs(); err != nil {
+			return err
+		}
+		a.Op(evm.SWAP1, evm.MSTORE)
+		return nil
+	case "evm_keccak_word":
+		if err := emitArgs(); err != nil {
+			return err
+		}
+		a.Op(evm.SWAP1, evm.KECCAK256) // offset must be µ_s[0]
+		return nil
+	case "evm_byte":
+		if err := emitArgs(); err != nil {
+			return err
+		}
+		a.Op(evm.SWAP1, evm.BYTE) // index must be µ_s[0]
+		return nil
+	case "evm_calldatacopy":
+		if err := emitArgs(); err != nil {
+			return err
+		}
+		a.Swap(2).Op(evm.CALLDATACOPY) // memOffset must be µ_s[0]
+		return nil
+	case "evm_call7":
+		if err := emitArgs(); err != nil {
+			return err
+		}
+		a.Op(evm.CALL)
+		return nil
+	case "evm_returndatasize":
+		a.Op(evm.RETURNDATASIZE)
+		return nil
+	case "evm_returndatacopy":
+		if err := emitArgs(); err != nil {
+			return err
+		}
+		a.Swap(2).Op(evm.RETURNDATACOPY)
+		return nil
+	case "evm_caller_word":
+		a.Op(evm.CALLER)
+		return nil
+	}
+	return fmt.Errorf("ccl: builtin %q is not available on the EVM backend", e.builtin.name)
+}

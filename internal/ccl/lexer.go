@@ -1,0 +1,188 @@
+package ccl
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// lexer produces tokens from CCL source.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer {
+	return &lexer{src: src, line: 1, col: 1}
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	return l.src[l.pos]
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+func isIdent(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+// twoBytePuncts are multi-character operators.
+var twoBytePuncts = map[string]bool{
+	"==": true, "!=": true, "<=": true, ">=": true,
+	"&&": true, "||": true, "<<": true, ">>": true, "->": true,
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	// Skip whitespace and comments.
+	for l.pos < len(l.src) {
+		c := l.peekByte()
+		if c == ' ' || c == '\t' || c == '\r' || c == '\n' {
+			l.advance()
+			continue
+		}
+		if c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/' {
+			for l.pos < len(l.src) && l.peekByte() != '\n' {
+				l.advance()
+			}
+			continue
+		}
+		break
+	}
+	line, col := l.line, l.col
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, line: line, col: col}, nil
+	}
+	c := l.peekByte()
+	switch {
+	case isDigit(c):
+		start := l.pos
+		for l.pos < len(l.src) && (isIdent(l.peekByte())) {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		n, err := strconv.ParseInt(text, 0, 64)
+		if err != nil {
+			// Allow full uint64 range written in hex.
+			if u, uerr := strconv.ParseUint(text, 0, 64); uerr == nil {
+				n = int64(u)
+			} else {
+				return token{}, errAt(line, col, "bad number %q", text)
+			}
+		}
+		return token{kind: tokNumber, text: text, num: n, line: line, col: col}, nil
+
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.src) && isIdent(l.peekByte()) {
+			l.advance()
+		}
+		text := l.src[start:l.pos]
+		kind := tokIdent
+		if keywords[text] {
+			kind = tokKeyword
+		}
+		return token{kind: kind, text: text, line: line, col: col}, nil
+
+	case c == '"':
+		l.advance()
+		var out []byte
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, errAt(line, col, "unterminated string")
+			}
+			ch := l.advance()
+			if ch == '"' {
+				break
+			}
+			if ch == '\\' {
+				if l.pos >= len(l.src) {
+					return token{}, errAt(line, col, "unterminated escape")
+				}
+				esc := l.advance()
+				switch esc {
+				case 'n':
+					out = append(out, '\n')
+				case 't':
+					out = append(out, '\t')
+				case 'r':
+					out = append(out, '\r')
+				case '"':
+					out = append(out, '"')
+				case '\\':
+					out = append(out, '\\')
+				case '0':
+					out = append(out, 0)
+				case 'x':
+					if l.pos+1 >= len(l.src) {
+						return token{}, errAt(line, col, "bad \\x escape")
+					}
+					h := string([]byte{l.advance(), l.advance()})
+					v, err := strconv.ParseUint(h, 16, 8)
+					if err != nil {
+						return token{}, errAt(line, col, "bad \\x escape %q", h)
+					}
+					out = append(out, byte(v))
+				default:
+					return token{}, errAt(line, col, "unknown escape \\%c", esc)
+				}
+				continue
+			}
+			out = append(out, ch)
+		}
+		return token{kind: tokString, str: out, line: line, col: col}, nil
+
+	default:
+		// Punctuation, longest match first.
+		if l.pos+1 < len(l.src) {
+			two := l.src[l.pos : l.pos+2]
+			if twoBytePuncts[two] {
+				l.advance()
+				l.advance()
+				return token{kind: tokPunct, text: two, line: line, col: col}, nil
+			}
+		}
+		switch c {
+		case '+', '-', '*', '/', '%', '&', '|', '^', '!', '<', '>', '=',
+			'(', ')', '{', '}', ',', ';':
+			l.advance()
+			return token{kind: tokPunct, text: string(c), line: line, col: col}, nil
+		}
+		return token{}, errAt(line, col, "unexpected character %q", string(c))
+	}
+}
+
+// lexAll tokenizes the whole input (including the trailing EOF token).
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+		if len(out) > 1_000_000 {
+			return nil, fmt.Errorf("ccl: input too large")
+		}
+	}
+}

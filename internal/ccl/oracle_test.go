@@ -1,0 +1,211 @@
+package ccl
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"confide/internal/cvm"
+)
+
+// Oracle testing: the parity fuzzer proves both backends agree with each
+// other; this test proves they agree with the *mathematical truth*, by
+// evaluating the same random expression tree with an independent Go
+// interpreter over the identical masked-32-bit domain. A bug shared by the
+// compiler front end and both code generators would slip past parity
+// testing but not past this oracle.
+
+// oracleExpr is a tiny expression AST mirrored between CCL source emission
+// and direct Go evaluation.
+type oracleExpr struct {
+	op   string // "lit", "var", or an operator
+	lit  int64
+	vidx int
+	l, r *oracleExpr
+}
+
+func genOracleExpr(rng *rand.Rand, depth int) *oracleExpr {
+	if depth <= 0 || rng.Intn(3) == 0 {
+		if rng.Intn(2) == 0 {
+			return &oracleExpr{op: "var", vidx: rng.Intn(3)}
+		}
+		return &oracleExpr{op: "lit", lit: int64(rng.Intn(1 << 16))}
+	}
+	ops := []string{"add", "sub", "mul", "div", "mod", "and", "or", "xor", "shl", "shr", "lt", "eq"}
+	return &oracleExpr{
+		op: ops[rng.Intn(len(ops))],
+		l:  genOracleExpr(rng, depth-1),
+		r:  genOracleExpr(rng, depth-1),
+	}
+}
+
+const oracleMask = (1 << 32) - 1
+
+// evalOracle computes the ground truth in Go.
+func evalOracle(e *oracleExpr, vars [3]int64) int64 {
+	switch e.op {
+	case "lit":
+		return e.lit
+	case "var":
+		return vars[e.vidx]
+	}
+	a := evalOracle(e.l, vars)
+	b := evalOracle(e.r, vars)
+	switch e.op {
+	case "add":
+		return (a + b) & oracleMask
+	case "sub":
+		return (a + oracleMask + 1 - b) & oracleMask
+	case "mul":
+		return (a * (b & 0xffff)) & oracleMask
+	case "div":
+		return a / ((b & 0xff) | 1)
+	case "mod":
+		return a % ((b & 0xff) | 1)
+	case "and":
+		return a & b
+	case "or":
+		return a | b
+	case "xor":
+		return a ^ b
+	case "shl":
+		return (a << (b & 7)) & oracleMask
+	case "shr":
+		return a >> (b & 7)
+	case "lt":
+		if a < b {
+			return 1
+		}
+		return 0
+	case "eq":
+		if a == b {
+			return 1
+		}
+		return 0
+	}
+	panic("unknown op " + e.op)
+}
+
+// emitCCL renders the expression as CCL source with the same guards the
+// oracle applies.
+func emitCCL(e *oracleExpr) string {
+	switch e.op {
+	case "lit":
+		return fmt.Sprintf("%d", e.lit)
+	case "var":
+		return string(rune('a' + e.vidx))
+	}
+	a, b := emitCCL(e.l), emitCCL(e.r)
+	switch e.op {
+	case "add":
+		return fmt.Sprintf("((%s + %s) & 4294967295)", a, b)
+	case "sub":
+		return fmt.Sprintf("((%s + 4294967296 - %s) & 4294967295)", a, b)
+	case "mul":
+		return fmt.Sprintf("((%s * (%s & 65535)) & 4294967295)", a, b)
+	case "div":
+		return fmt.Sprintf("(%s / ((%s & 255) | 1))", a, b)
+	case "mod":
+		return fmt.Sprintf("(%s %% ((%s & 255) | 1))", a, b)
+	case "and":
+		return fmt.Sprintf("(%s & %s)", a, b)
+	case "or":
+		return fmt.Sprintf("(%s | %s)", a, b)
+	case "xor":
+		return fmt.Sprintf("(%s ^ %s)", a, b)
+	case "shl":
+		return fmt.Sprintf("((%s << (%s & 7)) & 4294967295)", a, b)
+	case "shr":
+		return fmt.Sprintf("(%s >> (%s & 7))", a, b)
+	case "lt":
+		return fmt.Sprintf("(%s < %s)", a, b)
+	case "eq":
+		return fmt.Sprintf("(%s == %s)", a, b)
+	}
+	panic("unknown op " + e.op)
+}
+
+func TestCompilerAgainstGoOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7_2026))
+	for i := 0; i < 80; i++ {
+		expr := genOracleExpr(rng, 4)
+		vars := [3]int64{int64(rng.Intn(1 << 16)), int64(rng.Intn(1 << 16)), int64(rng.Intn(1 << 16))}
+		want := evalOracle(expr, vars)
+
+		src := fmt.Sprintf(`
+fn invoke() {
+	let a = %d;
+	let b = %d;
+	let c = %d;
+	let r = %s;
+	let out = alloc(8);
+	store8(out + 0, r & 255); store8(out + 1, (r >> 8) & 255);
+	store8(out + 2, (r >> 16) & 255); store8(out + 3, (r >> 24) & 255);
+	output(out, 4);
+}`, vars[0], vars[1], vars[2], emitCCL(expr))
+
+		// runBoth enforces CVM/EVM agreement; the oracle then pins truth.
+		env := runBoth(t, src, nil)
+		got := int64(env.output[0]) | int64(env.output[1])<<8 |
+			int64(env.output[2])<<16 | int64(env.output[3])<<24
+		if got != want {
+			t.Fatalf("expression %d: VMs computed %d, oracle says %d\nexpr: %s\nvars: %v",
+				i, got, want, emitCCL(expr), vars)
+		}
+	}
+}
+
+// TestFusionAgainstOracle additionally runs a CVM-only check across fused
+// and unfused builds of a loop accumulating oracle expressions, ensuring
+// the superinstruction pass never changes results.
+func TestFusionAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 20; i++ {
+		expr := genOracleExpr(rng, 3)
+		src := fmt.Sprintf(`
+fn invoke() {
+	let a = 7;
+	let b = 11;
+	let c = 13;
+	let acc = 0;
+	let i = 0;
+	while i < 50 {
+		a = (a + 1) & 4294967295;
+		acc = (acc ^ %s) & 4294967295;
+		i = i + 1;
+	}
+	let out = alloc(8);
+	store8(out + 0, acc & 255); store8(out + 1, (acc >> 8) & 255);
+	store8(out + 2, (acc >> 16) & 255); store8(out + 3, (acc >> 24) & 255);
+	output(out, 4);
+}`, emitCCL(expr))
+		mod, err := CompileCVM(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var results [2]int64
+		for j, fuse := range []bool{false, true} {
+			prog, err := cvm.BuildProgram(mod, cvm.BuildOptions{Fuse: fuse})
+			if err != nil {
+				t.Fatal(err)
+			}
+			env := newDualEnv()
+			if _, err := cvm.NewVM(prog, env, cvm.Config{}).Run(); err != nil {
+				t.Fatal(err)
+			}
+			results[j] = int64(env.output[0]) | int64(env.output[1])<<8 |
+				int64(env.output[2])<<16 | int64(env.output[3])<<24
+		}
+		// Go oracle replays the loop.
+		vars := [3]int64{7, 11, 13}
+		acc := int64(0)
+		for k := 0; k < 50; k++ {
+			vars[0] = (vars[0] + 1) & oracleMask
+			acc = (acc ^ evalOracle(expr, vars)) & oracleMask
+		}
+		if results[0] != results[1] || results[0] != acc {
+			t.Fatalf("loop %d: plain=%d fused=%d oracle=%d\nexpr: %s",
+				i, results[0], results[1], acc, emitCCL(expr))
+		}
+	}
+}

@@ -1,0 +1,337 @@
+package ccl
+
+// parser is a recursive-descent parser over the token stream.
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses CCL source into a Program (unchecked; see Check).
+func Parse(src string) (*Program, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{byName: make(map[string]*FuncDecl)}
+	for !p.at(tokEOF, "") {
+		fn, err := p.parseFunc()
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := prog.byName[fn.Name]; dup {
+			return nil, errAt(fn.Line, fn.Col, "function %q redefined", fn.Name)
+		}
+		prog.Funcs = append(prog.Funcs, fn)
+		prog.byName[fn.Name] = fn
+	}
+	return prog, nil
+}
+
+func (p *parser) cur() token { return p.toks[p.pos] }
+func (p *parser) advance() token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+// at reports whether the current token matches kind (and text, when given).
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) expect(kind tokKind, text string) (token, error) {
+	if !p.at(kind, text) {
+		want := text
+		if want == "" {
+			want = map[tokKind]string{tokIdent: "identifier", tokNumber: "number", tokString: "string"}[kind]
+		}
+		return token{}, errAt(p.cur().line, p.cur().col, "expected %s, found %s", want, p.cur())
+	}
+	return p.advance(), nil
+}
+
+func (p *parser) accept(kind tokKind, text string) bool {
+	if p.at(kind, text) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) parseFunc() (*FuncDecl, error) {
+	kw, err := p.expect(tokKeyword, "fn")
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokPunct, "("); err != nil {
+		return nil, err
+	}
+	fn := &FuncDecl{Name: name.text, Line: kw.line, Col: kw.col}
+	for !p.at(tokPunct, ")") {
+		param, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		fn.Params = append(fn.Params, param.text)
+		if !p.accept(tokPunct, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(tokPunct, ")"); err != nil {
+		return nil, err
+	}
+	if p.accept(tokPunct, "->") {
+		// Only "-> int" is meaningful in a single-typed language; accept
+		// the annotation for readability.
+		if _, err := p.expect(tokIdent, ""); err != nil {
+			return nil, err
+		}
+		fn.HasResult = true
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *parser) parseBlock() ([]Stmt, error) {
+	if _, err := p.expect(tokPunct, "{"); err != nil {
+		return nil, err
+	}
+	var stmts []Stmt
+	for !p.at(tokPunct, "}") {
+		if p.at(tokEOF, "") {
+			return nil, errAt(p.cur().line, p.cur().col, "unexpected end of file in block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	p.advance() // consume }
+	return stmts, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case p.at(tokKeyword, "let"):
+		p.advance()
+		name, err := p.expect(tokIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, "="); err != nil {
+			return nil, err
+		}
+		init, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &LetStmt{Name: name.text, Init: init, Line: t.line, Col: t.col}, nil
+
+	case p.at(tokKeyword, "if"):
+		p.advance()
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		then, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		var els []Stmt
+		if p.accept(tokKeyword, "else") {
+			if p.at(tokKeyword, "if") {
+				nested, err := p.parseStmt()
+				if err != nil {
+					return nil, err
+				}
+				els = []Stmt{nested}
+			} else {
+				els, err = p.parseBlock()
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		return &IfStmt{Cond: cond, Then: then, Else: els}, nil
+
+	case p.at(tokKeyword, "while"):
+		p.advance()
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body}, nil
+
+	case p.at(tokKeyword, "return"):
+		p.advance()
+		if p.accept(tokPunct, ";") {
+			return &ReturnStmt{Line: t.line, Col: t.col}, nil
+		}
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{Val: val, Line: t.line, Col: t.col}, nil
+
+	case p.at(tokKeyword, "break"):
+		p.advance()
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Line: t.line, Col: t.col}, nil
+
+	case p.at(tokKeyword, "continue"):
+		p.advance()
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Line: t.line, Col: t.col}, nil
+
+	case t.kind == tokIdent && p.toks[p.pos+1].kind == tokPunct && p.toks[p.pos+1].text == "=":
+		p.advance() // name
+		p.advance() // =
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Name: t.text, Val: val, Line: t.line, Col: t.col}, nil
+
+	default:
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &ExprStmt{X: x}, nil
+	}
+}
+
+// Operator precedence, loosest first.
+var precLevels = [][]string{
+	{"||"},
+	{"&&"},
+	{"==", "!="},
+	{"<", "<=", ">", ">="},
+	{"|"},
+	{"^"},
+	{"&"},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "%"},
+}
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseBin(0) }
+
+func (p *parser) parseBin(level int) (Expr, error) {
+	if level >= len(precLevels) {
+		return p.parseUnary()
+	}
+	left, err := p.parseBin(level + 1)
+	if err != nil {
+		return nil, err
+	}
+	for {
+		matched := false
+		for _, op := range precLevels[level] {
+			if p.at(tokPunct, op) {
+				p.advance()
+				right, err := p.parseBin(level + 1)
+				if err != nil {
+					return nil, err
+				}
+				left = &BinExpr{Op: op, L: left, R: right}
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			return left, nil
+		}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.at(tokPunct, "-") || p.at(tokPunct, "!") {
+		op := p.advance().text
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Op: op, X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.kind {
+	case tokNumber:
+		p.advance()
+		return &NumLit{Val: t.num}, nil
+	case tokString:
+		p.advance()
+		return &StrLit{Val: t.str}, nil
+	case tokIdent:
+		p.advance()
+		if p.accept(tokPunct, "(") {
+			call := &CallExpr{Name: t.text, Line: t.line, Col: t.col}
+			for !p.at(tokPunct, ")") {
+				arg, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, arg)
+				if !p.accept(tokPunct, ",") {
+					break
+				}
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			return call, nil
+		}
+		return &VarRef{Name: t.text, Line: t.line, Col: t.col}, nil
+	case tokPunct:
+		if t.text == "(" {
+			p.advance()
+			x, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tokPunct, ")"); err != nil {
+				return nil, err
+			}
+			return x, nil
+		}
+	}
+	return nil, errAt(t.line, t.col, "unexpected %s in expression", t)
+}

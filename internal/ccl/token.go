@@ -1,0 +1,66 @@
+// Package ccl implements the CONFIDE Contract Language: the small
+// imperative language the repository's smart contracts are written in. One
+// front end feeds two code generators — a CONFIDE-VM (Wasm-derived) backend
+// and an EVM backend — so the paper's cross-VM comparisons (Figure 10,
+// Figure 12) run the *same* contract logic on both engines, exactly as the
+// production system compiles one contract source to its engine of choice.
+//
+// The language is deliberately minimal: a single integer type (which doubles
+// as a pointer into contract linear memory), functions, control flow, and
+// builtins that surface the host interface (storage, input/output, hashing,
+// logging, cross-contract calls).
+package ccl
+
+import "fmt"
+
+// tokKind enumerates token types.
+type tokKind int
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokPunct // operators and delimiters
+	tokKeyword
+)
+
+var keywords = map[string]bool{
+	"fn": true, "let": true, "if": true, "else": true, "while": true,
+	"return": true, "break": true, "continue": true,
+}
+
+// token is one lexeme.
+type token struct {
+	kind tokKind
+	text string
+	num  int64
+	str  []byte // decoded string literal
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of file"
+	case tokString:
+		return fmt.Sprintf("string %q", t.str)
+	default:
+		return fmt.Sprintf("%q", t.text)
+	}
+}
+
+// Error is a positioned compile error.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("ccl:%d:%d: %s", e.Line, e.Col, e.Msg)
+}
+
+func errAt(line, col int, format string, args ...any) *Error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,380 @@
+package ccle
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	ccrypto "confide/internal/crypto"
+)
+
+// listing1 is the paper's example schema (Listing 1).
+const listing1 = `
+attribute "map";
+attribute "confidential";
+
+table Demo {
+  owner: string;
+  admin: [Administrator];
+  account_map: [Account](map);
+}
+
+table Administrator {
+  identity: string;
+  name: string;
+}
+
+table Account {
+  user_id: string;
+  organization: string(confidential);
+  asset_map: [Asset](map, confidential);
+}
+
+table Asset {
+  type: ubyte;
+  amount: ulong;
+}
+
+root_type Demo;
+`
+
+func parseListing1(t *testing.T) *Schema {
+	t.Helper()
+	s, err := ParseSchema(listing1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func demoValue() *Value {
+	asset := func(typ, amount int64) *Value {
+		return TableVal(map[string]*Value{"type": Int64(typ), "amount": Int64(amount)})
+	}
+	account := func(user, org string, assets map[string]*Value) *Value {
+		return TableVal(map[string]*Value{
+			"user_id":      Str(user),
+			"organization": Str(org),
+			"asset_map":    MapVal(assets),
+		})
+	}
+	return TableVal(map[string]*Value{
+		"owner": Str("ant-chain"),
+		"admin": VecVal(
+			TableVal(map[string]*Value{"identity": Str("id-1"), "name": Str("alice")}),
+			TableVal(map[string]*Value{"identity": Str("id-2"), "name": Str("bob")}),
+		),
+		"account_map": MapVal(map[string]*Value{
+			"alice": account("alice", "bank-A", map[string]*Value{
+				"AR":   asset(1, 1000),
+				"bond": asset(2, 250),
+			}),
+			"bob": account("bob", "bank-B", map[string]*Value{
+				"AR": asset(1, 40),
+			}),
+		}),
+	})
+}
+
+func testCipher() *AEADCipher {
+	key, err := ccrypto.RandomKey()
+	if err != nil {
+		panic(err)
+	}
+	return &AEADCipher{Key: key, Context: []byte("contract:0xabc|owner:0xdef|secver:1")}
+}
+
+func TestParseListing1(t *testing.T) {
+	s := parseListing1(t)
+	if s.Root != "Demo" {
+		t.Errorf("root = %q", s.Root)
+	}
+	if len(s.Tables) != 4 {
+		t.Errorf("tables = %d, want 4", len(s.Tables))
+	}
+	acct := s.Tables["Account"]
+	if !acct.Field("organization").Confidential {
+		t.Error("organization should be confidential")
+	}
+	am := acct.Field("asset_map")
+	if !am.Confidential || !am.IsMap || am.TableRef != "Asset" {
+		t.Errorf("asset_map flags wrong: %+v", am)
+	}
+	if s.Tables["Demo"].Field("owner").Confidential {
+		t.Error("owner should be public")
+	}
+	paths := s.ConfidentialPaths()
+	want := "Account.organization,Account.asset_map"
+	if strings.Join(paths, ",") != want {
+		t.Errorf("confidential paths = %v", paths)
+	}
+}
+
+func TestParseSchemaErrors(t *testing.T) {
+	cases := map[string]string{
+		"no root":          `attribute "map"; table T { a: int; }`,
+		"unknown root":     `table T { a: int; } root_type X;`,
+		"unknown table":    `table T { a: Missing; } root_type T;`,
+		"undeclared attr":  `table T { a: int(confidential); } root_type T;`,
+		"map on scalar":    `attribute "map"; table T { a: int(map); } root_type T;`,
+		"dup table":        `table T { a: int; } table T { b: int; } root_type T;`,
+		"dup field":        `table T { a: int; a: int; } root_type T;`,
+		"double root":      `table T { a: int; } root_type T; root_type T;`,
+		"garbage":          `zattribute;`,
+		"unterminated str": `attribute "map`,
+	}
+	for name, src := range cases {
+		if _, err := ParseSchema(src); err == nil {
+			t.Errorf("%s: ParseSchema should fail", name)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTripWithKeys(t *testing.T) {
+	s := parseListing1(t)
+	cipher := testCipher()
+	v := demoValue()
+	wire, err := Encode(s, v, cipher)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(s, wire, cipher)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(v, back) {
+		t.Fatalf("round trip mismatch:\n in:  %s\n out: %s", v, back)
+	}
+}
+
+func TestAuditorViewRedactsOnlyConfidential(t *testing.T) {
+	s := parseListing1(t)
+	cipher := testCipher()
+	wire, err := Encode(s, demoValue(), cipher)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decode WITHOUT the cipher: the third-party-audit path.
+	public, err := Decode(s, wire, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(public.Fields["owner"].Str) != "ant-chain" {
+		t.Error("public owner unreadable")
+	}
+	if len(public.Fields["admin"].Vec) != 2 {
+		t.Error("public admin list unreadable")
+	}
+	alice := public.Fields["account_map"].Map["alice"]
+	if string(alice.Fields["user_id"].Str) != "alice" {
+		t.Error("public user_id unreadable")
+	}
+	if alice.Fields["organization"].Kind != ValRedacted {
+		t.Error("organization leaked to auditor")
+	}
+	if alice.Fields["asset_map"].Kind != ValRedacted {
+		t.Error("asset_map leaked to auditor")
+	}
+}
+
+func TestWrongKeyFailsOnlyConfidential(t *testing.T) {
+	s := parseListing1(t)
+	wire, err := Encode(s, demoValue(), testCipher())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(s, wire, testCipher()); err == nil {
+		t.Error("decoding confidential fields with the wrong key should fail")
+	}
+}
+
+func TestAADBindsSchemaPath(t *testing.T) {
+	// Two contexts (e.g. two contracts) must not be able to decrypt each
+	// other's field ciphertexts even under the same k_states.
+	s := parseListing1(t)
+	key, _ := ccrypto.RandomKey()
+	c1 := &AEADCipher{Key: key, Context: []byte("contract-A")}
+	c2 := &AEADCipher{Key: key, Context: []byte("contract-B")}
+	wire, err := Encode(s, demoValue(), c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(s, wire, c2); err == nil {
+		t.Error("cross-contract context decrypted")
+	}
+}
+
+func TestEncodeRequiresCipherForConfidential(t *testing.T) {
+	s := parseListing1(t)
+	if _, err := Encode(s, demoValue(), nil); err == nil {
+		t.Error("encoding confidential fields without a cipher should fail")
+	}
+	// A fully public schema needs no cipher.
+	pub, err := ParseSchema(`table P { a: int; b: string; } root_type P;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := TableVal(map[string]*Value{"a": Int64(7), "b": Str("x")})
+	wire, err := Encode(pub, v, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(pub, wire, nil)
+	if err != nil || !Equal(v, back) {
+		t.Errorf("public round trip failed: %v", err)
+	}
+}
+
+func TestMissingFieldsAreOmitted(t *testing.T) {
+	s := parseListing1(t)
+	cipher := testCipher()
+	v := TableVal(map[string]*Value{"owner": Str("only-owner")})
+	wire, err := Encode(s, v, cipher)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(s, wire, cipher)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Fields) != 1 {
+		t.Errorf("decoded %d fields, want 1", len(back.Fields))
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	s := parseListing1(t)
+	cipher := testCipher()
+	wire, _ := Encode(s, demoValue(), cipher)
+	for _, mutate := range []func([]byte) []byte{
+		func(b []byte) []byte { return b[:len(b)/2] },           // truncate
+		func(b []byte) []byte { b[len(b)-1] ^= 0xff; return b }, // flip tail
+		func(b []byte) []byte { return append(b, 0x01) },        // trailing
+	} {
+		mutated := mutate(append([]byte(nil), wire...))
+		if _, err := Decode(s, mutated, cipher); err == nil {
+			t.Error("corrupted encoding decoded successfully")
+		}
+	}
+}
+
+func TestTypeMismatchErrors(t *testing.T) {
+	s := parseListing1(t)
+	cipher := testCipher()
+	bad := TableVal(map[string]*Value{"owner": Int64(5)}) // string field, int value
+	if _, err := Encode(s, bad, cipher); err == nil {
+		t.Error("type mismatch should fail encode")
+	}
+	badMap := TableVal(map[string]*Value{"account_map": Str("not-a-map")})
+	if _, err := Encode(s, badMap, cipher); err == nil {
+		t.Error("map mismatch should fail encode")
+	}
+}
+
+func TestScalarRoundTripProperty(t *testing.T) {
+	s, err := ParseSchema(`
+attribute "confidential";
+table P { a: long; b: string; c: long(confidential); }
+root_type P;`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cipher := testCipher()
+	f := func(a, c int64, b []byte) bool {
+		v := TableVal(map[string]*Value{"a": Int64(a), "b": StrBytes(b), "c": Int64(c)})
+		wire, err := Encode(s, v, cipher)
+		if err != nil {
+			return false
+		}
+		back, err := Decode(s, wire, cipher)
+		return err == nil && Equal(v, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodingDeterministic(t *testing.T) {
+	// Map iteration order must not leak into the wire bytes (consensus
+	// requires every node to produce identical state).
+	s := parseListing1(t)
+	key, _ := ccrypto.RandomKey()
+	// Deterministic cipher stub for this test (real GCM uses random
+	// nonces; determinism matters for the plaintext layout only).
+	v := demoValue()
+	w1, err := Encode(s, v, &AEADCipher{Key: key})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare public prefixes across encodings: strip the sealed parts by
+	// decoding both without keys and comparing the public views.
+	w2, _ := Encode(s, v, &AEADCipher{Key: key})
+	p1, err := Decode(s, w1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Decode(s, w2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(p1, p2) {
+		t.Error("public view differs between encodings")
+	}
+}
+
+func TestEncodedSizeByVisibility(t *testing.T) {
+	s := parseListing1(t)
+	pub, conf, err := EncodedSizeByVisibility(s, demoValue())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pub == 0 || conf != 0 {
+		// Top level of Demo has no confidential fields; Account-level
+		// encryption hides inside account_map (public at the top).
+		t.Logf("public=%d confidential=%d", pub, conf)
+	}
+	// A schema with a top-level confidential field must report sealed
+	// bytes including AEAD overhead.
+	s2, _ := ParseSchema(`
+attribute "confidential";
+table T { secret: string(confidential); open: string; }
+root_type T;`)
+	v2 := TableVal(map[string]*Value{"secret": Str("sssss"), "open": Str("ooooo")})
+	pub2, conf2, err := EncodedSizeByVisibility(s2, v2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pub2 != 5 {
+		t.Errorf("public bytes = %d, want 5", pub2)
+	}
+	if conf2 != 5+ccrypto.AEADOverhead {
+		t.Errorf("confidential bytes = %d, want %d", conf2, 5+ccrypto.AEADOverhead)
+	}
+}
+
+func TestSchemaStringRoundTrips(t *testing.T) {
+	s := parseListing1(t)
+	reparsed, err := ParseSchema(s.String())
+	if err != nil {
+		t.Fatalf("normalized schema does not reparse: %v\n%s", err, s.String())
+	}
+	if len(reparsed.Tables) != len(s.Tables) || reparsed.Root != s.Root {
+		t.Error("schema structure changed across String round trip")
+	}
+}
+
+func TestGenerateGoCompilesShape(t *testing.T) {
+	s := parseListing1(t)
+	src := GenerateGo(s, "demo")
+	for _, want := range []string{
+		"type Demo struct", "type Account struct", "type Asset struct",
+		"Organization string // confidential",
+		"AssetMap map[string]*Asset // confidential",
+		"func (x *Demo) ToValue()", "func DemoFromValue(",
+		"UserId string",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("generated code missing %q", want)
+		}
+	}
+}

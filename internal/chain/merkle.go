@@ -1,0 +1,108 @@
+package chain
+
+import "crypto/sha256"
+
+// MerkleRoot computes a binary Merkle root over leaf hashes. Interior nodes
+// are SHA-256(0x01 || left || right); leaves are re-hashed as
+// SHA-256(0x00 || leaf) to domain-separate levels. Odd nodes are promoted
+// unpaired (no duplication, immune to CVE-2012-2459-style mutation).
+// An empty set commits to the zero hash.
+func MerkleRoot(leaves []Hash) Hash {
+	if len(leaves) == 0 {
+		return Hash{}
+	}
+	level := make([]Hash, len(leaves))
+	for i, l := range leaves {
+		level[i] = hashLeaf(l)
+	}
+	for len(level) > 1 {
+		next := make([]Hash, 0, (len(level)+1)/2)
+		for i := 0; i < len(level); i += 2 {
+			if i+1 < len(level) {
+				next = append(next, hashInterior(level[i], level[i+1]))
+			} else {
+				next = append(next, level[i])
+			}
+		}
+		level = next
+	}
+	return level[0]
+}
+
+func hashLeaf(l Hash) Hash {
+	h := sha256.New()
+	h.Write([]byte{0x00})
+	h.Write(l[:])
+	var out Hash
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+func hashInterior(a, b Hash) Hash {
+	h := sha256.New()
+	h.Write([]byte{0x01})
+	h.Write(a[:])
+	h.Write(b[:])
+	var out Hash
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// MerkleProofStep is one sibling on the path from a leaf to the root.
+type MerkleProofStep struct {
+	Sibling Hash
+	// Right is true when the sibling sits to the right of the running hash.
+	Right bool
+}
+
+// MerkleProof builds an inclusion proof for leaves[index]. It returns nil
+// when the index is out of range.
+func MerkleProof(leaves []Hash, index int) []MerkleProofStep {
+	if index < 0 || index >= len(leaves) {
+		return nil
+	}
+	level := make([]Hash, len(leaves))
+	for i, l := range leaves {
+		level[i] = hashLeaf(l)
+	}
+	proof := []MerkleProofStep{}
+	pos := index
+	for len(level) > 1 {
+		next := make([]Hash, 0, (len(level)+1)/2)
+		for i := 0; i < len(level); i += 2 {
+			if i+1 < len(level) {
+				if i == pos || i+1 == pos {
+					if i == pos {
+						proof = append(proof, MerkleProofStep{Sibling: level[i+1], Right: true})
+					} else {
+						proof = append(proof, MerkleProofStep{Sibling: level[i], Right: false})
+					}
+					pos = len(next)
+				}
+				next = append(next, hashInterior(level[i], level[i+1]))
+			} else {
+				if i == pos {
+					pos = len(next)
+				}
+				next = append(next, level[i])
+			}
+		}
+		level = next
+	}
+	return proof
+}
+
+// VerifyMerkleProof checks that leaf is committed under root via proof. This
+// is the SPV-style consensus read the paper prescribes for querying data
+// from a potentially malicious single node.
+func VerifyMerkleProof(root Hash, leaf Hash, proof []MerkleProofStep) bool {
+	acc := hashLeaf(leaf)
+	for _, step := range proof {
+		if step.Right {
+			acc = hashInterior(acc, step.Sibling)
+		} else {
+			acc = hashInterior(step.Sibling, acc)
+		}
+	}
+	return acc == root
+}

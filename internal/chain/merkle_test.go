@@ -1,0 +1,95 @@
+package chain
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func leaves(n int) []Hash {
+	out := make([]Hash, n)
+	for i := range out {
+		out[i] = sha256.Sum256([]byte(fmt.Sprintf("leaf-%d", i)))
+	}
+	return out
+}
+
+func TestMerkleRootEmptyAndSingle(t *testing.T) {
+	if MerkleRoot(nil) != (Hash{}) {
+		t.Error("empty set should commit to zero hash")
+	}
+	ls := leaves(1)
+	if MerkleRoot(ls) == ls[0] {
+		t.Error("single leaf must still be domain-separated from its root")
+	}
+	if MerkleRoot(ls) == (Hash{}) {
+		t.Error("single-leaf root must be non-zero")
+	}
+}
+
+func TestMerkleRootOrderSensitive(t *testing.T) {
+	ls := leaves(4)
+	swapped := []Hash{ls[1], ls[0], ls[2], ls[3]}
+	if MerkleRoot(ls) == MerkleRoot(swapped) {
+		t.Error("root must depend on leaf order")
+	}
+}
+
+func TestMerkleOddCountNoMutation(t *testing.T) {
+	// With promote-unpaired semantics, [a b c] must differ from [a b c c]
+	// (the classic duplication attack).
+	ls := leaves(3)
+	dup := append(append([]Hash{}, ls...), ls[2])
+	if MerkleRoot(ls) == MerkleRoot(dup) {
+		t.Error("duplication mutation produced the same root")
+	}
+}
+
+func TestMerkleProofAllIndices(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 16, 33} {
+		ls := leaves(n)
+		root := MerkleRoot(ls)
+		for i := 0; i < n; i++ {
+			proof := MerkleProof(ls, i)
+			if !VerifyMerkleProof(root, ls[i], proof) {
+				t.Errorf("n=%d i=%d: valid proof rejected", n, i)
+			}
+			// Wrong leaf must fail.
+			var wrong Hash
+			wrong[0] = 0xff
+			if VerifyMerkleProof(root, wrong, proof) {
+				t.Errorf("n=%d i=%d: wrong leaf accepted", n, i)
+			}
+		}
+	}
+}
+
+func TestMerkleProofOutOfRange(t *testing.T) {
+	ls := leaves(4)
+	if MerkleProof(ls, -1) != nil || MerkleProof(ls, 4) != nil {
+		t.Error("out-of-range proof should be nil")
+	}
+}
+
+func TestMerkleProofTamperedStepFails(t *testing.T) {
+	ls := leaves(8)
+	root := MerkleRoot(ls)
+	proof := MerkleProof(ls, 3)
+	proof[1].Sibling[0] ^= 1
+	if VerifyMerkleProof(root, ls[3], proof) {
+		t.Error("tampered proof accepted")
+	}
+}
+
+func TestMerkleProofProperty(t *testing.T) {
+	f := func(seed uint8, idx uint8) bool {
+		n := int(seed)%20 + 1
+		ls := leaves(n)
+		i := int(idx) % n
+		return VerifyMerkleProof(MerkleRoot(ls), ls[i], MerkleProof(ls, i))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,86 @@
+package chain
+
+import (
+	"errors"
+	"sync"
+)
+
+// TxPool is a bounded FIFO transaction pool with hash de-duplication. The
+// pre-verification pipeline (Figure 7) uses two of them: transactions arrive
+// in the un-verified pool, and pre-verification moves valid ones into the
+// verified pool that consensus drains.
+type TxPool struct {
+	mu    sync.Mutex
+	queue []*Tx
+	seen  map[Hash]struct{}
+	cap   int
+}
+
+// ErrPoolFull is returned when the pool is at capacity.
+var ErrPoolFull = errors.New("chain: transaction pool full")
+
+// ErrDuplicateTx is returned when a transaction is already pooled.
+var ErrDuplicateTx = errors.New("chain: duplicate transaction")
+
+// NewTxPool creates a pool bounded at capacity transactions.
+func NewTxPool(capacity int) *TxPool {
+	return &TxPool{seen: make(map[Hash]struct{}), cap: capacity}
+}
+
+// Add enqueues tx, rejecting duplicates and overflow.
+func (p *TxPool) Add(tx *Tx) error {
+	h := tx.Hash()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.queue) >= p.cap {
+		return ErrPoolFull
+	}
+	if _, dup := p.seen[h]; dup {
+		return ErrDuplicateTx
+	}
+	p.seen[h] = struct{}{}
+	p.queue = append(p.queue, tx)
+	return nil
+}
+
+// PopBatch dequeues up to max transactions in arrival order.
+func (p *TxPool) PopBatch(max int) []*Tx {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := max
+	if n > len(p.queue) {
+		n = len(p.queue)
+	}
+	batch := p.queue[:n]
+	p.queue = append([]*Tx(nil), p.queue[n:]...)
+	for _, tx := range batch {
+		delete(p.seen, tx.Hash())
+	}
+	return batch
+}
+
+// Remove drops a transaction by hash (used when a block commits a
+// transaction this node never proposed itself). It reports whether the
+// transaction was present.
+func (p *TxPool) Remove(h Hash) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.seen[h]; !ok {
+		return false
+	}
+	delete(p.seen, h)
+	for i, tx := range p.queue {
+		if tx.Hash() == h {
+			p.queue = append(p.queue[:i], p.queue[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Len reports the number of pooled transactions.
+func (p *TxPool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue)
+}

@@ -1,0 +1,82 @@
+package chain
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func poolTx(i int) *Tx {
+	return &Tx{Type: TxTypePublic, Payload: []byte(fmt.Sprintf("tx-%d", i))}
+}
+
+func TestTxPoolFIFO(t *testing.T) {
+	p := NewTxPool(10)
+	for i := 0; i < 5; i++ {
+		if err := p.Add(poolTx(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	batch := p.PopBatch(3)
+	if len(batch) != 3 || string(batch[0].Payload) != "tx-0" || string(batch[2].Payload) != "tx-2" {
+		t.Errorf("batch order wrong: %v", batch)
+	}
+	if p.Len() != 2 {
+		t.Errorf("len = %d, want 2", p.Len())
+	}
+	if rest := p.PopBatch(100); len(rest) != 2 {
+		t.Errorf("second batch = %d txs, want 2", len(rest))
+	}
+}
+
+func TestTxPoolDuplicateRejected(t *testing.T) {
+	p := NewTxPool(10)
+	tx := poolTx(1)
+	if err := p.Add(tx); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Add(tx); !errors.Is(err, ErrDuplicateTx) {
+		t.Errorf("err = %v, want ErrDuplicateTx", err)
+	}
+	// After popping, the same tx may be re-added (e.g. re-broadcast).
+	p.PopBatch(1)
+	if err := p.Add(tx); err != nil {
+		t.Errorf("re-add after pop: %v", err)
+	}
+}
+
+func TestTxPoolCapacity(t *testing.T) {
+	p := NewTxPool(2)
+	p.Add(poolTx(0))
+	p.Add(poolTx(1))
+	if err := p.Add(poolTx(2)); !errors.Is(err, ErrPoolFull) {
+		t.Errorf("err = %v, want ErrPoolFull", err)
+	}
+}
+
+func TestTxPoolConcurrent(t *testing.T) {
+	p := NewTxPool(10_000)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				p.Add(poolTx(w*1000 + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	for {
+		b := p.PopBatch(64)
+		if len(b) == 0 {
+			break
+		}
+		total += len(b)
+	}
+	if total != 800 {
+		t.Errorf("drained %d, want 800", total)
+	}
+}

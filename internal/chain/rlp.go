@@ -1,0 +1,204 @@
+// Package chain defines the consortium blockchain's core data types —
+// transactions (public and confidential), blocks, receipts — together with
+// the RLP canonical encoding they serialize with, Merkle commitments over
+// them, and the two-stage transaction pools (un-verified / verified) used by
+// the pre-verification pipeline.
+package chain
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Item is an RLP value: either a byte string or a list of Items. RLP
+// (Recursive Length Prefix) is the light serialization protocol blockchains
+// use for canonical, hash-stable encodings; the paper cites it as the
+// serialization crossing the enclave boundary.
+type Item struct {
+	Str    []byte
+	List   []Item
+	IsList bool
+}
+
+// Bytes makes a string Item.
+func Bytes(b []byte) Item { return Item{Str: b} }
+
+// String makes a string Item from a Go string.
+func String(s string) Item { return Item{Str: []byte(s)} }
+
+// Uint encodes n as a big-endian string Item with no leading zeros (the RLP
+// canonical integer form).
+func Uint(n uint64) Item {
+	if n == 0 {
+		return Item{Str: []byte{}}
+	}
+	var buf [8]byte
+	i := 8
+	for n > 0 {
+		i--
+		buf[i] = byte(n)
+		n >>= 8
+	}
+	return Item{Str: append([]byte(nil), buf[i:]...)}
+}
+
+// List makes a list Item.
+func List(items ...Item) Item { return Item{List: items, IsList: true} }
+
+// AsUint decodes a canonical RLP integer.
+func (it Item) AsUint() (uint64, error) {
+	if it.IsList {
+		return 0, errors.New("rlp: expected string, got list")
+	}
+	if len(it.Str) > 8 {
+		return 0, errors.New("rlp: integer overflows uint64")
+	}
+	if len(it.Str) > 0 && it.Str[0] == 0 {
+		return 0, errors.New("rlp: integer has leading zero")
+	}
+	var n uint64
+	for _, b := range it.Str {
+		n = n<<8 | uint64(b)
+	}
+	return n, nil
+}
+
+// Encode serializes an Item to canonical RLP.
+func Encode(it Item) []byte {
+	return appendItem(nil, it)
+}
+
+func appendItem(dst []byte, it Item) []byte {
+	if !it.IsList {
+		s := it.Str
+		if len(s) == 1 && s[0] < 0x80 {
+			return append(dst, s[0])
+		}
+		dst = appendLength(dst, len(s), 0x80)
+		return append(dst, s...)
+	}
+	var payload []byte
+	for _, sub := range it.List {
+		payload = appendItem(payload, sub)
+	}
+	dst = appendLength(dst, len(payload), 0xc0)
+	return append(dst, payload...)
+}
+
+func appendLength(dst []byte, n int, base byte) []byte {
+	if n <= 55 {
+		return append(dst, base+byte(n))
+	}
+	var lenBytes []byte
+	for m := n; m > 0; m >>= 8 {
+		lenBytes = append([]byte{byte(m)}, lenBytes...)
+	}
+	dst = append(dst, base+55+byte(len(lenBytes)))
+	return append(dst, lenBytes...)
+}
+
+// ErrRLP is the base decoding error.
+var ErrRLP = errors.New("rlp: malformed input")
+
+// Decode parses a single RLP item, requiring the input to be fully consumed.
+func Decode(data []byte) (Item, error) {
+	it, rest, err := decodeItem(data)
+	if err != nil {
+		return Item{}, err
+	}
+	if len(rest) != 0 {
+		return Item{}, fmt.Errorf("%w: %d trailing bytes", ErrRLP, len(rest))
+	}
+	return it, nil
+}
+
+func decodeItem(data []byte) (Item, []byte, error) {
+	if len(data) == 0 {
+		return Item{}, nil, fmt.Errorf("%w: empty input", ErrRLP)
+	}
+	b := data[0]
+	switch {
+	case b < 0x80:
+		return Item{Str: []byte{b}}, data[1:], nil
+	case b <= 0xb7:
+		n := int(b - 0x80)
+		if len(data) < 1+n {
+			return Item{}, nil, fmt.Errorf("%w: short string", ErrRLP)
+		}
+		s := data[1 : 1+n]
+		if n == 1 && s[0] < 0x80 {
+			return Item{}, nil, fmt.Errorf("%w: non-canonical single byte", ErrRLP)
+		}
+		return Item{Str: append([]byte(nil), s...)}, data[1+n:], nil
+	case b <= 0xbf:
+		lenLen := int(b - 0xb7)
+		n, rest, err := readLength(data[1:], lenLen)
+		if err != nil {
+			return Item{}, nil, err
+		}
+		if n <= 55 {
+			return Item{}, nil, fmt.Errorf("%w: non-canonical long string", ErrRLP)
+		}
+		if len(rest) < n {
+			return Item{}, nil, fmt.Errorf("%w: short long-string", ErrRLP)
+		}
+		return Item{Str: append([]byte(nil), rest[:n]...)}, rest[n:], nil
+	case b <= 0xf7:
+		n := int(b - 0xc0)
+		if len(data) < 1+n {
+			return Item{}, nil, fmt.Errorf("%w: short list", ErrRLP)
+		}
+		list, err := decodeList(data[1 : 1+n])
+		if err != nil {
+			return Item{}, nil, err
+		}
+		return Item{List: list, IsList: true}, data[1+n:], nil
+	default:
+		lenLen := int(b - 0xf7)
+		n, rest, err := readLength(data[1:], lenLen)
+		if err != nil {
+			return Item{}, nil, err
+		}
+		if n <= 55 {
+			return Item{}, nil, fmt.Errorf("%w: non-canonical long list", ErrRLP)
+		}
+		if len(rest) < n {
+			return Item{}, nil, fmt.Errorf("%w: short long-list", ErrRLP)
+		}
+		list, err := decodeList(rest[:n])
+		if err != nil {
+			return Item{}, nil, err
+		}
+		return Item{List: list, IsList: true}, rest[n:], nil
+	}
+}
+
+func readLength(data []byte, lenLen int) (int, []byte, error) {
+	if lenLen > 8 || len(data) < lenLen {
+		return 0, nil, fmt.Errorf("%w: bad length-of-length", ErrRLP)
+	}
+	if lenLen > 0 && data[0] == 0 {
+		return 0, nil, fmt.Errorf("%w: length has leading zero", ErrRLP)
+	}
+	n := 0
+	for i := 0; i < lenLen; i++ {
+		if n > (1<<31)/256 {
+			return 0, nil, fmt.Errorf("%w: length overflow", ErrRLP)
+		}
+		n = n<<8 | int(data[i])
+	}
+	return n, data[lenLen:], nil
+}
+
+func decodeList(payload []byte) ([]Item, error) {
+	var items []Item
+	for len(payload) > 0 {
+		it, rest, err := decodeItem(payload)
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, it)
+		payload = rest
+	}
+	return items, nil
+}

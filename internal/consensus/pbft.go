@@ -1,0 +1,431 @@
+// Package consensus implements the ordering phase of the platform: a
+// PBFT-style three-phase protocol (pre-prepare / prepare / commit) over the
+// simulated p2p network. Public and confidential transactions are ordered
+// together here — ordering never needs to see inside an envelope, which is
+// what lets CONFIDE stay loosely coupled to the platform.
+//
+// The implementation targets the paper's evaluation envelope: a fixed
+// replica set, tolerance of f = (n-1)/3 fail-stop replicas, and pipelined
+// block proposals. View change implements leader crash-failover: when 2f+1
+// replicas vote for a higher view, everyone adopts it and the round-robin
+// successor leads. In-flight (uncommitted) instances are abandoned on the
+// view switch — their transactions remain in the nodes' pools and the new
+// leader re-proposes them — which covers the operational leader-crash case
+// between blocks; full Byzantine mid-instance recovery (prepared-
+// certificate transfer) is out of scope, as the paper's evaluation is
+// fault-free.
+package consensus
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"confide/internal/chain"
+	"confide/internal/p2p"
+)
+
+// Topics used on the wire.
+const (
+	topicPrePrepare = "pbft/pre-prepare"
+	topicPrepare    = "pbft/prepare"
+	topicCommit     = "pbft/commit"
+	topicViewChange = "pbft/view-change"
+)
+
+// CommitFn is called exactly once per sequence number, in order, with the
+// committed payload.
+type CommitFn func(seq uint64, payload []byte)
+
+// Replica is one PBFT participant.
+type Replica struct {
+	id       p2p.NodeID
+	n        int
+	f        int
+	endpoint *p2p.Endpoint
+	onCommit CommitFn
+
+	mu        sync.Mutex
+	view      uint64
+	nextSeq   uint64 // next sequence the leader may propose
+	delivered uint64 // next sequence to deliver
+	instances map[uint64]*instance
+	pending   map[uint64][]byte // committed out of order, awaiting delivery
+	// viewVotes[v] holds the replicas that voted to move to view v.
+	viewVotes map[uint64]map[p2p.NodeID]struct{}
+	votedFor  uint64 // highest view this replica has voted for
+	closed    bool
+}
+
+// instance tracks one sequence number's progress.
+type instance struct {
+	digest     [32]byte
+	payload    []byte
+	havePre    bool
+	prepares   map[p2p.NodeID][32]byte
+	commits    map[p2p.NodeID][32]byte
+	sentCommit bool
+	committed  bool
+	// earlyPrepares / earlyCommits buffer votes that arrive before the
+	// pre-prepare (the network reorders freely).
+}
+
+// ErrNotLeader is returned when a non-leader proposes.
+var ErrNotLeader = errors.New("consensus: not the leader for this view")
+
+// ErrClosed is returned after Close.
+var ErrClosed = errors.New("consensus: replica closed")
+
+// NewReplica wires a replica to its endpoint. n is the total replica count;
+// ids must be 0..n-1. onCommit receives committed payloads in sequence
+// order.
+func NewReplica(endpoint *p2p.Endpoint, n int, onCommit CommitFn) *Replica {
+	r := &Replica{
+		id:        endpoint.ID(),
+		n:         n,
+		f:         (n - 1) / 3,
+		endpoint:  endpoint,
+		onCommit:  onCommit,
+		instances: make(map[uint64]*instance),
+		pending:   make(map[uint64][]byte),
+		viewVotes: make(map[uint64]map[p2p.NodeID]struct{}),
+	}
+	endpoint.Subscribe(topicPrePrepare, r.onPrePrepare)
+	endpoint.Subscribe(topicPrepare, r.onPrepare)
+	endpoint.Subscribe(topicCommit, r.onCommit3)
+	endpoint.Subscribe(topicViewChange, r.onViewChange)
+	return r
+}
+
+// View returns the current view number.
+func (r *Replica) View() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.view
+}
+
+// RequestViewChange votes to replace the current leader (e.g. after a
+// proposal timeout). The view switches once 2f+1 replicas vote.
+func (r *Replica) RequestViewChange() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	target := r.view + 1
+	if r.votedFor >= target {
+		r.mu.Unlock()
+		return
+	}
+	r.votedFor = target
+	r.recordViewVote(target, r.id)
+	r.mu.Unlock()
+	r.endpoint.Broadcast(topicViewChange, encodeMsg(target, 0, make([]byte, 32), nil))
+	r.mu.Lock()
+	r.maybeSwitchView(target)
+	r.mu.Unlock()
+}
+
+func (r *Replica) onViewChange(m p2p.Message) {
+	target, _, _, _, err := decodeMsg(m.Data)
+	if err != nil {
+		return
+	}
+	r.mu.Lock()
+	if r.closed || target <= r.view {
+		r.mu.Unlock()
+		return
+	}
+	r.recordViewVote(target, m.From)
+	// Join the view change once f+1 others ask for it (standard liveness
+	// amplification), so one slow timer does not stall the switch.
+	join := len(r.viewVotes[target]) >= r.f+1 && r.votedFor < target
+	if join {
+		r.votedFor = target
+		r.recordViewVote(target, r.id)
+	}
+	r.mu.Unlock()
+	if join {
+		r.endpoint.Broadcast(topicViewChange, encodeMsg(target, 0, make([]byte, 32), nil))
+	}
+	r.mu.Lock()
+	r.maybeSwitchView(target)
+	r.mu.Unlock()
+}
+
+// recordViewVote tallies a vote. Caller holds r.mu.
+func (r *Replica) recordViewVote(target uint64, from p2p.NodeID) {
+	votes := r.viewVotes[target]
+	if votes == nil {
+		votes = make(map[p2p.NodeID]struct{})
+		r.viewVotes[target] = votes
+	}
+	votes[from] = struct{}{}
+}
+
+// maybeSwitchView adopts the target view on a 2f+1 quorum, abandoning
+// in-flight instances (their payloads remain in the application's pools).
+// Caller holds r.mu.
+func (r *Replica) maybeSwitchView(target uint64) {
+	if target <= r.view || len(r.viewVotes[target]) < r.Quorum() {
+		return
+	}
+	r.view = target
+	r.instances = make(map[uint64]*instance)
+	r.pending = make(map[uint64][]byte)
+	r.nextSeq = r.delivered
+	delete(r.viewVotes, target)
+}
+
+// Leader returns the current view's leader id.
+func (r *Replica) Leader() p2p.NodeID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return p2p.NodeID(r.view % uint64(r.n))
+}
+
+// IsLeader reports whether this replica leads the current view.
+func (r *Replica) IsLeader() bool { return r.Leader() == r.id }
+
+// Quorum returns the vote threshold (2f+1, counting the replica itself).
+func (r *Replica) Quorum() int { return 2*r.f + 1 }
+
+// Propose starts agreement on payload and returns its sequence number.
+// Only the leader may propose; proposals pipeline (no need to wait for the
+// previous commit).
+func (r *Replica) Propose(payload []byte) (uint64, error) {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return 0, ErrClosed
+	}
+	if p2p.NodeID(r.view%uint64(r.n)) != r.id {
+		r.mu.Unlock()
+		return 0, ErrNotLeader
+	}
+	seq := r.nextSeq
+	r.nextSeq++
+	digest := sha256.Sum256(payload)
+	inst := r.getInstance(seq)
+	inst.digest = digest
+	inst.payload = append([]byte(nil), payload...)
+	inst.havePre = true
+	// The leader's own pre-prepare counts as its prepare vote.
+	inst.prepares[r.id] = digest
+	view := r.view
+	r.mu.Unlock()
+
+	msg := encodeMsg(view, seq, digest[:], payload)
+	r.endpoint.Broadcast(topicPrePrepare, msg)
+	// A single-replica network commits immediately.
+	r.mu.Lock()
+	r.maybeAdvance(seq, inst)
+	r.mu.Unlock()
+	return seq, nil
+}
+
+func (r *Replica) getInstance(seq uint64) *instance {
+	inst, ok := r.instances[seq]
+	if !ok {
+		inst = &instance{
+			prepares: make(map[p2p.NodeID][32]byte),
+			commits:  make(map[p2p.NodeID][32]byte),
+		}
+		r.instances[seq] = inst
+	}
+	return inst
+}
+
+func (r *Replica) onPrePrepare(m p2p.Message) {
+	view, seq, digest, payload, err := decodeMsg(m.Data)
+	if err != nil {
+		return
+	}
+	r.mu.Lock()
+	if r.closed || view != r.view {
+		r.mu.Unlock()
+		return
+	}
+	if m.From != p2p.NodeID(view%uint64(r.n)) {
+		r.mu.Unlock()
+		return // only the leader may pre-prepare
+	}
+	if sha256.Sum256(payload) != digest {
+		r.mu.Unlock()
+		return // digest mismatch: discard
+	}
+	inst := r.getInstance(seq)
+	if inst.havePre {
+		r.mu.Unlock()
+		return // duplicate
+	}
+	inst.havePre = true
+	inst.digest = digest
+	inst.payload = append([]byte(nil), payload...)
+	// The leader's pre-prepare doubles as its prepare vote, and this
+	// replica's prepare broadcast counts for itself.
+	inst.prepares[m.From] = digest
+	inst.prepares[r.id] = digest
+	if seq >= r.nextSeq {
+		r.nextSeq = seq + 1
+	}
+	r.mu.Unlock()
+
+	r.endpoint.Broadcast(topicPrepare, encodeMsg(view, seq, digest[:], nil))
+	r.mu.Lock()
+	r.maybeAdvance(seq, inst)
+	r.mu.Unlock()
+}
+
+func (r *Replica) onPrepare(m p2p.Message) {
+	view, seq, digest, _, err := decodeMsg(m.Data)
+	if err != nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed || view != r.view {
+		return
+	}
+	inst := r.getInstance(seq)
+	inst.prepares[m.From] = digest
+	r.maybeAdvance(seq, inst)
+}
+
+func (r *Replica) onCommit3(m p2p.Message) {
+	view, seq, digest, _, err := decodeMsg(m.Data)
+	if err != nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed || view != r.view {
+		return
+	}
+	inst := r.getInstance(seq)
+	inst.commits[m.From] = digest
+	r.maybeAdvance(seq, inst)
+}
+
+// maybeAdvance moves an instance through prepared → committed → delivered.
+// Caller holds r.mu.
+func (r *Replica) maybeAdvance(seq uint64, inst *instance) {
+	if !inst.havePre {
+		return
+	}
+	// Count matching prepare votes.
+	if !inst.sentCommit && r.countMatching(inst.prepares, inst.digest) >= r.Quorum() {
+		inst.sentCommit = true
+		inst.commits[r.id] = inst.digest
+		view := r.view
+		digest := inst.digest
+		// Broadcast outside the lock.
+		r.mu.Unlock()
+		r.endpoint.Broadcast(topicCommit, encodeMsg(view, seq, digest[:], nil))
+		r.mu.Lock()
+	}
+	if !inst.committed && inst.sentCommit && r.countMatching(inst.commits, inst.digest) >= r.Quorum() {
+		inst.committed = true
+		r.pending[seq] = inst.payload
+		r.deliverReady()
+	}
+	// Single-node special case: quorum of 1 is satisfied instantly.
+	if r.n == 1 && !inst.committed {
+		inst.committed = true
+		r.pending[seq] = inst.payload
+		r.deliverReady()
+	}
+}
+
+func (r *Replica) countMatching(votes map[p2p.NodeID][32]byte, digest [32]byte) int {
+	count := 0
+	for _, d := range votes {
+		if d == digest {
+			count++
+		}
+	}
+	return count
+}
+
+// deliverReady hands consecutive committed sequences to the application.
+// Caller holds r.mu.
+func (r *Replica) deliverReady() {
+	for {
+		payload, ok := r.pending[r.delivered]
+		if !ok {
+			return
+		}
+		seq := r.delivered
+		delete(r.pending, seq)
+		delete(r.instances, seq)
+		r.delivered++
+		cb := r.onCommit
+		r.mu.Unlock()
+		if cb != nil {
+			cb(seq, payload)
+		}
+		r.mu.Lock()
+	}
+}
+
+// Delivered reports how many sequences have been handed to the application.
+func (r *Replica) Delivered() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.delivered
+}
+
+// Close stops processing.
+func (r *Replica) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.closed = true
+}
+
+// WaitDelivered blocks until the replica has delivered at least target
+// sequences or the timeout elapses.
+func (r *Replica) WaitDelivered(target uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if r.Delivered() >= target {
+			return nil
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	return fmt.Errorf("consensus: timeout waiting for %d deliveries (have %d)", target, r.Delivered())
+}
+
+// Message layout: view(8) seq(8) digest(32) payload(rest), via chain RLP for
+// canonical framing.
+func encodeMsg(view, seq uint64, digest, payload []byte) []byte {
+	return chain.Encode(chain.List(
+		chain.Uint(view),
+		chain.Uint(seq),
+		chain.Bytes(digest),
+		chain.Bytes(payload),
+	))
+}
+
+func decodeMsg(data []byte) (view, seq uint64, digest [32]byte, payload []byte, err error) {
+	it, err := chain.Decode(data)
+	if err != nil {
+		return 0, 0, digest, nil, err
+	}
+	if !it.IsList || len(it.List) != 4 {
+		return 0, 0, digest, nil, errors.New("consensus: malformed message")
+	}
+	if view, err = it.List[0].AsUint(); err != nil {
+		return
+	}
+	if seq, err = it.List[1].AsUint(); err != nil {
+		return
+	}
+	if len(it.List[2].Str) != 32 {
+		return 0, 0, digest, nil, errors.New("consensus: bad digest length")
+	}
+	copy(digest[:], it.List[2].Str)
+	payload = it.List[3].Str
+	return view, seq, digest, payload, nil
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"confide/internal/ccl"
+	"confide/internal/chain"
+)
+
+// Confidentiality-class isolation: a transaction executes only within
+// contracts of its own class, in both directions.
+
+const callerSrc = `
+fn u16at(p) -> int { return load8(p) + (load8(p + 1) << 8); }
+fn u32at(p) -> int {
+	return load8(p) + (load8(p+1) << 8) + (load8(p+2) << 16) + (load8(p+3) << 24);
+}
+fn invoke() {
+	let n = input_size();
+	let buf = alloc(n + 8);
+	input_read(buf, 0, n);
+	let mlen = u16at(buf);
+	let a0 = buf + 2 + mlen + 2;
+	// arg 0 is the callee address; forward a "get".
+	let in = "\x03\x00get\x00\x00";
+	let out = alloc(64);
+	let r = call(a0 + 4, in, 7, out, 64);
+	let res = alloc(8);
+	store8(res, r == 0 - 1);
+	output(res, 1);
+}
+`
+
+func TestConfidentialityClassIsolation(t *testing.T) {
+	s := newStack(t, AllOptimizations())
+	confAddr := chain.AddressFromBytes([]byte("conf-caller"))
+	pubAddr := chain.AddressFromBytes([]byte("pub-callee"))
+	mod, err := ccl.CompileCVM(callerSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.engine.DeployContract(confAddr, ownerAddr, VMCVM, mod.Encode(), true, 1); err != nil {
+		t.Fatal(err)
+	}
+	// The public callee lives in the shared store via the public engine.
+	pubMod, err := ccl.CompileCVM(counterSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.public.DeployContract(pubAddr, ownerAddr, VMCVM, pubMod.Encode(), false, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	client, _ := NewClient(s.engine.EnvelopePublicKey())
+
+	// Direct confidential call to the public contract fails.
+	direct, _, _ := client.NewConfidentialTx(pubAddr, "get")
+	res, err := s.engine.Execute(direct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Receipt.Status != chain.ReceiptFailed ||
+		!strings.Contains(string(res.Receipt.Output), "public contract") {
+		t.Fatalf("direct cross-class call: %d %q", res.Receipt.Status, res.Receipt.Output)
+	}
+
+	// Nested cross-class call fails inside the VM: call() returns -1 and
+	// the contract observes it.
+	nested, _, _ := client.NewConfidentialTx(confAddr, "relay", pubAddr[:])
+	res2, err := s.engine.Execute(nested)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Receipt.Status != chain.ReceiptOK || res2.Receipt.Output[0] != 1 {
+		t.Fatalf("nested cross-class call should surface as -1: %d %v", res2.Receipt.Status, res2.Receipt.Output)
+	}
+}

@@ -1,0 +1,490 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"confide/internal/chain"
+	"confide/internal/crypto"
+	"confide/internal/cvm"
+	"confide/internal/evm"
+	"confide/internal/kms"
+	"confide/internal/storage"
+	"confide/internal/tee"
+)
+
+// Options toggles the engine's optimizations — each maps to one bar of the
+// paper's Figure 12 ablation.
+type Options struct {
+	// CodeCache enables the decoded-program cache (OPT1).
+	CodeCache bool
+	// MemPool recycles VM linear memories through the enclave pool (OPT1).
+	MemPool bool
+	// PreVerify enables the pre-verification metadata cache (OPT3).
+	PreVerify bool
+	// Fuse enables superinstruction fusion in CONFIDE-VM (OPT4).
+	Fuse bool
+	// GasLimit per transaction; 0 = VM default.
+	GasLimit uint64
+	// CodeCacheSize bounds the code cache; 0 = 128 programs.
+	CodeCacheSize int
+}
+
+// AllOptimizations turns every engine optimization on (the production
+// configuration).
+func AllOptimizations() Options {
+	return Options{CodeCache: true, MemPool: true, PreVerify: true, Fuse: true}
+}
+
+// Engine executes smart-contract transactions. In confidential mode it is
+// the paper's Confidential-Engine: a contract-service enclave hosting the
+// pre-processor, the VMs and the SDM, driven by the secrets provisioned via
+// the K-Protocol. In public mode (no enclave, no secrets) it is the
+// platform's ordinary Public-Engine, so the two execution paths share one
+// implementation and measurements isolate exactly the cost of
+// confidentiality.
+type Engine struct {
+	confidential bool
+	enclave      *tee.Enclave
+	monitor      *tee.Monitor
+	secrets      *kms.Secrets
+	sdm          *SDM
+	codeCache    *cvm.CodeCache
+	preCache     *preVerifyCache
+	profile      *Profile
+	opts         Options
+	// hostPool recycles VM linear memories in the public engine (the paper
+	// ports the memory-management optimizations to the public engine too);
+	// the confidential engine uses the enclave's pool instead.
+	hostPool sync.Pool
+}
+
+// CSEnclaveIdentity is the contract-service enclave's code identity.
+const CSEnclaveIdentity = "confide-cs-v1"
+
+// NewConfidentialEngine builds the TEE-backed engine. The contract-service
+// enclave is created on platform; secrets normally arrive from the node's
+// KM enclave via kms.NodeKM.ProvisionCS.
+func NewConfidentialEngine(platform *tee.Platform, secrets *kms.Secrets, store storage.KVStore, enclaveCfg tee.Config, opts Options) (*Engine, error) {
+	if enclaveCfg.CodeIdentity == "" {
+		enclaveCfg.CodeIdentity = CSEnclaveIdentity
+	}
+	enclave, err := platform.CreateEnclave("cs-"+randomHex(), enclaveCfg)
+	if err != nil {
+		return nil, err
+	}
+	return NewConfidentialEngineOn(enclave, secrets, store, opts)
+}
+
+// NewConfidentialEngineOn builds the confidential engine over an existing
+// contract-service enclave — the production flow, where the CS enclave is
+// created first, receives the secrets from the KM enclave over local
+// attestation, and then hosts the engine.
+func NewConfidentialEngineOn(enclave *tee.Enclave, secrets *kms.Secrets, store storage.KVStore, opts Options) (*Engine, error) {
+	if secrets == nil {
+		return nil, errors.New("core: confidential engine requires provisioned secrets")
+	}
+	e := &Engine{
+		confidential: true,
+		enclave:      enclave,
+		monitor:      tee.NewMonitor(enclave, 1<<12),
+		secrets:      secrets,
+		profile:      NewProfile(),
+		opts:         opts,
+	}
+	e.sdm = NewSDM(store, enclave, secrets.StatesKey, e.profile)
+	e.initCaches()
+	return e, nil
+}
+
+// NewPublicEngine builds the plain engine (no TEE, no encryption).
+func NewPublicEngine(store storage.KVStore, opts Options) *Engine {
+	e := &Engine{
+		confidential: false,
+		profile:      NewProfile(),
+		opts:         opts,
+	}
+	e.sdm = NewSDM(store, nil, nil, e.profile)
+	e.initCaches()
+	return e
+}
+
+func (e *Engine) initCaches() {
+	size := e.opts.CodeCacheSize
+	if size == 0 {
+		size = 128
+	}
+	if e.opts.CodeCache {
+		e.codeCache = cvm.NewCodeCache(size)
+	}
+	if e.opts.PreVerify {
+		e.preCache = newPreVerifyCache()
+	}
+}
+
+func randomHex() string {
+	var b [6]byte
+	_, _ = crypto.RandomKey() // ensure crypto linkage; suffix below
+	for i := range b {
+		b[i] = byte(time.Now().UnixNano() >> (8 * i))
+	}
+	return fmt.Sprintf("%x", b)
+}
+
+// Profile exposes the engine's instrumentation.
+func (e *Engine) Profile() *Profile { return e.profile }
+
+// Monitor exposes the enclave's exit-less status stream (nil in public
+// mode).
+func (e *Engine) Monitor() *tee.Monitor { return e.monitor }
+
+// Enclave exposes the CS enclave for stats (nil in public mode).
+func (e *Engine) Enclave() *tee.Enclave { return e.enclave }
+
+// EnvelopePublicKey returns pk_tx for clients (confidential mode only).
+func (e *Engine) EnvelopePublicKey() []byte {
+	if e.secrets == nil {
+		return nil
+	}
+	return e.secrets.Envelope.Public()
+}
+
+// Attest produces the engine's remote-attestation report with the pk_tx
+// fingerprint locked into the report data, which is how clients defeat
+// man-in-the-middle key substitution.
+func (e *Engine) Attest() (tee.Report, error) {
+	if e.enclave == nil {
+		return tee.Report{}, errors.New("core: public engine has no enclave")
+	}
+	fp := e.secrets.Envelope.Fingerprint()
+	return e.enclave.RemoteAttest(fp[:])
+}
+
+func (e *Engine) profileSince(op string, start time.Time) {
+	e.profile.Record(op, time.Since(start))
+}
+
+// status streams an error/status line out of the enclave through the
+// exit-less monitor ring (§5.3). Messages describe engine conditions only
+// — never application data.
+func (e *Engine) status(msg string) {
+	if e.monitor != nil {
+		e.monitor.Push(msg)
+	}
+}
+
+// DeployContract installs code at an address. Confidential deployments are
+// only accepted by the confidential engine and store the code sealed under
+// k_states with the contract identity, owner and security version as
+// authenticated data.
+func (e *Engine) DeployContract(addr chain.Address, owner chain.Address, vm VMKind, code []byte, confidential bool, secver uint64) error {
+	if confidential && !e.confidential {
+		return errors.New("core: confidential contracts require the confidential engine")
+	}
+	// Validate eagerly so a bad deploy fails loudly, not at first call;
+	// stack analysis keeps provably stack-unsafe bytecode off the chain.
+	if vm == VMCVM {
+		prog, err := cvm.LoadProgram(code, cvm.BuildOptions{})
+		if err != nil {
+			return fmt.Errorf("core: deploy: %w", err)
+		}
+		if err := cvm.AnalyzeProgram(prog); err != nil {
+			return fmt.Errorf("core: deploy: %w", err)
+		}
+	}
+	rec := &ContractRecord{VM: vm, Confidential: confidential, SecVer: secver, Owner: owner}
+	return e.sdm.storeContract(addr, rec, code)
+}
+
+// ExecResult is the outcome of executing one transaction: the plaintext
+// receipt, the bytes to persist for it (sealed under k_tx when
+// confidential), the buffered state writes (sealed under k_states where
+// required), and the conflict-detection sets for the parallel scheduler.
+type ExecResult struct {
+	Receipt       *chain.Receipt
+	StoredReceipt []byte
+	TxHash        chain.Hash
+	ReadSet       map[string]struct{}
+	WriteKeys     map[string]struct{}
+	// appendWrites seals and batches the write set (invoked at commit).
+	appendWrites func(batch *storage.Batch) error
+}
+
+// AppendWrites seals the transaction's state writes into batch; the node
+// calls it at block commit, after the scheduler has ordered results.
+func (r *ExecResult) AppendWrites(batch *storage.Batch) error {
+	batch.Put(ReceiptKey(r.TxHash), r.StoredReceipt)
+	if r.appendWrites == nil {
+		return nil
+	}
+	return r.appendWrites(batch)
+}
+
+// Execute runs one wire transaction to completion (without committing state
+// — the caller owns the batch). Confidential transactions (TYPE=1) require
+// the confidential engine; public ones (TYPE=0) run on either.
+func (e *Engine) Execute(tx *chain.Tx) (*ExecResult, error) {
+	switch tx.Type {
+	case chain.TxTypePublic:
+		raw, err := chain.DecodeRawTx(tx.Payload)
+		if err != nil {
+			return nil, err
+		}
+		verified := false
+		if e.preCache != nil {
+			if meta, ok := e.preCache.get(tx.Hash()); ok && meta.verified {
+				verified = true
+			}
+		}
+		if !verified {
+			if err := e.profile.timed(OpTxVerify, raw.VerifySignature); err != nil {
+				return nil, err
+			}
+		}
+		return e.executeRaw(tx, raw, nil)
+
+	case chain.TxTypeConfidential:
+		if !e.confidential {
+			return nil, errors.New("core: confidential transaction on public engine")
+		}
+		var raw *chain.RawTx
+		var ktx []byte
+		err := e.enclave.Ecall(len(tx.Payload), tee.CopyInOut, func() error {
+			var err error
+			raw, ktx, err = e.openConfidentialTx(tx)
+			return err
+		})
+		if err != nil {
+			e.status("pre-processor: envelope rejected: " + err.Error())
+			return nil, err
+		}
+		return e.executeRaw(tx, raw, ktx)
+
+	default:
+		return nil, fmt.Errorf("core: unknown transaction type %d", tx.Type)
+	}
+}
+
+// openConfidentialTx recovers Tx_raw and k_tx, using the pre-verification
+// cache when available (steps C2/C3 of Figure 7): a hit replaces the RSA
+// private-key decryption with a symmetric decryption and skips signature
+// re-verification.
+func (e *Engine) openConfidentialTx(tx *chain.Tx) (*chain.RawTx, []byte, error) {
+	hash := tx.Hash()
+	if e.preCache != nil {
+		if meta, ok := e.preCache.get(hash); ok {
+			start := time.Now()
+			payload, err := crypto.OpenEnvelopeWithKey(tx.Payload, meta.ktx)
+			e.profile.Record(OpTxDecrypt, time.Since(start))
+			if err != nil {
+				return nil, nil, err
+			}
+			raw, err := chain.DecodeRawTx(payload)
+			if err != nil {
+				return nil, nil, err
+			}
+			if !meta.verified {
+				return nil, nil, crypto.ErrBadSignature
+			}
+			return raw, meta.ktx, nil
+		}
+	}
+	// Full path: expensive private-key decryption plus verification.
+	var ktx, payload []byte
+	err := e.profile.timed(OpTxDecrypt, func() error {
+		var err error
+		ktx, payload, err = e.secrets.Envelope.OpenEnvelope(tx.Payload)
+		return err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	raw, err := chain.DecodeRawTx(payload)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := e.profile.timed(OpTxVerify, raw.VerifySignature); err != nil {
+		return nil, nil, err
+	}
+	return raw, ktx, nil
+}
+
+// executeRaw runs the decoded transaction body and assembles the result.
+func (e *Engine) executeRaw(tx *chain.Tx, raw *chain.RawTx, ktx []byte) (*ExecResult, error) {
+	txc := &txContext{
+		engine:       e,
+		readSet:      make(map[string]struct{}),
+		writes:       make(map[string]map[string][]byte),
+		confidential: tx.Type == chain.TxTypeConfidential,
+	}
+	input := EncodeInput(raw.Method, raw.Args...)
+	output, execErr := e.runContract(txc, raw.Contract, input, raw.From[:], 0)
+
+	receipt := &chain.Receipt{
+		TxHash:  tx.Hash(),
+		From:    raw.From,
+		To:      raw.Contract,
+		GasUsed: txc.gasUsed,
+		Output:  output,
+		Logs:    txc.logs,
+	}
+	if execErr != nil {
+		receipt.Status = chain.ReceiptFailed
+		receipt.Output = []byte(execErr.Error())
+		// Failed transactions must not mutate state.
+		txc.writes = make(map[string]map[string][]byte)
+		e.status("execution failed: " + execErr.Error())
+	}
+
+	stored := receipt.Encode()
+	if txc.confidential {
+		// Formula (2): Rpt_conf = Enc(k_tx, Rpt_raw). Only the transaction
+		// owner (or a delegate holding k_tx) can read it.
+		start := time.Now()
+		sealed, err := crypto.SealAEAD(ktx, stored, receipt.TxHash[:])
+		e.profile.Record(OpReceiptSeal, time.Since(start))
+		if err != nil {
+			return nil, err
+		}
+		stored = sealed
+	}
+
+	res := &ExecResult{
+		Receipt:       receipt,
+		StoredReceipt: stored,
+		TxHash:        receipt.TxHash,
+		ReadSet:       txc.readSet,
+		WriteKeys:     txc.writeSetKeys(),
+	}
+	writes := txc.writes
+	res.appendWrites = func(batch *storage.Batch) error {
+		for addrHex, w := range writes {
+			var addr chain.Address
+			copy(addr[:], mustHex(addrHex))
+			rec, _, err := e.sdm.loadContract(addr)
+			if err != nil {
+				return err
+			}
+			conf := txc.confidential && rec.Confidential
+			if err := e.sdm.sealWrites(addr, rec.SecVer, conf, w, batch); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return res, nil
+}
+
+func mustHex(s string) []byte {
+	out := make([]byte, len(s)/2)
+	for i := 0; i < len(out); i++ {
+		out[i] = unhexByte(s[2*i])<<4 | unhexByte(s[2*i+1])
+	}
+	return out
+}
+
+func unhexByte(c byte) byte {
+	switch {
+	case c >= '0' && c <= '9':
+		return c - '0'
+	case c >= 'a' && c <= 'f':
+		return c - 'a' + 10
+	case c >= 'A' && c <= 'F':
+		return c - 'A' + 10
+	}
+	return 0
+}
+
+// runContract loads and executes one contract frame (used for both the
+// entry call and nested cross-contract calls).
+func (e *Engine) runContract(txc *txContext, addr chain.Address, input []byte, caller []byte, depth int) ([]byte, error) {
+	start := time.Now()
+	defer func() { e.profile.Record(OpContractCall, time.Since(start)) }()
+
+	loadStart := time.Now()
+	rec, code, err := e.sdm.loadContract(addr)
+	e.profile.Record(OpCodeLoad, time.Since(loadStart))
+	if err != nil {
+		return nil, err
+	}
+	// A transaction executes entirely within contracts of its own
+	// confidentiality class. One direction is mandatory for secrecy (a
+	// public transaction must not reach confidential code or state); the
+	// other prevents a confidential flow from writing public state through
+	// the confidential engine — both an information leak and a cache-
+	// coherence hazard, since each class's state is owned by one engine.
+	if rec.Confidential != txc.confidential {
+		if rec.Confidential {
+			return nil, errors.New("core: public transaction cannot call a confidential contract")
+		}
+		return nil, errors.New("core: confidential transaction cannot call a public contract")
+	}
+
+	frame := &frameEnv{
+		tx:       txc,
+		contract: addr,
+		record:   rec,
+		input:    input,
+		caller:   append([]byte(nil), caller...),
+		depth:    depth,
+	}
+
+	switch rec.VM {
+	case VMCVM:
+		var prog *cvm.Program
+		if e.codeCache != nil {
+			prog, err = e.codeCache.Load(code, cvm.BuildOptions{Fuse: e.opts.Fuse})
+		} else {
+			prog, err = cvm.LoadProgram(code, cvm.BuildOptions{Fuse: e.opts.Fuse})
+		}
+		if err != nil {
+			return nil, err
+		}
+		cfg := cvm.Config{GasLimit: e.opts.GasLimit}
+		var pooled []byte
+		if e.opts.MemPool {
+			if e.enclave != nil {
+				if buf, perr := e.enclave.Pool().Get(8 * cvm.PageSize); perr == nil {
+					pooled = buf[:cap(buf)]
+				}
+			} else if buf, ok := e.hostPool.Get().([]byte); ok {
+				pooled = buf
+			} else {
+				pooled = make([]byte, 8*cvm.PageSize)
+			}
+			cfg.MemoryBuffer = pooled
+		}
+		vm := cvm.NewVM(prog, frame, cfg)
+		_, runErr := vm.Run()
+		txc.gasUsed += vm.GasUsed()
+		if pooled != nil {
+			if e.enclave != nil {
+				e.enclave.Pool().Put(pooled)
+			} else {
+				e.hostPool.Put(pooled) //nolint:staticcheck // slice reuse
+			}
+		}
+		if runErr != nil {
+			return nil, runErr
+		}
+		return frame.output, nil
+
+	case VMEVM:
+		vm := evm.New(code, frame, evm.Config{GasLimit: e.opts.GasLimit})
+		runErr := vm.Run()
+		txc.gasUsed += vm.GasUsed()
+		if runErr != nil {
+			return nil, runErr
+		}
+		return frame.output, nil
+	}
+	return nil, fmt.Errorf("core: unknown VM kind %d", rec.VM)
+}
+
+// ReadReceipt fetches a stored receipt's bytes (sealed for confidential
+// transactions).
+func ReadReceipt(store storage.KVStore, txHash chain.Hash) ([]byte, bool, error) {
+	return store.Get(ReceiptKey(txHash))
+}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"confide/internal/ccl"
+	"confide/internal/chain"
+)
+
+// Gas exhaustion must surface as a failed receipt with no state mutation —
+// the platform-safety property that motivates metered execution (§2.1:
+// contract pitfalls must not break the platform).
+
+const spinSrc = `
+fn invoke() {
+	storage_set("touched", 7, "yes", 3);
+	let i = 0;
+	while i >= 0 { i = i + 1; } // never terminates on its own
+}
+`
+
+func TestOutOfGasFailsReceiptAndRollsBack(t *testing.T) {
+	s := newStack(t, func() Options {
+		o := AllOptimizations()
+		o.GasLimit = 200_000
+		return o
+	}())
+	addr := chain.AddressFromBytes([]byte("spinner"))
+	mod, err := ccl.CompileCVM(spinSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.engine.DeployContract(addr, ownerAddr, VMCVM, mod.Encode(), true, 1); err != nil {
+		t.Fatal(err)
+	}
+	client, _ := NewClient(s.engine.EnvelopePublicKey())
+	tx, _, _ := client.NewConfidentialTx(addr, "spin")
+	res, err := s.engine.Execute(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Receipt.Status != chain.ReceiptFailed {
+		t.Fatal("runaway contract must fail its receipt")
+	}
+	if !strings.Contains(string(res.Receipt.Output), "out of gas") {
+		t.Errorf("receipt output = %q, want out-of-gas", res.Receipt.Output)
+	}
+	if res.Receipt.GasUsed != 200_000 {
+		t.Errorf("gas used = %d, want the exact limit", res.Receipt.GasUsed)
+	}
+	if len(res.WriteKeys) != 0 {
+		t.Error("exhausted transaction must not expose writes")
+	}
+}
+
+func TestGasReportedOnSuccess(t *testing.T) {
+	s := newStack(t, AllOptimizations())
+	deployCounter(t, s.engine, counterAddr, VMCVM, true)
+	client, _ := NewClient(s.engine.EnvelopePublicKey())
+	tx, _, _ := client.NewConfidentialTx(counterAddr, "set", []byte("x"))
+	res, err := s.engine.Execute(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Receipt.GasUsed == 0 {
+		t.Error("successful execution should report gas")
+	}
+}

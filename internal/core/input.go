@@ -1,0 +1,79 @@
+// Package core implements CONFIDE's primary contribution: the Confidential
+// Smart Contract Execution Engine (Confidential-Engine) and the protocols
+// around it. It wires together the TEE simulator, the two virtual machines,
+// the secure data module (SDM, D-Protocol), transaction pre-verification
+// (Figure 7), and the client-side T-Protocol.
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Input codec: contracts receive their call payload as
+//
+//	u16le methodLen | method | u16le argc | (u32le argLen | arg)*
+//
+// The fixed-width little-endian framing is deliberately trivial to parse
+// from CCL with load8().
+const maxInputArgs = 256
+
+// EncodeInput frames a method selector and its arguments.
+func EncodeInput(method string, args ...[]byte) []byte {
+	size := 2 + len(method) + 2
+	for _, a := range args {
+		size += 4 + len(a)
+	}
+	out := make([]byte, 0, size)
+	var u16 [2]byte
+	binary.LittleEndian.PutUint16(u16[:], uint16(len(method)))
+	out = append(out, u16[:]...)
+	out = append(out, method...)
+	binary.LittleEndian.PutUint16(u16[:], uint16(len(args)))
+	out = append(out, u16[:]...)
+	var u32 [4]byte
+	for _, a := range args {
+		binary.LittleEndian.PutUint32(u32[:], uint32(len(a)))
+		out = append(out, u32[:]...)
+		out = append(out, a...)
+	}
+	return out
+}
+
+// ErrBadInput reports malformed call input.
+var ErrBadInput = errors.New("core: malformed call input")
+
+// DecodeInput reverses EncodeInput.
+func DecodeInput(data []byte) (method string, args [][]byte, err error) {
+	if len(data) < 2 {
+		return "", nil, ErrBadInput
+	}
+	mlen := int(binary.LittleEndian.Uint16(data))
+	data = data[2:]
+	if len(data) < mlen+2 {
+		return "", nil, ErrBadInput
+	}
+	method = string(data[:mlen])
+	data = data[mlen:]
+	argc := int(binary.LittleEndian.Uint16(data))
+	data = data[2:]
+	if argc > maxInputArgs {
+		return "", nil, ErrBadInput
+	}
+	for i := 0; i < argc; i++ {
+		if len(data) < 4 {
+			return "", nil, ErrBadInput
+		}
+		n := int(binary.LittleEndian.Uint32(data))
+		data = data[4:]
+		if n < 0 || len(data) < n {
+			return "", nil, ErrBadInput
+		}
+		args = append(args, append([]byte(nil), data[:n]...))
+		data = data[n:]
+	}
+	if len(data) != 0 {
+		return "", nil, ErrBadInput
+	}
+	return method, args, nil
+}

@@ -1,0 +1,400 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"confide/internal/chain"
+	"confide/internal/crypto"
+	"confide/internal/cvm"
+	"confide/internal/storage"
+	"confide/internal/tee"
+)
+
+// Storage key namespaces.
+const (
+	nsState   = "st/" // st/<addr-hex>/<raw key>  contract state
+	nsCode    = "cd/" // cd/<addr-hex>            contract code record
+	nsReceipt = "rc/" // rc/<txhash-hex>          receipts
+)
+
+func stateKey(addr chain.Address, key []byte) []byte {
+	out := make([]byte, 0, len(nsState)+40+1+len(key))
+	out = append(out, nsState...)
+	out = append(out, hex.EncodeToString(addr[:])...)
+	out = append(out, '/')
+	return append(out, key...)
+}
+
+func codeKey(addr chain.Address) []byte {
+	return []byte(nsCode + hex.EncodeToString(addr[:]))
+}
+
+// ReceiptKey is where a transaction's receipt lives in the KV store.
+func ReceiptKey(txHash chain.Hash) []byte {
+	return []byte(nsReceipt + hex.EncodeToString(txHash[:]))
+}
+
+// SDM is the Secure Data Module: every interaction between the
+// Confidential-Engine and the blockchain's KV store flows through it. It
+// implements the D-Protocol (authenticated encryption of confidential
+// state under k_states, with contract identity and security version as
+// associated data) and keeps a memory cache for I/O efficiency. Crossing
+// to the store from inside the enclave costs an ocall.
+type SDM struct {
+	store     storage.KVStore
+	enclave   *tee.Enclave // nil in the public engine
+	statesKey []byte       // nil in the public engine
+	profile   *Profile
+
+	mu    sync.Mutex
+	cache map[string][]byte // decrypted-state read cache
+}
+
+// NewSDM builds the secure data module. enclave and statesKey are nil for
+// the public engine (no boundary costs, no encryption).
+func NewSDM(store storage.KVStore, enclave *tee.Enclave, statesKey []byte, profile *Profile) *SDM {
+	return &SDM{
+		store:     store,
+		enclave:   enclave,
+		statesKey: statesKey,
+		profile:   profile,
+		cache:     make(map[string][]byte),
+	}
+}
+
+// stateAAD binds a state ciphertext to its contract identity. The security
+// version is deliberately NOT part of state AAD — it authenticates contract
+// *code* (codeAAD), so upgrading a contract does not orphan its state.
+func stateAAD(addr chain.Address) []byte {
+	return []byte(fmt.Sprintf("confide/state/%x", addr[:]))
+}
+
+// load fetches and (for confidential contracts) decrypts one state value,
+// charging the enclave boundary.
+func (s *SDM) load(addr chain.Address, secver uint64, confidential bool, key []byte) ([]byte, bool, error) {
+	sk := stateKey(addr, key)
+	s.mu.Lock()
+	if v, ok := s.cache[string(sk)]; ok {
+		s.mu.Unlock()
+		if v == nil {
+			return nil, false, nil
+		}
+		return append([]byte(nil), v...), true, nil
+	}
+	s.mu.Unlock()
+
+	var raw []byte
+	var found bool
+	fetch := func() error {
+		var err error
+		raw, found, err = s.store.Get(sk)
+		return err
+	}
+	var err error
+	if s.enclave != nil {
+		err = s.enclave.Ocall(len(sk)+len(raw), tee.CopyInOut, fetch)
+	} else {
+		err = fetch()
+	}
+	if err != nil {
+		return nil, false, err
+	}
+	if !found {
+		s.mu.Lock()
+		s.cache[string(sk)] = nil
+		s.mu.Unlock()
+		return nil, false, nil
+	}
+	value := raw
+	if confidential && s.statesKey != nil {
+		start := time.Now()
+		value, err = crypto.OpenAEAD(s.statesKey, raw, stateAAD(addr))
+		s.profile.Record(OpStateDecrypt, time.Since(start))
+		if err != nil {
+			return nil, false, fmt.Errorf("core: state integrity violation for %x: %w", key, err)
+		}
+	}
+	s.mu.Lock()
+	s.cache[string(sk)] = append([]byte(nil), value...)
+	s.mu.Unlock()
+	return value, true, nil
+}
+
+// sealWrites encrypts a transaction's write set (for confidential
+// contracts) and appends it to batch. The plaintext view lands in the read
+// cache so later transactions in the same block see fresh state.
+func (s *SDM) sealWrites(addr chain.Address, secver uint64, confidential bool, writes map[string][]byte, batch *storage.Batch) error {
+	for key, value := range writes {
+		sk := stateKey(addr, []byte(key))
+		stored := value
+		if confidential && s.statesKey != nil {
+			start := time.Now()
+			sealed, err := crypto.SealAEAD(s.statesKey, value, stateAAD(addr))
+			s.profile.Record(OpStateEncrypt, time.Since(start))
+			if err != nil {
+				return err
+			}
+			stored = sealed
+		}
+		if s.enclave != nil {
+			// The sealed value leaves the enclave in one ocall.
+			if err := s.enclave.Ocall(len(sk)+len(stored), tee.UserCheck, func() error { return nil }); err != nil {
+				return err
+			}
+		}
+		batch.Put(sk, stored)
+		s.mu.Lock()
+		s.cache[string(sk)] = append([]byte(nil), value...)
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// InvalidateCache drops the read cache (tests, reorgs).
+func (s *SDM) InvalidateCache() {
+	s.mu.Lock()
+	s.cache = make(map[string][]byte)
+	s.mu.Unlock()
+}
+
+// VMKind selects a contract's execution engine.
+type VMKind uint8
+
+// VM kinds.
+const (
+	VMCVM VMKind = 0
+	VMEVM VMKind = 1
+)
+
+// ContractRecord is the stored form of a deployed contract.
+type ContractRecord struct {
+	VM           VMKind
+	Confidential bool
+	SecVer       uint64
+	Code         []byte // encrypted when Confidential (D-Protocol)
+	Owner        chain.Address
+}
+
+func codeAAD(addr chain.Address, owner chain.Address, secver uint64) []byte {
+	return []byte(fmt.Sprintf("confide/code/%x/owner/%x/v%d", addr[:], owner[:], secver))
+}
+
+// encodeRecord serializes a contract record (code already sealed when
+// confidential).
+func encodeRecord(r *ContractRecord) []byte {
+	conf := uint64(0)
+	if r.Confidential {
+		conf = 1
+	}
+	return chain.Encode(chain.List(
+		chain.Uint(uint64(r.VM)),
+		chain.Uint(conf),
+		chain.Uint(r.SecVer),
+		chain.Bytes(r.Owner[:]),
+		chain.Bytes(r.Code),
+	))
+}
+
+func decodeRecord(data []byte) (*ContractRecord, error) {
+	it, err := chain.Decode(data)
+	if err != nil || !it.IsList || len(it.List) != 5 {
+		return nil, errors.New("core: malformed contract record")
+	}
+	var r ContractRecord
+	vm, err := it.List[0].AsUint()
+	if err != nil || vm > 1 {
+		return nil, errors.New("core: bad vm kind")
+	}
+	r.VM = VMKind(vm)
+	conf, err := it.List[1].AsUint()
+	if err != nil {
+		return nil, err
+	}
+	r.Confidential = conf == 1
+	if r.SecVer, err = it.List[2].AsUint(); err != nil {
+		return nil, err
+	}
+	if len(it.List[3].Str) != 20 {
+		return nil, errors.New("core: bad owner address")
+	}
+	copy(r.Owner[:], it.List[3].Str)
+	r.Code = it.List[4].Str
+	return &r, nil
+}
+
+// loadContract fetches, authenticates and decodes a contract record,
+// returning the plaintext code.
+func (s *SDM) loadContract(addr chain.Address) (*ContractRecord, []byte, error) {
+	ck := codeKey(addr)
+	s.mu.Lock()
+	cached, ok := s.cache[string(ck)]
+	s.mu.Unlock()
+	var data []byte
+	if ok {
+		data = cached
+	} else {
+		var found bool
+		fetch := func() error {
+			var err error
+			data, found, err = s.store.Get(ck)
+			return err
+		}
+		var err error
+		if s.enclave != nil {
+			err = s.enclave.Ocall(len(ck), tee.CopyInOut, fetch)
+		} else {
+			err = fetch()
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		if !found {
+			return nil, nil, fmt.Errorf("core: no contract at %s", addr)
+		}
+		s.mu.Lock()
+		s.cache[string(ck)] = append([]byte(nil), data...)
+		s.mu.Unlock()
+	}
+	rec, err := decodeRecord(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	code := rec.Code
+	if rec.Confidential {
+		if s.statesKey == nil {
+			return nil, nil, errors.New("core: confidential contract requires the confidential engine")
+		}
+		start := time.Now()
+		code, err = crypto.OpenAEAD(s.statesKey, rec.Code, codeAAD(addr, rec.Owner, rec.SecVer))
+		s.profile.Record(OpStateDecrypt, time.Since(start))
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: contract code integrity violation: %w", err)
+		}
+	}
+	return rec, code, nil
+}
+
+// storeContract seals (when confidential) and persists a contract record.
+func (s *SDM) storeContract(addr chain.Address, rec *ContractRecord, plainCode []byte) error {
+	stored := plainCode
+	if rec.Confidential {
+		if s.statesKey == nil {
+			return errors.New("core: confidential deployment requires the confidential engine")
+		}
+		sealed, err := crypto.SealAEAD(s.statesKey, plainCode, codeAAD(addr, rec.Owner, rec.SecVer))
+		if err != nil {
+			return err
+		}
+		stored = sealed
+	}
+	out := *rec
+	out.Code = stored
+	if err := s.store.Put(codeKey(addr), encodeRecord(&out)); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	delete(s.cache, string(codeKey(addr)))
+	s.mu.Unlock()
+	return nil
+}
+
+// txContext is the per-transaction shared execution state: buffered writes,
+// read tracking (for the parallel scheduler's conflict detection), logs and
+// gas accounting — shared by every contract frame in the call tree.
+type txContext struct {
+	engine       *Engine
+	readSet      map[string]struct{}
+	writes       map[string]map[string][]byte // addr-hex → key → value
+	logs         []string
+	gasUsed      uint64
+	confidential bool
+}
+
+// frameEnv is one contract frame's view; it implements cvm.Env (and thus
+// also the EVM's Env).
+type frameEnv struct {
+	tx       *txContext
+	contract chain.Address
+	record   *ContractRecord
+	input    []byte
+	output   []byte
+	caller   []byte
+	depth    int
+}
+
+var _ cvm.Env = (*frameEnv)(nil)
+
+func (f *frameEnv) addrHex() string { return hex.EncodeToString(f.contract[:]) }
+
+// GetStorage implements cvm.Env: write-set first, then SDM (cache + store).
+func (f *frameEnv) GetStorage(key []byte) ([]byte, bool, error) {
+	defer f.tx.engine.profileSince(OpGetStorage, time.Now())
+	if w := f.tx.writes[f.addrHex()]; w != nil {
+		if v, ok := w[string(key)]; ok {
+			if v == nil {
+				return nil, false, nil
+			}
+			return append([]byte(nil), v...), true, nil
+		}
+	}
+	f.tx.readSet[string(stateKey(f.contract, key))] = struct{}{}
+	return f.tx.engine.sdm.load(f.contract, f.record.SecVer, f.tx.confidential && f.record.Confidential, key)
+}
+
+// SetStorage implements cvm.Env: buffered until commit.
+func (f *frameEnv) SetStorage(key, value []byte) error {
+	defer f.tx.engine.profileSince(OpSetStorage, time.Now())
+	w := f.tx.writes[f.addrHex()]
+	if w == nil {
+		w = make(map[string][]byte)
+		f.tx.writes[f.addrHex()] = w
+	}
+	w[string(key)] = append([]byte(nil), value...)
+	return nil
+}
+
+// Input implements cvm.Env.
+func (f *frameEnv) Input() []byte { return f.input }
+
+// SetOutput implements cvm.Env.
+func (f *frameEnv) SetOutput(out []byte) { f.output = out }
+
+// Log implements cvm.Env.
+func (f *frameEnv) Log(msg string) { f.tx.logs = append(f.tx.logs, msg) }
+
+// Caller implements cvm.Env.
+func (f *frameEnv) Caller() []byte { return f.caller }
+
+// CallContract implements cvm.Env: synchronous nested execution of another
+// contract in the same transaction context.
+func (f *frameEnv) CallContract(addr []byte, input []byte) ([]byte, error) {
+	if f.depth >= 32 {
+		return nil, errors.New("core: cross-contract call depth exceeded")
+	}
+	var target chain.Address
+	copy(target[:], addr)
+	return f.tx.engine.runContract(f.tx, target, input, f.contract[:], f.depth+1)
+}
+
+// writeSetKeys flattens a transaction's touched state keys (for the
+// parallel scheduler).
+func (tx *txContext) writeSetKeys() map[string]struct{} {
+	out := make(map[string]struct{})
+	for addrHex, w := range tx.writes {
+		var addr chain.Address
+		b, _ := hex.DecodeString(addrHex)
+		copy(addr[:], b)
+		for k := range w {
+			out[string(stateKey(addr, []byte(k)))] = struct{}{}
+		}
+	}
+	return out
+}
+
+// receiptDigestKey derives the cache key hash for receipts.
+func receiptDigestKey(txHash chain.Hash) [32]byte { return sha256.Sum256(txHash[:]) }

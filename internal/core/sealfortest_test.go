@@ -1,0 +1,9 @@
+package core
+
+import "confide/internal/crypto"
+
+// sealForTest lets tests craft envelopes outside the Client path (e.g. with
+// corrupted contents).
+func sealForTest(pkTx, ktx, payload []byte) ([]byte, error) {
+	return crypto.SealEnvelope(pkTx, ktx, payload)
+}

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"confide/internal/ccl"
+	"confide/internal/chain"
+	"confide/internal/storage"
+)
+
+// Contract upgrade (§3.3: "Updating the rules should be done through
+// upgrading the contract"). An upgrade re-deploys code at the same address
+// with a bumped security version; the code AAD binds the new version, and
+// existing state (bound to the contract identity only) remains readable.
+
+// versionedSrc returns a contract that reports its version and can
+// read/write one value.
+func versionedSrc(version byte) string {
+	return `
+fn u16at(p) -> int { return load8(p) + (load8(p + 1) << 8); }
+fn u32at(p) -> int {
+	return load8(p) + (load8(p+1) << 8) + (load8(p+2) << 16) + (load8(p+3) << 24);
+}
+fn invoke() {
+	let n = input_size();
+	let buf = alloc(n + 8);
+	input_read(buf, 0, n);
+	let c = load8(buf + 2);
+	if c == 118 { // 'v'ersion
+		let out = alloc(4);
+		store8(out, ` + fmt.Sprintf("%d", version) + `);
+		output(out, 1);
+	}
+	if c == 115 { // 's'et
+		let a0 = buf + 2 + u16at(buf) + 2;
+		storage_set("v", 1, a0 + 4, u32at(a0));
+	}
+	if c == 103 { // 'g'et
+		let out2 = alloc(64);
+		let vn = storage_get("v", 1, out2, 64);
+		if vn < 0 { vn = 0; }
+		output(out2, vn);
+	}
+}
+`
+}
+
+func compileVersioned(t *testing.T, version byte) []byte {
+	t.Helper()
+	mod, err := ccl.CompileCVM(versionedSrc(version))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod.Encode()
+}
+
+func TestContractUpgradePreservesState(t *testing.T) {
+	s := newStack(t, AllOptimizations())
+	addr := chain.AddressFromBytes([]byte("upgradeable"))
+	if err := s.engine.DeployContract(addr, ownerAddr, VMCVM, compileVersioned(t, 1), true, 1); err != nil {
+		t.Fatal(err)
+	}
+	client, _ := NewClient(s.engine.EnvelopePublicKey())
+
+	exec := func(method string, args ...[]byte) *chain.Receipt {
+		t.Helper()
+		tx, _, err := client.NewConfidentialTx(addr, method, args...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.engine.Execute(tx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var batch storage.Batch
+		if err := res.AppendWrites(&batch); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.store.WriteBatch(&batch); err != nil {
+			t.Fatal(err)
+		}
+		return res.Receipt
+	}
+
+	exec("set", []byte("pre-upgrade-value"))
+	if rpt := exec("version"); rpt.Output[0] != 1 {
+		t.Fatalf("v1 reports version %d", rpt.Output[0])
+	}
+
+	// Upgrade: new code, security version 2, same address and owner.
+	if err := s.engine.DeployContract(addr, ownerAddr, VMCVM, compileVersioned(t, 2), true, 2); err != nil {
+		t.Fatal(err)
+	}
+	s.engine.sdm.InvalidateCache()
+
+	if rpt := exec("version"); rpt.Output[0] != 2 {
+		t.Fatalf("after upgrade, version = %d, want 2", rpt.Output[0])
+	}
+	// State written under v1 is still readable under v2.
+	if rpt := exec("get"); string(rpt.Output) != "pre-upgrade-value" {
+		t.Fatalf("state lost across upgrade: %q", rpt.Output)
+	}
+}
+
+func TestCodeRollbackChangesIdentity(t *testing.T) {
+	// A malicious host rolls the code record back to the retired v1. The
+	// record is self-consistent (it was validly sealed once), so local
+	// decryption succeeds — this is exactly the §3.3 caveat that a single
+	// node's answer is untrustworthy and consensus reads exist. The test
+	// documents the boundary: the rollback is locally undetectable but
+	// observable (version output differs), so a consensus read exposes it.
+	s := newStack(t, AllOptimizations())
+	addr := chain.AddressFromBytes([]byte("rollback"))
+	if err := s.engine.DeployContract(addr, ownerAddr, VMCVM, compileVersioned(t, 1), true, 1); err != nil {
+		t.Fatal(err)
+	}
+	oldRecord, found, err := s.store.Get(codeKey(addr))
+	if err != nil || !found {
+		t.Fatal("code record missing")
+	}
+	if err := s.engine.DeployContract(addr, ownerAddr, VMCVM, compileVersioned(t, 2), true, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Host-level rollback.
+	if err := s.store.Put(codeKey(addr), oldRecord); err != nil {
+		t.Fatal(err)
+	}
+	s.engine.sdm.InvalidateCache()
+
+	client, _ := NewClient(s.engine.EnvelopePublicKey())
+	tx, _, _ := client.NewConfidentialTx(addr, "version")
+	res, err := s.engine.Execute(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Receipt.Status != chain.ReceiptOK || res.Receipt.Output[0] != 1 {
+		t.Fatalf("rollback behavior changed: %v %v", res.Receipt.Status, res.Receipt.Output)
+	}
+	// The divergence (v1 vs the canonical v2) is what cross-node
+	// verification catches; see node.VerifyConsensusRead.
+}
+
+func TestCodeRecordCrossContractSpliceRejected(t *testing.T) {
+	// Splicing contract A's (validly sealed) code under contract B's key
+	// must fail: the code AAD binds the contract identity.
+	s := newStack(t, AllOptimizations())
+	a := chain.AddressFromBytes([]byte("contract-a"))
+	b := chain.AddressFromBytes([]byte("contract-b"))
+	if err := s.engine.DeployContract(a, ownerAddr, VMCVM, compileVersioned(t, 1), true, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.engine.DeployContract(b, ownerAddr, VMCVM, compileVersioned(t, 2), true, 1); err != nil {
+		t.Fatal(err)
+	}
+	recA, _, _ := s.store.Get(codeKey(a))
+	if err := s.store.Put(codeKey(b), recA); err != nil {
+		t.Fatal(err)
+	}
+	s.engine.sdm.InvalidateCache()
+
+	client, _ := NewClient(s.engine.EnvelopePublicKey())
+	tx, _, _ := client.NewConfidentialTx(b, "version")
+	res, err := s.engine.Execute(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Receipt.Status != chain.ReceiptFailed ||
+		!strings.Contains(string(res.Receipt.Output), "integrity") {
+		t.Fatalf("spliced code executed: %v %q", res.Receipt.Status, res.Receipt.Output)
+	}
+}

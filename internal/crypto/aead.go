@@ -1,0 +1,76 @@
+package crypto
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// SymKeySize is the byte length of every symmetric key in the system
+// (AES-256).
+const SymKeySize = 32
+
+// ErrDecrypt is returned when an authenticated decryption fails, either
+// because the key is wrong or because ciphertext/AAD were tampered with.
+var ErrDecrypt = errors.New("crypto: message authentication failed")
+
+// SealAEAD encrypts plaintext under key with AES-256-GCM, binding aad as
+// additional authenticated data. The random nonce is prepended to the
+// returned ciphertext. This is the Enc(k, ·) primitive of both the
+// T-Protocol and the D-Protocol.
+func SealAEAD(key []byte, plaintext, aad []byte) ([]byte, error) {
+	aead, err := newGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, aead.NonceSize(), aead.NonceSize()+len(plaintext)+aead.Overhead())
+	if _, err := io.ReadFull(rand.Reader, nonce); err != nil {
+		return nil, fmt.Errorf("crypto: nonce generation: %w", err)
+	}
+	return aead.Seal(nonce, nonce, plaintext, aad), nil
+}
+
+// OpenAEAD reverses SealAEAD. It returns ErrDecrypt if authentication fails.
+func OpenAEAD(key []byte, sealed, aad []byte) ([]byte, error) {
+	aead, err := newGCM(key)
+	if err != nil {
+		return nil, err
+	}
+	if len(sealed) < aead.NonceSize() {
+		return nil, ErrDecrypt
+	}
+	nonce, ct := sealed[:aead.NonceSize()], sealed[aead.NonceSize():]
+	pt, err := aead.Open(nil, nonce, ct, aad)
+	if err != nil {
+		return nil, ErrDecrypt
+	}
+	return pt, nil
+}
+
+// AEADOverhead is the number of bytes SealAEAD adds on top of the plaintext
+// (nonce plus GCM tag). Exposed so storage accounting can reason about the
+// byte cost of confidentiality.
+const AEADOverhead = 12 + 16
+
+func newGCM(key []byte) (cipher.AEAD, error) {
+	if len(key) != SymKeySize {
+		return nil, fmt.Errorf("crypto: key must be %d bytes, got %d", SymKeySize, len(key))
+	}
+	block, err := aes.NewCipher(key)
+	if err != nil {
+		return nil, err
+	}
+	return cipher.NewGCM(block)
+}
+
+// RandomKey returns a fresh random AES-256 key.
+func RandomKey() ([]byte, error) {
+	k := make([]byte, SymKeySize)
+	if _, err := io.ReadFull(rand.Reader, k); err != nil {
+		return nil, fmt.Errorf("crypto: key generation: %w", err)
+	}
+	return k, nil
+}

@@ -1,0 +1,104 @@
+package crypto
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestAEADRoundTrip(t *testing.T) {
+	key, err := RandomKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	aad := []byte("contract:0xabc|owner:0xdef|secver:1")
+	sealed, err := SealAEAD(key, []byte("balance=100"), aad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := OpenAEAD(key, sealed, aad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "balance=100" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestAEADWrongAADFails(t *testing.T) {
+	key, _ := RandomKey()
+	sealed, err := SealAEAD(key, []byte("state"), []byte("contract-A"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A malicious host replaying contract A's ciphertext as contract B's
+	// state must be rejected: the AAD binds ciphertext to its context.
+	if _, err := OpenAEAD(key, sealed, []byte("contract-B")); err != ErrDecrypt {
+		t.Errorf("cross-context open: err = %v, want ErrDecrypt", err)
+	}
+}
+
+func TestAEADTamperFails(t *testing.T) {
+	key, _ := RandomKey()
+	sealed, _ := SealAEAD(key, []byte("state"), nil)
+	sealed[len(sealed)/2] ^= 0x01
+	if _, err := OpenAEAD(key, sealed, nil); err != ErrDecrypt {
+		t.Errorf("tampered open: err = %v, want ErrDecrypt", err)
+	}
+}
+
+func TestAEADShortCiphertext(t *testing.T) {
+	key, _ := RandomKey()
+	if _, err := OpenAEAD(key, []byte{1, 2, 3}, nil); err != ErrDecrypt {
+		t.Errorf("short ciphertext: err = %v, want ErrDecrypt", err)
+	}
+}
+
+func TestAEADBadKeySize(t *testing.T) {
+	if _, err := SealAEAD([]byte("tiny"), []byte("p"), nil); err == nil {
+		t.Error("seal with bad key size should fail")
+	}
+	if _, err := OpenAEAD([]byte("tiny"), make([]byte, 64), nil); err == nil {
+		t.Error("open with bad key size should fail")
+	}
+}
+
+func TestAEADOverheadConstant(t *testing.T) {
+	key, _ := RandomKey()
+	for _, n := range []int{0, 1, 100, 4096} {
+		sealed, err := SealAEAD(key, make([]byte, n), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sealed)-n != AEADOverhead {
+			t.Errorf("overhead for %d-byte plaintext = %d, want %d", n, len(sealed)-n, AEADOverhead)
+		}
+	}
+}
+
+func TestAEADRoundTripProperty(t *testing.T) {
+	key, _ := RandomKey()
+	f := func(plaintext, aad []byte) bool {
+		sealed, err := SealAEAD(key, plaintext, aad)
+		if err != nil {
+			return false
+		}
+		got, err := OpenAEAD(key, sealed, aad)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, plaintext)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAEADNonceUniqueness(t *testing.T) {
+	key, _ := RandomKey()
+	a, _ := SealAEAD(key, []byte("same"), nil)
+	b, _ := SealAEAD(key, []byte("same"), nil)
+	if bytes.Equal(a, b) {
+		t.Error("two seals of the same plaintext produced identical ciphertexts (nonce reuse)")
+	}
+}

@@ -1,0 +1,177 @@
+package crypto
+
+import (
+	"crypto/ecdh"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+)
+
+// EnvelopeKey is the Confidential-Engine's asymmetric envelope key pair
+// (sk_tx / pk_tx), implemented as ECIES over P-256: clients wrap the
+// one-time transaction key against pk_tx with an ephemeral ECDH exchange,
+// and only the enclave-resident sk_tx can unwrap it. The private-key
+// operation (one scalar multiplication) is the expensive step that the
+// pre-verification pipeline hoists off the execution critical path.
+//
+// The private half lives only inside the enclave; the public half is
+// published to clients and its fingerprint is locked into the attestation
+// report.
+type EnvelopeKey struct {
+	priv *ecdh.PrivateKey
+}
+
+// GenerateEnvelopeKey creates a fresh envelope key pair.
+func GenerateEnvelopeKey() (*EnvelopeKey, error) {
+	priv, err := ecdh.P256().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("crypto: envelope key generation: %w", err)
+	}
+	return &EnvelopeKey{priv: priv}, nil
+}
+
+// Public returns the serialized public key (pk_tx) for distribution to
+// clients (uncompressed SEC1 point).
+func (e *EnvelopeKey) Public() []byte {
+	return e.priv.PublicKey().Bytes()
+}
+
+// Fingerprint returns the SHA-256 digest of pk_tx. The K-Protocol locks
+// this value into attestation reports to immunize clients against
+// man-in-the-middle key swaps.
+func (e *EnvelopeKey) Fingerprint() [HashSize]byte {
+	return sha256.Sum256(e.Public())
+}
+
+// PublicFingerprint computes the fingerprint of a serialized pk_tx, as a
+// client would before trusting it.
+func PublicFingerprint(pub []byte) [HashSize]byte {
+	return sha256.Sum256(pub)
+}
+
+// envelopeKDF derives the key-wrap key from an ECDH shared secret and the
+// transcript (both public points).
+func envelopeKDF(shared, ephPub, pub []byte) []byte {
+	mac := hmac.New(sha256.New, shared)
+	mac.Write([]byte("confide/t-protocol/v1"))
+	mac.Write(ephPub)
+	mac.Write(pub)
+	return mac.Sum(nil)
+}
+
+// p256PointLen is the byte length of an uncompressed P-256 public point.
+const p256PointLen = 65
+
+// SealEnvelope implements formula (1) of the T-Protocol:
+//
+//	Tx_conf = Enc(pk_tx, k_tx) | Enc(k_tx, Tx_raw)
+//
+// The one-time key k_tx is wrapped with ECIES under pk_tx and the payload
+// is sealed with AES-256-GCM under k_tx. Layout: the 65-byte ephemeral
+// public point, the wrapped key, then the sealed payload.
+func SealEnvelope(pub []byte, ktx []byte, payload []byte) ([]byte, error) {
+	if len(ktx) != SymKeySize {
+		return nil, fmt.Errorf("crypto: k_tx must be %d bytes, got %d", SymKeySize, len(ktx))
+	}
+	remote, err := ecdh.P256().NewPublicKey(pub)
+	if err != nil {
+		return nil, fmt.Errorf("crypto: parse pk_tx: %w", err)
+	}
+	eph, err := ecdh.P256().GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("crypto: ephemeral key: %w", err)
+	}
+	shared, err := eph.ECDH(remote)
+	if err != nil {
+		return nil, fmt.Errorf("crypto: ecdh: %w", err)
+	}
+	ephPub := eph.PublicKey().Bytes()
+	wrapKey := envelopeKDF(shared, ephPub, pub)
+	wrapped, err := SealAEAD(wrapKey, ktx, []byte("k_tx"))
+	if err != nil {
+		return nil, err
+	}
+	sealed, err := SealAEAD(ktx, payload, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, len(ephPub)+len(wrapped)+len(sealed))
+	out = append(out, ephPub...)
+	out = append(out, wrapped...)
+	return append(out, sealed...), nil
+}
+
+// wrappedKeyLen is the sealed k_tx length (nonce + key + tag).
+const wrappedKeyLen = AEADOverhead + SymKeySize
+
+// ErrEnvelope is returned when an envelope is structurally malformed.
+var ErrEnvelope = errors.New("crypto: malformed digital envelope")
+
+// SplitEnvelope separates a sealed envelope into its key-agreement part and
+// sealed payload without any key material. The pre-processor uses this both
+// on the full open path and on the cache-hit path, where only the payload
+// part is re-decrypted with a cached k_tx.
+func SplitEnvelope(env []byte) (keyPart, sealedPayload []byte, err error) {
+	if len(env) < p256PointLen+wrappedKeyLen {
+		return nil, nil, ErrEnvelope
+	}
+	n := p256PointLen + wrappedKeyLen
+	return env[:n], env[n:], nil
+}
+
+// OpenEnvelope recovers k_tx and the raw payload using the private envelope
+// key. This is the expensive full path (private-key scalar multiplication);
+// the pre-verification cache exists to keep it off the execution critical
+// path.
+func (e *EnvelopeKey) OpenEnvelope(env []byte) (ktx, payload []byte, err error) {
+	keyPart, sealed, err := SplitEnvelope(env)
+	if err != nil {
+		return nil, nil, err
+	}
+	ephPub, err := ecdh.P256().NewPublicKey(keyPart[:p256PointLen])
+	if err != nil {
+		return nil, nil, ErrEnvelope
+	}
+	shared, err := e.priv.ECDH(ephPub)
+	if err != nil {
+		return nil, nil, fmt.Errorf("crypto: ecdh: %w", err)
+	}
+	wrapKey := envelopeKDF(shared, keyPart[:p256PointLen], e.Public())
+	ktx, err = OpenAEAD(wrapKey, keyPart[p256PointLen:], []byte("k_tx"))
+	if err != nil {
+		return nil, nil, fmt.Errorf("crypto: unwrap k_tx: %w", err)
+	}
+	payload, err = OpenAEAD(ktx, sealed, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ktx, payload, nil
+}
+
+// OpenEnvelopeWithKey decrypts only the payload half of an envelope with an
+// already-known k_tx (the cheap symmetric path used on pre-verification
+// cache hits, step C3 of the transaction process).
+func OpenEnvelopeWithKey(env []byte, ktx []byte) ([]byte, error) {
+	_, sealed, err := SplitEnvelope(env)
+	if err != nil {
+		return nil, err
+	}
+	return OpenAEAD(ktx, sealed, nil)
+}
+
+// Marshal serializes the private envelope key for provisioning between
+// enclaves over an attested channel (K-Protocol).
+func (e *EnvelopeKey) Marshal() []byte {
+	return e.priv.Bytes()
+}
+
+// UnmarshalEnvelopeKey reverses Marshal.
+func UnmarshalEnvelopeKey(raw []byte) (*EnvelopeKey, error) {
+	priv, err := ecdh.P256().NewPrivateKey(raw)
+	if err != nil {
+		return nil, fmt.Errorf("crypto: parse envelope private key: %w", err)
+	}
+	return &EnvelopeKey{priv: priv}, nil
+}

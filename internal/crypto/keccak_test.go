@@ -1,0 +1,101 @@
+package crypto
+
+import (
+	"bytes"
+	"encoding/hex"
+	"hash"
+	"testing"
+	"testing/quick"
+)
+
+// KeccakState satisfies the standard hash.Hash contract.
+var _ hash.Hash = (*KeccakState)(nil)
+
+func TestKeccak256KnownVectors(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"", "c5d2460186f7233c927e7db2dcc703c0e500b653ca82273b7bfad8045d85a470"},
+		{"abc", "4e03657aea45a94fc7d47ba826c8d667c0d1e6e33a64a036ec44f58fa12d6c45"},
+		{"hello", "1c8aff950685c2ed4bc3174f3472287b56d9517b9c948127319a09a7a36deac8"},
+		{"The quick brown fox jumps over the lazy dog", "4d741b6f1eb29cb2a9b9911c82f56fa8d73b04959d3d9d222895df6c0b28aa15"},
+	}
+	for _, c := range cases {
+		got := Keccak256([]byte(c.in))
+		if hex.EncodeToString(got[:]) != c.want {
+			t.Errorf("Keccak256(%q) = %x, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestKeccak256MultiSliceEqualsConcat(t *testing.T) {
+	a, b, c := []byte("sup"), []byte("ply-chain"), []byte(" finance")
+	split := Keccak256(a, b, c)
+	joined := Keccak256(append(append(append([]byte{}, a...), b...), c...))
+	if split != joined {
+		t.Fatalf("multi-slice hash %x != concatenated hash %x", split, joined)
+	}
+}
+
+func TestKeccakStreamingMatchesOneShot(t *testing.T) {
+	// Exercise chunked writes across the 136-byte rate boundary.
+	f := func(data []byte, chunk uint8) bool {
+		n := int(chunk)%37 + 1
+		var k KeccakState
+		for i := 0; i < len(data); i += n {
+			end := i + n
+			if end > len(data) {
+				end = len(data)
+			}
+			k.Write(data[i:end])
+		}
+		streamed := k.Sum(nil)
+		oneShot := Keccak256(data)
+		return bytes.Equal(streamed, oneShot[:])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeccakReset(t *testing.T) {
+	var k KeccakState
+	k.Write([]byte("garbage"))
+	k.Reset()
+	k.Write([]byte("abc"))
+	want := Keccak256([]byte("abc"))
+	if !bytes.Equal(k.Sum(nil), want[:]) {
+		t.Fatal("Reset did not restore initial state")
+	}
+}
+
+func TestKeccakSizes(t *testing.T) {
+	var k KeccakState
+	if k.Size() != 32 {
+		t.Errorf("Size() = %d, want 32", k.Size())
+	}
+	if k.BlockSize() != 136 {
+		t.Errorf("BlockSize() = %d, want 136", k.BlockSize())
+	}
+}
+
+func TestKeccakExactRateBoundary(t *testing.T) {
+	// A message of exactly one rate block forces the padding into a fresh
+	// block; regression-guard the boundary logic.
+	msg := bytes.Repeat([]byte{0xa5}, keccakRate256)
+	var k KeccakState
+	k.Write(msg)
+	oneShot := Keccak256(msg)
+	if !bytes.Equal(k.Sum(nil), oneShot[:]) {
+		t.Fatal("rate-boundary message hashes differently streamed vs one-shot")
+	}
+}
+
+func BenchmarkKeccak256_1KB(b *testing.B) {
+	data := bytes.Repeat([]byte{0x42}, 1024)
+	b.SetBytes(1024)
+	for i := 0; i < b.N; i++ {
+		Keccak256(data)
+	}
+}

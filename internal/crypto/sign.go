@@ -1,0 +1,75 @@
+package crypto
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/x509"
+	"errors"
+	"fmt"
+)
+
+// Signer holds an ECDSA P-256 key used to sign raw transactions. The
+// signature over Tx_raw is verified inside the enclave during
+// pre-verification (step P3).
+type Signer struct {
+	priv *ecdsa.PrivateKey
+}
+
+// GenerateSigner creates a fresh P-256 signing key.
+func GenerateSigner() (*Signer, error) {
+	priv, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("crypto: signer generation: %w", err)
+	}
+	return &Signer{priv: priv}, nil
+}
+
+// Public returns the serialized verification key.
+func (s *Signer) Public() []byte {
+	der, err := x509.MarshalPKIXPublicKey(&s.priv.PublicKey)
+	if err != nil {
+		panic("crypto: marshal signer public key: " + err.Error())
+	}
+	return der
+}
+
+// Address returns the on-chain account address derived from the public key:
+// the low 20 bytes of its Keccak-256 digest, Ethereum-style.
+func (s *Signer) Address() [20]byte {
+	h := Keccak256(s.Public())
+	var a [20]byte
+	copy(a[:], h[12:])
+	return a
+}
+
+// Sign signs SHA-256(msg) and returns an ASN.1 DER signature.
+func (s *Signer) Sign(msg []byte) ([]byte, error) {
+	digest := sha256.Sum256(msg)
+	sig, err := ecdsa.SignASN1(rand.Reader, s.priv, digest[:])
+	if err != nil {
+		return nil, fmt.Errorf("crypto: sign: %w", err)
+	}
+	return sig, nil
+}
+
+// ErrBadSignature is returned by Verify for any invalid signature or key.
+var ErrBadSignature = errors.New("crypto: invalid signature")
+
+// Verify checks sig over msg against the serialized public key pub.
+func Verify(pub, msg, sig []byte) error {
+	parsed, err := x509.ParsePKIXPublicKey(pub)
+	if err != nil {
+		return ErrBadSignature
+	}
+	ecPub, ok := parsed.(*ecdsa.PublicKey)
+	if !ok {
+		return ErrBadSignature
+	}
+	digest := sha256.Sum256(msg)
+	if !ecdsa.VerifyASN1(ecPub, digest[:], sig) {
+		return ErrBadSignature
+	}
+	return nil
+}

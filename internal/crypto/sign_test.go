@@ -1,0 +1,99 @@
+package crypto
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestSignVerify(t *testing.T) {
+	s, err := GenerateSigner()
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := []byte("raw transaction body")
+	sig, err := s.Sign(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(s.Public(), msg, sig); err != nil {
+		t.Errorf("valid signature rejected: %v", err)
+	}
+}
+
+func TestVerifyRejectsModifiedMessage(t *testing.T) {
+	s, _ := GenerateSigner()
+	sig, _ := s.Sign([]byte("original"))
+	if err := Verify(s.Public(), []byte("modified"), sig); err != ErrBadSignature {
+		t.Errorf("err = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestVerifyRejectsWrongKey(t *testing.T) {
+	a, _ := GenerateSigner()
+	b, _ := GenerateSigner()
+	msg := []byte("msg")
+	sig, _ := a.Sign(msg)
+	if err := Verify(b.Public(), msg, sig); err != ErrBadSignature {
+		t.Errorf("err = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestVerifyRejectsGarbageKeyAndSig(t *testing.T) {
+	if err := Verify([]byte("not a key"), []byte("m"), []byte("s")); err != ErrBadSignature {
+		t.Errorf("garbage key: err = %v, want ErrBadSignature", err)
+	}
+	s, _ := GenerateSigner()
+	if err := Verify(s.Public(), []byte("m"), []byte("not asn1")); err != ErrBadSignature {
+		t.Errorf("garbage sig: err = %v, want ErrBadSignature", err)
+	}
+}
+
+func TestAddressDeterministic(t *testing.T) {
+	s, _ := GenerateSigner()
+	if s.Address() != s.Address() {
+		t.Error("address not deterministic")
+	}
+	other, _ := GenerateSigner()
+	if s.Address() == other.Address() {
+		t.Error("distinct keys yielded the same address")
+	}
+}
+
+func TestDeriveTxKeyProperties(t *testing.T) {
+	root := []byte("user-root-key")
+	h1 := Keccak256([]byte("tx1"))
+	h2 := Keccak256([]byte("tx2"))
+	k1 := DeriveTxKey(root, h1)
+	k2 := DeriveTxKey(root, h2)
+	if len(k1) != SymKeySize {
+		t.Fatalf("derived key length %d, want %d", len(k1), SymKeySize)
+	}
+	if bytes.Equal(k1, k2) {
+		t.Error("different tx hashes derived the same k_tx")
+	}
+	if !bytes.Equal(k1, DeriveTxKey(root, h1)) {
+		t.Error("derivation not deterministic")
+	}
+	if bytes.Equal(k1, DeriveTxKey([]byte("other-root"), h1)) {
+		t.Error("different root keys derived the same k_tx")
+	}
+}
+
+func TestDeriveSubKeyLabelsIndependent(t *testing.T) {
+	root := []byte("master")
+	if bytes.Equal(DeriveSubKey(root, "k_states"), DeriveSubKey(root, "k_other")) {
+		t.Error("different labels derived the same sub-key")
+	}
+}
+
+func TestDeriveTxKeyNeverEqualsRoot(t *testing.T) {
+	f := func(root []byte, seed []byte) bool {
+		h := Keccak256(seed)
+		k := DeriveTxKey(root, h)
+		return len(k) == SymKeySize && !bytes.Equal(k, root)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,33 @@
+package crypto
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+)
+
+// DeriveTxKey derives the one-time transaction key k_tx from a client's root
+// key and the transaction hash, per the T-Protocol: every transaction gets a
+// distinct key, maximizing ciphertext entropy against chosen-plaintext and
+// chosen-ciphertext attacks, while the client can re-derive the key later to
+// read its receipt or delegate access offline.
+//
+// The derivation is an HKDF-style single-block expand:
+// HMAC-SHA256(rootKey, "confide/k_tx/v1" || txHash || 0x01).
+func DeriveTxKey(rootKey []byte, txHash [HashSize]byte) []byte {
+	mac := hmac.New(sha256.New, rootKey)
+	mac.Write([]byte("confide/k_tx/v1"))
+	mac.Write(txHash[:])
+	mac.Write([]byte{0x01})
+	return mac.Sum(nil)
+}
+
+// DeriveSubKey derives a labelled sub-key from a root secret. The K-Protocol
+// uses it to split the negotiated master secret into independent purpose
+// keys (e.g. the states root key k_states).
+func DeriveSubKey(rootKey []byte, label string) []byte {
+	mac := hmac.New(sha256.New, rootKey)
+	mac.Write([]byte("confide/subkey/v1/"))
+	mac.Write([]byte(label))
+	mac.Write([]byte{0x01})
+	return mac.Sum(nil)
+}

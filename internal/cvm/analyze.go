@@ -1,0 +1,155 @@
+package cvm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Static stack analysis. The interpreter defends itself at run time, but a
+// deployment gate that proves a module can never underflow the operand
+// stack (and that every control-flow join sees a consistent height) keeps
+// malformed contracts off the chain entirely — the same role Wasm's
+// validation plays. The engine runs this at deploy time.
+
+// ErrStackUnsafe reports a module that fails stack analysis.
+var ErrStackUnsafe = errors.New("cvm: stack-unsafe bytecode")
+
+// AnalyzeProgram validates the stack discipline of every function in a
+// decoded (possibly fused) program.
+func AnalyzeProgram(p *Program) error {
+	for i := range p.funcs {
+		f := &p.funcs[i]
+		if err := analyzeFunc(f, func(idx int64) (int, int) {
+			callee := &p.funcs[idx]
+			return callee.numParams, callee.numResults
+		}); err != nil {
+			return fmt.Errorf("%w: function %d: %v", ErrStackUnsafe, i, err)
+		}
+	}
+	return nil
+}
+
+// stackEffect returns (pops, pushes, isBranch, isTerminal) for one
+// instruction; callSig resolves call targets.
+func stackEffect(in Instr, callSig func(int64) (int, int)) (pops, pushes int, branch, terminal bool, err error) {
+	switch in.Op {
+	case OpNop:
+		return 0, 0, false, false, nil
+	case OpUnreachable:
+		return 0, 0, false, true, nil
+	case OpReturn:
+		return 0, 0, false, true, nil
+	case OpBr:
+		return 0, 0, true, true, nil
+	case OpBrIf:
+		return 1, 0, true, false, nil
+	case OpCall:
+		params, results := callSig(in.A)
+		return params, results, false, false, nil
+	case OpHost:
+		sig := hostSigs[in.A]
+		return sig.args, sig.results, false, false, nil
+	case OpDrop:
+		return 1, 0, false, false, nil
+	case OpSelect:
+		return 3, 1, false, false, nil
+	case OpLocalGet, OpI64Const, OpMemorySize:
+		return 0, 1, false, false, nil
+	case OpLocalSet:
+		return 1, 0, false, false, nil
+	case OpLocalTee, OpI64Eqz, OpI64Load, OpI64Load8U, OpMemoryGrow:
+		return 1, 1, false, false, nil
+	case OpI64Add, OpI64Sub, OpI64Mul, OpI64DivS, OpI64DivU, OpI64RemS,
+		OpI64RemU, OpI64And, OpI64Or, OpI64Xor, OpI64Shl, OpI64ShrS,
+		OpI64ShrU, OpI64Eq, OpI64Ne, OpI64LtS, OpI64LtU, OpI64GtS,
+		OpI64GtU, OpI64LeS, OpI64LeU, OpI64GeS, OpI64GeU:
+		return 2, 1, false, false, nil
+	case OpI64Store, OpI64Store8:
+		return 2, 0, false, false, nil
+	case OpMemoryCopy, OpMemoryFill:
+		return 3, 0, false, false, nil
+	// Superinstructions.
+	case OpFusedIncLocal:
+		return 0, 0, false, false, nil
+	case OpFusedGet2, OpFusedGetConst:
+		return 0, 2, false, false, nil
+	case OpFusedAddLL, OpFusedLoad8L:
+		return 0, 1, false, false, nil
+	case OpFusedConstAdd:
+		return 1, 1, false, false, nil
+	case OpFusedBrEqz:
+		return 1, 0, true, false, nil
+	case OpFusedBrLtU, OpFusedBrNe:
+		return 2, 0, true, false, nil
+	}
+	return 0, 0, false, false, fmt.Errorf("unknown opcode %s", in.Op.Name())
+}
+
+// analyzeFunc runs a worklist dataflow over instruction indices tracking
+// the exact operand-stack height at each reachable instruction.
+func analyzeFunc(f *progFunc, callSig func(int64) (int, int)) error {
+	code := f.code
+	n := len(code)
+	heights := make([]int, n+1)
+	for i := range heights {
+		heights[i] = -1 // unvisited
+	}
+	type workItem struct {
+		ip     int
+		height int
+	}
+	work := []workItem{{0, 0}}
+	for len(work) > 0 {
+		item := work[len(work)-1]
+		work = work[:len(work)-1]
+		ip, h := item.ip, item.height
+		for {
+			if ip > n {
+				return fmt.Errorf("control flow escapes function body")
+			}
+			if ip == n {
+				// Implicit epilogue: needs at least numResults values.
+				if h < f.numResults {
+					return fmt.Errorf("fall-through with stack height %d, need %d result(s)", h, f.numResults)
+				}
+				break
+			}
+			if known := heights[ip]; known != -1 {
+				if known != h {
+					return fmt.Errorf("inconsistent stack height at %d: %d vs %d", ip, known, h)
+				}
+				break // already analyzed from here
+			}
+			heights[ip] = h
+			in := code[ip]
+			pops, pushes, isBranch, terminal, err := stackEffect(in, callSig)
+			if err != nil {
+				return err
+			}
+			if h < pops {
+				return fmt.Errorf("underflow at %d (%s): height %d, pops %d", ip, in.Op.Name(), h, pops)
+			}
+			h = h - pops + pushes
+			if in.Op == OpReturn && h < f.numResults {
+				return fmt.Errorf("return at %d with height %d, need %d result(s)", ip, h, f.numResults)
+			}
+			if isBranch {
+				target := ip + 1 + int(in.A)
+				if target < 0 || target > n {
+					return fmt.Errorf("branch target %d out of range at %d", target, ip)
+				}
+				if target == n && h < f.numResults {
+					return fmt.Errorf("branch to end at %d with height %d, need %d result(s)", ip, h, f.numResults)
+				}
+				if target < n {
+					work = append(work, workItem{target, h})
+				}
+			}
+			if terminal {
+				break
+			}
+			ip++
+		}
+	}
+	return nil
+}

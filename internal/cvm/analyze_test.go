@@ -1,0 +1,139 @@
+package cvm
+
+import (
+	"errors"
+	"testing"
+)
+
+func analyzeModule(t *testing.T, m *Module, fuse bool) error {
+	t.Helper()
+	prog, err := BuildProgram(m, BuildOptions{Fuse: fuse})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return AnalyzeProgram(prog)
+}
+
+func TestAnalyzeAcceptsWellFormed(t *testing.T) {
+	cases := map[string]func() *Module{
+		"loop": func() *Module {
+			return buildModuleForAnalysis(loopSumBuilder())
+		},
+		"calls": func() *Module {
+			entry := NewFuncBuilder(1, 0, 1)
+			entry.GetLocal(0).Call(1).Const(1).Op(OpI64Add)
+			double := NewFuncBuilder(1, 0, 1)
+			double.GetLocal(0).GetLocal(0).Op(OpI64Add)
+			return buildModuleForAnalysis(entry, double)
+		},
+		"host calls": func() *Module {
+			b := NewFuncBuilder(0, 0, 1)
+			b.Host(HostInputSize)
+			return buildModuleForAnalysis(b)
+		},
+		"branch join": func() *Module {
+			b := NewFuncBuilder(1, 0, 1)
+			els := b.NewLabel()
+			end := b.NewLabel()
+			b.GetLocal(0).BrIf(els)
+			b.Const(10)
+			b.Br(end)
+			b.Bind(els)
+			b.Const(20)
+			b.Bind(end)
+			return buildModuleForAnalysis(b)
+		},
+		"extra residue before return": func() *Module {
+			b := NewFuncBuilder(0, 0, 1)
+			b.Const(1).Const(2).Const(3) // residue is legal; epilogue trims
+			return buildModuleForAnalysis(b)
+		},
+	}
+	for name, mk := range cases {
+		for _, fuse := range []bool{false, true} {
+			if err := analyzeModule(t, mk(), fuse); err != nil {
+				t.Errorf("%s (fuse=%v): %v", name, fuse, err)
+			}
+		}
+	}
+}
+
+func buildModuleForAnalysis(fns ...*FuncBuilder) *Module {
+	m := &Module{MemPages: 1}
+	for _, b := range fns {
+		m.Funcs = append(m.Funcs, b.MustFinish())
+	}
+	return m
+}
+
+func TestAnalyzeRejectsUnsafe(t *testing.T) {
+	cases := map[string]func() *Module{
+		"underflow drop": func() *Module {
+			b := NewFuncBuilder(0, 0, 0)
+			b.Op(OpDrop)
+			return buildModuleForAnalysis(b)
+		},
+		"underflow add": func() *Module {
+			b := NewFuncBuilder(0, 0, 0)
+			b.Const(1).Op(OpI64Add)
+			return buildModuleForAnalysis(b)
+		},
+		"missing result": func() *Module {
+			b := NewFuncBuilder(0, 0, 1)
+			b.Op(OpNop)
+			return buildModuleForAnalysis(b)
+		},
+		"return without result": func() *Module {
+			b := NewFuncBuilder(0, 0, 1)
+			b.Op(OpReturn)
+			return buildModuleForAnalysis(b)
+		},
+		"inconsistent join": func() *Module {
+			b := NewFuncBuilder(1, 0, 1)
+			els := b.NewLabel()
+			end := b.NewLabel()
+			b.GetLocal(0).BrIf(els)
+			b.Const(1).Const(2) // height 2 on this path
+			b.Br(end)
+			b.Bind(els)
+			b.Const(3) // height 1 on this path
+			b.Bind(end)
+			// The join lands on a real instruction, where the two entry
+			// heights (2 vs 1) must agree.
+			b.Op(OpI64Eqz)
+			return buildModuleForAnalysis(b)
+		},
+		"loop grows stack": func() *Module {
+			b := NewFuncBuilder(0, 0, 1)
+			top := b.NewLabel()
+			b.Bind(top)
+			b.Const(1) // +1 per iteration
+			b.Const(1).BrIf(top)
+			return buildModuleForAnalysis(b)
+		},
+		"branch to end without result": func() *Module {
+			b := NewFuncBuilder(1, 0, 1)
+			end := b.NewLabel()
+			b.GetLocal(0).BrIf(end) // jumps to end with empty stack
+			b.Const(1)
+			b.Bind(end)
+			return buildModuleForAnalysis(b)
+		},
+	}
+	for name, mk := range cases {
+		if err := analyzeModule(t, mk(), false); !errors.Is(err, ErrStackUnsafe) {
+			t.Errorf("%s: err = %v, want ErrStackUnsafe", name, err)
+		}
+	}
+}
+
+func TestAnalyzeUnreachableTailAccepted(t *testing.T) {
+	// Code after an unconditional terminal is unreachable; the analyzer
+	// must not fault on it (the compiler can emit such tails).
+	b := NewFuncBuilder(0, 0, 0)
+	b.Op(OpReturn)
+	b.Op(OpDrop) // unreachable underflow
+	if err := analyzeModule(t, buildModuleForAnalysis(b), false); err != nil {
+		t.Errorf("unreachable tail should be ignored: %v", err)
+	}
+}

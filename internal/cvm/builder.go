@@ -1,0 +1,128 @@
+package cvm
+
+import "fmt"
+
+// FuncBuilder assembles one function's bytecode with symbolic labels; the
+// CCL compiler back end and tests use it instead of hand-computing branch
+// offsets.
+type FuncBuilder struct {
+	numParams  int
+	numLocals  int
+	numResults int
+
+	instrs  []binstr
+	labels  []int // label id → instruction index, -1 if unbound
+	pending int   // unbound label count, for Finish-time checking
+}
+
+// binstr is a build-time instruction; branch targets are label ids until
+// Finish resolves them.
+type binstr struct {
+	op    Op
+	imm   int64
+	label int // -1 when not a branch
+}
+
+// Label identifies a branch target within one function.
+type Label int
+
+// NewFuncBuilder starts a function with the given signature.
+func NewFuncBuilder(numParams, numLocals, numResults int) *FuncBuilder {
+	return &FuncBuilder{numParams: numParams, numLocals: numLocals, numResults: numResults}
+}
+
+// NewLabel allocates an unbound label.
+func (b *FuncBuilder) NewLabel() Label {
+	b.labels = append(b.labels, -1)
+	b.pending++
+	return Label(len(b.labels) - 1)
+}
+
+// Bind attaches a label to the next emitted instruction.
+func (b *FuncBuilder) Bind(l Label) {
+	if b.labels[l] != -1 {
+		panic("cvm: label bound twice")
+	}
+	b.labels[l] = len(b.instrs)
+	b.pending--
+}
+
+// Op emits an instruction with no immediate.
+func (b *FuncBuilder) Op(op Op) *FuncBuilder {
+	b.instrs = append(b.instrs, binstr{op: op, label: -1})
+	return b
+}
+
+// OpImm emits an instruction with one immediate.
+func (b *FuncBuilder) OpImm(op Op, imm int64) *FuncBuilder {
+	b.instrs = append(b.instrs, binstr{op: op, imm: imm, label: -1})
+	return b
+}
+
+// Const pushes a constant.
+func (b *FuncBuilder) Const(v int64) *FuncBuilder { return b.OpImm(OpI64Const, v) }
+
+// GetLocal pushes local i.
+func (b *FuncBuilder) GetLocal(i int) *FuncBuilder { return b.OpImm(OpLocalGet, int64(i)) }
+
+// SetLocal pops into local i.
+func (b *FuncBuilder) SetLocal(i int) *FuncBuilder { return b.OpImm(OpLocalSet, int64(i)) }
+
+// TeeLocal stores the top of stack into local i without popping.
+func (b *FuncBuilder) TeeLocal(i int) *FuncBuilder { return b.OpImm(OpLocalTee, int64(i)) }
+
+// Br emits an unconditional branch to l.
+func (b *FuncBuilder) Br(l Label) *FuncBuilder {
+	b.instrs = append(b.instrs, binstr{op: OpBr, label: int(l)})
+	return b
+}
+
+// BrIf emits a conditional branch to l (taken when popped value ≠ 0).
+func (b *FuncBuilder) BrIf(l Label) *FuncBuilder {
+	b.instrs = append(b.instrs, binstr{op: OpBrIf, label: int(l)})
+	return b
+}
+
+// Call emits a call to function index fn.
+func (b *FuncBuilder) Call(fn int) *FuncBuilder { return b.OpImm(OpCall, int64(fn)) }
+
+// Host emits a host call.
+func (b *FuncBuilder) Host(h HostIndex) *FuncBuilder { return b.OpImm(OpHost, int64(h)) }
+
+// Finish resolves labels and returns the wire-format function.
+func (b *FuncBuilder) Finish() (Func, error) {
+	if b.pending != 0 {
+		return Func{}, fmt.Errorf("cvm: %d labels never bound", b.pending)
+	}
+	var code []byte
+	for i, in := range b.instrs {
+		code = append(code, byte(in.op))
+		imm := in.imm
+		if in.label >= 0 {
+			target := b.labels[in.label]
+			imm = int64(target - (i + 1)) // relative to next instruction
+		}
+		switch immediates[in.op] {
+		case immU:
+			code = appendUvarint(code, uint64(imm))
+		case immS:
+			code = appendVarint(code, imm)
+		}
+	}
+	return Func{
+		NumParams:  b.numParams,
+		NumLocals:  b.numLocals,
+		NumResults: b.numResults,
+		Code:       code,
+	}, nil
+}
+
+// MustFinish is Finish for tests and generated code that cannot have
+// unbound labels.
+func (b *FuncBuilder) MustFinish() Func {
+	f, err := b.Finish()
+	if err != nil {
+		panic(err)
+	}
+	return f
+}

@@ -1,0 +1,88 @@
+package cvm
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"sync"
+)
+
+// CodeCache is the OPT1 code cache: decoded (and fused) programs keyed by
+// the hash of their wire bytes, so repeated invocations of a contract skip
+// LEB128 decoding, validation and the fusion pass. It is an LRU bounded by
+// entry count, sized to the enclave's EPC budget by the engine.
+type CodeCache struct {
+	mu      sync.Mutex
+	entries map[[32]byte]*list.Element
+	order   *list.List // front = most recent
+	cap     int
+
+	hits   uint64
+	misses uint64
+}
+
+type cacheEntry struct {
+	key  [32]byte
+	prog *Program
+}
+
+// NewCodeCache creates a cache holding up to capacity programs.
+func NewCodeCache(capacity int) *CodeCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &CodeCache{
+		entries: make(map[[32]byte]*list.Element),
+		order:   list.New(),
+		cap:     capacity,
+	}
+}
+
+// Load returns the cached program for wire, building (and caching) it on
+// miss.
+func (c *CodeCache) Load(wire []byte, opts BuildOptions) (*Program, error) {
+	key := sha256.Sum256(wire)
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		c.hits++
+		prog := el.Value.(*cacheEntry).prog
+		c.mu.Unlock()
+		return prog, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	prog, err := LoadProgram(wire, opts)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		// Raced with another loader; keep the existing entry.
+		c.order.MoveToFront(el)
+		return el.Value.(*cacheEntry).prog, nil
+	}
+	el := c.order.PushFront(&cacheEntry{key: key, prog: prog})
+	c.entries[key] = el
+	if c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+	}
+	return prog, nil
+}
+
+// Stats reports cache effectiveness.
+func (c *CodeCache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Len reports the number of cached programs.
+func (c *CodeCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

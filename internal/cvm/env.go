@@ -1,0 +1,209 @@
+package cvm
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+
+	ccrypto "confide/internal/crypto"
+)
+
+// Env is the VM's window onto the blockchain: contract storage, the call's
+// input/output, logging and cross-contract calls. Inside the
+// Confidential-Engine the SDM implements Env so every storage access flows
+// through the D-Protocol crypto engine and the state cache; the
+// Public-Engine implements it directly over the KV store.
+type Env interface {
+	// GetStorage returns the value under key in the executing contract's
+	// state, found=false when absent.
+	GetStorage(key []byte) (value []byte, found bool, err error)
+	// SetStorage writes the executing contract's state.
+	SetStorage(key, value []byte) error
+	// Input returns the call input (method and arguments, ABI-encoded by
+	// the caller's convention).
+	Input() []byte
+	// SetOutput records the call's return data.
+	SetOutput(out []byte)
+	// Log records a human-readable event line.
+	Log(msg string)
+	// Caller returns the 20-byte address of the transaction sender or the
+	// calling contract.
+	Caller() []byte
+	// CallContract synchronously executes another contract with the given
+	// input and returns its output. The engine enforces call depth.
+	CallContract(addr []byte, input []byte) ([]byte, error)
+}
+
+// HostIndex identifies one host ("env") function. Indices are part of the
+// contract ABI and never change.
+type HostIndex int
+
+// The canonical host-function table. Signatures are in stack order:
+// arguments pushed left to right, so the rightmost is on top.
+const (
+	// HostInputSize () → size of the call input.
+	HostInputSize HostIndex = 0
+	// HostInputRead (dstPtr, srcOff, n) → bytes copied.
+	HostInputRead HostIndex = 1
+	// HostOutputWrite (ptr, n) → 0. Sets the call's return data.
+	HostOutputWrite HostIndex = 2
+	// HostStorageGet (keyPtr, keyLen, valPtr, valCap) → value length, or -1
+	// when absent. When the value exceeds valCap nothing is copied and the
+	// needed length is returned; the contract grows its buffer and retries.
+	HostStorageGet HostIndex = 3
+	// HostStorageSet (keyPtr, keyLen, valPtr, valLen) → 0.
+	HostStorageSet HostIndex = 4
+	// HostSha256 (ptr, n, dstPtr) → 0. Writes 32 bytes.
+	HostSha256 HostIndex = 5
+	// HostKeccak256 (ptr, n, dstPtr) → 0. Writes 32 bytes.
+	HostKeccak256 HostIndex = 6
+	// HostLog (ptr, n) → 0.
+	HostLog HostIndex = 7
+	// HostCaller (dstPtr) → 0. Writes the 20-byte caller address.
+	HostCaller HostIndex = 8
+	// HostCall (addrPtr, inPtr, inLen, outPtr, outCap) → output length, or
+	// the needed length if it exceeds outCap (nothing copied), or -1 if the
+	// callee trapped.
+	HostCall HostIndex = 9
+
+	numHostFuncs = 10
+)
+
+// hostSig describes a host function's arity.
+type hostSig struct {
+	args    int
+	results int
+	gas     uint64
+}
+
+var hostSigs = [numHostFuncs]hostSig{
+	HostInputSize:   {0, 1, 2},
+	HostInputRead:   {3, 1, 10},
+	HostOutputWrite: {2, 0, 10},
+	HostStorageGet:  {4, 1, 200},
+	HostStorageSet:  {4, 0, 400},
+	HostSha256:      {3, 0, 60},
+	HostKeccak256:   {3, 0, 60},
+	HostLog:         {2, 0, 20},
+	HostCaller:      {1, 0, 2},
+	HostCall:        {5, 1, 700},
+}
+
+// errTrap wraps contract traps (bounds violations, div by zero, etc.).
+var errTrap = errors.New("cvm: trap")
+
+// Trap reports whether err is a VM trap (as opposed to an engine error).
+func Trap(err error) bool { return errors.Is(err, errTrap) }
+
+// callHost dispatches one host call against the environment. Buffer reads
+// and writes are bounds-checked against linear memory.
+func (vm *VM) callHost(idx HostIndex, args []int64) (int64, error) {
+	switch idx {
+	case HostInputSize:
+		return int64(len(vm.env.Input())), nil
+
+	case HostInputRead:
+		dst, off, n := args[0], args[1], args[2]
+		in := vm.env.Input()
+		if off < 0 || n < 0 || off > int64(len(in)) {
+			return 0, fmt.Errorf("%w: input_read out of range", errTrap)
+		}
+		end := off + n
+		if end > int64(len(in)) {
+			end = int64(len(in))
+		}
+		chunk := in[off:end]
+		if err := vm.memWrite(dst, chunk); err != nil {
+			return 0, err
+		}
+		return int64(len(chunk)), nil
+
+	case HostOutputWrite:
+		buf, err := vm.memRead(args[0], args[1])
+		if err != nil {
+			return 0, err
+		}
+		vm.env.SetOutput(append([]byte(nil), buf...))
+		return 0, nil
+
+	case HostStorageGet:
+		key, err := vm.memRead(args[0], args[1])
+		if err != nil {
+			return 0, err
+		}
+		val, found, err := vm.env.GetStorage(key)
+		if err != nil {
+			return 0, err
+		}
+		if !found {
+			return -1, nil
+		}
+		if int64(len(val)) > args[3] {
+			return int64(len(val)), nil
+		}
+		if err := vm.memWrite(args[2], val); err != nil {
+			return 0, err
+		}
+		return int64(len(val)), nil
+
+	case HostStorageSet:
+		key, err := vm.memRead(args[0], args[1])
+		if err != nil {
+			return 0, err
+		}
+		val, err := vm.memRead(args[2], args[3])
+		if err != nil {
+			return 0, err
+		}
+		return 0, vm.env.SetStorage(append([]byte(nil), key...), append([]byte(nil), val...))
+
+	case HostSha256:
+		buf, err := vm.memRead(args[0], args[1])
+		if err != nil {
+			return 0, err
+		}
+		sum := sha256.Sum256(buf)
+		return 0, vm.memWrite(args[2], sum[:])
+
+	case HostKeccak256:
+		buf, err := vm.memRead(args[0], args[1])
+		if err != nil {
+			return 0, err
+		}
+		sum := ccrypto.Keccak256(buf)
+		return 0, vm.memWrite(args[2], sum[:])
+
+	case HostLog:
+		buf, err := vm.memRead(args[0], args[1])
+		if err != nil {
+			return 0, err
+		}
+		vm.env.Log(string(buf))
+		return 0, nil
+
+	case HostCaller:
+		return 0, vm.memWrite(args[0], vm.env.Caller())
+
+	case HostCall:
+		addr, err := vm.memRead(args[0], 20)
+		if err != nil {
+			return 0, err
+		}
+		input, err := vm.memRead(args[1], args[2])
+		if err != nil {
+			return 0, err
+		}
+		out, err := vm.env.CallContract(append([]byte(nil), addr...), append([]byte(nil), input...))
+		if err != nil {
+			return -1, nil
+		}
+		if int64(len(out)) > args[4] {
+			return int64(len(out)), nil
+		}
+		if err := vm.memWrite(args[3], out); err != nil {
+			return 0, err
+		}
+		return int64(len(out)), nil
+	}
+	return 0, fmt.Errorf("%w: unknown host function %d", errTrap, idx)
+}

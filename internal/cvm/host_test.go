@@ -1,0 +1,259 @@
+package cvm
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"testing"
+
+	ccrypto "confide/internal/crypto"
+)
+
+func TestHostInputReadAndOutputWrite(t *testing.T) {
+	// Copy the input into memory, then echo it as output.
+	b := NewFuncBuilder(0, 1, 0)
+	b.Host(HostInputSize).SetLocal(0)
+	b.Const(100).Const(0).GetLocal(0).Host(HostInputRead).Op(OpDrop)
+	b.Const(100).GetLocal(0).Host(HostOutputWrite)
+	env := newTestEnv()
+	env.input = []byte("echo me")
+	if _, err := run(t, buildModule(t, 1, b), env); err != nil {
+		t.Fatal(err)
+	}
+	if string(env.output) != "echo me" {
+		t.Errorf("output = %q", env.output)
+	}
+}
+
+func TestHostInputReadPartial(t *testing.T) {
+	b := NewFuncBuilder(0, 0, 1)
+	b.Const(0).Const(4).Const(100).Host(HostInputRead) // read beyond end
+	env := newTestEnv()
+	env.input = []byte("abcdef")
+	got, err := run(t, buildModule(t, 1, b), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 { // only "ef" remain after offset 4
+		t.Errorf("copied %d, want 2", got)
+	}
+}
+
+func TestHostStorageRoundTrip(t *testing.T) {
+	// set storage["k"(1 byte at 0)] = mem[8..12); then get it back to 16.
+	b := NewFuncBuilder(0, 1, 1)
+	// write key 'k' at 0, value "VALU" at 8
+	b.Const(0).Const('k').OpImm(OpI64Store8, 0)
+	b.Const(8).Const('V').OpImm(OpI64Store8, 0)
+	b.Const(9).Const('A').OpImm(OpI64Store8, 0)
+	b.Const(10).Const('L').OpImm(OpI64Store8, 0)
+	b.Const(11).Const('U').OpImm(OpI64Store8, 0)
+	b.Const(0).Const(1).Const(8).Const(4).Host(HostStorageSet)
+	b.Const(0).Const(1).Const(16).Const(64).Host(HostStorageGet).SetLocal(0)
+	b.Const(16).OpImm(OpI64Load8U, 0) // 'V'
+	env := newTestEnv()
+	got, err := run(t, buildModule(t, 1, b), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 'V' {
+		t.Errorf("read-back byte = %c, want V", rune(got))
+	}
+	if string(env.storage["k"]) != "VALU" {
+		t.Errorf("storage = %q", env.storage["k"])
+	}
+}
+
+func TestHostStorageGetMissingReturnsMinusOne(t *testing.T) {
+	b := NewFuncBuilder(0, 0, 1)
+	b.Const(0).Const(1).Const(16).Const(64).Host(HostStorageGet)
+	got, err := run(t, buildModule(t, 1, b), newTestEnv())
+	if err != nil || got != -1 {
+		t.Fatalf("got %d, %v; want -1", got, err)
+	}
+}
+
+func TestHostStorageGetTooSmallBufferReturnsNeeded(t *testing.T) {
+	env := newTestEnv()
+	env.storage[string([]byte{0})] = bytes.Repeat([]byte{9}, 50)
+	b := NewFuncBuilder(0, 0, 1)
+	b.Const(0).Const(1).Const(16).Const(10).Host(HostStorageGet) // cap 10 < 50
+	got, err := run(t, buildModule(t, 1, b), env)
+	if err != nil || got != 50 {
+		t.Fatalf("got %d, %v; want needed length 50", got, err)
+	}
+}
+
+func TestHostHashes(t *testing.T) {
+	// sha256 and keccak256 of "abc" written into memory.
+	for _, tc := range []struct {
+		host HostIndex
+		want []byte
+	}{
+		{HostSha256, func() []byte { s := sha256.Sum256([]byte("abc")); return s[:] }()},
+		{HostKeccak256, func() []byte { s := ccrypto.Keccak256([]byte("abc")); return s[:] }()},
+	} {
+		b := NewFuncBuilder(0, 0, 1)
+		b.Const(0).Const('a').OpImm(OpI64Store8, 0)
+		b.Const(1).Const('b').OpImm(OpI64Store8, 0)
+		b.Const(2).Const('c').OpImm(OpI64Store8, 0)
+		b.Const(0).Const(3).Const(64).Host(tc.host)
+		b.Const(64).OpImm(OpI64Load8U, 0)
+		got, err := run(t, buildModule(t, 1, b), newTestEnv())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if byte(got) != tc.want[0] {
+			t.Errorf("host %d: first digest byte %#x, want %#x", tc.host, got, tc.want[0])
+		}
+	}
+}
+
+func TestHostLogAndCaller(t *testing.T) {
+	b := NewFuncBuilder(0, 0, 1)
+	b.Const(0).Host(HostCaller)       // write 20-byte caller at 0
+	b.Const(0).Const(5).Host(HostLog) // log first 5 bytes
+	b.Const(0).OpImm(OpI64Load8U, 0)  // return first caller byte
+	env := newTestEnv()
+	copy(env.caller, "sender-address-bytes")
+	got, err := run(t, buildModule(t, 1, b), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byte(got) != 's' {
+		t.Errorf("caller byte = %c", rune(got))
+	}
+	if len(env.logs) != 2 || env.logs[0] != "sende" { // run() executes twice (plain+fused)
+		t.Errorf("logs = %q", env.logs)
+	}
+}
+
+func TestHostCallContract(t *testing.T) {
+	env := newTestEnv()
+	env.callFn = func(addr, input []byte) ([]byte, error) {
+		if addr[0] != 0xaa {
+			t.Errorf("addr[0] = %#x", addr[0])
+		}
+		return append([]byte("re:"), input...), nil
+	}
+	b := NewFuncBuilder(0, 1, 1)
+	b.Const(0).Const(0xaa).OpImm(OpI64Store8, 0) // addr at 0 (rest zeros)
+	b.Const(32).Const('h').OpImm(OpI64Store8, 0)
+	b.Const(32).Const('i').OpImm(OpI64Store8, 1)
+	b.Const(0).Const(32).Const(2).Const(64).Const(100).Host(HostCall).SetLocal(0)
+	b.Const(64).OpImm(OpI64Load8U, 0) // 'r'
+	got, err := run(t, buildModule(t, 1, b), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byte(got) != 'r' {
+		t.Errorf("output byte = %c, want r", rune(got))
+	}
+}
+
+func TestHostCallFailureReturnsMinusOne(t *testing.T) {
+	b := NewFuncBuilder(0, 0, 1)
+	b.Const(0).Const(32).Const(0).Const(64).Const(10).Host(HostCall)
+	got, err := run(t, buildModule(t, 1, b), newTestEnv()) // no callFn → error
+	if err != nil || got != -1 {
+		t.Fatalf("got %d, %v; want -1", got, err)
+	}
+}
+
+func TestHostOutOfBoundsPointersTrap(t *testing.T) {
+	b := NewFuncBuilder(0, 0, 0)
+	b.Const(PageSize + 5).Const(10).Host(HostLog)
+	if _, err := run(t, buildModule(t, 1, b), newTestEnv()); !Trap(err) {
+		t.Errorf("err = %v, want trap", err)
+	}
+}
+
+func TestCodeCacheHitsAndEviction(t *testing.T) {
+	mk := func(k int64) []byte {
+		b := NewFuncBuilder(0, 0, 1)
+		b.Const(k)
+		return (&Module{MemPages: 1, Funcs: []Func{b.MustFinish()}}).Encode()
+	}
+	c := NewCodeCache(2)
+	w1, w2, w3 := mk(1), mk(2), mk(3)
+	p1a, err := c.Load(w1, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1b, _ := c.Load(w1, BuildOptions{})
+	if p1a != p1b {
+		t.Error("cache returned a different program for the same wire bytes")
+	}
+	c.Load(w2, BuildOptions{})
+	c.Load(w3, BuildOptions{}) // evicts w1 (LRU)
+	if c.Len() != 2 {
+		t.Errorf("len = %d, want 2", c.Len())
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 3 {
+		t.Errorf("hits/misses = %d/%d, want 1/3", hits, misses)
+	}
+	// w1 was evicted: loading again is a miss but still works.
+	p1c, err := c.Load(w1, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := NewVM(p1c, newTestEnv(), Config{}).Run(); got != 1 {
+		t.Error("reloaded program misbehaves")
+	}
+}
+
+func TestCodeCachePropagatesBuildErrors(t *testing.T) {
+	c := NewCodeCache(4)
+	if _, err := c.Load([]byte("garbage"), BuildOptions{}); err == nil {
+		t.Error("garbage wire bytes should not load")
+	}
+	if c.Len() != 0 {
+		t.Error("failed load must not be cached")
+	}
+}
+
+func TestFusionReducesInstructionCount(t *testing.T) {
+	m := buildModule(t, 1, loopSumBuilder())
+	plain, _ := BuildProgram(m, BuildOptions{})
+	fused, _ := BuildProgram(m, BuildOptions{Fuse: true})
+	before, after := FusionStats(plain.Code(0), fused.Code(0))
+	if after >= before {
+		t.Errorf("fusion did not reduce instructions: %d -> %d", before, after)
+	}
+	if !fused.Fused() || plain.Fused() {
+		t.Error("Fused() flags wrong")
+	}
+}
+
+func TestFusionPreservesBranchIntoPattern(t *testing.T) {
+	// A branch lands in the middle of what would otherwise fuse
+	// (local.get; i64.const; add; local.set). Fusion must skip it.
+	b := NewFuncBuilder(1, 1, 1)
+	mid := b.NewLabel()
+	exit := b.NewLabel()
+	b.GetLocal(0).BrIf(mid) // arg!=0: jump into the middle
+	b.GetLocal(1)           // start of the would-be pattern
+	b.Bind(mid)
+	b.Const(5)
+	b.Op(OpI64Add)
+	b.SetLocal(1)
+	b.Br(exit)
+	b.Bind(exit)
+	b.GetLocal(1)
+	m := buildModule(t, 1, b)
+
+	// arg=0: local1 = local1 + 5 = 5. arg=1: jumps to Const(5) with local0
+	// ... wait, stack has nothing before mid in that path? BrIf pops arg;
+	// then at mid: push 5; add needs two values -> the get_local(1) was
+	// skipped, so the add underflows. That IS the semantic; both plain and
+	// fused must agree (trap).
+	for _, arg := range []int64{0, 1} {
+		plainProg, _ := BuildProgram(m, BuildOptions{})
+		fusedProg, _ := BuildProgram(m, BuildOptions{Fuse: true})
+		pv, pe := NewVM(plainProg, newTestEnv(), Config{}).Run(arg)
+		fv, fe := NewVM(fusedProg, newTestEnv(), Config{}).Run(arg)
+		if (pe == nil) != (fe == nil) || (pe == nil && pv != fv) {
+			t.Errorf("arg %d: plain (%d,%v) != fused (%d,%v)", arg, pv, pe, fv, fe)
+		}
+	}
+}

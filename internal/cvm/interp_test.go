@@ -1,0 +1,459 @@
+package cvm
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// buildModule assembles a module from builders; index 0 is the entry.
+func buildModule(t *testing.T, memPages int, fns ...*FuncBuilder) *Module {
+	t.Helper()
+	m := &Module{MemPages: memPages}
+	for _, b := range fns {
+		f, err := b.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m.Funcs = append(m.Funcs, f)
+	}
+	return m
+}
+
+// run executes a module's entry with both plain and fused programs and
+// checks they agree; returns the plain result.
+func run(t *testing.T, m *Module, env Env, args ...int64) (int64, error) {
+	t.Helper()
+	plainProg, err := BuildProgram(m, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fusedProg, err := BuildProgram(m, BuildOptions{Fuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, plainErr := NewVM(plainProg, env, Config{}).Run(args...)
+	fused, fusedErr := NewVM(fusedProg, env, Config{}).Run(args...)
+	if (plainErr == nil) != (fusedErr == nil) {
+		t.Fatalf("plain err=%v but fused err=%v", plainErr, fusedErr)
+	}
+	if plainErr == nil && plain != fused {
+		t.Fatalf("plain=%d fused=%d: fusion changed semantics", plain, fused)
+	}
+	return plain, plainErr
+}
+
+func TestArithmetic(t *testing.T) {
+	cases := []struct {
+		name string
+		body func(b *FuncBuilder)
+		want int64
+	}{
+		{"add", func(b *FuncBuilder) { b.Const(2).Const(3).Op(OpI64Add) }, 5},
+		{"sub", func(b *FuncBuilder) { b.Const(2).Const(3).Op(OpI64Sub) }, -1},
+		{"mul", func(b *FuncBuilder) { b.Const(-4).Const(3).Op(OpI64Mul) }, -12},
+		{"div_s", func(b *FuncBuilder) { b.Const(-7).Const(2).Op(OpI64DivS) }, -3},
+		{"div_u", func(b *FuncBuilder) { b.Const(-1).Const(2).Op(OpI64DivU) }, 0x7fffffffffffffff},
+		{"rem_s", func(b *FuncBuilder) { b.Const(-7).Const(2).Op(OpI64RemS) }, -1},
+		{"rem_u", func(b *FuncBuilder) { b.Const(7).Const(3).Op(OpI64RemU) }, 1},
+		{"and", func(b *FuncBuilder) { b.Const(0b1100).Const(0b1010).Op(OpI64And) }, 0b1000},
+		{"or", func(b *FuncBuilder) { b.Const(0b1100).Const(0b1010).Op(OpI64Or) }, 0b1110},
+		{"xor", func(b *FuncBuilder) { b.Const(0b1100).Const(0b1010).Op(OpI64Xor) }, 0b0110},
+		{"shl", func(b *FuncBuilder) { b.Const(1).Const(4).Op(OpI64Shl) }, 16},
+		{"shr_s", func(b *FuncBuilder) { b.Const(-16).Const(2).Op(OpI64ShrS) }, -4},
+		{"shr_u", func(b *FuncBuilder) { b.Const(-16).Const(60).Op(OpI64ShrU) }, 15},
+		{"eqz true", func(b *FuncBuilder) { b.Const(0).Op(OpI64Eqz) }, 1},
+		{"eqz false", func(b *FuncBuilder) { b.Const(5).Op(OpI64Eqz) }, 0},
+		{"lt_u wraps", func(b *FuncBuilder) { b.Const(-1).Const(1).Op(OpI64LtU) }, 0},
+		{"lt_s", func(b *FuncBuilder) { b.Const(-1).Const(1).Op(OpI64LtS) }, 1},
+		{"ge_u", func(b *FuncBuilder) { b.Const(-1).Const(1).Op(OpI64GeU) }, 1},
+		{"le_s", func(b *FuncBuilder) { b.Const(3).Const(3).Op(OpI64LeS) }, 1},
+		{"select a", func(b *FuncBuilder) { b.Const(10).Const(20).Const(1).Op(OpSelect) }, 10},
+		{"select b", func(b *FuncBuilder) { b.Const(10).Const(20).Const(0).Op(OpSelect) }, 20},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			b := NewFuncBuilder(0, 0, 1)
+			c.body(b)
+			got, err := run(t, buildModule(t, 1, b), newTestEnv())
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != c.want {
+				t.Errorf("got %d, want %d", got, c.want)
+			}
+		})
+	}
+}
+
+func TestDivisionByZeroTraps(t *testing.T) {
+	for _, op := range []Op{OpI64DivS, OpI64DivU, OpI64RemS, OpI64RemU} {
+		b := NewFuncBuilder(0, 0, 1)
+		b.Const(1).Const(0).Op(op)
+		_, err := run(t, buildModule(t, 1, b), newTestEnv())
+		if !Trap(err) {
+			t.Errorf("%s by zero: err = %v, want trap", op.Name(), err)
+		}
+	}
+}
+
+func TestLocalsAndParams(t *testing.T) {
+	// f(a, b) = a*10 + b, via locals.
+	b := NewFuncBuilder(2, 1, 1)
+	b.GetLocal(0).Const(10).Op(OpI64Mul).SetLocal(2)
+	b.GetLocal(2).GetLocal(1).Op(OpI64Add)
+	got, err := run(t, buildModule(t, 1, b), newTestEnv(), 7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 73 {
+		t.Errorf("got %d, want 73", got)
+	}
+}
+
+func TestTeeKeepsValue(t *testing.T) {
+	b := NewFuncBuilder(0, 1, 1)
+	b.Const(9).TeeLocal(0).GetLocal(0).Op(OpI64Add) // 9+9
+	got, err := run(t, buildModule(t, 1, b), newTestEnv())
+	if err != nil || got != 18 {
+		t.Fatalf("got %d, %v; want 18", got, err)
+	}
+}
+
+// loopSumBuilder sums 0..n-1 with a branch loop: the canonical shape the
+// fusion pass targets.
+func loopSumBuilder() *FuncBuilder {
+	b := NewFuncBuilder(1, 2, 1) // param n; locals: i, acc
+	top := b.NewLabel()
+	exit := b.NewLabel()
+	b.Bind(top)
+	// if i >= n goto exit
+	b.GetLocal(1).GetLocal(0).Op(OpI64GeU)
+	b.BrIf(exit)
+	// acc += i
+	b.GetLocal(2).GetLocal(1).Op(OpI64Add).SetLocal(2)
+	// i += 1
+	b.GetLocal(1).Const(1).Op(OpI64Add).SetLocal(1)
+	b.Br(top)
+	b.Bind(exit)
+	b.GetLocal(2)
+	return b
+}
+
+func TestLoopSum(t *testing.T) {
+	got, err := run(t, buildModule(t, 1, loopSumBuilder()), newTestEnv(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 4950 {
+		t.Errorf("sum(0..99) = %d, want 4950", got)
+	}
+}
+
+func TestLoopSumProperty(t *testing.T) {
+	m := buildModule(t, 1, loopSumBuilder())
+	prog, err := BuildProgram(m, BuildOptions{Fuse: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(n uint16) bool {
+		got, err := NewVM(prog, newTestEnv(), Config{}).Run(int64(n))
+		want := int64(n) * (int64(n) - 1) / 2
+		return err == nil && got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFunctionCalls(t *testing.T) {
+	// entry(n) = double(n) + 1; double(x) = x + x
+	entry := NewFuncBuilder(1, 0, 1)
+	entry.GetLocal(0).Call(1).Const(1).Op(OpI64Add)
+	double := NewFuncBuilder(1, 0, 1)
+	double.GetLocal(0).GetLocal(0).Op(OpI64Add)
+	got, err := run(t, buildModule(t, 1, entry, double), newTestEnv(), 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 43 {
+		t.Errorf("got %d, want 43", got)
+	}
+}
+
+func TestRecursionDepthLimit(t *testing.T) {
+	// f() = f() — infinite recursion must trap on call depth, not crash.
+	b := NewFuncBuilder(0, 0, 0)
+	b.Call(0)
+	_, err := run(t, buildModule(t, 1, b), newTestEnv())
+	if !Trap(err) {
+		t.Errorf("err = %v, want call-depth trap", err)
+	}
+}
+
+func TestMemoryLoadStore(t *testing.T) {
+	b := NewFuncBuilder(0, 0, 1)
+	b.Const(64).Const(0x1122334455).OpImm(OpI64Store, 0)
+	b.Const(64).OpImm(OpI64Load, 0)
+	got, err := run(t, buildModule(t, 1, b), newTestEnv())
+	if err != nil || got != 0x1122334455 {
+		t.Fatalf("got %#x, %v", got, err)
+	}
+}
+
+func TestMemoryBytesAndStaticOffset(t *testing.T) {
+	b := NewFuncBuilder(0, 0, 1)
+	b.Const(100).Const(0xab).OpImm(OpI64Store8, 5) // mem[105] = 0xab
+	b.Const(105).OpImm(OpI64Load8U, 0)
+	got, err := run(t, buildModule(t, 1, b), newTestEnv())
+	if err != nil || got != 0xab {
+		t.Fatalf("got %#x, %v", got, err)
+	}
+}
+
+func TestMemoryOutOfBoundsTraps(t *testing.T) {
+	cases := map[string]func(b *FuncBuilder){
+		"load past end":  func(b *FuncBuilder) { b.Const(PageSize-4).OpImm(OpI64Load, 0) },
+		"store past end": func(b *FuncBuilder) { b.Const(PageSize).Const(1).OpImm(OpI64Store, 0) },
+		"negative addr":  func(b *FuncBuilder) { b.Const(-8).OpImm(OpI64Load, 0) },
+		"copy oob": func(b *FuncBuilder) {
+			b.Const(0).Const(PageSize - 4).Const(100).Op(OpMemoryCopy).Const(0)
+		},
+		"fill oob": func(b *FuncBuilder) {
+			b.Const(PageSize - 4).Const(0).Const(100).Op(OpMemoryFill).Const(0)
+		},
+	}
+	for name, body := range cases {
+		t.Run(name, func(t *testing.T) {
+			b := NewFuncBuilder(0, 0, 1)
+			body(b)
+			if _, err := run(t, buildModule(t, 1, b), newTestEnv()); !Trap(err) {
+				t.Errorf("err = %v, want trap", err)
+			}
+		})
+	}
+}
+
+func TestMemoryCopyFill(t *testing.T) {
+	b := NewFuncBuilder(0, 0, 1)
+	// fill [10,20) with 7; copy it to [100,110); return mem[104].
+	b.Const(10).Const(7).Const(10).Op(OpMemoryFill)
+	b.Const(100).Const(10).Const(10).Op(OpMemoryCopy)
+	b.Const(104).OpImm(OpI64Load8U, 0)
+	got, err := run(t, buildModule(t, 1, b), newTestEnv())
+	if err != nil || got != 7 {
+		t.Fatalf("got %d, %v; want 7", got, err)
+	}
+}
+
+func TestMemoryGrowAndSize(t *testing.T) {
+	b := NewFuncBuilder(0, 1, 1)
+	b.Op(OpMemorySize).SetLocal(0) // 1
+	b.Const(2).Op(OpMemoryGrow).Op(OpDrop)
+	b.Op(OpMemorySize).GetLocal(0).Op(OpI64Mul) // 3*1
+	got, err := run(t, buildModule(t, 1, b), newTestEnv())
+	if err != nil || got != 3 {
+		t.Fatalf("got %d, %v; want 3", got, err)
+	}
+}
+
+func TestMemoryGrowBeyondLimitReturnsMinusOne(t *testing.T) {
+	b := NewFuncBuilder(0, 0, 1)
+	b.Const(maxMemPages + 1).Op(OpMemoryGrow)
+	got, err := run(t, buildModule(t, 1, b), newTestEnv())
+	if err != nil || got != -1 {
+		t.Fatalf("got %d, %v; want -1", got, err)
+	}
+}
+
+func TestDataSegmentsInitializeMemory(t *testing.T) {
+	b := NewFuncBuilder(0, 0, 1)
+	b.Const(32).OpImm(OpI64Load8U, 0)
+	m := buildModule(t, 1, b)
+	m.Data = []DataSegment{{Offset: 32, Bytes: []byte{0x5a}}}
+	got, err := run(t, m, newTestEnv())
+	if err != nil || got != 0x5a {
+		t.Fatalf("got %#x, %v", got, err)
+	}
+}
+
+func TestGasExhaustion(t *testing.T) {
+	// Infinite loop must stop at the gas limit.
+	b := NewFuncBuilder(0, 0, 0)
+	top := b.NewLabel()
+	b.Bind(top)
+	b.Br(top)
+	m := buildModule(t, 1, b)
+	prog, err := BuildProgram(m, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := NewVM(prog, newTestEnv(), Config{GasLimit: 10_000})
+	if _, err := vm.Run(); !errors.Is(err, ErrOutOfGas) {
+		t.Errorf("err = %v, want ErrOutOfGas", err)
+	}
+	if vm.GasUsed() != 10_000 {
+		t.Errorf("gas used = %d, want exactly the limit", vm.GasUsed())
+	}
+}
+
+func TestGasAccountedAcrossCalls(t *testing.T) {
+	entry := NewFuncBuilder(0, 0, 1)
+	entry.Call(1).Call(1).Op(OpI64Add)
+	leaf := NewFuncBuilder(0, 0, 1)
+	leaf.Const(5)
+	m := buildModule(t, 1, entry, leaf)
+	prog, _ := BuildProgram(m, BuildOptions{})
+	vm := NewVM(prog, newTestEnv(), Config{})
+	if _, err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if vm.GasUsed() < 5 {
+		t.Errorf("gas used = %d, suspiciously low", vm.GasUsed())
+	}
+}
+
+func TestUnreachableTraps(t *testing.T) {
+	b := NewFuncBuilder(0, 0, 0)
+	b.Op(OpUnreachable)
+	if _, err := run(t, buildModule(t, 1, b), newTestEnv()); !Trap(err) {
+		t.Error("unreachable should trap")
+	}
+}
+
+func TestStackUnderflowTraps(t *testing.T) {
+	b := NewFuncBuilder(0, 0, 0)
+	b.Op(OpDrop)
+	if _, err := run(t, buildModule(t, 1, b), newTestEnv()); !Trap(err) {
+		t.Error("drop on empty stack should trap")
+	}
+}
+
+func TestReturnCleansResidue(t *testing.T) {
+	// Callee leaves junk under its result; caller must still see exactly
+	// one value.
+	callee := NewFuncBuilder(0, 0, 1)
+	callee.Const(111).Const(222).Const(42) // two junk values + result
+	entry := NewFuncBuilder(0, 0, 1)
+	entry.Call(1).Const(1).Op(OpI64Add)
+	got, err := run(t, buildModule(t, 1, entry, callee), newTestEnv())
+	if err != nil || got != 43 {
+		t.Fatalf("got %d, %v; want 43", got, err)
+	}
+}
+
+func TestEarlyReturn(t *testing.T) {
+	b := NewFuncBuilder(1, 0, 1)
+	skip := b.NewLabel()
+	b.GetLocal(0).BrIf(skip)
+	b.Const(100).Op(OpReturn)
+	b.Bind(skip)
+	b.Const(200)
+	if got, _ := run(t, buildModule(t, 1, b), newTestEnv(), 0); got != 100 {
+		t.Errorf("arg 0: got %d, want 100", got)
+	}
+	if got, _ := run(t, buildModule(t, 1, b), newTestEnv(), 1); got != 200 {
+		t.Errorf("arg 1: got %d, want 200", got)
+	}
+}
+
+func TestModuleEncodeDecodeRoundTrip(t *testing.T) {
+	b := loopSumBuilder()
+	m := buildModule(t, 2, b)
+	m.Data = []DataSegment{{Offset: 8, Bytes: []byte("hello")}}
+	wire := m.Encode()
+	back, err := DecodeModule(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.MemPages != 2 || len(back.Funcs) != 1 || len(back.Data) != 1 {
+		t.Fatal("structure corrupted")
+	}
+	if !bytes.Equal(back.Funcs[0].Code, m.Funcs[0].Code) {
+		t.Fatal("code corrupted")
+	}
+	if !bytes.Equal(back.Data[0].Bytes, []byte("hello")) {
+		t.Fatal("data corrupted")
+	}
+	// And the decoded module still runs.
+	prog, err := BuildProgram(back, BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewVM(prog, newTestEnv(), Config{}).Run(10)
+	if err != nil || got != 45 {
+		t.Fatalf("got %d, %v; want 45", got, err)
+	}
+}
+
+func TestDecodeModuleRejections(t *testing.T) {
+	valid := buildModule(t, 1, NewFuncBuilder(0, 0, 0)).Encode()
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": {'x', 'y', 'z', 'w', 1, 0},
+		"truncated": valid[:len(valid)-1],
+		"trailing":  append(append([]byte{}, valid...), 0xff),
+	}
+	for name, data := range cases {
+		if _, err := DecodeModule(data); err == nil {
+			t.Errorf("%s: decode should fail", name)
+		}
+	}
+}
+
+func TestValidationRejectsBadPrograms(t *testing.T) {
+	mk := func(code []byte) *Module {
+		return &Module{MemPages: 1, Funcs: []Func{{Code: code}}}
+	}
+	cases := map[string][]byte{
+		"invalid opcode":     {0xee},
+		"local out of range": append([]byte{byte(OpLocalGet)}, 5),
+		"branch out of range": func() []byte {
+			b := NewFuncBuilder(0, 0, 0)
+			b.OpImm(OpBr, 100)
+			return b.MustFinish().Code
+		}(),
+		"call out of range": func() []byte {
+			b := NewFuncBuilder(0, 0, 0)
+			b.OpImm(OpCall, 7)
+			return b.MustFinish().Code
+		}(),
+		"host out of range": func() []byte {
+			b := NewFuncBuilder(0, 0, 0)
+			b.OpImm(OpHost, 99)
+			return b.MustFinish().Code
+		}(),
+	}
+	for name, code := range cases {
+		if _, err := BuildProgram(mk(code), BuildOptions{}); err == nil {
+			t.Errorf("%s: build should fail", name)
+		}
+	}
+}
+
+func TestMemoryBufferReuse(t *testing.T) {
+	b := NewFuncBuilder(0, 0, 1)
+	b.Const(0).OpImm(OpI64Load, 0) // must read 0 even from a dirty buffer
+	m := buildModule(t, 1, b)
+	prog, _ := BuildProgram(m, BuildOptions{})
+	dirty := bytes.Repeat([]byte{0xff}, PageSize)
+	got, err := NewVM(prog, newTestEnv(), Config{MemoryBuffer: dirty}).Run()
+	if err != nil || got != 0 {
+		t.Fatalf("pooled buffer not zeroed: got %#x, %v", got, err)
+	}
+}
+
+func TestDisassembleOutput(t *testing.T) {
+	b := NewFuncBuilder(0, 0, 1)
+	b.Const(1).Const(2).Op(OpI64Add)
+	m := buildModule(t, 1, b)
+	prog, _ := BuildProgram(m, BuildOptions{})
+	asm := Disassemble(prog.Code(0))
+	for _, want := range []string{"i64.const 1", "i64.const 2", "i64.add"} {
+		if !strings.Contains(asm, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, asm)
+		}
+	}
+}

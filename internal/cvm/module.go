@@ -1,0 +1,277 @@
+package cvm
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Module is a compiled contract in wire form: LEB128-encoded function
+// bodies, static data segments, and a memory declaration. This is the byte
+// blob stored (encrypted, for confidential contracts) in the chain's KV
+// store and decoded by the VM at load time.
+type Module struct {
+	// MemPages is the initial linear-memory size in 64 KiB pages.
+	MemPages int
+	// Funcs holds all functions; index 0 is the entry point ("invoke").
+	Funcs []Func
+	// Data segments are copied into memory at load.
+	Data []DataSegment
+}
+
+// Func is one function's wire form.
+type Func struct {
+	// NumParams values are popped from the caller's stack into the first
+	// locals.
+	NumParams int
+	// NumLocals is the count of additional zero-initialized locals.
+	NumLocals int
+	// NumResults is 0 or 1.
+	NumResults int
+	// Code is LEB128-encoded bytecode.
+	Code []byte
+}
+
+// DataSegment is static memory initialization.
+type DataSegment struct {
+	Offset int
+	Bytes  []byte
+}
+
+// PageSize is the linear-memory page granularity (64 KiB, as in Wasm).
+const PageSize = 65536
+
+// moduleMagic identifies CONFIDE-VM wire modules.
+var moduleMagic = []byte{0x00, 'c', 'v', 'm', 0x01}
+
+// Encode serializes the module.
+func (m *Module) Encode() []byte {
+	var out []byte
+	out = append(out, moduleMagic...)
+	out = appendUvarint(out, uint64(m.MemPages))
+	out = appendUvarint(out, uint64(len(m.Funcs)))
+	for _, f := range m.Funcs {
+		out = appendUvarint(out, uint64(f.NumParams))
+		out = appendUvarint(out, uint64(f.NumLocals))
+		out = appendUvarint(out, uint64(f.NumResults))
+		out = appendUvarint(out, uint64(len(f.Code)))
+		out = append(out, f.Code...)
+	}
+	out = appendUvarint(out, uint64(len(m.Data)))
+	for _, d := range m.Data {
+		out = appendUvarint(out, uint64(d.Offset))
+		out = appendUvarint(out, uint64(len(d.Bytes)))
+		out = append(out, d.Bytes...)
+	}
+	return out
+}
+
+func appendUvarint(dst []byte, v uint64) []byte {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	return append(dst, buf[:n]...)
+}
+
+func appendVarint(dst []byte, v int64) []byte {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	return append(dst, buf[:n]...)
+}
+
+// ErrBadModule reports a malformed wire module.
+var ErrBadModule = errors.New("cvm: malformed module")
+
+type byteReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *byteReader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		return 0, ErrBadModule
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *byteReader) varint() (int64, error) {
+	v, n := binary.Varint(r.data[r.pos:])
+	if n <= 0 {
+		return 0, ErrBadModule
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *byteReader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.pos+n > len(r.data) {
+		return nil, ErrBadModule
+	}
+	b := r.data[r.pos : r.pos+n]
+	r.pos += n
+	return b, nil
+}
+
+// DecodeModule parses a wire module (without validating bytecode; that
+// happens when the Program is built).
+func DecodeModule(data []byte) (*Module, error) {
+	if len(data) < len(moduleMagic) || string(data[:len(moduleMagic)]) != string(moduleMagic) {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadModule)
+	}
+	r := &byteReader{data: data, pos: len(moduleMagic)}
+	var m Module
+	pages, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if pages > 1024 {
+		return nil, fmt.Errorf("%w: memory too large", ErrBadModule)
+	}
+	m.MemPages = int(pages)
+	nf, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nf > 4096 {
+		return nil, fmt.Errorf("%w: too many functions", ErrBadModule)
+	}
+	for i := uint64(0); i < nf; i++ {
+		var f Func
+		p, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		l, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		res, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if p > 255 || l > 65535 || res > 1 {
+			return nil, fmt.Errorf("%w: function signature out of range", ErrBadModule)
+		}
+		codeLen, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		code, err := r.bytes(int(codeLen))
+		if err != nil {
+			return nil, err
+		}
+		f.NumParams, f.NumLocals, f.NumResults = int(p), int(l), int(res)
+		f.Code = append([]byte(nil), code...)
+		m.Funcs = append(m.Funcs, f)
+	}
+	nd, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if nd > 4096 {
+		return nil, fmt.Errorf("%w: too many data segments", ErrBadModule)
+	}
+	for i := uint64(0); i < nd; i++ {
+		off, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		n, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		b, err := r.bytes(int(n))
+		if err != nil {
+			return nil, err
+		}
+		m.Data = append(m.Data, DataSegment{Offset: int(off), Bytes: append([]byte(nil), b...)})
+	}
+	if r.pos != len(data) {
+		return nil, fmt.Errorf("%w: trailing bytes", ErrBadModule)
+	}
+	if len(m.Funcs) == 0 {
+		return nil, fmt.Errorf("%w: no functions", ErrBadModule)
+	}
+	return &m, nil
+}
+
+// decodeCode expands LEB128 bytecode into []Instr.
+func decodeCode(code []byte) ([]Instr, error) {
+	r := &byteReader{data: code}
+	var out []Instr
+	for r.pos < len(code) {
+		op := Op(code[r.pos])
+		r.pos++
+		kind, ok := immediates[op]
+		if !ok {
+			return nil, fmt.Errorf("%w: invalid opcode 0x%02x at %d", ErrBadModule, byte(op), r.pos-1)
+		}
+		var in Instr
+		in.Op = op
+		switch kind {
+		case immU:
+			v, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			in.A = int64(v)
+		case immS:
+			v, err := r.varint()
+			if err != nil {
+				return nil, err
+			}
+			in.A = v
+		}
+		out = append(out, in)
+	}
+	return out, nil
+}
+
+// validateCode checks structural safety so the interpreter can skip
+// per-instruction checks for locals and branch targets.
+func validateCode(instrs []Instr, numLocals, numFuncs, numHosts int) error {
+	n := int64(len(instrs))
+	for i, in := range instrs {
+		switch in.Op {
+		case OpLocalGet, OpLocalSet, OpLocalTee:
+			if in.A < 0 || in.A >= int64(numLocals) {
+				return fmt.Errorf("%w: local index %d out of range at %d", ErrBadModule, in.A, i)
+			}
+		case OpBr, OpBrIf:
+			target := int64(i) + 1 + in.A
+			if target < 0 || target > n {
+				return fmt.Errorf("%w: branch target %d out of range at %d", ErrBadModule, target, i)
+			}
+		case OpCall:
+			if in.A < 0 || in.A >= int64(numFuncs) {
+				return fmt.Errorf("%w: call target %d out of range at %d", ErrBadModule, in.A, i)
+			}
+		case OpHost:
+			if in.A < 0 || in.A >= int64(numHosts) {
+				return fmt.Errorf("%w: host index %d out of range at %d", ErrBadModule, in.A, i)
+			}
+		case OpI64Load, OpI64Store, OpI64Load8U, OpI64Store8:
+			if in.A < 0 {
+				return fmt.Errorf("%w: negative memory offset at %d", ErrBadModule, i)
+			}
+		}
+	}
+	return nil
+}
+
+// Disassemble renders decoded code as text, one instruction per line.
+func Disassemble(instrs []Instr) string {
+	out := ""
+	for i, in := range instrs {
+		out += fmt.Sprintf("%4d  %s", i, in.Op.Name())
+		if kind := immediates[in.Op]; kind != immNone || in.Op > 0xff {
+			out += fmt.Sprintf(" %d", in.A)
+			if in.Op > 0xff {
+				out += fmt.Sprintf(" %d", in.B)
+			}
+		}
+		out += "\n"
+	}
+	return out
+}

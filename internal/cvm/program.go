@@ -1,0 +1,77 @@
+package cvm
+
+import "fmt"
+
+// Program is a decoded, validated (and optionally fused) module, ready for
+// execution. Building a Program from wire bytes is the expensive step the
+// code cache (OPT1) amortizes across transactions.
+type Program struct {
+	memPages int
+	funcs    []progFunc
+	data     []DataSegment
+	fused    bool
+}
+
+type progFunc struct {
+	numParams  int
+	numLocals  int // params + declared locals
+	numResults int
+	code       []Instr
+}
+
+// BuildOptions configures program construction.
+type BuildOptions struct {
+	// Fuse enables the superinstruction pass (OPT4).
+	Fuse bool
+}
+
+// BuildProgram decodes, validates and (optionally) fuses a wire module.
+func BuildProgram(m *Module, opts BuildOptions) (*Program, error) {
+	p := &Program{memPages: m.MemPages, data: m.Data, fused: opts.Fuse}
+	if p.memPages < 1 {
+		p.memPages = 1
+	}
+	for i, f := range m.Funcs {
+		instrs, err := decodeCode(f.Code)
+		if err != nil {
+			return nil, fmt.Errorf("cvm: function %d: %w", i, err)
+		}
+		total := f.NumParams + f.NumLocals
+		if err := validateCode(instrs, total, len(m.Funcs), numHostFuncs); err != nil {
+			return nil, fmt.Errorf("cvm: function %d: %w", i, err)
+		}
+		if opts.Fuse {
+			instrs = fuse(instrs)
+		}
+		p.funcs = append(p.funcs, progFunc{
+			numParams:  f.NumParams,
+			numLocals:  total,
+			numResults: f.NumResults,
+			code:       instrs,
+		})
+	}
+	for _, d := range m.Data {
+		if d.Offset < 0 || d.Offset+len(d.Bytes) > p.memPages*PageSize {
+			return nil, fmt.Errorf("%w: data segment outside memory", ErrBadModule)
+		}
+	}
+	return p, nil
+}
+
+// LoadProgram decodes wire bytes straight to a Program.
+func LoadProgram(wire []byte, opts BuildOptions) (*Program, error) {
+	m, err := DecodeModule(wire)
+	if err != nil {
+		return nil, err
+	}
+	return BuildProgram(m, opts)
+}
+
+// Fused reports whether the superinstruction pass ran.
+func (p *Program) Fused() bool { return p.fused }
+
+// NumFuncs reports the function count.
+func (p *Program) NumFuncs() int { return len(p.funcs) }
+
+// Code exposes a function's decoded instructions (for disassembly/tests).
+func (p *Program) Code(fn int) []Instr { return p.funcs[fn].code }

@@ -1,0 +1,42 @@
+package cvm
+
+import "fmt"
+
+// testEnv is an in-memory Env for interpreter tests.
+type testEnv struct {
+	storage map[string][]byte
+	input   []byte
+	output  []byte
+	logs    []string
+	caller  []byte
+	callFn  func(addr, input []byte) ([]byte, error)
+}
+
+func newTestEnv() *testEnv {
+	return &testEnv{
+		storage: make(map[string][]byte),
+		caller:  make([]byte, 20),
+	}
+}
+
+func (e *testEnv) GetStorage(key []byte) ([]byte, bool, error) {
+	v, ok := e.storage[string(key)]
+	return v, ok, nil
+}
+
+func (e *testEnv) SetStorage(key, value []byte) error {
+	e.storage[string(key)] = value
+	return nil
+}
+
+func (e *testEnv) Input() []byte      { return e.input }
+func (e *testEnv) SetOutput(o []byte) { e.output = o }
+func (e *testEnv) Log(m string)       { e.logs = append(e.logs, m) }
+func (e *testEnv) Caller() []byte     { return e.caller }
+
+func (e *testEnv) CallContract(addr, input []byte) ([]byte, error) {
+	if e.callFn != nil {
+		return e.callFn(addr, input)
+	}
+	return nil, fmt.Errorf("no contract at %x", addr)
+}

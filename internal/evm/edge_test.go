@@ -1,0 +1,168 @@
+package evm
+
+import (
+	"math/big"
+	"testing"
+)
+
+// Edge-case coverage for the interpreter's less-travelled paths.
+
+func TestSignedOpsEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		emit func(a *Assembler)
+		want uint64
+	}{
+		{"slt negative vs positive", func(a *Assembler) {
+			a.Push(1)                 // b = 1
+			a.Push(1).Push(0).Op(SUB) // a = -1 on top
+			a.Op(SLT)                 // -1 < 1 → 1
+		}, 1},
+		{"sgt positive vs negative", func(a *Assembler) {
+			a.Push(1)
+			a.Push(1).Push(0).Op(SUB) // [1, -1]
+			a.Op(SGT)                 // -1 > 1 → 0
+		}, 0},
+		{"smod sign follows dividend", func(a *Assembler) {
+			// (-7) smod 2 = -1 → low byte 0xff
+			a.Push(7).Push(0).Op(SUB)
+			a.Push(2).Swap(1).Op(SMOD)
+			a.Push(0xff).Op(AND)
+		}, 0xff},
+		{"sdiv by zero", func(a *Assembler) {
+			a.Push(0).Push(9).Op(SDIV)
+		}, 0},
+		{"smod by zero", func(a *Assembler) {
+			a.Push(0).Push(9).Op(SMOD)
+		}, 0},
+		{"byte index out of range", func(a *Assembler) {
+			a.Push(0xabcd).Push(40).Op(BYTE)
+		}, 0},
+		{"shl 256+ clears", func(a *Assembler) {
+			a.Push(1).Push(300).Op(SHL)
+		}, 0},
+		{"shr 256+ clears", func(a *Assembler) {
+			a.Push(1).Push(256).Op(SHR)
+		}, 0},
+		{"not round trip", func(a *Assembler) {
+			a.Push(0).Op(NOT).Op(NOT)
+		}, 0},
+		{"msize grows with touch", func(a *Assembler) {
+			a.Push(0).Push(95).Op(MSTORE8) // touch byte 95 → 96 → word-round 96
+			a.Op(MSIZE)
+		}, 96},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			a := NewAssembler()
+			c.emit(a)
+			storeTop(a)
+			if got := runReturnWord(t, a, newTestEnv()); got != c.want {
+				t.Errorf("got %#x, want %#x", got, c.want)
+			}
+		})
+	}
+}
+
+func TestMemOffsetOverflowTraps(t *testing.T) {
+	a := NewAssembler()
+	// A 256-bit offset that doesn't fit int64 must trap, not wrap.
+	a.PushBytes([]byte{1, 0, 0, 0, 0, 0, 0, 0, 0}) // 2^64
+	a.Op(MLOAD)
+	code, _ := a.Assemble()
+	if err := New(code, newTestEnv(), Config{}).Run(); !Trap(err) {
+		t.Errorf("err = %v, want trap", err)
+	}
+}
+
+func TestMemoryBeyondLimitTraps(t *testing.T) {
+	a := NewAssembler()
+	a.Push(uint64(maxMemBytes)).Op(MLOAD)
+	code, _ := a.Assemble()
+	if err := New(code, newTestEnv(), Config{}).Run(); !Trap(err) {
+		t.Errorf("err = %v, want trap", err)
+	}
+}
+
+func TestReturndata(t *testing.T) {
+	env := newTestEnv()
+	env.callFn = func(addr, input []byte) ([]byte, error) {
+		return []byte("0123456789"), nil
+	}
+	a := NewAssembler()
+	// CALL, then RETURNDATASIZE and RETURNDATACOPY a slice of it.
+	a.Push(0).Push(0).Push(0).Push(0).Push(0).Push(1).Push(0).Op(CALL)
+	a.Op(POP)
+	a.Op(RETURNDATASIZE) // 10
+	// copy bytes [2,6) to memory 0: pops dst (top), src, n.
+	a.Push(4).Push(2).Push(0)
+	a.Op(RETURNDATACOPY)
+	a.Push(0).Op(MLOAD)
+	a.Push(224).Op(SHR) // first four bytes
+	a.Op(ADD)           // + returndatasize = 10
+	storeTop(a)
+	got := runReturnWord(t, a, env)
+	want := uint64(0x32333435 + 10) // "2345" + 10
+	if got != want {
+		t.Errorf("got %#x, want %#x", got, want)
+	}
+}
+
+func TestReturndataCopyOutOfRangeTraps(t *testing.T) {
+	env := newTestEnv()
+	env.callFn = func(addr, input []byte) ([]byte, error) { return []byte("xy"), nil }
+	a := NewAssembler()
+	a.Push(0).Push(0).Push(0).Push(0).Push(0).Push(1).Push(0).Op(CALL)
+	a.Op(POP)
+	a.Push(5).Push(0).Push(0) // n=5 src=0 dst=0; 5 > 2 available
+	a.Op(RETURNDATACOPY)
+	code, _ := a.Assemble()
+	if err := New(code, env, Config{}).Run(); !Trap(err) {
+		t.Errorf("err = %v, want trap", err)
+	}
+}
+
+func TestReturndataEmptyBeforeAnyCall(t *testing.T) {
+	a := NewAssembler()
+	a.Op(RETURNDATASIZE)
+	storeTop(a)
+	if got := runReturnWord(t, a, newTestEnv()); got != 0 {
+		t.Errorf("returndatasize before call = %d", got)
+	}
+}
+
+func TestDupSwapUnderflowTraps(t *testing.T) {
+	if err := New([]byte{DUP1 + 3}, newTestEnv(), Config{}).Run(); !Trap(err) {
+		t.Error("DUP4 on empty stack should trap")
+	}
+	if err := New([]byte{PUSH1, 1, SWAP1}, newTestEnv(), Config{}).Run(); !Trap(err) {
+		t.Error("SWAP1 with one value should trap")
+	}
+}
+
+func TestSignHelpers(t *testing.T) {
+	// toSigned round-trips the boundary values.
+	if toSigned(new(big.Int).Set(bigSignBit)).Sign() >= 0 {
+		t.Error("2^255 should read negative")
+	}
+	below := new(big.Int).Sub(bigSignBit, big.NewInt(1))
+	if toSigned(below).Sign() < 0 {
+		t.Error("2^255-1 should read positive")
+	}
+}
+
+func TestGasCostsCharged(t *testing.T) {
+	a := NewAssembler()
+	a.Push(1).Push(1).Op(SSTORE)
+	a.Push(1).Op(SLOAD).Op(POP)
+	a.Op(STOP)
+	code, _ := a.Assemble()
+	vm := New(code, newTestEnv(), Config{})
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// SSTORE 400 + SLOAD 200 + small ops.
+	if vm.GasUsed() < 600 {
+		t.Errorf("gas used = %d, storage ops undercharged", vm.GasUsed())
+	}
+}

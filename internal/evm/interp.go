@@ -1,0 +1,762 @@
+package evm
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"math/big"
+
+	ccrypto "confide/internal/crypto"
+	"confide/internal/cvm"
+)
+
+// Env is the execution environment; it is identical to CONFIDE-VM's so the
+// two engines are interchangeable behind the same storage and call fabric.
+type Env = cvm.Env
+
+// Interpreter limits.
+const (
+	maxStackDepth = 1024
+	maxMemBytes   = 16 << 20
+	maxCallDepth  = 64
+)
+
+// Errors.
+var (
+	ErrOutOfGas = errors.New("evm: out of gas")
+	errTrap     = errors.New("evm: trap")
+	// ErrRevert carries an explicit REVERT from the contract.
+	ErrRevert = errors.New("evm: execution reverted")
+)
+
+// Trap reports whether err is a VM trap.
+func Trap(err error) bool { return errors.Is(err, errTrap) }
+
+var (
+	bigWordMask = new(big.Int).Sub(new(big.Int).Lsh(big.NewInt(1), 256), big.NewInt(1))
+	bigSignBit  = new(big.Int).Lsh(big.NewInt(1), 255)
+	bigWordMod  = new(big.Int).Lsh(big.NewInt(1), 256)
+)
+
+// VM executes one EVM contract invocation.
+type VM struct {
+	code []byte
+	env  Env
+	mem  []byte
+
+	stack []*big.Int
+	free  []*big.Int // value pool
+
+	gasLimit uint64
+	gasUsed  uint64
+	depth    int
+
+	lastReturn []byte // return data of the most recent CALL
+	jumpdests  map[int]bool
+}
+
+// Config parameterizes an execution.
+type Config struct {
+	// GasLimit bounds work; 0 means 500M (EVM ops are ~big.Int heavy,
+	// so workloads burn more abstract gas than on CONFIDE-VM).
+	GasLimit uint64
+}
+
+// New prepares an execution of code against env.
+func New(code []byte, env Env, cfg Config) *VM {
+	gas := cfg.GasLimit
+	if gas == 0 {
+		gas = 500_000_000
+	}
+	vm := &VM{
+		code:      code,
+		env:       env,
+		gasLimit:  gas,
+		jumpdests: findJumpdests(code),
+	}
+	return vm
+}
+
+// findJumpdests records valid JUMPDEST offsets, skipping PUSH immediates.
+func findJumpdests(code []byte) map[int]bool {
+	dests := make(map[int]bool)
+	for i := 0; i < len(code); i++ {
+		op := code[i]
+		if op == JUMPDEST {
+			dests[i] = true
+		} else if op >= PUSH1 && op <= PUSH32 {
+			i += int(op-PUSH1) + 1
+		}
+	}
+	return dests
+}
+
+// GasUsed reports consumed gas.
+func (vm *VM) GasUsed() uint64 { return vm.gasUsed }
+
+func (vm *VM) getInt() *big.Int {
+	if n := len(vm.free); n > 0 {
+		v := vm.free[n-1]
+		vm.free = vm.free[:n-1]
+		return v.SetInt64(0)
+	}
+	return new(big.Int)
+}
+
+func (vm *VM) putInt(v *big.Int) { vm.free = append(vm.free, v) }
+
+func (vm *VM) push(v *big.Int) error {
+	if len(vm.stack) >= maxStackDepth {
+		return fmt.Errorf("%w: stack overflow", errTrap)
+	}
+	vm.stack = append(vm.stack, v)
+	return nil
+}
+
+func (vm *VM) pop() (*big.Int, error) {
+	if len(vm.stack) == 0 {
+		return nil, fmt.Errorf("%w: stack underflow", errTrap)
+	}
+	v := vm.stack[len(vm.stack)-1]
+	vm.stack = vm.stack[:len(vm.stack)-1]
+	return v, nil
+}
+
+// ensureMem grows memory (zero filled) to cover [off, off+n).
+func (vm *VM) ensureMem(off, n int64) error {
+	if off < 0 || n < 0 || off+n > maxMemBytes {
+		return fmt.Errorf("%w: memory access out of range", errTrap)
+	}
+	need := off + n
+	if int64(len(vm.mem)) < need {
+		// Grow in 32-byte words like the real EVM.
+		words := (need + 31) / 32
+		vm.mem = append(vm.mem, make([]byte, words*32-int64(len(vm.mem)))...)
+	}
+	return nil
+}
+
+func (vm *VM) memOff(v *big.Int) (int64, error) {
+	if !v.IsInt64() {
+		return 0, fmt.Errorf("%w: memory offset overflows", errTrap)
+	}
+	return v.Int64(), nil
+}
+
+// toSigned interprets a 256-bit word as two's complement.
+func toSigned(v *big.Int) *big.Int {
+	if v.Cmp(bigSignBit) >= 0 {
+		return new(big.Int).Sub(v, bigWordMod)
+	}
+	return v
+}
+
+func fromBool(dst *big.Int, b bool) *big.Int {
+	if b {
+		return dst.SetInt64(1)
+	}
+	return dst.SetInt64(0)
+}
+
+// gas costs per opcode class.
+func gasCost(op byte) uint64 {
+	switch op {
+	case SLOAD:
+		return 200
+	case SSTORE:
+		return 400
+	case KECCAK256, SHA256F:
+		return 60
+	case CALL:
+		return 700
+	case MUL, DIV, SDIV, MOD, SMOD:
+		return 5
+	case LOG0:
+		return 20
+	default:
+		return 3
+	}
+}
+
+// Run executes the bytecode. The contract's declared return data (via
+// RETURN) is stored through Env.SetOutput.
+func (vm *VM) Run() error {
+	return vm.exec()
+}
+
+func (vm *VM) charge(op byte) error {
+	c := gasCost(op)
+	if vm.gasUsed+c > vm.gasLimit {
+		vm.gasUsed = vm.gasLimit
+		return ErrOutOfGas
+	}
+	vm.gasUsed += c
+	return nil
+}
+
+func (vm *VM) exec() error {
+	pc := 0
+	code := vm.code
+	for pc < len(code) {
+		op := code[pc]
+		pc++
+		if err := vm.charge(op); err != nil {
+			return err
+		}
+		switch {
+		case op == STOP:
+			return nil
+
+		case op >= PUSH1 && op <= PUSH32:
+			n := int(op-PUSH1) + 1
+			if pc+n > len(code) {
+				return fmt.Errorf("%w: truncated PUSH", errTrap)
+			}
+			v := vm.getInt().SetBytes(code[pc : pc+n])
+			pc += n
+			if err := vm.push(v); err != nil {
+				return err
+			}
+
+		case op >= DUP1 && op < DUP1+16:
+			n := int(op-DUP1) + 1
+			if len(vm.stack) < n {
+				return fmt.Errorf("%w: DUP%d underflow", errTrap, n)
+			}
+			v := vm.getInt().Set(vm.stack[len(vm.stack)-n])
+			if err := vm.push(v); err != nil {
+				return err
+			}
+
+		case op >= SWAP1 && op < SWAP1+16:
+			n := int(op-SWAP1) + 1
+			if len(vm.stack) < n+1 {
+				return fmt.Errorf("%w: SWAP%d underflow", errTrap, n)
+			}
+			top := len(vm.stack) - 1
+			vm.stack[top], vm.stack[top-n] = vm.stack[top-n], vm.stack[top]
+
+		case op == POP:
+			v, err := vm.pop()
+			if err != nil {
+				return err
+			}
+			vm.putInt(v)
+
+		case op == ADD, op == MUL, op == SUB, op == DIV, op == SDIV,
+			op == MOD, op == SMOD, op == AND, op == OR, op == XOR,
+			op == LT, op == GT, op == SLT, op == SGT, op == EQ,
+			op == SHL, op == SHR, op == BYTE:
+			if err := vm.binOp(op); err != nil {
+				return err
+			}
+
+		case op == ISZERO:
+			if len(vm.stack) < 1 {
+				return fmt.Errorf("%w: ISZERO underflow", errTrap)
+			}
+			v := vm.stack[len(vm.stack)-1]
+			fromBool(v, v.Sign() == 0)
+
+		case op == NOT:
+			if len(vm.stack) < 1 {
+				return fmt.Errorf("%w: NOT underflow", errTrap)
+			}
+			v := vm.stack[len(vm.stack)-1]
+			v.Xor(v, bigWordMask)
+
+		case op == CALLER:
+			v := vm.getInt().SetBytes(vm.env.Caller())
+			if err := vm.push(v); err != nil {
+				return err
+			}
+
+		case op == CALLDATASIZE:
+			if err := vm.push(vm.getInt().SetInt64(int64(len(vm.env.Input())))); err != nil {
+				return err
+			}
+
+		case op == CALLDATALOAD:
+			offV, err := vm.pop()
+			if err != nil {
+				return err
+			}
+			off, err := vm.memOff(offV)
+			if err != nil {
+				return err
+			}
+			var word [32]byte
+			in := vm.env.Input()
+			for i := 0; i < 32; i++ {
+				if off+int64(i) < int64(len(in)) {
+					word[i] = in[off+int64(i)]
+				}
+			}
+			offV.SetBytes(word[:])
+			if err := vm.push(offV); err != nil {
+				return err
+			}
+
+		case op == CALLDATACOPY:
+			dstV, err := vm.pop()
+			if err != nil {
+				return err
+			}
+			srcV, err := vm.pop()
+			if err != nil {
+				return err
+			}
+			nV, err := vm.pop()
+			if err != nil {
+				return err
+			}
+			dst, err := vm.memOff(dstV)
+			if err != nil {
+				return err
+			}
+			src, err := vm.memOff(srcV)
+			if err != nil {
+				return err
+			}
+			n, err := vm.memOff(nV)
+			if err != nil {
+				return err
+			}
+			vm.putInt(dstV)
+			vm.putInt(srcV)
+			vm.putInt(nV)
+			if err := vm.ensureMem(dst, n); err != nil {
+				return err
+			}
+			in := vm.env.Input()
+			for i := int64(0); i < n; i++ {
+				var b byte
+				if src+i < int64(len(in)) {
+					b = in[src+i]
+				}
+				vm.mem[dst+i] = b
+			}
+
+		case op == MLOAD:
+			offV, err := vm.pop()
+			if err != nil {
+				return err
+			}
+			off, err := vm.memOff(offV)
+			if err != nil {
+				return err
+			}
+			if err := vm.ensureMem(off, 32); err != nil {
+				return err
+			}
+			offV.SetBytes(vm.mem[off : off+32])
+			if err := vm.push(offV); err != nil {
+				return err
+			}
+
+		case op == MSTORE:
+			offV, err := vm.pop()
+			if err != nil {
+				return err
+			}
+			val, err := vm.pop()
+			if err != nil {
+				return err
+			}
+			off, err := vm.memOff(offV)
+			if err != nil {
+				return err
+			}
+			if err := vm.ensureMem(off, 32); err != nil {
+				return err
+			}
+			val.FillBytes(vm.mem[off : off+32])
+			vm.putInt(offV)
+			vm.putInt(val)
+
+		case op == MSTORE8:
+			offV, err := vm.pop()
+			if err != nil {
+				return err
+			}
+			val, err := vm.pop()
+			if err != nil {
+				return err
+			}
+			off, err := vm.memOff(offV)
+			if err != nil {
+				return err
+			}
+			if err := vm.ensureMem(off, 1); err != nil {
+				return err
+			}
+			vm.mem[off] = byte(val.Uint64())
+			vm.putInt(offV)
+			vm.putInt(val)
+
+		case op == MSIZE:
+			if err := vm.push(vm.getInt().SetInt64(int64(len(vm.mem)))); err != nil {
+				return err
+			}
+
+		case op == SLOAD:
+			keyV, err := vm.pop()
+			if err != nil {
+				return err
+			}
+			var key [32]byte
+			keyV.FillBytes(key[:])
+			val, found, err := vm.env.GetStorage(key[:])
+			if err != nil {
+				return err
+			}
+			if !found {
+				keyV.SetInt64(0)
+			} else {
+				keyV.SetBytes(val)
+			}
+			if err := vm.push(keyV); err != nil {
+				return err
+			}
+
+		case op == SSTORE:
+			keyV, err := vm.pop()
+			if err != nil {
+				return err
+			}
+			valV, err := vm.pop()
+			if err != nil {
+				return err
+			}
+			var key, val [32]byte
+			keyV.FillBytes(key[:])
+			valV.FillBytes(val[:])
+			if err := vm.env.SetStorage(key[:], val[:]); err != nil {
+				return err
+			}
+			vm.putInt(keyV)
+			vm.putInt(valV)
+
+		case op == JUMP:
+			dstV, err := vm.pop()
+			if err != nil {
+				return err
+			}
+			dst, err := vm.memOff(dstV)
+			if err != nil {
+				return err
+			}
+			vm.putInt(dstV)
+			if !vm.jumpdests[int(dst)] {
+				return fmt.Errorf("%w: jump to non-JUMPDEST %d", errTrap, dst)
+			}
+			pc = int(dst)
+
+		case op == JUMPI:
+			dstV, err := vm.pop()
+			if err != nil {
+				return err
+			}
+			cond, err := vm.pop()
+			if err != nil {
+				return err
+			}
+			if cond.Sign() != 0 {
+				dst, err := vm.memOff(dstV)
+				if err != nil {
+					return err
+				}
+				if !vm.jumpdests[int(dst)] {
+					return fmt.Errorf("%w: jump to non-JUMPDEST %d", errTrap, dst)
+				}
+				pc = int(dst)
+			}
+			vm.putInt(dstV)
+			vm.putInt(cond)
+
+		case op == JUMPDEST:
+			// no-op marker
+
+		case op == KECCAK256, op == SHA256F:
+			offV, err := vm.pop()
+			if err != nil {
+				return err
+			}
+			nV, err := vm.pop()
+			if err != nil {
+				return err
+			}
+			off, err := vm.memOff(offV)
+			if err != nil {
+				return err
+			}
+			n, err := vm.memOff(nV)
+			if err != nil {
+				return err
+			}
+			if err := vm.ensureMem(off, n); err != nil {
+				return err
+			}
+			var digest [32]byte
+			if op == KECCAK256 {
+				digest = ccrypto.Keccak256(vm.mem[off : off+n])
+			} else {
+				digest = sha256.Sum256(vm.mem[off : off+n])
+			}
+			offV.SetBytes(digest[:])
+			vm.putInt(nV)
+			if err := vm.push(offV); err != nil {
+				return err
+			}
+
+		case op == LOG0:
+			offV, err := vm.pop()
+			if err != nil {
+				return err
+			}
+			nV, err := vm.pop()
+			if err != nil {
+				return err
+			}
+			off, err := vm.memOff(offV)
+			if err != nil {
+				return err
+			}
+			n, err := vm.memOff(nV)
+			if err != nil {
+				return err
+			}
+			if err := vm.ensureMem(off, n); err != nil {
+				return err
+			}
+			vm.env.Log(string(vm.mem[off : off+n]))
+			vm.putInt(offV)
+			vm.putInt(nV)
+
+		case op == CALL:
+			// gas, addr, value, inOff, inLen, outOff, outCap → success
+			var vals [7]*big.Int
+			for i := 0; i < 7; i++ {
+				v, err := vm.pop()
+				if err != nil {
+					return err
+				}
+				vals[i] = v
+			}
+			addrWord := vals[1]
+			var addr32 [32]byte
+			addrWord.FillBytes(addr32[:])
+			inOff, err := vm.memOff(vals[3])
+			if err != nil {
+				return err
+			}
+			inLen, err := vm.memOff(vals[4])
+			if err != nil {
+				return err
+			}
+			outOff, err := vm.memOff(vals[5])
+			if err != nil {
+				return err
+			}
+			outCap, err := vm.memOff(vals[6])
+			if err != nil {
+				return err
+			}
+			if err := vm.ensureMem(inOff, inLen); err != nil {
+				return err
+			}
+			if err := vm.ensureMem(outOff, outCap); err != nil {
+				return err
+			}
+			out, callErr := vm.env.CallContract(
+				append([]byte(nil), addr32[12:]...),
+				append([]byte(nil), vm.mem[inOff:inOff+inLen]...),
+			)
+			if callErr == nil {
+				vm.lastReturn = out
+				copy(vm.mem[outOff:outOff+outCap], out)
+			} else {
+				vm.lastReturn = nil
+			}
+			result := vals[0]
+			fromBool(result, callErr == nil)
+			for i := 1; i < 7; i++ {
+				vm.putInt(vals[i])
+			}
+			if err := vm.push(result); err != nil {
+				return err
+			}
+
+		case op == RETURNDATASIZE:
+			if err := vm.push(vm.getInt().SetInt64(int64(len(vm.lastReturn)))); err != nil {
+				return err
+			}
+
+		case op == RETURNDATACOPY:
+			dstV, err := vm.pop()
+			if err != nil {
+				return err
+			}
+			srcV, err := vm.pop()
+			if err != nil {
+				return err
+			}
+			nV, err := vm.pop()
+			if err != nil {
+				return err
+			}
+			dst, err := vm.memOff(dstV)
+			if err != nil {
+				return err
+			}
+			src, err := vm.memOff(srcV)
+			if err != nil {
+				return err
+			}
+			n, err := vm.memOff(nV)
+			if err != nil {
+				return err
+			}
+			vm.putInt(dstV)
+			vm.putInt(srcV)
+			vm.putInt(nV)
+			if src < 0 || n < 0 || src+n > int64(len(vm.lastReturn)) {
+				return fmt.Errorf("%w: RETURNDATACOPY out of range", errTrap)
+			}
+			if err := vm.ensureMem(dst, n); err != nil {
+				return err
+			}
+			copy(vm.mem[dst:dst+n], vm.lastReturn[src:src+n])
+
+		case op == RETURN:
+			offV, err := vm.pop()
+			if err != nil {
+				return err
+			}
+			nV, err := vm.pop()
+			if err != nil {
+				return err
+			}
+			off, err := vm.memOff(offV)
+			if err != nil {
+				return err
+			}
+			n, err := vm.memOff(nV)
+			if err != nil {
+				return err
+			}
+			if err := vm.ensureMem(off, n); err != nil {
+				return err
+			}
+			vm.env.SetOutput(append([]byte(nil), vm.mem[off:off+n]...))
+			return nil
+
+		case op == REVERT:
+			return ErrRevert
+
+		default:
+			return fmt.Errorf("%w: invalid opcode %s at %d", errTrap, OpName(op), pc-1)
+		}
+	}
+	return nil
+}
+
+// binOp implements the two-operand ALU instructions on 256-bit words.
+func (vm *VM) binOp(op byte) error {
+	a, err := vm.pop()
+	if err != nil {
+		return err
+	}
+	b, err := vm.pop()
+	if err != nil {
+		return err
+	}
+	// EVM operand order: a is the top of stack (first operand).
+	switch op {
+	case ADD:
+		a.Add(a, b).And(a, bigWordMask)
+	case MUL:
+		a.Mul(a, b).And(a, bigWordMask)
+	case SUB:
+		a.Sub(a, b)
+		if a.Sign() < 0 {
+			a.Add(a, bigWordMod)
+		}
+	case DIV:
+		if b.Sign() == 0 {
+			a.SetInt64(0)
+		} else {
+			a.Div(a, b)
+		}
+	case SDIV:
+		if b.Sign() == 0 {
+			a.SetInt64(0)
+		} else {
+			sa, sb := toSigned(a), toSigned(b)
+			sa.Quo(sa, sb)
+			if sa.Sign() < 0 {
+				sa.Add(sa, bigWordMod)
+			}
+			a.Set(sa)
+		}
+	case MOD:
+		if b.Sign() == 0 {
+			a.SetInt64(0)
+		} else {
+			a.Mod(a, b)
+		}
+	case SMOD:
+		if b.Sign() == 0 {
+			a.SetInt64(0)
+		} else {
+			sa, sb := toSigned(a), toSigned(b)
+			sa.Rem(sa, sb)
+			if sa.Sign() < 0 {
+				sa.Add(sa, bigWordMod)
+			}
+			a.Set(sa)
+		}
+	case AND:
+		a.And(a, b)
+	case OR:
+		a.Or(a, b)
+	case XOR:
+		a.Xor(a, b)
+	case LT:
+		fromBool(a, a.Cmp(b) < 0)
+	case GT:
+		fromBool(a, a.Cmp(b) > 0)
+	case SLT:
+		fromBool(a, toSigned(new(big.Int).Set(a)).Cmp(toSigned(new(big.Int).Set(b))) < 0)
+	case SGT:
+		fromBool(a, toSigned(new(big.Int).Set(a)).Cmp(toSigned(new(big.Int).Set(b))) > 0)
+	case EQ:
+		fromBool(a, a.Cmp(b) == 0)
+	case SHL:
+		// a = shift, b = value (EVM-1453 ordering)
+		if a.Cmp(big.NewInt(256)) >= 0 {
+			a.SetInt64(0)
+		} else {
+			sh := uint(a.Uint64())
+			a.Lsh(b, sh).And(a, bigWordMask)
+		}
+	case SHR:
+		if a.Cmp(big.NewInt(256)) >= 0 {
+			a.SetInt64(0)
+		} else {
+			sh := uint(a.Uint64())
+			a.Rsh(b, sh)
+		}
+	case BYTE:
+		// a = index, b = value; result is byte index a of b (big endian).
+		if a.Cmp(big.NewInt(32)) >= 0 {
+			a.SetInt64(0)
+		} else {
+			var word [32]byte
+			b.FillBytes(word[:])
+			a.SetInt64(int64(word[a.Uint64()]))
+		}
+	}
+	vm.putInt(b)
+	return vm.push(a)
+}

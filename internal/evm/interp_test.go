@@ -1,0 +1,396 @@
+package evm
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// testEnv mirrors the cvm test environment.
+type testEnv struct {
+	storage map[string][]byte
+	input   []byte
+	output  []byte
+	logs    []string
+	caller  []byte
+	callFn  func(addr, input []byte) ([]byte, error)
+}
+
+func newTestEnv() *testEnv {
+	return &testEnv{storage: make(map[string][]byte), caller: make([]byte, 20)}
+}
+
+func (e *testEnv) GetStorage(key []byte) ([]byte, bool, error) {
+	v, ok := e.storage[string(key)]
+	return v, ok, nil
+}
+func (e *testEnv) SetStorage(key, value []byte) error {
+	e.storage[string(key)] = value
+	return nil
+}
+func (e *testEnv) Input() []byte      { return e.input }
+func (e *testEnv) SetOutput(o []byte) { e.output = o }
+func (e *testEnv) Log(m string)       { e.logs = append(e.logs, m) }
+func (e *testEnv) Caller() []byte     { return e.caller }
+func (e *testEnv) CallContract(addr, input []byte) ([]byte, error) {
+	if e.callFn != nil {
+		return e.callFn(addr, input)
+	}
+	return nil, errors.New("no contract")
+}
+
+// runReturnWord executes code that RETURNs a 32-byte word and decodes it.
+func runReturnWord(t *testing.T, a *Assembler, env *testEnv) uint64 {
+	t.Helper()
+	// Expect the result word already at memory 0; return it.
+	a.Push(32).Push(0).Op(RETURN)
+	code, err := a.Assemble()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vm := New(code, env, Config{})
+	if err := vm.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(env.output) != 32 {
+		t.Fatalf("output length %d", len(env.output))
+	}
+	var out uint64
+	for _, b := range env.output[24:] {
+		out = out<<8 | uint64(b)
+	}
+	return out
+}
+
+// storeTop wraps an expression so its result lands at memory 0.
+func storeTop(a *Assembler) *Assembler { return a.Push(0).Op(MSTORE) }
+
+func TestArithmeticOps(t *testing.T) {
+	cases := []struct {
+		name string
+		emit func(a *Assembler)
+		want uint64
+	}{
+		// Operand order: second-pushed is the EVM's µ_s[0] (top).
+		{"add", func(a *Assembler) { a.Push(3).Push(2).Op(ADD) }, 5},
+		{"sub", func(a *Assembler) { a.Push(3).Push(10).Op(SUB) }, 7},
+		{"mul", func(a *Assembler) { a.Push(6).Push(7).Op(MUL) }, 42},
+		{"div", func(a *Assembler) { a.Push(3).Push(10).Op(DIV) }, 3},
+		{"div by zero", func(a *Assembler) { a.Push(0).Push(10).Op(DIV) }, 0},
+		{"mod", func(a *Assembler) { a.Push(3).Push(10).Op(MOD) }, 1},
+		{"mod by zero", func(a *Assembler) { a.Push(0).Push(10).Op(MOD) }, 0},
+		{"lt true", func(a *Assembler) { a.Push(5).Push(3).Op(LT) }, 1},
+		{"gt false", func(a *Assembler) { a.Push(5).Push(3).Op(GT) }, 0},
+		{"eq", func(a *Assembler) { a.Push(5).Push(5).Op(EQ) }, 1},
+		{"iszero", func(a *Assembler) { a.Push(0).Op(ISZERO) }, 1},
+		{"and", func(a *Assembler) { a.Push(0b1010).Push(0b1100).Op(AND) }, 0b1000},
+		{"or", func(a *Assembler) { a.Push(0b1010).Push(0b1100).Op(OR) }, 0b1110},
+		{"xor", func(a *Assembler) { a.Push(0b1010).Push(0b1100).Op(XOR) }, 0b0110},
+		{"shl", func(a *Assembler) { a.Push(1).Push(4).Op(SHL) }, 16},
+		{"shr", func(a *Assembler) { a.Push(16).Push(2).Op(SHR) }, 4},
+		{"byte", func(a *Assembler) { a.Push(0xaabb).Push(31).Op(BYTE) }, 0xbb},
+		{"sdiv", func(a *Assembler) {
+			// (-6) / 2 = -3 → two's complement top bits set; check low byte.
+			a.Push(6).Push(0).Op(SUB) // -6
+			a.Push(2).Swap(1).Op(SDIV)
+			a.Push(0xff).Op(AND)
+		}, 0xfd},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			a := NewAssembler()
+			c.emit(a)
+			storeTop(a)
+			if got := runReturnWord(t, a, newTestEnv()); got != c.want {
+				t.Errorf("got %#x, want %#x", got, c.want)
+			}
+		})
+	}
+}
+
+func Test256BitOverflowWraps(t *testing.T) {
+	a := NewAssembler()
+	// (2^256-1) + 2 ≡ 1
+	a.Push(1).Op(NOT) // NOT 1 = 2^256-2... rather: compute max = NOT(0)
+	a.Op(POP)
+	a.Push(0).Op(NOT) // 2^256-1
+	a.Push(2).Op(ADD)
+	storeTop(a)
+	if got := runReturnWord(t, a, newTestEnv()); got != 1 {
+		t.Errorf("wrap got %d, want 1", got)
+	}
+}
+
+func TestDupSwap(t *testing.T) {
+	a := NewAssembler()
+	a.Push(1).Push(2).Push(3) // stack: 1 2 3
+	a.Dup(3)                  // 1 2 3 1
+	a.Op(ADD)                 // 1 2 4
+	a.Swap(2)                 // 4 2 1
+	a.Op(ADD)                 // 4 3
+	a.Op(ADD)                 // 7
+	storeTop(a)
+	if got := runReturnWord(t, a, newTestEnv()); got != 7 {
+		t.Errorf("got %d, want 7", got)
+	}
+}
+
+func TestJumpLoop(t *testing.T) {
+	// sum 0..9 in memory slot 32, counter in slot 64.
+	a := NewAssembler()
+	top := a.NewLabel()
+	exit := a.NewLabel()
+	a.Bind(top)
+	// if counter >= 10 exit
+	a.Push(10).Push(64).Op(MLOAD).Op(LT) // counter < 10
+	a.Op(ISZERO)
+	a.JumpIf(exit)
+	// sum += counter
+	a.Push(64).Op(MLOAD).Push(32).Op(MLOAD).Op(ADD).Push(32).Op(MSTORE)
+	// counter++
+	a.Push(1).Push(64).Op(MLOAD).Op(ADD).Push(64).Op(MSTORE)
+	a.Jump(top)
+	a.Bind(exit)
+	a.Push(32).Op(MLOAD)
+	storeTop(a)
+	if got := runReturnWord(t, a, newTestEnv()); got != 45 {
+		t.Errorf("sum = %d, want 45", got)
+	}
+}
+
+func TestJumpToNonJumpdestTraps(t *testing.T) {
+	a := NewAssembler()
+	a.Push(0).Op(JUMP)
+	code, _ := a.Assemble()
+	if err := New(code, newTestEnv(), Config{}).Run(); !Trap(err) {
+		t.Errorf("err = %v, want trap", err)
+	}
+}
+
+func TestJumpIntoPushImmediateTraps(t *testing.T) {
+	// PUSH2 0x5b5b embeds what looks like JUMPDEST bytes; jumping into the
+	// immediate must be rejected.
+	a := NewAssembler()
+	a.Op(PUSH1+1, JUMPDEST, JUMPDEST) // PUSH2 0x5b5b
+	a.Op(POP)
+	a.Push(1).Op(JUMP) // offset 1 is inside the immediate
+	code, _ := a.Assemble()
+	if err := New(code, newTestEnv(), Config{}).Run(); !Trap(err) {
+		t.Errorf("err = %v, want trap", err)
+	}
+}
+
+func TestStorage(t *testing.T) {
+	env := newTestEnv()
+	a := NewAssembler()
+	a.Push(1234).Push(7).Op(SSTORE) // storage[7] = 1234
+	a.Push(7).Op(SLOAD)
+	storeTop(a)
+	if got := runReturnWord(t, a, env); got != 1234 {
+		t.Errorf("got %d", got)
+	}
+	// Key is a 32-byte big-endian word.
+	var key [32]byte
+	key[31] = 7
+	if v, ok := env.storage[string(key[:])]; !ok || v[31] != byte(1234&0xff) {
+		t.Error("storage key layout wrong")
+	}
+}
+
+func TestSloadMissingIsZero(t *testing.T) {
+	a := NewAssembler()
+	a.Push(99).Op(SLOAD)
+	storeTop(a)
+	if got := runReturnWord(t, a, newTestEnv()); got != 0 {
+		t.Errorf("missing slot = %d, want 0", got)
+	}
+}
+
+func TestCalldata(t *testing.T) {
+	env := newTestEnv()
+	env.input = bytes.Repeat([]byte{0x11}, 16) // shorter than a word
+	a := NewAssembler()
+	a.Op(CALLDATASIZE)
+	a.Push(0).Op(CALLDATALOAD) // 16 bytes then zero padding
+	a.Op(ADD)
+	storeTop(a)
+	got := runReturnWord(t, a, env)
+	// low 8 bytes of (0x1111...11 << 128) are zero, +16 size
+	if got != 16 {
+		t.Errorf("got %#x, want 16", got)
+	}
+}
+
+func TestCalldatacopy(t *testing.T) {
+	env := newTestEnv()
+	env.input = []byte("abcdef")
+	a := NewAssembler()
+	a.Push(4).Push(2).Push(64).Op(CALLDATACOPY) // mem[64..68) = "cdef"
+	a.Push(64).Op(MLOAD)
+	a.Push(0).Op(MSTORE)
+	a.Push(32).Push(0).Op(RETURN)
+	code, _ := a.Assemble()
+	if err := New(code, env, Config{}).Run(); err != nil {
+		t.Fatal(err)
+	}
+	if string(env.output[:4]) != "cdef" {
+		t.Errorf("copied %q", env.output[:4])
+	}
+}
+
+func TestKeccakAndSha(t *testing.T) {
+	env := newTestEnv()
+	a := NewAssembler()
+	// keccak256("") at empty memory region
+	a.Push(0).Push(0).Op(KECCAK256)
+	storeTop(a)
+	a.Push(32).Push(0).Op(RETURN)
+	code, _ := a.Assemble()
+	if err := New(code, env, Config{}).Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprintf("%x", env.output[:4]) != "c5d24601" {
+		t.Errorf("keccak256(\"\") prefix = %x", env.output[:4])
+	}
+}
+
+func TestCallerOp(t *testing.T) {
+	env := newTestEnv()
+	env.caller[19] = 0x42
+	a := NewAssembler()
+	a.Op(CALLER)
+	storeTop(a)
+	if got := runReturnWord(t, a, env); got != 0x42 {
+		t.Errorf("caller = %#x", got)
+	}
+}
+
+func TestCallContract(t *testing.T) {
+	env := newTestEnv()
+	var gotAddr []byte
+	env.callFn = func(addr, input []byte) ([]byte, error) {
+		gotAddr = addr
+		return []byte("OK"), nil
+	}
+	a := NewAssembler()
+	// out cap 32 at 0, in len 0 at 0, value 0, addr 0x42, gas 0
+	a.Push(32).Push(0).Push(0).Push(0).Push(0).Push(0x42).Push(0).Op(CALL)
+	storeTop(a) // success flag
+	a.Push(32).Push(0).Op(RETURN)
+	code, _ := a.Assemble()
+	if err := New(code, env, Config{}).Run(); err != nil {
+		t.Fatal(err)
+	}
+	if env.output[31] != 1 {
+		t.Error("CALL should push success=1")
+	}
+	if len(gotAddr) != 20 || gotAddr[19] != 0x42 {
+		t.Errorf("callee addr = %x", gotAddr)
+	}
+}
+
+func TestCallFailurePushesZero(t *testing.T) {
+	a := NewAssembler()
+	a.Push(0).Push(0).Push(0).Push(0).Push(0).Push(1).Push(0).Op(CALL)
+	storeTop(a)
+	if got := runReturnWord(t, a, newTestEnv()); got != 0 {
+		t.Errorf("failed CALL pushed %d, want 0", got)
+	}
+}
+
+func TestRevert(t *testing.T) {
+	a := NewAssembler()
+	a.Op(REVERT)
+	code, _ := a.Assemble()
+	if err := New(code, newTestEnv(), Config{}).Run(); !errors.Is(err, ErrRevert) {
+		t.Errorf("err = %v, want ErrRevert", err)
+	}
+}
+
+func TestInvalidOpcodeTraps(t *testing.T) {
+	if err := New([]byte{INVALID}, newTestEnv(), Config{}).Run(); !Trap(err) {
+		t.Error("INVALID should trap")
+	}
+}
+
+func TestStackUnderflowTraps(t *testing.T) {
+	if err := New([]byte{ADD}, newTestEnv(), Config{}).Run(); !Trap(err) {
+		t.Error("ADD on empty stack should trap")
+	}
+}
+
+func TestStackOverflowTraps(t *testing.T) {
+	a := NewAssembler()
+	top := a.NewLabel()
+	a.Bind(top)
+	a.Push(1)
+	a.Jump(top)
+	code, _ := a.Assemble()
+	if err := New(code, newTestEnv(), Config{}).Run(); !Trap(err) {
+		t.Errorf("err = %v, want stack-overflow trap", err)
+	}
+}
+
+func TestOutOfGas(t *testing.T) {
+	a := NewAssembler()
+	top := a.NewLabel()
+	a.Bind(top)
+	a.Push(1).Op(POP)
+	a.Jump(top)
+	code, _ := a.Assemble()
+	vm := New(code, newTestEnv(), Config{GasLimit: 1000})
+	if err := vm.Run(); !errors.Is(err, ErrOutOfGas) {
+		t.Errorf("err = %v, want ErrOutOfGas", err)
+	}
+}
+
+func TestLog(t *testing.T) {
+	env := newTestEnv()
+	a := NewAssembler()
+	// store "hey" at 0 and log 3 bytes
+	a.PushBytes([]byte("hey")).Push(232).Op(SHL) // left-align in word
+	a.Push(0).Op(MSTORE)
+	a.Push(3).Push(0).Op(LOG0)
+	a.Op(STOP)
+	code, _ := a.Assemble()
+	if err := New(code, env, Config{}).Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(env.logs) != 1 || env.logs[0] != "hey" {
+		t.Errorf("logs = %q", env.logs)
+	}
+}
+
+func TestTruncatedPushTraps(t *testing.T) {
+	if err := New([]byte{PUSH32, 1, 2}, newTestEnv(), Config{}).Run(); !Trap(err) {
+		t.Error("truncated PUSH should trap")
+	}
+}
+
+func TestOpNameCoverage(t *testing.T) {
+	for _, tc := range []struct {
+		op   byte
+		want string
+	}{
+		{ADD, "ADD"}, {PUSH1, "PUSH1"}, {PUSH32, "PUSH32"},
+		{DUP1, "DUP1"}, {SWAP1 + 15, "SWAP16"}, {0xef, "UNKNOWN(0xef)"},
+	} {
+		if got := OpName(tc.op); got != tc.want {
+			t.Errorf("OpName(%#x) = %q, want %q", tc.op, got, tc.want)
+		}
+	}
+	if !strings.HasPrefix(OpName(0xcc), "UNKNOWN") {
+		t.Error("unknown opcodes should say so")
+	}
+}
+
+func TestAssemblerUnboundLabelFails(t *testing.T) {
+	a := NewAssembler()
+	l := a.NewLabel()
+	a.Jump(l)
+	if _, err := a.Assemble(); err == nil {
+		t.Error("unbound label should fail assembly")
+	}
+}

@@ -1,0 +1,328 @@
+// Package kms implements CONFIDE's K-Protocol: agreement on the engine
+// secrets — the asymmetric envelope key sk_tx and the symmetric states root
+// key k_states — among the Confidential-Engines of all blockchain nodes.
+//
+// Two deployments are supported, as in the paper:
+//
+//   - a centralized key-management service (an HSM-grade service acceptable
+//     in consortium settings), which verifies a node's remote-attestation
+//     report before provisioning; and
+//   - a decentralized Mutual Authenticated Protocol (MAP): the first node
+//     generates the secrets, and every joining node attests mutually with a
+//     member node over the remote-attestation protocol before receiving
+//     them.
+//
+// In both cases secrets travel wrapped under an ephemeral enclave-resident
+// session key whose fingerprint is locked into the attestation report, so
+// a man in the middle can neither read nor redirect a provisioning.
+package kms
+
+import (
+	"bytes"
+	"crypto/ecdsa"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+
+	"confide/internal/chain"
+	"confide/internal/crypto"
+	"confide/internal/tee"
+)
+
+// Secrets is the material every Confidential-Engine must share.
+type Secrets struct {
+	// Envelope is sk_tx/pk_tx: the key pair clients seal transactions to.
+	Envelope *crypto.EnvelopeKey
+	// StatesKey is k_states: the root key for contract-state encryption.
+	StatesKey []byte
+}
+
+// GenerateSecrets creates fresh engine secrets (the first node of a
+// decentralized deployment, or the centralized service, calls this).
+func GenerateSecrets() (*Secrets, error) {
+	env, err := crypto.GenerateEnvelopeKey()
+	if err != nil {
+		return nil, err
+	}
+	states, err := crypto.RandomKey()
+	if err != nil {
+		return nil, err
+	}
+	return &Secrets{Envelope: env, StatesKey: states}, nil
+}
+
+// marshal serializes secrets for wrapped transport.
+func (s *Secrets) marshal() []byte {
+	return chain.Encode(chain.List(
+		chain.Bytes(s.Envelope.Marshal()),
+		chain.Bytes(s.StatesKey),
+	))
+}
+
+func unmarshalSecrets(data []byte) (*Secrets, error) {
+	it, err := chain.Decode(data)
+	if err != nil || !it.IsList || len(it.List) != 2 {
+		return nil, errors.New("kms: malformed secrets")
+	}
+	env, err := crypto.UnmarshalEnvelopeKey(it.List[0].Str)
+	if err != nil {
+		return nil, err
+	}
+	if len(it.List[1].Str) != crypto.SymKeySize {
+		return nil, errors.New("kms: bad states key length")
+	}
+	return &Secrets{Envelope: env, StatesKey: it.List[1].Str}, nil
+}
+
+// ProvisionRequest is a node's attested ask for the engine secrets.
+type ProvisionRequest struct {
+	// Report is the KM enclave's remote attestation; its report data binds
+	// SHA256(SessionPub) and the nonce.
+	Report tee.Report
+	// SessionPub is the ephemeral wrap key generated inside the enclave.
+	SessionPub []byte
+	// Nonce prevents replaying an old response.
+	Nonce [16]byte
+}
+
+// ProvisionResponse carries wrapped secrets plus the provider's own
+// attestation (the "mutual" in MAP).
+type ProvisionResponse struct {
+	Report  tee.Report
+	Nonce   [16]byte
+	Wrapped []byte
+}
+
+// reportData binds a session key and nonce into the 64-byte report field.
+func reportData(sessionPub []byte, nonce [16]byte) []byte {
+	fp := sha256.Sum256(sessionPub)
+	out := make([]byte, 0, 48)
+	out = append(out, fp[:]...)
+	out = append(out, nonce[:]...)
+	return out
+}
+
+// NodeKM is the key-management side of one node: it owns the KM enclave and
+// the provisioned secrets, and hands them to the contract-service enclave
+// over a locally-attested channel.
+type NodeKM struct {
+	enclave  *tee.Enclave
+	verifier *ecdsa.PublicKey
+	session  *crypto.EnvelopeKey
+	nonce    [16]byte
+	secrets  *Secrets
+}
+
+// NewNodeKM creates the node's KM enclave on the given platform.
+func NewNodeKM(platform *tee.Platform, verifier *ecdsa.PublicKey, cfg tee.Config) (*NodeKM, error) {
+	if cfg.CodeIdentity == "" {
+		cfg.CodeIdentity = "confide-km-v1"
+	}
+	enclave, err := platform.CreateEnclave("km-"+randomSuffix(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	session, err := crypto.GenerateEnvelopeKey()
+	if err != nil {
+		return nil, err
+	}
+	km := &NodeKM{enclave: enclave, verifier: verifier, session: session}
+	if _, err := io.ReadFull(rand.Reader, km.nonce[:]); err != nil {
+		return nil, err
+	}
+	return km, nil
+}
+
+func randomSuffix() string {
+	var b [6]byte
+	io.ReadFull(rand.Reader, b[:])
+	return fmt.Sprintf("%x", b)
+}
+
+// Enclave exposes the KM enclave (local attestation, teardown).
+func (n *NodeKM) Enclave() *tee.Enclave { return n.enclave }
+
+// Bootstrap makes this node the secrets origin (first node of a
+// decentralized deployment).
+func (n *NodeKM) Bootstrap() error {
+	if n.secrets != nil {
+		return errors.New("kms: secrets already present")
+	}
+	s, err := GenerateSecrets()
+	if err != nil {
+		return err
+	}
+	n.secrets = s
+	return nil
+}
+
+// Secrets returns the provisioned secrets (nil before provisioning).
+func (n *NodeKM) Secrets() *Secrets { return n.secrets }
+
+// Request produces this node's attested provisioning request.
+func (n *NodeKM) Request() (ProvisionRequest, error) {
+	rpt, err := n.enclave.RemoteAttest(reportData(n.session.Public(), n.nonce))
+	if err != nil {
+		return ProvisionRequest{}, err
+	}
+	return ProvisionRequest{Report: rpt, SessionPub: n.session.Public(), Nonce: n.nonce}, nil
+}
+
+// Errors.
+var (
+	ErrNoSecrets      = errors.New("kms: node holds no secrets")
+	ErrBadAttestation = errors.New("kms: attestation verification failed")
+)
+
+// verifyRequest checks a request's report against the verifier and the
+// expected measurement, and that the report binds the session key.
+func verifyRequest(verifier *ecdsa.PublicKey, expected [32]byte, req ProvisionRequest) error {
+	if err := tee.VerifyReport(verifier, req.Report, expected); err != nil {
+		return ErrBadAttestation
+	}
+	want := reportData(req.SessionPub, req.Nonce)
+	if !bytes.Equal(req.Report.ReportData[:len(want)], want) {
+		return ErrBadAttestation
+	}
+	return nil
+}
+
+// Serve answers a provisioning request from a joining node (decentralized
+// MAP). The provider requires the requester to run the *same enclave code*
+// (equal measurement) before releasing secrets.
+func (n *NodeKM) Serve(req ProvisionRequest) (ProvisionResponse, error) {
+	if n.secrets == nil {
+		return ProvisionResponse{}, ErrNoSecrets
+	}
+	if err := verifyRequest(n.verifier, n.enclave.Measurement(), req); err != nil {
+		return ProvisionResponse{}, err
+	}
+	wrapKey, err := crypto.RandomKey()
+	if err != nil {
+		return ProvisionResponse{}, err
+	}
+	wrapped, err := crypto.SealEnvelope(req.SessionPub, wrapKey, n.secrets.marshal())
+	if err != nil {
+		return ProvisionResponse{}, err
+	}
+	rpt, err := n.enclave.RemoteAttest(reportData(req.SessionPub, req.Nonce))
+	if err != nil {
+		return ProvisionResponse{}, err
+	}
+	return ProvisionResponse{Report: rpt, Nonce: req.Nonce, Wrapped: wrapped}, nil
+}
+
+// Accept validates a provider's response (its attestation, code identity and
+// nonce) and installs the secrets.
+func (n *NodeKM) Accept(resp ProvisionResponse) error {
+	if n.secrets != nil {
+		return errors.New("kms: secrets already present")
+	}
+	if resp.Nonce != n.nonce {
+		return ErrBadAttestation
+	}
+	if err := tee.VerifyReport(n.verifier, resp.Report, n.enclave.Measurement()); err != nil {
+		return ErrBadAttestation
+	}
+	want := reportData(n.session.Public(), n.nonce)
+	if !bytes.Equal(resp.Report.ReportData[:len(want)], want) {
+		return ErrBadAttestation
+	}
+	_, plain, err := n.session.OpenEnvelope(resp.Wrapped)
+	if err != nil {
+		return fmt.Errorf("kms: unwrap secrets: %w", err)
+	}
+	secrets, err := unmarshalSecrets(plain)
+	if err != nil {
+		return err
+	}
+	n.secrets = secrets
+	return nil
+}
+
+// ProvisionCS hands the secrets to a contract-service enclave on the same
+// platform over a locally-attested channel, then destroys the KM enclave to
+// release its EPC pages (the paper destroys the KM enclave as soon as
+// possible because key management is infrequent).
+func (n *NodeKM) ProvisionCS(cs *tee.Enclave) (*Secrets, error) {
+	if n.secrets == nil {
+		return nil, ErrNoSecrets
+	}
+	la, err := cs.LocalAttest(n.enclave)
+	if err != nil {
+		return nil, err
+	}
+	if err := n.enclave.VerifyLocal(la); err != nil {
+		return nil, fmt.Errorf("kms: local attestation: %w", err)
+	}
+	// Channel key derivation stands in for an encrypted local channel; the
+	// secrets never exist outside enclave memory in production.
+	if _, err := n.enclave.SecureChannelKey(cs); err != nil {
+		return nil, err
+	}
+	secrets := n.secrets
+	n.enclave.Destroy()
+	return secrets, nil
+}
+
+// CentralKMS is the centralized deployment: one trusted service that
+// verifies attestations and provisions every node.
+type CentralKMS struct {
+	secrets  *Secrets
+	verifier *ecdsa.PublicKey
+	expected [32]byte
+}
+
+// NewCentralKMS creates the service with fresh secrets. expected is the
+// measurement nodes' KM enclaves must present.
+func NewCentralKMS(verifier *ecdsa.PublicKey, expected [32]byte) (*CentralKMS, error) {
+	s, err := GenerateSecrets()
+	if err != nil {
+		return nil, err
+	}
+	return &CentralKMS{secrets: s, verifier: verifier, expected: expected}, nil
+}
+
+// PublicKey exposes pk_tx for client distribution.
+func (c *CentralKMS) PublicKey() []byte { return c.secrets.Envelope.Public() }
+
+// Provision verifies a node's attestation and returns wrapped secrets. The
+// response carries no provider report (clients trust the service itself).
+func (c *CentralKMS) Provision(req ProvisionRequest) (ProvisionResponse, error) {
+	if err := verifyRequest(c.verifier, c.expected, req); err != nil {
+		return ProvisionResponse{}, err
+	}
+	wrapKey, err := crypto.RandomKey()
+	if err != nil {
+		return ProvisionResponse{}, err
+	}
+	wrapped, err := crypto.SealEnvelope(req.SessionPub, wrapKey, c.secrets.marshal())
+	if err != nil {
+		return ProvisionResponse{}, err
+	}
+	return ProvisionResponse{Nonce: req.Nonce, Wrapped: wrapped}, nil
+}
+
+// AcceptCentral installs secrets from the centralized service (no provider
+// report to verify — the service endpoint is authenticated out of band,
+// e.g. by its TLS identity or HSM custody).
+func (n *NodeKM) AcceptCentral(resp ProvisionResponse) error {
+	if n.secrets != nil {
+		return errors.New("kms: secrets already present")
+	}
+	if resp.Nonce != n.nonce {
+		return ErrBadAttestation
+	}
+	_, plain, err := n.session.OpenEnvelope(resp.Wrapped)
+	if err != nil {
+		return fmt.Errorf("kms: unwrap secrets: %w", err)
+	}
+	secrets, err := unmarshalSecrets(plain)
+	if err != nil {
+		return err
+	}
+	n.secrets = secrets
+	return nil
+}

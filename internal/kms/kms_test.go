@@ -1,0 +1,225 @@
+package kms
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"confide/internal/tee"
+)
+
+func testRoot(t *testing.T) *tee.RootOfTrust {
+	t.Helper()
+	root, err := tee.NewRootOfTrust()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+func newNode(t *testing.T, root *tee.RootOfTrust, code string) *NodeKM {
+	t.Helper()
+	platform := tee.NewPlatform(root)
+	km, err := NewNodeKM(platform, root.Verifier(), tee.Config{CodeIdentity: code})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return km
+}
+
+func TestDecentralizedMAPProvisioning(t *testing.T) {
+	root := testRoot(t)
+	first := newNode(t, root, "confide-km-v1")
+	if err := first.Bootstrap(); err != nil {
+		t.Fatal(err)
+	}
+	joiner := newNode(t, root, "confide-km-v1")
+	req, err := joiner.Request()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := first.Serve(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := joiner.Accept(resp); err != nil {
+		t.Fatal(err)
+	}
+	a, b := first.Secrets(), joiner.Secrets()
+	if !bytes.Equal(a.StatesKey, b.StatesKey) {
+		t.Error("states keys differ after MAP")
+	}
+	if !bytes.Equal(a.Envelope.Public(), b.Envelope.Public()) {
+		t.Error("envelope keys differ after MAP")
+	}
+}
+
+func TestMAPChainsThroughJoinedNodes(t *testing.T) {
+	root := testRoot(t)
+	a := newNode(t, root, "confide-km-v1")
+	a.Bootstrap()
+	b := newNode(t, root, "confide-km-v1")
+	req, _ := b.Request()
+	resp, _ := a.Serve(req)
+	if err := b.Accept(resp); err != nil {
+		t.Fatal(err)
+	}
+	// A third node can now join via b.
+	c := newNode(t, root, "confide-km-v1")
+	req2, _ := c.Request()
+	resp2, err := b.Serve(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Accept(resp2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(c.Secrets().StatesKey, a.Secrets().StatesKey) {
+		t.Error("secrets diverged along the chain")
+	}
+}
+
+func TestMAPRejectsDifferentEnclaveCode(t *testing.T) {
+	root := testRoot(t)
+	honest := newNode(t, root, "confide-km-v1")
+	honest.Bootstrap()
+	evil := newNode(t, root, "evil-enclave-v1")
+	req, _ := evil.Request()
+	if _, err := honest.Serve(req); !errors.Is(err, ErrBadAttestation) {
+		t.Errorf("err = %v, want ErrBadAttestation", err)
+	}
+}
+
+func TestMAPRejectsForgedRoot(t *testing.T) {
+	root := testRoot(t)
+	otherRoot := testRoot(t)
+	honest := newNode(t, root, "confide-km-v1")
+	honest.Bootstrap()
+	// Attacker runs the right code but on hardware with a different
+	// (untrusted) manufacturer root.
+	impostor := newNode(t, otherRoot, "confide-km-v1")
+	req, _ := impostor.Request()
+	if _, err := honest.Serve(req); !errors.Is(err, ErrBadAttestation) {
+		t.Errorf("err = %v, want ErrBadAttestation", err)
+	}
+}
+
+func TestMAPRejectsSessionKeySwap(t *testing.T) {
+	root := testRoot(t)
+	provider := newNode(t, root, "confide-km-v1")
+	provider.Bootstrap()
+	victim := newNode(t, root, "confide-km-v1")
+	req, _ := victim.Request()
+	// A MITM substitutes its own session key to intercept the secrets.
+	mitm := newNode(t, root, "confide-km-v1")
+	req.SessionPub = mitm.session.Public()
+	if _, err := provider.Serve(req); !errors.Is(err, ErrBadAttestation) {
+		t.Errorf("session-key swap: err = %v, want ErrBadAttestation", err)
+	}
+}
+
+func TestAcceptRejectsWrongNonce(t *testing.T) {
+	root := testRoot(t)
+	provider := newNode(t, root, "confide-km-v1")
+	provider.Bootstrap()
+	joiner := newNode(t, root, "confide-km-v1")
+	req, _ := joiner.Request()
+	resp, _ := provider.Serve(req)
+	resp.Nonce[0] ^= 1 // replayed/stale response
+	if err := joiner.Accept(resp); !errors.Is(err, ErrBadAttestation) {
+		t.Errorf("err = %v, want ErrBadAttestation", err)
+	}
+}
+
+func TestServeWithoutSecretsFails(t *testing.T) {
+	root := testRoot(t)
+	empty := newNode(t, root, "confide-km-v1")
+	joiner := newNode(t, root, "confide-km-v1")
+	req, _ := joiner.Request()
+	if _, err := empty.Serve(req); !errors.Is(err, ErrNoSecrets) {
+		t.Errorf("err = %v, want ErrNoSecrets", err)
+	}
+}
+
+func TestCentralizedProvisioning(t *testing.T) {
+	root := testRoot(t)
+	node := newNode(t, root, "confide-km-v1")
+	kms, err := NewCentralKMS(root.Verifier(), node.Enclave().Measurement())
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, _ := node.Request()
+	resp, err := kms.Provision(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := node.AcceptCentral(resp); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(node.Secrets().Envelope.Public(), kms.PublicKey()) {
+		t.Error("central secrets mismatch")
+	}
+}
+
+func TestCentralizedRejectsWrongMeasurement(t *testing.T) {
+	root := testRoot(t)
+	good := newNode(t, root, "confide-km-v1")
+	kms, _ := NewCentralKMS(root.Verifier(), good.Enclave().Measurement())
+	bad := newNode(t, root, "confide-km-v2")
+	req, _ := bad.Request()
+	if _, err := kms.Provision(req); !errors.Is(err, ErrBadAttestation) {
+		t.Errorf("err = %v, want ErrBadAttestation", err)
+	}
+}
+
+func TestProvisionCSDestroysKMEnclave(t *testing.T) {
+	root := testRoot(t)
+	platform := tee.NewPlatform(root)
+	km, err := NewNodeKM(platform, root.Verifier(), tee.Config{CodeIdentity: "confide-km-v1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	km.Bootstrap()
+	cs, err := platform.CreateEnclave("cs", tee.Config{CodeIdentity: "confide-cs-v1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	secrets, err := km.ProvisionCS(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if secrets == nil || len(secrets.StatesKey) == 0 {
+		t.Fatal("no secrets provisioned")
+	}
+	if !km.Enclave().Destroyed() {
+		t.Error("KM enclave must be destroyed after provisioning to free EPC")
+	}
+}
+
+func TestProvisionCSRequiresSamePlatform(t *testing.T) {
+	root := testRoot(t)
+	p1, p2 := tee.NewPlatform(root), tee.NewPlatform(root)
+	km, _ := NewNodeKM(p1, root.Verifier(), tee.Config{CodeIdentity: "confide-km-v1"})
+	km.Bootstrap()
+	foreignCS, _ := p2.CreateEnclave("cs", tee.Config{CodeIdentity: "confide-cs-v1"})
+	if _, err := km.ProvisionCS(foreignCS); err == nil {
+		t.Error("cross-platform CS provisioning should fail")
+	}
+}
+
+func TestSecretsMarshalRoundTrip(t *testing.T) {
+	s, err := GenerateSecrets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := unmarshalSecrets(s.marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back.StatesKey, s.StatesKey) || !bytes.Equal(back.Envelope.Public(), s.Envelope.Public()) {
+		t.Error("secrets corrupted in marshal round trip")
+	}
+	if _, err := unmarshalSecrets([]byte("garbage")); err == nil {
+		t.Error("garbage secrets should not unmarshal")
+	}
+}

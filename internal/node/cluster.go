@@ -1,0 +1,284 @@
+package node
+
+import (
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"confide/internal/chain"
+	"confide/internal/core"
+	"confide/internal/kms"
+	"confide/internal/p2p"
+	"confide/internal/storage"
+	"confide/internal/tee"
+)
+
+// ClusterOptions shapes a whole test/benchmark network.
+type ClusterOptions struct {
+	// Nodes is the replica count (default 4).
+	Nodes int
+	// Zones assigns each node a zone; nil puts everyone in zone 0. The
+	// paper's two-city experiment uses a 1:2 split.
+	Zones []int
+	// Network configures link latencies/bandwidth.
+	Network p2p.Config
+	// Node configures per-node execution.
+	Node Config
+	// Enclave configures the CS enclaves (delay injection etc.).
+	Enclave tee.Config
+	// StoreReadLatency / StoreWriteLatency model the storage device
+	// (in-memory store only).
+	StoreReadLatency  time.Duration
+	StoreWriteLatency time.Duration
+	// StoreDir, when set, backs every node with a durable LSM store under
+	// StoreDir/node-<id> instead of the in-memory store.
+	StoreDir string
+	// CentralKMS provisions via the centralized service instead of the
+	// decentralized MAP.
+	CentralKMS bool
+	// Secrets pre-provisions the engine secrets, bypassing key agreement —
+	// the restart path of an HSM-backed centralized KMS deployment, where
+	// the service re-provisions the same keys to re-attested enclaves.
+	Secrets *kms.Secrets
+}
+
+// Cluster is an in-process N-node consortium network: the unit every
+// experiment in the paper runs against.
+type Cluster struct {
+	Nodes   []*Node
+	Root    *tee.RootOfTrust
+	Secrets *kms.Secrets
+	net     *p2p.Network
+}
+
+// NewCluster boots a network: a software root of trust, per-node platforms,
+// K-Protocol key agreement (decentralized MAP by default), engines, stores
+// and consensus replicas.
+func NewCluster(opts ClusterOptions) (*Cluster, error) {
+	if opts.Nodes == 0 {
+		opts.Nodes = 4
+	}
+	root, err := tee.NewRootOfTrust()
+	if err != nil {
+		return nil, err
+	}
+	network := p2p.NewNetwork(opts.Network)
+	c := &Cluster{Root: root, net: network}
+
+	// K-Protocol: node 0 bootstraps (or the central service does), the
+	// rest join via mutual attestation.
+	var kmNodes []*kms.NodeKM
+	var platforms []*tee.Platform
+	var central *kms.CentralKMS
+	for i := 0; i < opts.Nodes; i++ {
+		platform := tee.NewPlatform(root)
+		platforms = append(platforms, platform)
+		km, err := kms.NewNodeKM(platform, root.Verifier(), tee.Config{})
+		if err != nil {
+			return nil, err
+		}
+		kmNodes = append(kmNodes, km)
+	}
+	if opts.Secrets != nil {
+		// Pre-provisioned secrets (restart path): skip agreement entirely
+		// and build engines over the given keys.
+		c.Secrets = opts.Secrets
+		for i := 0; i < opts.Nodes; i++ {
+			kmNodes[i].Enclave().Destroy()
+		}
+		return c.buildNodes(opts, platforms, nil)
+	}
+	if opts.CentralKMS {
+		central, err = kms.NewCentralKMS(root.Verifier(), kmNodes[0].Enclave().Measurement())
+		if err != nil {
+			return nil, err
+		}
+		for _, km := range kmNodes {
+			req, err := km.Request()
+			if err != nil {
+				return nil, err
+			}
+			resp, err := central.Provision(req)
+			if err != nil {
+				return nil, err
+			}
+			if err := km.AcceptCentral(resp); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		if err := kmNodes[0].Bootstrap(); err != nil {
+			return nil, err
+		}
+		for i := 1; i < opts.Nodes; i++ {
+			req, err := kmNodes[i].Request()
+			if err != nil {
+				return nil, err
+			}
+			resp, err := kmNodes[0].Serve(req)
+			if err != nil {
+				return nil, err
+			}
+			if err := kmNodes[i].Accept(resp); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	return c.buildNodes(opts, platforms, kmNodes)
+}
+
+// buildNodes assembles the per-node stores, enclaves and engines. With
+// kmNodes nil, the engines receive c.Secrets directly (pre-provisioned
+// restart path); otherwise each node's KM enclave provisions its CS enclave
+// over local attestation and is destroyed.
+func (c *Cluster) buildNodes(opts ClusterOptions, platforms []*tee.Platform, kmNodes []*kms.NodeKM) (*Cluster, error) {
+	for i := 0; i < opts.Nodes; i++ {
+		zone := 0
+		if opts.Zones != nil {
+			zone = opts.Zones[i]
+		}
+		endpoint, err := c.net.Join(p2p.NodeID(i), zone)
+		if err != nil {
+			return nil, err
+		}
+		var store storage.KVStore
+		if opts.StoreDir != "" {
+			lsm, err := storage.OpenLSM(
+				filepath.Join(opts.StoreDir, fmt.Sprintf("node-%d", i)),
+				storage.LSMOptions{WriteLatency: opts.StoreWriteLatency},
+			)
+			if err != nil {
+				return nil, err
+			}
+			store = lsm
+		} else {
+			mem := storage.NewMemStore()
+			mem.SetReadLatency(opts.StoreReadLatency)
+			mem.SetWriteLatency(opts.StoreWriteLatency)
+			store = mem
+		}
+
+		// CS enclave receives the secrets from the KM enclave over local
+		// attestation; the KM enclave is then destroyed to free EPC.
+		enclaveCfg := opts.Enclave
+		if enclaveCfg.CodeIdentity == "" {
+			enclaveCfg.CodeIdentity = core.CSEnclaveIdentity
+		}
+		cs, err := platforms[i].CreateEnclave("cs", enclaveCfg)
+		if err != nil {
+			return nil, err
+		}
+		secrets := c.Secrets
+		if kmNodes != nil {
+			secrets, err = kmNodes[i].ProvisionCS(cs)
+			if err != nil {
+				return nil, err
+			}
+			if c.Secrets == nil {
+				c.Secrets = secrets
+			}
+		}
+
+		confEngine, err := core.NewConfidentialEngineOn(cs, secrets, store, opts.Node.EngineOpts)
+		if err != nil {
+			return nil, err
+		}
+		pubEngine := core.NewPublicEngine(store, opts.Node.EngineOpts)
+		c.Nodes = append(c.Nodes, New(opts.Node, endpoint, opts.Nodes, confEngine, pubEngine, store))
+	}
+	return c, nil
+}
+
+// Leader returns the current leader node.
+func (c *Cluster) Leader() *Node {
+	for _, n := range c.Nodes {
+		if n.IsLeader() {
+			return n
+		}
+	}
+	return c.Nodes[0]
+}
+
+// EnvelopePublicKey returns the network's pk_tx.
+func (c *Cluster) EnvelopePublicKey() []byte {
+	return c.Secrets.Envelope.Public()
+}
+
+// DeployEverywhere installs a contract on every node's engines (in
+// production this happens through a deployment transaction; the harness
+// short-circuits it for experiment setup).
+func (c *Cluster) DeployEverywhere(addr, owner chain.Address, vm core.VMKind, code []byte, confidential bool, secver uint64) error {
+	for _, n := range c.Nodes {
+		engine := n.ConfidentialEngine()
+		if !confidential {
+			engine = n.PublicEngine()
+		}
+		if err := engine.DeployContract(addr, owner, vm, code, confidential, secver); err != nil {
+			return fmt.Errorf("node %d: %w", n.ID(), err)
+		}
+	}
+	return nil
+}
+
+// Submit sends a transaction through the leader.
+func (c *Cluster) Submit(tx *chain.Tx) error {
+	return c.Leader().SubmitTx(tx)
+}
+
+// ProcessRound drives one synchronous round: every node pre-verifies its
+// backlog, the leader proposes one block, and the call returns once every
+// node has committed it. Returns the number of transactions in the block.
+func (c *Cluster) ProcessRound(timeout time.Duration) (int, error) {
+	for _, n := range c.Nodes {
+		n.PreVerifyPending()
+	}
+	leader := c.Leader()
+	target := leader.Height() + 1
+	count, err := leader.ProposeBlock()
+	if err != nil {
+		return 0, err
+	}
+	for _, n := range c.Nodes {
+		if err := n.WaitHeight(target, timeout); err != nil {
+			return count, err
+		}
+	}
+	return count, nil
+}
+
+// DrainAll processes rounds until every pool is empty or maxRounds is hit.
+func (c *Cluster) DrainAll(maxRounds int, timeout time.Duration) (int, error) {
+	total := 0
+	for r := 0; r < maxRounds; r++ {
+		n, err := c.ProcessRound(timeout)
+		if err != nil {
+			return total, err
+		}
+		total += n
+		if n == 0 && c.pending() == 0 {
+			return total, nil
+		}
+	}
+	if c.pending() > 0 {
+		return total, fmt.Errorf("node: %d transactions still pending after %d rounds", c.pending(), maxRounds)
+	}
+	return total, nil
+}
+
+func (c *Cluster) pending() int {
+	total := 0
+	for _, n := range c.Nodes {
+		total += n.UnverifiedPoolLen() + n.VerifiedPoolLen()
+	}
+	return total
+}
+
+// Close shuts the cluster down.
+func (c *Cluster) Close() {
+	for _, n := range c.Nodes {
+		n.Replica().Close()
+		n.Endpoint().Close()
+		n.Store().Close()
+	}
+}

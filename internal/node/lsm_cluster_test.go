@@ -1,0 +1,101 @@
+package node
+
+import (
+	"testing"
+	"time"
+
+	"confide/internal/core"
+)
+
+// TestClusterOnLSMStores runs the full confidential flow over durable
+// LSM-backed nodes (WAL + memtable + SSTables) instead of the in-memory
+// store — the "users can choose their own KV store" modularity the paper
+// calls out.
+func TestClusterOnLSMStores(t *testing.T) {
+	c := newTestCluster(t, ClusterOptions{
+		Nodes:    4,
+		StoreDir: t.TempDir(),
+	})
+	client := newClusterClient(t, c)
+
+	tx, ktx, err := client.NewConfidentialTx(ledgerAddr, "credit", acct("durable"), []byte{42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Submit(tx); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond)
+	if _, err := c.ProcessRound(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Receipt persisted in the LSM store, sealed.
+	sealed, found, err := c.Nodes[2].StoredReceipt(tx.Hash())
+	if err != nil || !found {
+		t.Fatalf("receipt not in LSM store: %v", err)
+	}
+	rpt, err := core.OpenReceipt(sealed, ktx, tx.Hash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rpt.Status != 0 {
+		t.Fatalf("status %d: %s", rpt.Status, rpt.Output)
+	}
+
+	// State readable through the engine after commit.
+	read, _, _ := client.NewConfidentialTx(ledgerAddr, "read", acct("durable"))
+	res, err := c.Nodes[0].ConfidentialEngine().Execute(read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Receipt.Output) != 1 || res.Receipt.Output[0] != 42 {
+		t.Errorf("balance = %v, want [42]", res.Receipt.Output)
+	}
+
+	// SPV proof also works over the LSM-backed block records.
+	proof, err := c.Nodes[1].ProveTx(tx.Hash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyConsensusRead(proof, []*Node{c.Nodes[0], c.Nodes[2]}, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMonitorStreamsEngineFailures checks that enclave status lines reach
+// the exit-less monitor ring when confidential execution hits errors.
+func TestMonitorStreamsEngineFailures(t *testing.T) {
+	c := newTestCluster(t, ClusterOptions{Nodes: 4})
+	client := newClusterClient(t, c)
+	engine := c.Nodes[0].ConfidentialEngine()
+
+	// Tampered envelope → pre-processor rejection status.
+	tx, _, _ := client.NewConfidentialTx(ledgerAddr, "credit", acct("m"), []byte{1})
+	tx.Payload[len(tx.Payload)-1] ^= 0xff
+	if _, err := engine.Execute(tx); err == nil {
+		t.Fatal("tampered envelope should fail")
+	}
+	// Failing contract → execution status.
+	bad, _, _ := client.NewConfidentialTx(ledgerAddr, "move", acct("empty"), acct("x"))
+	if res, err := engine.Execute(bad); err != nil || res.Receipt.Status == 0 {
+		t.Fatalf("move from empty account should fail the receipt: %v", err)
+	}
+
+	msgs := engine.Monitor().Poll(64)
+	if len(msgs) < 2 {
+		t.Fatalf("monitor captured %d messages, want >= 2: %q", len(msgs), msgs)
+	}
+	foundEnvelope, foundExec := false, false
+	for _, m := range msgs {
+		if len(m) >= 13 && m[:13] == "pre-processor" {
+			foundEnvelope = true
+		}
+		if len(m) >= 9 && m[:9] == "execution" {
+			foundExec = true
+		}
+	}
+	if !foundEnvelope || !foundExec {
+		t.Errorf("missing status categories in %q", msgs)
+	}
+}

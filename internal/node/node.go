@@ -1,0 +1,431 @@
+// Package node assembles a full consortium blockchain node: the p2p
+// endpoint, the PBFT ordering replica, the transaction pools and
+// pre-verification pipeline, the public and confidential execution engines,
+// and the KV store — the complete platform of Figure 2.
+package node
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"confide/internal/chain"
+	"confide/internal/consensus"
+	"confide/internal/core"
+	"confide/internal/p2p"
+	"confide/internal/storage"
+)
+
+// Config shapes one node.
+type Config struct {
+	// BlockMaxTxs bounds transactions per block. Default 64.
+	BlockMaxTxs int
+	// Parallelism is the execution fan-out (the paper's 1/4/6-way
+	// experiments). Default 1.
+	Parallelism int
+	// EngineOpts configures both engines' optimizations.
+	EngineOpts core.Options
+}
+
+func (c Config) withDefaults() Config {
+	if c.BlockMaxTxs == 0 {
+		c.BlockMaxTxs = 64
+	}
+	if c.Parallelism == 0 {
+		c.Parallelism = 1
+	}
+	return c
+}
+
+// Node is one platform participant.
+type Node struct {
+	cfg      Config
+	endpoint *p2p.Endpoint
+	replica  *consensus.Replica
+	store    storage.KVStore
+
+	confEngine *core.Engine
+	pubEngine  *core.Engine
+
+	unverified *chain.TxPool
+	verified   *chain.TxPool
+
+	mu        sync.Mutex
+	height    uint64
+	prevHash  chain.Hash
+	committed map[chain.Hash]*chain.Receipt // plaintext receipts (local index)
+	txHeight  map[chain.Hash]uint64         // tx → containing block (SPV proofs)
+
+	txsExecuted  atomic.Uint64
+	blocksClosed atomic.Uint64
+	execTimeNs   atomic.Int64
+	commitTimeNs atomic.Int64
+}
+
+const gossipTopic = "confide/tx"
+
+// New assembles a node over its endpoint, engines and store, and registers
+// it with the consensus replica set of size n.
+func New(cfg Config, endpoint *p2p.Endpoint, n int, confEngine, pubEngine *core.Engine, store storage.KVStore) *Node {
+	cfg = cfg.withDefaults()
+	node := &Node{
+		cfg:        cfg,
+		endpoint:   endpoint,
+		store:      store,
+		confEngine: confEngine,
+		pubEngine:  pubEngine,
+		unverified: chain.NewTxPool(1 << 16),
+		verified:   chain.NewTxPool(1 << 16),
+		committed:  make(map[chain.Hash]*chain.Receipt),
+		txHeight:   make(map[chain.Hash]uint64),
+	}
+	node.recoverChainState()
+	node.replica = consensus.NewReplica(endpoint, n, node.onCommit)
+	endpoint.Subscribe(gossipTopic, func(m p2p.Message) {
+		if tx, err := chain.DecodeTx(m.Data); err == nil && !node.isCommitted(tx.Hash()) {
+			node.unverified.Add(tx)
+		}
+	})
+	return node
+}
+
+// recoverChainState resumes height, prev-hash and the tx→block index from a
+// durable store after a restart (state and receipts are already there; the
+// engine secrets re-arrive via the K-Protocol or an HSM-backed service).
+func (n *Node) recoverChainState() {
+	for {
+		raw, found, err := n.store.Get(blockKey(n.height))
+		if err != nil || !found {
+			return
+		}
+		block, err := chain.DecodeBlock(raw)
+		if err != nil {
+			return
+		}
+		for _, tx := range block.Txs {
+			h := tx.Hash()
+			n.txHeight[h] = block.Header.Height
+			// Recover plaintext receipts for public transactions; for
+			// confidential ones only the sealed form exists (by design), so
+			// the local index records presence via txHeight alone and
+			// clients use StoredReceipt + k_tx.
+			if sealed, ok, err := core.ReadReceipt(n.store, h); err == nil && ok {
+				if rpt, err := chain.DecodeReceipt(sealed); err == nil {
+					n.committed[h] = rpt
+				}
+			}
+		}
+		n.prevHash = block.Hash()
+		n.height++
+	}
+}
+
+// isCommitted reports whether this node has already executed the
+// transaction (late gossip must not resurrect it in the pools).
+func (n *Node) isCommitted(h chain.Hash) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.committed[h]; ok {
+		return true
+	}
+	_, ok := n.txHeight[h]
+	return ok
+}
+
+// ID returns the node id.
+func (n *Node) ID() p2p.NodeID { return n.endpoint.ID() }
+
+// IsLeader reports whether this node leads the current consensus view.
+func (n *Node) IsLeader() bool { return n.replica.IsLeader() }
+
+// Store exposes the node's KV store (explorer, audit, tests).
+func (n *Node) Store() storage.KVStore { return n.store }
+
+// ConfidentialEngine exposes the confidential engine (attestation, stats).
+func (n *Node) ConfidentialEngine() *core.Engine { return n.confEngine }
+
+// PublicEngine exposes the public engine.
+func (n *Node) PublicEngine() *core.Engine { return n.pubEngine }
+
+// Height returns the number of committed blocks.
+func (n *Node) Height() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.height
+}
+
+// SubmitTx accepts a client transaction and gossips it to the network.
+func (n *Node) SubmitTx(tx *chain.Tx) error {
+	if n.isCommitted(tx.Hash()) {
+		return ErrAlreadyCommitted
+	}
+	if err := n.unverified.Add(tx); err != nil {
+		return err
+	}
+	n.endpoint.Broadcast(gossipTopic, tx.Encode())
+	return nil
+}
+
+// ErrAlreadyCommitted reports a re-submission of an executed transaction.
+var ErrAlreadyCommitted = errors.New("node: transaction already committed")
+
+// PreVerifyPending moves valid transactions from the un-verified to the
+// verified pool (Figure 7 P1–P5). Every node runs this concurrently with
+// ordering.
+func (n *Node) PreVerifyPending() int {
+	batch := n.unverified.PopBatch(n.cfg.BlockMaxTxs * 2)
+	if len(batch) == 0 {
+		return 0
+	}
+	var confidential, public []*chain.Tx
+	for _, tx := range batch {
+		if tx.Type == chain.TxTypeConfidential {
+			confidential = append(confidential, tx)
+		} else {
+			public = append(public, tx)
+		}
+	}
+	moved := 0
+	for _, tx := range n.confEngine.PreVerifyBatch(confidential) {
+		if n.verified.Add(tx) == nil {
+			moved++
+		}
+	}
+	for _, tx := range n.pubEngine.PreVerifyBatch(public) {
+		if n.verified.Add(tx) == nil {
+			moved++
+		}
+	}
+	return moved
+}
+
+// ProposeBlock makes the leader cut a block from the verified pool (empty
+// blocks are allowed — production emits them on a timer) and start
+// consensus on it. Returns the number of transactions proposed.
+func (n *Node) ProposeBlock() (int, error) {
+	if !n.replica.IsLeader() {
+		return 0, consensus.ErrNotLeader
+	}
+	txs := n.verified.PopBatch(n.cfg.BlockMaxTxs)
+	n.mu.Lock()
+	block := &chain.Block{
+		Header: chain.Header{
+			Height:    n.height,
+			PrevHash:  n.prevHash,
+			Timestamp: uint64(time.Now().UnixNano()),
+			Proposer:  uint32(n.endpoint.ID()),
+		},
+		Txs: txs,
+	}
+	n.mu.Unlock()
+	block.ComputeTxRoot()
+	if _, err := n.replica.Propose(block.Encode()); err != nil {
+		return 0, err
+	}
+	return len(txs), nil
+}
+
+// onCommit executes a consensus-committed block. Every replica runs this
+// with identical inputs; the OCC scheduler preserves block-order semantics,
+// so all replicas reach identical state.
+func (n *Node) onCommit(seq uint64, payload []byte) {
+	block, err := chain.DecodeBlock(payload)
+	if err != nil {
+		return
+	}
+	start := time.Now()
+	results, batch := n.executeBlock(block)
+	n.execTimeNs.Add(int64(time.Since(start)))
+
+	commitStart := time.Now()
+	// Block record: height → encoded block.
+	var key [16]byte
+	copy(key[:4], "blk/")
+	binary.BigEndian.PutUint64(key[4:12], block.Header.Height)
+	batch.Put(key[:12], payload)
+	if err := n.store.WriteBatch(batch); err != nil {
+		return
+	}
+	n.commitTimeNs.Add(int64(time.Since(commitStart)))
+
+	n.mu.Lock()
+	n.height = block.Header.Height + 1
+	n.prevHash = block.Hash()
+	for _, res := range results {
+		if res != nil {
+			n.committed[res.TxHash] = res.Receipt
+			n.txHeight[res.TxHash] = block.Header.Height
+		}
+	}
+	n.mu.Unlock()
+	// Committed transactions leave this node's pools (followers hold their
+	// own gossiped copies), and their pre-verification metadata leaves the
+	// enclave.
+	hashes := make([]chain.Hash, 0, len(block.Txs))
+	for _, tx := range block.Txs {
+		h := tx.Hash()
+		hashes = append(hashes, h)
+		n.unverified.Remove(h)
+		n.verified.Remove(h)
+	}
+	n.confEngine.DropPreVerified(hashes)
+	n.txsExecuted.Add(uint64(len(block.Txs)))
+	n.blocksClosed.Add(1)
+}
+
+// engineFor routes a transaction to its engine.
+func (n *Node) engineFor(tx *chain.Tx) *core.Engine {
+	if tx.Type == chain.TxTypeConfidential {
+		return n.confEngine
+	}
+	return n.pubEngine
+}
+
+// executeBlock runs a block's transactions with optimistic concurrency:
+// an initial parallel pass against the pre-block snapshot, then an in-order
+// validation pass that re-executes any transaction whose reads overlap an
+// earlier transaction's writes. Smart-contract parallel execution is the
+// platform feature behind Figure 11's 4-way ≈ 2× result.
+func (n *Node) executeBlock(block *chain.Block) ([]*core.ExecResult, *storage.Batch) {
+	txs := block.Txs
+	results := make([]*core.ExecResult, len(txs))
+	ways := n.cfg.Parallelism
+	if ways > 1 && len(txs) > 1 {
+		var wg sync.WaitGroup
+		work := make(chan int, len(txs))
+		for i := range txs {
+			work <- i
+		}
+		close(work)
+		for w := 0; w < ways; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range work {
+					res, err := n.engineFor(txs[i]).Execute(txs[i])
+					if err == nil {
+						results[i] = res
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for i, tx := range txs {
+			if res, err := n.engineFor(tx).Execute(tx); err == nil {
+				results[i] = res
+			}
+		}
+	}
+
+	// Validation pass: block order wins; conflicting speculative results
+	// are discarded and re-executed against the updated view. AppendWrites
+	// both fills the durable batch and publishes plaintext writes into the
+	// engines' state cache, so later (re-)executions in the block observe
+	// earlier effects.
+	written := make(map[string]struct{})
+	batch := &storage.Batch{}
+	for i, tx := range txs {
+		res := results[i]
+		if res == nil || intersects(res.ReadSet, written) {
+			fresh, err := n.engineFor(tx).Execute(tx)
+			if err != nil {
+				results[i] = nil
+				continue
+			}
+			res = fresh
+			results[i] = res
+		}
+		if err := res.AppendWrites(batch); err != nil {
+			results[i] = nil
+			continue
+		}
+		for k := range res.WriteKeys {
+			written[k] = struct{}{}
+		}
+	}
+	return results, batch
+}
+
+func intersects(reads map[string]struct{}, writes map[string]struct{}) bool {
+	if len(reads) == 0 || len(writes) == 0 {
+		return false
+	}
+	small, large := reads, writes
+	if len(writes) < len(reads) {
+		small, large = writes, reads
+	}
+	for k := range small {
+		if _, ok := large[k]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Receipt returns the locally-indexed plaintext receipt for a transaction,
+// if this node has executed it.
+func (n *Node) Receipt(txHash chain.Hash) (*chain.Receipt, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	r, ok := n.committed[txHash]
+	return r, ok
+}
+
+// StoredReceipt fetches the persisted receipt bytes (sealed under k_tx for
+// confidential transactions) — what an untrusted party reading the database
+// would see.
+func (n *Node) StoredReceipt(txHash chain.Hash) ([]byte, bool, error) {
+	return core.ReadReceipt(n.store, txHash)
+}
+
+// WaitHeight blocks until the node has committed at least h blocks.
+func (n *Node) WaitHeight(h uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if n.Height() >= h {
+			return nil
+		}
+		time.Sleep(50 * time.Microsecond)
+	}
+	return fmt.Errorf("node %d: timeout waiting for height %d (at %d)", n.ID(), h, n.Height())
+}
+
+// Stats summarizes a node's execution counters.
+type Stats struct {
+	TxsExecuted  uint64
+	BlocksClosed uint64
+	ExecTime     time.Duration
+	CommitTime   time.Duration
+}
+
+// Stats returns execution counters.
+func (n *Node) Stats() Stats {
+	return Stats{
+		TxsExecuted:  n.txsExecuted.Load(),
+		BlocksClosed: n.blocksClosed.Load(),
+		ExecTime:     time.Duration(n.execTimeNs.Load()),
+		CommitTime:   time.Duration(n.commitTimeNs.Load()),
+	}
+}
+
+// ErrNotLeader re-exports the consensus error for callers.
+var ErrNotLeader = consensus.ErrNotLeader
+
+// Replica exposes the consensus replica (tests).
+func (n *Node) Replica() *consensus.Replica { return n.replica }
+
+// Endpoint exposes the p2p endpoint (tests, fault injection).
+func (n *Node) Endpoint() *p2p.Endpoint { return n.endpoint }
+
+// VerifiedPoolLen reports the verified pool backlog.
+func (n *Node) VerifiedPoolLen() int { return n.verified.Len() }
+
+// UnverifiedPoolLen reports the un-verified pool backlog.
+func (n *Node) UnverifiedPoolLen() int { return n.unverified.Len() }
+
+// ErrStopped is reserved for the run loop.
+var ErrStopped = errors.New("node: stopped")

@@ -1,0 +1,394 @@
+package node
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+	"time"
+
+	"confide/internal/ccl"
+	"confide/internal/chain"
+	"confide/internal/core"
+	"confide/internal/p2p"
+)
+
+// ledgerSrc is a tiny account ledger used for node tests: per-account
+// balances with transfers, so transactions can be made to conflict (same
+// account) or not (disjoint accounts).
+//
+//	credit <acct(8)> <amount-byte>   adds to balance
+//	move   <from(8)> <to(8)>         moves 1 unit
+//	read   <acct(8)>                 outputs the balance byte
+const ledgerSrc = `
+fn u16at(p) -> int { return load8(p) + (load8(p + 1) << 8); }
+fn u32at(p) -> int {
+	return load8(p) + (load8(p+1) << 8) + (load8(p+2) << 16) + (load8(p+3) << 24);
+}
+fn arg(buf, idx) -> int {
+	// Returns pointer to arg #idx's u32 length header.
+	let mlen = u16at(buf);
+	let p = buf + 2 + mlen + 2;
+	let i = 0;
+	while i < idx {
+		p = p + 4 + u32at(p);
+		i = i + 1;
+	}
+	return p;
+}
+fn balance(acct) -> int {
+	let tmp = alloc(8);
+	let n = storage_get(acct, 8, tmp, 8);
+	if n < 1 { return 0; }
+	return load8(tmp);
+}
+fn setbalance(acct, v) {
+	let tmp = alloc(8);
+	store8(tmp, v);
+	storage_set(acct, 8, tmp, 1);
+}
+
+fn invoke() {
+	let n = input_size();
+	let buf = alloc(n + 8);
+	input_read(buf, 0, n);
+	let c = load8(buf + 2);
+	if c == 99 { // 'c'redit
+		let acct = arg(buf, 0) + 4;
+		let amt = load8(arg(buf, 1) + 4);
+		setbalance(acct, balance(acct) + amt);
+	}
+	if c == 109 { // 'm'ove
+		let from = arg(buf, 0) + 4;
+		let to = arg(buf, 1) + 4;
+		let fb = balance(from);
+		if fb < 1 { fail(); }
+		setbalance(from, fb - 1);
+		setbalance(to, balance(to) + 1);
+	}
+	if c == 114 { // 'r'ead
+		let racct = arg(buf, 0) + 4;
+		let out = alloc(8);
+		store8(out, balance(racct));
+		output(out, 1);
+	}
+}
+`
+
+var ledgerAddr = chain.AddressFromBytes([]byte("ledger"))
+
+func ledgerModule(t testing.TB) []byte {
+	t.Helper()
+	mod, err := ccl.CompileCVM(ledgerSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod.Encode()
+}
+
+func acct(name string) []byte {
+	b := make([]byte, 8)
+	copy(b, name)
+	return b
+}
+
+func newTestCluster(t testing.TB, opts ClusterOptions) *Cluster {
+	t.Helper()
+	if opts.Node.EngineOpts == (core.Options{}) {
+		opts.Node.EngineOpts = core.AllOptimizations()
+	}
+	c, err := NewCluster(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	if err := c.DeployEverywhere(ledgerAddr, chain.AddressFromBytes([]byte("own")), core.VMCVM, ledgerModule(t), true, 1); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func newClusterClient(t testing.TB, c *Cluster) *core.Client {
+	t.Helper()
+	client, err := core.NewClient(c.EnvelopePublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return client
+}
+
+func TestClusterEndToEndConfidential(t *testing.T) {
+	c := newTestCluster(t, ClusterOptions{Nodes: 4})
+	client := newClusterClient(t, c)
+
+	tx, ktx, err := client.NewConfidentialTx(ledgerAddr, "credit", acct("alice"), []byte{50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Submit(tx); err != nil {
+		t.Fatal(err)
+	}
+	// Give gossip a beat, then drive one round.
+	time.Sleep(5 * time.Millisecond)
+	n, err := c.ProcessRound(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("block had %d txs, want 1", n)
+	}
+
+	// Every node committed the same receipt and can serve the sealed form.
+	hash := tx.Hash()
+	for _, node := range c.Nodes {
+		rpt, ok := node.Receipt(hash)
+		if !ok {
+			t.Fatalf("node %d missing receipt", node.ID())
+		}
+		if rpt.Status != chain.ReceiptOK {
+			t.Fatalf("node %d: status %d (%s)", node.ID(), rpt.Status, rpt.Output)
+		}
+		sealed, found, err := node.StoredReceipt(hash)
+		if err != nil || !found {
+			t.Fatalf("node %d stored receipt missing", node.ID())
+		}
+		opened, err := core.OpenReceipt(sealed, ktx, hash)
+		if err != nil {
+			t.Fatalf("node %d: open receipt: %v", node.ID(), err)
+		}
+		if opened.TxHash != hash {
+			t.Error("receipt hash mismatch")
+		}
+	}
+
+	// Balance readable via a follow-up tx.
+	readTx, _, _ := client.NewConfidentialTx(ledgerAddr, "read", acct("alice"))
+	c.Submit(readTx)
+	time.Sleep(5 * time.Millisecond)
+	if _, err := c.ProcessRound(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	rpt, _ := c.Nodes[2].Receipt(readTx.Hash())
+	if len(rpt.Output) != 1 || rpt.Output[0] != 50 {
+		t.Errorf("balance = %v, want [50]", rpt.Output)
+	}
+}
+
+func TestClusterStateIdenticalAcrossNodes(t *testing.T) {
+	c := newTestCluster(t, ClusterOptions{Nodes: 4})
+	client := newClusterClient(t, c)
+	for i := 0; i < 8; i++ {
+		tx, _, _ := client.NewConfidentialTx(ledgerAddr, "credit", acct(fmt.Sprintf("a%d", i%3)), []byte{byte(i + 1)})
+		c.Submit(tx)
+	}
+	time.Sleep(10 * time.Millisecond)
+	if _, err := c.DrainAll(10, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Compare committed state across nodes key by key (ciphertexts differ
+	// because GCM nonces are random, so compare through a read tx instead).
+	for _, a := range []string{"a0", "a1", "a2"} {
+		var want []byte
+		for i, node := range c.Nodes {
+			readTx, _, _ := client.NewConfidentialTx(ledgerAddr, "read", acct(a))
+			res, err := node.ConfidentialEngine().Execute(readTx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i == 0 {
+				want = res.Receipt.Output
+			} else if !bytes.Equal(res.Receipt.Output, want) {
+				t.Errorf("node %d diverges on %s: %v vs %v", node.ID(), a, res.Receipt.Output, want)
+			}
+		}
+	}
+}
+
+func TestConflictingTxsSerializeCorrectly(t *testing.T) {
+	// All transfers touch the same two accounts: OCC must re-execute and
+	// still produce the sequential result, at any parallelism.
+	for _, ways := range []int{1, 4} {
+		t.Run(fmt.Sprintf("%d-way", ways), func(t *testing.T) {
+			c := newTestCluster(t, ClusterOptions{Nodes: 4, Node: Config{Parallelism: ways, EngineOpts: core.AllOptimizations()}})
+			client := newClusterClient(t, c)
+
+			seed, _, _ := client.NewConfidentialTx(ledgerAddr, "credit", acct("src"), []byte{10})
+			c.Submit(seed)
+			time.Sleep(5 * time.Millisecond)
+			if _, err := c.ProcessRound(5 * time.Second); err != nil {
+				t.Fatal(err)
+			}
+
+			for i := 0; i < 6; i++ {
+				tx, _, _ := client.NewConfidentialTx(ledgerAddr, "move", acct("src"), acct("dst"))
+				c.Submit(tx)
+			}
+			time.Sleep(10 * time.Millisecond)
+			if _, err := c.DrainAll(10, 5*time.Second); err != nil {
+				t.Fatal(err)
+			}
+
+			readSrc, _, _ := client.NewConfidentialTx(ledgerAddr, "read", acct("src"))
+			res, err := c.Nodes[0].ConfidentialEngine().Execute(readSrc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Receipt.Output[0] != 4 { // 10 - 6
+				t.Errorf("src balance = %d, want 4", res.Receipt.Output[0])
+			}
+			readDst, _, _ := client.NewConfidentialTx(ledgerAddr, "read", acct("dst"))
+			res2, _ := c.Nodes[0].ConfidentialEngine().Execute(readDst)
+			if res2.Receipt.Output[0] != 6 {
+				t.Errorf("dst balance = %d, want 6", res2.Receipt.Output[0])
+			}
+		})
+	}
+}
+
+func TestMixedPublicAndConfidentialBlock(t *testing.T) {
+	c := newTestCluster(t, ClusterOptions{Nodes: 4})
+	pubAddr := chain.AddressFromBytes([]byte("pub-ledger"))
+	if err := c.DeployEverywhere(pubAddr, chain.AddressFromBytes([]byte("own")), core.VMCVM, ledgerModule(t), false, 1); err != nil {
+		t.Fatal(err)
+	}
+	confClient := newClusterClient(t, c)
+	pubClient, _ := core.NewClient(nil)
+
+	ctx, _, _ := confClient.NewConfidentialTx(ledgerAddr, "credit", acct("c"), []byte{5})
+	ptx, _ := pubClient.NewPublicTx(pubAddr, "credit", acct("p"), []byte{7})
+	c.Submit(ctx)
+	c.Submit(ptx)
+	time.Sleep(10 * time.Millisecond)
+	if _, err := c.DrainAll(5, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	r1, ok1 := c.Nodes[1].Receipt(ctx.Hash())
+	r2, ok2 := c.Nodes[1].Receipt(ptx.Hash())
+	if !ok1 || !ok2 || r1.Status != chain.ReceiptOK || r2.Status != chain.ReceiptOK {
+		t.Fatalf("mixed block execution failed: %v %v", r1, r2)
+	}
+	// The public receipt is stored in plaintext, the confidential one is
+	// not decodable without k_tx.
+	pubStored, _, _ := c.Nodes[1].StoredReceipt(ptx.Hash())
+	if _, err := chain.DecodeReceipt(pubStored); err != nil {
+		t.Error("public receipt should be plaintext")
+	}
+	confStored, _, _ := c.Nodes[1].StoredReceipt(ctx.Hash())
+	if _, err := chain.DecodeReceipt(confStored); err == nil {
+		t.Error("confidential receipt must not decode without k_tx")
+	}
+}
+
+func TestInvalidTxFilteredByPreVerification(t *testing.T) {
+	c := newTestCluster(t, ClusterOptions{Nodes: 4})
+	client := newClusterClient(t, c)
+	good, _, _ := client.NewConfidentialTx(ledgerAddr, "credit", acct("x"), []byte{1})
+	bad, _, _ := client.NewConfidentialTx(ledgerAddr, "credit", acct("y"), []byte{1})
+	bad.Payload[20] ^= 0xff
+	c.Submit(good)
+	c.Submit(bad)
+	time.Sleep(10 * time.Millisecond)
+	n, err := c.ProcessRound(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("block contains %d txs, want 1 (bad tx filtered)", n)
+	}
+}
+
+func TestEmptyBlocks(t *testing.T) {
+	c := newTestCluster(t, ClusterOptions{Nodes: 4})
+	if _, err := c.ProcessRound(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range c.Nodes {
+		if n.Height() != 1 {
+			t.Errorf("node %d height = %d, want 1", n.ID(), n.Height())
+		}
+	}
+}
+
+func TestNonLeaderCannotPropose(t *testing.T) {
+	c := newTestCluster(t, ClusterOptions{Nodes: 4})
+	for _, n := range c.Nodes {
+		if !n.IsLeader() {
+			if _, err := n.ProposeBlock(); err != ErrNotLeader {
+				t.Errorf("node %d: err = %v, want ErrNotLeader", n.ID(), err)
+			}
+		}
+	}
+}
+
+func TestClusterSurvivesFCrashes(t *testing.T) {
+	c := newTestCluster(t, ClusterOptions{Nodes: 4})
+	client := newClusterClient(t, c)
+	c.Nodes[3].Endpoint().Crash()
+	tx, _, _ := client.NewConfidentialTx(ledgerAddr, "credit", acct("z"), []byte{9})
+	c.Submit(tx)
+	time.Sleep(10 * time.Millisecond)
+	for _, n := range c.Nodes[:3] {
+		n.PreVerifyPending()
+	}
+	if _, err := c.Leader().ProposeBlock(); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range c.Nodes[:3] {
+		if err := n.WaitHeight(1, 5*time.Second); err != nil {
+			t.Fatalf("node %d: %v", n.ID(), err)
+		}
+	}
+}
+
+func TestClusterWithNetworkLatencyAndZones(t *testing.T) {
+	c := newTestCluster(t, ClusterOptions{
+		Nodes: 4,
+		Zones: []int{0, 0, 1, 1},
+		Network: p2p.Config{
+			IntraZone: p2p.LinkProfile{Latency: 500 * time.Microsecond},
+			CrossZone: p2p.LinkProfile{Latency: 3 * time.Millisecond},
+		},
+	})
+	client := newClusterClient(t, c)
+	tx, _, _ := client.NewConfidentialTx(ledgerAddr, "credit", acct("lat"), []byte{1})
+	c.Submit(tx)
+	time.Sleep(15 * time.Millisecond)
+	start := time.Now()
+	if _, err := c.ProcessRound(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 5*time.Millisecond {
+		t.Errorf("cross-zone consensus finished in %v; latency model bypassed?", elapsed)
+	}
+}
+
+func TestCentralKMSCluster(t *testing.T) {
+	c := newTestCluster(t, ClusterOptions{Nodes: 4, CentralKMS: true})
+	client := newClusterClient(t, c)
+	tx, _, _ := client.NewConfidentialTx(ledgerAddr, "credit", acct("k"), []byte{3})
+	c.Submit(tx)
+	time.Sleep(5 * time.Millisecond)
+	if _, err := c.ProcessRound(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if r, ok := c.Nodes[0].Receipt(tx.Hash()); !ok || r.Status != chain.ReceiptOK {
+		t.Fatal("centralized-KMS cluster failed to execute")
+	}
+}
+
+func TestNodeStats(t *testing.T) {
+	c := newTestCluster(t, ClusterOptions{Nodes: 4})
+	client := newClusterClient(t, c)
+	tx, _, _ := client.NewConfidentialTx(ledgerAddr, "credit", acct("s"), []byte{2})
+	c.Submit(tx)
+	time.Sleep(5 * time.Millisecond)
+	if _, err := c.ProcessRound(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := c.Nodes[0].Stats()
+	if st.TxsExecuted != 1 || st.BlocksClosed != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.ExecTime == 0 {
+		t.Error("exec time not recorded")
+	}
+}

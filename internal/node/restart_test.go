@@ -1,0 +1,97 @@
+package node
+
+import (
+	"testing"
+	"time"
+
+	"confide/internal/chain"
+	"confide/internal/core"
+)
+
+// TestClusterRestartRecoversChain shuts a durable (LSM-backed) cluster
+// down and boots a fresh one over the same stores with the same engine
+// secrets (the HSM/KMS restart path): heights resume, committed state and
+// receipts remain readable, SPV proofs still verify, and new transactions
+// commit on top of the old chain.
+func TestClusterRestartRecoversChain(t *testing.T) {
+	dir := t.TempDir()
+	c1 := newTestCluster(t, ClusterOptions{Nodes: 4, StoreDir: dir})
+	secrets := c1.Secrets
+	client := newClusterClient(t, c1)
+
+	tx1, ktx1, _ := client.NewConfidentialTx(ledgerAddr, "credit", acct("persist"), []byte{77})
+	if err := c1.Submit(tx1); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond)
+	if _, err := c1.ProcessRound(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	preHeight := c1.Leader().Height()
+	if preHeight == 0 {
+		t.Fatal("nothing committed before restart")
+	}
+	c1.Close()
+
+	// Reboot over the same stores with pre-provisioned secrets.
+	c2, err := NewCluster(ClusterOptions{
+		Nodes:    4,
+		StoreDir: dir,
+		Secrets:  secrets,
+		Node:     Config{EngineOpts: core.AllOptimizations()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c2.Close)
+
+	for _, n := range c2.Nodes {
+		if n.Height() != preHeight {
+			t.Fatalf("node %d resumed at height %d, want %d", n.ID(), n.Height(), preHeight)
+		}
+	}
+	// Old receipt readable (sealed form + the owner's k_tx).
+	sealed, found, err := c2.Nodes[1].StoredReceipt(tx1.Hash())
+	if err != nil || !found {
+		t.Fatalf("pre-restart receipt lost: %v", err)
+	}
+	if _, err := core.OpenReceipt(sealed, ktx1, tx1.Hash()); err != nil {
+		t.Fatalf("pre-restart receipt unreadable: %v", err)
+	}
+	// Old SPV proof verifies across the restarted quorum.
+	proof, err := c2.Nodes[0].ProveTx(tx1.Hash())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyConsensusRead(proof, []*Node{c2.Nodes[1], c2.Nodes[2]}, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Re-submitting the committed transaction is rejected.
+	if err := c2.Nodes[0].SubmitTx(tx1); err != ErrAlreadyCommitted {
+		t.Errorf("resubmit: err = %v, want ErrAlreadyCommitted", err)
+	}
+
+	// New work commits on top: old state visible, balance accumulates.
+	client2, _ := core.NewClient(c2.EnvelopePublicKey())
+	tx2, _, _ := client2.NewConfidentialTx(ledgerAddr, "credit", acct("persist"), []byte{3})
+	if err := c2.Submit(tx2); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond)
+	if _, err := c2.ProcessRound(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range c2.Nodes {
+		if n.Height() != preHeight+1 {
+			t.Fatalf("node %d at height %d after new block, want %d", n.ID(), n.Height(), preHeight+1)
+		}
+	}
+	read, _, _ := client2.NewConfidentialTx(ledgerAddr, "read", acct("persist"))
+	res, err := c2.Nodes[3].ConfidentialEngine().Execute(read)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Receipt.Status != chain.ReceiptOK || res.Receipt.Output[0] != 80 {
+		t.Fatalf("balance after restart = %v (%d), want [80]", res.Receipt.Output, res.Receipt.Status)
+	}
+}

@@ -1,0 +1,247 @@
+// Package p2p simulates the consortium's node-to-node network in process.
+//
+// Experiments in the paper run on real clusters (same-VPC nodes, and a
+// two-zone Shanghai/Beijing deployment over the public network); this
+// simulator reproduces the properties those deployments expose to the
+// consensus layer: per-link propagation latency, per-sender transmission
+// (bandwidth) serialization, zone topology, and fault injection (message
+// drop, node crash). Delivery order between different links is not
+// guaranteed, exactly as on a real network.
+package p2p
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// NodeID identifies a network participant.
+type NodeID uint32
+
+// Message is one datagram between nodes.
+type Message struct {
+	From  NodeID
+	Topic string
+	Data  []byte
+}
+
+// Handler consumes inbound messages. Handlers run on the endpoint's dispatch
+// goroutine; they must not block for long.
+type Handler func(Message)
+
+// LinkProfile describes one direction of connectivity.
+type LinkProfile struct {
+	// Latency is the one-way propagation delay.
+	Latency time.Duration
+	// BytesPerSec bounds sender throughput on this link class; 0 = infinite.
+	BytesPerSec float64
+}
+
+// Config shapes the network.
+type Config struct {
+	// IntraZone applies between nodes in the same zone.
+	IntraZone LinkProfile
+	// CrossZone applies between nodes in different zones (the paper's
+	// Shanghai–Beijing public-network links).
+	CrossZone LinkProfile
+	// DropRate is the probability an individual message is lost.
+	DropRate float64
+	// Seed makes drop decisions reproducible.
+	Seed int64
+}
+
+// Network is the simulated fabric.
+type Network struct {
+	cfg   Config
+	mu    sync.Mutex
+	nodes map[NodeID]*Endpoint
+	rng   *rand.Rand
+}
+
+// NewNetwork creates a network with the given shape. A zero Config yields
+// an ideal network (no latency, no loss, infinite bandwidth).
+func NewNetwork(cfg Config) *Network {
+	return &Network{
+		cfg:   cfg,
+		nodes: make(map[NodeID]*Endpoint),
+		rng:   rand.New(rand.NewSource(cfg.Seed + 1)),
+	}
+}
+
+// Endpoint is one node's attachment to the network.
+type Endpoint struct {
+	id   NodeID
+	zone int
+	net  *Network
+
+	mu        sync.Mutex
+	handlers  map[string][]Handler
+	busyUntil time.Time // sender-side transmission serialization
+	crashed   bool
+
+	inbox     chan Message
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// ErrDuplicateNode reports a NodeID joined twice.
+var ErrDuplicateNode = errors.New("p2p: node id already joined")
+
+// Join attaches a node in the given zone and starts its dispatch loop.
+func (n *Network) Join(id NodeID, zone int) (*Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, dup := n.nodes[id]; dup {
+		return nil, ErrDuplicateNode
+	}
+	e := &Endpoint{
+		id:       id,
+		zone:     zone,
+		net:      n,
+		handlers: make(map[string][]Handler),
+		inbox:    make(chan Message, 4096),
+		done:     make(chan struct{}),
+	}
+	n.nodes[id] = e
+	go e.dispatch()
+	return e, nil
+}
+
+// ID returns the endpoint's node id.
+func (e *Endpoint) ID() NodeID { return e.id }
+
+// Zone returns the endpoint's zone.
+func (e *Endpoint) Zone() int { return e.zone }
+
+// Subscribe registers a handler for a topic.
+func (e *Endpoint) Subscribe(topic string, h Handler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.handlers[topic] = append(e.handlers[topic], h)
+}
+
+// Crash makes the node drop all traffic, in and out (fail-stop).
+func (e *Endpoint) Crash() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.crashed = true
+}
+
+// Crashed reports fail-stop state.
+func (e *Endpoint) Crashed() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.crashed
+}
+
+func (e *Endpoint) dispatch() {
+	for {
+		select {
+		case <-e.done:
+			return
+		case msg := <-e.inbox:
+			e.mu.Lock()
+			crashed := e.crashed
+			hs := append([]Handler(nil), e.handlers[msg.Topic]...)
+			e.mu.Unlock()
+			if crashed {
+				continue
+			}
+			for _, h := range hs {
+				h(msg)
+			}
+		}
+	}
+}
+
+// Close detaches the endpoint. Closing twice is a no-op.
+func (e *Endpoint) Close() {
+	e.closeOnce.Do(func() {
+		e.net.mu.Lock()
+		delete(e.net.nodes, e.id)
+		e.net.mu.Unlock()
+		close(e.done)
+	})
+}
+
+// profileFor picks the link class between two endpoints.
+func (n *Network) profileFor(from, to *Endpoint) LinkProfile {
+	if from.zone == to.zone {
+		return n.cfg.IntraZone
+	}
+	return n.cfg.CrossZone
+}
+
+// Send transmits data to a single peer. Unknown peers and crashed senders
+// silently drop (like UDP); the caller's protocol provides any reliability.
+func (e *Endpoint) Send(to NodeID, topic string, data []byte) {
+	e.net.mu.Lock()
+	dst, ok := e.net.nodes[to]
+	drop := ok && e.net.cfg.DropRate > 0 && e.net.rng.Float64() < e.net.cfg.DropRate
+	e.net.mu.Unlock()
+	if !ok || drop {
+		return
+	}
+	e.mu.Lock()
+	if e.crashed {
+		e.mu.Unlock()
+		return
+	}
+	profile := e.net.profileFor(e, dst)
+	// Transmission delay: the sender's NIC serializes outgoing bytes.
+	now := time.Now()
+	start := e.busyUntil
+	if start.Before(now) {
+		start = now
+	}
+	var tx time.Duration
+	if profile.BytesPerSec > 0 {
+		tx = time.Duration(float64(len(data)) / profile.BytesPerSec * float64(time.Second))
+	}
+	e.busyUntil = start.Add(tx)
+	deliverAt := e.busyUntil.Add(profile.Latency)
+	e.mu.Unlock()
+
+	msg := Message{From: e.id, Topic: topic, Data: append([]byte(nil), data...)}
+	delay := time.Until(deliverAt)
+	if delay <= 0 {
+		dst.enqueue(msg)
+		return
+	}
+	time.AfterFunc(delay, func() { dst.enqueue(msg) })
+}
+
+func (dst *Endpoint) enqueue(msg Message) {
+	select {
+	case dst.inbox <- msg:
+	default:
+		// Inbox overflow models receiver back-pressure: drop.
+	}
+}
+
+// Broadcast sends to every other node.
+func (e *Endpoint) Broadcast(topic string, data []byte) {
+	e.net.mu.Lock()
+	ids := make([]NodeID, 0, len(e.net.nodes))
+	for id := range e.net.nodes {
+		if id != e.id {
+			ids = append(ids, id)
+		}
+	}
+	e.net.mu.Unlock()
+	for _, id := range ids {
+		e.Send(id, topic, data)
+	}
+}
+
+// Peers lists currently joined node ids (including self).
+func (n *Network) Peers() []NodeID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]NodeID, 0, len(n.nodes))
+	for id := range n.nodes {
+		out = append(out, id)
+	}
+	return out
+}

@@ -1,0 +1,193 @@
+package p2p
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestJoinAndDuplicate(t *testing.T) {
+	n := NewNetwork(Config{})
+	if _, err := n.Join(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Join(1, 0); err != ErrDuplicateNode {
+		t.Errorf("err = %v, want ErrDuplicateNode", err)
+	}
+	if len(n.Peers()) != 1 {
+		t.Errorf("peers = %d, want 1", len(n.Peers()))
+	}
+}
+
+func TestSendDelivers(t *testing.T) {
+	n := NewNetwork(Config{})
+	a, _ := n.Join(1, 0)
+	b, _ := n.Join(2, 0)
+	got := make(chan Message, 1)
+	b.Subscribe("ping", func(m Message) { got <- m })
+	a.Send(2, "ping", []byte("hello"))
+	select {
+	case m := <-got:
+		if m.From != 1 || string(m.Data) != "hello" {
+			t.Errorf("message = %+v", m)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("message not delivered")
+	}
+}
+
+func TestSendToUnknownPeerIsSilent(t *testing.T) {
+	n := NewNetwork(Config{})
+	a, _ := n.Join(1, 0)
+	a.Send(99, "x", nil) // must not panic
+}
+
+func TestBroadcastReachesAllButSelf(t *testing.T) {
+	n := NewNetwork(Config{})
+	var count atomic.Int32
+	sender, _ := n.Join(0, 0)
+	sender.Subscribe("b", func(Message) { count.Add(100) }) // must NOT fire
+	var wg sync.WaitGroup
+	for i := 1; i <= 4; i++ {
+		e, _ := n.Join(NodeID(i), 0)
+		wg.Add(1)
+		e.Subscribe("b", func(Message) { count.Add(1); wg.Done() })
+	}
+	sender.Broadcast("b", []byte("x"))
+	waitDone(t, &wg)
+	if count.Load() != 4 {
+		t.Errorf("deliveries = %d, want 4", count.Load())
+	}
+}
+
+func waitDone(t *testing.T, wg *sync.WaitGroup) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("timeout waiting for deliveries")
+	}
+}
+
+func TestLatencyAppliedPerZone(t *testing.T) {
+	n := NewNetwork(Config{
+		IntraZone: LinkProfile{Latency: 1 * time.Millisecond},
+		CrossZone: LinkProfile{Latency: 30 * time.Millisecond},
+	})
+	a, _ := n.Join(1, 0)
+	sameZone, _ := n.Join(2, 0)
+	farZone, _ := n.Join(3, 1)
+
+	measure := func(dst *Endpoint, to NodeID) time.Duration {
+		got := make(chan struct{})
+		dst.Subscribe("t", func(Message) { close(got) })
+		start := time.Now()
+		a.Send(to, "t", []byte("x"))
+		<-got
+		return time.Since(start)
+	}
+	intra := measure(sameZone, 2)
+	cross := measure(farZone, 3)
+	if intra > 20*time.Millisecond {
+		t.Errorf("intra-zone latency %v too high", intra)
+	}
+	if cross < 25*time.Millisecond {
+		t.Errorf("cross-zone latency %v lower than configured 30ms", cross)
+	}
+}
+
+func TestBandwidthSerializesSender(t *testing.T) {
+	// 1 MB/s uplink: ten 10 KB messages take ~100 ms to serialize.
+	n := NewNetwork(Config{
+		IntraZone: LinkProfile{BytesPerSec: 1 << 20},
+	})
+	a, _ := n.Join(1, 0)
+	b, _ := n.Join(2, 0)
+	var wg sync.WaitGroup
+	wg.Add(10)
+	b.Subscribe("bulk", func(Message) { wg.Done() })
+	payload := make([]byte, 10<<10)
+	start := time.Now()
+	for i := 0; i < 10; i++ {
+		a.Send(2, "bulk", payload)
+	}
+	waitDone(t, &wg)
+	if elapsed := time.Since(start); elapsed < 80*time.Millisecond {
+		t.Errorf("10 x 10KB at 1MB/s finished in %v, want >= ~95ms", elapsed)
+	}
+}
+
+func TestDropRate(t *testing.T) {
+	n := NewNetwork(Config{DropRate: 1.0, Seed: 1})
+	a, _ := n.Join(1, 0)
+	b, _ := n.Join(2, 0)
+	var count atomic.Int32
+	b.Subscribe("x", func(Message) { count.Add(1) })
+	for i := 0; i < 20; i++ {
+		a.Send(2, "x", nil)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if count.Load() != 0 {
+		t.Errorf("drop-rate 1.0 still delivered %d messages", count.Load())
+	}
+}
+
+func TestCrashStopsTraffic(t *testing.T) {
+	n := NewNetwork(Config{})
+	a, _ := n.Join(1, 0)
+	b, _ := n.Join(2, 0)
+	var received atomic.Int32
+	b.Subscribe("x", func(Message) { received.Add(1) })
+	b.Crash()
+	a.Send(2, "x", nil)
+	time.Sleep(20 * time.Millisecond)
+	if received.Load() != 0 {
+		t.Error("crashed node processed a message")
+	}
+	if !b.Crashed() {
+		t.Error("Crashed() = false after Crash()")
+	}
+	// Crashed node cannot send either.
+	a.Subscribe("y", func(Message) { received.Add(1) })
+	b.Send(1, "y", nil)
+	time.Sleep(20 * time.Millisecond)
+	if received.Load() != 0 {
+		t.Error("crashed node sent a message")
+	}
+}
+
+func TestCloseDetaches(t *testing.T) {
+	n := NewNetwork(Config{})
+	a, _ := n.Join(1, 0)
+	a.Close()
+	if len(n.Peers()) != 0 {
+		t.Error("closed endpoint still listed")
+	}
+	// Rejoining the same id works.
+	if _, err := n.Join(1, 0); err != nil {
+		t.Errorf("rejoin after close: %v", err)
+	}
+}
+
+func TestMessageDataIsolated(t *testing.T) {
+	// Mutating the sender's buffer after Send must not affect delivery.
+	n := NewNetwork(Config{IntraZone: LinkProfile{Latency: 5 * time.Millisecond}})
+	a, _ := n.Join(1, 0)
+	b, _ := n.Join(2, 0)
+	got := make(chan []byte, 1)
+	b.Subscribe("x", func(m Message) { got <- m.Data })
+	buf := []byte("original")
+	a.Send(2, "x", buf)
+	copy(buf, "mutated!")
+	select {
+	case data := <-got:
+		if string(data) != "original" {
+			t.Errorf("delivered %q, want isolation from sender mutation", data)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("not delivered")
+	}
+}

@@ -1,0 +1,85 @@
+package storage
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+)
+
+// bloom is a fixed-parameter bloom filter attached to every SSTable so point
+// reads can skip tables that cannot contain the key. It uses double hashing
+// over a 64-bit FNV digest with k probes.
+type bloom struct {
+	bits []uint64
+	k    int
+}
+
+// newBloom sizes a filter for n keys at roughly 10 bits/key (~1% FPR).
+func newBloom(n int) *bloom {
+	if n < 1 {
+		n = 1
+	}
+	words := (n*10 + 63) / 64
+	if words < 1 {
+		words = 1
+	}
+	return &bloom{bits: make([]uint64, words), k: 7}
+}
+
+func bloomHashes(key []byte) (uint64, uint64) {
+	h := fnv.New64a()
+	h.Write(key)
+	h1 := h.Sum64()
+	h2 := h1>>33 | h1<<31
+	if h2 == 0 {
+		h2 = 0x9e3779b97f4a7c15
+	}
+	return h1, h2
+}
+
+func (b *bloom) add(key []byte) {
+	h1, h2 := bloomHashes(key)
+	n := uint64(len(b.bits) * 64)
+	for i := 0; i < b.k; i++ {
+		pos := (h1 + uint64(i)*h2) % n
+		b.bits[pos/64] |= 1 << (pos % 64)
+	}
+}
+
+// mayContain reports false only when the key is definitely absent.
+func (b *bloom) mayContain(key []byte) bool {
+	h1, h2 := bloomHashes(key)
+	n := uint64(len(b.bits) * 64)
+	for i := 0; i < b.k; i++ {
+		pos := (h1 + uint64(i)*h2) % n
+		if b.bits[pos/64]&(1<<(pos%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// marshal serializes the filter for the SSTable footer.
+func (b *bloom) marshal() []byte {
+	out := make([]byte, 4+len(b.bits)*8)
+	binary.LittleEndian.PutUint32(out, uint32(b.k))
+	for i, w := range b.bits {
+		binary.LittleEndian.PutUint64(out[4+i*8:], w)
+	}
+	return out
+}
+
+func unmarshalBloom(data []byte) *bloom {
+	if len(data) < 4 || (len(data)-4)%8 != 0 {
+		return nil
+	}
+	b := &bloom{k: int(binary.LittleEndian.Uint32(data))}
+	words := (len(data) - 4) / 8
+	b.bits = make([]uint64, words)
+	for i := range b.bits {
+		b.bits[i] = binary.LittleEndian.Uint64(data[4+i*8:])
+	}
+	if b.k <= 0 || b.k > 32 || words == 0 {
+		return nil
+	}
+	return b
+}

@@ -1,0 +1,194 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+// Corruption robustness: an adversarial or failing disk must never make the
+// store return wrong data silently — open/read either succeeds with correct
+// data or fails loudly.
+
+func populateAndFlush(t *testing.T, dir string, n int) {
+	t.Helper()
+	s, err := OpenLSM(dir, LSMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := s.Put([]byte(fmt.Sprintf("key-%04d", i)), []byte(fmt.Sprintf("val-%04d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sstPath(t *testing.T, dir string) string {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "*.sst"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no sstable found: %v", err)
+	}
+	return names[0]
+}
+
+func TestCorruptSSTableFooterRejectedAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	populateAndFlush(t, dir, 100)
+	path := sstPath(t, dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clobber the footer magic.
+	copy(data[len(data)-4:], "XXXX")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenLSM(dir, LSMOptions{}); err == nil {
+		t.Fatal("store opened over a corrupted sstable footer")
+	}
+}
+
+func TestTruncatedSSTableRejectedAtOpen(t *testing.T) {
+	dir := t.TempDir()
+	populateAndFlush(t, dir, 100)
+	path := sstPath(t, dir)
+	info, _ := os.Stat(path)
+	if err := os.Truncate(path, info.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenLSM(dir, LSMOptions{}); err == nil {
+		t.Fatal("store opened over a truncated sstable")
+	}
+}
+
+func TestTinySSTableRejected(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "000000000001.sst"), []byte("tiny"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenLSM(dir, LSMOptions{}); err == nil {
+		t.Fatal("store opened over a garbage sstable")
+	}
+}
+
+func TestWALGarbagePrefixStopsReplayCleanly(t *testing.T) {
+	// A WAL that is pure garbage from byte 0 must not crash open; it reads
+	// as an empty (torn) log.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "wal.log"), []byte{0xde, 0xad, 0xbe, 0xef, 0x01, 0x02}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenLSM(dir, LSMOptions{})
+	if err != nil {
+		t.Fatalf("garbage WAL should open as empty: %v", err)
+	}
+	defer s.Close()
+	if _, found, _ := s.Get([]byte("anything")); found {
+		t.Fatal("phantom key from garbage WAL")
+	}
+}
+
+func TestWALMidFileCorruptionKeepsPrefix(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := OpenLSM(dir, LSMOptions{})
+	s.Put([]byte("first"), []byte("1"))
+	s.Put([]byte("second"), []byte("2"))
+	s.Close()
+	// Flip a byte inside the second record's area: replay keeps the first
+	// record and stops at the corruption.
+	path := filepath.Join(dir, "wal.log")
+	data, _ := os.ReadFile(path)
+	data[len(data)-2] ^= 0xff
+	os.WriteFile(path, data, 0o644)
+
+	s2, err := OpenLSM(dir, LSMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if v, found, _ := s2.Get([]byte("first")); !found || string(v) != "1" {
+		t.Error("intact prefix record lost")
+	}
+	if _, found, _ := s2.Get([]byte("second")); found {
+		t.Error("corrupted record resurrected")
+	}
+}
+
+func TestSSTableValueBitflipCaughtAboveStorage(t *testing.T) {
+	// The storage layer itself has no per-value checksums for table data
+	// (the D-Protocol above it authenticates every confidential value);
+	// this test pins that division of labor: a flipped byte inside a value
+	// IS returned by Get — which is exactly why the engine's AEAD must, and
+	// does, reject it (see core's state-integrity tests).
+	dir := t.TempDir()
+	populateAndFlush(t, dir, 32)
+	path := sstPath(t, dir)
+	data, _ := os.ReadFile(path)
+	// Flip one byte early in the data area (inside a value).
+	data[20] ^= 0x01
+	os.WriteFile(path, data, 0o644)
+	s, err := OpenLSM(dir, LSMOptions{})
+	if err != nil {
+		// Equally acceptable: the flip landed in metadata and open failed.
+		return
+	}
+	defer s.Close()
+	// No assertion on the value: the contract is "no crash"; integrity is
+	// the crypto layer's job.
+	s.Get([]byte("key-0000"))
+}
+
+func TestBatchOpsProperty(t *testing.T) {
+	// Batches applied to LSM equal the same ops applied one by one.
+	f := func(ops []struct {
+		Key byte
+		Val byte
+		Del bool
+	}) bool {
+		if len(ops) > 64 {
+			ops = ops[:64]
+		}
+		lsmDir := t.TempDir()
+		batched, err := OpenLSM(lsmDir, LSMOptions{})
+		if err != nil {
+			return false
+		}
+		defer batched.Close()
+		serial := NewMemStore()
+		var b Batch
+		for _, op := range ops {
+			key := []byte{op.Key % 8}
+			if op.Del {
+				b.Delete(key)
+				serial.Delete(key)
+			} else {
+				b.Put(key, []byte{op.Val})
+				serial.Put(key, []byte{op.Val})
+			}
+		}
+		if err := batched.WriteBatch(&b); err != nil {
+			return false
+		}
+		for k := byte(0); k < 8; k++ {
+			bv, bf, _ := batched.Get([]byte{k})
+			sv, sf, _ := serial.Get([]byte{k})
+			if bf != sf || string(bv) != string(sv) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

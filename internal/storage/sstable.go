@@ -1,0 +1,295 @@
+package storage
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// SSTable layout (single immutable file, keys sorted ascending):
+//
+//	"CSST"                                    magic (4 bytes)
+//	entry*                                    flags(1) klen(uvar) vlen(uvar) key val
+//	bloom bytes                               see bloom.marshal
+//	index: count(4) then per entry key-offset pairs (sparse, every 16th key)
+//	footer: entryCount(4) bloomOff(8) indexOff(8) magic (4 bytes)
+type sstable struct {
+	f       *os.File
+	path    string
+	filter  *bloom
+	index   []indexEntry // sparse: key → file offset of its entry
+	dataEnd int64        // offset where entry data stops (bloomOff)
+	count   int
+}
+
+type indexEntry struct {
+	key    []byte
+	offset int64
+}
+
+const (
+	sstMagic       = "CSST"
+	sstIndexEvery  = 16
+	sstTombstone   = 0x1
+	sstFooterBytes = 4 + 8 + 8 + 4
+)
+
+// sstEntry is one key/value pair destined for an SSTable.
+type sstEntry struct {
+	key       []byte
+	value     []byte
+	tombstone bool
+}
+
+// writeSSTable writes sorted entries to path. Entries must be sorted by key
+// with no duplicates.
+func writeSSTable(path string, entries []sstEntry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("storage: create sstable: %w", err)
+	}
+	w := bufio.NewWriterSize(f, 256<<10)
+	offset := int64(0)
+	write := func(b []byte) error {
+		n, err := w.Write(b)
+		offset += int64(n)
+		return err
+	}
+	if err := write([]byte(sstMagic)); err != nil {
+		f.Close()
+		return err
+	}
+	filter := newBloom(len(entries))
+	var index []indexEntry
+	for i, e := range entries {
+		filter.add(e.key)
+		if i%sstIndexEvery == 0 {
+			index = append(index, indexEntry{key: append([]byte(nil), e.key...), offset: offset})
+		}
+		var hdr [1 + 2*binary.MaxVarintLen32]byte
+		var flags byte
+		if e.tombstone {
+			flags |= sstTombstone
+		}
+		hdr[0] = flags
+		n := 1
+		n += binary.PutUvarint(hdr[n:], uint64(len(e.key)))
+		n += binary.PutUvarint(hdr[n:], uint64(len(e.value)))
+		if err := write(hdr[:n]); err != nil {
+			f.Close()
+			return err
+		}
+		if err := write(e.key); err != nil {
+			f.Close()
+			return err
+		}
+		if err := write(e.value); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	bloomOff := offset
+	if err := write(filter.marshal()); err != nil {
+		f.Close()
+		return err
+	}
+	indexOff := offset
+	var cnt [4]byte
+	binary.LittleEndian.PutUint32(cnt[:], uint32(len(index)))
+	if err := write(cnt[:]); err != nil {
+		f.Close()
+		return err
+	}
+	for _, ie := range index {
+		var hdr [binary.MaxVarintLen32 + 8]byte
+		n := binary.PutUvarint(hdr[:], uint64(len(ie.key)))
+		binary.LittleEndian.PutUint64(hdr[n:], uint64(ie.offset))
+		if err := write(hdr[:n+8]); err != nil {
+			f.Close()
+			return err
+		}
+		if err := write(ie.key); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	var footer [sstFooterBytes]byte
+	binary.LittleEndian.PutUint32(footer[0:], uint32(len(entries)))
+	binary.LittleEndian.PutUint64(footer[4:], uint64(bloomOff))
+	binary.LittleEndian.PutUint64(footer[12:], uint64(indexOff))
+	copy(footer[20:], sstMagic)
+	if err := write(footer[:]); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+var errCorruptSSTable = errors.New("storage: corrupt sstable")
+
+// openSSTable memory-maps the table metadata (bloom + sparse index) and
+// leaves entry data on disk, read on demand.
+func openSSTable(path string) (*sstable, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open sstable: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() < int64(len(sstMagic))+sstFooterBytes {
+		f.Close()
+		return nil, errCorruptSSTable
+	}
+	var footer [sstFooterBytes]byte
+	if _, err := f.ReadAt(footer[:], st.Size()-sstFooterBytes); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if string(footer[20:24]) != sstMagic {
+		f.Close()
+		return nil, errCorruptSSTable
+	}
+	count := int(binary.LittleEndian.Uint32(footer[0:]))
+	bloomOff := int64(binary.LittleEndian.Uint64(footer[4:]))
+	indexOff := int64(binary.LittleEndian.Uint64(footer[12:]))
+	if bloomOff < int64(len(sstMagic)) || indexOff < bloomOff || indexOff > st.Size()-sstFooterBytes {
+		f.Close()
+		return nil, errCorruptSSTable
+	}
+	bloomBytes := make([]byte, indexOff-bloomOff)
+	if _, err := f.ReadAt(bloomBytes, bloomOff); err != nil {
+		f.Close()
+		return nil, err
+	}
+	filter := unmarshalBloom(bloomBytes)
+	if filter == nil {
+		f.Close()
+		return nil, errCorruptSSTable
+	}
+	indexBytes := make([]byte, st.Size()-sstFooterBytes-indexOff)
+	if _, err := f.ReadAt(indexBytes, indexOff); err != nil {
+		f.Close()
+		return nil, err
+	}
+	index, err := parseIndex(indexBytes)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &sstable{f: f, path: path, filter: filter, index: index, dataEnd: bloomOff, count: count}, nil
+}
+
+func parseIndex(data []byte) ([]indexEntry, error) {
+	if len(data) < 4 {
+		return nil, errCorruptSSTable
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	data = data[4:]
+	index := make([]indexEntry, 0, n)
+	for i := 0; i < n; i++ {
+		klen, used := binary.Uvarint(data)
+		if used <= 0 || len(data) < used+8+int(klen) {
+			return nil, errCorruptSSTable
+		}
+		off := int64(binary.LittleEndian.Uint64(data[used:]))
+		key := append([]byte(nil), data[used+8:used+8+int(klen)]...)
+		index = append(index, indexEntry{key: key, offset: off})
+		data = data[used+8+int(klen):]
+	}
+	return index, nil
+}
+
+// get looks up key; found=false when absent, tombstone=true when the latest
+// record in this table is a deletion marker.
+func (t *sstable) get(key []byte) (value []byte, found, tombstone bool, err error) {
+	if !t.filter.mayContain(key) {
+		return nil, false, false, nil
+	}
+	// Binary search the sparse index for the last block start ≤ key.
+	i := sort.Search(len(t.index), func(i int) bool {
+		return bytes.Compare(t.index[i].key, key) > 0
+	})
+	if i == 0 {
+		return nil, false, false, nil
+	}
+	start := t.index[i-1].offset
+	r := io.NewSectionReader(t.f, start, t.dataEnd-start)
+	br := bufio.NewReaderSize(r, 8<<10)
+	for scanned := 0; scanned < sstIndexEvery; scanned++ {
+		k, v, tomb, readErr := readEntry(br)
+		if readErr != nil {
+			if errors.Is(readErr, io.EOF) {
+				return nil, false, false, nil
+			}
+			return nil, false, false, readErr
+		}
+		switch bytes.Compare(k, key) {
+		case 0:
+			return v, true, tomb, nil
+		case 1:
+			return nil, false, false, nil
+		}
+	}
+	return nil, false, false, nil
+}
+
+func readEntry(r *bufio.Reader) (key, value []byte, tombstone bool, err error) {
+	flags, err := r.ReadByte()
+	if err != nil {
+		return nil, nil, false, err
+	}
+	klen, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, nil, false, errCorruptSSTable
+	}
+	vlen, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, nil, false, errCorruptSSTable
+	}
+	if klen > 1<<28 || vlen > 1<<28 {
+		return nil, nil, false, errCorruptSSTable
+	}
+	key = make([]byte, klen)
+	if _, err := io.ReadFull(r, key); err != nil {
+		return nil, nil, false, errCorruptSSTable
+	}
+	value = make([]byte, vlen)
+	if _, err := io.ReadFull(r, value); err != nil {
+		return nil, nil, false, errCorruptSSTable
+	}
+	return key, value, flags&sstTombstone != 0, nil
+}
+
+// scan streams every entry in key order.
+func (t *sstable) scan(fn func(key, value []byte, tombstone bool) bool) error {
+	r := io.NewSectionReader(t.f, int64(len(sstMagic)), t.dataEnd-int64(len(sstMagic)))
+	br := bufio.NewReaderSize(r, 64<<10)
+	for i := 0; i < t.count; i++ {
+		k, v, tomb, err := readEntry(br)
+		if err != nil {
+			return err
+		}
+		if !fn(k, v, tomb) {
+			return nil
+		}
+	}
+	return nil
+}
+
+func (t *sstable) close() error { return t.f.Close() }

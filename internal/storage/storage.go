@@ -1,0 +1,70 @@
+// Package storage provides the blockchain's persistent key-value layer.
+//
+// Consortium blockchains keep storage loosely coupled so operators can bring
+// their own KV store (a design principle CONFIDE inherits); this package
+// defines the KVStore contract and ships two implementations: an in-memory
+// store for tests and simulation, and an LSM-tree store (WAL + memtable +
+// SSTables with bloom filters and compaction) for durable operation.
+//
+// Because the D-Protocol encrypts confidential state before it reaches this
+// layer, nothing here is trusted: the store only ever sees ciphertext for
+// confidential keys.
+package storage
+
+import (
+	"bytes"
+	"errors"
+)
+
+// KVStore is the pluggable store contract the blockchain platform consumes.
+type KVStore interface {
+	// Get returns the value for key, with found=false for missing keys.
+	Get(key []byte) (value []byte, found bool, err error)
+	// Put stores key → value.
+	Put(key, value []byte) error
+	// Delete removes key; deleting a missing key is not an error.
+	Delete(key []byte) error
+	// WriteBatch applies all operations atomically (the block-commit path).
+	WriteBatch(b *Batch) error
+	// Iterate visits all keys with the given prefix in ascending key order
+	// until fn returns false.
+	Iterate(prefix []byte, fn func(key, value []byte) bool) error
+	// Close releases resources. The store must not be used afterwards.
+	Close() error
+}
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("storage: store is closed")
+
+// batchOp is one operation inside a Batch.
+type batchOp struct {
+	key    []byte
+	value  []byte
+	delete bool
+}
+
+// Batch collects writes for atomic application at block commit.
+type Batch struct {
+	ops []batchOp
+}
+
+// Put queues key → value.
+func (b *Batch) Put(key, value []byte) {
+	b.ops = append(b.ops, batchOp{key: append([]byte(nil), key...), value: append([]byte(nil), value...)})
+}
+
+// Delete queues removal of key.
+func (b *Batch) Delete(key []byte) {
+	b.ops = append(b.ops, batchOp{key: append([]byte(nil), key...), delete: true})
+}
+
+// Len reports the number of queued operations.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// Reset clears the batch for reuse.
+func (b *Batch) Reset() { b.ops = b.ops[:0] }
+
+// hasPrefix reports whether key starts with prefix (empty prefix matches all).
+func hasPrefix(key, prefix []byte) bool {
+	return len(prefix) == 0 || bytes.HasPrefix(key, prefix)
+}

@@ -1,0 +1,140 @@
+package tee
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Benchmarks for the TEE engineering guidance of §5.3. Each pair quantifies
+// one of the paper's optimizations against its naive alternative; delay
+// injection is ON so the simulated transition costs consume wall-clock time
+// exactly as SGX's do.
+
+func ablationEnclave(b *testing.B, pages int) *Enclave {
+	b.Helper()
+	root, err := NewRootOfTrust()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{CodeIdentity: "ablation", InjectDelays: true}
+	if pages > 0 {
+		cfg.EPCPages = pages
+	}
+	e, err := NewPlatform(root).CreateEnclave("cs", cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return e
+}
+
+// BenchmarkOcallBatching: one ocall fetching a flattened 4 KB structure vs
+// sixteen ocalls each fetching one 256 B sub-field. The paper's guidance:
+// balance the copy cost of one large transfer against the ~10k-cycle
+// transition cost of each small one.
+func BenchmarkOcallBatching(b *testing.B) {
+	b.Run("one-4KB-ocall", func(b *testing.B) {
+		e := ablationEnclave(b, 0)
+		for i := 0; i < b.N; i++ {
+			e.Ocall(4096, CopyInOut, func() error { return nil })
+		}
+	})
+	b.Run("sixteen-256B-ocalls", func(b *testing.B) {
+		e := ablationEnclave(b, 0)
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < 16; j++ {
+				e.Ocall(256, CopyInOut, func() error { return nil })
+			}
+		}
+	})
+}
+
+// BenchmarkUserCheck: the EDL user_check flag skips the proxy's
+// copy-and-check of pointer arguments — negligible for small buffers,
+// significant for large ones.
+func BenchmarkUserCheck(b *testing.B) {
+	for _, size := range []int{256, 64 << 10, 1 << 20} {
+		b.Run(fmt.Sprintf("copy-%dB", size), func(b *testing.B) {
+			e := ablationEnclave(b, 0)
+			for i := 0; i < b.N; i++ {
+				e.Ocall(size, CopyInOut, func() error { return nil })
+			}
+		})
+		b.Run(fmt.Sprintf("user_check-%dB", size), func(b *testing.B) {
+			e := ablationEnclave(b, 0)
+			for i := 0; i < b.N; i++ {
+				e.Ocall(size, UserCheck, func() error { return nil })
+			}
+		})
+	}
+}
+
+// BenchmarkEPCPaging: allocations inside vs beyond the EPC budget. Beyond
+// it, every page costs an encrypt-evict cycle — the transparent
+// degradation the paper's memory-management optimizations avoid.
+func BenchmarkEPCPaging(b *testing.B) {
+	const working = 64 // pages per allocation burst
+	b.Run("within-budget", func(b *testing.B) {
+		e := ablationEnclave(b, 1<<20)
+		for i := 0; i < b.N; i++ {
+			e.Alloc(working * PageSize)
+			e.Free(working * PageSize)
+		}
+	})
+	b.Run("thrashing", func(b *testing.B) {
+		e := ablationEnclave(b, working/2) // budget half the working set
+		for i := 0; i < b.N; i++ {
+			e.Alloc(working * PageSize)
+			e.Free(working * PageSize)
+		}
+	})
+}
+
+// BenchmarkMonitorVsOcall: the exit-less status ring against a per-line
+// ocall — the §5.3 monitor design.
+func BenchmarkMonitorVsOcall(b *testing.B) {
+	b.Run("status-via-ocall", func(b *testing.B) {
+		e := ablationEnclave(b, 0)
+		for i := 0; i < b.N; i++ {
+			e.Ocall(64, CopyInOut, func() error { return nil })
+		}
+	})
+	b.Run("status-via-exitless-ring", func(b *testing.B) {
+		e := ablationEnclave(b, 0)
+		m := NewMonitor(e, 1<<16)
+		drained := 0
+		for i := 0; i < b.N; i++ {
+			m.Push("status line")
+			if i%1024 == 0 {
+				drained += len(m.Poll(2048))
+			}
+		}
+		_ = drained
+	})
+}
+
+// BenchmarkMemPool: pooled vs direct enclave allocations at the VM
+// linear-memory size.
+func BenchmarkMemPool(b *testing.B) {
+	const bufSize = 512 << 10
+	b.Run("pooled", func(b *testing.B) {
+		e := ablationEnclave(b, 1<<20)
+		pool := e.Pool()
+		for i := 0; i < b.N; i++ {
+			buf, err := pool.Get(bufSize)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pool.Put(buf)
+		}
+	})
+	b.Run("direct-alloc", func(b *testing.B) {
+		e := ablationEnclave(b, 1<<20)
+		for i := 0; i < b.N; i++ {
+			if err := e.Alloc(bufSize); err != nil {
+				b.Fatal(err)
+			}
+			_ = make([]byte, bufSize)
+			e.Free(bufSize)
+		}
+	})
+}

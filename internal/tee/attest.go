@@ -1,0 +1,162 @@
+package tee
+
+import (
+	"bytes"
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+)
+
+// RootOfTrust stands in for the TEE manufacturer's attestation
+// infrastructure (Intel's EPID/IAS): it signs enclave reports, and
+// verifiers trust its public key. In production this root lives in CPU
+// fuses; here it is a software ECDSA key, which preserves the protocol
+// structure (measure → report → sign → verify) exactly.
+type RootOfTrust struct {
+	key *ecdsa.PrivateKey
+}
+
+// NewRootOfTrust creates a fresh manufacturer root.
+func NewRootOfTrust() (*RootOfTrust, error) {
+	key, err := ecdsa.GenerateKey(elliptic.P256(), rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("tee: root of trust: %w", err)
+	}
+	return &RootOfTrust{key: key}, nil
+}
+
+// Verifier returns the value remote parties use to verify reports.
+func (r *RootOfTrust) Verifier() *ecdsa.PublicKey { return &r.key.PublicKey }
+
+func (r *RootOfTrust) deriveLocalKey() []byte {
+	// Each platform derives its local-attestation secret from the root; on
+	// real hardware this is a per-CPU fuse key.
+	mac := hmac.New(sha256.New, r.key.D.Bytes())
+	mac.Write([]byte("tee/platform-local-key"))
+	return mac.Sum(nil)
+}
+
+// Report is a remote attestation report: it binds an enclave measurement to
+// 64 bytes of report data (CONFIDE locks the pk_tx fingerprint in here) under
+// the manufacturer signature.
+type Report struct {
+	Measurement [32]byte
+	ReportData  [64]byte
+	Signature   []byte
+}
+
+// RemoteAttest produces a signed report for the enclave with the given
+// report data. In CONFIDE the report data carries the fingerprint of the
+// envelope public key pk_tx, immunizing clients against man-in-the-middle
+// key substitution.
+func (e *Enclave) RemoteAttest(reportData []byte) (Report, error) {
+	if e.destroyed.Load() {
+		return Report{}, ErrDestroyed
+	}
+	if len(reportData) > 64 {
+		return Report{}, errors.New("tee: report data exceeds 64 bytes")
+	}
+	var rpt Report
+	rpt.Measurement = e.measurement
+	copy(rpt.ReportData[:], reportData)
+	digest := reportDigest(rpt.Measurement, rpt.ReportData)
+	sig, err := ecdsa.SignASN1(rand.Reader, e.platform.root.key, digest[:])
+	if err != nil {
+		return Report{}, fmt.Errorf("tee: sign report: %w", err)
+	}
+	rpt.Signature = sig
+	return rpt, nil
+}
+
+func reportDigest(measurement [32]byte, data [64]byte) [32]byte {
+	h := sha256.New()
+	h.Write([]byte("tee/report/v1"))
+	h.Write(measurement[:])
+	h.Write(data[:])
+	var out [32]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// ErrBadReport is returned when report verification fails.
+var ErrBadReport = errors.New("tee: attestation report verification failed")
+
+// VerifyReport checks a report signature against the manufacturer verifier
+// and, if expectedMeasurement is non-zero, that the measurement matches.
+func VerifyReport(verifier *ecdsa.PublicKey, rpt Report, expectedMeasurement [32]byte) error {
+	digest := reportDigest(rpt.Measurement, rpt.ReportData)
+	if !ecdsa.VerifyASN1(verifier, digest[:], rpt.Signature) {
+		return ErrBadReport
+	}
+	var zero [32]byte
+	if expectedMeasurement != zero && rpt.Measurement != expectedMeasurement {
+		return ErrBadReport
+	}
+	return nil
+}
+
+// LocalAttestation is the proof one enclave presents to another on the same
+// platform (SGX EREPORT/local attestation analogue).
+type LocalAttestation struct {
+	Source [32]byte
+	Target [32]byte
+	MAC    [32]byte
+}
+
+// LocalAttest produces a local attestation from enclave e to target. Only
+// enclaves on the same platform share the key needed to verify it.
+func (e *Enclave) LocalAttest(target *Enclave) (LocalAttestation, error) {
+	if e.destroyed.Load() || target.destroyed.Load() {
+		return LocalAttestation{}, ErrDestroyed
+	}
+	if e.platform != target.platform {
+		return LocalAttestation{}, errors.New("tee: local attestation requires same platform")
+	}
+	la := LocalAttestation{Source: e.measurement, Target: target.measurement}
+	la.MAC = e.platform.localMAC(localAttestMsg(la.Source, la.Target))
+	return la, nil
+}
+
+// VerifyLocal checks that a local attestation was produced on this enclave's
+// platform and targets this enclave.
+func (e *Enclave) VerifyLocal(la LocalAttestation) error {
+	if e.destroyed.Load() {
+		return ErrDestroyed
+	}
+	if la.Target != e.measurement {
+		return errors.New("tee: local attestation targets a different enclave")
+	}
+	want := e.platform.localMAC(localAttestMsg(la.Source, la.Target))
+	if !hmac.Equal(want[:], la.MAC[:]) {
+		return errors.New("tee: local attestation MAC mismatch")
+	}
+	return nil
+}
+
+func localAttestMsg(src, dst [32]byte) []byte {
+	msg := make([]byte, 0, 80)
+	msg = append(msg, []byte("tee/local-attest")...)
+	msg = append(msg, src[:]...)
+	msg = append(msg, dst[:]...)
+	return msg
+}
+
+// SecureChannelKey derives a shared key between two mutually locally
+// attested enclaves on the same platform. The CS Enclave uses this channel
+// to receive secret keys provisioned by the KM Enclave.
+func (e *Enclave) SecureChannelKey(peer *Enclave) ([]byte, error) {
+	if e.platform != peer.platform {
+		return nil, errors.New("tee: secure channel requires same platform")
+	}
+	// Order the measurements so both sides derive the same key.
+	a, b := e.measurement, peer.measurement
+	if bytes.Compare(a[:], b[:]) > 0 {
+		a, b = b, a
+	}
+	mac := e.platform.localMAC(append(append([]byte("tee/channel"), a[:]...), b[:]...))
+	return mac[:], nil
+}

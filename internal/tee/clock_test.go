@@ -1,0 +1,6 @@
+package tee
+
+import "time"
+
+// nowForTest returns a monotonic nanosecond timestamp for delay assertions.
+func nowForTest() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,111 @@
+package tee
+
+import "sync"
+
+// MemPool is the enclave-internal memory pool from §5.3: it recycles
+// fixed-class buffers to reduce fragmentation and avoid round trips to the
+// (expensive, EPC-paging) enclave allocator. Buffers are grouped in
+// power-of-two size classes from 256 B to 4 MiB.
+type MemPool struct {
+	enclave *Enclave
+	mu      sync.Mutex
+	classes [poolClasses][][]byte
+
+	hits   uint64
+	misses uint64
+}
+
+const (
+	poolMinShift = 8  // 256 B
+	poolMaxShift = 22 // 4 MiB
+	poolClasses  = poolMaxShift - poolMinShift + 1
+)
+
+// NewMemPool creates a pool that charges allocations against the enclave's
+// EPC budget.
+func NewMemPool(e *Enclave) *MemPool {
+	return &MemPool{enclave: e}
+}
+
+func classFor(n int) int {
+	c := 0
+	size := 1 << poolMinShift
+	for size < n && c < poolClasses-1 {
+		size <<= 1
+		c++
+	}
+	return c
+}
+
+func classSize(c int) int { return 1 << (poolMinShift + c) }
+
+// Get returns a zero-length buffer with capacity ≥ n. Reused buffers cost
+// nothing; fresh ones charge the enclave allocator.
+func (p *MemPool) Get(n int) ([]byte, error) {
+	if n > classSize(poolClasses-1) {
+		// Oversized: bypass the pool, charge directly.
+		if err := p.enclave.Alloc(n); err != nil {
+			return nil, err
+		}
+		p.mu.Lock()
+		p.misses++
+		p.mu.Unlock()
+		return make([]byte, 0, n), nil
+	}
+	c := classFor(n)
+	p.mu.Lock()
+	if bufs := p.classes[c]; len(bufs) > 0 {
+		buf := bufs[len(bufs)-1]
+		p.classes[c] = bufs[:len(bufs)-1]
+		p.hits++
+		p.mu.Unlock()
+		return buf[:0], nil
+	}
+	p.misses++
+	p.mu.Unlock()
+	if err := p.enclave.Alloc(classSize(c)); err != nil {
+		return nil, err
+	}
+	return make([]byte, 0, classSize(c)), nil
+}
+
+// Put returns a buffer to the pool for reuse. Oversized buffers are released
+// to the enclave allocator instead.
+func (p *MemPool) Put(buf []byte) {
+	if cap(buf) == 0 {
+		return
+	}
+	if cap(buf) > classSize(poolClasses-1) {
+		p.enclave.Free(cap(buf))
+		return
+	}
+	c := classFor(cap(buf))
+	if classSize(c) > cap(buf) {
+		// Undersized for its class (allocated elsewhere); place it a class
+		// down so Get's capacity guarantee holds.
+		if c == 0 {
+			p.enclave.Free(cap(buf))
+			return
+		}
+		c--
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	const maxPerClass = 64
+	if len(p.classes[c]) < maxPerClass {
+		p.classes[c] = append(p.classes[c], buf)
+	} else {
+		p.enclave.Free(cap(buf))
+	}
+}
+
+// HitRate reports the fraction of Gets served from the pool.
+func (p *MemPool) HitRate() float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	total := p.hits + p.misses
+	if total == 0 {
+		return 0
+	}
+	return float64(p.hits) / float64(total)
+}

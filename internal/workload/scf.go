@@ -1,0 +1,132 @@
+package workload
+
+// The SCF-AR suite reproduces Figure 8's hierarchical design: an AR
+// transfer enters through a Gateway contract, which dispatches to a Manager
+// contract, which orchestrates the service contracts (account, issue,
+// transfer, clearing). The call and storage fan-out is tuned to the
+// operation profile the paper reports in Table 1 for one asset-transfer
+// flow: 31 contract calls, 151 GetStorage and 9 SetStorage.
+//
+// Breakdown: gateway (call 1, 2 gets) → manager (call 2, 4 gets, 1 set) →
+// 29 service steps (5 gets each = 145; the first 8 steps persist state,
+// 8 sets). Totals: 31 calls, 151 gets, 9 sets.
+
+// SCFGatewaySrc is the entry contract.
+//
+//	init <manager-addr(20)>  wires the manager
+//	transfer <asset...>      runs the AR transfer flow
+const SCFGatewaySrc = cclPrelude + `
+fn invoke() {
+	let n = input_size();
+	let buf = alloc(n + 8);
+	input_read(buf, 0, n);
+	let c = load8(buf + 2);
+	if c == 105 { // 'i'nit
+		let a0 = arg(buf, 0);
+		storage_set("mgr", 3, a0 + 4, 20);
+		let ok = alloc(8);
+		store8(ok, 1);
+		output(ok, 1);
+		return;
+	}
+	// transfer: parameter parsing happens in the manager; the gateway
+	// checks routing state and forwards.
+	let en = alloc(8);
+	let e = storage_get("enabled", len("enabled"), en, 8);
+	if e == 1 {
+		if load8(en) == 0 { fail(); }
+	}
+	let mgr = alloc(32);
+	let mn = storage_get("mgr", 3, mgr, 32);
+	if mn != 20 { fail(); }
+	let out = alloc(64);
+	let rn = call(mgr, buf, n, out, 64);
+	if rn < 0 { fail(); }
+	output(out, rn);
+}
+`
+
+// SCFManagerSrc dispatches an AR transfer across the service contracts.
+//
+//	init <service-addr(20)>  wires the service contract
+//	(anything else)          runs the orchestration flow
+const SCFManagerSrc = cclPrelude + `
+fn invoke() {
+	let n = input_size();
+	let buf = alloc(n + 8);
+	input_read(buf, 0, n);
+	let c = load8(buf + 2);
+	if c == 105 { // 'i'nit
+		let a0 = arg(buf, 0);
+		storage_set("svc", 3, a0 + 4, 20);
+		let ok = alloc(8);
+		store8(ok, 1);
+		output(ok, 1);
+		return;
+	}
+
+	// Routing state: service address, access control, fee policy, flow
+	// sequence number.
+	let svc = alloc(32);
+	let sn = storage_get("svc", 3, svc, 32);
+	if sn != 20 { fail(); }
+	let acl = alloc(64);
+	let a = storage_get("acl", 3, acl, 64);
+	let fee = alloc(64);
+	let f = storage_get("fee-policy", len("fee-policy"), fee, 64);
+	let seqb = alloc(8);
+	let s = storage_get("seq", 3, seqb, 8);
+	let seq = 0;
+	if s > 0 { seq = load8(seqb); }
+	store8(seqb, seq + 1);
+	storage_set("seq", 3, seqb, 1);
+
+	// The AR transfer decomposes into 29 service steps (account checks,
+	// asset validation, lien release, transfer legs, clearing entries);
+	// the first 8 persist state.
+	let callbuf = alloc(16);
+	memcpy(callbuf, "\x04\x00step\x01\x00\x01\x00\x00\x00\x00", 13);
+	let out = alloc(16);
+	let i = 0;
+	while i < 29 {
+		let flag = 0;
+		if i < 8 { flag = 1; }
+		store8(callbuf + 12, flag);
+		let r = call(svc, callbuf, 13, out, 16);
+		if r < 0 { fail(); }
+		i = i + 1;
+	}
+	let done = alloc(8);
+	store8(done, 1);
+	output(done, 1);
+}
+`
+
+// SCFServiceSrc is one service step: five state reads (the two account
+// records, the asset record, the service policy and the risk limit) and,
+// when the step mutates state, one write.
+const SCFServiceSrc = cclPrelude + `
+fn invoke() {
+	let n = input_size();
+	let buf = alloc(n + 8);
+	input_read(buf, 0, n);
+	let a0 = arg(buf, 0);
+	let flag = load8(a0 + 4);
+
+	let tmp = alloc(64);
+	let g1 = storage_get("acct-from", len("acct-from"), tmp, 64);
+	let g2 = storage_get("acct-to", len("acct-to"), tmp, 64);
+	let g3 = storage_get("asset", 5, tmp, 64);
+	let g4 = storage_get("policy", 6, tmp, 64);
+	let g5 = storage_get("limit", 5, tmp, 64);
+
+	if flag == 1 {
+		let rec = alloc(32);
+		memset(rec, 65, 32);
+		storage_set("acct-from", len("acct-from"), rec, 32);
+	}
+	let ok = alloc(8);
+	store8(ok, 1);
+	output(ok, 1);
+}
+`
