@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test race vet chaos bench all
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Fault-tolerance packages under the race detector (consensus liveness,
+# fault injection and the node layer are the concurrency hot spots).
+race:
+	$(GO) test -race ./internal/consensus/... ./internal/node/... ./internal/p2p/...
+
+vet:
+	$(GO) vet ./...
+
+# Seeded chaos drill: message loss, a leader crash/restart and a
+# partition/heal, ending in verified convergence.
+chaos:
+	$(GO) run ./cmd/benchrunner -chaos -seed 1
+
+bench:
+	$(GO) run ./cmd/benchrunner -exp all -quick

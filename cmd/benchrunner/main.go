@@ -10,6 +10,7 @@
 //	benchrunner -exp fig12        # Figure 12: ABS optimization ablation
 //	benchrunner -exp prod         # §6.4 production metrics
 //	benchrunner -exp fig10 -txs 96  # more transactions per cell
+//	benchrunner -chaos -seed 7    # liveness-under-faults drill
 package main
 
 import (
@@ -19,13 +20,26 @@ import (
 	"time"
 
 	"confide/internal/bench"
+	"confide/internal/node"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment: all, fig10, fig11, table1, fig12, prod")
 	txs := flag.Int("txs", 0, "transactions per measurement cell (0 = experiment default)")
 	quick := flag.Bool("quick", false, "shrink grids for a fast pass")
+	chaos := flag.Bool("chaos", false, "run the chaos drill instead of the paper experiments")
+	seed := flag.Int64("seed", 1, "chaos: fault-schedule seed")
+	nodes := flag.Int("nodes", 4, "chaos: cluster size (4-7)")
+	drop := flag.Float64("drop", 0.10, "chaos: global message drop rate")
 	flag.Parse()
+
+	if *chaos {
+		if err := runChaos(*seed, *nodes, *txs, *drop); err != nil {
+			fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	run := func(name string, fn func() error) {
 		if *exp != "all" && *exp != name {
@@ -111,6 +125,30 @@ func runFig12(txs int) error {
 	for _, r := range rows {
 		fmt.Printf("%-36s %10.1f %8.2fx\n", r.Config, r.TPS, r.Speedup)
 	}
+	return nil
+}
+
+func runChaos(seed int64, nodes, txs int, drop float64) error {
+	fmt.Printf("=== Chaos drill: %d nodes, seed %d, %.0f%% drop, leader crash + partition ===\n",
+		nodes, seed, drop*100)
+	report, err := node.RunChaos(node.ChaosOptions{
+		Nodes:    nodes,
+		Txs:      txs, // 0 = default
+		Seed:     seed,
+		DropRate: drop,
+	})
+	if err != nil {
+		return err
+	}
+	for _, e := range report.Events {
+		fmt.Println("  " + e)
+	}
+	fmt.Printf("converged in %v: %d txs committed on all %d nodes, height %d, %d view changes\n",
+		report.Elapsed.Round(time.Millisecond), report.Txs, report.Nodes, report.Height, report.ViewChanges)
+	fmt.Printf("state root: %x (identical on every node)\n", report.StateRoot[:8])
+	s := report.Net
+	fmt.Printf("network: %d sent, %d delivered, drops: %d rate / %d partition / %d crash / %d overflow, %d dup, %d reordered\n",
+		s.Sent, s.Delivered, s.RateDrops, s.PartitionDrops, s.CrashDrops, s.OverflowDrops, s.Duplicates, s.Reordered)
 	return nil
 }
 

@@ -4,16 +4,25 @@
 // together here — ordering never needs to see inside an envelope, which is
 // what lets CONFIDE stay loosely coupled to the platform.
 //
-// The implementation targets the paper's evaluation envelope: a fixed
+// The implementation targets the paper's deployment envelope: a fixed
 // replica set, tolerance of f = (n-1)/3 fail-stop replicas, and pipelined
-// block proposals. View change implements leader crash-failover: when 2f+1
-// replicas vote for a higher view, everyone adopts it and the round-robin
-// successor leads. In-flight (uncommitted) instances are abandoned on the
-// view switch — their transactions remain in the nodes' pools and the new
-// leader re-proposes them — which covers the operational leader-crash case
-// between blocks; full Byzantine mid-instance recovery (prepared-
-// certificate transfer) is out of scope, as the paper's evaluation is
-// fault-free.
+// block proposals, on lossy public-network links. Liveness under faults is
+// automatic (see liveness.go): per-instance progress timers vote view
+// changes on leader silence, unacknowledged protocol messages retransmit
+// with exponential backoff, replicas that missed a pre-prepare fetch it by
+// sequence from peers, and replicas that fall behind (crash, partition)
+// catch up from peers' committed logs. View change implements leader
+// crash-failover: when 2f+1 replicas vote for a higher view, everyone
+// adopts it and the round-robin successor leads. Each vote carries the
+// voter's prepared certificates (sequence, prepare-view, payload); the new
+// leader merges the quorum's certificates — highest prepare-view wins per
+// sequence — re-proposes them at their original sequences, and fills any
+// certificate-free gap below its pipeline tip with a no-op, so pipelined
+// commits that outran an abandoned sequence can still deliver. Carriers
+// refuse conflicting digests, which keeps a payload that may have
+// committed somewhere from being replaced under fail-stop faults. The
+// certificates are unauthenticated (fail-stop model); Byzantine-proof
+// signed new-view certificates remain out of scope.
 package consensus
 
 import (
@@ -33,7 +42,66 @@ const (
 	topicPrepare    = "pbft/prepare"
 	topicCommit     = "pbft/commit"
 	topicViewChange = "pbft/view-change"
+	topicStatus     = "pbft/status"
+	topicFetch      = "pbft/fetch"
+	topicFetchResp  = "pbft/fetch-resp"
 )
+
+// Message-type tags carried by every wire message, so payloads are
+// self-describing and a message replayed on the wrong topic is rejected.
+const (
+	msgPrePrepare = 1 + iota
+	msgPrepare
+	msgCommit
+	msgViewChange
+	msgStatus         // heartbeat: view + delivered count
+	msgFetch          // request instances/committed payloads from seq
+	msgFetchResp      // in-flight payload replay (pre-prepare contents)
+	msgFetchCommitted // committed payload from the responder's log
+)
+
+// Options tunes a replica's liveness machinery. The zero value selects
+// production-shaped defaults; tests and the chaos harness shrink them.
+type Options struct {
+	// ViewTimeout is how long pending work may stall (no delivery) before
+	// this replica votes a view change. Default 1s.
+	ViewTimeout time.Duration
+	// RetransmitInterval is the initial resend period for unacknowledged
+	// messages; it backs off exponentially per instance. Default 50ms.
+	RetransmitInterval time.Duration
+	// RetransmitMax caps the backoff. Default 500ms.
+	RetransmitMax time.Duration
+	// HeartbeatInterval paces the status broadcast that drives view and
+	// delivery catch-up. Default 100ms.
+	HeartbeatInterval time.Duration
+	// CommittedLog bounds how many recently delivered payloads are retained
+	// to serve catch-up fetches. Default 512.
+	CommittedLog int
+	// WorkPending, when set, reports whether the application has work an
+	// honest leader should be ordering (e.g. non-empty transaction pools).
+	// It gates the leader-silence timer: without it only in-flight
+	// instances arm the timer.
+	WorkPending func() bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.ViewTimeout == 0 {
+		o.ViewTimeout = time.Second
+	}
+	if o.RetransmitInterval == 0 {
+		o.RetransmitInterval = 50 * time.Millisecond
+	}
+	if o.RetransmitMax == 0 {
+		o.RetransmitMax = 500 * time.Millisecond
+	}
+	if o.HeartbeatInterval == 0 {
+		o.HeartbeatInterval = 100 * time.Millisecond
+	}
+	if o.CommittedLog == 0 {
+		o.CommittedLog = 512
+	}
+	return o
+}
 
 // CommitFn is called exactly once per sequence number, in order, with the
 // committed payload.
@@ -46,6 +114,7 @@ type Replica struct {
 	f        int
 	endpoint *p2p.Endpoint
 	onCommit CommitFn
+	opts     Options
 
 	mu        sync.Mutex
 	view      uint64
@@ -53,10 +122,49 @@ type Replica struct {
 	delivered uint64 // next sequence to deliver
 	instances map[uint64]*instance
 	pending   map[uint64][]byte // committed out of order, awaiting delivery
-	// viewVotes[v] holds the replicas that voted to move to view v.
-	viewVotes map[uint64]map[p2p.NodeID]struct{}
+	// viewVotes[v] holds, per replica that voted to move to view v, the
+	// prepared certificates shipped inside its vote.
+	viewVotes map[uint64]map[p2p.NodeID][]vcEntry
 	votedFor  uint64 // highest view this replica has voted for
-	closed    bool
+	// certView is the highest view this replica adopted with a full 2f+1
+	// vote quorum in hand (vs. jumping forward on heartbeat evidence). Only
+	// a leader whose view matches certView may gap-fill with no-ops: the
+	// quorum's certificates prove the gap holds no prepared payload.
+	certView uint64
+	closed   bool
+
+	// Liveness state (see liveness.go).
+	committedLog  map[uint64][]byte // recent deliveries, serves catch-up
+	logMin        uint64            // lowest retained committedLog seq
+	carry         map[uint64]carryEntry
+	peerViews     map[p2p.NodeID]uint64 // highest view seen per peer
+	peerDelivered map[p2p.NodeID]uint64 // highest delivered seen per peer
+	lastProgress  time.Time
+	lastHeartbeat time.Time
+	vcLastSent    time.Time
+	vcInterval    time.Duration
+	fetchLastSent time.Time
+	fetchInterval time.Duration
+	viewChanges   uint64
+	deliveredCh   chan struct{} // closed+replaced on every delivery
+	stop          chan struct{}
+}
+
+// carryEntry is a locally prepared (commit-voted) payload carried across a
+// view change: the new leader re-proposes it at the same sequence, and
+// carriers refuse conflicting digests for that sequence. view records the
+// view in which the payload prepared, so merges keep the newest.
+type carryEntry struct {
+	digest  [32]byte
+	view    uint64
+	payload []byte
+}
+
+// vcEntry is one prepared certificate inside a view-change vote.
+type vcEntry struct {
+	seq     uint64
+	view    uint64 // view in which the payload prepared
+	payload []byte
 }
 
 // instance tracks one sequence number's progress.
@@ -68,8 +176,11 @@ type instance struct {
 	commits    map[p2p.NodeID][32]byte
 	sentCommit bool
 	committed  bool
-	// earlyPrepares / earlyCommits buffer votes that arrive before the
-	// pre-prepare (the network reorders freely).
+	// Retransmission pacing.
+	lastSent time.Time
+	resendIn time.Duration
+	// prepares/commits double as the early-vote buffer: votes that arrive
+	// before the pre-prepare (the network reorders freely) sit here.
 }
 
 // ErrNotLeader is returned when a non-leader proposes.
@@ -78,24 +189,43 @@ var ErrNotLeader = errors.New("consensus: not the leader for this view")
 // ErrClosed is returned after Close.
 var ErrClosed = errors.New("consensus: replica closed")
 
-// NewReplica wires a replica to its endpoint. n is the total replica count;
-// ids must be 0..n-1. onCommit receives committed payloads in sequence
-// order.
+// NewReplica wires a replica to its endpoint with default Options. n is the
+// total replica count; ids must be 0..n-1. onCommit receives committed
+// payloads in sequence order.
 func NewReplica(endpoint *p2p.Endpoint, n int, onCommit CommitFn) *Replica {
+	return NewReplicaWithOptions(endpoint, n, onCommit, Options{})
+}
+
+// NewReplicaWithOptions wires a replica with explicit liveness tuning.
+func NewReplicaWithOptions(endpoint *p2p.Endpoint, n int, onCommit CommitFn, opts Options) *Replica {
 	r := &Replica{
-		id:        endpoint.ID(),
-		n:         n,
-		f:         (n - 1) / 3,
-		endpoint:  endpoint,
-		onCommit:  onCommit,
-		instances: make(map[uint64]*instance),
-		pending:   make(map[uint64][]byte),
-		viewVotes: make(map[uint64]map[p2p.NodeID]struct{}),
+		id:            endpoint.ID(),
+		n:             n,
+		f:             (n - 1) / 3,
+		endpoint:      endpoint,
+		onCommit:      onCommit,
+		opts:          opts.withDefaults(),
+		instances:     make(map[uint64]*instance),
+		pending:       make(map[uint64][]byte),
+		viewVotes:     make(map[uint64]map[p2p.NodeID][]vcEntry),
+		committedLog:  make(map[uint64][]byte),
+		carry:         make(map[uint64]carryEntry),
+		peerViews:     make(map[p2p.NodeID]uint64),
+		peerDelivered: make(map[p2p.NodeID]uint64),
+		lastProgress:  time.Now(),
+		deliveredCh:   make(chan struct{}),
+		stop:          make(chan struct{}),
 	}
+	r.vcInterval = r.opts.RetransmitInterval
+	r.fetchInterval = r.opts.RetransmitInterval
 	endpoint.Subscribe(topicPrePrepare, r.onPrePrepare)
 	endpoint.Subscribe(topicPrepare, r.onPrepare)
 	endpoint.Subscribe(topicCommit, r.onCommit3)
 	endpoint.Subscribe(topicViewChange, r.onViewChange)
+	endpoint.Subscribe(topicStatus, r.onStatus)
+	endpoint.Subscribe(topicFetch, r.onFetch)
+	endpoint.Subscribe(topicFetchResp, r.onFetchResp)
+	go r.run()
 	return r
 }
 
@@ -106,8 +236,17 @@ func (r *Replica) View() uint64 {
 	return r.view
 }
 
+// ViewChanges reports how many view switches this replica has adopted.
+func (r *Replica) ViewChanges() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.viewChanges
+}
+
 // RequestViewChange votes to replace the current leader (e.g. after a
-// proposal timeout). The view switches once 2f+1 replicas vote.
+// proposal timeout). The view switches once 2f+1 replicas vote. The
+// progress timer calls this automatically on leader silence; it remains
+// public for operator tooling.
 func (r *Replica) RequestViewChange() {
 	r.mu.Lock()
 	if r.closed {
@@ -120,17 +259,20 @@ func (r *Replica) RequestViewChange() {
 		return
 	}
 	r.votedFor = target
-	r.recordViewVote(target, r.id)
+	r.recordViewVote(target, r.id, nil)
+	r.vcLastSent = time.Now()
+	r.vcInterval = r.opts.RetransmitInterval
+	vote := encodeMsg(msgViewChange, target, 0, zeroDigest[:], encodeVCEntries(r.preparedSet()))
 	r.mu.Unlock()
-	r.endpoint.Broadcast(topicViewChange, encodeMsg(target, 0, make([]byte, 32), nil))
+	r.endpoint.Broadcast(topicViewChange, vote)
 	r.mu.Lock()
 	r.maybeSwitchView(target)
 	r.mu.Unlock()
 }
 
 func (r *Replica) onViewChange(m p2p.Message) {
-	target, _, _, _, err := decodeMsg(m.Data)
-	if err != nil {
+	typ, target, _, _, payload, err := decodeMsg(m.Data)
+	if err != nil || typ != msgViewChange {
 		return
 	}
 	r.mu.Lock()
@@ -138,45 +280,130 @@ func (r *Replica) onViewChange(m p2p.Message) {
 		r.mu.Unlock()
 		return
 	}
-	r.recordViewVote(target, m.From)
+	r.recordViewVote(target, m.From, decodeVCEntries(payload))
 	// Join the view change once f+1 others ask for it (standard liveness
 	// amplification), so one slow timer does not stall the switch.
 	join := len(r.viewVotes[target]) >= r.f+1 && r.votedFor < target
+	var vote []byte
 	if join {
 		r.votedFor = target
-		r.recordViewVote(target, r.id)
+		r.recordViewVote(target, r.id, nil)
+		r.vcLastSent = time.Now()
+		r.vcInterval = r.opts.RetransmitInterval
+		vote = encodeMsg(msgViewChange, target, 0, zeroDigest[:], encodeVCEntries(r.preparedSet()))
 	}
 	r.mu.Unlock()
 	if join {
-		r.endpoint.Broadcast(topicViewChange, encodeMsg(target, 0, make([]byte, 32), nil))
+		r.endpoint.Broadcast(topicViewChange, vote)
 	}
 	r.mu.Lock()
 	r.maybeSwitchView(target)
 	r.mu.Unlock()
 }
 
-// recordViewVote tallies a vote. Caller holds r.mu.
-func (r *Replica) recordViewVote(target uint64, from p2p.NodeID) {
+// recordViewVote tallies a vote with the prepared certificates it shipped.
+// The replica's own vote records nil — its local carry/instances are merged
+// directly at adoption. Caller holds r.mu.
+func (r *Replica) recordViewVote(target uint64, from p2p.NodeID, entries []vcEntry) {
 	votes := r.viewVotes[target]
 	if votes == nil {
-		votes = make(map[p2p.NodeID]struct{})
+		votes = make(map[p2p.NodeID][]vcEntry)
 		r.viewVotes[target] = votes
 	}
-	votes[from] = struct{}{}
+	if _, seen := votes[from]; !seen || entries != nil {
+		votes[from] = entries
+	}
 }
 
-// maybeSwitchView adopts the target view on a 2f+1 quorum, abandoning
-// in-flight instances (their payloads remain in the application's pools).
+// preparedSet collects this replica's prepared-but-undelivered payloads —
+// current carry plus commit-voted instances — for a view-change vote.
+// Caller holds r.mu.
+func (r *Replica) preparedSet() []vcEntry {
+	var entries []vcEntry
+	for seq, c := range r.carry {
+		if seq >= r.delivered {
+			entries = append(entries, vcEntry{seq: seq, view: c.view, payload: c.payload})
+		}
+	}
+	for seq, inst := range r.instances {
+		if seq >= r.delivered && inst.sentCommit && !inst.committed {
+			entries = append(entries, vcEntry{seq: seq, view: r.view, payload: inst.payload})
+		}
+	}
+	return entries
+}
+
+// maybeSwitchView adopts the target view on a 2f+1 quorum, first merging
+// the quorum's prepared certificates into the carry set (highest
+// prepare-view wins per sequence). Any 2f+1 votes intersect any commit
+// quorum in at least one replica, so every payload that may have committed
+// is represented — which is what makes the leader's no-op gap-fill safe.
 // Caller holds r.mu.
 func (r *Replica) maybeSwitchView(target uint64) {
 	if target <= r.view || len(r.viewVotes[target]) < r.Quorum() {
 		return
 	}
-	r.view = target
+	for _, entries := range r.viewVotes[target] {
+		for _, e := range entries {
+			if e.seq < r.delivered {
+				continue
+			}
+			if c, held := r.carry[e.seq]; held && c.view >= e.view {
+				continue
+			}
+			r.carry[e.seq] = carryEntry{
+				digest:  sha256.Sum256(e.payload),
+				view:    e.view,
+				payload: append([]byte(nil), e.payload...),
+			}
+		}
+	}
+	r.adoptView(target)
+	r.certView = target
+}
+
+// adoptView moves to view v: in-flight unprepared instances are abandoned
+// (their payloads remain in the application's pools and the new leader
+// re-proposes them), locally prepared ones are carried for re-proposal at
+// the same sequence, and committed-but-undelivered payloads stay pending.
+// All vote state for views ≤ v is pruned. Caller holds r.mu.
+func (r *Replica) adoptView(v uint64) {
+	if v <= r.view {
+		return
+	}
+	for seq, inst := range r.instances {
+		if seq >= r.delivered && inst.sentCommit && !inst.committed {
+			if c, held := r.carry[seq]; held && c.view > r.view {
+				continue // a merged certificate from a newer view wins
+			}
+			r.carry[seq] = carryEntry{digest: inst.digest, view: r.view, payload: inst.payload}
+		}
+	}
+	r.view = v
+	r.viewChanges++
+	if r.votedFor < v {
+		r.votedFor = v
+	}
 	r.instances = make(map[uint64]*instance)
-	r.pending = make(map[uint64][]byte)
 	r.nextSeq = r.delivered
-	delete(r.viewVotes, target)
+	for seq := range r.pending {
+		if seq >= r.nextSeq {
+			r.nextSeq = seq + 1
+		}
+	}
+	for seq := range r.carry {
+		if seq >= r.nextSeq {
+			r.nextSeq = seq + 1
+		}
+	}
+	// Prune vote maps for every view at or below the adopted one — stale
+	// lower-view votes can never form a quorum again.
+	for target := range r.viewVotes {
+		if target <= v {
+			delete(r.viewVotes, target)
+		}
+	}
+	r.lastProgress = time.Now()
 }
 
 // Leader returns the current view's leader id.
@@ -217,7 +444,7 @@ func (r *Replica) Propose(payload []byte) (uint64, error) {
 	view := r.view
 	r.mu.Unlock()
 
-	msg := encodeMsg(view, seq, digest[:], payload)
+	msg := encodeMsg(msgPrePrepare, view, seq, digest[:], payload)
 	r.endpoint.Broadcast(topicPrePrepare, msg)
 	// A single-replica network commits immediately.
 	r.mu.Lock()
@@ -226,12 +453,16 @@ func (r *Replica) Propose(payload []byte) (uint64, error) {
 	return seq, nil
 }
 
+// getInstance returns (creating if needed) the instance for seq. Caller
+// holds r.mu.
 func (r *Replica) getInstance(seq uint64) *instance {
 	inst, ok := r.instances[seq]
 	if !ok {
 		inst = &instance{
 			prepares: make(map[p2p.NodeID][32]byte),
 			commits:  make(map[p2p.NodeID][32]byte),
+			lastSent: time.Now(),
+			resendIn: r.opts.RetransmitInterval,
 		}
 		r.instances[seq] = inst
 	}
@@ -239,12 +470,12 @@ func (r *Replica) getInstance(seq uint64) *instance {
 }
 
 func (r *Replica) onPrePrepare(m p2p.Message) {
-	view, seq, digest, payload, err := decodeMsg(m.Data)
-	if err != nil {
+	typ, view, seq, digest, payload, err := decodeMsg(m.Data)
+	if err != nil || typ != msgPrePrepare {
 		return
 	}
 	r.mu.Lock()
-	if r.closed || view != r.view {
+	if r.closed || view != r.view || seq < r.delivered {
 		r.mu.Unlock()
 		return
 	}
@@ -256,10 +487,14 @@ func (r *Replica) onPrePrepare(m p2p.Message) {
 		r.mu.Unlock()
 		return // digest mismatch: discard
 	}
+	if c, held := r.carry[seq]; held && c.digest != digest {
+		r.mu.Unlock()
+		return // conflicts with a payload this replica already commit-voted
+	}
 	inst := r.getInstance(seq)
 	if inst.havePre {
 		r.mu.Unlock()
-		return // duplicate
+		return // duplicate (first pre-prepare wins within a view)
 	}
 	inst.havePre = true
 	inst.digest = digest
@@ -273,20 +508,20 @@ func (r *Replica) onPrePrepare(m p2p.Message) {
 	}
 	r.mu.Unlock()
 
-	r.endpoint.Broadcast(topicPrepare, encodeMsg(view, seq, digest[:], nil))
+	r.endpoint.Broadcast(topicPrepare, encodeMsg(msgPrepare, view, seq, digest[:], nil))
 	r.mu.Lock()
 	r.maybeAdvance(seq, inst)
 	r.mu.Unlock()
 }
 
 func (r *Replica) onPrepare(m p2p.Message) {
-	view, seq, digest, _, err := decodeMsg(m.Data)
-	if err != nil {
+	typ, view, seq, digest, _, err := decodeMsg(m.Data)
+	if err != nil || typ != msgPrepare {
 		return
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.closed || view != r.view {
+	if r.closed || view != r.view || seq < r.delivered {
 		return
 	}
 	inst := r.getInstance(seq)
@@ -295,13 +530,13 @@ func (r *Replica) onPrepare(m p2p.Message) {
 }
 
 func (r *Replica) onCommit3(m p2p.Message) {
-	view, seq, digest, _, err := decodeMsg(m.Data)
-	if err != nil {
+	typ, view, seq, digest, _, err := decodeMsg(m.Data)
+	if err != nil || typ != msgCommit {
 		return
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.closed || view != r.view {
+	if r.closed || view != r.view || seq < r.delivered {
 		return
 	}
 	inst := r.getInstance(seq)
@@ -323,7 +558,7 @@ func (r *Replica) maybeAdvance(seq uint64, inst *instance) {
 		digest := inst.digest
 		// Broadcast outside the lock.
 		r.mu.Unlock()
-		r.endpoint.Broadcast(topicCommit, encodeMsg(view, seq, digest[:], nil))
+		r.endpoint.Broadcast(topicCommit, encodeMsg(msgCommit, view, seq, digest[:], nil))
 		r.mu.Lock()
 	}
 	if !inst.committed && inst.sentCommit && r.countMatching(inst.commits, inst.digest) >= r.Quorum() {
@@ -360,7 +595,9 @@ func (r *Replica) deliverReady() {
 		seq := r.delivered
 		delete(r.pending, seq)
 		delete(r.instances, seq)
+		delete(r.carry, seq)
 		r.delivered++
+		r.recordDelivered(seq, payload)
 		cb := r.onCommit
 		r.mu.Unlock()
 		if cb != nil {
@@ -370,6 +607,73 @@ func (r *Replica) deliverReady() {
 	}
 }
 
+// recordDelivered maintains the committed log, progress clock and waiter
+// notification after one delivery. Caller holds r.mu.
+func (r *Replica) recordDelivered(seq uint64, payload []byte) {
+	r.committedLog[seq] = payload
+	for len(r.committedLog) > r.opts.CommittedLog {
+		delete(r.committedLog, r.logMin)
+		r.logMin++
+	}
+	r.lastProgress = time.Now()
+	r.fetchInterval = r.opts.RetransmitInterval
+	close(r.deliveredCh)
+	r.deliveredCh = make(chan struct{})
+}
+
+// AdvanceTo fast-forwards the delivery counter after the application
+// obtained sequences below seq out of band (block catch-up sync). State for
+// skipped sequences is pruned; payloads already committed at or beyond seq
+// become deliverable.
+func (r *Replica) AdvanceTo(seq uint64) {
+	r.mu.Lock()
+	if seq <= r.delivered {
+		r.mu.Unlock()
+		return
+	}
+	for s := range r.instances {
+		if s < seq {
+			delete(r.instances, s)
+		}
+	}
+	for s := range r.pending {
+		if s < seq {
+			delete(r.pending, s)
+		}
+	}
+	for s := range r.carry {
+		if s < seq {
+			delete(r.carry, s)
+		}
+	}
+	if r.logMin < seq {
+		for s := r.logMin; s < seq; s++ {
+			delete(r.committedLog, s)
+		}
+		r.logMin = seq
+	}
+	r.delivered = seq
+	if r.nextSeq < seq {
+		r.nextSeq = seq
+	}
+	for s := range r.pending {
+		if s >= r.nextSeq {
+			r.nextSeq = s + 1
+		}
+	}
+	for s := range r.carry {
+		if s >= r.nextSeq {
+			r.nextSeq = s + 1
+		}
+	}
+	r.lastProgress = time.Now()
+	r.fetchInterval = r.opts.RetransmitInterval
+	close(r.deliveredCh)
+	r.deliveredCh = make(chan struct{})
+	r.deliverReady()
+	r.mu.Unlock()
+}
+
 // Delivered reports how many sequences have been handed to the application.
 func (r *Replica) Delivered() uint64 {
 	r.mu.Lock()
@@ -377,30 +681,46 @@ func (r *Replica) Delivered() uint64 {
 	return r.delivered
 }
 
-// Close stops processing.
+// Close stops processing and the liveness loop.
 func (r *Replica) Close() {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
 	r.closed = true
+	close(r.stop)
 }
 
 // WaitDelivered blocks until the replica has delivered at least target
 // sequences or the timeout elapses.
 func (r *Replica) WaitDelivered(target uint64, timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
-		if r.Delivered() >= target {
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	for {
+		r.mu.Lock()
+		if r.delivered >= target {
+			r.mu.Unlock()
 			return nil
 		}
-		time.Sleep(50 * time.Microsecond)
+		ch := r.deliveredCh
+		r.mu.Unlock()
+		select {
+		case <-ch:
+		case <-timer.C:
+			return fmt.Errorf("consensus: timeout waiting for %d deliveries (have %d)", target, r.Delivered())
+		}
 	}
-	return fmt.Errorf("consensus: timeout waiting for %d deliveries (have %d)", target, r.Delivered())
 }
 
-// Message layout: view(8) seq(8) digest(32) payload(rest), via chain RLP for
-// canonical framing.
-func encodeMsg(view, seq uint64, digest, payload []byte) []byte {
+var zeroDigest [32]byte
+
+// Message layout: type(1) view(8) seq(8) digest(32) payload(rest), via
+// chain RLP for canonical framing. Control messages (view-change, status,
+// fetch) carry a zero digest.
+func encodeMsg(typ uint64, view, seq uint64, digest, payload []byte) []byte {
 	return chain.Encode(chain.List(
+		chain.Uint(typ),
 		chain.Uint(view),
 		chain.Uint(seq),
 		chain.Bytes(digest),
@@ -408,24 +728,66 @@ func encodeMsg(view, seq uint64, digest, payload []byte) []byte {
 	))
 }
 
-func decodeMsg(data []byte) (view, seq uint64, digest [32]byte, payload []byte, err error) {
+func decodeMsg(data []byte) (typ, view, seq uint64, digest [32]byte, payload []byte, err error) {
 	it, err := chain.Decode(data)
 	if err != nil {
-		return 0, 0, digest, nil, err
+		return 0, 0, 0, digest, nil, err
 	}
-	if !it.IsList || len(it.List) != 4 {
-		return 0, 0, digest, nil, errors.New("consensus: malformed message")
+	if !it.IsList || len(it.List) != 5 {
+		return 0, 0, 0, digest, nil, errors.New("consensus: malformed message")
 	}
-	if view, err = it.List[0].AsUint(); err != nil {
+	if typ, err = it.List[0].AsUint(); err != nil {
 		return
 	}
-	if seq, err = it.List[1].AsUint(); err != nil {
+	if typ < msgPrePrepare || typ > msgFetchCommitted {
+		return 0, 0, 0, digest, nil, errors.New("consensus: unknown message type")
+	}
+	if view, err = it.List[1].AsUint(); err != nil {
 		return
 	}
-	if len(it.List[2].Str) != 32 {
-		return 0, 0, digest, nil, errors.New("consensus: bad digest length")
+	if seq, err = it.List[2].AsUint(); err != nil {
+		return
 	}
-	copy(digest[:], it.List[2].Str)
-	payload = it.List[3].Str
-	return view, seq, digest, payload, nil
+	if len(it.List[3].Str) != 32 {
+		return 0, 0, 0, digest, nil, errors.New("consensus: bad digest length")
+	}
+	copy(digest[:], it.List[3].Str)
+	payload = it.List[4].Str
+	return typ, view, seq, digest, payload, nil
+}
+
+// encodeVCEntries frames prepared certificates for a view-change vote:
+// a list of (seq, prepare-view, payload) triples.
+func encodeVCEntries(entries []vcEntry) []byte {
+	if len(entries) == 0 {
+		return nil
+	}
+	items := make([]chain.Item, len(entries))
+	for i, e := range entries {
+		items[i] = chain.List(chain.Uint(e.seq), chain.Uint(e.view), chain.Bytes(e.payload))
+	}
+	return chain.Encode(chain.List(items...))
+}
+
+func decodeVCEntries(data []byte) []vcEntry {
+	if len(data) == 0 {
+		return nil
+	}
+	it, err := chain.Decode(data)
+	if err != nil || !it.IsList {
+		return nil
+	}
+	var entries []vcEntry
+	for _, e := range it.List {
+		if !e.IsList || len(e.List) != 3 {
+			continue
+		}
+		seq, errSeq := e.List[0].AsUint()
+		view, errView := e.List[1].AsUint()
+		if errSeq != nil || errView != nil {
+			continue
+		}
+		entries = append(entries, vcEntry{seq: seq, view: view, payload: e.List[2].Str})
+	}
+	return entries
 }

@@ -15,28 +15,40 @@ import (
 type cluster struct {
 	replicas  []*Replica
 	endpoints []*p2p.Endpoint
+	net       *p2p.Network
 	mu        sync.Mutex
 	logs      [][]([]byte)
 }
 
 func newCluster(t *testing.T, n int, cfg p2p.Config) *cluster {
 	t.Helper()
+	return newClusterOpts(t, n, cfg, Options{})
+}
+
+func newClusterOpts(t *testing.T, n int, cfg p2p.Config, opts Options) *cluster {
+	t.Helper()
 	net := p2p.NewNetwork(cfg)
-	c := &cluster{logs: make([][]([]byte), n)}
+	c := &cluster{net: net, logs: make([][]([]byte), n)}
 	for i := 0; i < n; i++ {
 		e, err := net.Join(p2p.NodeID(i), 0)
 		if err != nil {
 			t.Fatal(err)
 		}
 		i := i
-		r := NewReplica(e, n, func(seq uint64, payload []byte) {
+		r := NewReplicaWithOptions(e, n, func(seq uint64, payload []byte) {
 			c.mu.Lock()
 			c.logs[i] = append(c.logs[i], append([]byte(nil), payload...))
 			c.mu.Unlock()
-		})
+		}, opts)
 		c.replicas = append(c.replicas, r)
 		c.endpoints = append(c.endpoints, e)
 	}
+	t.Cleanup(func() {
+		for i := range c.replicas {
+			c.replicas[i].Close()
+			c.endpoints[i].Close()
+		}
+	})
 	return c
 }
 
@@ -175,7 +187,7 @@ func TestForgedLeaderPrePrepareIgnored(t *testing.T) {
 	c := newCluster(t, 4, p2p.Config{})
 	// Replica 1 (not the leader) tries to pre-prepare; followers must
 	// ignore it because view 0's leader is replica 0.
-	forged := encodeMsg(0, 0, make([]byte, 32), []byte("evil"))
+	forged := encodeMsg(msgPrePrepare, 0, 0, make([]byte, 32), []byte("evil"))
 	c.endpoints[1].Broadcast(topicPrePrepare, forged)
 	time.Sleep(50 * time.Millisecond)
 	for i := range c.replicas {
@@ -187,7 +199,7 @@ func TestForgedLeaderPrePrepareIgnored(t *testing.T) {
 
 func TestDigestMismatchDiscarded(t *testing.T) {
 	c := newCluster(t, 4, p2p.Config{})
-	bad := encodeMsg(0, 0, make([]byte, 32), []byte("payload-not-matching-digest"))
+	bad := encodeMsg(msgPrePrepare, 0, 0, make([]byte, 32), []byte("payload-not-matching-digest"))
 	c.endpoints[0].Broadcast(topicPrePrepare, bad) // from the real leader
 	time.Sleep(50 * time.Millisecond)
 	for i := range c.replicas {

@@ -1,0 +1,398 @@
+package node
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"confide/internal/ccl"
+	"confide/internal/chain"
+	"confide/internal/consensus"
+	"confide/internal/core"
+	"confide/internal/p2p"
+)
+
+// Chaos harness: a seeded end-to-end fault drill. It boots a cluster, keeps
+// a client-style workload flowing (with retries, as a real client would),
+// and injects the fault schedule — message loss on every link, leader
+// crashes with restarts, and a partition that splits and heals — then
+// requires full convergence: every transaction committed with an OK receipt
+// on every node, identical chains, identical state roots. Nothing in the
+// harness touches consensus internals; recovery comes entirely from the
+// automatic timers, retransmission and catch-up sync.
+
+// chaosLedgerSrc is the harness's workload contract: per-account balances
+// with a credit operation (so the final state is a deterministic function
+// of the committed transaction set, not of ordering).
+const chaosLedgerSrc = `
+fn u16at(p) -> int { return load8(p) + (load8(p + 1) << 8); }
+fn u32at(p) -> int {
+	return load8(p) + (load8(p+1) << 8) + (load8(p+2) << 16) + (load8(p+3) << 24);
+}
+fn arg(buf, idx) -> int {
+	let mlen = u16at(buf);
+	let p = buf + 2 + mlen + 2;
+	let i = 0;
+	while i < idx {
+		p = p + 4 + u32at(p);
+		i = i + 1;
+	}
+	return p;
+}
+fn balance(acct) -> int {
+	let tmp = alloc(8);
+	let n = storage_get(acct, 8, tmp, 8);
+	if n < 1 { return 0; }
+	return load8(tmp);
+}
+fn invoke() {
+	let n = input_size();
+	let buf = alloc(n + 8);
+	input_read(buf, 0, n);
+	let c = load8(buf + 2);
+	if c == 99 { // 'c'redit
+		let acct = arg(buf, 0) + 4;
+		let amt = load8(arg(buf, 1) + 4);
+		let tmp = alloc(8);
+		store8(tmp, balance(acct) + amt);
+		storage_set(acct, 8, tmp, 1);
+	}
+}
+`
+
+var chaosLedgerAddr = chain.AddressFromBytes([]byte("chaosledger"))
+
+// ChaosOptions shapes one chaos run. The zero value is a quick deterministic
+// drill suitable for `go test`.
+type ChaosOptions struct {
+	// Nodes is the cluster size (default 4; must be ≥ 4 to tolerate one
+	// fault).
+	Nodes int
+	// Txs is the number of client transactions (default 24).
+	Txs int
+	// Seed drives every random choice: the fault schedule, fault targets
+	// and the network's drop lottery. Same seed → same schedule.
+	Seed int64
+	// DropRate is the global message loss probability (default 0.05 —
+	// pass a negative value for a lossless run).
+	DropRate float64
+	// DuplicateRate / ReorderRate add delivery anomalies (default 0.02 /
+	// 0.02; negative disables).
+	DuplicateRate float64
+	ReorderRate   float64
+	// LeaderCrashes is how many crash-and-restart faults target the
+	// current leader (default 1).
+	LeaderCrashes int
+	// Partitions is how many partition/heal cycles isolate one random node
+	// (default 1).
+	Partitions int
+	// FaultFor is how long each fault stays active (default 500ms); faults
+	// are scheduled sequentially so at most one is active at a time,
+	// keeping the fault count within f.
+	FaultFor time.Duration
+	// StepEvery paces the driver duty cycle (default 25ms).
+	StepEvery time.Duration
+	// Timeout aborts a run that fails to converge (default 120s).
+	Timeout time.Duration
+}
+
+func (o ChaosOptions) withDefaults() ChaosOptions {
+	if o.Nodes == 0 {
+		o.Nodes = 4
+	}
+	if o.Txs == 0 {
+		o.Txs = 24
+	}
+	if o.DropRate == 0 {
+		o.DropRate = 0.05
+	}
+	if o.DuplicateRate == 0 {
+		o.DuplicateRate = 0.02
+	}
+	if o.ReorderRate == 0 {
+		o.ReorderRate = 0.02
+	}
+	if o.LeaderCrashes == 0 {
+		o.LeaderCrashes = 1
+	}
+	if o.Partitions == 0 {
+		o.Partitions = 1
+	}
+	if o.FaultFor == 0 {
+		o.FaultFor = 500 * time.Millisecond
+	}
+	if o.StepEvery == 0 {
+		o.StepEvery = 25 * time.Millisecond
+	}
+	if o.Timeout == 0 {
+		o.Timeout = 120 * time.Second
+	}
+	return o
+}
+
+// ChaosReport summarizes a converged run.
+type ChaosReport struct {
+	Nodes       int
+	Txs         int
+	Height      uint64
+	ViewChanges uint64
+	Elapsed     time.Duration
+	// StateRoot commits to the full header chain (which in turn commits to
+	// every transaction set); identical on every node at convergence.
+	StateRoot chain.Hash
+	// Net aggregates the fault injector's counters for the whole run.
+	Net p2p.Stats
+	// Events is the injected fault timeline.
+	Events []string
+}
+
+type chaosFault struct {
+	at      time.Duration
+	until   time.Duration
+	isCrash bool // else partition
+	target  int  // partition victim (crash targets the live leader)
+}
+
+// RunChaos executes one seeded chaos drill and verifies convergence.
+func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
+	opts = opts.withDefaults()
+	if opts.Nodes < 4 {
+		return nil, fmt.Errorf("chaos: need ≥ 4 nodes to tolerate a fault, got %d", opts.Nodes)
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	clamp := func(r float64) float64 {
+		if r < 0 {
+			return 0
+		}
+		return r
+	}
+	cluster, err := NewCluster(ClusterOptions{
+		Nodes: opts.Nodes,
+		Network: p2p.Config{
+			DropRate:      clamp(opts.DropRate),
+			DuplicateRate: clamp(opts.DuplicateRate),
+			ReorderRate:   clamp(opts.ReorderRate),
+			Seed:          opts.Seed,
+		},
+		Node: Config{
+			EngineOpts: core.AllOptimizations(),
+			Consensus: consensus.Options{
+				ViewTimeout:        250 * time.Millisecond,
+				RetransmitInterval: 20 * time.Millisecond,
+				RetransmitMax:      200 * time.Millisecond,
+				HeartbeatInterval:  30 * time.Millisecond,
+			},
+			SyncInterval: 40 * time.Millisecond,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Close()
+
+	mod, err := ccl.CompileCVM(chaosLedgerSrc)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: compiling workload contract: %w", err)
+	}
+	owner := chain.AddressFromBytes([]byte("chaosowner"))
+	if err := cluster.DeployEverywhere(chaosLedgerAddr, owner, core.VMCVM, mod.Encode(), true, 1); err != nil {
+		return nil, err
+	}
+	client, err := core.NewClient(cluster.EnvelopePublicKey())
+	if err != nil {
+		return nil, err
+	}
+
+	// Fault schedule: sequential windows with slack between them, so at
+	// most one fault is ever active (the cluster tolerates f = 1).
+	var faults []chaosFault
+	cursor := 300 * time.Millisecond
+	for i := 0; i < opts.LeaderCrashes+opts.Partitions; i++ {
+		f := chaosFault{at: cursor, until: cursor + opts.FaultFor, isCrash: i < opts.LeaderCrashes}
+		if !f.isCrash {
+			f.target = rng.Intn(opts.Nodes)
+		}
+		faults = append(faults, f)
+		cursor = f.until + opts.FaultFor
+	}
+
+	// Workload: credits spread over a few accounts, amounts seeded, with
+	// submission times spread across the whole fault schedule so every
+	// fault window hits in-flight work.
+	txs := make([]*chain.Tx, opts.Txs)
+	submitAt := make([]time.Duration, opts.Txs)
+	for i := range txs {
+		account := []byte(fmt.Sprintf("acct-%03d", i%5))
+		amount := byte(1 + rng.Intn(5))
+		tx, _, err := client.NewConfidentialTx(chaosLedgerAddr, "credit", account, []byte{amount})
+		if err != nil {
+			return nil, err
+		}
+		txs[i] = tx
+		submitAt[i] = cursor * time.Duration(i) / time.Duration(opts.Txs)
+	}
+
+	report := &ChaosReport{Nodes: opts.Nodes, Txs: opts.Txs}
+	start := time.Now()
+	logEvent := func(format string, args ...any) {
+		report.Events = append(report.Events,
+			fmt.Sprintf("t+%s ", time.Since(start).Round(time.Millisecond))+fmt.Sprintf(format, args...))
+	}
+
+	crashed := -1
+	partitioned := false
+	var lastSubmit time.Time
+	deadline := start.Add(opts.Timeout)
+
+	allCommitted := func() bool {
+		for _, n := range cluster.Nodes {
+			for _, tx := range txs {
+				if rpt, ok := n.Receipt(tx.Hash()); !ok || rpt.Status != chain.ReceiptOK {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	converged := func() bool {
+		if !allCommitted() {
+			return false
+		}
+		h := cluster.Nodes[0].Height()
+		for _, n := range cluster.Nodes[1:] {
+			if n.Height() != h {
+				return false
+			}
+		}
+		return true
+	}
+
+	// The drill runs until the whole fault schedule has played out AND the
+	// cluster has converged afterwards.
+	for len(faults) > 0 || crashed >= 0 || partitioned || !converged() {
+		if time.Now().After(deadline) {
+			var state string
+			for i, n := range cluster.Nodes {
+				missing := 0
+				for _, tx := range txs {
+					if rpt, ok := n.Receipt(tx.Hash()); !ok || rpt.Status != chain.ReceiptOK {
+						missing++
+					}
+				}
+				state += fmt.Sprintf(" node%d{h=%d view=%d delivered=%d pool=%d+%d missing=%d}",
+					i, n.Height(), n.Replica().View(), n.Replica().Delivered(),
+					n.UnverifiedPoolLen(), n.VerifiedPoolLen(), missing)
+			}
+			return nil, fmt.Errorf("chaos: no convergence after %s (events: %v; state:%s)",
+				opts.Timeout, report.Events, state)
+		}
+		now := time.Since(start)
+
+		// Inject and lift scheduled faults.
+		if len(faults) > 0 && crashed < 0 && !partitioned && now >= faults[0].at {
+			f := faults[0]
+			if f.isCrash {
+				leader := cluster.Leader()
+				crashed = int(leader.ID())
+				leader.Endpoint().Crash()
+				logEvent("crash leader node %d for %s", crashed, opts.FaultFor)
+			} else {
+				var majority []p2p.NodeID
+				for i := 0; i < opts.Nodes; i++ {
+					if i != f.target {
+						majority = append(majority, p2p.NodeID(i))
+					}
+				}
+				cluster.Net().Partition([][]p2p.NodeID{majority})
+				partitioned = true
+				logEvent("partition node %d away for %s", f.target, opts.FaultFor)
+			}
+		}
+		if len(faults) > 0 && now >= faults[0].until && (crashed >= 0 || partitioned) {
+			if crashed >= 0 {
+				cluster.Nodes[crashed].Endpoint().Recover()
+				logEvent("restart node %d", crashed)
+				crashed = -1
+			}
+			if partitioned {
+				cluster.Net().Heal()
+				logEvent("heal partition")
+				partitioned = false
+			}
+			faults = faults[1:]
+		}
+
+		// Client behaviour: submit each transaction when its scheduled time
+		// arrives, and re-submit any that have not committed anywhere yet.
+		// Execution-time dedup makes retries safe even when the first copy
+		// is still in flight.
+		if time.Since(lastSubmit) >= 10*opts.StepEvery || lastSubmit.IsZero() {
+			lastSubmit = time.Now()
+			for i, tx := range txs {
+				if now < submitAt[i] {
+					continue
+				}
+				committed := false
+				for _, n := range cluster.Nodes {
+					if _, ok := n.Receipt(tx.Hash()); ok {
+						committed = true
+						break
+					}
+				}
+				if !committed {
+					target := rng.Intn(opts.Nodes)
+					if target == crashed {
+						target = (target + 1) % opts.Nodes
+					}
+					cluster.Nodes[target].SubmitTx(tx)
+				}
+			}
+		}
+
+		// Duty cycle: every live node pre-verifies; every believed leader
+		// proposes its backlog (several may believe during a view change —
+		// consensus arbitrates).
+		for i, n := range cluster.Nodes {
+			if i == crashed {
+				continue
+			}
+			n.PreVerifyPending()
+			if n.IsLeader() && n.VerifiedPoolLen() > 0 {
+				n.ProposeBlock()
+			}
+		}
+		time.Sleep(opts.StepEvery)
+	}
+
+	// Convergence holds; certify identical chains via a state root over the
+	// full header sequence (headers commit to the tx sets, and execution is
+	// deterministic, so equal header chains imply equal state).
+	report.Height = cluster.Nodes[0].Height()
+	roots := make([]chain.Hash, opts.Nodes)
+	for i, n := range cluster.Nodes {
+		hasher := sha256.New()
+		for h := uint64(0); h < report.Height; h++ {
+			hdr, err := n.HeaderAt(h)
+			if err != nil {
+				return nil, fmt.Errorf("chaos: node %d missing block %d after convergence: %w", i, h, err)
+			}
+			hasher.Write(hdr)
+		}
+		copy(roots[i][:], hasher.Sum(nil))
+	}
+	for i := 1; i < opts.Nodes; i++ {
+		if roots[i] != roots[0] {
+			return nil, fmt.Errorf("chaos: state root divergence: node %d %x vs node 0 %x", i, roots[i][:8], roots[0][:8])
+		}
+	}
+	report.StateRoot = roots[0]
+	for _, n := range cluster.Nodes {
+		if vc := n.Replica().ViewChanges(); vc > report.ViewChanges {
+			report.ViewChanges = vc
+		}
+	}
+	report.Net = cluster.Net().Stats()
+	report.Elapsed = time.Since(start)
+	return report, nil
+}

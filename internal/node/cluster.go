@@ -274,11 +274,13 @@ func (c *Cluster) pending() int {
 	return total
 }
 
+// Net exposes the simulated network for fault injection (partitions, drop
+// rates, stats).
+func (c *Cluster) Net() *p2p.Network { return c.net }
+
 // Close shuts the cluster down.
 func (c *Cluster) Close() {
 	for _, n := range c.Nodes {
-		n.Replica().Close()
-		n.Endpoint().Close()
-		n.Store().Close()
+		n.Close()
 	}
 }

@@ -5,7 +5,6 @@
 package node
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
@@ -28,6 +27,14 @@ type Config struct {
 	Parallelism int
 	// EngineOpts configures both engines' optimizations.
 	EngineOpts core.Options
+	// Consensus tunes the replica's liveness timers (view timeout,
+	// retransmission, heartbeats). Zero fields take consensus defaults.
+	Consensus consensus.Options
+	// SyncInterval paces block catch-up gossip (height announcements and
+	// the rate limit on sync requests). Default 100ms.
+	SyncInterval time.Duration
+	// SyncBatch bounds blocks served per sync response. Default 16.
+	SyncBatch int
 }
 
 func (c Config) withDefaults() Config {
@@ -36,6 +43,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Parallelism == 0 {
 		c.Parallelism = 1
+	}
+	if c.SyncInterval == 0 {
+		c.SyncInterval = 100 * time.Millisecond
+	}
+	if c.SyncBatch == 0 {
+		c.SyncBatch = 16
 	}
 	return c
 }
@@ -53,11 +66,26 @@ type Node struct {
 	unverified *chain.TxPool
 	verified   *chain.TxPool
 
+	// applyMu serializes block application: consensus delivery and catch-up
+	// sync race to apply the same heights, and the height guard inside
+	// applyBlock makes whichever path loses a no-op.
+	applyMu sync.Mutex
+	// baseHeight is the chain height when the replica was created; replica
+	// sequence s maps to block height baseHeight + s.
+	baseHeight uint64
+
+	stop     chan struct{}
+	stopOnce sync.Once
+
 	mu        sync.Mutex
 	height    uint64
 	prevHash  chain.Hash
+	heightCh  chan struct{}                 // closed and replaced on every height advance
 	committed map[chain.Hash]*chain.Receipt // plaintext receipts (local index)
 	txHeight  map[chain.Hash]uint64         // tx → containing block (SPV proofs)
+
+	syncMu      sync.Mutex
+	syncLastReq time.Time
 
 	txsExecuted  atomic.Uint64
 	blocksClosed atomic.Uint64
@@ -81,14 +109,22 @@ func New(cfg Config, endpoint *p2p.Endpoint, n int, confEngine, pubEngine *core.
 		verified:   chain.NewTxPool(1 << 16),
 		committed:  make(map[chain.Hash]*chain.Receipt),
 		txHeight:   make(map[chain.Hash]uint64),
+		heightCh:   make(chan struct{}),
+		stop:       make(chan struct{}),
 	}
 	node.recoverChainState()
-	node.replica = consensus.NewReplica(endpoint, n, node.onCommit)
+	node.baseHeight = node.height
+	opts := cfg.Consensus
+	opts.WorkPending = func() bool {
+		return node.unverified.Len()+node.verified.Len() > 0
+	}
+	node.replica = consensus.NewReplicaWithOptions(endpoint, n, node.onCommit, opts)
 	endpoint.Subscribe(gossipTopic, func(m p2p.Message) {
 		if tx, err := chain.DecodeTx(m.Data); err == nil && !node.isCommitted(tx.Hash()) {
 			node.unverified.Add(tx)
 		}
 	})
+	node.startSync()
 	return node
 }
 
@@ -223,6 +259,12 @@ func (n *Node) ProposeBlock() (int, error) {
 	n.mu.Unlock()
 	block.ComputeTxRoot()
 	if _, err := n.replica.Propose(block.Encode()); err != nil {
+		// The proposal never entered consensus (view changed under us, or
+		// the replica closed); the transactions go back to the pool instead
+		// of vanishing.
+		for _, tx := range txs {
+			n.verified.Add(tx)
+		}
 		return 0, err
 	}
 	return len(txs), nil
@@ -232,22 +274,47 @@ func (n *Node) ProposeBlock() (int, error) {
 // with identical inputs; the OCC scheduler preserves block-order semantics,
 // so all replicas reach identical state.
 func (n *Node) onCommit(seq uint64, payload []byte) {
+	n.applyBlock(payload)
+}
+
+// applyBlock validates and executes one encoded block at the current chain
+// tip. Both consensus delivery and catch-up sync funnel through it; applyMu
+// plus the height/prev-hash guard make duplicate or stale applications
+// no-ops, so the two paths can race safely. Reports whether the chain
+// advanced.
+func (n *Node) applyBlock(payload []byte) bool {
 	block, err := chain.DecodeBlock(payload)
 	if err != nil {
-		return
+		return false
 	}
+
+	n.applyMu.Lock()
+	defer n.applyMu.Unlock()
+
+	n.mu.Lock()
+	tipHeight, tipHash := n.height, n.prevHash
+	n.mu.Unlock()
+	if block.Header.Height != tipHeight || block.Header.PrevHash != tipHash {
+		return false // stale (already applied via the other path) or gapped
+	}
+	// A synced block travelled outside consensus; re-derive the tx root
+	// before trusting its contents.
+	leaves := make([]chain.Hash, len(block.Txs))
+	for i, tx := range block.Txs {
+		leaves[i] = tx.Hash()
+	}
+	if chain.MerkleRoot(leaves) != block.Header.TxRoot {
+		return false
+	}
+
 	start := time.Now()
 	results, batch := n.executeBlock(block)
 	n.execTimeNs.Add(int64(time.Since(start)))
 
 	commitStart := time.Now()
-	// Block record: height → encoded block.
-	var key [16]byte
-	copy(key[:4], "blk/")
-	binary.BigEndian.PutUint64(key[4:12], block.Header.Height)
-	batch.Put(key[:12], payload)
+	batch.Put(blockKey(block.Header.Height), payload)
 	if err := n.store.WriteBatch(batch); err != nil {
-		return
+		return false
 	}
 	n.commitTimeNs.Add(int64(time.Since(commitStart)))
 
@@ -260,6 +327,8 @@ func (n *Node) onCommit(seq uint64, payload []byte) {
 			n.txHeight[res.TxHash] = block.Header.Height
 		}
 	}
+	close(n.heightCh) // wake WaitHeight parkers
+	n.heightCh = make(chan struct{})
 	n.mu.Unlock()
 	// Committed transactions leave this node's pools (followers hold their
 	// own gossiped copies), and their pre-verification metadata leaves the
@@ -274,6 +343,7 @@ func (n *Node) onCommit(seq uint64, payload []byte) {
 	n.confEngine.DropPreVerified(hashes)
 	n.txsExecuted.Add(uint64(len(block.Txs)))
 	n.blocksClosed.Add(1)
+	return true
 }
 
 // engineFor routes a transaction to its engine.
@@ -292,6 +362,16 @@ func (n *Node) engineFor(tx *chain.Tx) *core.Engine {
 func (n *Node) executeBlock(block *chain.Block) ([]*core.ExecResult, *storage.Batch) {
 	txs := block.Txs
 	results := make([]*core.ExecResult, len(txs))
+	// Deduplicate at execution: a client retrying under faults can land the
+	// same transaction in two blocks (the first possibly via a different
+	// leader). Every replica skips re-executed hashes identically, so the
+	// dedup is deterministic and state stays convergent.
+	skip := make([]bool, len(txs))
+	n.mu.Lock()
+	for i, tx := range txs {
+		_, skip[i] = n.txHeight[tx.Hash()]
+	}
+	n.mu.Unlock()
 	ways := n.cfg.Parallelism
 	if ways > 1 && len(txs) > 1 {
 		var wg sync.WaitGroup
@@ -305,6 +385,9 @@ func (n *Node) executeBlock(block *chain.Block) ([]*core.ExecResult, *storage.Ba
 			go func() {
 				defer wg.Done()
 				for i := range work {
+					if skip[i] {
+						continue
+					}
 					res, err := n.engineFor(txs[i]).Execute(txs[i])
 					if err == nil {
 						results[i] = res
@@ -315,6 +398,9 @@ func (n *Node) executeBlock(block *chain.Block) ([]*core.ExecResult, *storage.Ba
 		wg.Wait()
 	} else {
 		for i, tx := range txs {
+			if skip[i] {
+				continue
+			}
 			if res, err := n.engineFor(tx).Execute(tx); err == nil {
 				results[i] = res
 			}
@@ -329,6 +415,9 @@ func (n *Node) executeBlock(block *chain.Block) ([]*core.ExecResult, *storage.Ba
 	written := make(map[string]struct{})
 	batch := &storage.Batch{}
 	for i, tx := range txs {
+		if skip[i] {
+			continue
+		}
 		res := results[i]
 		if res == nil || intersects(res.ReadSet, written) {
 			fresh, err := n.engineFor(tx).Execute(tx)
@@ -382,16 +471,25 @@ func (n *Node) StoredReceipt(txHash chain.Hash) ([]byte, bool, error) {
 	return core.ReadReceipt(n.store, txHash)
 }
 
-// WaitHeight blocks until the node has committed at least h blocks.
+// WaitHeight blocks until the node has committed at least h blocks. The
+// wait parks on a notification channel that applyBlock closes on every
+// height advance — no polling.
 func (n *Node) WaitHeight(h uint64, timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
-		if n.Height() >= h {
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	for {
+		n.mu.Lock()
+		height, ch := n.height, n.heightCh
+		n.mu.Unlock()
+		if height >= h {
 			return nil
 		}
-		time.Sleep(50 * time.Microsecond)
+		select {
+		case <-ch:
+		case <-timer.C:
+			return fmt.Errorf("node %d: timeout waiting for height %d (at %d)", n.ID(), h, n.Height())
+		}
 	}
-	return fmt.Errorf("node %d: timeout waiting for height %d (at %d)", n.ID(), h, n.Height())
 }
 
 // Stats summarizes a node's execution counters.
@@ -426,6 +524,17 @@ func (n *Node) VerifiedPoolLen() int { return n.verified.Len() }
 
 // UnverifiedPoolLen reports the un-verified pool backlog.
 func (n *Node) UnverifiedPoolLen() int { return n.unverified.Len() }
+
+// Close stops the sync loop, the consensus replica, the endpoint and the
+// store. Idempotent.
+func (n *Node) Close() {
+	n.stopOnce.Do(func() {
+		close(n.stop)
+		n.replica.Close()
+		n.endpoint.Close()
+		n.store.Close()
+	})
+}
 
 // ErrStopped is reserved for the run loop.
 var ErrStopped = errors.New("node: stopped")

@@ -1,0 +1,236 @@
+package p2p
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPartitionBlocksAndHeals checks that a partition silences cross-group
+// links (counting each blocked message), leaves intra-group links alive,
+// and that Heal restores full connectivity.
+func TestPartitionBlocksAndHeals(t *testing.T) {
+	n := NewNetwork(Config{})
+	var eps []*Endpoint
+	var got [4]atomic.Int32
+	for i := 0; i < 4; i++ {
+		e, err := n.Join(NodeID(i), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		i := i
+		e.Subscribe("t", func(Message) { got[i].Add(1) })
+		eps = append(eps, e)
+	}
+
+	n.Partition([][]NodeID{{0, 1}, {2, 3}})
+	eps[0].Send(1, "t", nil) // same group: delivered
+	eps[0].Send(2, "t", nil) // cross group: blocked
+	eps[3].Send(2, "t", nil) // same group: delivered
+	eps[3].Send(1, "t", nil) // cross group: blocked
+	time.Sleep(20 * time.Millisecond)
+	if got[1].Load() != 1 || got[2].Load() != 1 {
+		t.Fatalf("intra-group deliveries = %d,%d, want 1,1", got[1].Load(), got[2].Load())
+	}
+	if s := n.Stats(); s.PartitionDrops != 2 {
+		t.Fatalf("PartitionDrops = %d, want 2", s.PartitionDrops)
+	}
+
+	n.Heal()
+	eps[0].Send(2, "t", nil)
+	time.Sleep(20 * time.Millisecond)
+	if got[2].Load() != 2 {
+		t.Fatalf("post-heal delivery missing: node 2 got %d", got[2].Load())
+	}
+}
+
+// TestPartitionIsolatesUnlistedNodes checks that nodes absent from every
+// group form their own implicit group, so Partition([][]NodeID{{0,1,2}})
+// isolates node 3 from the listed majority.
+func TestPartitionIsolatesUnlistedNodes(t *testing.T) {
+	n := NewNetwork(Config{})
+	var eps []*Endpoint
+	for i := 0; i < 4; i++ {
+		e, _ := n.Join(NodeID(i), 0)
+		eps = append(eps, e)
+	}
+	var toThree, toZero atomic.Int32
+	eps[3].Subscribe("t", func(Message) { toThree.Add(1) })
+	eps[0].Subscribe("t", func(Message) { toZero.Add(1) })
+
+	n.Partition([][]NodeID{{0, 1, 2}})
+	eps[0].Send(3, "t", nil)
+	eps[3].Send(0, "t", nil)
+	time.Sleep(20 * time.Millisecond)
+	if toThree.Load() != 0 || toZero.Load() != 0 {
+		t.Fatalf("isolated node exchanged traffic: in=%d out=%d", toThree.Load(), toZero.Load())
+	}
+	if s := n.Stats(); s.PartitionDrops != 2 {
+		t.Fatalf("PartitionDrops = %d, want 2", s.PartitionDrops)
+	}
+}
+
+// TestOverflowDropsCounted forces inbox overflow with a blocked consumer
+// and asserts the drops are observable on both the endpoint and the
+// network aggregate.
+func TestOverflowDropsCounted(t *testing.T) {
+	n := NewNetwork(Config{InboxSize: 4})
+	a, _ := n.Join(1, 0)
+	b, _ := n.Join(2, 0)
+	release := make(chan struct{})
+	first := make(chan struct{})
+	var once atomic.Bool
+	b.Subscribe("x", func(Message) {
+		if once.CompareAndSwap(false, true) {
+			close(first)
+		}
+		<-release
+	})
+
+	a.Send(2, "x", nil)
+	<-first // dispatcher now blocked inside the handler
+	// Fill the 4-slot inbox, then overflow it with 6 more.
+	for i := 0; i < 10; i++ {
+		a.Send(2, "x", nil)
+	}
+	if got := b.OverflowDrops(); got != 6 {
+		t.Errorf("endpoint OverflowDrops = %d, want 6", got)
+	}
+	if s := n.Stats(); s.OverflowDrops != 6 {
+		t.Errorf("network OverflowDrops = %d, want 6", s.OverflowDrops)
+	}
+	close(release)
+}
+
+// TestPerTopicDrop checks that a topic-scoped drop rate kills only that
+// topic's traffic and is counted separately from the global rate.
+func TestPerTopicDrop(t *testing.T) {
+	n := NewNetwork(Config{Seed: 7})
+	a, _ := n.Join(1, 0)
+	b, _ := n.Join(2, 0)
+	var lossy, clean atomic.Int32
+	b.Subscribe("lossy", func(Message) { lossy.Add(1) })
+	b.Subscribe("clean", func(Message) { clean.Add(1) })
+	n.SetTopicDropRate("lossy", 1.0)
+	for i := 0; i < 10; i++ {
+		a.Send(2, "lossy", nil)
+		a.Send(2, "clean", nil)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if lossy.Load() != 0 || clean.Load() != 10 {
+		t.Fatalf("lossy=%d clean=%d, want 0 and 10", lossy.Load(), clean.Load())
+	}
+	if s := n.Stats(); s.TopicDrops != 10 {
+		t.Errorf("TopicDrops = %d, want 10", s.TopicDrops)
+	}
+	n.SetTopicDropRate("lossy", 0)
+	a.Send(2, "lossy", nil)
+	time.Sleep(20 * time.Millisecond)
+	if lossy.Load() != 1 {
+		t.Error("clearing the topic drop rate did not restore delivery")
+	}
+}
+
+// TestPerLinkDrop checks that a link-scoped drop rate is directional and
+// counted.
+func TestPerLinkDrop(t *testing.T) {
+	n := NewNetwork(Config{Seed: 7})
+	a, _ := n.Join(1, 0)
+	b, _ := n.Join(2, 0)
+	var atB, atA atomic.Int32
+	b.Subscribe("x", func(Message) { atB.Add(1) })
+	a.Subscribe("x", func(Message) { atA.Add(1) })
+	n.SetLinkDropRate(1, 2, 1.0)
+	for i := 0; i < 5; i++ {
+		a.Send(2, "x", nil) // dead direction
+		b.Send(1, "x", nil) // reverse direction unaffected
+	}
+	time.Sleep(20 * time.Millisecond)
+	if atB.Load() != 0 || atA.Load() != 5 {
+		t.Fatalf("forward=%d reverse=%d, want 0 and 5", atB.Load(), atA.Load())
+	}
+	if s := n.Stats(); s.LinkDrops != 5 {
+		t.Errorf("LinkDrops = %d, want 5", s.LinkDrops)
+	}
+}
+
+// TestDuplicateDelivery checks that DuplicateRate=1 delivers every message
+// twice and counts the extras.
+func TestDuplicateDelivery(t *testing.T) {
+	n := NewNetwork(Config{DuplicateRate: 1.0, Seed: 3})
+	a, _ := n.Join(1, 0)
+	b, _ := n.Join(2, 0)
+	var got atomic.Int32
+	b.Subscribe("x", func(Message) { got.Add(1) })
+	for i := 0; i < 5; i++ {
+		a.Send(2, "x", nil)
+	}
+	time.Sleep(30 * time.Millisecond)
+	if got.Load() != 10 {
+		t.Errorf("deliveries = %d, want 10 (every message duplicated)", got.Load())
+	}
+	if s := n.Stats(); s.Duplicates != 5 {
+		t.Errorf("Duplicates = %d, want 5", s.Duplicates)
+	}
+}
+
+// TestRecoverRestoresTraffic checks the crash → recover cycle: messages
+// sent while down are lost (and counted), traffic flows again after.
+func TestRecoverRestoresTraffic(t *testing.T) {
+	n := NewNetwork(Config{})
+	a, _ := n.Join(1, 0)
+	b, _ := n.Join(2, 0)
+	var got atomic.Int32
+	b.Subscribe("x", func(Message) { got.Add(1) })
+
+	b.Crash()
+	a.Send(2, "x", nil)
+	time.Sleep(20 * time.Millisecond)
+	if got.Load() != 0 {
+		t.Fatal("crashed node processed a message")
+	}
+	if b.CrashDrops() == 0 {
+		t.Error("crash drop not counted on the receiver")
+	}
+
+	b.Recover()
+	if b.Crashed() {
+		t.Fatal("Crashed() = true after Recover()")
+	}
+	a.Send(2, "x", nil)
+	time.Sleep(20 * time.Millisecond)
+	if got.Load() != 1 {
+		t.Errorf("post-recovery deliveries = %d, want 1", got.Load())
+	}
+
+	// Crashed senders are counted too.
+	b.Crash()
+	b.Send(1, "x", nil)
+	if b.CrashDrops() < 2 {
+		t.Errorf("sender-side crash drop not counted: %d", b.CrashDrops())
+	}
+}
+
+// TestReorderJitterDelays checks that reordered messages arrive within the
+// configured jitter bound and are counted.
+func TestReorderJitterDelays(t *testing.T) {
+	n := NewNetwork(Config{ReorderRate: 1.0, ReorderJitter: 5 * time.Millisecond, Seed: 9})
+	a, _ := n.Join(1, 0)
+	b, _ := n.Join(2, 0)
+	done := make(chan struct{}, 8)
+	b.Subscribe("x", func(Message) { done <- struct{}{} })
+	for i := 0; i < 8; i++ {
+		a.Send(2, "x", nil)
+	}
+	deadline := time.After(time.Second)
+	for i := 0; i < 8; i++ {
+		select {
+		case <-done:
+		case <-deadline:
+			t.Fatal("reordered messages never arrived (jitter must be bounded)")
+		}
+	}
+	if s := n.Stats(); s.Reordered != 8 {
+		t.Errorf("Reordered = %d, want 8", s.Reordered)
+	}
+}

@@ -5,14 +5,19 @@
 // simulator reproduces the properties those deployments expose to the
 // consensus layer: per-link propagation latency, per-sender transmission
 // (bandwidth) serialization, zone topology, and fault injection (message
-// drop, node crash). Delivery order between different links is not
-// guaranteed, exactly as on a real network.
+// drop — global, per-link or per-topic — node crash/recovery, named
+// partitions, duplication and bounded reordering). Delivery order between
+// different links is not guaranteed, exactly as on a real network.
+//
+// Every way the network can lose a message is counted, so tests can assert
+// what the fabric actually did to the protocol under test (see Stats).
 package p2p
 
 import (
 	"errors"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -47,8 +52,68 @@ type Config struct {
 	CrossZone LinkProfile
 	// DropRate is the probability an individual message is lost.
 	DropRate float64
-	// Seed makes drop decisions reproducible.
+	// DuplicateRate is the probability a message is delivered twice.
+	DuplicateRate float64
+	// ReorderRate is the probability a message is held back by up to
+	// ReorderJitter, letting later sends overtake it.
+	ReorderRate float64
+	// ReorderJitter bounds the extra delay of reordered messages
+	// (default 1ms when ReorderRate > 0).
+	ReorderJitter time.Duration
+	// Seed makes drop/duplicate/reorder decisions reproducible.
 	Seed int64
+	// InboxSize bounds each endpoint's receive queue; overflow drops
+	// (receiver back-pressure). Default 4096.
+	InboxSize int
+}
+
+// Stats counts what the network did to traffic. No drop is silent: every
+// lost message increments exactly one *Drops counter.
+type Stats struct {
+	// Sent counts messages accepted from senders (after drop lotteries).
+	Sent uint64
+	// Delivered counts messages handed to a live endpoint's handlers.
+	Delivered uint64
+	// RateDrops counts losses from the global DropRate lottery.
+	RateDrops uint64
+	// LinkDrops counts losses from per-link drop rates.
+	LinkDrops uint64
+	// TopicDrops counts losses from per-topic drop rates.
+	TopicDrops uint64
+	// PartitionDrops counts messages blocked by an active partition.
+	PartitionDrops uint64
+	// CrashDrops counts messages dropped because the sender or receiver
+	// was crashed.
+	CrashDrops uint64
+	// OverflowDrops counts inbox-overflow (back-pressure) drops.
+	OverflowDrops uint64
+	// Duplicates counts extra deliveries injected by DuplicateRate.
+	Duplicates uint64
+	// Reordered counts messages that were held back by ReorderJitter.
+	Reordered uint64
+}
+
+// counters is the atomic backing store for Stats.
+type counters struct {
+	sent, delivered                                  atomic.Uint64
+	rateDrops, linkDrops, topicDrops, partitionDrops atomic.Uint64
+	crashDrops, overflowDrops                        atomic.Uint64
+	duplicates, reordered                            atomic.Uint64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		Sent:           c.sent.Load(),
+		Delivered:      c.delivered.Load(),
+		RateDrops:      c.rateDrops.Load(),
+		LinkDrops:      c.linkDrops.Load(),
+		TopicDrops:     c.topicDrops.Load(),
+		PartitionDrops: c.partitionDrops.Load(),
+		CrashDrops:     c.crashDrops.Load(),
+		OverflowDrops:  c.overflowDrops.Load(),
+		Duplicates:     c.duplicates.Load(),
+		Reordered:      c.reordered.Load(),
+	}
 }
 
 // Network is the simulated fabric.
@@ -57,16 +122,96 @@ type Network struct {
 	mu    sync.Mutex
 	nodes map[NodeID]*Endpoint
 	rng   *rand.Rand
+	// partition maps node → group index while a partition is active; nodes
+	// absent from every group share the implicit group -1. nil = healed.
+	partition map[NodeID]int
+	linkDrop  map[[2]NodeID]float64
+	topicDrop map[string]float64
+	stats     counters
 }
 
 // NewNetwork creates a network with the given shape. A zero Config yields
 // an ideal network (no latency, no loss, infinite bandwidth).
 func NewNetwork(cfg Config) *Network {
-	return &Network{
-		cfg:   cfg,
-		nodes: make(map[NodeID]*Endpoint),
-		rng:   rand.New(rand.NewSource(cfg.Seed + 1)),
+	if cfg.InboxSize == 0 {
+		cfg.InboxSize = 4096
 	}
+	if cfg.ReorderRate > 0 && cfg.ReorderJitter == 0 {
+		cfg.ReorderJitter = time.Millisecond
+	}
+	return &Network{
+		cfg:       cfg,
+		nodes:     make(map[NodeID]*Endpoint),
+		rng:       rand.New(rand.NewSource(cfg.Seed + 1)),
+		linkDrop:  make(map[[2]NodeID]float64),
+		topicDrop: make(map[string]float64),
+	}
+}
+
+// Stats returns a snapshot of the network's traffic counters.
+func (n *Network) Stats() Stats { return n.stats.snapshot() }
+
+// Partition splits the network into named groups: messages flow only
+// between nodes of the same group. Nodes not listed in any group form one
+// implicit extra group. A second call replaces the previous partition.
+func (n *Network) Partition(groups [][]NodeID) {
+	p := make(map[NodeID]int)
+	for g, ids := range groups {
+		for _, id := range ids {
+			p[id] = g
+		}
+	}
+	n.mu.Lock()
+	n.partition = p
+	n.mu.Unlock()
+}
+
+// Heal removes any active partition.
+func (n *Network) Heal() {
+	n.mu.Lock()
+	n.partition = nil
+	n.mu.Unlock()
+}
+
+// SetLinkDropRate sets the drop probability for the directed link from →
+// to (on top of the global DropRate). Rate 0 removes the override.
+func (n *Network) SetLinkDropRate(from, to NodeID, rate float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if rate == 0 {
+		delete(n.linkDrop, [2]NodeID{from, to})
+		return
+	}
+	n.linkDrop[[2]NodeID{from, to}] = rate
+}
+
+// SetTopicDropRate sets the drop probability for one topic (on top of the
+// global DropRate). Rate 0 removes the override.
+func (n *Network) SetTopicDropRate(topic string, rate float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if rate == 0 {
+		delete(n.topicDrop, topic)
+		return
+	}
+	n.topicDrop[topic] = rate
+}
+
+// partitioned reports whether an active partition separates from and to.
+// Caller holds n.mu.
+func (n *Network) partitioned(from, to NodeID) bool {
+	if n.partition == nil {
+		return false
+	}
+	gf, okf := n.partition[from]
+	if !okf {
+		gf = -1
+	}
+	gt, okt := n.partition[to]
+	if !okt {
+		gt = -1
+	}
+	return gf != gt
 }
 
 // Endpoint is one node's attachment to the network.
@@ -79,6 +224,9 @@ type Endpoint struct {
 	handlers  map[string][]Handler
 	busyUntil time.Time // sender-side transmission serialization
 	crashed   bool
+
+	overflowDrops atomic.Uint64
+	crashDrops    atomic.Uint64
 
 	inbox     chan Message
 	done      chan struct{}
@@ -100,7 +248,7 @@ func (n *Network) Join(id NodeID, zone int) (*Endpoint, error) {
 		zone:     zone,
 		net:      n,
 		handlers: make(map[string][]Handler),
-		inbox:    make(chan Message, 4096),
+		inbox:    make(chan Message, n.cfg.InboxSize),
 		done:     make(chan struct{}),
 	}
 	n.nodes[id] = e
@@ -128,12 +276,28 @@ func (e *Endpoint) Crash() {
 	e.crashed = true
 }
 
+// Recover brings a crashed node back: traffic flows again, but everything
+// sent while it was down is gone (the protocol above must resynchronize).
+func (e *Endpoint) Recover() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.crashed = false
+}
+
 // Crashed reports fail-stop state.
 func (e *Endpoint) Crashed() bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.crashed
 }
+
+// OverflowDrops reports how many inbound messages this endpoint dropped to
+// back-pressure (inbox overflow).
+func (e *Endpoint) OverflowDrops() uint64 { return e.overflowDrops.Load() }
+
+// CrashDrops reports how many messages this endpoint discarded while
+// crashed (inbound) or refused to send (outbound).
+func (e *Endpoint) CrashDrops() uint64 { return e.crashDrops.Load() }
 
 func (e *Endpoint) dispatch() {
 	for {
@@ -146,8 +310,11 @@ func (e *Endpoint) dispatch() {
 			hs := append([]Handler(nil), e.handlers[msg.Topic]...)
 			e.mu.Unlock()
 			if crashed {
+				e.crashDrops.Add(1)
+				e.net.stats.crashDrops.Add(1)
 				continue
 			}
+			e.net.stats.delivered.Add(1)
 			for _, h := range hs {
 				h(msg)
 			}
@@ -176,19 +343,53 @@ func (n *Network) profileFor(from, to *Endpoint) LinkProfile {
 // Send transmits data to a single peer. Unknown peers and crashed senders
 // silently drop (like UDP); the caller's protocol provides any reliability.
 func (e *Endpoint) Send(to NodeID, topic string, data []byte) {
-	e.net.mu.Lock()
-	dst, ok := e.net.nodes[to]
-	drop := ok && e.net.cfg.DropRate > 0 && e.net.rng.Float64() < e.net.cfg.DropRate
-	e.net.mu.Unlock()
-	if !ok || drop {
-		return
-	}
+	net := e.net
 	e.mu.Lock()
 	if e.crashed {
 		e.mu.Unlock()
+		e.crashDrops.Add(1)
+		net.stats.crashDrops.Add(1)
 		return
 	}
-	profile := e.net.profileFor(e, dst)
+	e.mu.Unlock()
+
+	net.mu.Lock()
+	dst, ok := net.nodes[to]
+	if !ok {
+		net.mu.Unlock()
+		return
+	}
+	if net.partitioned(e.id, to) {
+		net.mu.Unlock()
+		net.stats.partitionDrops.Add(1)
+		return
+	}
+	if r, hit := net.topicDrop[topic]; hit && net.rng.Float64() < r {
+		net.mu.Unlock()
+		net.stats.topicDrops.Add(1)
+		return
+	}
+	if r, hit := net.linkDrop[[2]NodeID{e.id, to}]; hit && net.rng.Float64() < r {
+		net.mu.Unlock()
+		net.stats.linkDrops.Add(1)
+		return
+	}
+	if net.cfg.DropRate > 0 && net.rng.Float64() < net.cfg.DropRate {
+		net.mu.Unlock()
+		net.stats.rateDrops.Add(1)
+		return
+	}
+	duplicate := net.cfg.DuplicateRate > 0 && net.rng.Float64() < net.cfg.DuplicateRate
+	var jitter time.Duration
+	if net.cfg.ReorderRate > 0 && net.rng.Float64() < net.cfg.ReorderRate {
+		jitter = time.Duration(net.rng.Int63n(int64(net.cfg.ReorderJitter)) + 1)
+		net.stats.reordered.Add(1)
+	}
+	net.mu.Unlock()
+	net.stats.sent.Add(1)
+
+	e.mu.Lock()
+	profile := net.profileFor(e, dst)
 	// Transmission delay: the sender's NIC serializes outgoing bytes.
 	now := time.Now()
 	start := e.busyUntil
@@ -204,7 +405,16 @@ func (e *Endpoint) Send(to NodeID, topic string, data []byte) {
 	e.mu.Unlock()
 
 	msg := Message{From: e.id, Topic: topic, Data: append([]byte(nil), data...)}
-	delay := time.Until(deliverAt)
+	dst.deliverAt(msg, deliverAt.Add(jitter))
+	if duplicate {
+		net.stats.duplicates.Add(1)
+		dst.deliverAt(msg, deliverAt.Add(jitter+50*time.Microsecond))
+	}
+}
+
+// deliverAt schedules msg for delivery at the given instant.
+func (dst *Endpoint) deliverAt(msg Message, at time.Time) {
+	delay := time.Until(at)
 	if delay <= 0 {
 		dst.enqueue(msg)
 		return
@@ -216,7 +426,9 @@ func (dst *Endpoint) enqueue(msg Message) {
 	select {
 	case dst.inbox <- msg:
 	default:
-		// Inbox overflow models receiver back-pressure: drop.
+		// Inbox overflow models receiver back-pressure: drop, visibly.
+		dst.overflowDrops.Add(1)
+		dst.net.stats.overflowDrops.Add(1)
 	}
 }
 
