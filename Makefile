@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: build test race vet chaos bench all
+.PHONY: build test race vet chaos bench fuzz overhead all
 
 all: build vet test
 
@@ -10,18 +11,35 @@ build:
 test:
 	$(GO) test ./...
 
-# Fault-tolerance packages under the race detector (consensus liveness,
-# fault injection and the node layer are the concurrency hot spots).
+# Concurrency hot spots under the race detector: consensus liveness, fault
+# injection, the node layer, and the lock-free metrics registry feeding all
+# of them.
 race:
-	$(GO) test -race ./internal/consensus/... ./internal/node/... ./internal/p2p/...
+	$(GO) test -race ./internal/consensus/... ./internal/node/... ./internal/p2p/... ./internal/metrics/... ./internal/bench/...
 
 vet:
 	$(GO) vet ./...
 
 # Seeded chaos drill: message loss, a leader crash/restart and a
-# partition/heal, ending in verified convergence.
+# partition/heal, ending in verified convergence certified against the
+# metrics registry.
 chaos:
 	$(GO) run ./cmd/benchrunner -chaos -seed 1
 
 bench:
 	$(GO) run ./cmd/benchrunner -exp all -quick
+
+# Native fuzzing over the attack-surface decoders: RLP/wire formats, the
+# CCLE codec and schema parser, and envelope opening. One target per
+# invocation is a go tool limitation.
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzRLPDecode -fuzztime=$(FUZZTIME) ./internal/chain/
+	$(GO) test -run='^$$' -fuzz=FuzzWireDecoders -fuzztime=$(FUZZTIME) ./internal/chain/
+	$(GO) test -run='^$$' -fuzz=FuzzCodecDecode -fuzztime=$(FUZZTIME) ./internal/ccle/
+	$(GO) test -run='^$$' -fuzz=FuzzParseSchema -fuzztime=$(FUZZTIME) ./internal/ccle/
+	$(GO) test -run='^$$' -fuzz=FuzzOpenEnvelope -fuzztime=$(FUZZTIME) ./internal/crypto/
+	$(GO) test -run='^$$' -fuzz=FuzzOpenAEAD -fuzztime=$(FUZZTIME) ./internal/crypto/
+
+# Instrumented-vs-disabled throughput delta (budget: <2%).
+overhead:
+	$(GO) run ./cmd/benchrunner -exp overhead

@@ -10,7 +10,9 @@
 //	benchrunner -exp fig12        # Figure 12: ABS optimization ablation
 //	benchrunner -exp prod         # §6.4 production metrics
 //	benchrunner -exp fig10 -txs 96  # more transactions per cell
+//	benchrunner -exp overhead     # metrics-layer overhead guard (<2%)
 //	benchrunner -chaos -seed 7    # liveness-under-faults drill
+//	benchrunner -exp fig10 -metrics  # append the registry summary table
 package main
 
 import (
@@ -20,13 +22,15 @@ import (
 	"time"
 
 	"confide/internal/bench"
+	"confide/internal/metrics"
 	"confide/internal/node"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: all, fig10, fig11, table1, fig12, prod")
+	exp := flag.String("exp", "all", "experiment: all, fig10, fig11, table1, fig12, prod, overhead")
 	txs := flag.Int("txs", 0, "transactions per measurement cell (0 = experiment default)")
 	quick := flag.Bool("quick", false, "shrink grids for a fast pass")
+	showMetrics := flag.Bool("metrics", false, "print the metrics registry summary after the run")
 	chaos := flag.Bool("chaos", false, "run the chaos drill instead of the paper experiments")
 	seed := flag.Int64("seed", 1, "chaos: fault-schedule seed")
 	nodes := flag.Int("nodes", 4, "chaos: cluster size (4-7)")
@@ -34,7 +38,11 @@ func main() {
 	flag.Parse()
 
 	if *chaos {
-		if err := runChaos(*seed, *nodes, *txs, *drop); err != nil {
+		err := runChaos(*seed, *nodes, *txs, *drop)
+		if *showMetrics {
+			fmt.Printf("\n=== metrics registry summary ===\n%s", metrics.Default().Summary())
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
 			os.Exit(1)
 		}
@@ -58,6 +66,30 @@ func main() {
 	run("table1", runTable1)
 	run("fig12", func() error { return runFig12(*txs) })
 	run("prod", runProd)
+	if *exp == "overhead" { // opt-in: doubles a fig10 cell, not part of "all"
+		run("overhead", func() error { return runOverhead(*txs, *quick) })
+	}
+
+	if *showMetrics {
+		fmt.Printf("=== metrics registry summary ===\n%s", metrics.Default().Summary())
+	}
+}
+
+func runOverhead(txs int, quick bool) error {
+	fmt.Println("=== Metrics-layer overhead: instrumented vs no-op recorder ===")
+	rounds := 3
+	if quick {
+		rounds = 1
+	}
+	res, err := bench.MetricsOverhead(txs, rounds)
+	if err != nil {
+		return err
+	}
+	fmt.Println(res)
+	if res.DeltaPct >= 2.0 {
+		fmt.Println("WARNING: overhead exceeds the 2% budget")
+	}
+	return nil
 }
 
 func runFig10(txs int) error {

@@ -15,11 +15,15 @@ import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"time"
 
 	"confide/internal/chain"
 	"confide/internal/core"
+	"confide/internal/metrics"
 	"confide/internal/node"
 	"confide/internal/tee"
 	"confide/internal/workload"
@@ -32,7 +36,18 @@ func main() {
 	wl := flag.String("workload", "abs", "workload: abs, scf, concat, enotes, hash, json")
 	vmName := flag.String("vm", "cvm", "contract VM: cvm or evm")
 	storeDir := flag.String("store", "", "durable store directory (LSM; browse it with confide-explorer)")
+	metricsAddr := flag.String("metrics", "", "serve Prometheus /metrics and /debug/pprof on this address (e.g. :9090) for the duration of the run")
+	linger := flag.Duration("linger", 0, "keep the process (and the -metrics endpoint) alive this long after the run")
 	flag.Parse()
+
+	if *metricsAddr != "" {
+		stop, url, err := serveMetrics(*metricsAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer stop()
+		fmt.Printf("metrics: %s/metrics (pprof at %s/debug/pprof/)\n", url, url)
+	}
 
 	vm := core.VMCVM
 	if *vmName == "evm" {
@@ -123,6 +138,33 @@ func main() {
 	fmt.Printf("enclave: %d ecalls, %d ocalls, %d page swaps, %.1fM cycles charged\n",
 		enclave.Ecalls, enclave.Ocalls, enclave.PageSwaps, float64(enclave.ChargedCycles)/1e6)
 	fmt.Printf("\nengine operation profile (leader):\n%s", leader.ConfidentialEngine().Profile().Table())
+
+	if *metricsAddr != "" {
+		fmt.Printf("\nmetrics registry snapshot:\n%s", metrics.Default().Summary())
+		if *linger > 0 {
+			fmt.Printf("holding the metrics endpoint open for %v...\n", *linger)
+			time.Sleep(*linger)
+		}
+	}
+}
+
+// serveMetrics mounts the registry's Prometheus handler and the pprof suite
+// on a dedicated listener. It returns a shutdown func and the base URL.
+func serveMetrics(addr string) (func(), string, error) {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", metrics.Default().Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("metrics listener: %w", err)
+	}
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return func() { _ = srv.Close() }, "http://" + ln.Addr().String(), nil
 }
 
 func pickWorkload(name string) (string, func(*rand.Rand) (string, [][]byte), error) {

@@ -9,6 +9,7 @@ package bench
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"confide/internal/chain"
@@ -26,18 +27,20 @@ var (
 	ownerAddr    = chain.AddressFromBytes([]byte("bench-owner"))
 )
 
-// sharedSecrets amortizes key generation across experiment cells.
-var sharedSecrets *kms.Secrets
+// sharedSecrets amortizes key generation across experiment cells. Drivers
+// run concurrently under `go test -bench` and from benchrunner goroutines,
+// so initialization is guarded by a sync.Once rather than a naked nil check.
+var (
+	sharedSecrets     *kms.Secrets
+	sharedSecretsErr  error
+	sharedSecretsOnce sync.Once
+)
 
 func secrets() (*kms.Secrets, error) {
-	if sharedSecrets == nil {
-		s, err := kms.GenerateSecrets()
-		if err != nil {
-			return nil, err
-		}
-		sharedSecrets = s
-	}
-	return sharedSecrets, nil
+	sharedSecretsOnce.Do(func() {
+		sharedSecrets, sharedSecretsErr = kms.GenerateSecrets()
+	})
+	return sharedSecrets, sharedSecretsErr
 }
 
 // newEngine builds a standalone confidential engine with TEE delay

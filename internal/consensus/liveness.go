@@ -76,6 +76,7 @@ func (r *Replica) tick() {
 	// Heartbeat: view + delivered, the catch-up signal for stragglers.
 	if r.n > 1 && now.Sub(r.lastHeartbeat) >= r.opts.HeartbeatInterval {
 		r.lastHeartbeat = now
+		mHeartbeats.Inc()
 		out = append(out, outMsg{to: broadcastTo, topic: topicStatus,
 			data: encodeMsg(msgStatus, r.view, r.delivered, zeroDigest[:], nil)})
 	}
@@ -94,6 +95,7 @@ func (r *Replica) tick() {
 	if r.votedFor > r.view && now.Sub(r.vcLastSent) >= r.vcInterval {
 		r.vcLastSent = now
 		r.vcInterval = backoff(r.vcInterval, r.opts.RetransmitMax)
+		mRetransmits.Inc()
 		out = append(out, outMsg{to: broadcastTo, topic: topicViewChange,
 			data: encodeMsg(msgViewChange, r.votedFor, 0, zeroDigest[:],
 				encodeVCEntries(r.preparedSet()))})
@@ -159,10 +161,12 @@ func (r *Replica) tick() {
 		}
 		inst.lastSent = now
 		inst.resendIn = backoff(inst.resendIn, r.opts.RetransmitMax)
+		mRetransmits.Inc()
 		switch {
 		case !inst.havePre:
 			// Votes arrived but the pre-prepare was lost: fetch it.
 			if len(inst.prepares)+len(inst.commits) > 0 {
+				mFetches.Inc()
 				out = append(out, outMsg{to: broadcastTo, topic: topicFetch,
 					data: encodeMsg(msgFetch, r.view, seq, zeroDigest[:], nil)})
 			}
@@ -193,6 +197,7 @@ func (r *Replica) tick() {
 	if bestDelivered > r.delivered && now.Sub(r.fetchLastSent) >= r.fetchInterval {
 		r.fetchLastSent = now
 		r.fetchInterval = backoff(r.fetchInterval, r.opts.RetransmitMax)
+		mFetches.Inc()
 		out = append(out, outMsg{to: bestPeer, topic: topicFetch,
 			data: encodeMsg(msgFetch, r.view, r.delivered, zeroDigest[:], nil)})
 	}

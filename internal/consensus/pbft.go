@@ -381,6 +381,7 @@ func (r *Replica) adoptView(v uint64) {
 	}
 	r.view = v
 	r.viewChanges++
+	mViewChanges.Inc()
 	if r.votedFor < v {
 		r.votedFor = v
 	}
@@ -444,6 +445,7 @@ func (r *Replica) Propose(payload []byte) (uint64, error) {
 	view := r.view
 	r.mu.Unlock()
 
+	mProposals.Inc()
 	msg := encodeMsg(msgPrePrepare, view, seq, digest[:], payload)
 	r.endpoint.Broadcast(topicPrePrepare, msg)
 	// A single-replica network commits immediately.
@@ -610,6 +612,7 @@ func (r *Replica) deliverReady() {
 // recordDelivered maintains the committed log, progress clock and waiter
 // notification after one delivery. Caller holds r.mu.
 func (r *Replica) recordDelivered(seq uint64, payload []byte) {
+	mDelivered.Inc()
 	r.committedLog[seq] = payload
 	for len(r.committedLog) > r.opts.CommittedLog {
 		delete(r.committedLog, r.logMin)

@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"errors"
 	"fmt"
+	"time"
 
 	"confide/internal/chain"
 	"confide/internal/crypto"
@@ -100,6 +101,8 @@ func (c *Client) NewConfidentialTx(contract chain.Address, method string, args .
 	if c.pkTx == nil {
 		return nil, nil, errors.New("core: client has no verified pk_tx")
 	}
+	start := time.Now()
+	defer mSealSeconds.ObserveSince(start)
 	raw, err := c.signedRaw(contract, method, args)
 	if err != nil {
 		return nil, nil, err

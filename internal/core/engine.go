@@ -243,6 +243,7 @@ func (e *Engine) Execute(tx *chain.Tx) (*ExecResult, error) {
 				return nil, err
 			}
 		}
+		mExecPublic.Inc()
 		return e.executeRaw(tx, raw, nil)
 
 	case chain.TxTypeConfidential:
@@ -260,6 +261,7 @@ func (e *Engine) Execute(tx *chain.Tx) (*ExecResult, error) {
 			e.status("pre-processor: envelope rejected: " + err.Error())
 			return nil, err
 		}
+		mExecConfidential.Inc()
 		return e.executeRaw(tx, raw, ktx)
 
 	default:

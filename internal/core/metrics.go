@@ -1,0 +1,21 @@
+package core
+
+import "confide/internal/metrics"
+
+// Engine-level instruments. The seal histogram deliberately joins the
+// confide_pipeline_stage_seconds family the node's stage tracer owns: sealing
+// happens client-side (before the transaction exists on any node), so it is
+// observed as a standalone stage series rather than through a tracer span.
+var (
+	mSealSeconds = metrics.Default().Histogram("confide_pipeline_stage_seconds",
+		"per-stage pipeline latency", nil, metrics.L{K: "stage", V: "seal"})
+
+	mPreverified = metrics.Default().Counter("confide_core_preverified_total",
+		"transactions that passed batch pre-verification")
+	mPreverifyRejects = metrics.Default().Counter("confide_core_preverify_rejects_total",
+		"transactions dropped by pre-verification (bad envelope, signature or encoding)")
+	mExecPublic = metrics.Default().Counter("confide_core_executed_total",
+		"transactions executed, by type", metrics.L{K: "type", V: "public"})
+	mExecConfidential = metrics.Default().Counter("confide_core_executed_total",
+		"transactions executed, by type", metrics.L{K: "type", V: "confidential"})
+)

@@ -170,6 +170,8 @@ func (e *Engine) PreVerifyBatch(txs []*chain.Tx) []*chain.Tx {
 			valid = append(valid, r.tx)
 		}
 	}
+	mPreverified.Add(uint64(len(valid)))
+	mPreverifyRejects.Add(uint64(len(txs) - len(valid)))
 	return valid
 }
 

@@ -47,10 +47,12 @@ func (c *CodeCache) Load(wire []byte, opts BuildOptions) (*Program, error) {
 		c.hits++
 		prog := el.Value.(*cacheEntry).prog
 		c.mu.Unlock()
+		mCacheHits.Inc()
 		return prog, nil
 	}
 	c.misses++
 	c.mu.Unlock()
+	mCacheMisses.Inc()
 
 	prog, err := LoadProgram(wire, opts)
 	if err != nil {

@@ -98,6 +98,7 @@ func Trap(err error) bool { return errors.Is(err, errTrap) }
 // callHost dispatches one host call against the environment. Buffer reads
 // and writes are bounds-checked against linear memory.
 func (vm *VM) callHost(idx HostIndex, args []int64) (int64, error) {
+	mHostCalls.Inc()
 	switch idx {
 	case HostInputSize:
 		return int64(len(vm.env.Input())), nil

@@ -81,6 +81,9 @@ func (vm *VM) Memory() []byte { return vm.mem }
 // Run invokes function 0 ("invoke") with the given arguments and returns
 // its result (0 when the entry returns nothing).
 func (vm *VM) Run(args ...int64) (int64, error) {
+	mRuns.Inc()
+	startGas := vm.gasUsed
+	defer func() { mInstructions.Add(vm.gasUsed - startGas) }()
 	f := &vm.prog.funcs[0]
 	if len(args) != f.numParams {
 		return 0, fmt.Errorf("cvm: entry wants %d args, got %d", f.numParams, len(args))

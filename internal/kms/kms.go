@@ -50,6 +50,7 @@ func GenerateSecrets() (*Secrets, error) {
 	if err != nil {
 		return nil, err
 	}
+	mKeygens.Inc()
 	return &Secrets{Envelope: env, StatesKey: states}, nil
 }
 
@@ -167,6 +168,7 @@ func (n *NodeKM) Request() (ProvisionRequest, error) {
 	if err != nil {
 		return ProvisionRequest{}, err
 	}
+	mRequests.Inc()
 	return ProvisionRequest{Report: rpt, SessionPub: n.session.Public(), Nonce: n.nonce}, nil
 }
 
@@ -180,10 +182,12 @@ var (
 // expected measurement, and that the report binds the session key.
 func verifyRequest(verifier *ecdsa.PublicKey, expected [32]byte, req ProvisionRequest) error {
 	if err := tee.VerifyReport(verifier, req.Report, expected); err != nil {
+		mRejects.Inc()
 		return ErrBadAttestation
 	}
 	want := reportData(req.SessionPub, req.Nonce)
 	if !bytes.Equal(req.Report.ReportData[:len(want)], want) {
+		mRejects.Inc()
 		return ErrBadAttestation
 	}
 	return nil
@@ -211,6 +215,7 @@ func (n *NodeKM) Serve(req ProvisionRequest) (ProvisionResponse, error) {
 	if err != nil {
 		return ProvisionResponse{}, err
 	}
+	mProvisions.Inc()
 	return ProvisionResponse{Report: rpt, Nonce: req.Nonce, Wrapped: wrapped}, nil
 }
 
@@ -239,6 +244,7 @@ func (n *NodeKM) Accept(resp ProvisionResponse) error {
 		return err
 	}
 	n.secrets = secrets
+	mUnwraps.Inc()
 	return nil
 }
 
@@ -302,6 +308,7 @@ func (c *CentralKMS) Provision(req ProvisionRequest) (ProvisionResponse, error) 
 	if err != nil {
 		return ProvisionResponse{}, err
 	}
+	mProvisions.Inc()
 	return ProvisionResponse{Nonce: req.Nonce, Wrapped: wrapped}, nil
 }
 
@@ -324,5 +331,6 @@ func (n *NodeKM) AcceptCentral(resp ProvisionResponse) error {
 		return err
 	}
 	n.secrets = secrets
+	mUnwraps.Inc()
 	return nil
 }

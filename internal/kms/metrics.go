@@ -1,0 +1,13 @@
+package kms
+
+import "confide/internal/metrics"
+
+// K-Protocol counters. Provisioning is infrequent (once per node join) so
+// these are activity indicators rather than hot-path instruments.
+var (
+	mKeygens    = metrics.Default().Counter("confide_kms_keygens_total", "engine secret sets generated")
+	mRequests   = metrics.Default().Counter("confide_kms_requests_total", "attested provisioning requests produced")
+	mProvisions = metrics.Default().Counter("confide_kms_provisions_total", "provisioning requests served (secrets wrapped and released)")
+	mUnwraps    = metrics.Default().Counter("confide_kms_unwraps_total", "provisioning responses accepted (secrets unwrapped and installed)")
+	mRejects    = metrics.Default().Counter("confide_kms_attestation_rejects_total", "provisioning attempts rejected for bad attestation")
+)

@@ -1,0 +1,189 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file renders a Registry two ways: the Prometheus text exposition
+// format (version 0.0.4 — what a real scraper consumes from /metrics) and a
+// human summary table (what `benchrunner -metrics` and `confide-node` print).
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string.
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelBlock renders `{k="v",...}` with an optional extra le pair, or "".
+func labelBlock(labels []L, extra ...L) string {
+	all := append(append([]L(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, l.K, escapeLabel(l.V))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WriteText renders the registry in the Prometheus text exposition format.
+// Families appear in registration order; series within a family in label
+// order, so output is deterministic for a deterministically-built registry.
+func (r *Registry) WriteText(w io.Writer) error {
+	for _, f := range r.familiesInOrder() {
+		f.mu.Lock()
+		keys := append([]string(nil), f.order...)
+		sort.Strings(keys)
+		series := make([]any, len(keys))
+		labels := make([][]L, len(keys))
+		for i, k := range keys {
+			series[i] = f.series[k]
+			labels[i] = f.labels[k]
+		}
+		f.mu.Unlock()
+		if len(series) == 0 {
+			continue
+		}
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for i, s := range series {
+			var err error
+			switch m := s.(type) {
+			case *Counter:
+				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, labelBlock(labels[i]), m.Value())
+			case *Gauge:
+				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, labelBlock(labels[i]), m.Value())
+			case *Histogram:
+				err = writeHistogram(w, f.name, labels[i], m.Snapshot())
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, name string, labels []L, snap HistogramSnapshot) error {
+	cum := uint64(0)
+	for i, bound := range snap.Bounds {
+		cum += snap.Buckets[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+			name, labelBlock(labels, L{"le", formatFloat(bound)}), cum); err != nil {
+			return err
+		}
+	}
+	cum += snap.Buckets[len(snap.Buckets)-1]
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+		name, labelBlock(labels, L{"le", "+Inf"}), cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, labelBlock(labels), formatFloat(snap.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, labelBlock(labels), snap.Count)
+	return err
+}
+
+// Handler returns an http.Handler serving the exposition format — mount it
+// at /metrics.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}
+
+// Summary renders a human-readable table: counters and gauges with values,
+// histograms with count and p50/p95/p99 (milliseconds, since every shipped
+// histogram observes seconds). Zero-valued series are elided so quick runs
+// print only what actually moved.
+func (r *Registry) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-58s %14s\n", "metric", "value")
+	for _, f := range r.familiesInOrder() {
+		f.mu.Lock()
+		keys := append([]string(nil), f.order...)
+		sort.Strings(keys)
+		for _, k := range keys {
+			name := seriesName(f.name, f.labels[k])
+			switch m := f.series[k].(type) {
+			case *Counter:
+				if v := m.Value(); v > 0 {
+					fmt.Fprintf(&b, "%-58s %14d\n", name, v)
+				}
+			case *Gauge:
+				if v := m.Value(); v != 0 {
+					fmt.Fprintf(&b, "%-58s %14d\n", name, v)
+				}
+			case *Histogram:
+				snap := m.Snapshot()
+				if snap.Count == 0 {
+					continue
+				}
+				fmt.Fprintf(&b, "%-58s %14d  p50=%s p95=%s p99=%s\n",
+					name, snap.Count, ms(snap.P50), ms(snap.P95), ms(snap.P99))
+			}
+		}
+		f.mu.Unlock()
+	}
+	return b.String()
+}
+
+func ms(seconds float64) string {
+	if math.IsNaN(seconds) {
+		return "-"
+	}
+	return strconv.FormatFloat(seconds*1e3, 'f', 2, 64) + "ms"
+}

@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"bytes"
+	"io"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"testing"
+)
+
+// goldenRegistry builds the deterministic registry behind the golden file.
+// Every observed value is exactly representable in binary so the rendered sum
+// is stable across platforms.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("confide_demo_ops_total", "operations").Add(42)
+	r.Counter("confide_demo_drops_total", "drops by reason", L{"reason", "rate"}).Add(3)
+	r.Counter("confide_demo_drops_total", "drops by reason", L{"reason", "link"}).Add(1)
+	r.Gauge("confide_demo_pages", "resident pages").Set(7)
+	h := r.Histogram("confide_demo_seconds", "latency", []float64{0.5, 1})
+	h.Observe(0.25)
+	h.Observe(0.5)
+	h.Observe(2)
+	return r
+}
+
+func TestWriteTextGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("testdata/exposition.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != string(want) {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestHandler(t *testing.T) {
+	srv := httptest.NewServer(goldenRegistry().Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if got := resp.Header.Get("Content-Type"); got != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("content type = %q", got)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE confide_demo_ops_total counter",
+		`confide_demo_seconds_bucket{le="+Inf"} 3`,
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Fatalf("response missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestEscapeLabel(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("confide_demo_total", "", L{"path", "a\"b\\c\nd"}).Inc()
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := `confide_demo_total{path="a\"b\\c\nd"} 1`
+	if !strings.Contains(buf.String(), want) {
+		t.Fatalf("escaped series missing; got:\n%s", buf.String())
+	}
+}
+
+func TestSummary(t *testing.T) {
+	s := goldenRegistry().Summary()
+	for _, want := range []string{
+		"confide_demo_ops_total",
+		"confide_demo_pages",
+		"confide_demo_seconds",
+		"p50=",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary missing %q:\n%s", want, s)
+		}
+	}
+	// Zero-valued series are elided.
+	r := goldenRegistry()
+	r.Counter("confide_demo_never_total", "")
+	if strings.Contains(r.Summary(), "never") {
+		t.Fatalf("summary should elide zero counters:\n%s", r.Summary())
+	}
+}

@@ -1,0 +1,194 @@
+package metrics
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket cumulative-style histogram. Bucket bounds are
+// inclusive upper bounds (Prometheus `le` semantics): an observation v lands
+// in the first bucket whose bound ≥ v, or the implicit +Inf bucket.
+// Observe is lock-free: one enabled check, one bucket add, one count add and
+// one CAS-loop float add for the sum.
+type Histogram struct {
+	enabled *atomic.Bool
+	bounds  []float64 // sorted ascending, finite
+	buckets []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// DurationBuckets is the default latency bucket layout (seconds): 20 µs up
+// to 10 s, roughly 1-2.5-5 per decade — wide enough for ecall-scale costs at
+// the bottom and chaos-drill convergence at the top.
+var DurationBuckets = []float64{
+	20e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3,
+	1, 2.5, 5, 10,
+}
+
+// ExpBuckets returns n exponentially spaced bounds: start, start*factor, …
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("metrics: ExpBuckets requires start > 0, factor > 1, n ≥ 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Histogram returns the histogram for name+labels, registering it on first
+// use. nil bounds selects DurationBuckets. Bounds must be sorted ascending;
+// a first call's bounds win for the whole family.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...L) *Histogram {
+	if bounds == nil {
+		bounds = DurationBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("metrics: histogram bounds must be strictly ascending")
+		}
+	}
+	f := r.getFamily(name, help, kindHistogram)
+	return f.getSeries(labels, func() any {
+		return &Histogram{
+			enabled: &r.enabled,
+			bounds:  append([]float64(nil), bounds...),
+			buckets: make([]atomic.Uint64, len(bounds)+1),
+		}
+	}).(*Histogram)
+}
+
+// Observe records one value. No-op on a nil or disabled histogram.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || !h.enabled.Load() {
+		return
+	}
+	// Linear scan beats binary search at these bucket counts (≤ ~20) and is
+	// branch-predictor friendly for the common small-latency case.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		new := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, new) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// ObserveSince records the time elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h == nil || !h.enabled.Load() {
+		return
+	}
+	h.Observe(since(start))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// HistogramSnapshot is a consistent-enough copy of a histogram for
+// reporting: per-bucket counts (non-cumulative), bounds, count, sum, and
+// precomputed quantiles.
+type HistogramSnapshot struct {
+	Bounds  []float64 // finite upper bounds; Buckets has one extra +Inf slot
+	Buckets []uint64
+	Count   uint64
+	Sum     float64
+	P50     float64
+	P95     float64
+	P99     float64
+}
+
+// Snapshot copies the histogram's state and computes p50/p95/p99.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	snap := HistogramSnapshot{
+		Bounds:  h.bounds,
+		Buckets: make([]uint64, len(h.buckets)),
+		Count:   h.count.Load(),
+		Sum:     math.Float64frombits(h.sumBits.Load()),
+	}
+	for i := range h.buckets {
+		snap.Buckets[i] = h.buckets[i].Load()
+	}
+	snap.P50 = snap.Quantile(0.50)
+	snap.P95 = snap.Quantile(0.95)
+	snap.P99 = snap.Quantile(0.99)
+	return snap
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) by linear interpolation
+// inside the containing bucket, Prometheus histogram_quantile style: the
+// lower edge of the first bucket is 0, and ranks landing in the +Inf bucket
+// report the highest finite bound. Returns NaN on an empty histogram.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	total := uint64(0)
+	for _, c := range s.Buckets {
+		total += c
+	}
+	if total == 0 || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	cum := 0.0
+	for i, c := range s.Buckets {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i == len(s.Bounds) { // +Inf bucket
+			if len(s.Bounds) == 0 {
+				return math.NaN()
+			}
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = s.Bounds[i-1]
+		}
+		upper := s.Bounds[i]
+		return lower + (upper-lower)*((rank-prev)/float64(c))
+	}
+	if len(s.Bounds) == 0 {
+		return math.NaN()
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// Quantile estimates a quantile from the live histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return math.NaN()
+	}
+	return h.Snapshot().Quantile(q)
+}

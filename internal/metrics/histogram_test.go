@@ -1,0 +1,124 @@
+package metrics
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("confide_test_seconds", "", []float64{1, 2, 4})
+
+	// le semantics: a value exactly on a bound lands in that bucket.
+	h.Observe(1)   // bucket le=1
+	h.Observe(1.5) // bucket le=2
+	h.Observe(2)   // bucket le=2
+	h.Observe(3)   // bucket le=4
+	h.Observe(4)   // bucket le=4
+	h.Observe(9)   // +Inf
+	h.Observe(0)   // bucket le=1
+
+	snap := h.Snapshot()
+	want := []uint64{2, 2, 2, 1}
+	for i, w := range want {
+		if snap.Buckets[i] != w {
+			t.Fatalf("bucket[%d] = %d, want %d (all: %v)", i, snap.Buckets[i], w, snap.Buckets)
+		}
+	}
+	if snap.Count != 7 {
+		t.Fatalf("count = %d, want 7", snap.Count)
+	}
+	if got, want := snap.Sum, 1+1.5+2+3+4+9+0.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("confide_test_seconds", "", []float64{1, 2, 4})
+	// 10 observations uniformly into le=1 bucket → interpolation inside [0,1].
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+	}
+	snap := h.Snapshot()
+	// rank(0.5) = 5 of 10, all in first bucket [0,1] → 0 + 1*(5/10) = 0.5.
+	if got := snap.Quantile(0.5); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("p50 = %v, want 0.5", got)
+	}
+
+	h2 := r.Histogram("confide_test2_seconds", "", []float64{1, 2, 4})
+	for i := 0; i < 50; i++ {
+		h2.Observe(0.5) // le=1
+	}
+	for i := 0; i < 50; i++ {
+		h2.Observe(3) // le=4
+	}
+	s2 := h2.Snapshot()
+	// p95 rank = 95 → in bucket (2,4], prev cum = 50 → 2 + 2*(45/50) = 3.8.
+	if got := s2.Quantile(0.95); math.Abs(got-3.8) > 1e-9 {
+		t.Fatalf("p95 = %v, want 3.8", got)
+	}
+
+	// +Inf bucket reports the highest finite bound.
+	h3 := r.Histogram("confide_test3_seconds", "", []float64{1, 2, 4})
+	h3.Observe(100)
+	if got := h3.Quantile(0.99); got != 4 {
+		t.Fatalf("quantile in +Inf bucket = %v, want 4", got)
+	}
+
+	// Empty histogram → NaN.
+	h4 := r.Histogram("confide_test4_seconds", "", []float64{1})
+	if got := h4.Quantile(0.5); !math.IsNaN(got) {
+		t.Fatalf("empty histogram quantile = %v, want NaN", got)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("confide_test_seconds", "", []float64{1, 2})
+	const workers, perWorker = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("count = %d, want %d", got, workers*perWorker)
+	}
+	if got, want := h.Sum(), float64(workers*perWorker)*0.5; math.Abs(got-want) > 1e-6 {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(1, 2, 4)
+	want := []float64{1, 2, 4, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ExpBuckets = %v, want %v", got, want)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for bad ExpBuckets args")
+		}
+	}()
+	ExpBuckets(0, 2, 3)
+}
+
+func TestUnsortedBoundsPanic(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unsorted bounds")
+		}
+	}()
+	r.Histogram("confide_test_seconds", "", []float64{2, 1})
+}

@@ -1,0 +1,135 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("confide_test_ops_total", "ops")
+	const workers, perWorker = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestInstrumentIdentity(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("confide_test_total", "x", L{"k", "v"})
+	b := r.Counter("confide_test_total", "x", L{"k", "v"})
+	if a != b {
+		t.Fatal("same name+labels should return the same counter")
+	}
+	c := r.Counter("confide_test_total", "x", L{"k", "other"})
+	if a == c {
+		t.Fatal("different labels should return a different counter")
+	}
+	// Label order must not matter.
+	g1 := r.Gauge("confide_test_g", "", L{"a", "1"}, L{"b", "2"})
+	g2 := r.Gauge("confide_test_g", "", L{"b", "2"}, L{"a", "1"})
+	if g1 != g2 {
+		t.Fatal("label order should not change identity")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("confide_test_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind mismatch")
+		}
+	}()
+	r.Gauge("confide_test_total", "")
+}
+
+func TestInvalidNamePanics(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "1abc", "has space", "dash-ed"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic for name %q", bad)
+				}
+			}()
+			r.Counter(bad, "")
+		}()
+	}
+}
+
+func TestDisabledRegistryIsNoop(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("confide_test_total", "")
+	g := r.Gauge("confide_test_g", "")
+	h := r.Histogram("confide_test_seconds", "", nil)
+	r.SetEnabled(false)
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(2)
+	h.Observe(1.0)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatalf("disabled registry recorded: c=%d g=%d h=%d", c.Value(), g.Value(), h.Count())
+	}
+	r.SetEnabled(true)
+	c.Inc()
+	if c.Value() != 1 {
+		t.Fatalf("re-enabled counter = %d, want 1", c.Value())
+	}
+}
+
+func TestNilInstrumentsAreSafe(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var tr *Tracer
+	c.Inc()
+	c.Add(2)
+	_ = c.Value()
+	g.Set(1)
+	g.Add(1)
+	_ = g.Value()
+	h.Observe(1)
+	_ = h.Count()
+	_ = h.Sum()
+	_ = h.Snapshot()
+	tr.Begin("k")
+	tr.Mark("k", "x")
+	tr.End("k")
+	tr.Drop("k")
+	_ = tr.Active()
+}
+
+func TestSnapshotAndCounterSum(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("confide_test_drops_total", "", L{"reason", "rate"}).Add(3)
+	r.Counter("confide_test_drops_total", "", L{"reason", "link"}).Add(4)
+	r.Gauge("confide_test_pages", "").Set(7)
+	r.Histogram("confide_test_seconds", "", nil).Observe(0.001)
+
+	snap := r.Snapshot()
+	if got := snap.CounterSum("confide_test_drops_total"); got != 7 {
+		t.Fatalf("CounterSum = %d, want 7", got)
+	}
+	if got := snap.Gauges["confide_test_pages"]; got != 7 {
+		t.Fatalf("gauge snapshot = %d, want 7", got)
+	}
+	if got := snap.HistogramCount("confide_test_seconds"); got != 1 {
+		t.Fatalf("HistogramCount = %d, want 1", got)
+	}
+	if got := snap.Counters[`confide_test_drops_total{reason="rate"}`]; got != 3 {
+		t.Fatalf("labelled series snapshot = %d, want 3", got)
+	}
+}

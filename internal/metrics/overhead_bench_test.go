@@ -1,0 +1,83 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+// These benchmarks quantify the cost of the instrumentation primitives in
+// both recording and no-op (disabled) mode. The end-to-end overhead guard —
+// an instrumented vs. disabled run of a Figure 10 grid cell — lives in
+// internal/bench (MetricsOverhead).
+
+func BenchmarkCounterInc(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("confide_bench_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterIncDisabled(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("confide_bench_total", "")
+	r.SetEnabled(false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterIncParallel(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("confide_bench_total", "")
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("confide_bench_seconds", "", nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.0001)
+	}
+}
+
+func BenchmarkHistogramObserveDisabled(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("confide_bench_seconds", "", nil)
+	r.SetEnabled(false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(0.0001)
+	}
+}
+
+func BenchmarkTracerFullSpan(b *testing.B) {
+	r := NewRegistry()
+	tr := NewTracer(r, "confide_bench", "preverify", "order", "execute", "commit")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Begin("tx")
+		tr.Mark("tx", "preverify")
+		tr.Mark("tx", "order")
+		tr.Mark("tx", "execute")
+		tr.Mark("tx", "commit")
+		tr.End("tx")
+	}
+}
+
+func BenchmarkObserveSince(b *testing.B) {
+	r := NewRegistry()
+	h := r.Histogram("confide_bench_seconds", "", nil)
+	start := time.Now()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.ObserveSince(start)
+	}
+}

@@ -1,0 +1,138 @@
+package metrics
+
+import (
+	"testing"
+)
+
+func newTestTracer() (*Registry, *Tracer) {
+	r := NewRegistry()
+	return r, NewTracer(r, "confide_test", "preverify", "order", "execute", "commit")
+}
+
+func TestTracerStageOrdering(t *testing.T) {
+	r, tr := newTestTracer()
+	tr.Begin("tx1")
+	tr.Mark("tx1", "preverify")
+	tr.Mark("tx1", "order")
+	tr.Mark("tx1", "execute")
+	tr.Mark("tx1", "commit")
+	tr.End("tx1")
+
+	snap := r.Snapshot()
+	for _, stage := range []string{"preverify", "order", "execute", "commit"} {
+		series := `confide_test_stage_seconds{stage="` + stage + `"}`
+		if snap.Histograms[series].Count != 1 {
+			t.Fatalf("stage %s count = %d, want 1", stage, snap.Histograms[series].Count)
+		}
+	}
+	if snap.Histograms["confide_test_total_seconds"].Count != 1 {
+		t.Fatalf("total count = %d, want 1", snap.Histograms["confide_test_total_seconds"].Count)
+	}
+	if tr.Active() != 0 {
+		t.Fatalf("active = %d, want 0", tr.Active())
+	}
+}
+
+func TestTracerMisorderRejected(t *testing.T) {
+	r, tr := newTestTracer()
+	tr.Begin("tx1")
+	tr.Mark("tx1", "order")
+	tr.Mark("tx1", "preverify") // backward: rejected
+	tr.Mark("tx1", "order")     // repeat: rejected
+	tr.End("tx1")
+
+	snap := r.Snapshot()
+	if got := snap.Counters["confide_test_trace_misorders_total"]; got != 2 {
+		t.Fatalf("misorders = %d, want 2", got)
+	}
+	if got := snap.Histograms[`confide_test_stage_seconds{stage="order"}`].Count; got != 1 {
+		t.Fatalf("order observations = %d, want 1", got)
+	}
+	if got := snap.Histograms[`confide_test_stage_seconds{stage="preverify"}`].Count; got != 0 {
+		t.Fatalf("preverify observations = %d, want 0", got)
+	}
+}
+
+func TestTracerForwardSkip(t *testing.T) {
+	r, tr := newTestTracer()
+	// A follower that never pre-verified marks "order" directly.
+	tr.Begin("tx1")
+	tr.Mark("tx1", "execute")
+	tr.Mark("tx1", "commit")
+	tr.End("tx1")
+	snap := r.Snapshot()
+	if got := snap.Histograms[`confide_test_stage_seconds{stage="execute"}`].Count; got != 1 {
+		t.Fatalf("execute observations = %d, want 1", got)
+	}
+	if got := snap.Counters["confide_test_trace_misorders_total"]; got != 0 {
+		t.Fatalf("misorders = %d, want 0", got)
+	}
+}
+
+func TestTracerUnknownKeyIgnored(t *testing.T) {
+	r, tr := newTestTracer()
+	tr.Mark("ghost", "order") // no Begin: silently ignored
+	tr.End("ghost")
+	tr.Drop("ghost")
+	snap := r.Snapshot()
+	if got := snap.HistogramCount("confide_test_stage_seconds"); got != 0 {
+		t.Fatalf("observations = %d, want 0", got)
+	}
+	if got := snap.Counters["confide_test_trace_drops_total"]; got != 0 {
+		t.Fatalf("drops = %d, want 0", got)
+	}
+}
+
+func TestTracerUnknownStagePanics(t *testing.T) {
+	_, tr := newTestTracer()
+	tr.Begin("tx1")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown stage")
+		}
+	}()
+	tr.Mark("tx1", "nonsense")
+}
+
+func TestTracerDrop(t *testing.T) {
+	r, tr := newTestTracer()
+	tr.Begin("tx1")
+	tr.Drop("tx1")
+	snap := r.Snapshot()
+	if got := snap.Counters["confide_test_trace_drops_total"]; got != 1 {
+		t.Fatalf("drops = %d, want 1", got)
+	}
+	if got := snap.Histograms["confide_test_total_seconds"].Count; got != 0 {
+		t.Fatalf("total observations = %d, want 0", got)
+	}
+}
+
+func TestTracerCapBoundsTable(t *testing.T) {
+	r := NewRegistry()
+	tr := NewTracer(r, "confide_test", "a")
+	tr.cap = 2
+	tr.Begin("k1")
+	tr.Begin("k2")
+	tr.Begin("k3") // table full: dropped
+	if got := tr.Active(); got != 2 {
+		t.Fatalf("active = %d, want 2", got)
+	}
+	snap := r.Snapshot()
+	if got := snap.Counters["confide_test_trace_drops_total"]; got != 1 {
+		t.Fatalf("drops = %d, want 1", got)
+	}
+}
+
+func TestTracerDisabledRegistry(t *testing.T) {
+	r, tr := newTestTracer()
+	r.SetEnabled(false)
+	tr.Begin("tx1")
+	tr.Mark("tx1", "order")
+	tr.End("tx1")
+	if tr.Active() != 0 {
+		t.Fatalf("disabled tracer opened a span")
+	}
+	if got := r.Snapshot().HistogramCount("confide_test_stage_seconds"); got != 0 {
+		t.Fatalf("disabled tracer observed %d", got)
+	}
+}

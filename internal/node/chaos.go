@@ -10,6 +10,7 @@ import (
 	"confide/internal/chain"
 	"confide/internal/consensus"
 	"confide/internal/core"
+	"confide/internal/metrics"
 	"confide/internal/p2p"
 )
 
@@ -143,6 +144,12 @@ type ChaosReport struct {
 	StateRoot chain.Hash
 	// Net aggregates the fault injector's counters for the whole run.
 	Net p2p.Stats
+	// Metrics holds the global-registry counter deltas accrued during the
+	// run (family name → increase). These are what the run is certified
+	// against: under a leader crash the consensus view-change counter must
+	// move, under loss the retransmission counter must, and the pipeline
+	// must have traced at least Txs commits.
+	Metrics map[string]uint64
 	// Events is the injected fault timeline.
 	Events []string
 }
@@ -234,6 +241,7 @@ func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
 	}
 
 	report := &ChaosReport{Nodes: opts.Nodes, Txs: opts.Txs}
+	before := metrics.Default().Snapshot()
 	start := time.Now()
 	logEvent := func(format string, args ...any) {
 		report.Events = append(report.Events,
@@ -394,5 +402,46 @@ func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
 	}
 	report.Net = cluster.Net().Stats()
 	report.Elapsed = time.Since(start)
+
+	// Certify the run against the metrics registry: the faults we injected
+	// must be visible in the instrumentation, or the observability layer (or
+	// the fault injection) is broken. Deltas isolate this run from whatever
+	// other tests in the process have accrued; on a shared global registry
+	// concurrent runs can only inflate them, never satisfy an assertion that
+	// this run's faults failed to produce.
+	after := metrics.Default().Snapshot()
+	delta := func(family string) uint64 {
+		return after.CounterSum(family) - before.CounterSum(family)
+	}
+	report.Metrics = map[string]uint64{
+		"confide_consensus_view_changes_total":    delta("confide_consensus_view_changes_total"),
+		"confide_consensus_retransmissions_total": delta("confide_consensus_retransmissions_total"),
+		"confide_consensus_delivered_total":       delta("confide_consensus_delivered_total"),
+		"confide_p2p_drops_total":                 delta("confide_p2p_drops_total"),
+		"confide_node_blocks_committed_total":     delta("confide_node_blocks_committed_total"),
+		"confide_tee_ecalls_total":                delta("confide_tee_ecalls_total"),
+	}
+	if metrics.Default().Enabled() {
+		pipelineEnds := after.HistogramCount("confide_pipeline_total_seconds") -
+			before.HistogramCount("confide_pipeline_total_seconds")
+		if opts.LeaderCrashes > 0 && report.Metrics["confide_consensus_view_changes_total"] == 0 {
+			return nil, fmt.Errorf("chaos: %d leader crash(es) injected but the view-change counter never moved", opts.LeaderCrashes)
+		}
+		if opts.DropRate > 0 && report.Metrics["confide_consensus_retransmissions_total"] == 0 {
+			return nil, fmt.Errorf("chaos: %.0f%% loss injected but no retransmissions were recorded", opts.DropRate*100)
+		}
+		if opts.DropRate > 0 && report.Metrics["confide_p2p_drops_total"] == 0 {
+			return nil, fmt.Errorf("chaos: %.0f%% loss injected but the p2p drop counters never moved", opts.DropRate*100)
+		}
+		if report.Metrics["confide_node_blocks_committed_total"] == 0 {
+			return nil, fmt.Errorf("chaos: converged but the block-commit counter never moved")
+		}
+		if report.Metrics["confide_tee_ecalls_total"] == 0 {
+			return nil, fmt.Errorf("chaos: confidential workload ran but no ecalls were counted")
+		}
+		if pipelineEnds < uint64(opts.Txs) {
+			return nil, fmt.Errorf("chaos: %d txs committed but only %d pipeline spans completed", opts.Txs, pipelineEnds)
+		}
+	}
 	return report, nil
 }

@@ -1,0 +1,166 @@
+package node
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"confide/internal/metrics"
+)
+
+// scrape fetches the exposition endpoint and parses every sample line into
+// series → value. It also sanity-checks the exposition framing (content
+// type, HELP/TYPE ordering) the way a Prometheus scraper would.
+func scrape(t *testing.T, url string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type = %q", ct)
+	}
+	samples := make(map[string]float64)
+	typed := make(map[string]bool)
+	sc := bufio.NewScanner(io.LimitReader(resp.Body, 16<<20))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			typed[strings.Fields(line)[2]] = true
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("malformed sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[sp+1:], 64)
+		if err != nil {
+			t.Fatalf("bad value in %q: %v", line, err)
+		}
+		series := line[:sp]
+		name := series
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			name = series[:i]
+		}
+		name = strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count")
+		if !typed[name] {
+			t.Fatalf("sample %q precedes its # TYPE line", line)
+		}
+		samples[series] = v
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return samples
+}
+
+// sumPrefix totals every series whose name (ignoring labels) starts with
+// prefix — e.g. all stage buckets of one histogram family.
+func sumPrefix(samples map[string]float64, prefix string) float64 {
+	var total float64
+	for series, v := range samples {
+		if strings.HasPrefix(series, prefix) {
+			total += v
+		}
+	}
+	return total
+}
+
+// TestMetricsEndpointDuringClusterRun scrapes /metrics while a small
+// cluster commits confidential transactions, asserting that the
+// TEE-boundary, pipeline-stage, storage and consensus series are present
+// and that counters are monotone between scrapes.
+func TestMetricsEndpointDuringClusterRun(t *testing.T) {
+	if !metrics.Default().Enabled() {
+		t.Skip("registry disabled")
+	}
+	srv := httptest.NewServer(metrics.Default().Handler())
+	defer srv.Close()
+
+	// An LSM-backed cluster exercises the WAL/memtable counters too.
+	c := newTestCluster(t, ClusterOptions{Nodes: 4, StoreDir: t.TempDir()})
+	client := newClusterClient(t, c)
+
+	commitBatch := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			tx, _, err := client.NewConfidentialTx(ledgerAddr, "credit", acct("alice"), []byte{1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Submit(tx); err != nil {
+				t.Fatal(err)
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+		if _, err := c.DrainAll(8, 10*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	commitBatch(3)
+	first := scrape(t, srv.URL)
+
+	// Counter families every cluster run must populate. Values are
+	// process-wide (other tests contribute), so assert presence and > 0.
+	wantPositive := []string{
+		"confide_tee_ecalls_total",
+		"confide_tee_boundary_copied_bytes_total",
+		"confide_storage_batch_writes_total",
+		"confide_storage_wal_appends_total",
+		"confide_consensus_proposals_total",
+		"confide_consensus_delivered_total",
+		"confide_node_blocks_committed_total",
+		"confide_node_txs_committed_total",
+	}
+	for _, series := range wantPositive {
+		if v, ok := first[series]; !ok || v <= 0 {
+			t.Errorf("series %s missing or non-positive (%v)", series, first[series])
+		}
+	}
+	// Pipeline-stage histograms: each stage label must have observations.
+	for _, stage := range pipelineStages {
+		series := `confide_pipeline_stage_seconds_count{stage="` + stage + `"}`
+		if v := first[series]; v <= 0 {
+			t.Errorf("pipeline stage %q has no observations", stage)
+		}
+	}
+	if v := first["confide_pipeline_total_seconds_count"]; v <= 0 {
+		t.Error("pipeline total histogram has no observations")
+	}
+
+	commitBatch(3)
+	second := scrape(t, srv.URL)
+
+	for series, before := range first {
+		if strings.Contains(series, "_pages") { // gauges may go down
+			continue
+		}
+		after, ok := second[series]
+		if !ok {
+			t.Errorf("series %s disappeared between scrapes", series)
+			continue
+		}
+		if after < before {
+			t.Errorf("series %s went backwards: %v -> %v", series, before, after)
+		}
+	}
+	// The second batch must actually have moved the pipeline.
+	if sumPrefix(second, "confide_pipeline_total_seconds_count") <=
+		sumPrefix(first, "confide_pipeline_total_seconds_count") {
+		t.Error("pipeline span count did not advance across batches")
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"confide/internal/chain"
 	"confide/internal/consensus"
 	"confide/internal/core"
+	"confide/internal/metrics"
 	"confide/internal/p2p"
 	"confide/internal/storage"
 )
@@ -87,6 +88,8 @@ type Node struct {
 	syncMu      sync.Mutex
 	syncLastReq time.Time
 
+	tracer *metrics.Tracer
+
 	txsExecuted  atomic.Uint64
 	blocksClosed atomic.Uint64
 	execTimeNs   atomic.Int64
@@ -111,6 +114,7 @@ func New(cfg Config, endpoint *p2p.Endpoint, n int, confEngine, pubEngine *core.
 		txHeight:   make(map[chain.Hash]uint64),
 		heightCh:   make(chan struct{}),
 		stop:       make(chan struct{}),
+		tracer:     newPipelineTracer(),
 	}
 	node.recoverChainState()
 	node.baseHeight = node.height
@@ -121,7 +125,9 @@ func New(cfg Config, endpoint *p2p.Endpoint, n int, confEngine, pubEngine *core.
 	node.replica = consensus.NewReplicaWithOptions(endpoint, n, node.onCommit, opts)
 	endpoint.Subscribe(gossipTopic, func(m p2p.Message) {
 		if tx, err := chain.DecodeTx(m.Data); err == nil && !node.isCommitted(tx.Hash()) {
-			node.unverified.Add(tx)
+			if node.unverified.Add(tx) == nil {
+				node.tracer.Begin(node.traceKey(tx.Hash()))
+			}
 		}
 	})
 	node.startSync()
@@ -201,6 +207,7 @@ func (n *Node) SubmitTx(tx *chain.Tx) error {
 	if err := n.unverified.Add(tx); err != nil {
 		return err
 	}
+	n.tracer.Begin(n.traceKey(tx.Hash()))
 	n.endpoint.Broadcast(gossipTopic, tx.Encode())
 	return nil
 }
@@ -227,11 +234,13 @@ func (n *Node) PreVerifyPending() int {
 	moved := 0
 	for _, tx := range n.confEngine.PreVerifyBatch(confidential) {
 		if n.verified.Add(tx) == nil {
+			n.tracer.Mark(n.traceKey(tx.Hash()), "preverify")
 			moved++
 		}
 	}
 	for _, tx := range n.pubEngine.PreVerifyBatch(public) {
 		if n.verified.Add(tx) == nil {
+			n.tracer.Mark(n.traceKey(tx.Hash()), "preverify")
 			moved++
 		}
 	}
@@ -307,16 +316,29 @@ func (n *Node) applyBlock(payload []byte) bool {
 		return false
 	}
 
+	// Ordering is complete for every transaction in the block: consensus has
+	// committed it at this height.
+	for _, tx := range block.Txs {
+		n.tracer.Mark(n.traceKey(tx.Hash()), "order")
+	}
+
 	start := time.Now()
 	results, batch := n.executeBlock(block)
-	n.execTimeNs.Add(int64(time.Since(start)))
+	execElapsed := time.Since(start)
+	n.execTimeNs.Add(int64(execElapsed))
+	mBlockExecSeconds.ObserveDuration(execElapsed)
+	for _, tx := range block.Txs {
+		n.tracer.Mark(n.traceKey(tx.Hash()), "execute")
+	}
 
 	commitStart := time.Now()
 	batch.Put(blockKey(block.Header.Height), payload)
 	if err := n.store.WriteBatch(batch); err != nil {
 		return false
 	}
-	n.commitTimeNs.Add(int64(time.Since(commitStart)))
+	commitElapsed := time.Since(commitStart)
+	n.commitTimeNs.Add(int64(commitElapsed))
+	mBlockCommitSeconds.ObserveDuration(commitElapsed)
 
 	n.mu.Lock()
 	n.height = block.Header.Height + 1
@@ -340,9 +362,16 @@ func (n *Node) applyBlock(payload []byte) bool {
 		n.unverified.Remove(h)
 		n.verified.Remove(h)
 	}
+	for _, h := range hashes {
+		key := n.traceKey(h)
+		n.tracer.Mark(key, "commit")
+		n.tracer.End(key)
+	}
 	n.confEngine.DropPreVerified(hashes)
 	n.txsExecuted.Add(uint64(len(block.Txs)))
 	n.blocksClosed.Add(1)
+	mBlocks.Inc()
+	mTxsCommitted.Add(uint64(len(block.Txs)))
 	return true
 }
 
@@ -368,10 +397,15 @@ func (n *Node) executeBlock(block *chain.Block) ([]*core.ExecResult, *storage.Ba
 	// dedup is deterministic and state stays convergent.
 	skip := make([]bool, len(txs))
 	n.mu.Lock()
+	skipped := uint64(0)
 	for i, tx := range txs {
 		_, skip[i] = n.txHeight[tx.Hash()]
+		if skip[i] {
+			skipped++
+		}
 	}
 	n.mu.Unlock()
+	mDedupSkips.Add(skipped)
 	ways := n.cfg.Parallelism
 	if ways > 1 && len(txs) > 1 {
 		var wg sync.WaitGroup

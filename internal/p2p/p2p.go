@@ -312,9 +312,11 @@ func (e *Endpoint) dispatch() {
 			if crashed {
 				e.crashDrops.Add(1)
 				e.net.stats.crashDrops.Add(1)
+				mDropCrash.Inc()
 				continue
 			}
 			e.net.stats.delivered.Add(1)
+			mDelivered.Inc()
 			for _, h := range hs {
 				h(msg)
 			}
@@ -349,6 +351,7 @@ func (e *Endpoint) Send(to NodeID, topic string, data []byte) {
 		e.mu.Unlock()
 		e.crashDrops.Add(1)
 		net.stats.crashDrops.Add(1)
+		mDropCrash.Inc()
 		return
 	}
 	e.mu.Unlock()
@@ -362,21 +365,25 @@ func (e *Endpoint) Send(to NodeID, topic string, data []byte) {
 	if net.partitioned(e.id, to) {
 		net.mu.Unlock()
 		net.stats.partitionDrops.Add(1)
+		mDropPartition.Inc()
 		return
 	}
 	if r, hit := net.topicDrop[topic]; hit && net.rng.Float64() < r {
 		net.mu.Unlock()
 		net.stats.topicDrops.Add(1)
+		mDropTopic.Inc()
 		return
 	}
 	if r, hit := net.linkDrop[[2]NodeID{e.id, to}]; hit && net.rng.Float64() < r {
 		net.mu.Unlock()
 		net.stats.linkDrops.Add(1)
+		mDropLink.Inc()
 		return
 	}
 	if net.cfg.DropRate > 0 && net.rng.Float64() < net.cfg.DropRate {
 		net.mu.Unlock()
 		net.stats.rateDrops.Add(1)
+		mDropRate.Inc()
 		return
 	}
 	duplicate := net.cfg.DuplicateRate > 0 && net.rng.Float64() < net.cfg.DuplicateRate
@@ -384,9 +391,11 @@ func (e *Endpoint) Send(to NodeID, topic string, data []byte) {
 	if net.cfg.ReorderRate > 0 && net.rng.Float64() < net.cfg.ReorderRate {
 		jitter = time.Duration(net.rng.Int63n(int64(net.cfg.ReorderJitter)) + 1)
 		net.stats.reordered.Add(1)
+		mReordered.Inc()
 	}
 	net.mu.Unlock()
 	net.stats.sent.Add(1)
+	mSent.Inc()
 
 	e.mu.Lock()
 	profile := net.profileFor(e, dst)
@@ -408,6 +417,7 @@ func (e *Endpoint) Send(to NodeID, topic string, data []byte) {
 	dst.deliverAt(msg, deliverAt.Add(jitter))
 	if duplicate {
 		net.stats.duplicates.Add(1)
+		mDuplicates.Inc()
 		dst.deliverAt(msg, deliverAt.Add(jitter+50*time.Microsecond))
 	}
 }
@@ -429,6 +439,7 @@ func (dst *Endpoint) enqueue(msg Message) {
 		// Inbox overflow models receiver back-pressure: drop, visibly.
 		dst.overflowDrops.Add(1)
 		dst.net.stats.overflowDrops.Add(1)
+		mDropOverflow.Inc()
 	}
 }
 

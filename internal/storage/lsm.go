@@ -159,6 +159,7 @@ func (s *LSMStore) WriteBatch(b *Batch) error {
 }
 
 func (s *LSMStore) writeBatch(b *Batch, injectLatency bool) error {
+	mBatchWrites.Inc()
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -206,6 +207,7 @@ func (s *LSMStore) flushLocked() error {
 	if len(s.mem) == 0 {
 		return nil
 	}
+	mMemtableFlush.Inc()
 	entries := make([]sstEntry, 0, len(s.mem))
 	for k, e := range s.mem {
 		entries = append(entries, sstEntry{key: []byte(k), value: e.value, tombstone: e.tombstone})
@@ -257,6 +259,11 @@ func (s *LSMStore) compactLocked() error {
 	if len(s.tables) <= 1 {
 		return nil
 	}
+	start := time.Now()
+	defer func() {
+		mCompactions.Inc()
+		mCompactSeconds.ObserveSince(start)
+	}()
 	// Oldest-to-newest apply; newest wins. Tombstones drop out entirely
 	// because the merged table is the full history.
 	merged := make(map[string]memEntry)

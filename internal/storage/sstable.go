@@ -218,9 +218,18 @@ func parseIndex(data []byte) ([]indexEntry, error) {
 // get looks up key; found=false when absent, tombstone=true when the latest
 // record in this table is a deletion marker.
 func (t *sstable) get(key []byte) (value []byte, found, tombstone bool, err error) {
+	mBloomChecks.Inc()
 	if !t.filter.mayContain(key) {
+		mBloomSkips.Inc()
 		return nil, false, false, nil
 	}
+	// Past this point the filter said "maybe": a clean miss is a false
+	// positive by definition.
+	defer func() {
+		if err == nil && !found {
+			mBloomFalsePos.Inc()
+		}
+	}()
 	// Binary search the sparse index for the last block start ≤ key.
 	i := sort.Search(len(t.index), func(i int) bool {
 		return bytes.Compare(t.index[i].key, key) > 0

@@ -56,6 +56,7 @@ func (w *wal) append(key, value []byte, tombstone bool) error {
 			return fmt.Errorf("storage: wal append: %w", err)
 		}
 	}
+	mWALAppends.Inc()
 	return nil
 }
 
@@ -64,6 +65,7 @@ func (w *wal) flush() error {
 		return err
 	}
 	if w.synced {
+		mWALSyncs.Inc()
 		return w.f.Sync()
 	}
 	return nil

@@ -1,0 +1,17 @@
+package tee
+
+import "confide/internal/metrics"
+
+// Registry mirrors of the per-enclave atomic counters in Enclave. The
+// per-instance Stats() API stays authoritative for tests that own one
+// enclave; these process-wide series are what /metrics and chaos assertions
+// consume. The resident-pages gauge aggregates across all live enclaves
+// (deltas applied under each enclave's mu).
+var (
+	mEcalls      = metrics.Default().Counter("confide_tee_ecalls_total", "enclave entries (ECALL transitions)")
+	mOcalls      = metrics.Default().Counter("confide_tee_ocalls_total", "enclave exits (OCALL transitions)")
+	mBytesCopied = metrics.Default().Counter("confide_tee_boundary_copied_bytes_total", "bytes marshalled across the enclave boundary (copy-and-check)")
+	mPageSwaps   = metrics.Default().Counter("confide_tee_page_swaps_total", "EPC pages encrypt-evicted past the budget")
+	mCycles      = metrics.Default().Counter("confide_tee_charged_cycles_total", "simulated cycles charged for boundary crossings, copies and paging")
+	mEPCResident = metrics.Default().Gauge("confide_tee_epc_resident_pages", "EPC pages resident across all live enclaves")
+)

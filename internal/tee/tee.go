@@ -181,6 +181,7 @@ func (e *Enclave) Stats() Stats {
 func (e *Enclave) Destroy() {
 	e.destroyed.Store(true)
 	e.mu.Lock()
+	mEPCResident.Add(-int64(e.residentPages))
 	e.residentPages = 0
 	e.mu.Unlock()
 	e.platform.mu.Lock()
@@ -194,6 +195,7 @@ func (e *Enclave) Destroyed() bool { return e.destroyed.Load() }
 // chargeCycles records (and optionally injects) a cycle cost.
 func (e *Enclave) chargeCycles(c uint64) {
 	e.cycles.Add(c)
+	mCycles.Add(c)
 	if e.cfg.InjectDelays && c > 0 {
 		spin(time.Duration(float64(c) / e.cfg.Costs.CPUGHz))
 	}
@@ -229,9 +231,11 @@ func (e *Enclave) Ecall(argBytes int, flag TransferFlag, fn func() error) error 
 		return ErrDestroyed
 	}
 	e.ecalls.Add(1)
+	mEcalls.Inc()
 	cost := e.cfg.Costs.EcallCycles
 	if flag == CopyInOut && argBytes > 0 {
 		e.bytesCopied.Add(uint64(argBytes))
+		mBytesCopied.Add(uint64(argBytes))
 		cost += uint64(float64(argBytes) * e.cfg.Costs.CopyCyclesPerByte)
 	}
 	e.chargeCycles(cost)
@@ -245,9 +249,11 @@ func (e *Enclave) Ocall(argBytes int, flag TransferFlag, fn func() error) error 
 		return ErrDestroyed
 	}
 	e.ocalls.Add(1)
+	mOcalls.Inc()
 	cost := e.cfg.Costs.OcallCycles
 	if flag == CopyInOut && argBytes > 0 {
 		e.bytesCopied.Add(uint64(argBytes))
+		mBytesCopied.Add(uint64(argBytes))
 		cost += uint64(float64(argBytes) * e.cfg.Costs.CopyCyclesPerByte)
 	}
 	e.chargeCycles(cost)
@@ -267,6 +273,7 @@ func (e *Enclave) Alloc(n int) error {
 	}
 	pages := (n + PageSize - 1) / PageSize
 	e.mu.Lock()
+	before := e.residentPages
 	e.residentPages += pages
 	over := e.residentPages - e.cfg.EPCPages
 	if over > 0 {
@@ -274,9 +281,11 @@ func (e *Enclave) Alloc(n int) error {
 		// clamped to the budget.
 		e.residentPages = e.cfg.EPCPages
 	}
+	mEPCResident.Add(int64(e.residentPages - before))
 	e.mu.Unlock()
 	if over > 0 {
 		e.pageSwaps.Add(uint64(over))
+		mPageSwaps.Add(uint64(over))
 		e.chargeCycles(uint64(over) * e.cfg.Costs.PageSwapCycles)
 	}
 	return nil
@@ -286,10 +295,12 @@ func (e *Enclave) Alloc(n int) error {
 func (e *Enclave) Free(n int) {
 	pages := (n + PageSize - 1) / PageSize
 	e.mu.Lock()
+	before := e.residentPages
 	e.residentPages -= pages
 	if e.residentPages < 0 {
 		e.residentPages = 0
 	}
+	mEPCResident.Add(int64(e.residentPages - before))
 	e.mu.Unlock()
 }
 
