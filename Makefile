@@ -22,9 +22,11 @@ vet:
 
 # Seeded chaos drill: message loss, a leader crash/restart and a
 # partition/heal, ending in verified convergence certified against the
-# metrics registry.
+# metrics registry. The second run adds a wipe-and-rejoin fault, which must
+# recover through snapshot fast-sync.
 chaos:
 	$(GO) run ./cmd/benchrunner -chaos -seed 1
+	$(GO) run ./cmd/benchrunner -chaos -seed 1 -wipe 1
 
 bench:
 	$(GO) run ./cmd/benchrunner -exp all -quick

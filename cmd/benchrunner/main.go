@@ -11,7 +11,10 @@
 //	benchrunner -exp prod         # §6.4 production metrics
 //	benchrunner -exp fig10 -txs 96  # more transactions per cell
 //	benchrunner -exp overhead     # metrics-layer overhead guard (<2%)
+//	benchrunner -exp fastsync     # wipe-rejoin: snapshot vs genesis replay
+//	benchrunner -exp fig10 -json  # also write BENCH_fig10.json
 //	benchrunner -chaos -seed 7    # liveness-under-faults drill
+//	benchrunner -chaos -wipe 1    # …plus a wipe-and-rejoin (snapshot fast-sync)
 //	benchrunner -exp fig10 -metrics  # append the registry summary table
 package main
 
@@ -31,14 +34,16 @@ func main() {
 	txs := flag.Int("txs", 0, "transactions per measurement cell (0 = experiment default)")
 	quick := flag.Bool("quick", false, "shrink grids for a fast pass")
 	showMetrics := flag.Bool("metrics", false, "print the metrics registry summary after the run")
+	jsonOut := flag.Bool("json", false, "write BENCH_<exp>.json per experiment (rows + latency percentiles + sync times)")
 	chaos := flag.Bool("chaos", false, "run the chaos drill instead of the paper experiments")
 	seed := flag.Int64("seed", 1, "chaos: fault-schedule seed")
 	nodes := flag.Int("nodes", 4, "chaos: cluster size (4-7)")
 	drop := flag.Float64("drop", 0.10, "chaos: global message drop rate")
+	wipe := flag.Int("wipe", 0, "chaos: wipe-and-rejoin fault count (forces snapshot fast-sync)")
 	flag.Parse()
 
 	if *chaos {
-		err := runChaos(*seed, *nodes, *txs, *drop)
+		err := runChaos(*seed, *nodes, *txs, *drop, *wipe)
 		if *showMetrics {
 			fmt.Printf("\n=== metrics registry summary ===\n%s", metrics.Default().Summary())
 		}
@@ -49,25 +54,36 @@ func main() {
 		return
 	}
 
-	run := func(name string, fn func() error) {
+	run := func(name string, fn func() (any, error)) {
 		if *exp != "all" && *exp != name {
 			return
 		}
 		start := time.Now()
-		if err := fn(); err != nil {
+		rows, err := fn()
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("(%s completed in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		if *jsonOut {
+			if err := writeBenchJSON(name, rows, elapsed); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: writing json: %v\n", name, err)
+				os.Exit(1)
+			}
+		}
+		fmt.Printf("(%s completed in %v)\n\n", name, elapsed.Round(time.Millisecond))
 	}
 
-	run("fig10", func() error { return runFig10(*txs) })
-	run("fig11", func() error { return runFig11(*txs, *quick) })
+	run("fig10", func() (any, error) { return runFig10(*txs) })
+	run("fig11", func() (any, error) { return runFig11(*txs, *quick) })
 	run("table1", runTable1)
-	run("fig12", func() error { return runFig12(*txs) })
+	run("fig12", func() (any, error) { return runFig12(*txs) })
 	run("prod", runProd)
 	if *exp == "overhead" { // opt-in: doubles a fig10 cell, not part of "all"
-		run("overhead", func() error { return runOverhead(*txs, *quick) })
+		run("overhead", func() (any, error) { return runOverhead(*txs, *quick) })
+	}
+	if *exp == "fastsync" { // opt-in: wipe-rejoin timing + pruning disk budget
+		run("fastsync", func() (any, error) { return runFastSync(*txs) })
 	}
 
 	if *showMetrics {
@@ -75,7 +91,7 @@ func main() {
 	}
 }
 
-func runOverhead(txs int, quick bool) error {
+func runOverhead(txs int, quick bool) (any, error) {
 	fmt.Println("=== Metrics-layer overhead: instrumented vs no-op recorder ===")
 	rounds := 3
 	if quick {
@@ -83,16 +99,16 @@ func runOverhead(txs int, quick bool) error {
 	}
 	res, err := bench.MetricsOverhead(txs, rounds)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Println(res)
 	if res.DeltaPct >= 2.0 {
 		fmt.Println("WARNING: overhead exceeds the 2% budget")
 	}
-	return nil
+	return res, nil
 }
 
-func runFig10(txs int) error {
+func runFig10(txs int) (any, error) {
 	cfg := bench.DefaultFig10()
 	if txs > 0 {
 		cfg.TxsPerCell = txs
@@ -100,7 +116,7 @@ func runFig10(txs int) error {
 	fmt.Println("=== Figure 10: throughput on 4 Synthetic workloads (4 nodes) ===")
 	rows, err := bench.Figure10(cfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Printf("%-26s %-11s %-7s %10s\n", "Workload", "Engine", "Mode", "TPS")
 	for _, r := range rows {
@@ -110,10 +126,10 @@ func runFig10(txs int) error {
 		}
 		fmt.Printf("%-26s %-11s %-7s %10.1f\n", r.Workload, r.Engine, mode, r.TPS)
 	}
-	return nil
+	return rows, nil
 }
 
-func runFig11(txs int, quick bool) error {
+func runFig11(txs int, quick bool) (any, error) {
 	cfg := bench.DefaultFig11()
 	if txs > 0 {
 		cfg.TxsPerCell = txs
@@ -124,26 +140,26 @@ func runFig11(txs int, quick bool) error {
 	fmt.Println("=== Figure 11: scalability, ABS workload ===")
 	rows, err := bench.Figure11(cfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Printf("%-7s %-9s %-6s %10s\n", "Nodes", "Parallel", "Zones", "TPS")
 	for _, r := range rows {
 		fmt.Printf("%-7d %-9d %-6d %10.1f\n", r.Nodes, r.Parallel, r.Zones, r.TPS)
 	}
-	return nil
+	return rows, nil
 }
 
-func runTable1() error {
+func runTable1() (any, error) {
 	fmt.Println("=== Table 1: operations of one SCF-AR asset transfer ===")
 	res, err := bench.Table1()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Print(res.Rendered)
-	return nil
+	return res, nil
 }
 
-func runFig12(txs int) error {
+func runFig12(txs int) (any, error) {
 	cfg := bench.DefaultFig12()
 	if txs > 0 {
 		cfg.Txs = txs
@@ -151,23 +167,28 @@ func runFig12(txs int) error {
 	fmt.Println("=== Figure 12: optimization ablation on the ABS contract ===")
 	rows, err := bench.Figure12(cfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Printf("%-36s %10s %9s\n", "Configuration", "TPS", "Speedup")
 	for _, r := range rows {
 		fmt.Printf("%-36s %10.1f %8.2fx\n", r.Config, r.TPS, r.Speedup)
 	}
-	return nil
+	return rows, nil
 }
 
-func runChaos(seed int64, nodes, txs int, drop float64) error {
-	fmt.Printf("=== Chaos drill: %d nodes, seed %d, %.0f%% drop, leader crash + partition ===\n",
-		nodes, seed, drop*100)
+func runChaos(seed int64, nodes, txs int, drop float64, wipes int) error {
+	scenario := "leader crash + partition"
+	if wipes > 0 {
+		scenario += fmt.Sprintf(" + %d wipe-rejoin(s)", wipes)
+	}
+	fmt.Printf("=== Chaos drill: %d nodes, seed %d, %.0f%% drop, %s ===\n",
+		nodes, seed, drop*100, scenario)
 	report, err := node.RunChaos(node.ChaosOptions{
-		Nodes:    nodes,
-		Txs:      txs, // 0 = default
-		Seed:     seed,
-		DropRate: drop,
+		Nodes:       nodes,
+		Txs:         txs, // 0 = default
+		Seed:        seed,
+		DropRate:    drop,
+		WipeRejoins: wipes,
 	})
 	if err != nil {
 		return err
@@ -181,17 +202,23 @@ func runChaos(seed int64, nodes, txs int, drop float64) error {
 	s := report.Net
 	fmt.Printf("network: %d sent, %d delivered, drops: %d rate / %d partition / %d crash / %d overflow, %d dup, %d reordered\n",
 		s.Sent, s.Delivered, s.RateDrops, s.PartitionDrops, s.CrashDrops, s.OverflowDrops, s.Duplicates, s.Reordered)
+	if wipes > 0 {
+		fmt.Printf("snapshot rejoin: %d install(s), %d bad chunk(s) rejected, %d bad install(s)\n",
+			report.Metrics["confide_snapshot_installs_total"],
+			report.Metrics["confide_node_snapshot_bad_chunks_total"],
+			report.Metrics["confide_node_snapshot_install_failures_total"])
+	}
 	return nil
 }
 
-func runProd() error {
+func runProd() (any, error) {
 	fmt.Println("=== §6.4 production metrics (4 nodes, cloud-SSD model) ===")
 	m, err := bench.ProductionMetrics()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	fmt.Printf("avg block execution: %8v   (paper: ~30 ms)\n", m.AvgBlockExecution.Round(100*time.Microsecond))
 	fmt.Printf("avg empty block:     %8v   (paper: ~5 ms)\n", m.AvgEmptyBlock.Round(100*time.Microsecond))
 	fmt.Printf("avg block write:     %8v   (paper: ~6 ms)\n", m.AvgBlockWrite.Round(100*time.Microsecond))
-	return nil
+	return m, nil
 }

@@ -36,6 +36,8 @@ func main() {
 	wl := flag.String("workload", "abs", "workload: abs, scf, concat, enotes, hash, json")
 	vmName := flag.String("vm", "cvm", "contract VM: cvm or evm")
 	storeDir := flag.String("store", "", "durable store directory (LSM; browse it with confide-explorer)")
+	ckptInterval := flag.Uint64("checkpoint-interval", 0, "export a sealed state checkpoint every N blocks (0 = off); enables snapshot fast-sync for lagging peers")
+	retention := flag.Uint64("retention", 0, "with checkpoints on, prune block payloads older than N blocks (0 = keep full history)")
 	metricsAddr := flag.String("metrics", "", "serve Prometheus /metrics and /debug/pprof on this address (e.g. :9090) for the duration of the run")
 	linger := flag.Duration("linger", 0, "keep the process (and the -metrics endpoint) alive this long after the run")
 	flag.Parse()
@@ -63,9 +65,11 @@ func main() {
 	cluster, err := node.NewCluster(node.ClusterOptions{
 		Nodes: *nodes,
 		Node: node.Config{
-			BlockMaxTxs: 32,
-			Parallelism: *parallel,
-			EngineOpts:  core.AllOptimizations(),
+			BlockMaxTxs:        32,
+			Parallelism:        *parallel,
+			EngineOpts:         core.AllOptimizations(),
+			CheckpointInterval: *ckptInterval,
+			Retention:          *retention,
 		},
 		Enclave:          tee.Config{InjectDelays: true},
 		StoreReadLatency: 200 * time.Microsecond,
@@ -134,6 +138,10 @@ func main() {
 	st := leader.Stats()
 	fmt.Printf("blocks: %d   exec time: %v   commit time: %v\n",
 		st.BlocksClosed, st.ExecTime.Round(time.Millisecond), st.CommitTime.Round(time.Millisecond))
+	if *ckptInterval > 0 {
+		fmt.Printf("checkpoints: every %d blocks, retained payload floor at height %d\n",
+			*ckptInterval, leader.PrunedTo())
+	}
 	enclave := leader.ConfidentialEngine().Enclave().Stats()
 	fmt.Printf("enclave: %d ecalls, %d ocalls, %d page swaps, %.1fM cycles charged\n",
 		enclave.Ecalls, enclave.Ocalls, enclave.PageSwaps, float64(enclave.ChargedCycles)/1e6)

@@ -677,6 +677,26 @@ func (r *Replica) AdvanceTo(seq uint64) {
 	r.mu.Unlock()
 }
 
+// CompactLog garbage-collects committed-log payloads below seq. The node
+// anchors this at its last stable checkpoint: any peer lagging past that
+// point is served a state snapshot rather than replayed payloads, so
+// retaining them serves nobody and consensus memory stops growing with
+// chain length. Sequences not yet delivered are never dropped.
+func (r *Replica) CompactLog(seq uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if seq > r.delivered {
+		seq = r.delivered
+	}
+	if seq <= r.logMin {
+		return
+	}
+	for s := r.logMin; s < seq; s++ {
+		delete(r.committedLog, s)
+	}
+	r.logMin = seq
+}
+
 // Delivered reports how many sequences have been handed to the application.
 func (r *Replica) Delivered() uint64 {
 	r.mu.Lock()

@@ -133,6 +133,26 @@ func randomHex() string {
 	return fmt.Sprintf("%x", b)
 }
 
+// checkpointMACLabel scopes the snapshot-manifest MAC key under k_states.
+const checkpointMACLabel = "confide/checkpoint-manifest-mac"
+
+// CheckpointMACKey derives the key that seals snapshot manifests. It comes
+// from k_states, which only provisioned (attested) Confidential-Engines
+// hold, so a manifest MAC proves an enclave in the consortium's trust ring
+// exported that checkpoint. A public engine (no secrets) returns nil and
+// the snapshot layer runs unauthenticated.
+func (e *Engine) CheckpointMACKey() []byte {
+	if e.secrets == nil {
+		return nil
+	}
+	return crypto.DeriveSubKey(e.secrets.StatesKey, checkpointMACLabel)
+}
+
+// InvalidateStateCache drops the SDM's read cache. The node calls this
+// after installing a state snapshot, whose writes land in the store
+// directly and would otherwise be shadowed by stale cached plaintext.
+func (e *Engine) InvalidateStateCache() { e.sdm.InvalidateCache() }
+
 // Profile exposes the engine's instrumentation.
 func (e *Engine) Profile() *Profile { return e.profile }
 

@@ -88,6 +88,13 @@ type ChaosOptions struct {
 	// Partitions is how many partition/heal cycles isolate one random node
 	// (default 1).
 	Partitions int
+	// WipeRejoins is how many wipe-and-rejoin faults erase a random
+	// follower's entire store mid-run (default 0 = off). The wiped node must
+	// re-acquire everything from its peers; enabling this turns on
+	// checkpoints for the run (CheckpointInterval 3, Retention 6), so the
+	// rejoin is required to go through snapshot fast-sync — certified from
+	// the metrics registry at the end.
+	WipeRejoins int
 	// FaultFor is how long each fault stays active (default 500ms); faults
 	// are scheduled sequentially so at most one is active at a time,
 	// keeping the fault count within f.
@@ -157,7 +164,8 @@ type ChaosReport struct {
 type chaosFault struct {
 	at      time.Duration
 	until   time.Duration
-	isCrash bool // else partition
+	isCrash bool // crash (else partition, unless isWipe)
+	isWipe  bool // wipe-and-rejoin (waits for height ≥ 2×CheckpointInterval)
 	target  int  // partition victim (crash targets the live leader)
 }
 
@@ -190,7 +198,9 @@ func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
 				RetransmitMax:      200 * time.Millisecond,
 				HeartbeatInterval:  30 * time.Millisecond,
 			},
-			SyncInterval: 40 * time.Millisecond,
+			SyncInterval:       40 * time.Millisecond,
+			CheckpointInterval: chaosCheckpointInterval(opts),
+			Retention:          chaosRetention(opts),
 		},
 	})
 	if err != nil {
@@ -213,12 +223,19 @@ func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
 
 	// Fault schedule: sequential windows with slack between them, so at
 	// most one fault is ever active (the cluster tolerates f = 1).
+	// Wipe-rejoins go last: they need enough chain behind them (two full
+	// checkpoint intervals) to force the snapshot path.
 	var faults []chaosFault
 	cursor := 300 * time.Millisecond
-	for i := 0; i < opts.LeaderCrashes+opts.Partitions; i++ {
-		f := chaosFault{at: cursor, until: cursor + opts.FaultFor, isCrash: i < opts.LeaderCrashes}
-		if !f.isCrash {
+	for i := 0; i < opts.LeaderCrashes+opts.Partitions+opts.WipeRejoins; i++ {
+		f := chaosFault{at: cursor, until: cursor + opts.FaultFor}
+		switch {
+		case i < opts.LeaderCrashes:
+			f.isCrash = true
+		case i < opts.LeaderCrashes+opts.Partitions:
 			f.target = rng.Intn(opts.Nodes)
+		default:
+			f.isWipe = true
 		}
 		faults = append(faults, f)
 		cursor = f.until + opts.FaultFor
@@ -250,13 +267,22 @@ func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
 
 	crashed := -1
 	partitioned := false
+	wiped := make(map[int]bool) // nodes that lost their in-memory receipt map
 	var lastSubmit time.Time
 	deadline := start.Add(opts.Timeout)
 
 	allCommitted := func() bool {
-		for _, n := range cluster.Nodes {
+		for i, n := range cluster.Nodes {
 			for _, tx := range txs {
-				if rpt, ok := n.Receipt(tx.Hash()); !ok || rpt.Status != chain.ReceiptOK {
+				if wiped[i] {
+					// A wiped node's pre-wipe receipts live only in its
+					// snapshot-installed store (rc/), not the in-memory map;
+					// their contents were already status-checked on the
+					// replicas that executed them.
+					if _, found, err := n.StoredReceipt(tx.Hash()); err != nil || !found {
+						return false
+					}
+				} else if rpt, ok := n.Receipt(tx.Hash()); !ok || rpt.Status != chain.ReceiptOK {
 					return false
 				}
 			}
@@ -300,7 +326,25 @@ func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
 		// Inject and lift scheduled faults.
 		if len(faults) > 0 && crashed < 0 && !partitioned && now >= faults[0].at {
 			f := faults[0]
-			if f.isCrash {
+			if f.isWipe {
+				// Wipe-and-rejoin fires only once two full checkpoint
+				// intervals of chain exist, so genesis replay would cross a
+				// checkpoint and the snapshot path is mandatory; until then
+				// the fault stays pending.
+				interval := chaosCheckpointInterval(opts)
+				if cluster.Leader().Height() >= 2*interval {
+					victim := rng.Intn(opts.Nodes)
+					if victim == int(cluster.Leader().ID()) {
+						victim = (victim + 1) % opts.Nodes
+					}
+					if err := cluster.RestartNode(victim, true); err != nil {
+						return nil, fmt.Errorf("chaos: wipe-rejoin node %d: %w", victim, err)
+					}
+					wiped[victim] = true
+					logEvent("wipe node %d (store erased; must rejoin via snapshot)", victim)
+					faults = faults[1:]
+				}
+			} else if f.isCrash {
 				leader := cluster.Leader()
 				crashed = int(leader.ID())
 				leader.Endpoint().Crash()
@@ -374,13 +418,23 @@ func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
 	}
 
 	// Convergence holds; certify identical chains via a state root over the
-	// full header sequence (headers commit to the tx sets, and execution is
-	// deterministic, so equal header chains imply equal state).
+	// header sequence (headers commit to the tx sets, and execution is
+	// deterministic, so equal header chains imply equal state). The root
+	// starts at the highest retained floor across nodes: with pruning or a
+	// wipe-rejoin in play, history below the last stable checkpoint exists
+	// on no (or not every) node — by design — and the headers above it chain
+	// from the checkpoint's tip hash, which the snapshot manifest bound.
 	report.Height = cluster.Nodes[0].Height()
+	floor := uint64(0)
+	for _, n := range cluster.Nodes {
+		if pt := n.PrunedTo(); pt > floor {
+			floor = pt
+		}
+	}
 	roots := make([]chain.Hash, opts.Nodes)
 	for i, n := range cluster.Nodes {
 		hasher := sha256.New()
-		for h := uint64(0); h < report.Height; h++ {
+		for h := floor; h < report.Height; h++ {
 			hdr, err := n.HeaderAt(h)
 			if err != nil {
 				return nil, fmt.Errorf("chaos: node %d missing block %d after convergence: %w", i, h, err)
@@ -414,12 +468,15 @@ func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
 		return after.CounterSum(family) - before.CounterSum(family)
 	}
 	report.Metrics = map[string]uint64{
-		"confide_consensus_view_changes_total":    delta("confide_consensus_view_changes_total"),
-		"confide_consensus_retransmissions_total": delta("confide_consensus_retransmissions_total"),
-		"confide_consensus_delivered_total":       delta("confide_consensus_delivered_total"),
-		"confide_p2p_drops_total":                 delta("confide_p2p_drops_total"),
-		"confide_node_blocks_committed_total":     delta("confide_node_blocks_committed_total"),
-		"confide_tee_ecalls_total":                delta("confide_tee_ecalls_total"),
+		"confide_consensus_view_changes_total":         delta("confide_consensus_view_changes_total"),
+		"confide_consensus_retransmissions_total":      delta("confide_consensus_retransmissions_total"),
+		"confide_consensus_delivered_total":            delta("confide_consensus_delivered_total"),
+		"confide_p2p_drops_total":                      delta("confide_p2p_drops_total"),
+		"confide_node_blocks_committed_total":          delta("confide_node_blocks_committed_total"),
+		"confide_tee_ecalls_total":                     delta("confide_tee_ecalls_total"),
+		"confide_snapshot_installs_total":              delta("confide_snapshot_installs_total"),
+		"confide_node_snapshot_bad_chunks_total":       delta("confide_node_snapshot_bad_chunks_total"),
+		"confide_node_snapshot_install_failures_total": delta("confide_node_snapshot_install_failures_total"),
 	}
 	if metrics.Default().Enabled() {
 		pipelineEnds := after.HistogramCount("confide_pipeline_total_seconds") -
@@ -442,6 +499,36 @@ func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
 		if pipelineEnds < uint64(opts.Txs) {
 			return nil, fmt.Errorf("chaos: %d txs committed but only %d pipeline spans completed", opts.Txs, pipelineEnds)
 		}
+		if opts.WipeRejoins > 0 {
+			// Certify the rejoin path from the registry: every wipe must have
+			// gone through a snapshot install, and nothing unverified may
+			// have been installed.
+			if got := report.Metrics["confide_snapshot_installs_total"]; got < uint64(opts.WipeRejoins) {
+				return nil, fmt.Errorf("chaos: %d wipe(s) injected but only %d snapshot installs recorded — a node rejoined by genesis replay",
+					opts.WipeRejoins, got)
+			}
+			if got := report.Metrics["confide_node_snapshot_install_failures_total"]; got != 0 {
+				return nil, fmt.Errorf("chaos: %d snapshot install(s) failed verification", got)
+			}
+		}
 	}
 	return report, nil
+}
+
+// chaosCheckpointInterval is the checkpoint cadence a wipe-rejoin drill runs
+// with (checkpoints stay off otherwise, matching the default deployment).
+func chaosCheckpointInterval(opts ChaosOptions) uint64 {
+	if opts.WipeRejoins == 0 {
+		return 0
+	}
+	return 3
+}
+
+// chaosRetention keeps two intervals of payload history in a wipe-rejoin
+// drill, so pruning is exercised without starving the tail replay.
+func chaosRetention(opts ChaosOptions) uint64 {
+	if opts.WipeRejoins == 0 {
+		return 0
+	}
+	return 6
 }

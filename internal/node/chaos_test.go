@@ -37,6 +37,34 @@ func TestChaosSeededDrill(t *testing.T) {
 		report.Height, report.ViewChanges, report.Elapsed, report.Events)
 }
 
+// TestChaosWipeRejoinDrill adds the wipe-and-rejoin fault to the drill: a
+// follower's store is erased mid-run under message loss, and convergence
+// must come through snapshot fast-sync — certified inside RunChaos from the
+// registry deltas (install count ≥ wipes, zero failed installs) and here
+// from the report.
+func TestChaosWipeRejoinDrill(t *testing.T) {
+	report, err := RunChaos(ChaosOptions{
+		Nodes:       4,
+		Txs:         24,
+		Seed:        3,
+		DropRate:    0.05,
+		WipeRejoins: 1,
+		Timeout:     90 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := report.Metrics["confide_snapshot_installs_total"]; got == 0 {
+		t.Error("wipe drill recorded no snapshot installs")
+	}
+	if got := report.Metrics["confide_node_snapshot_install_failures_total"]; got != 0 {
+		t.Errorf("wipe drill recorded %d failed snapshot installs", got)
+	}
+	t.Logf("chaos+wipe: height=%d installs=%d badChunks=%d elapsed=%s events=%v",
+		report.Height, report.Metrics["confide_snapshot_installs_total"],
+		report.Metrics["confide_node_snapshot_bad_chunks_total"], report.Elapsed, report.Events)
+}
+
 // TestChaosLossless is the control: the same harness with every fault
 // disabled must converge quickly.
 func TestChaosLossless(t *testing.T) {

@@ -2,6 +2,7 @@ package node
 
 import (
 	"fmt"
+	"os"
 	"path/filepath"
 	"time"
 
@@ -49,6 +50,7 @@ type Cluster struct {
 	Root    *tee.RootOfTrust
 	Secrets *kms.Secrets
 	net     *p2p.Network
+	opts    ClusterOptions // retained for RestartNode
 }
 
 // NewCluster boots a network: a software root of trust, per-node platforms,
@@ -63,7 +65,7 @@ func NewCluster(opts ClusterOptions) (*Cluster, error) {
 		return nil, err
 	}
 	network := p2p.NewNetwork(opts.Network)
-	c := &Cluster{Root: root, net: network}
+	c := &Cluster{Root: root, net: network, opts: opts}
 
 	// K-Protocol: node 0 bootstraps (or the central service does), the
 	// rest join via mutual attestation.
@@ -188,6 +190,75 @@ func (c *Cluster) buildNodes(opts ClusterOptions, platforms []*tee.Platform, kmN
 		c.Nodes = append(c.Nodes, New(opts.Node, endpoint, opts.Nodes, confEngine, pubEngine, store))
 	}
 	return c, nil
+}
+
+// RestartNode tears one node down and boots a replacement on the same
+// network identity — the operational wipe-and-rejoin / restart drill. With
+// wipe, the replacement starts from an empty store and must re-acquire all
+// state from its peers (snapshot fast-sync when checkpoints are enabled);
+// without wipe it recovers from its durable store (StoreDir required). The
+// engines are rebuilt on a freshly attested enclave re-provisioned with the
+// cluster secrets, which is the HSM-backed restart flow.
+func (c *Cluster) RestartNode(i int, wipe bool) error {
+	if i < 0 || i >= len(c.Nodes) {
+		return fmt.Errorf("node: no node %d", i)
+	}
+	if !wipe && c.opts.StoreDir == "" {
+		return fmt.Errorf("node: restart without wipe needs a durable StoreDir")
+	}
+	c.Nodes[i].Close()
+	if wipe && c.opts.StoreDir != "" {
+		if err := os.RemoveAll(filepath.Join(c.opts.StoreDir, fmt.Sprintf("node-%d", i))); err != nil {
+			return err
+		}
+	}
+
+	zone := 0
+	if c.opts.Zones != nil {
+		zone = c.opts.Zones[i]
+	}
+	endpoint, err := c.net.Join(p2p.NodeID(i), zone)
+	if err != nil {
+		return err
+	}
+	var store storage.KVStore
+	if c.opts.StoreDir != "" {
+		lsm, err := storage.OpenLSM(
+			filepath.Join(c.opts.StoreDir, fmt.Sprintf("node-%d", i)),
+			storage.LSMOptions{WriteLatency: c.opts.StoreWriteLatency},
+		)
+		if err != nil {
+			return err
+		}
+		store = lsm
+	} else {
+		mem := storage.NewMemStore()
+		mem.SetReadLatency(c.opts.StoreReadLatency)
+		mem.SetWriteLatency(c.opts.StoreWriteLatency)
+		store = mem
+	}
+
+	platform := tee.NewPlatform(c.Root)
+	enclaveCfg := c.opts.Enclave
+	if enclaveCfg.CodeIdentity == "" {
+		enclaveCfg.CodeIdentity = core.CSEnclaveIdentity
+	}
+	cs, err := platform.CreateEnclave("cs", enclaveCfg)
+	if err != nil {
+		return err
+	}
+	confEngine, err := core.NewConfidentialEngineOn(cs, c.Secrets, store, c.opts.Node.EngineOpts)
+	if err != nil {
+		return err
+	}
+	pubEngine := core.NewPublicEngine(store, c.opts.Node.EngineOpts)
+
+	cfg := c.opts.Node
+	// Align the replica's seq↔height base with the peers that kept running.
+	base := c.Nodes[(i+1)%len(c.Nodes)].baseHeight
+	cfg.replicaBase = &base
+	c.Nodes[i] = New(cfg, endpoint, len(c.Nodes), confEngine, pubEngine, store)
+	return nil
 }
 
 // Leader returns the current leader node.

@@ -36,6 +36,37 @@ var (
 		"per-block execution time (OCC passes)", nil)
 	mBlockCommitSeconds = metrics.Default().Histogram("confide_node_block_commit_seconds",
 		"per-block storage commit time (WriteBatch)", nil)
+
+	// OCC scheduler effectiveness: conflicts/speculative is the fraction of
+	// parallel work thrown away by the validation pass.
+	mOCCSpeculated = metrics.Default().Counter("confide_node_occ_speculative_total",
+		"transactions executed speculatively against the pre-block snapshot")
+	mOCCConflicts = metrics.Default().Counter("confide_node_occ_conflicts_total",
+		"speculative results discarded and re-executed by the validation pass")
+
+	// Catch-up path selection: how lagging nodes rejoined the tip.
+	mSyncPathBlocks = metrics.Default().Counter("confide_node_sync_path_total",
+		"catch-up progress, by path", metrics.L{K: "path", V: "blocks"})
+	mSyncPathSnapshot = metrics.Default().Counter("confide_node_sync_path_total",
+		"catch-up progress, by path", metrics.L{K: "path", V: "snapshot"})
+
+	// Checkpoint / fast-sync / pruning instruments.
+	mCheckpointSeconds = metrics.Default().Histogram("confide_node_checkpoint_export_seconds",
+		"time to export one state checkpoint", nil)
+	mSnapSyncSeconds = metrics.Default().Histogram("confide_node_snapshot_sync_seconds",
+		"manifest-request-to-install time of snapshot fast-syncs", nil)
+	mSnapFetchRetries = metrics.Default().Counter("confide_node_snapshot_fetch_retries_total",
+		"chunk fetch attempts beyond the first (timeouts, lost or bad responses)")
+	mSnapBadChunks = metrics.Default().Counter("confide_node_snapshot_bad_chunks_total",
+		"received chunks rejected for a content-hash mismatch")
+	mSnapBadManifests = metrics.Default().Counter("confide_node_snapshot_bad_manifests_total",
+		"received manifests rejected (MAC or root verification failed)")
+	mSnapInstallFailures = metrics.Default().Counter("confide_node_snapshot_install_failures_total",
+		"fully-fetched snapshots that failed verification at install")
+	mSnapInstallHeight = metrics.Default().Gauge("confide_node_snapshot_install_height",
+		"chain height of the most recent snapshot install (0 = never)")
+	mBlocksPruned = metrics.Default().Counter("confide_node_blocks_pruned_total",
+		"block payloads retired by checkpoint-anchored pruning")
 )
 
 // newPipelineTracer creates a node's view of the shared pipeline tracer

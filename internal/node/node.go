@@ -16,6 +16,7 @@ import (
 	"confide/internal/core"
 	"confide/internal/metrics"
 	"confide/internal/p2p"
+	"confide/internal/snapshot"
 	"confide/internal/storage"
 )
 
@@ -36,6 +37,24 @@ type Config struct {
 	SyncInterval time.Duration
 	// SyncBatch bounds blocks served per sync response. Default 16.
 	SyncBatch int
+	// CheckpointInterval exports a state snapshot every this many blocks
+	// (and anchors consensus-log GC there). 0 disables checkpoints.
+	CheckpointInterval uint64
+	// Retention keeps at least this many recent block payloads when pruning.
+	// 0 disables pruning entirely (every block is retained, as before).
+	// Pruning also never passes the last stable checkpoint.
+	Retention uint64
+	// SnapshotChunkBytes is the target snapshot chunk size. Default 256 KiB.
+	SnapshotChunkBytes int
+	// SnapshotFetchWorkers bounds parallel chunk fetches during fast-sync.
+	// Default 4.
+	SnapshotFetchWorkers int
+
+	// replicaBase, when set, overrides the replica sequence↔height base: a
+	// node restarted into a live cluster must map consensus sequences the
+	// way its peers do (their base, usually 0), not from its own recovered
+	// height. Set by Cluster.RestartNode.
+	replicaBase *uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -50,6 +69,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.SyncBatch == 0 {
 		c.SyncBatch = 16
+	}
+	if c.SnapshotChunkBytes == 0 {
+		c.SnapshotChunkBytes = snapshot.DefaultChunkBytes
+	}
+	if c.SnapshotFetchWorkers == 0 {
+		c.SnapshotFetchWorkers = 4
 	}
 	return c
 }
@@ -84,9 +109,21 @@ type Node struct {
 	heightCh  chan struct{}                 // closed and replaced on every height advance
 	committed map[chain.Hash]*chain.Receipt // plaintext receipts (local index)
 	txHeight  map[chain.Hash]uint64         // tx → containing block (SPV proofs)
+	// storeBase is the height below which block payloads (and hence the
+	// txHeight index) may be absent locally — set by snapshot install and
+	// pruning. Execution dedup below it falls back to the receipt store.
+	storeBase uint64
 
 	syncMu      sync.Mutex
 	syncLastReq time.Time
+
+	// snapshots holds the latest exported checkpoint for serving; snapMu
+	// guards the fetch-session state in snapshot_sync.go.
+	snapshots *snapshot.Manager
+	snapMu    sync.Mutex
+	snapFetch *snapFetchSession
+	badPeers  map[p2p.NodeID]int // bad-chunk / bad-manifest score per peer
+	prunedTo  uint64             // lowest retained block height (prune.go)
 
 	tracer *metrics.Tracer
 
@@ -115,14 +152,25 @@ func New(cfg Config, endpoint *p2p.Endpoint, n int, confEngine, pubEngine *core.
 		heightCh:   make(chan struct{}),
 		stop:       make(chan struct{}),
 		tracer:     newPipelineTracer(),
+		snapshots:  snapshot.NewManager(),
+		badPeers:   make(map[p2p.NodeID]int),
 	}
 	node.recoverChainState()
 	node.baseHeight = node.height
+	if cfg.replicaBase != nil {
+		// Restarting into a live cluster: adopt the peers' seq↔height base
+		// so consensus sequences line up, then fast-forward past what the
+		// local chain already holds.
+		node.baseHeight = *cfg.replicaBase
+	}
 	opts := cfg.Consensus
 	opts.WorkPending = func() bool {
 		return node.unverified.Len()+node.verified.Len() > 0
 	}
 	node.replica = consensus.NewReplicaWithOptions(endpoint, n, node.onCommit, opts)
+	if node.height > node.baseHeight {
+		node.replica.AdvanceTo(node.height - node.baseHeight)
+	}
 	endpoint.Subscribe(gossipTopic, func(m p2p.Message) {
 		if tx, err := chain.DecodeTx(m.Data); err == nil && !node.isCommitted(tx.Hash()) {
 			if node.unverified.Add(tx) == nil {
@@ -131,13 +179,23 @@ func New(cfg Config, endpoint *p2p.Endpoint, n int, confEngine, pubEngine *core.
 		}
 	})
 	node.startSync()
+	node.startSnapshotSync()
 	return node
 }
 
 // recoverChainState resumes height, prev-hash and the tx→block index from a
 // durable store after a restart (state and receipts are already there; the
 // engine secrets re-arrive via the K-Protocol or an HSM-backed service).
+// When the store carries a base marker (written by snapshot install or
+// pruning), the block walk starts there instead of genesis, and dedup for
+// heights below it answers from the persisted receipts.
 func (n *Node) recoverChainState() {
+	if height, prevHash, ok := readStoreBase(n.store); ok {
+		n.height = height
+		n.prevHash = prevHash
+		n.storeBase = height
+		n.prunedTo = height
+	}
 	for {
 		raw, found, err := n.store.Get(blockKey(n.height))
 		if err != nil || !found {
@@ -372,7 +430,39 @@ func (n *Node) applyBlock(payload []byte) bool {
 	n.blocksClosed.Add(1)
 	mBlocks.Inc()
 	mTxsCommitted.Add(uint64(len(block.Txs)))
+	// Still under applyMu: the store is quiescent, so a due checkpoint sees
+	// exactly the state after this block.
+	n.maybeCheckpoint()
 	return true
+}
+
+// maybeCheckpoint exports a snapshot when the chain crosses a checkpoint
+// boundary, then anchors consensus-log GC and block pruning at it. Caller
+// holds applyMu.
+func (n *Node) maybeCheckpoint() {
+	interval := n.cfg.CheckpointInterval
+	if interval == 0 {
+		return
+	}
+	n.mu.Lock()
+	height, tipHash := n.height, n.prevHash
+	n.mu.Unlock()
+	if height == 0 || height%interval != 0 || n.snapshots.LatestHeight() >= height {
+		return
+	}
+	start := time.Now()
+	cp, err := snapshot.Export(n.store, height, tipHash, n.confEngine.CheckpointMACKey(), n.cfg.SnapshotChunkBytes)
+	if err != nil {
+		return
+	}
+	mCheckpointSeconds.ObserveSince(start)
+	n.snapshots.Set(cp)
+	// Peers lagging past this checkpoint get a snapshot, not block replay:
+	// the consensus committed log below it serves nobody.
+	if height > n.baseHeight {
+		n.replica.CompactLog(height - n.baseHeight)
+	}
+	n.pruneBlocks(height)
 }
 
 // engineFor routes a transaction to its engine.
@@ -404,7 +494,25 @@ func (n *Node) executeBlock(block *chain.Block) ([]*core.ExecResult, *storage.Ba
 			skipped++
 		}
 	}
+	storeBase := n.storeBase
 	n.mu.Unlock()
+	if storeBase > 0 {
+		// This replica joined from a snapshot (or pruned its tail), so its
+		// txHeight index lacks pre-base entries. The receipt store fills the
+		// gap deterministically: receipts ride in the snapshot and exist on
+		// every replica exactly for executed transactions, so a duplicate of
+		// an old transaction is skipped here just as peers with a full index
+		// skip it via txHeight.
+		for i, tx := range txs {
+			if skip[i] {
+				continue
+			}
+			if _, ok, err := core.ReadReceipt(n.store, tx.Hash()); err == nil && ok {
+				skip[i] = true
+				skipped++
+			}
+		}
+	}
 	mDedupSkips.Add(skipped)
 	ways := n.cfg.Parallelism
 	if ways > 1 && len(txs) > 1 {
@@ -448,12 +556,21 @@ func (n *Node) executeBlock(block *chain.Block) ([]*core.ExecResult, *storage.Ba
 	// earlier effects.
 	written := make(map[string]struct{})
 	batch := &storage.Batch{}
+	var speculated, conflicts uint64
 	for i, tx := range txs {
 		if skip[i] {
 			continue
 		}
 		res := results[i]
+		if res != nil {
+			speculated++
+		}
 		if res == nil || intersects(res.ReadSet, written) {
+			if res != nil {
+				// Speculative result read state an earlier transaction in
+				// this block wrote: discard and re-execute in order.
+				conflicts++
+			}
 			fresh, err := n.engineFor(tx).Execute(tx)
 			if err != nil {
 				results[i] = nil
@@ -470,6 +587,8 @@ func (n *Node) executeBlock(block *chain.Block) ([]*core.ExecResult, *storage.Ba
 			written[k] = struct{}{}
 		}
 	}
+	mOCCSpeculated.Add(speculated)
+	mOCCConflicts.Add(conflicts)
 	return results, batch
 }
 

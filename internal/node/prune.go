@@ -1,0 +1,102 @@
+package node
+
+import (
+	"confide/internal/chain"
+	"confide/internal/storage"
+)
+
+// Block payload and WAL retirement. Once a checkpoint is stable, block
+// payloads below `height − Retention` exist only to replay history that any
+// lagging peer would now receive as a snapshot instead, so they can be
+// retired. The store keeps a base marker recording where the retained chain
+// starts; recovery and catch-up sync both respect it. Pruning never passes
+// the last stable checkpoint, so the snapshot + retained tail always
+// reconstruct the full state.
+
+// metaBaseKey marks the lowest locally retained chain position:
+// {height, prev-hash of the block at that height}. Written by snapshot
+// install and by pruning; read by recoverChainState.
+var metaBaseKey = []byte("meta/base")
+
+// readStoreBase loads the base marker, reporting ok=false when the store
+// has full history from genesis.
+func readStoreBase(store storage.KVStore) (height uint64, prevHash chain.Hash, ok bool) {
+	raw, found, err := store.Get(metaBaseKey)
+	if err != nil || !found {
+		return 0, chain.Hash{}, false
+	}
+	it, err := chain.Decode(raw)
+	if err != nil || !it.IsList || len(it.List) != 2 {
+		return 0, chain.Hash{}, false
+	}
+	h, err := it.List[0].AsUint()
+	if err != nil || len(it.List[1].Str) != len(prevHash) {
+		return 0, chain.Hash{}, false
+	}
+	copy(prevHash[:], it.List[1].Str)
+	return h, prevHash, true
+}
+
+// encodeStoreBase builds the base-marker value.
+func encodeStoreBase(height uint64, prevHash chain.Hash) []byte {
+	return chain.Encode(chain.List(chain.Uint(height), chain.Bytes(prevHash[:])))
+}
+
+// PrunedTo reports the lowest block height whose payload this node retains
+// (0 = full history from genesis). Pruning raises it; a snapshot install
+// sets it to the installed checkpoint height.
+func (n *Node) PrunedTo() uint64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.prunedTo
+}
+
+// pruneBlocks retires block payloads below min(checkpointHeight,
+// height − Retention) and bounds the WAL. Caller holds applyMu (so heights
+// are stable) and has just exported the checkpoint at checkpointHeight.
+// Retention 0 disables pruning.
+func (n *Node) pruneBlocks(checkpointHeight uint64) {
+	if n.cfg.Retention == 0 {
+		return
+	}
+	n.mu.Lock()
+	height := n.height
+	from := n.prunedTo
+	n.mu.Unlock()
+	if height <= n.cfg.Retention {
+		return
+	}
+	floor := height - n.cfg.Retention
+	if floor > checkpointHeight {
+		// Never prune past the last stable checkpoint: blocks above it are
+		// the tail a snapshot-joining peer still replays.
+		floor = checkpointHeight
+	}
+	if floor <= from {
+		return
+	}
+	// The block at the new floor stays; its PrevHash anchors the base
+	// marker so recovery can link the retained chain.
+	blockAtFloor, err := n.BlockAt(floor)
+	if err != nil {
+		return
+	}
+	batch := &storage.Batch{}
+	for h := from; h < floor; h++ {
+		batch.Delete(blockKey(h))
+	}
+	batch.Put(metaBaseKey, encodeStoreBase(floor, blockAtFloor.Header.PrevHash))
+	if err := n.store.WriteBatch(batch); err != nil {
+		return
+	}
+	n.mu.Lock()
+	n.prunedTo = floor
+	n.mu.Unlock()
+	mBlocksPruned.Add(floor - from)
+	// Fold the memtable to an SSTable so the WAL (which still carries every
+	// write since the last flush, deleted payloads included) is truncated:
+	// checkpoint cadence bounds WAL growth instead of chain length.
+	if lsm, ok := n.store.(*storage.LSMStore); ok {
+		_ = lsm.Flush()
+	}
+}

@@ -40,6 +40,11 @@ func (n *Node) syncLoop() {
 		case <-n.stop:
 			return
 		case <-ticker.C:
+			// Checkpoint announce goes out before the height status:
+			// delivery is FIFO per sender, so a far-behind peer opens its
+			// snapshot session before it reacts to the height gap, and
+			// onSyncStatus correctly defers to the snapshot path.
+			n.announceCheckpoint()
 			n.endpoint.Broadcast(syncStatusTopic,
 				chain.Encode(chain.Uint(n.Height())))
 		}
@@ -60,6 +65,11 @@ func (n *Node) onSyncStatus(m p2p.Message) {
 	}
 	height := n.Height()
 	if peerHeight <= height {
+		return
+	}
+	if n.snapshotFetchActive() {
+		// A snapshot fast-sync is in flight and will land past these
+		// blocks; requesting them now would just be thrown away.
 		return
 	}
 	n.syncMu.Lock()
@@ -116,6 +126,7 @@ func (n *Node) onSyncResp(m p2p.Message) {
 	if !applied {
 		return
 	}
+	mSyncPathBlocks.Inc()
 	// Replica seq s ↔ block height baseHeight + s, so the synced tip means
 	// every seq below height-baseHeight is settled.
 	if height := n.Height(); height > n.baseHeight {

@@ -12,6 +12,7 @@ var (
 	mDelivered  = metrics.Default().Counter("confide_p2p_delivered_total", "messages handed to live endpoint handlers")
 	mDuplicates = metrics.Default().Counter("confide_p2p_duplicates_total", "extra deliveries injected by the duplicate lottery")
 	mReordered  = metrics.Default().Counter("confide_p2p_reordered_total", "messages held back by reorder jitter")
+	mCorrupted  = metrics.Default().Counter("confide_p2p_corrupted_total", "messages delivered with an injected payload bit-flip")
 
 	mDropRate      = dropCounter("rate")
 	mDropLink      = dropCounter("link")

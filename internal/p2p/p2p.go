@@ -91,6 +91,9 @@ type Stats struct {
 	Duplicates uint64
 	// Reordered counts messages that were held back by ReorderJitter.
 	Reordered uint64
+	// Corrupted counts messages whose payload was bit-flipped in flight by a
+	// per-topic corruption rate (delivered, but damaged).
+	Corrupted uint64
 }
 
 // counters is the atomic backing store for Stats.
@@ -98,7 +101,7 @@ type counters struct {
 	sent, delivered                                  atomic.Uint64
 	rateDrops, linkDrops, topicDrops, partitionDrops atomic.Uint64
 	crashDrops, overflowDrops                        atomic.Uint64
-	duplicates, reordered                            atomic.Uint64
+	duplicates, reordered, corrupted                 atomic.Uint64
 }
 
 func (c *counters) snapshot() Stats {
@@ -113,6 +116,7 @@ func (c *counters) snapshot() Stats {
 		OverflowDrops:  c.overflowDrops.Load(),
 		Duplicates:     c.duplicates.Load(),
 		Reordered:      c.reordered.Load(),
+		Corrupted:      c.corrupted.Load(),
 	}
 }
 
@@ -124,10 +128,11 @@ type Network struct {
 	rng   *rand.Rand
 	// partition maps node → group index while a partition is active; nodes
 	// absent from every group share the implicit group -1. nil = healed.
-	partition map[NodeID]int
-	linkDrop  map[[2]NodeID]float64
-	topicDrop map[string]float64
-	stats     counters
+	partition    map[NodeID]int
+	linkDrop     map[[2]NodeID]float64
+	topicDrop    map[string]float64
+	topicCorrupt map[string]float64
+	stats        counters
 }
 
 // NewNetwork creates a network with the given shape. A zero Config yields
@@ -140,11 +145,12 @@ func NewNetwork(cfg Config) *Network {
 		cfg.ReorderJitter = time.Millisecond
 	}
 	return &Network{
-		cfg:       cfg,
-		nodes:     make(map[NodeID]*Endpoint),
-		rng:       rand.New(rand.NewSource(cfg.Seed + 1)),
-		linkDrop:  make(map[[2]NodeID]float64),
-		topicDrop: make(map[string]float64),
+		cfg:          cfg,
+		nodes:        make(map[NodeID]*Endpoint),
+		rng:          rand.New(rand.NewSource(cfg.Seed + 1)),
+		linkDrop:     make(map[[2]NodeID]float64),
+		topicDrop:    make(map[string]float64),
+		topicCorrupt: make(map[string]float64),
 	}
 }
 
@@ -195,6 +201,20 @@ func (n *Network) SetTopicDropRate(topic string, rate float64) {
 		return
 	}
 	n.topicDrop[topic] = rate
+}
+
+// SetTopicCorruptRate sets the probability that a message on topic is
+// delivered with a bit-flipped payload — the adversarial-peer / bad-wire
+// case integrity checks above the fabric must catch. Rate 0 removes the
+// override.
+func (n *Network) SetTopicCorruptRate(topic string, rate float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if rate == 0 {
+		delete(n.topicCorrupt, topic)
+		return
+	}
+	n.topicCorrupt[topic] = rate
 }
 
 // partitioned reports whether an active partition separates from and to.
@@ -387,6 +407,10 @@ func (e *Endpoint) Send(to NodeID, topic string, data []byte) {
 		return
 	}
 	duplicate := net.cfg.DuplicateRate > 0 && net.rng.Float64() < net.cfg.DuplicateRate
+	corruptAt := -1
+	if r, hit := net.topicCorrupt[topic]; hit && len(data) > 0 && net.rng.Float64() < r {
+		corruptAt = net.rng.Intn(len(data))
+	}
 	var jitter time.Duration
 	if net.cfg.ReorderRate > 0 && net.rng.Float64() < net.cfg.ReorderRate {
 		jitter = time.Duration(net.rng.Int63n(int64(net.cfg.ReorderJitter)) + 1)
@@ -414,6 +438,11 @@ func (e *Endpoint) Send(to NodeID, topic string, data []byte) {
 	e.mu.Unlock()
 
 	msg := Message{From: e.id, Topic: topic, Data: append([]byte(nil), data...)}
+	if corruptAt >= 0 {
+		msg.Data[corruptAt] ^= 0xFF
+		net.stats.corrupted.Add(1)
+		mCorrupted.Inc()
+	}
 	dst.deliverAt(msg, deliverAt.Add(jitter))
 	if duplicate {
 		net.stats.duplicates.Add(1)

@@ -1,0 +1,109 @@
+package snapshot
+
+import (
+	"crypto/sha256"
+	"fmt"
+
+	"confide/internal/chain"
+	"confide/internal/storage"
+)
+
+// DefaultChunkBytes is the target encoded size of one chunk. Chunks close at
+// the first key/value pair that crosses the target, so a single oversized
+// value still fits (in exactly one chunk).
+const DefaultChunkBytes = 256 << 10
+
+// excludedPrefixes are key namespaces the snapshot skips: block payloads are
+// pruned independently and re-synced as the tail, and chain-position
+// metadata ("meta/") is derived at install time from the manifest itself.
+var excludedPrefixes = []string{"blk/", "meta/"}
+
+// Checkpoint is a fully materialized snapshot: the sealed manifest plus the
+// chunk payloads it describes, held by the exporting node for serving.
+type Checkpoint struct {
+	Manifest *Manifest
+	// Chunks[i] is the encoded chunk whose SHA-256 is Manifest.ChunkHashes[i].
+	Chunks [][]byte
+}
+
+// chunkBuilder accumulates key/value pairs and closes chunks at the size
+// target. A chunk encodes as an RLP list alternating key, value, key, value…
+type chunkBuilder struct {
+	target int
+	items  []chain.Item
+	size   int
+	chunks [][]byte
+	hashes []chain.Hash
+	total  uint64
+}
+
+func (b *chunkBuilder) add(key, value []byte) {
+	b.items = append(b.items, chain.Bytes(key), chain.Bytes(value))
+	b.size += len(key) + len(value)
+	if b.size >= b.target {
+		b.close()
+	}
+}
+
+func (b *chunkBuilder) close() {
+	if len(b.items) == 0 {
+		return
+	}
+	enc := chain.Encode(chain.List(b.items...))
+	b.chunks = append(b.chunks, enc)
+	b.hashes = append(b.hashes, sha256.Sum256(enc))
+	b.total += uint64(len(enc))
+	b.items = nil
+	b.size = 0
+}
+
+// Export walks the committed state in store and produces a sealed checkpoint
+// for height. The caller must guarantee a quiescent view (no concurrent
+// commits) for the duration of the walk — the node does this by exporting
+// under its apply lock. tipHash is the hash of block height-1; macKey is the
+// checkpoint MAC key derived from k_states (nil for key-less deployments).
+func Export(store storage.KVStore, height uint64, tipHash chain.Hash, macKey []byte, chunkBytes int) (*Checkpoint, error) {
+	if chunkBytes <= 0 {
+		chunkBytes = DefaultChunkBytes
+	}
+	b := &chunkBuilder{target: chunkBytes}
+	err := store.Iterate(nil, func(key, value []byte) bool {
+		for _, p := range excludedPrefixes {
+			if equalPrefix(key, p) {
+				return true
+			}
+		}
+		b.add(key, value)
+		return true
+	})
+	if err != nil {
+		return nil, fmt.Errorf("snapshot export: %w", err)
+	}
+	b.close()
+
+	m := &Manifest{
+		Height:      height,
+		TipHash:     tipHash,
+		StateRoot:   ComputeRoot(b.hashes),
+		ChunkHashes: b.hashes,
+		TotalBytes:  b.total,
+	}
+	m.Seal(macKey)
+	mChunksExported.Add(uint64(len(b.chunks)))
+	mBytesExported.Add(b.total)
+	mExports.Add(1)
+	return &Checkpoint{Manifest: m, Chunks: b.chunks}, nil
+}
+
+// VerifyChunk checks that data's content hash matches the manifest's i-th
+// chunk address. This is the per-chunk check the fetcher runs on every chunk
+// the moment it arrives, before the chunk is retained.
+func (m *Manifest) VerifyChunk(i int, data []byte) error {
+	if i < 0 || i >= len(m.ChunkHashes) {
+		return ErrBadChunk
+	}
+	if sha256.Sum256(data) != m.ChunkHashes[i] {
+		return ErrBadChunk
+	}
+	return nil
+}

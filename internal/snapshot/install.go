@@ -1,0 +1,83 @@
+package snapshot
+
+import (
+	"crypto/sha256"
+	"fmt"
+
+	"confide/internal/chain"
+	"confide/internal/storage"
+)
+
+// installBatchOps bounds how many key/value pairs one WriteBatch carries
+// during install, keeping peak batch memory flat on large snapshots.
+const installBatchOps = 4096
+
+// Install verifies a checkpoint end-to-end and writes its state into store.
+//
+// Verification is strictly before mutation: chunk count, per-chunk content
+// hashes, the Merkle root over the hash list, the manifest MAC, and the RLP
+// structure of every chunk are all checked first; only when the entire
+// checkpoint has proven well-formed does the first batch write happen. A
+// verification failure therefore leaves the store untouched — the caller can
+// retry with a different peer's chunks without any rollback. (Only a storage
+// I/O error during the final write phase can leave a partial install, and
+// that already means the local disk is failing.)
+//
+// The caller is responsible for wiping or ignoring any pre-existing state
+// under the snapshot's key namespaces and for writing its own chain-position
+// metadata after Install returns.
+func Install(store storage.KVStore, m *Manifest, chunks [][]byte, macKey []byte) error {
+	if len(chunks) != len(m.ChunkHashes) {
+		return ErrChunkCount
+	}
+	for i, c := range chunks {
+		if sha256.Sum256(c) != m.ChunkHashes[i] {
+			return fmt.Errorf("%w (chunk %d)", ErrBadChunk, i)
+		}
+	}
+	if ComputeRoot(m.ChunkHashes) != m.StateRoot {
+		return ErrRootMismatch
+	}
+	if err := m.VerifyMAC(macKey); err != nil {
+		return err
+	}
+	// Decode every chunk before writing anything: a structurally broken
+	// chunk with a (somehow) matching hash must not leave a partial state.
+	decoded := make([][]chain.Item, len(chunks))
+	for i, c := range chunks {
+		it, err := chain.Decode(c)
+		if err != nil || !it.IsList || len(it.List)%2 != 0 {
+			return fmt.Errorf("%w (chunk %d: malformed payload)", ErrBadChunk, i)
+		}
+		for _, kv := range it.List {
+			if kv.IsList {
+				return fmt.Errorf("%w (chunk %d: malformed payload)", ErrBadChunk, i)
+			}
+		}
+		decoded[i] = it.List
+	}
+
+	var batch storage.Batch
+	var written uint64
+	for _, pairs := range decoded {
+		for j := 0; j+1 < len(pairs); j += 2 {
+			batch.Put(pairs[j].Str, pairs[j+1].Str)
+			written++
+			if batch.Len() >= installBatchOps {
+				if err := store.WriteBatch(&batch); err != nil {
+					return fmt.Errorf("snapshot install: %w", err)
+				}
+				batch.Reset()
+			}
+		}
+	}
+	if batch.Len() > 0 {
+		if err := store.WriteBatch(&batch); err != nil {
+			return fmt.Errorf("snapshot install: %w", err)
+		}
+	}
+	mInstalls.Add(1)
+	mKeysInstalled.Add(written)
+	mBytesInstalled.Add(m.TotalBytes)
+	return nil
+}

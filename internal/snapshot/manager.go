@@ -1,0 +1,52 @@
+package snapshot
+
+import "sync"
+
+// Manager holds the node's latest exported checkpoint for serving to peers.
+// Checkpoints are kept in memory only: chunks are a re-encoding of live KV
+// state, so persisting them would double the disk the pruning side is trying
+// to reclaim, and a restarted node simply re-exports at its next interval.
+type Manager struct {
+	mu     sync.RWMutex
+	latest *Checkpoint
+}
+
+// NewManager returns an empty manager.
+func NewManager() *Manager { return &Manager{} }
+
+// Set replaces the retained checkpoint. Older checkpoints are dropped —
+// peers more than one interval behind fetch the newest one anyway.
+func (mgr *Manager) Set(cp *Checkpoint) {
+	mgr.mu.Lock()
+	mgr.latest = cp
+	mgr.mu.Unlock()
+}
+
+// Latest returns the retained checkpoint, or nil if none has been exported.
+func (mgr *Manager) Latest() *Checkpoint {
+	mgr.mu.RLock()
+	defer mgr.mu.RUnlock()
+	return mgr.latest
+}
+
+// LatestHeight returns the height of the retained checkpoint (0 if none).
+func (mgr *Manager) LatestHeight() uint64 {
+	mgr.mu.RLock()
+	defer mgr.mu.RUnlock()
+	if mgr.latest == nil {
+		return 0
+	}
+	return mgr.latest.Manifest.Height
+}
+
+// Chunk returns the i-th chunk of the checkpoint at the given height, used
+// by the serving side to answer chunk requests. It returns nil if the
+// retained checkpoint has moved past that height or i is out of range.
+func (mgr *Manager) Chunk(height uint64, i int) []byte {
+	mgr.mu.RLock()
+	defer mgr.mu.RUnlock()
+	if mgr.latest == nil || mgr.latest.Manifest.Height != height || i < 0 || i >= len(mgr.latest.Chunks) {
+		return nil
+	}
+	return mgr.latest.Chunks[i]
+}

@@ -1,0 +1,174 @@
+// Package snapshot implements sealed state checkpoints: periodic exports of
+// the committed KV state into content-addressed chunks described by a
+// Merkle-rooted, MAC'd manifest, plus the verify-then-install path a joining
+// node uses to adopt one.
+//
+// Under the D-Protocol, confidential contract state reaches the KV store
+// only as authenticated ciphertext (sealed under k_states inside the
+// Confidential-Engine), so a checkpoint of that store can be shipped between
+// nodes without ever widening the confidentiality boundary: the chunks a
+// peer streams are byte-for-byte what the peer's own untrusted host already
+// sees. What the snapshot layer must add is *integrity across hosts*: a
+// malicious peer could serve fabricated chunks or a manifest describing a
+// state that never committed. Two bindings close that:
+//
+//   - every chunk is content-addressed (SHA-256), and the manifest commits
+//     to the full chunk list through a Merkle root; and
+//   - the manifest itself — {height, tip hash, state root, chunk hashes} —
+//     carries an HMAC under a key derived from k_states, which only the
+//     attested Confidential-Engines hold. A host outside the enclave ring
+//     can relay manifests but cannot mint one.
+//
+// Installation verifies everything (chunk hashes, Merkle root, MAC, chunk
+// decodability) before the first byte is written, so a failed install never
+// mutates state.
+package snapshot
+
+import (
+	"bytes"
+	"crypto/hmac"
+	"crypto/sha256"
+	"errors"
+
+	"confide/internal/chain"
+)
+
+// Manifest describes one checkpoint: the chain height it covers (state after
+// committing blocks [0, Height)), the hash of the block at Height-1 (the tip
+// the tail replay must link to), and the content addresses of every chunk.
+type Manifest struct {
+	// Height is the checkpoint height: the state reflects all blocks below
+	// it, and a node installing it resumes block replay at Height.
+	Height uint64
+	// TipHash is the hash of the block at Height-1 — the prev-hash the first
+	// replayed tail block must carry.
+	TipHash chain.Hash
+	// StateRoot is the Merkle root over ChunkHashes, committing to the full
+	// exported state.
+	StateRoot chain.Hash
+	// ChunkHashes are the SHA-256 content addresses of the chunks, in order.
+	ChunkHashes []chain.Hash
+	// TotalBytes is the summed encoded size of all chunks (transfer
+	// accounting; not security-relevant).
+	TotalBytes uint64
+	// MAC authenticates everything above under the checkpoint key derived
+	// from k_states (empty in key-less deployments, e.g. public-only tests).
+	MAC []byte
+}
+
+// Errors surfaced by manifest and install verification.
+var (
+	ErrBadManifest  = errors.New("snapshot: malformed manifest")
+	ErrBadMAC       = errors.New("snapshot: manifest MAC verification failed")
+	ErrRootMismatch = errors.New("snapshot: chunk set does not match manifest state root")
+	ErrBadChunk     = errors.New("snapshot: chunk content hash mismatch")
+	ErrChunkCount   = errors.New("snapshot: chunk count does not match manifest")
+)
+
+// ComputeRoot derives the manifest state root from a chunk-hash list.
+func ComputeRoot(chunkHashes []chain.Hash) chain.Hash {
+	return chain.MerkleRoot(chunkHashes)
+}
+
+// macInput is the canonical byte string the MAC covers: every manifest field
+// except the MAC itself.
+func (m *Manifest) macInput() []byte {
+	items := make([]chain.Item, 0, len(m.ChunkHashes))
+	for _, h := range m.ChunkHashes {
+		items = append(items, chain.Bytes(h[:]))
+	}
+	return chain.Encode(chain.List(
+		chain.Uint(m.Height),
+		chain.Bytes(m.TipHash[:]),
+		chain.Bytes(m.StateRoot[:]),
+		chain.Uint(m.TotalBytes),
+		chain.List(items...),
+	))
+}
+
+// Seal computes and installs the manifest MAC under macKey. A nil key leaves
+// the manifest unauthenticated (MAC empty) for key-less deployments.
+func (m *Manifest) Seal(macKey []byte) {
+	if len(macKey) == 0 {
+		m.MAC = nil
+		return
+	}
+	h := hmac.New(sha256.New, macKey)
+	h.Write(m.macInput())
+	m.MAC = h.Sum(nil)
+}
+
+// VerifyMAC checks the manifest MAC under macKey. With a nil key the check
+// passes only for an unauthenticated (empty-MAC) manifest, so a deployment
+// that seals checkpoints never accepts an unsealed one.
+func (m *Manifest) VerifyMAC(macKey []byte) error {
+	if len(macKey) == 0 {
+		if len(m.MAC) != 0 {
+			return ErrBadMAC
+		}
+		return nil
+	}
+	h := hmac.New(sha256.New, macKey)
+	h.Write(m.macInput())
+	if !hmac.Equal(h.Sum(nil), m.MAC) {
+		return ErrBadMAC
+	}
+	return nil
+}
+
+// Encode serializes the manifest for the wire.
+func (m *Manifest) Encode() []byte {
+	items := make([]chain.Item, 0, len(m.ChunkHashes))
+	for _, h := range m.ChunkHashes {
+		items = append(items, chain.Bytes(h[:]))
+	}
+	return chain.Encode(chain.List(
+		chain.Uint(m.Height),
+		chain.Bytes(m.TipHash[:]),
+		chain.Bytes(m.StateRoot[:]),
+		chain.Uint(m.TotalBytes),
+		chain.List(items...),
+		chain.Bytes(m.MAC),
+	))
+}
+
+// DecodeManifest parses a wire manifest. Structural validity only — MAC and
+// root verification are separate, explicit steps.
+func DecodeManifest(data []byte) (*Manifest, error) {
+	it, err := chain.Decode(data)
+	if err != nil || !it.IsList || len(it.List) != 6 {
+		return nil, ErrBadManifest
+	}
+	var m Manifest
+	if m.Height, err = it.List[0].AsUint(); err != nil {
+		return nil, ErrBadManifest
+	}
+	if len(it.List[1].Str) != len(m.TipHash) || len(it.List[2].Str) != len(m.StateRoot) {
+		return nil, ErrBadManifest
+	}
+	copy(m.TipHash[:], it.List[1].Str)
+	copy(m.StateRoot[:], it.List[2].Str)
+	if m.TotalBytes, err = it.List[3].AsUint(); err != nil {
+		return nil, ErrBadManifest
+	}
+	if !it.List[4].IsList {
+		return nil, ErrBadManifest
+	}
+	for _, h := range it.List[4].List {
+		if len(h.Str) != 32 {
+			return nil, ErrBadManifest
+		}
+		var ch chain.Hash
+		copy(ch[:], h.Str)
+		m.ChunkHashes = append(m.ChunkHashes, ch)
+	}
+	if len(it.List[5].Str) > 0 {
+		m.MAC = append([]byte(nil), it.List[5].Str...)
+	}
+	return &m, nil
+}
+
+// equalPrefix reports whether key starts with prefix.
+func equalPrefix(key []byte, prefix string) bool {
+	return len(key) >= len(prefix) && bytes.Equal(key[:len(prefix)], []byte(prefix))
+}

@@ -1,0 +1,23 @@
+package snapshot
+
+import "confide/internal/metrics"
+
+// Registry instruments for the checkpoint subsystem. Export-side counters
+// track what this node produced; install-side counters track what it
+// adopted from peers. The node layer adds the transfer-path metrics (chunk
+// fetches, retries, bad chunks, sync durations) since those belong to the
+// p2p session, not to the codec.
+var (
+	mExports = metrics.Default().Counter("confide_snapshot_exports_total",
+		"checkpoints exported by this process")
+	mChunksExported = metrics.Default().Counter("confide_snapshot_chunks_exported_total",
+		"chunks produced across all exported checkpoints")
+	mBytesExported = metrics.Default().Counter("confide_snapshot_bytes_exported_total",
+		"encoded chunk bytes produced across all exported checkpoints")
+	mInstalls = metrics.Default().Counter("confide_snapshot_installs_total",
+		"checkpoints verified and installed into a store")
+	mKeysInstalled = metrics.Default().Counter("confide_snapshot_keys_installed_total",
+		"key/value pairs written by checkpoint installs")
+	mBytesInstalled = metrics.Default().Counter("confide_snapshot_bytes_installed_total",
+		"encoded chunk bytes consumed by checkpoint installs")
+)

@@ -1,0 +1,249 @@
+package snapshot
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"confide/internal/chain"
+	"confide/internal/storage"
+)
+
+// populate fills a store with deterministic state across the real key
+// namespaces, plus block payloads and metadata that the export must skip.
+func populate(t *testing.T, store storage.KVStore, n int) map[string][]byte {
+	t.Helper()
+	want := make(map[string][]byte)
+	put := func(key string, val []byte) {
+		if err := store.Put([]byte(key), val); err != nil {
+			t.Fatalf("put %q: %v", key, err)
+		}
+		want[key] = val
+	}
+	for i := 0; i < n; i++ {
+		put(fmt.Sprintf("st/aabb/key-%04d", i), bytes.Repeat([]byte{byte(i)}, 64+i%37))
+		put(fmt.Sprintf("rc/%064x", i), []byte(fmt.Sprintf("receipt-%d", i)))
+	}
+	put("cd/contract-1", []byte("code-bytes"))
+	// Excluded namespaces: must not appear in the snapshot.
+	if err := store.Put([]byte("blk/00000001"), []byte("block-payload")); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put([]byte("meta/base"), []byte("local-position")); err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+func exportFor(t *testing.T, macKey []byte, n int) (*Checkpoint, map[string][]byte) {
+	t.Helper()
+	src := storage.NewMemStore()
+	want := populate(t, src, n)
+	var tip chain.Hash
+	tip[0] = 0x42
+	cp, err := Export(src, 100, tip, macKey, 1024)
+	if err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	return cp, want
+}
+
+func storeDump(t *testing.T, store storage.KVStore) map[string][]byte {
+	t.Helper()
+	dump := make(map[string][]byte)
+	err := store.Iterate(nil, func(k, v []byte) bool {
+		dump[string(k)] = append([]byte(nil), v...)
+		return true
+	})
+	if err != nil {
+		t.Fatalf("iterate: %v", err)
+	}
+	return dump
+}
+
+func TestExportInstallRoundTrip(t *testing.T) {
+	macKey := []byte("checkpoint-mac-key")
+	cp, want := exportFor(t, macKey, 200)
+	m := cp.Manifest
+
+	if m.Height != 100 || m.TipHash[0] != 0x42 {
+		t.Fatalf("manifest position wrong: %+v", m)
+	}
+	if len(cp.Chunks) < 2 {
+		t.Fatalf("expected multiple chunks at 1KiB target, got %d", len(cp.Chunks))
+	}
+	if got := ComputeRoot(m.ChunkHashes); got != m.StateRoot {
+		t.Fatalf("state root mismatch: %x vs %x", got, m.StateRoot)
+	}
+	for i, c := range cp.Chunks {
+		if err := m.VerifyChunk(i, c); err != nil {
+			t.Fatalf("chunk %d failed self-verification: %v", i, err)
+		}
+	}
+
+	// Wire round trip of the manifest.
+	dec, err := DecodeManifest(m.Encode())
+	if err != nil {
+		t.Fatalf("decode manifest: %v", err)
+	}
+	if err := dec.VerifyMAC(macKey); err != nil {
+		t.Fatalf("decoded manifest MAC: %v", err)
+	}
+
+	dst := storage.NewMemStore()
+	if err := Install(dst, dec, cp.Chunks, macKey); err != nil {
+		t.Fatalf("install: %v", err)
+	}
+	got := storeDump(t, dst)
+	if len(got) != len(want) {
+		t.Fatalf("installed %d keys, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if !bytes.Equal(got[k], v) {
+			t.Fatalf("key %q: got %x want %x", k, got[k], v)
+		}
+	}
+	if _, ok := got["blk/00000001"]; ok {
+		t.Fatal("block payload leaked into the snapshot")
+	}
+	if _, ok := got["meta/base"]; ok {
+		t.Fatal("local metadata leaked into the snapshot")
+	}
+}
+
+func TestCorruptedChunkRejected(t *testing.T) {
+	macKey := []byte("k")
+	cp, _ := exportFor(t, macKey, 50)
+
+	corrupt := make([][]byte, len(cp.Chunks))
+	for i := range cp.Chunks {
+		corrupt[i] = append([]byte(nil), cp.Chunks[i]...)
+	}
+	corrupt[0][len(corrupt[0])/2] ^= 0xFF
+
+	dst := storage.NewMemStore()
+	err := Install(dst, cp.Manifest, corrupt, macKey)
+	if !errors.Is(err, ErrBadChunk) {
+		t.Fatalf("corrupted chunk: got %v, want ErrBadChunk", err)
+	}
+	if got := storeDump(t, dst); len(got) != 0 {
+		t.Fatalf("store mutated by failed install: %d keys", len(got))
+	}
+}
+
+func TestTruncatedChunkRejected(t *testing.T) {
+	macKey := []byte("k")
+	cp, _ := exportFor(t, macKey, 50)
+
+	trunc := make([][]byte, len(cp.Chunks))
+	copy(trunc, cp.Chunks)
+	trunc[len(trunc)-1] = trunc[len(trunc)-1][:len(trunc[len(trunc)-1])/2]
+
+	dst := storage.NewMemStore()
+	if err := Install(dst, cp.Manifest, trunc, macKey); !errors.Is(err, ErrBadChunk) {
+		t.Fatalf("truncated chunk: got %v, want ErrBadChunk", err)
+	}
+	// Missing chunk entirely.
+	if err := Install(dst, cp.Manifest, trunc[:len(trunc)-1], macKey); !errors.Is(err, ErrChunkCount) {
+		t.Fatalf("missing chunk: want ErrChunkCount")
+	}
+	if got := storeDump(t, dst); len(got) != 0 {
+		t.Fatalf("store mutated by failed install: %d keys", len(got))
+	}
+}
+
+func TestRootMismatchAbortsWithoutMutation(t *testing.T) {
+	macKey := []byte("k")
+	cp, _ := exportFor(t, macKey, 50)
+
+	// Tamper with the manifest's root (and re-seal so only the root check
+	// can catch it — modelling a peer with the MAC key gone rogue on root).
+	m := *cp.Manifest
+	m.StateRoot[0] ^= 0xFF
+	m.Seal(macKey)
+
+	dst := storage.NewMemStore()
+	if err := Install(dst, &m, cp.Chunks, macKey); !errors.Is(err, ErrRootMismatch) {
+		t.Fatalf("root mismatch: got %v, want ErrRootMismatch", err)
+	}
+	if got := storeDump(t, dst); len(got) != 0 {
+		t.Fatalf("store mutated by aborted install: %d keys", len(got))
+	}
+}
+
+func TestManifestMACTamperRejected(t *testing.T) {
+	macKey := []byte("real-key")
+	cp, _ := exportFor(t, macKey, 20)
+
+	// Bit-flip in a MAC'd field.
+	m := *cp.Manifest
+	m.Height++
+	dst := storage.NewMemStore()
+	if err := Install(dst, &m, cp.Chunks, macKey); !errors.Is(err, ErrBadMAC) {
+		t.Fatalf("tampered height: got %v, want ErrBadMAC", err)
+	}
+
+	// Manifest sealed under the wrong key.
+	forged := *cp.Manifest
+	forged.Seal([]byte("attacker-key"))
+	if err := Install(dst, &forged, cp.Chunks, macKey); !errors.Is(err, ErrBadMAC) {
+		t.Fatalf("wrong-key manifest: got %v, want ErrBadMAC", err)
+	}
+
+	// Unsealed manifest must not pass where a key is expected.
+	unsealed := *cp.Manifest
+	unsealed.MAC = nil
+	if err := Install(dst, &unsealed, cp.Chunks, macKey); !errors.Is(err, ErrBadMAC) {
+		t.Fatalf("unsealed manifest: got %v, want ErrBadMAC", err)
+	}
+	if got := storeDump(t, dst); len(got) != 0 {
+		t.Fatalf("store mutated by rejected installs: %d keys", len(got))
+	}
+}
+
+func TestKeylessDeployment(t *testing.T) {
+	cp, want := exportFor(t, nil, 30)
+	if len(cp.Manifest.MAC) != 0 {
+		t.Fatalf("key-less export produced a MAC")
+	}
+	dst := storage.NewMemStore()
+	if err := Install(dst, cp.Manifest, cp.Chunks, nil); err != nil {
+		t.Fatalf("key-less install: %v", err)
+	}
+	if got := storeDump(t, dst); len(got) != len(want) {
+		t.Fatalf("installed %d keys, want %d", len(got), len(want))
+	}
+	// A key-less verifier must still reject a manifest that claims a MAC.
+	m := *cp.Manifest
+	m.MAC = []byte("not-empty")
+	if err := Install(dst, &m, cp.Chunks, nil); !errors.Is(err, ErrBadMAC) {
+		t.Fatalf("claimed MAC with nil key: got %v, want ErrBadMAC", err)
+	}
+}
+
+func TestManagerServing(t *testing.T) {
+	cp, _ := exportFor(t, nil, 20)
+	mgr := NewManager()
+	if mgr.Latest() != nil || mgr.LatestHeight() != 0 {
+		t.Fatal("empty manager not empty")
+	}
+	mgr.Set(cp)
+	if mgr.LatestHeight() != 100 {
+		t.Fatalf("latest height %d, want 100", mgr.LatestHeight())
+	}
+	if got := mgr.Chunk(100, 0); !bytes.Equal(got, cp.Chunks[0]) {
+		t.Fatal("chunk 0 mismatch")
+	}
+	if mgr.Chunk(99, 0) != nil || mgr.Chunk(100, len(cp.Chunks)) != nil || mgr.Chunk(100, -1) != nil {
+		t.Fatal("out-of-range chunk request served")
+	}
+}
+
+func TestDecodeManifestRejectsGarbage(t *testing.T) {
+	for _, b := range [][]byte{nil, {0x01}, chain.Encode(chain.List(chain.Uint(1))), bytes.Repeat([]byte{0xFF}, 64)} {
+		if _, err := DecodeManifest(b); err == nil {
+			t.Fatalf("garbage %x decoded", b)
+		}
+	}
+}

@@ -1,0 +1,162 @@
+package storage
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// spreadStore builds an LSM whose merged view spans several layers: two
+// flushed SSTables with overlapping keys (newer shadows older), tombstones
+// in both a table and the memtable, and fresh unflushed writes.
+func spreadStore(t *testing.T) (*LSMStore, map[string]string) {
+	t.Helper()
+	s, err := OpenLSM(filepath.Join(t.TempDir(), "db"), LSMOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	want := make(map[string]string)
+	put := func(key, val string) {
+		if err := s.Put([]byte(key), []byte(val)); err != nil {
+			t.Fatal(err)
+		}
+		want[key] = val
+	}
+	del := func(key string) {
+		if err := s.Delete([]byte(key)); err != nil {
+			t.Fatal(err)
+		}
+		delete(want, key)
+	}
+
+	// Layer 1: oldest table.
+	for i := 0; i < 40; i++ {
+		put(fmt.Sprintf("st/a/%03d", i), fmt.Sprintf("v1-%d", i))
+	}
+	put("rc/only-old", "r1")
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Layer 2: newer table shadowing half of layer 1, plus a tombstone.
+	for i := 0; i < 20; i++ {
+		put(fmt.Sprintf("st/a/%03d", i), fmt.Sprintf("v2-%d", i))
+	}
+	del("st/a/039")
+	put("st/b/100", "b100")
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Layer 3: memtable shadowing both tables, with its own tombstone.
+	put("st/a/000", "v3-0")
+	del("st/a/038")
+	put("st/c/200", "c200")
+	return s, want
+}
+
+func collect(t *testing.T, s *LSMStore, prefix string) map[string]string {
+	t.Helper()
+	got := make(map[string]string)
+	var last string
+	err := s.Iterate([]byte(prefix), func(k, v []byte) bool {
+		if string(k) <= last {
+			t.Fatalf("iterate out of order: %q after %q", k, last)
+		}
+		last = string(k)
+		got[string(k)] = string(v)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestLSMStreamingIterateMergesLayers(t *testing.T) {
+	s, want := spreadStore(t)
+	for _, prefix := range []string{"", "st/", "st/a/", "st/a/01", "rc/", "zz/"} {
+		got := collect(t, s, prefix)
+		wantSub := make(map[string]string)
+		for k, v := range want {
+			if len(prefix) == 0 || (len(k) >= len(prefix) && k[:len(prefix)] == prefix) {
+				wantSub[k] = v
+			}
+		}
+		if len(got) != len(wantSub) {
+			t.Fatalf("prefix %q: got %d keys, want %d", prefix, len(got), len(wantSub))
+		}
+		for k, v := range wantSub {
+			if got[k] != v {
+				t.Fatalf("prefix %q key %q: got %q want %q", prefix, k, got[k], v)
+			}
+		}
+	}
+}
+
+func TestLSMIterateEarlyStop(t *testing.T) {
+	s, _ := spreadStore(t)
+	n := 0
+	if err := s.Iterate([]byte("st/"), func(k, v []byte) bool {
+		n++
+		return n < 5
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("early stop visited %d keys, want 5", n)
+	}
+}
+
+// TestLSMIterateSurvivesConcurrentCompaction drives a full-store scan while
+// compaction retires the tables under it: the refcounted tables must stay
+// readable until the scan releases them, and the files must be gone after.
+func TestLSMIterateSurvivesConcurrentCompaction(t *testing.T) {
+	s, want := spreadStore(t)
+
+	got := make(map[string]string)
+	compacted := false
+	err := s.Iterate(nil, func(k, v []byte) bool {
+		got[string(k)] = string(v)
+		if !compacted && len(got) == 3 {
+			compacted = true
+			// Fold every table together mid-scan; the old files are doomed
+			// but must remain readable for this iterator.
+			if err := s.Compact(); err != nil {
+				t.Errorf("compact during iterate: %v", err)
+			}
+			// New writes after the snapshot point must not appear either.
+			if err := s.Put([]byte("zz/after-snapshot"), []byte("x")); err != nil {
+				t.Errorf("put during iterate: %v", err)
+			}
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !compacted {
+		t.Fatal("compaction never ran")
+	}
+	if _, ok := got["zz/after-snapshot"]; ok {
+		t.Fatal("iterate observed a write from after its snapshot point")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d keys, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("key %q: got %q want %q", k, got[k], v)
+		}
+	}
+	// All doomed files must be gone now that the scan has released them.
+	if n := s.TableCount(); n != 1 {
+		t.Fatalf("%d tables after compaction, want 1", n)
+	}
+	names, err := filepath.Glob(filepath.Join(s.dir, "*.sst"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 1 {
+		t.Fatalf("%d sstable files on disk after scan finished, want 1: %v", len(names), names)
+	}
+}

@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -299,54 +300,141 @@ func (s *LSMStore) compactLocked() error {
 	old := s.tables
 	s.tables = []*sstable{t}
 	for _, ot := range old {
-		ot.close()
-		os.Remove(ot.path)
+		// Doom rather than delete: in-flight streaming iterators still hold
+		// references; the file goes away when the last one releases it.
+		ot.drop()
 	}
 	return nil
 }
 
-// Iterate implements KVStore. It materializes the merged view, which is
-// acceptable at consortium-chain state sizes and keeps the merge logic
-// simple and obviously correct.
+// Iterate implements KVStore with a streaming k-way merge: each SSTable is
+// cursored in place (seeked to the prefix through its sparse index) and only
+// the in-prefix slice of the memtable is copied, so memory stays bounded by
+// the memtable size regardless of how much state the scan covers — snapshot
+// export over the full store no longer spikes RSS.
+//
+// The merge runs without the store lock (tables are immutable and
+// refcounted; a concurrent compaction dooms them but the files survive until
+// this scan releases them), so fn observes the store as of the moment
+// Iterate was called and may itself call back into the store.
 func (s *LSMStore) Iterate(prefix []byte, fn func(key, value []byte) bool) error {
 	s.mu.RLock()
 	if s.closed {
 		s.mu.RUnlock()
 		return ErrClosed
 	}
-	merged := make(map[string]memEntry)
-	for _, t := range s.tables {
-		err := t.scan(func(k, v []byte, tomb bool) bool {
-			if !hasPrefix(k, prefix) {
-				return true
-			}
-			merged[string(k)] = memEntry{value: append([]byte(nil), v...), tombstone: tomb}
-			return true
-		})
-		if err != nil {
-			s.mu.RUnlock()
+	// Snapshot the (bounded) memtable's in-prefix entries; sstEntry reuses
+	// the stored value slices, which memInsert never mutates in place.
+	memEntries := make([]sstEntry, 0, len(s.mem))
+	for k, e := range s.mem {
+		if hasPrefix([]byte(k), prefix) {
+			memEntries = append(memEntries, sstEntry{key: []byte(k), value: e.value, tombstone: e.tombstone})
+		}
+	}
+	tables := make([]*sstable, len(s.tables))
+	copy(tables, s.tables)
+	for _, t := range tables {
+		t.retain()
+	}
+	s.mu.RUnlock()
+	defer func() {
+		for _, t := range tables {
+			t.release()
+		}
+	}()
+
+	sort.Slice(memEntries, func(i, j int) bool {
+		return string(memEntries[i].key) < string(memEntries[j].key)
+	})
+
+	// Merge sources in shadowing priority order: memtable first, then
+	// tables newest → oldest. On equal keys the earliest source wins.
+	srcs := make([]kvSource, 0, len(tables)+1)
+	srcs = append(srcs, &sliceSource{entries: memEntries})
+	for i := len(tables) - 1; i >= 0; i-- {
+		srcs = append(srcs, tables[i].iterator(prefix))
+	}
+	return mergeIterate(srcs, fn)
+}
+
+// kvSource is one ordered input to the merge: a memtable snapshot or an
+// SSTable cursor.
+type kvSource interface {
+	next() bool
+	entry() (key, value []byte, tombstone bool)
+	error() error
+}
+
+// sliceSource adapts a sorted in-memory entry slice to kvSource.
+type sliceSource struct {
+	entries []sstEntry
+	pos     int // 1-based: entries[pos-1] is current after next()
+}
+
+func (s *sliceSource) next() bool {
+	if s.pos >= len(s.entries) {
+		s.pos = len(s.entries) + 1
+		return false
+	}
+	s.pos++
+	return true
+}
+
+func (s *sliceSource) entry() (key, value []byte, tombstone bool) {
+	e := s.entries[s.pos-1]
+	return e.key, e.value, e.tombstone
+}
+
+func (s *sliceSource) error() error { return nil }
+
+// mergeIterate streams the union of the sources in ascending key order,
+// resolving duplicate keys in favour of the earliest (highest-priority)
+// source and suppressing tombstoned keys. Source counts are small (memtable
+// + at most MaxTables SSTables), so a linear min-scan per step beats heap
+// bookkeeping.
+func mergeIterate(srcs []kvSource, fn func(key, value []byte) bool) error {
+	live := make([]bool, len(srcs))
+	for i, src := range srcs {
+		live[i] = src.next()
+		if err := src.error(); err != nil {
 			return err
 		}
 	}
-	for k, e := range s.mem {
-		if hasPrefix([]byte(k), prefix) {
-			merged[k] = e
+	for {
+		best := -1
+		var bestKey []byte
+		for i, src := range srcs {
+			if !live[i] {
+				continue
+			}
+			k, _, _ := src.entry()
+			if best == -1 || bytes.Compare(k, bestKey) < 0 {
+				best, bestKey = i, k
+			}
 		}
-	}
-	s.mu.RUnlock()
-	keys := make([]string, 0, len(merged))
-	for k, e := range merged {
-		if !e.tombstone {
-			keys = append(keys, k)
-		}
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		if !fn([]byte(k), merged[k].value) {
+		if best == -1 {
 			return nil
 		}
+		_, value, tomb := srcs[best].entry()
+		// Advance every source sitting on this key: shadowed versions are
+		// consumed alongside the winner.
+		for i, src := range srcs {
+			if !live[i] {
+				continue
+			}
+			if k, _, _ := src.entry(); bytes.Equal(k, bestKey) {
+				live[i] = src.next()
+				if err := src.error(); err != nil {
+					return err
+				}
+			}
+		}
+		if !tomb {
+			if !fn(bestKey, value) {
+				return nil
+			}
+		}
 	}
-	return nil
 }
 
 // TableCount reports the number of live SSTables (for tests/metrics).
@@ -369,7 +457,9 @@ func (s *LSMStore) Close() error {
 		firstErr = err
 	}
 	for _, t := range s.tables {
-		if err := t.close(); err != nil && firstErr == nil {
+		// Drop the store's reference; an in-flight Iterate keeps its tables
+		// open until it finishes.
+		if err := t.release(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}

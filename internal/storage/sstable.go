@@ -9,6 +9,7 @@ import (
 	"io"
 	"os"
 	"sort"
+	"sync/atomic"
 )
 
 // SSTable layout (single immutable file, keys sorted ascending):
@@ -25,6 +26,13 @@ type sstable struct {
 	index   []indexEntry // sparse: key → file offset of its entry
 	dataEnd int64        // offset where entry data stops (bloomOff)
 	count   int
+
+	// Lifecycle: the store holds one reference; streaming iterators retain
+	// extra ones so compaction can retire a table (doomed=true) while scans
+	// are still reading it. The file closes — and, if doomed, is removed —
+	// when the last reference is released.
+	refs   atomic.Int32
+	doomed atomic.Bool
 }
 
 type indexEntry struct {
@@ -192,7 +200,34 @@ func openSSTable(path string) (*sstable, error) {
 		f.Close()
 		return nil, err
 	}
-	return &sstable{f: f, path: path, filter: filter, index: index, dataEnd: bloomOff, count: count}, nil
+	t := &sstable{f: f, path: path, filter: filter, index: index, dataEnd: bloomOff, count: count}
+	t.refs.Store(1)
+	return t, nil
+}
+
+// retain takes an extra reference for a streaming iterator.
+func (t *sstable) retain() { t.refs.Add(1) }
+
+// release drops a reference; the last release closes the file and removes it
+// if the table was doomed by compaction.
+func (t *sstable) release() error {
+	if t.refs.Add(-1) != 0 {
+		return nil
+	}
+	err := t.f.Close()
+	if t.doomed.Load() {
+		if rmErr := os.Remove(t.path); rmErr != nil && err == nil {
+			err = rmErr
+		}
+	}
+	return err
+}
+
+// drop retires the table: the file disappears once every in-flight iterator
+// has released it.
+func (t *sstable) drop() error {
+	t.doomed.Store(true)
+	return t.release()
 }
 
 func parseIndex(data []byte) ([]indexEntry, error) {
@@ -300,5 +335,72 @@ func (t *sstable) scan(fn func(key, value []byte, tombstone bool) bool) error {
 	}
 	return nil
 }
+
+// iterator returns a streaming cursor over the table's entries with the
+// given prefix, in key order. It seeks through the sparse index to the block
+// containing the first candidate key, so a prefix scan reads only the
+// matching region (plus at most one index block of lead-in). The caller must
+// hold a reference (retain/release) for the iterator's lifetime.
+func (t *sstable) iterator(prefix []byte) *sstIterator {
+	start := int64(len(sstMagic))
+	if len(prefix) > 0 {
+		// Last index block whose first key is < prefix may still contain
+		// keys ≥ prefix, so back up one from the first block key ≥ prefix.
+		i := sort.Search(len(t.index), func(i int) bool {
+			return bytes.Compare(t.index[i].key, prefix) >= 0
+		})
+		if i > 0 {
+			start = t.index[i-1].offset
+		}
+	}
+	r := io.NewSectionReader(t.f, start, t.dataEnd-start)
+	return &sstIterator{br: bufio.NewReaderSize(r, 64<<10), prefix: prefix}
+}
+
+// sstIterator streams one table's entries for a prefix.
+type sstIterator struct {
+	br     *bufio.Reader
+	prefix []byte
+	key    []byte
+	value  []byte
+	tomb   bool
+	done   bool
+	err    error
+}
+
+// next advances to the next in-prefix entry, returning false at the end of
+// the range (or on error — check error()).
+func (it *sstIterator) next() bool {
+	if it.done {
+		return false
+	}
+	for {
+		k, v, tomb, err := readEntry(it.br)
+		if err != nil {
+			it.done = true
+			if !errors.Is(err, io.EOF) {
+				it.err = err
+			}
+			return false
+		}
+		if len(it.prefix) > 0 {
+			if bytes.Compare(k, it.prefix) < 0 {
+				continue // lead-in before the seek target
+			}
+			if !bytes.HasPrefix(k, it.prefix) {
+				it.done = true // sorted: nothing later can match
+				return false
+			}
+		}
+		it.key, it.value, it.tomb = k, v, tomb
+		return true
+	}
+}
+
+func (it *sstIterator) entry() (key, value []byte, tombstone bool) {
+	return it.key, it.value, it.tomb
+}
+
+func (it *sstIterator) error() error { return it.err }
 
 func (t *sstable) close() error { return t.f.Close() }
