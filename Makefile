@@ -23,10 +23,12 @@ vet:
 # Seeded chaos drill: message loss, a leader crash/restart and a
 # partition/heal, ending in verified convergence certified against the
 # metrics registry. The second run adds a wipe-and-rejoin fault, which must
-# recover through snapshot fast-sync.
+# recover through snapshot fast-sync; the third orders a key-epoch rotation
+# mid-faults, certified from the keyepoch registry deltas.
 chaos:
 	$(GO) run ./cmd/benchrunner -chaos -seed 1
 	$(GO) run ./cmd/benchrunner -chaos -seed 1 -wipe 1
+	$(GO) run ./cmd/benchrunner -chaos -seed 1 -rotations 1
 
 bench:
 	$(GO) run ./cmd/benchrunner -exp all -quick
@@ -41,6 +43,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzParseSchema -fuzztime=$(FUZZTIME) ./internal/ccle/
 	$(GO) test -run='^$$' -fuzz=FuzzOpenEnvelope -fuzztime=$(FUZZTIME) ./internal/crypto/
 	$(GO) test -run='^$$' -fuzz=FuzzOpenAEAD -fuzztime=$(FUZZTIME) ./internal/crypto/
+	$(GO) test -run='^$$' -fuzz=FuzzEpochHeader -fuzztime=$(FUZZTIME) ./internal/keyepoch/
 
 # Instrumented-vs-disabled throughput delta (budget: <2%).
 overhead:

@@ -12,9 +12,11 @@
 //	benchrunner -exp fig10 -txs 96  # more transactions per cell
 //	benchrunner -exp overhead     # metrics-layer overhead guard (<2%)
 //	benchrunner -exp fastsync     # wipe-rejoin: snapshot vs genesis replay
+//	benchrunner -exp rotation     # key-epoch rotation under traffic + re-seal sweep
 //	benchrunner -exp fig10 -json  # also write BENCH_fig10.json
 //	benchrunner -chaos -seed 7    # liveness-under-faults drill
 //	benchrunner -chaos -wipe 1    # …plus a wipe-and-rejoin (snapshot fast-sync)
+//	benchrunner -chaos -rotations 1  # …plus a consensus-ordered key rotation
 //	benchrunner -exp fig10 -metrics  # append the registry summary table
 package main
 
@@ -40,10 +42,11 @@ func main() {
 	nodes := flag.Int("nodes", 4, "chaos: cluster size (4-7)")
 	drop := flag.Float64("drop", 0.10, "chaos: global message drop rate")
 	wipe := flag.Int("wipe", 0, "chaos: wipe-and-rejoin fault count (forces snapshot fast-sync)")
+	rotations := flag.Int("rotations", 0, "chaos: consensus-ordered key rotations injected mid-run")
 	flag.Parse()
 
 	if *chaos {
-		err := runChaos(*seed, *nodes, *txs, *drop, *wipe)
+		err := runChaos(*seed, *nodes, *txs, *drop, *wipe, *rotations)
 		if *showMetrics {
 			fmt.Printf("\n=== metrics registry summary ===\n%s", metrics.Default().Summary())
 		}
@@ -84,6 +87,9 @@ func main() {
 	}
 	if *exp == "fastsync" { // opt-in: wipe-rejoin timing + pruning disk budget
 		run("fastsync", func() (any, error) { return runFastSync(*txs) })
+	}
+	if *exp == "rotation" { // opt-in: key-epoch rotation under traffic
+		run("rotation", func() (any, error) { return runRotation(*txs) })
 	}
 
 	if *showMetrics {
@@ -176,10 +182,13 @@ func runFig12(txs int) (any, error) {
 	return rows, nil
 }
 
-func runChaos(seed int64, nodes, txs int, drop float64, wipes int) error {
+func runChaos(seed int64, nodes, txs int, drop float64, wipes, rotations int) error {
 	scenario := "leader crash + partition"
 	if wipes > 0 {
 		scenario += fmt.Sprintf(" + %d wipe-rejoin(s)", wipes)
+	}
+	if rotations > 0 {
+		scenario += fmt.Sprintf(" + %d key rotation(s)", rotations)
 	}
 	fmt.Printf("=== Chaos drill: %d nodes, seed %d, %.0f%% drop, %s ===\n",
 		nodes, seed, drop*100, scenario)
@@ -189,6 +198,7 @@ func runChaos(seed int64, nodes, txs int, drop float64, wipes int) error {
 		Seed:        seed,
 		DropRate:    drop,
 		WipeRejoins: wipes,
+		Rotations:   rotations,
 	})
 	if err != nil {
 		return err
@@ -207,6 +217,11 @@ func runChaos(seed int64, nodes, txs int, drop float64, wipes int) error {
 			report.Metrics["confide_snapshot_installs_total"],
 			report.Metrics["confide_node_snapshot_bad_chunks_total"],
 			report.Metrics["confide_node_snapshot_install_failures_total"])
+	}
+	if rotations > 0 {
+		fmt.Printf("key rotation: %d ring advance(s) across the cluster, %d stale-envelope rejection(s)\n",
+			report.Metrics["confide_keyepoch_rotations_total"],
+			report.Metrics["confide_keyepoch_stale_envelope_rejections_total"])
 	}
 	return nil
 }

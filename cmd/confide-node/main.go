@@ -9,6 +9,7 @@
 //	confide-node -nodes 8 -txs 200
 //	confide-node -workload scf -parallel 4
 //	confide-node -workload json -vm evm  # run the baseline VM
+//	confide-node -rotate 1 -epoch-window 2 -reseal-rate 512
 package main
 
 import (
@@ -40,6 +41,9 @@ func main() {
 	retention := flag.Uint64("retention", 0, "with checkpoints on, prune block payloads older than N blocks (0 = keep full history)")
 	metricsAddr := flag.String("metrics", "", "serve Prometheus /metrics and /debug/pprof on this address (e.g. :9090) for the duration of the run")
 	linger := flag.Duration("linger", 0, "keep the process (and the -metrics endpoint) alive this long after the run")
+	epochWindow := flag.Uint64("epoch-window", 0, "key-epoch acceptance window: envelopes up to N epochs behind current are accepted (0 = default)")
+	resealRate := flag.Int("reseal-rate", 0, "background re-seal sweep budget in records/second after a rotation (0 = default, negative = disabled)")
+	rotate := flag.Int("rotate", 0, "consensus-ordered key rotations to order mid-run (splits the workload into rotate+1 phases)")
 	flag.Parse()
 
 	if *metricsAddr != "" {
@@ -62,14 +66,17 @@ func main() {
 	}
 
 	fmt.Printf("booting %d-node network (K-Protocol: decentralized MAP)...\n", *nodes)
+	engineOpts := core.AllOptimizations()
+	engineOpts.EpochWindow = *epochWindow
 	cluster, err := node.NewCluster(node.ClusterOptions{
 		Nodes: *nodes,
 		Node: node.Config{
 			BlockMaxTxs:        32,
 			Parallelism:        *parallel,
-			EngineOpts:         core.AllOptimizations(),
+			EngineOpts:         engineOpts,
 			CheckpointInterval: *ckptInterval,
 			Retention:          *retention,
+			ResealRate:         *resealRate,
 		},
 		Enclave:          tee.Config{InjectDelays: true},
 		StoreReadLatency: 200 * time.Microsecond,
@@ -89,10 +96,12 @@ func main() {
 	if err := cluster.DeployEverywhere(addr, owner, vm, code, true, 1); err != nil {
 		fatal(err)
 	}
-	client, err := core.NewClient(cluster.EnvelopePublicKey())
+	clientEpoch, clientPK := cluster.EnvelopeKeyInfo()
+	client, err := core.NewClient(clientPK)
 	if err != nil {
 		fatal(err)
 	}
+	client.SetEnvelopeKey(clientEpoch, clientPK)
 
 	// SCF needs its service suite wired up.
 	if *wl == "scf" {
@@ -104,22 +113,51 @@ func main() {
 	fmt.Printf("submitting %d confidential %s transactions...\n", *txCount, *wl)
 	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
 	hashes := make([]chain.Hash, 0, *txCount)
-	for i := 0; i < *txCount; i++ {
-		method, args := gen(rng)
-		tx, _, err := client.NewConfidentialTx(addr, method, args...)
+	phases := *rotate + 1
+	if phases > *txCount {
+		fatal(fmt.Errorf("need at least one transaction per rotation phase (%d txs, %d phases)", *txCount, phases))
+	}
+	start := time.Now()
+	committed := 0
+	for p := 0; p < phases; p++ {
+		// Refresh the client onto the cluster's current epoch. Right after a
+		// rotation is ordered this is still the old epoch — those envelopes
+		// ride the acceptance window across the activation height.
+		epoch, pk := cluster.EnvelopeKeyInfo()
+		client.SetEnvelopeKey(epoch, pk)
+
+		n := *txCount / phases
+		if p == phases-1 {
+			n = *txCount - n*(phases-1)
+		}
+		for i := 0; i < n; i++ {
+			method, args := gen(rng)
+			tx, _, err := client.NewConfidentialTx(addr, method, args...)
+			if err != nil {
+				fatal(err)
+			}
+			if err := cluster.Leader().SubmitTx(tx); err != nil {
+				fatal(err)
+			}
+			hashes = append(hashes, tx.Hash())
+		}
+		c, err := cluster.DrainAll(256, time.Minute)
 		if err != nil {
 			fatal(err)
 		}
-		if err := cluster.Leader().SubmitTx(tx); err != nil {
-			fatal(err)
+		committed += c
+		if p < phases-1 {
+			_, rot, err := cluster.RotateEpoch(2)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Printf("rotation: epoch %d ordered, activation at height %d\n", rot.NewEpoch, rot.ActivationHeight)
+			// Commit the governance transaction; the next phase's traffic
+			// carries the chain past the activation height.
+			if _, err := cluster.DrainAll(16, time.Minute); err != nil {
+				fatal(err)
+			}
 		}
-		hashes = append(hashes, tx.Hash())
-	}
-
-	start := time.Now()
-	committed, err := cluster.DrainAll(256, time.Minute)
-	if err != nil {
-		fatal(err)
 	}
 	elapsed := time.Since(start)
 
@@ -145,6 +183,14 @@ func main() {
 	enclave := leader.ConfidentialEngine().Enclave().Stats()
 	fmt.Printf("enclave: %d ecalls, %d ocalls, %d page swaps, %.1fM cycles charged\n",
 		enclave.Ecalls, enclave.Ocalls, enclave.PageSwaps, float64(enclave.ChargedCycles)/1e6)
+	if *rotate > 0 {
+		snap := metrics.Default().Snapshot()
+		fmt.Printf("key epochs: current %d (window %d), %d ring advance(s), %d record(s) re-sealed, %d stale rejection(s)\n",
+			cluster.CurrentEpoch(), leader.ConfidentialEngine().EpochWindow(),
+			snap.CounterSum("confide_keyepoch_rotations_total"),
+			snap.CounterSum("confide_keyepoch_resealed_records_total"),
+			snap.CounterSum("confide_keyepoch_stale_envelope_rejections_total"))
+	}
 	fmt.Printf("\nengine operation profile (leader):\n%s", leader.ConfidentialEngine().Profile().Table())
 
 	if *metricsAddr != "" {

@@ -36,6 +36,11 @@ func AddressFromBytes(b []byte) Address {
 const (
 	TxTypePublic       uint8 = 0
 	TxTypeConfidential uint8 = 1
+	// TxTypeGovernance carries a platform governance action (currently only
+	// key-epoch rotation scheduling). It is ordered by consensus like any
+	// transaction but applied by the platform, not a contract VM, and its
+	// payload and receipt are public by construction.
+	TxTypeGovernance uint8 = 2
 )
 
 // RawTx is the plaintext transaction body (Tx_raw): the business action a
@@ -159,7 +164,7 @@ func DecodeTx(data []byte) (*Tx, error) {
 		return nil, fmt.Errorf("%w: want 2 fields", ErrBadTx)
 	}
 	typ, err := it.List[0].AsUint()
-	if err != nil || typ > 1 {
+	if err != nil || typ > 2 {
 		return nil, fmt.Errorf("%w: bad type", ErrBadTx)
 	}
 	return &Tx{Type: uint8(typ), Payload: it.List[1].Str}, nil

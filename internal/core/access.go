@@ -6,6 +6,7 @@ import (
 
 	"confide/internal/chain"
 	"confide/internal/crypto"
+	"confide/internal/keyepoch"
 	"confide/internal/tee"
 )
 
@@ -80,8 +81,21 @@ func (e *Engine) HandleAccessRequest(req AccessRequest) (*AccessGrant, error) {
 }
 
 func (e *Engine) handleAccessInEnclave(req AccessRequest) (*AccessGrant, error) {
-	// Recover k_tx and the raw transaction with the enclave's sk_tx.
-	ktx, payload, err := e.secrets.Envelope.OpenEnvelope(req.OrigTx.Payload)
+	// Recover k_tx and the raw transaction with the epoch's sk_tx. Access
+	// requests reach back to historical transactions, so any *retained*
+	// epoch serves them — no acceptance-window check. Once an epoch is
+	// zeroized its envelopes are unopenable even here: that loss of reach-
+	// back is exactly the forward secrecy rotation buys (the owner's k_tx
+	// delegation path still works, since k_tx derives from the user root).
+	epoch, env, err := keyepoch.ParseEnvelope(req.OrigTx.Payload)
+	if err != nil {
+		return nil, fmt.Errorf("core: open original envelope: %w", err)
+	}
+	sk, err := e.ring.Envelope(epoch)
+	if err != nil {
+		return nil, fmt.Errorf("core: open original envelope: %w", err)
+	}
+	ktx, payload, err := sk.OpenEnvelope(env)
 	if err != nil {
 		return nil, fmt.Errorf("core: open original envelope: %w", err)
 	}

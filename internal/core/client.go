@@ -9,6 +9,7 @@ import (
 
 	"confide/internal/chain"
 	"confide/internal/crypto"
+	"confide/internal/keyepoch"
 	"confide/internal/tee"
 )
 
@@ -19,11 +20,14 @@ type Client struct {
 	signer  *crypto.Signer
 	rootKey []byte
 	pkTx    []byte
+	epoch   uint64 // key epoch of pkTx; stamps every envelope header
 	nonce   uint64
 }
 
 // NewClient creates a client identity. pkTx may be nil for clients that
-// only send public transactions.
+// only send public transactions. The key is assumed to belong to epoch 1
+// (the provisioning epoch); after a rotation, clients refresh with
+// SetEnvelopeKey.
 func NewClient(pkTx []byte) (*Client, error) {
 	signer, err := crypto.GenerateSigner()
 	if err != nil {
@@ -33,8 +37,20 @@ func NewClient(pkTx []byte) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Client{signer: signer, rootKey: rootKey, pkTx: pkTx}, nil
+	return &Client{signer: signer, rootKey: rootKey, pkTx: pkTx, epoch: 1}, nil
 }
+
+// SetEnvelopeKey adopts a new epoch's pk_tx (fetched from the engine after
+// a rotation, typically re-verified via VerifyEngine against a fresh
+// attestation). Subsequent envelopes are sealed to it and tagged with the
+// epoch.
+func (c *Client) SetEnvelopeKey(epoch uint64, pkTx []byte) {
+	c.epoch = epoch
+	c.pkTx = pkTx
+}
+
+// EnvelopeEpoch reports the epoch the client currently seals to.
+func (c *Client) EnvelopeEpoch() uint64 { return c.epoch }
 
 // Address returns the client's on-chain address.
 func (c *Client) Address() chain.Address {
@@ -116,7 +132,8 @@ func (c *Client) NewConfidentialTx(contract chain.Address, method string, args .
 	if err != nil {
 		return nil, nil, err
 	}
-	return &chain.Tx{Type: chain.TxTypeConfidential, Payload: env}, ktx, nil
+	payload := keyepoch.WrapEnvelope(c.epoch, env)
+	return &chain.Tx{Type: chain.TxTypeConfidential, Payload: payload}, ktx, nil
 }
 
 // OpenReceipt decrypts a sealed receipt with the transaction's one-time

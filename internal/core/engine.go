@@ -10,6 +10,7 @@ import (
 	"confide/internal/crypto"
 	"confide/internal/cvm"
 	"confide/internal/evm"
+	"confide/internal/keyepoch"
 	"confide/internal/kms"
 	"confide/internal/storage"
 	"confide/internal/tee"
@@ -30,6 +31,10 @@ type Options struct {
 	GasLimit uint64
 	// CodeCacheSize bounds the code cache; 0 = 128 programs.
 	CodeCacheSize int
+	// EpochWindow is the key-epoch acceptance window (how many epochs behind
+	// the current one an envelope may be sealed to); 0 selects
+	// keyepoch.DefaultWindow.
+	EpochWindow uint64
 }
 
 // AllOptimizations turns every engine optimization on (the production
@@ -49,8 +54,10 @@ type Engine struct {
 	confidential bool
 	enclave      *tee.Enclave
 	monitor      *tee.Monitor
-	secrets      *kms.Secrets
-	sdm          *SDM
+	// ring versions the provisioned secrets into key epochs; epoch 1 is
+	// exactly the K-Protocol material, later epochs derive from the ratchet.
+	ring *keyepoch.Ring
+	sdm  *SDM
 	codeCache    *cvm.CodeCache
 	preCache     *preVerifyCache
 	profile      *Profile
@@ -90,11 +97,11 @@ func NewConfidentialEngineOn(enclave *tee.Enclave, secrets *kms.Secrets, store s
 		confidential: true,
 		enclave:      enclave,
 		monitor:      tee.NewMonitor(enclave, 1<<12),
-		secrets:      secrets,
+		ring:         keyepoch.NewRing(secrets.Envelope, secrets.StatesKey, opts.EpochWindow),
 		profile:      NewProfile(),
 		opts:         opts,
 	}
-	e.sdm = NewSDM(store, enclave, secrets.StatesKey, e.profile)
+	e.sdm = NewSDM(store, enclave, e.ring, e.profile)
 	e.initCaches()
 	return e, nil
 }
@@ -136,16 +143,88 @@ func randomHex() string {
 // checkpointMACLabel scopes the snapshot-manifest MAC key under k_states.
 const checkpointMACLabel = "confide/checkpoint-manifest-mac"
 
-// CheckpointMACKey derives the key that seals snapshot manifests. It comes
-// from k_states, which only provisioned (attested) Confidential-Engines
-// hold, so a manifest MAC proves an enclave in the consortium's trust ring
-// exported that checkpoint. A public engine (no secrets) returns nil and
-// the snapshot layer runs unauthenticated.
+// CheckpointMACKey derives the key that seals snapshot manifests, under the
+// current epoch's k_states. It comes from k_states, which only provisioned
+// (attested) Confidential-Engines hold, so a manifest MAC proves an enclave
+// in the consortium's trust ring exported that checkpoint. A public engine
+// (no secrets) returns nil and the snapshot layer runs unauthenticated.
 func (e *Engine) CheckpointMACKey() []byte {
-	if e.secrets == nil {
+	if e.ring == nil {
 		return nil
 	}
-	return crypto.DeriveSubKey(e.secrets.StatesKey, checkpointMACLabel)
+	return e.CheckpointMACKeyFor(e.ring.Current())
+}
+
+// CheckpointMACKeyFor derives the manifest MAC key for a specific epoch, so
+// a rejoining node can verify a manifest exported by a peer under a newer
+// epoch (forward epochs derive from the ratchet without advancing the ring).
+// Returns nil for a public engine or a zeroized epoch.
+func (e *Engine) CheckpointMACKeyFor(epoch uint64) []byte {
+	if e.ring == nil || epoch == 0 {
+		return nil
+	}
+	key, err := e.ring.DeriveStatesKey(epoch)
+	if err != nil {
+		return nil
+	}
+	return crypto.DeriveSubKey(key, checkpointMACLabel)
+}
+
+// CurrentEpoch reports the engine's active key epoch (0 for a public
+// engine, which has no keys to version).
+func (e *Engine) CurrentEpoch() uint64 {
+	if e.ring == nil {
+		return 0
+	}
+	return e.ring.Current()
+}
+
+// EpochWindow reports the acceptance window width (0 for a public engine).
+func (e *Engine) EpochWindow() uint64 {
+	if e.ring == nil {
+		return 0
+	}
+	return e.ring.Window()
+}
+
+// AdvanceEpoch rotates the engine onto the next key epoch. The node calls
+// it when the chain reaches a governance-ordered activation height, so every
+// replica advances at the same block.
+func (e *Engine) AdvanceEpoch() (uint64, error) {
+	if e.ring == nil {
+		return 0, errors.New("core: public engine has no key epochs")
+	}
+	return e.ring.Advance()
+}
+
+// AdvanceEpochTo ratchets the engine forward to the target epoch (no-op when
+// already there). Recovery and snapshot install use it to adopt the chain's
+// committed epoch.
+func (e *Engine) AdvanceEpochTo(target uint64) error {
+	if e.ring == nil {
+		if target <= 1 {
+			return nil
+		}
+		return errors.New("core: public engine has no key epochs")
+	}
+	return e.ring.AdvanceTo(target)
+}
+
+// StaleEpochsRetained reports whether any pre-current epoch secrets are
+// still held — i.e. whether the re-seal sweep still has (potential) work.
+func (e *Engine) StaleEpochsRetained() bool {
+	return e.ring != nil && e.ring.Oldest() < e.ring.Current()
+}
+
+// ZeroizeDrainedEpochs erases retired epoch secrets that have fallen outside
+// the acceptance window. Call only after a full re-seal sweep reported Done
+// (no sealed record still carries a stale tag). Returns the number of epochs
+// zeroized.
+func (e *Engine) ZeroizeDrainedEpochs() int {
+	if e.ring == nil {
+		return 0
+	}
+	return e.ring.ZeroizeRetired()
 }
 
 // InvalidateStateCache drops the SDM's read cache. The node calls this
@@ -163,12 +242,23 @@ func (e *Engine) Monitor() *tee.Monitor { return e.monitor }
 // Enclave exposes the CS enclave for stats (nil in public mode).
 func (e *Engine) Enclave() *tee.Enclave { return e.enclave }
 
-// EnvelopePublicKey returns pk_tx for clients (confidential mode only).
+// EnvelopePublicKey returns the current epoch's pk_tx for clients
+// (confidential mode only).
 func (e *Engine) EnvelopePublicKey() []byte {
-	if e.secrets == nil {
+	if e.ring == nil {
 		return nil
 	}
-	return e.secrets.Envelope.Public()
+	_, pub := e.ring.PublicKey()
+	return pub
+}
+
+// EnvelopeKeyInfo returns the current epoch number alongside its pk_tx, so
+// clients can tag the envelopes they seal.
+func (e *Engine) EnvelopeKeyInfo() (uint64, []byte) {
+	if e.ring == nil {
+		return 0, nil
+	}
+	return e.ring.PublicKey()
 }
 
 // Attest produces the engine's remote-attestation report with the pk_tx
@@ -178,7 +268,7 @@ func (e *Engine) Attest() (tee.Report, error) {
 	if e.enclave == nil {
 		return tee.Report{}, errors.New("core: public engine has no enclave")
 	}
-	fp := e.secrets.Envelope.Fingerprint()
+	fp := crypto.PublicFingerprint(e.EnvelopePublicKey())
 	return e.enclave.RemoteAttest(fp[:])
 }
 
@@ -242,6 +332,31 @@ func (r *ExecResult) AppendWrites(batch *storage.Batch) error {
 	return r.appendWrites(batch)
 }
 
+// NewOrderedResult builds an ExecResult for a transaction the platform
+// applies itself rather than a contract VM — governance actions like a key
+// rotation. The receipt persists in the clear (governance is public by
+// construction) and the optional puts land verbatim at commit. Empty
+// conflict sets: platform transactions serialize through block order, not
+// the OCC scheduler.
+func NewOrderedResult(receipt *chain.Receipt, puts map[string][]byte) *ExecResult {
+	res := &ExecResult{
+		Receipt:       receipt,
+		StoredReceipt: receipt.Encode(),
+		TxHash:        receipt.TxHash,
+		ReadSet:       map[string]struct{}{},
+		WriteKeys:     map[string]struct{}{},
+	}
+	if len(puts) > 0 {
+		res.appendWrites = func(batch *storage.Batch) error {
+			for k, v := range puts {
+				batch.Put([]byte(k), v)
+			}
+			return nil
+		}
+	}
+	return res
+}
+
 // Execute runs one wire transaction to completion (without committing state
 // — the caller owns the batch). Confidential transactions (TYPE=1) require
 // the confidential engine; public ones (TYPE=0) run on either.
@@ -270,11 +385,23 @@ func (e *Engine) Execute(tx *chain.Tx) (*ExecResult, error) {
 		if !e.confidential {
 			return nil, errors.New("core: confidential transaction on public engine")
 		}
+		// The epoch header is public bytes, so the window check runs before
+		// any decryption and every replica rejects stale envelopes
+		// identically.
+		epoch, env, err := keyepoch.ParseEnvelope(tx.Payload)
+		if err != nil {
+			return nil, err
+		}
+		if !e.ring.Accepts(epoch) {
+			keyepoch.RecordStaleRejection()
+			e.status("pre-processor: envelope rejected: " + keyepoch.ErrStaleEpoch.Error())
+			return nil, keyepoch.ErrStaleEpoch
+		}
 		var raw *chain.RawTx
 		var ktx []byte
-		err := e.enclave.Ecall(len(tx.Payload), tee.CopyInOut, func() error {
+		err = e.enclave.Ecall(len(tx.Payload), tee.CopyInOut, func() error {
 			var err error
-			raw, ktx, err = e.openConfidentialTx(tx)
+			raw, ktx, err = e.openConfidentialTx(tx, epoch, env)
 			return err
 		})
 		if err != nil {
@@ -293,12 +420,12 @@ func (e *Engine) Execute(tx *chain.Tx) (*ExecResult, error) {
 // cache when available (steps C2/C3 of Figure 7): a hit replaces the RSA
 // private-key decryption with a symmetric decryption and skips signature
 // re-verification.
-func (e *Engine) openConfidentialTx(tx *chain.Tx) (*chain.RawTx, []byte, error) {
+func (e *Engine) openConfidentialTx(tx *chain.Tx, epoch uint64, env []byte) (*chain.RawTx, []byte, error) {
 	hash := tx.Hash()
 	if e.preCache != nil {
 		if meta, ok := e.preCache.get(hash); ok {
 			start := time.Now()
-			payload, err := crypto.OpenEnvelopeWithKey(tx.Payload, meta.ktx)
+			payload, err := crypto.OpenEnvelopeWithKey(env, meta.ktx)
 			e.profile.Record(OpTxDecrypt, time.Since(start))
 			if err != nil {
 				return nil, nil, err
@@ -313,11 +440,16 @@ func (e *Engine) openConfidentialTx(tx *chain.Tx) (*chain.RawTx, []byte, error) 
 			return raw, meta.ktx, nil
 		}
 	}
-	// Full path: expensive private-key decryption plus verification.
+	// Full path: expensive private-key decryption plus verification, with
+	// the envelope key selected by the (already window-checked) epoch tag.
+	sk, err := e.ring.Envelope(epoch)
+	if err != nil {
+		return nil, nil, err
+	}
 	var ktx, payload []byte
-	err := e.profile.timed(OpTxDecrypt, func() error {
+	err = e.profile.timed(OpTxDecrypt, func() error {
 		var err error
-		ktx, payload, err = e.secrets.Envelope.OpenEnvelope(tx.Payload)
+		ktx, payload, err = sk.OpenEnvelope(env)
 		return err
 	})
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"confide/internal/chain"
+	"confide/internal/keyepoch"
 	"confide/internal/tee"
 )
 
@@ -107,8 +108,22 @@ func (e *Engine) PreVerifyBatch(txs []*chain.Tx) []*chain.Tx {
 			results[i] = outcome{tx: tx, ok: true}
 
 		case chain.TxTypeConfidential:
+			// The epoch tag is public bytes: stale envelopes are rejected
+			// here, before spending a private-key operation on them.
+			epoch, env, err := keyepoch.ParseEnvelope(tx.Payload)
+			if err != nil {
+				return
+			}
+			if !e.ring.Accepts(epoch) {
+				keyepoch.RecordStaleRejection()
+				return
+			}
+			sk, err := e.ring.Envelope(epoch)
+			if err != nil {
+				return
+			}
 			start := time.Now()
-			ktx, payload, err := e.secrets.Envelope.OpenEnvelope(tx.Payload)
+			ktx, payload, err := sk.OpenEnvelope(env)
 			e.profile.Record(OpTxDecrypt, time.Since(start))
 			if err != nil {
 				return

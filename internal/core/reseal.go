@@ -1,0 +1,164 @@
+package core
+
+import (
+	"encoding/hex"
+	"fmt"
+
+	"confide/internal/chain"
+	"confide/internal/keyepoch"
+	"confide/internal/storage"
+	"confide/internal/tee"
+)
+
+// Lazy re-sealing. Rotation does not rewrite the sealed state synchronously
+// — that would stall the chain for the whole database. Instead every write
+// seals under the current epoch (sealWrites/storeContract already do), and
+// this sweep migrates the cold remainder in rate-limited slices, so old
+// epochs drain to zero and their keys can be zeroized. The epoch tag on
+// each record makes "is this stale?" a header inspection, no decryption.
+
+// ResealStatus reports one sweep's outcome.
+type ResealStatus struct {
+	// Scanned counts sealed (confidential) records inspected.
+	Scanned int
+	// Resealed counts records migrated to the current epoch this sweep.
+	Resealed int
+	// Stale counts old-epoch records left behind because the budget ran
+	// out; a later sweep picks them up.
+	Stale int
+	// Done is true when a full scan completed and no stale record remains:
+	// the retired epochs are drained and safe to zeroize.
+	Done bool
+}
+
+// ResealSweep scans the sealed store and re-seals up to budget old-epoch
+// records under the current epoch's k_states (budget <= 0 means unlimited).
+// The caller must hold the chain quiescent or serialized against block
+// commits (the node runs sweeps under its apply lock).
+func (e *Engine) ResealSweep(budget int) (ResealStatus, error) {
+	var st ResealStatus
+	if e.ring == nil || !e.StaleEpochsRetained() {
+		st.Done = true
+		return st, nil
+	}
+	current := e.ring.Current()
+
+	type update struct{ key, value []byte }
+	var updates []update
+	var forget [][]byte
+	var sweepErr error
+	remaining := budget
+
+	// reseal migrates one stored record if it is stale and budget remains.
+	reseal := func(stored []byte, aad []byte) ([]byte, bool, error) {
+		epoch, _, err := keyepoch.ParseRecord(stored)
+		if err != nil {
+			return nil, false, err
+		}
+		st.Scanned++
+		if epoch >= current {
+			return nil, false, nil
+		}
+		if budget > 0 && remaining <= 0 {
+			st.Stale++
+			return nil, false, nil
+		}
+		plain, err := e.sdm.openSealed(stored, aad)
+		if err != nil {
+			return nil, false, err
+		}
+		sealed, err := e.sdm.sealRecord(plain, aad)
+		if err != nil {
+			return nil, false, err
+		}
+		if budget > 0 {
+			remaining--
+		}
+		st.Resealed++
+		return sealed, true, nil
+	}
+
+	// Pass 1: contract-code records. Also builds the confidentiality map
+	// pass 2 needs to skip public contracts' plaintext state.
+	confidential := make(map[string]bool)
+	err := e.sdm.store.Iterate([]byte(nsCode), func(key, value []byte) bool {
+		addrHex := string(key[len(nsCode):])
+		rec, derr := decodeRecord(value)
+		if derr != nil {
+			sweepErr = fmt.Errorf("core: reseal: contract %s: %w", addrHex, derr)
+			return false
+		}
+		confidential[addrHex] = rec.Confidential
+		if !rec.Confidential {
+			return true
+		}
+		var addr chain.Address
+		copy(addr[:], mustHex(addrHex))
+		sealed, changed, rerr := reseal(rec.Code, codeAAD(addr, rec.Owner, rec.SecVer))
+		if rerr != nil {
+			sweepErr = fmt.Errorf("core: reseal code %s: %w", addrHex, rerr)
+			return false
+		}
+		if changed {
+			out := *rec
+			out.Code = sealed
+			updates = append(updates, update{key: append([]byte(nil), key...), value: encodeRecord(&out)})
+			// The SDM caches code records as raw stored bytes; forget them
+			// so reads pick up the re-sealed ciphertext, not a stale copy.
+			forget = append(forget, append([]byte(nil), key...))
+		}
+		return true
+	})
+	if err == nil && sweepErr == nil {
+		// Pass 2: state records (st/<40-hex-addr>/<raw key>). State cache
+		// entries hold plaintext, which re-sealing does not change.
+		err = e.sdm.store.Iterate([]byte(nsState), func(key, value []byte) bool {
+			if len(key) < len(nsState)+41 {
+				return true
+			}
+			addrHex := string(key[len(nsState) : len(nsState)+40])
+			if !confidential[addrHex] {
+				return true
+			}
+			var addr chain.Address
+			copy(addr[:], mustHex(addrHex))
+			sealed, changed, rerr := reseal(value, stateAAD(addr))
+			if rerr != nil {
+				sweepErr = fmt.Errorf("core: reseal state %s: %w", hex.EncodeToString(key), rerr)
+				return false
+			}
+			if changed {
+				updates = append(updates, update{key: append([]byte(nil), key...), value: sealed})
+			}
+			return true
+		})
+	}
+	if err == nil {
+		err = sweepErr
+	}
+	if err != nil {
+		return st, err
+	}
+
+	if len(updates) > 0 {
+		var batch storage.Batch
+		bytes := 0
+		for _, u := range updates {
+			batch.Put(u.key, u.value)
+			bytes += len(u.key) + len(u.value)
+		}
+		if e.enclave != nil {
+			// The migrated slice leaves the enclave in one ocall.
+			if oerr := e.enclave.Ocall(bytes, tee.UserCheck, func() error { return nil }); oerr != nil {
+				return st, oerr
+			}
+		}
+		if werr := e.sdm.store.WriteBatch(&batch); werr != nil {
+			return st, werr
+		}
+		e.sdm.forget(forget...)
+		keyepoch.RecordResealed(st.Resealed)
+	}
+	st.Done = st.Stale == 0
+	return st, nil
+}

@@ -11,6 +11,7 @@ import (
 	"confide/internal/chain"
 	"confide/internal/crypto"
 	"confide/internal/cvm"
+	"confide/internal/keyepoch"
 	"confide/internal/storage"
 	"confide/internal/tee"
 )
@@ -46,24 +47,24 @@ func ReceiptKey(txHash chain.Hash) []byte {
 // associated data) and keeps a memory cache for I/O efficiency. Crossing
 // to the store from inside the enclave costs an ocall.
 type SDM struct {
-	store     storage.KVStore
-	enclave   *tee.Enclave // nil in the public engine
-	statesKey []byte       // nil in the public engine
-	profile   *Profile
+	store   storage.KVStore
+	enclave *tee.Enclave   // nil in the public engine
+	ring    *keyepoch.Ring // epoch-versioned k_states; nil in the public engine
+	profile *Profile
 
 	mu    sync.Mutex
 	cache map[string][]byte // decrypted-state read cache
 }
 
-// NewSDM builds the secure data module. enclave and statesKey are nil for
-// the public engine (no boundary costs, no encryption).
-func NewSDM(store storage.KVStore, enclave *tee.Enclave, statesKey []byte, profile *Profile) *SDM {
+// NewSDM builds the secure data module. enclave and ring are nil for the
+// public engine (no boundary costs, no encryption).
+func NewSDM(store storage.KVStore, enclave *tee.Enclave, ring *keyepoch.Ring, profile *Profile) *SDM {
 	return &SDM{
-		store:     store,
-		enclave:   enclave,
-		statesKey: statesKey,
-		profile:   profile,
-		cache:     make(map[string][]byte),
+		store:   store,
+		enclave: enclave,
+		ring:    ring,
+		profile: profile,
+		cache:   make(map[string][]byte),
 	}
 }
 
@@ -72,6 +73,33 @@ func NewSDM(store storage.KVStore, enclave *tee.Enclave, statesKey []byte, profi
 // *code* (codeAAD), so upgrading a contract does not orphan its state.
 func stateAAD(addr chain.Address) []byte {
 	return []byte(fmt.Sprintf("confide/state/%x", addr[:]))
+}
+
+// openSealed unwraps an epoch-tagged sealed record: the tag routes the
+// ciphertext to its epoch's k_states sub-key. A tampered tag reroutes to a
+// different key and fails the AEAD check; a zeroized epoch's records are
+// unreadable by design (they must be re-sealed before zeroization).
+func (s *SDM) openSealed(stored []byte, aad []byte) ([]byte, error) {
+	epoch, sealed, err := keyepoch.ParseRecord(stored)
+	if err != nil {
+		return nil, err
+	}
+	key, err := s.ring.StatesKey(epoch)
+	if err != nil {
+		return nil, err
+	}
+	return crypto.OpenAEAD(key, sealed, aad)
+}
+
+// sealRecord seals plaintext under the current epoch's k_states sub-key and
+// prefixes the epoch tag.
+func (s *SDM) sealRecord(value []byte, aad []byte) ([]byte, error) {
+	epoch, key := s.ring.SealKey()
+	sealed, err := crypto.SealAEAD(key, value, aad)
+	if err != nil {
+		return nil, err
+	}
+	return keyepoch.WrapRecord(epoch, sealed), nil
 }
 
 // load fetches and (for confidential contracts) decrypts one state value,
@@ -111,9 +139,9 @@ func (s *SDM) load(addr chain.Address, secver uint64, confidential bool, key []b
 		return nil, false, nil
 	}
 	value := raw
-	if confidential && s.statesKey != nil {
+	if confidential && s.ring != nil {
 		start := time.Now()
-		value, err = crypto.OpenAEAD(s.statesKey, raw, stateAAD(addr))
+		value, err = s.openSealed(raw, stateAAD(addr))
 		s.profile.Record(OpStateDecrypt, time.Since(start))
 		if err != nil {
 			return nil, false, fmt.Errorf("core: state integrity violation for %x: %w", key, err)
@@ -132,9 +160,9 @@ func (s *SDM) sealWrites(addr chain.Address, secver uint64, confidential bool, w
 	for key, value := range writes {
 		sk := stateKey(addr, []byte(key))
 		stored := value
-		if confidential && s.statesKey != nil {
+		if confidential && s.ring != nil {
 			start := time.Now()
-			sealed, err := crypto.SealAEAD(s.statesKey, value, stateAAD(addr))
+			sealed, err := s.sealRecord(value, stateAAD(addr))
 			s.profile.Record(OpStateEncrypt, time.Since(start))
 			if err != nil {
 				return err
@@ -159,6 +187,18 @@ func (s *SDM) sealWrites(addr chain.Address, secver uint64, confidential bool, w
 func (s *SDM) InvalidateCache() {
 	s.mu.Lock()
 	s.cache = make(map[string][]byte)
+	s.mu.Unlock()
+}
+
+// forget drops specific cache entries. The re-seal sweep uses it for
+// contract-code records, whose cache holds the raw stored bytes (unlike
+// state entries, which cache plaintext) and would otherwise shadow the
+// re-sealed ciphertext.
+func (s *SDM) forget(keys ...[]byte) {
+	s.mu.Lock()
+	for _, k := range keys {
+		delete(s.cache, string(k))
+	}
 	s.mu.Unlock()
 }
 
@@ -266,11 +306,11 @@ func (s *SDM) loadContract(addr chain.Address) (*ContractRecord, []byte, error) 
 	}
 	code := rec.Code
 	if rec.Confidential {
-		if s.statesKey == nil {
+		if s.ring == nil {
 			return nil, nil, errors.New("core: confidential contract requires the confidential engine")
 		}
 		start := time.Now()
-		code, err = crypto.OpenAEAD(s.statesKey, rec.Code, codeAAD(addr, rec.Owner, rec.SecVer))
+		code, err = s.openSealed(rec.Code, codeAAD(addr, rec.Owner, rec.SecVer))
 		s.profile.Record(OpStateDecrypt, time.Since(start))
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: contract code integrity violation: %w", err)
@@ -283,10 +323,10 @@ func (s *SDM) loadContract(addr chain.Address) (*ContractRecord, []byte, error) 
 func (s *SDM) storeContract(addr chain.Address, rec *ContractRecord, plainCode []byte) error {
 	stored := plainCode
 	if rec.Confidential {
-		if s.statesKey == nil {
+		if s.ring == nil {
 			return errors.New("core: confidential deployment requires the confidential engine")
 		}
-		sealed, err := crypto.SealAEAD(s.statesKey, plainCode, codeAAD(addr, rec.Owner, rec.SecVer))
+		sealed, err := s.sealRecord(plainCode, codeAAD(addr, rec.Owner, rec.SecVer))
 		if err != nil {
 			return err
 		}

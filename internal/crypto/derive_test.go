@@ -1,0 +1,45 @@
+package crypto
+
+import (
+	"bytes"
+	"testing"
+)
+
+// DeriveEnvelopeKey must be a deterministic function of its seed — the
+// key-epoch ratchet depends on every replica deriving the identical P-256
+// pair from the shared ratchet seed — and distinct seeds must give distinct
+// keys.
+func TestDeriveEnvelopeKeyDeterministic(t *testing.T) {
+	seed := bytes.Repeat([]byte{0x5A}, 32)
+	a, err := DeriveEnvelopeKey(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DeriveEnvelopeKey(append([]byte(nil), seed...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Public(), b.Public()) {
+		t.Fatal("same seed derived different keys")
+	}
+	other, err := DeriveEnvelopeKey(bytes.Repeat([]byte{0x5B}, 32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Public(), other.Public()) {
+		t.Fatal("different seeds derived the same key")
+	}
+	// The derived pair must be a working envelope key.
+	ktx := bytes.Repeat([]byte{7}, 32)
+	env, err := SealEnvelope(a.Public(), ktx, []byte("msg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotKtx, payload, err := b.OpenEnvelope(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotKtx, ktx) || string(payload) != "msg" {
+		t.Fatal("derived key failed the envelope round trip")
+	}
+}

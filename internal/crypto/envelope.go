@@ -161,6 +161,25 @@ func OpenEnvelopeWithKey(env []byte, ktx []byte) ([]byte, error) {
 	return OpenAEAD(ktx, sealed, nil)
 }
 
+// DeriveEnvelopeKey derives a P-256 envelope key pair deterministically from
+// a seed (HKDF-style expand with rejection sampling: candidates outside the
+// scalar field are skipped, which NewPrivateKey detects). Key-epoch rotation
+// uses it so every provisioned enclave computes the identical epoch-n sk_tx
+// from the shared ratchet seed without another key-distribution round.
+func DeriveEnvelopeKey(seed []byte) (*EnvelopeKey, error) {
+	for counter := byte(1); counter != 0; counter++ {
+		mac := hmac.New(sha256.New, seed)
+		mac.Write([]byte("confide/envelope-key/v1"))
+		mac.Write([]byte{counter})
+		priv, err := ecdh.P256().NewPrivateKey(mac.Sum(nil))
+		if err == nil {
+			return &EnvelopeKey{priv: priv}, nil
+		}
+	}
+	// 255 consecutive out-of-range candidates: probability ≈ 2^-8160.
+	return nil, errors.New("crypto: envelope key derivation failed")
+}
+
 // Marshal serializes the private envelope key for provisioning between
 // enclaves over an attested channel (K-Protocol).
 func (e *EnvelopeKey) Marshal() []byte {

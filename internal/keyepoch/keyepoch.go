@@ -1,0 +1,269 @@
+// Package keyepoch implements epoch-versioned engine secrets: the key
+// lifecycle layer CONFIDE's K-Protocol stops at. The paper provisions sk_tx
+// and k_states once and never revisits them, so one enclave compromise
+// retroactively exposes every envelope and all sealed state. This package
+// versions those secrets into numbered epochs with a deterministic forward
+// ratchet, so that a consensus-ordered governance transaction can rotate
+// every replica's engine onto fresh keys at the same block height without a
+// coordinated restart.
+//
+// Derivation. Epoch 1 is exactly the provisioned material (the K-Protocol's
+// sk_tx / k_states), so rotation composes with both provisioning paths
+// (CentralKMS and MAP) unchanged. Each later epoch derives from a ratchet
+// seed that advances one way:
+//
+//	seed_1     = KDF(k_states, "ratchet")
+//	seed_n+1   = KDF(seed_n,   "next")
+//	k_states_n = KDF(seed_n,   "k-states")      (n ≥ 2)
+//	sk_tx_n    = P256-KeyGen(KDF(seed_n, "sk-tx"))  (n ≥ 2)
+//
+// Every provisioned replica therefore computes identical epoch-n secrets
+// from the shared root without any extra key-distribution round: the
+// existing attested provisioning already distributed everything rotation
+// needs. Advancing overwrites the previous seed, and Zeroize erases retired
+// epoch keys, so a later enclave compromise reveals the current window only
+// — not history (forward secrecy relative to the enclave's working set; the
+// provisioning root can always re-derive, see the threat model in DESIGN §10).
+//
+// Acceptance window. Clients seal envelopes to the current epoch's pk_tx; a
+// rotation would otherwise strand every in-flight transaction. The ring
+// accepts envelopes from the last W epochs (W = the acceptance window), and
+// rejects older ones deterministically on every replica.
+package keyepoch
+
+import (
+	"errors"
+	"sync"
+
+	"confide/internal/crypto"
+)
+
+// Ratchet and sub-key derivation labels (crypto.DeriveSubKey domain).
+const (
+	labelRatchet   = "keyepoch/ratchet"
+	labelNext      = "keyepoch/next"
+	labelStatesKey = "keyepoch/k-states"
+	labelEnvelope  = "keyepoch/sk-tx"
+)
+
+// DefaultWindow is the acceptance window used when none is configured: the
+// current epoch plus one predecessor, enough for every transaction sealed
+// before a rotation's activation height to commit after it.
+const DefaultWindow = 1
+
+// Errors.
+var (
+	// ErrStaleEpoch rejects an envelope sealed to an epoch outside the
+	// acceptance window. The check is on public header bytes, so every
+	// replica rejects identically.
+	ErrStaleEpoch = errors.New("keyepoch: envelope epoch outside acceptance window")
+	// ErrUnknownEpoch reports a request for an epoch the ring does not
+	// retain (never installed, or already zeroized).
+	ErrUnknownEpoch = errors.New("keyepoch: epoch not retained")
+)
+
+// epoch is one retained generation of engine secrets.
+type epoch struct {
+	envelope  *crypto.EnvelopeKey
+	statesKey []byte
+}
+
+// Ring holds a Confidential-Engine's epoch-versioned secrets: the current
+// epoch, the retained window of predecessors, and the ratchet seed that
+// derives the next epoch. It lives inside the CS enclave next to the
+// provisioned secrets it versions.
+type Ring struct {
+	mu      sync.Mutex
+	window  uint64
+	current uint64
+	oldest  uint64 // lowest retained (non-zeroized) epoch
+	seed    []byte // ratchet state: the seed that derives epoch current+1
+	epochs  map[uint64]*epoch
+}
+
+// NewRing builds a ring at epoch 1 over the provisioned engine secrets.
+// window is the acceptance width in prior epochs (0 selects DefaultWindow).
+// The states key is copied, so zeroizing the ring never clobbers the
+// caller's provisioning material.
+func NewRing(envelope *crypto.EnvelopeKey, statesKey []byte, window uint64) *Ring {
+	if window == 0 {
+		window = DefaultWindow
+	}
+	mCurrentEpoch.Set(1)
+	return &Ring{
+		window:  window,
+		current: 1,
+		oldest:  1,
+		seed:    crypto.DeriveSubKey(statesKey, labelRatchet),
+		epochs: map[uint64]*epoch{1: {
+			envelope:  envelope,
+			statesKey: append([]byte(nil), statesKey...),
+		}},
+	}
+}
+
+// deriveEpoch computes one epoch's secrets from its ratchet seed.
+func deriveEpoch(seed []byte) (*epoch, error) {
+	env, err := crypto.DeriveEnvelopeKey(crypto.DeriveSubKey(seed, labelEnvelope))
+	if err != nil {
+		return nil, err
+	}
+	return &epoch{envelope: env, statesKey: crypto.DeriveSubKey(seed, labelStatesKey)}, nil
+}
+
+// Current reports the active epoch number.
+func (r *Ring) Current() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.current
+}
+
+// Oldest reports the lowest epoch whose secrets are still retained.
+func (r *Ring) Oldest() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.oldest
+}
+
+// Window reports the acceptance width.
+func (r *Ring) Window() uint64 { return r.window }
+
+// Advance installs the next epoch's secrets and makes it current. The
+// previous ratchet seed is overwritten (the one-way step); prior epochs stay
+// retained until ZeroizeRetired. Returns the new epoch number.
+func (r *Ring) Advance() (uint64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.advanceLocked()
+}
+
+func (r *Ring) advanceLocked() (uint64, error) {
+	next := crypto.DeriveSubKey(r.seed, labelNext)
+	ep, err := deriveEpoch(next)
+	if err != nil {
+		return r.current, err
+	}
+	wipe(r.seed)
+	r.seed = next
+	r.current++
+	r.epochs[r.current] = ep
+	recordRotation(r.current)
+	return r.current, nil
+}
+
+// AdvanceTo ratchets forward until the ring reaches epoch target (no-op when
+// already at or past it). Recovery and snapshot install use it to adopt the
+// chain's committed epoch.
+func (r *Ring) AdvanceTo(target uint64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.current < target {
+		if _, err := r.advanceLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Accepts reports whether an envelope sealed to epoch e is inside the
+// acceptance window: at most Window epochs behind the current one, and never
+// ahead of it.
+func (r *Ring) Accepts(e uint64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return e >= 1 && e <= r.current && r.current-e <= r.window
+}
+
+// SealKey returns the current epoch number and its states key — what every
+// new sealed record is written under.
+func (r *Ring) SealKey() (uint64, []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.current, r.epochs[r.current].statesKey
+}
+
+// StatesKey returns a retained epoch's states key.
+func (r *Ring) StatesKey(e uint64) ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ep, ok := r.epochs[e]
+	if !ok {
+		return nil, ErrUnknownEpoch
+	}
+	return ep.statesKey, nil
+}
+
+// DeriveStatesKey returns the states key for epoch e, deriving forward from
+// the current ratchet seed without advancing the ring when e lies ahead of
+// the current epoch. A node verifying a peer's checkpoint manifest sealed
+// under a newer epoch (rejoin across a rotation boundary) needs the key
+// before the chain tells it to advance.
+func (r *Ring) DeriveStatesKey(e uint64) ([]byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if ep, ok := r.epochs[e]; ok {
+		return ep.statesKey, nil
+	}
+	if e <= r.current {
+		return nil, ErrUnknownEpoch // retired and zeroized: underivable by design
+	}
+	seed := r.seed
+	for n := r.current + 1; ; n++ {
+		seed = crypto.DeriveSubKey(seed, labelNext)
+		if n == e {
+			return crypto.DeriveSubKey(seed, labelStatesKey), nil
+		}
+	}
+}
+
+// Envelope returns a retained epoch's envelope key pair.
+func (r *Ring) Envelope(e uint64) (*crypto.EnvelopeKey, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ep, ok := r.epochs[e]
+	if !ok {
+		return nil, ErrUnknownEpoch
+	}
+	return ep.envelope, nil
+}
+
+// PublicKey returns the current epoch number and its pk_tx — what clients
+// seal new envelopes to.
+func (r *Ring) PublicKey() (uint64, []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.current, r.epochs[r.current].envelope.Public()
+}
+
+// ZeroizeRetired erases the secrets of every retained epoch that has fallen
+// outside the acceptance window. The caller must first establish that those
+// epochs are drained (no sealed record still carries their tag — the re-seal
+// sweep's Done signal); afterwards the keys are unrecoverable from this ring
+// (the ratchet only runs forward). Returns the number of epochs zeroized.
+func (r *Ring) ZeroizeRetired() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	zeroized := 0
+	for e := r.oldest; e+r.window < r.current; e++ {
+		ep, ok := r.epochs[e]
+		if !ok {
+			continue
+		}
+		wipe(ep.statesKey)
+		ep.envelope = nil // P-256 scalar is unreachable once unreferenced
+		delete(r.epochs, e)
+		r.oldest = e + 1
+		zeroized++
+	}
+	if zeroized > 0 {
+		recordZeroized(zeroized)
+	}
+	return zeroized
+}
+
+// wipe overwrites key bytes in place.
+func wipe(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}

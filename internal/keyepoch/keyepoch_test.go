@@ -1,0 +1,199 @@
+package keyepoch
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"confide/internal/crypto"
+)
+
+func testRing(t *testing.T, window uint64) *Ring {
+	t.Helper()
+	env, err := crypto.GenerateEnvelopeKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	states, err := crypto.RandomKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewRing(env, states, window)
+}
+
+// Two rings provisioned with the same secrets must derive identical epoch
+// secrets forever — that determinism is what lets every replica rotate
+// without a key-distribution round.
+func TestRingDeterministicAcrossReplicas(t *testing.T) {
+	env, _ := crypto.GenerateEnvelopeKey()
+	states, _ := crypto.RandomKey()
+	a := NewRing(env, append([]byte(nil), states...), 1)
+	b := NewRing(env, append([]byte(nil), states...), 1)
+
+	for i := 0; i < 5; i++ {
+		ea, err := a.Advance()
+		if err != nil {
+			t.Fatal(err)
+		}
+		eb, err := b.Advance()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ea != eb {
+			t.Fatalf("epoch mismatch: %d vs %d", ea, eb)
+		}
+		ka, _ := a.StatesKey(ea)
+		kb, _ := b.StatesKey(eb)
+		if !bytes.Equal(ka, kb) {
+			t.Fatalf("epoch %d states keys differ", ea)
+		}
+		_, pa := a.PublicKey()
+		_, pb := b.PublicKey()
+		if !bytes.Equal(pa, pb) {
+			t.Fatalf("epoch %d envelope keys differ", ea)
+		}
+	}
+}
+
+func TestRingEpochKeysDiffer(t *testing.T) {
+	r := testRing(t, 1)
+	k1, _ := r.StatesKey(1)
+	k1 = append([]byte(nil), k1...)
+	_, p1 := r.PublicKey()
+	p1 = append([]byte(nil), p1...)
+	if _, err := r.Advance(); err != nil {
+		t.Fatal(err)
+	}
+	k2, _ := r.StatesKey(2)
+	_, p2 := r.PublicKey()
+	if bytes.Equal(k1, k2) {
+		t.Fatal("rotation did not change the states key")
+	}
+	if bytes.Equal(p1, p2) {
+		t.Fatal("rotation did not change the envelope key")
+	}
+}
+
+func TestAcceptanceWindow(t *testing.T) {
+	r := testRing(t, 2)
+	if err := r.AdvanceTo(5); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		epoch uint64
+		want  bool
+	}{
+		{0, false}, {1, false}, {2, false},
+		{3, true}, {4, true}, {5, true},
+		{6, false}, // never ahead of current
+	}
+	for _, c := range cases {
+		if got := r.Accepts(c.epoch); got != c.want {
+			t.Errorf("Accepts(%d) = %v, want %v", c.epoch, got, c.want)
+		}
+	}
+}
+
+func TestAdvanceToIsNoOpBackward(t *testing.T) {
+	r := testRing(t, 1)
+	if err := r.AdvanceTo(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.AdvanceTo(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Current(); got != 3 {
+		t.Fatalf("current = %d, want 3", got)
+	}
+}
+
+// DeriveStatesKey must look ahead of the ring without advancing it, and the
+// looked-ahead key must equal the one the ring installs when it gets there.
+func TestDeriveStatesKeyForwardLookahead(t *testing.T) {
+	r := testRing(t, 1)
+	ahead, err := r.DeriveStatesKey(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Current(); got != 1 {
+		t.Fatalf("lookahead advanced the ring to %d", got)
+	}
+	if err := r.AdvanceTo(4); err != nil {
+		t.Fatal(err)
+	}
+	installed, err := r.StatesKey(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ahead, installed) {
+		t.Fatal("lookahead key differs from installed key")
+	}
+}
+
+func TestZeroizeRetired(t *testing.T) {
+	r := testRing(t, 1)
+	if err := r.AdvanceTo(4); err != nil {
+		t.Fatal(err)
+	}
+	// Epochs 1 and 2 are outside the window (current=4, window=1).
+	if n := r.ZeroizeRetired(); n != 2 {
+		t.Fatalf("zeroized %d epochs, want 2", n)
+	}
+	if got := r.Oldest(); got != 3 {
+		t.Fatalf("oldest = %d, want 3", got)
+	}
+	if _, err := r.StatesKey(1); !errors.Is(err, ErrUnknownEpoch) {
+		t.Fatalf("zeroized epoch still readable: %v", err)
+	}
+	if _, err := r.Envelope(2); !errors.Is(err, ErrUnknownEpoch) {
+		t.Fatalf("zeroized envelope still readable: %v", err)
+	}
+	// Past epochs are underivable by design (one-way ratchet).
+	if _, err := r.DeriveStatesKey(1); !errors.Is(err, ErrUnknownEpoch) {
+		t.Fatalf("zeroized epoch re-derivable: %v", err)
+	}
+	// In-window predecessor stays retained.
+	if _, err := r.StatesKey(3); err != nil {
+		t.Fatalf("in-window epoch lost: %v", err)
+	}
+	// Idempotent.
+	if n := r.ZeroizeRetired(); n != 0 {
+		t.Fatalf("second zeroize removed %d epochs", n)
+	}
+}
+
+func TestWindowZeroSelectsDefault(t *testing.T) {
+	r := testRing(t, 0)
+	if r.Window() != DefaultWindow {
+		t.Fatalf("window = %d, want %d", r.Window(), DefaultWindow)
+	}
+}
+
+// Epoch-2+ envelopes must actually open with the epoch's derived key: seal
+// to the rotated public key, open with the ring's private half.
+func TestRotatedEnvelopeRoundTrip(t *testing.T) {
+	r := testRing(t, 1)
+	if _, err := r.Advance(); err != nil {
+		t.Fatal(err)
+	}
+	epoch, pub := r.PublicKey()
+	if epoch != 2 {
+		t.Fatalf("current epoch = %d, want 2", epoch)
+	}
+	ktx, _ := crypto.RandomKey()
+	env, err := crypto.SealEnvelope(pub, ktx, []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk, err := r.Envelope(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotKtx, payload, err := sk.OpenEnvelope(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotKtx, ktx) || !bytes.Equal(payload, []byte("payload")) {
+		t.Fatal("rotated envelope round trip mismatch")
+	}
+}

@@ -1,0 +1,33 @@
+package keyepoch
+
+import "confide/internal/metrics"
+
+// Lifecycle instruments. Rotations and zeroizations are recorded by the ring
+// itself; re-sealing and stale-envelope rejections happen in the engine's
+// seal/open paths, which report through the exported Record helpers so the
+// whole keyepoch family lives under one metric namespace.
+var (
+	mRotations = metrics.Default().Counter("confide_keyepoch_rotations_total",
+		"epoch rotations applied by engine key rings")
+	mCurrentEpoch = metrics.Default().Gauge("confide_keyepoch_current_epoch",
+		"current key epoch of the most recently built or advanced ring")
+	mResealed = metrics.Default().Counter("confide_keyepoch_resealed_records_total",
+		"sealed records migrated to the current epoch's states key")
+	mStaleRejections = metrics.Default().Counter("confide_keyepoch_stale_envelope_rejections_total",
+		"confidential envelopes rejected for an epoch outside the acceptance window")
+	mZeroized = metrics.Default().Counter("confide_keyepoch_zeroized_epochs_total",
+		"retired epoch secrets zeroized after draining")
+)
+
+func recordRotation(current uint64) {
+	mRotations.Inc()
+	mCurrentEpoch.Set(int64(current))
+}
+
+func recordZeroized(n int) { mZeroized.Add(uint64(n)) }
+
+// RecordResealed counts records the re-seal sweep migrated.
+func RecordResealed(n int) { mResealed.Add(uint64(n)) }
+
+// RecordStaleRejection counts an envelope rejected under ErrStaleEpoch.
+func RecordStaleRejection() { mStaleRejections.Inc() }

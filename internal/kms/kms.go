@@ -54,7 +54,27 @@ func GenerateSecrets() (*Secrets, error) {
 	return &Secrets{Envelope: env, StatesKey: states}, nil
 }
 
-// marshal serializes secrets for wrapped transport.
+// Zeroize erases the secrets in place: the states key bytes are overwritten
+// and the envelope reference dropped (Go offers no reliable way to scrub the
+// P-256 scalar inside crypto/ecdh; unreferencing it is the best available).
+// Key-epoch retirement calls this on copies that must not outlive their
+// epoch's acceptance window.
+func (s *Secrets) Zeroize() {
+	wipe(s.StatesKey)
+	s.StatesKey = nil
+	s.Envelope = nil
+}
+
+// wipe overwrites key bytes in place.
+func wipe(b []byte) {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// marshal serializes secrets for wrapped transport. Callers must wipe the
+// returned buffer once it has been wrapped — it holds sk_tx and k_states in
+// the clear.
 func (s *Secrets) marshal() []byte {
 	return chain.Encode(chain.List(
 		chain.Bytes(s.Envelope.Marshal()),
@@ -74,7 +94,9 @@ func unmarshalSecrets(data []byte) (*Secrets, error) {
 	if len(it.List[1].Str) != crypto.SymKeySize {
 		return nil, errors.New("kms: bad states key length")
 	}
-	return &Secrets{Envelope: env, StatesKey: it.List[1].Str}, nil
+	// Copy out of the decode buffer: the RLP items alias data, and callers
+	// wipe that buffer as soon as the secrets are installed.
+	return &Secrets{Envelope: env, StatesKey: append([]byte(nil), it.List[1].Str...)}, nil
 }
 
 // ProvisionRequest is a node's attested ask for the engine secrets.
@@ -207,7 +229,10 @@ func (n *NodeKM) Serve(req ProvisionRequest) (ProvisionResponse, error) {
 	if err != nil {
 		return ProvisionResponse{}, err
 	}
-	wrapped, err := crypto.SealEnvelope(req.SessionPub, wrapKey, n.secrets.marshal())
+	plain := n.secrets.marshal()
+	wrapped, err := crypto.SealEnvelope(req.SessionPub, wrapKey, plain)
+	wipe(plain)
+	wipe(wrapKey)
 	if err != nil {
 		return ProvisionResponse{}, err
 	}
@@ -240,6 +265,7 @@ func (n *NodeKM) Accept(resp ProvisionResponse) error {
 		return fmt.Errorf("kms: unwrap secrets: %w", err)
 	}
 	secrets, err := unmarshalSecrets(plain)
+	wipe(plain)
 	if err != nil {
 		return err
 	}
@@ -269,6 +295,10 @@ func (n *NodeKM) ProvisionCS(cs *tee.Enclave) (*Secrets, error) {
 		return nil, err
 	}
 	secrets := n.secrets
+	// The KM enclave is gone; the CS enclave now owns the only copy this
+	// node holds. Dropping the NodeKM's reference keeps retired material
+	// from lingering in a struct nobody will use again.
+	n.secrets = nil
 	n.enclave.Destroy()
 	return secrets, nil
 }
@@ -304,7 +334,10 @@ func (c *CentralKMS) Provision(req ProvisionRequest) (ProvisionResponse, error) 
 	if err != nil {
 		return ProvisionResponse{}, err
 	}
-	wrapped, err := crypto.SealEnvelope(req.SessionPub, wrapKey, c.secrets.marshal())
+	plain := c.secrets.marshal()
+	wrapped, err := crypto.SealEnvelope(req.SessionPub, wrapKey, plain)
+	wipe(plain)
+	wipe(wrapKey)
 	if err != nil {
 		return ProvisionResponse{}, err
 	}
@@ -327,6 +360,7 @@ func (n *NodeKM) AcceptCentral(resp ProvisionResponse) error {
 		return fmt.Errorf("kms: unwrap secrets: %w", err)
 	}
 	secrets, err := unmarshalSecrets(plain)
+	wipe(plain)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,66 @@
+package kms
+
+import (
+	"bytes"
+	"testing"
+
+	"confide/internal/tee"
+)
+
+func TestSecretsZeroize(t *testing.T) {
+	s, err := GenerateSecrets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := s.StatesKey // same backing array
+	s.Zeroize()
+	if !bytes.Equal(key, make([]byte, len(key))) {
+		t.Error("Zeroize left key bytes in place")
+	}
+	if s.Envelope != nil {
+		t.Error("Zeroize kept the envelope key reachable")
+	}
+}
+
+// unmarshalSecrets must copy the states key out of the decode buffer: the
+// chain codec aliases its input, and provisioning wipes the plaintext buffer
+// right after unmarshalling.
+func TestUnmarshalSecretsDoesNotAliasInput(t *testing.T) {
+	s, err := GenerateSecrets()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := s.marshal()
+	back, err := unmarshalSecrets(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range buf {
+		buf[i] = 0 // what Serve/Accept do to the plaintext
+	}
+	if !bytes.Equal(back.StatesKey, s.StatesKey) {
+		t.Error("states key aliased the wiped decode buffer")
+	}
+}
+
+// After handing secrets to the CS enclave the KM node must not keep its own
+// reference: the KM enclave is destroyed and its copy goes with it.
+func TestProvisionCSDropsKMReference(t *testing.T) {
+	root := testRoot(t)
+	platform := tee.NewPlatform(root)
+	km, err := NewNodeKM(platform, root.Verifier(), tee.Config{CodeIdentity: "confide-km-v1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	km.Bootstrap()
+	cs, err := platform.CreateEnclave("cs", tee.Config{CodeIdentity: "confide-cs-v1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := km.ProvisionCS(cs); err != nil {
+		t.Fatal(err)
+	}
+	if km.Secrets() != nil {
+		t.Error("KM node retains a secrets reference after CS provisioning")
+	}
+}

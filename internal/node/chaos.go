@@ -10,6 +10,7 @@ import (
 	"confide/internal/chain"
 	"confide/internal/consensus"
 	"confide/internal/core"
+	"confide/internal/keyepoch"
 	"confide/internal/metrics"
 	"confide/internal/p2p"
 )
@@ -95,6 +96,12 @@ type ChaosOptions struct {
 	// rejoin is required to go through snapshot fast-sync — certified from
 	// the metrics registry at the end.
 	WipeRejoins int
+	// Rotations is how many key-epoch rotations are ordered through
+	// governance mid-run (default 0 = off). Each rotation must activate on
+	// every replica under the ongoing fault schedule, uncommitted workload
+	// re-seals to the new epoch, and the run is certified from the registry:
+	// the rotation counter must have moved on every node's ring.
+	Rotations int
 	// FaultFor is how long each fault stays active (default 500ms); faults
 	// are scheduled sequentially so at most one is active at a time,
 	// keeping the fault count within f.
@@ -243,13 +250,16 @@ func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
 
 	// Workload: credits spread over a few accounts, amounts seeded, with
 	// submission times spread across the whole fault schedule so every
-	// fault window hits in-flight work.
+	// fault window hits in-flight work. Account and amount are kept so an
+	// uncommitted transaction can be re-sealed after a key rotation.
 	txs := make([]*chain.Tx, opts.Txs)
 	submitAt := make([]time.Duration, opts.Txs)
+	accounts := make([][]byte, opts.Txs)
+	amounts := make([]byte, opts.Txs)
 	for i := range txs {
-		account := []byte(fmt.Sprintf("acct-%03d", i%5))
-		amount := byte(1 + rng.Intn(5))
-		tx, _, err := client.NewConfidentialTx(chaosLedgerAddr, "credit", account, []byte{amount})
+		accounts[i] = []byte(fmt.Sprintf("acct-%03d", i%5))
+		amounts[i] = byte(1 + rng.Intn(5))
+		tx, _, err := client.NewConfidentialTx(chaosLedgerAddr, "credit", accounts[i], []byte{amounts[i]})
 		if err != nil {
 			return nil, err
 		}
@@ -271,6 +281,14 @@ func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
 	var lastSubmit time.Time
 	deadline := start.Add(opts.Timeout)
 
+	// Key-rotation schedule: opts.Rotations governance rotations are ordered
+	// mid-run, the first as soon as the chain moves, each next one after the
+	// previous has activated on every replica.
+	rotationsLeft := opts.Rotations
+	var govTx *chain.Tx
+	var govRot keyepoch.Rotation
+	targetEpoch := uint64(1)
+
 	allCommitted := func() bool {
 		for i, n := range cluster.Nodes {
 			for _, tx := range txs {
@@ -290,6 +308,16 @@ func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
 		return true
 	}
 	converged := func() bool {
+		// Every ordered rotation must have fully played out: none left to
+		// submit, none in flight, and every replica on the final epoch.
+		if rotationsLeft > 0 || govTx != nil {
+			return false
+		}
+		for _, n := range cluster.Nodes {
+			if n.CurrentEpoch() != targetEpoch {
+				return false
+			}
+		}
 		if !allCommitted() {
 			return false
 		}
@@ -373,6 +401,85 @@ func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
 				partitioned = false
 			}
 			faults = faults[1:]
+		}
+
+		// Rotation driver: order a governance rotation, watch its public
+		// receipt, and once the new epoch is active everywhere re-seal the
+		// uncommitted workload so nothing strands beyond the window.
+		if rotationsLeft > 0 {
+			if govTx == nil {
+				leader := cluster.Leader()
+				if leader.Height() >= 1 && int(leader.ID()) != crashed {
+					govRot = keyepoch.Rotation{
+						NewEpoch:         targetEpoch + 1,
+						ActivationHeight: leader.Height() + 3,
+					}
+					govTx = &chain.Tx{Type: chain.TxTypeGovernance, Payload: govRot.Encode()}
+					if leader.SubmitTx(govTx) != nil {
+						govTx = nil
+					} else {
+						logEvent("rotation to epoch %d scheduled for height %d", govRot.NewEpoch, govRot.ActivationHeight)
+					}
+				}
+			} else {
+				// Deterministic rejection (e.g. the chain outran the
+				// activation height before ordering): rebuild and resubmit,
+				// like any governance client would.
+				for _, n := range cluster.Nodes {
+					if rpt, ok := n.Receipt(govTx.Hash()); ok && rpt.Status == chain.ReceiptFailed {
+						logEvent("rotation schedule rejected (%s); resubmitting", rpt.Output)
+						govTx = nil
+						break
+					}
+				}
+			}
+			if govTx != nil {
+				activated := true
+				for _, n := range cluster.Nodes {
+					if n.CurrentEpoch() < govRot.NewEpoch {
+						activated = false
+						break
+					}
+				}
+				if activated {
+					targetEpoch = govRot.NewEpoch
+					rotationsLeft--
+					govTx = nil
+					logEvent("epoch %d active on every node", targetEpoch)
+					epoch, pk := cluster.EnvelopeKeyInfo()
+					client.SetEnvelopeKey(epoch, pk)
+					for i := range txs {
+						committed := false
+						for _, n := range cluster.Nodes {
+							if _, ok := n.Receipt(txs[i].Hash()); ok {
+								committed = true
+								break
+							}
+						}
+						if !committed {
+							if tx, _, rerr := client.NewConfidentialTx(chaosLedgerAddr, "credit", accounts[i], []byte{amounts[i]}); rerr == nil {
+								txs[i] = tx
+							}
+						}
+					}
+				} else if cluster.Leader().Height() < govRot.ActivationHeight {
+					// Keep blocks flowing toward the activation height even
+					// when the workload has drained.
+					pending := 0
+					for _, n := range cluster.Nodes {
+						pending += n.UnverifiedPoolLen() + n.VerifiedPoolLen()
+					}
+					if pending == 0 {
+						if tx, _, rerr := client.NewConfidentialTx(chaosLedgerAddr, "credit", []byte("acctfill"), []byte{1}); rerr == nil {
+							live := rng.Intn(opts.Nodes)
+							if live == crashed {
+								live = (live + 1) % opts.Nodes
+							}
+							cluster.Nodes[live].SubmitTx(tx)
+						}
+					}
+				}
+			}
 		}
 
 		// Client behaviour: submit each transaction when its scheduled time
@@ -477,6 +584,8 @@ func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
 		"confide_snapshot_installs_total":              delta("confide_snapshot_installs_total"),
 		"confide_node_snapshot_bad_chunks_total":       delta("confide_node_snapshot_bad_chunks_total"),
 		"confide_node_snapshot_install_failures_total": delta("confide_node_snapshot_install_failures_total"),
+		"confide_keyepoch_rotations_total":             delta("confide_keyepoch_rotations_total"),
+		"confide_keyepoch_stale_envelope_rejections_total": delta("confide_keyepoch_stale_envelope_rejections_total"),
 	}
 	if metrics.Default().Enabled() {
 		pipelineEnds := after.HistogramCount("confide_pipeline_total_seconds") -
@@ -509,6 +618,16 @@ func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
 			}
 			if got := report.Metrics["confide_node_snapshot_install_failures_total"]; got != 0 {
 				return nil, fmt.Errorf("chaos: %d snapshot install(s) failed verification", got)
+			}
+		}
+		if opts.Rotations > 0 {
+			// Every node's ring must have advanced for every ordered
+			// rotation (a wiped-and-rejoined node re-advances on adoption,
+			// which can only add to the delta).
+			want := uint64(opts.Rotations * opts.Nodes)
+			if got := report.Metrics["confide_keyepoch_rotations_total"]; got < want {
+				return nil, fmt.Errorf("chaos: %d rotation(s) ordered across %d nodes but only %d ring advances recorded",
+					opts.Rotations, opts.Nodes, got)
 			}
 		}
 	}

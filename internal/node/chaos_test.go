@@ -65,6 +65,32 @@ func TestChaosWipeRejoinDrill(t *testing.T) {
 		report.Metrics["confide_node_snapshot_bad_chunks_total"], report.Elapsed, report.Events)
 }
 
+// TestChaosRotationDrill injects a key-epoch rotation into the fault
+// schedule: a governance transaction orders it while messages drop, a leader
+// crashes and a partition splits, and the run converges only when every
+// replica has activated the new epoch with the whole workload committed.
+// RunChaos certifies the rotation from the registry (ring advances ≥ nodes ×
+// rotations); the report re-checks it here.
+func TestChaosRotationDrill(t *testing.T) {
+	report, err := RunChaos(ChaosOptions{
+		Nodes:     4,
+		Txs:       24,
+		Seed:      5,
+		DropRate:  0.05,
+		Rotations: 1,
+		Timeout:   90 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := report.Metrics["confide_keyepoch_rotations_total"]; got < 4 {
+		t.Errorf("rotation drill advanced %d rings, want ≥ 4", got)
+	}
+	t.Logf("chaos+rotation: height=%d ringAdvances=%d elapsed=%s events=%v",
+		report.Height, report.Metrics["confide_keyepoch_rotations_total"],
+		report.Elapsed, report.Events)
+}
+
 // TestChaosLossless is the control: the same harness with every fault
 // disabled must converge quickly.
 func TestChaosLossless(t *testing.T) {

@@ -8,6 +8,7 @@ import (
 
 	"confide/internal/chain"
 	"confide/internal/core"
+	"confide/internal/keyepoch"
 	"confide/internal/kms"
 	"confide/internal/p2p"
 	"confide/internal/storage"
@@ -271,9 +272,37 @@ func (c *Cluster) Leader() *Node {
 	return c.Nodes[0]
 }
 
-// EnvelopePublicKey returns the network's pk_tx.
+// EnvelopePublicKey returns the network's current pk_tx (the active key
+// epoch's envelope public key).
 func (c *Cluster) EnvelopePublicKey() []byte {
-	return c.Secrets.Envelope.Public()
+	return c.Nodes[0].ConfidentialEngine().EnvelopePublicKey()
+}
+
+// EnvelopeKeyInfo returns the current key epoch alongside its pk_tx, for
+// clients that tag envelopes (core.Client.SetEnvelopeKey).
+func (c *Cluster) EnvelopeKeyInfo() (uint64, []byte) {
+	return c.Nodes[0].ConfidentialEngine().EnvelopeKeyInfo()
+}
+
+// CurrentEpoch reports node 0's active key epoch.
+func (c *Cluster) CurrentEpoch() uint64 {
+	return c.Nodes[0].CurrentEpoch()
+}
+
+// RotateEpoch submits a governance transaction scheduling a rotation onto
+// the successor epoch, activating delay blocks past the current height.
+// Returns the submitted transaction (for receipt tracking) and the rotation.
+func (c *Cluster) RotateEpoch(delay uint64) (*chain.Tx, keyepoch.Rotation, error) {
+	leader := c.Leader()
+	rot := keyepoch.Rotation{
+		NewEpoch:         leader.CurrentEpoch() + 1,
+		ActivationHeight: leader.Height() + delay,
+	}
+	tx := &chain.Tx{Type: chain.TxTypeGovernance, Payload: rot.Encode()}
+	if err := leader.SubmitTx(tx); err != nil {
+		return nil, rot, err
+	}
+	return tx, rot, nil
 }
 
 // DeployEverywhere installs a contract on every node's engines (in

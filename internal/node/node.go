@@ -14,6 +14,7 @@ import (
 	"confide/internal/chain"
 	"confide/internal/consensus"
 	"confide/internal/core"
+	"confide/internal/keyepoch"
 	"confide/internal/metrics"
 	"confide/internal/p2p"
 	"confide/internal/snapshot"
@@ -49,6 +50,10 @@ type Config struct {
 	// SnapshotFetchWorkers bounds parallel chunk fetches during fast-sync.
 	// Default 4.
 	SnapshotFetchWorkers int
+	// ResealRate paces the background key-epoch re-seal sweep in records per
+	// second. 0 selects the default rate; negative disables the loop (tests
+	// drive sweeps explicitly via ResealNow).
+	ResealRate int
 
 	// replicaBase, when set, overrides the replica sequence↔height base: a
 	// node restarted into a live cluster must map consensus sequences the
@@ -114,6 +119,16 @@ type Node struct {
 	// pruning. Execution dedup below it falls back to the receipt store.
 	storeBase uint64
 
+	// Key-epoch rotation state (guarded by applyMu, like the chain state it
+	// mirrors). pendingRotation is a consensus-committed schedule awaiting
+	// its activation height; rotationCandidate is a rotation executed in the
+	// block currently being applied, promoted to pending only after its
+	// batch commits. lastDrained notes the epoch whose re-seal sweep last
+	// completed, so the background loop idles between rotations.
+	pendingRotation   *keyepoch.Rotation
+	rotationCandidate *keyepoch.Rotation
+	lastDrained       uint64
+
 	syncMu      sync.Mutex
 	syncLastReq time.Time
 
@@ -156,6 +171,7 @@ func New(cfg Config, endpoint *p2p.Endpoint, n int, confEngine, pubEngine *core.
 		badPeers:   make(map[p2p.NodeID]int),
 	}
 	node.recoverChainState()
+	node.adoptEpochState()
 	node.baseHeight = node.height
 	if cfg.replicaBase != nil {
 		// Restarting into a live cluster: adopt the peers' seq↔height base
@@ -180,6 +196,7 @@ func New(cfg Config, endpoint *p2p.Endpoint, n int, confEngine, pubEngine *core.
 	})
 	node.startSync()
 	node.startSnapshotSync()
+	node.startResealLoop()
 	return node
 }
 
@@ -282,14 +299,24 @@ func (n *Node) PreVerifyPending() int {
 		return 0
 	}
 	var confidential, public []*chain.Tx
+	moved := 0
 	for _, tx := range batch {
-		if tx.Type == chain.TxTypeConfidential {
+		switch tx.Type {
+		case chain.TxTypeConfidential:
 			confidential = append(confidential, tx)
-		} else {
+		case chain.TxTypeGovernance:
+			// Structural check only here; the semantic checks (successor
+			// epoch, future height) run against chain state at execution.
+			if _, err := keyepoch.DecodeRotation(tx.Payload); err == nil {
+				if n.verified.Add(tx) == nil {
+					n.tracer.Mark(n.traceKey(tx.Hash()), "preverify")
+					moved++
+				}
+			}
+		default:
 			public = append(public, tx)
 		}
 	}
-	moved := 0
 	for _, tx := range n.confEngine.PreVerifyBatch(confidential) {
 		if n.verified.Add(tx) == nil {
 			n.tracer.Mark(n.traceKey(tx.Hash()), "preverify")
@@ -380,6 +407,11 @@ func (n *Node) applyBlock(payload []byte) bool {
 		n.tracer.Mark(n.traceKey(tx.Hash()), "order")
 	}
 
+	// A scheduled rotation whose activation height this block reaches takes
+	// effect before the block executes, so the block's transactions (and
+	// every later sealed write) run under the new epoch on all replicas.
+	activated := n.maybeActivateEpoch(block.Header.Height)
+
 	start := time.Now()
 	results, batch := n.executeBlock(block)
 	execElapsed := time.Since(start)
@@ -391,9 +423,17 @@ func (n *Node) applyBlock(payload []byte) bool {
 
 	commitStart := time.Now()
 	batch.Put(blockKey(block.Header.Height), payload)
+	if activated {
+		// The epoch marker flips in the same atomic batch as the block that
+		// crossed the activation height.
+		batch.Put(keEpochKey, chain.Encode(chain.Uint(n.confEngine.CurrentEpoch())))
+		batch.Delete(kePendingKey)
+	}
 	if err := n.store.WriteBatch(batch); err != nil {
+		n.finishEpochTransitions(false, activated)
 		return false
 	}
+	n.finishEpochTransitions(true, activated)
 	commitElapsed := time.Since(commitStart)
 	n.commitTimeNs.Add(int64(commitElapsed))
 	mBlockCommitSeconds.ObserveDuration(commitElapsed)
@@ -451,7 +491,7 @@ func (n *Node) maybeCheckpoint() {
 		return
 	}
 	start := time.Now()
-	cp, err := snapshot.Export(n.store, height, tipHash, n.confEngine.CheckpointMACKey(), n.cfg.SnapshotChunkBytes)
+	cp, err := snapshot.Export(n.store, height, tipHash, n.confEngine.CheckpointMACKey(), n.confEngine.CurrentEpoch(), n.cfg.SnapshotChunkBytes)
 	if err != nil {
 		return
 	}
@@ -514,6 +554,17 @@ func (n *Node) executeBlock(block *chain.Block) ([]*core.ExecResult, *storage.Ba
 		}
 	}
 	mDedupSkips.Add(skipped)
+	// Governance transactions are applied by the platform in block order,
+	// not by a contract engine; resolve them before the parallel pass (they
+	// are rare, and their validity depends only on serialized chain state).
+	gov := make([]bool, len(txs))
+	for i, tx := range txs {
+		if skip[i] || tx.Type != chain.TxTypeGovernance {
+			continue
+		}
+		gov[i] = true
+		results[i] = n.applyGovernance(tx, block.Header.Height)
+	}
 	ways := n.cfg.Parallelism
 	if ways > 1 && len(txs) > 1 {
 		var wg sync.WaitGroup
@@ -527,7 +578,7 @@ func (n *Node) executeBlock(block *chain.Block) ([]*core.ExecResult, *storage.Ba
 			go func() {
 				defer wg.Done()
 				for i := range work {
-					if skip[i] {
+					if skip[i] || gov[i] {
 						continue
 					}
 					res, err := n.engineFor(txs[i]).Execute(txs[i])
@@ -540,7 +591,7 @@ func (n *Node) executeBlock(block *chain.Block) ([]*core.ExecResult, *storage.Ba
 		wg.Wait()
 	} else {
 		for i, tx := range txs {
-			if skip[i] {
+			if skip[i] || gov[i] {
 				continue
 			}
 			if res, err := n.engineFor(tx).Execute(tx); err == nil {
@@ -562,6 +613,12 @@ func (n *Node) executeBlock(block *chain.Block) ([]*core.ExecResult, *storage.Ba
 			continue
 		}
 		res := results[i]
+		if gov[i] {
+			// Platform-applied, already in block order: commit its writes
+			// directly (its conflict sets are empty by construction).
+			_ = res.AppendWrites(batch)
+			continue
+		}
 		if res != nil {
 			speculated++
 		}

@@ -109,10 +109,12 @@ func newTestCluster(t testing.TB, opts ClusterOptions) *Cluster {
 
 func newClusterClient(t testing.TB, c *Cluster) *core.Client {
 	t.Helper()
-	client, err := core.NewClient(c.EnvelopePublicKey())
+	epoch, pk := c.EnvelopeKeyInfo()
+	client, err := core.NewClient(pk)
 	if err != nil {
 		t.Fatal(err)
 	}
+	client.SetEnvelopeKey(epoch, pk)
 	return client
 }
 

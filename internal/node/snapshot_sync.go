@@ -170,10 +170,14 @@ func (n *Node) onSnapManifestResp(m p2p.Message) {
 		n.scorePeer(m.From)
 		return
 	}
-	// Authenticate before anything else: the MAC binds height, tip, root
-	// and chunk list to an enclave holding k_states; the root must also
-	// commit to the chunk-hash list actually present.
-	if man.VerifyMAC(n.confEngine.CheckpointMACKey()) != nil ||
+	// Authenticate before anything else: the MAC binds height, tip, root,
+	// epoch and chunk list to an enclave holding k_states; the root must
+	// also commit to the chunk-hash list actually present. The MAC key
+	// derives from the manifest's declared epoch — a rejoining node may be
+	// behind the exporter's epoch, and the ring derives forward keys from
+	// the ratchet without advancing.
+	macKey, ok := n.snapshotMACKey(man)
+	if !ok || man.VerifyMAC(macKey) != nil ||
 		snapshot.ComputeRoot(man.ChunkHashes) != man.StateRoot {
 		mSnapBadManifests.Inc()
 		n.scorePeer(m.From)
@@ -200,6 +204,19 @@ func (n *Node) onSnapManifestResp(m p2p.Message) {
 	s.addPeer(m.From)
 	n.snapMu.Unlock()
 	go n.runSnapshotFetch(s)
+}
+
+// snapshotMACKey resolves the MAC key for a manifest's declared epoch. On a
+// keyed (confidential) deployment an epoch-less or underivable-epoch
+// manifest is rejected outright (ok=false): falling back to a nil key would
+// let an unauthenticated manifest pass VerifyMAC. A key-less deployment
+// accepts only unauthenticated manifests, as before.
+func (n *Node) snapshotMACKey(man *snapshot.Manifest) ([]byte, bool) {
+	if n.confEngine.CurrentEpoch() == 0 {
+		return nil, true
+	}
+	key := n.confEngine.CheckpointMACKeyFor(man.Epoch)
+	return key, key != nil
 }
 
 // onSnapChunkReq serves one chunk of the retained checkpoint.
@@ -386,7 +403,13 @@ func (n *Node) installSnapshot(man *snapshot.Manifest, chunks [][]byte) bool {
 		n.applyMu.Unlock()
 		return false // the chain caught up past the checkpoint while fetching
 	}
-	if err := snapshot.Install(n.store, man, chunks, n.confEngine.CheckpointMACKey()); err != nil {
+	macKey, ok := n.snapshotMACKey(man)
+	if !ok {
+		mSnapInstallFailures.Inc()
+		n.applyMu.Unlock()
+		return false
+	}
+	if err := snapshot.Install(n.store, man, chunks, macKey); err != nil {
 		mSnapInstallFailures.Inc()
 		n.applyMu.Unlock()
 		return false
@@ -395,6 +418,11 @@ func (n *Node) installSnapshot(man *snapshot.Manifest, chunks [][]byte) bool {
 		n.applyMu.Unlock()
 		return false
 	}
+	// The installed state carries the chain's epoch markers (ke/ keys ride
+	// in the snapshot); bring the engine ring and the pending schedule in
+	// line before any post-install block executes. A rejoin across a
+	// rotation boundary ratchets the ring forward here.
+	n.adoptEpochState()
 	n.mu.Lock()
 	n.height = man.Height
 	n.prevHash = man.TipHash

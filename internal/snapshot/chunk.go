@@ -61,8 +61,10 @@ func (b *chunkBuilder) close() {
 // for height. The caller must guarantee a quiescent view (no concurrent
 // commits) for the duration of the walk — the node does this by exporting
 // under its apply lock. tipHash is the hash of block height-1; macKey is the
-// checkpoint MAC key derived from k_states (nil for key-less deployments).
-func Export(store storage.KVStore, height uint64, tipHash chain.Hash, macKey []byte, chunkBytes int) (*Checkpoint, error) {
+// checkpoint MAC key derived from the exporting engine's key epoch, and
+// epoch records which one so a verifier derives the matching key (0 with a
+// nil key for key-less deployments).
+func Export(store storage.KVStore, height uint64, tipHash chain.Hash, macKey []byte, epoch uint64, chunkBytes int) (*Checkpoint, error) {
 	if chunkBytes <= 0 {
 		chunkBytes = DefaultChunkBytes
 	}
@@ -87,6 +89,7 @@ func Export(store storage.KVStore, height uint64, tipHash chain.Hash, macKey []b
 		StateRoot:   ComputeRoot(b.hashes),
 		ChunkHashes: b.hashes,
 		TotalBytes:  b.total,
+		Epoch:       epoch,
 	}
 	m.Seal(macKey)
 	mChunksExported.Add(uint64(len(b.chunks)))

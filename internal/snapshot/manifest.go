@@ -51,6 +51,11 @@ type Manifest struct {
 	// TotalBytes is the summed encoded size of all chunks (transfer
 	// accounting; not security-relevant).
 	TotalBytes uint64
+	// Epoch is the exporter's key epoch at checkpoint time: the MAC key
+	// derives from that epoch's k_states, so a verifier must derive the same
+	// epoch's key (possibly ahead of its own ring — rejoin across a rotation
+	// boundary). 0 in key-less deployments.
+	Epoch uint64
 	// MAC authenticates everything above under the checkpoint key derived
 	// from k_states (empty in key-less deployments, e.g. public-only tests).
 	MAC []byte
@@ -82,6 +87,7 @@ func (m *Manifest) macInput() []byte {
 		chain.Bytes(m.TipHash[:]),
 		chain.Bytes(m.StateRoot[:]),
 		chain.Uint(m.TotalBytes),
+		chain.Uint(m.Epoch),
 		chain.List(items...),
 	))
 }
@@ -127,6 +133,7 @@ func (m *Manifest) Encode() []byte {
 		chain.Bytes(m.TipHash[:]),
 		chain.Bytes(m.StateRoot[:]),
 		chain.Uint(m.TotalBytes),
+		chain.Uint(m.Epoch),
 		chain.List(items...),
 		chain.Bytes(m.MAC),
 	))
@@ -136,7 +143,7 @@ func (m *Manifest) Encode() []byte {
 // root verification are separate, explicit steps.
 func DecodeManifest(data []byte) (*Manifest, error) {
 	it, err := chain.Decode(data)
-	if err != nil || !it.IsList || len(it.List) != 6 {
+	if err != nil || !it.IsList || len(it.List) != 7 {
 		return nil, ErrBadManifest
 	}
 	var m Manifest
@@ -151,10 +158,13 @@ func DecodeManifest(data []byte) (*Manifest, error) {
 	if m.TotalBytes, err = it.List[3].AsUint(); err != nil {
 		return nil, ErrBadManifest
 	}
-	if !it.List[4].IsList {
+	if m.Epoch, err = it.List[4].AsUint(); err != nil {
 		return nil, ErrBadManifest
 	}
-	for _, h := range it.List[4].List {
+	if !it.List[5].IsList {
+		return nil, ErrBadManifest
+	}
+	for _, h := range it.List[5].List {
 		if len(h.Str) != 32 {
 			return nil, ErrBadManifest
 		}
@@ -162,8 +172,8 @@ func DecodeManifest(data []byte) (*Manifest, error) {
 		copy(ch[:], h.Str)
 		m.ChunkHashes = append(m.ChunkHashes, ch)
 	}
-	if len(it.List[5].Str) > 0 {
-		m.MAC = append([]byte(nil), it.List[5].Str...)
+	if len(it.List[6].Str) > 0 {
+		m.MAC = append([]byte(nil), it.List[6].Str...)
 	}
 	return &m, nil
 }

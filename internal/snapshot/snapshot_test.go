@@ -42,7 +42,11 @@ func exportFor(t *testing.T, macKey []byte, n int) (*Checkpoint, map[string][]by
 	want := populate(t, src, n)
 	var tip chain.Hash
 	tip[0] = 0x42
-	cp, err := Export(src, 100, tip, macKey, 1024)
+	epoch := uint64(0)
+	if len(macKey) > 0 {
+		epoch = 1
+	}
+	cp, err := Export(src, 100, tip, macKey, epoch, 1024)
 	if err != nil {
 		t.Fatalf("export: %v", err)
 	}
