@@ -24,18 +24,21 @@ vet:
 # partition/heal, ending in verified convergence certified against the
 # metrics registry. The second run adds a wipe-and-rejoin fault, which must
 # recover through snapshot fast-sync; the third orders a key-epoch rotation
-# mid-faults, certified from the keyepoch registry deltas.
+# mid-faults, certified from the keyepoch registry deltas; the fourth
+# routes the whole workload through the HTTP gateways and kills two of
+# them mid-run, certified from the gateway registry deltas.
 chaos:
 	$(GO) run ./cmd/benchrunner -chaos -seed 1
 	$(GO) run ./cmd/benchrunner -chaos -seed 1 -wipe 1
 	$(GO) run ./cmd/benchrunner -chaos -seed 1 -rotations 1
+	$(GO) run ./cmd/benchrunner -chaos -seed 1 -gwkills 2
 
 bench:
 	$(GO) run ./cmd/benchrunner -exp all -quick
 
 # Native fuzzing over the attack-surface decoders: RLP/wire formats, the
-# CCLE codec and schema parser, and envelope opening. One target per
-# invocation is a go tool limitation.
+# CCLE codec and schema parser, envelope opening, and the gateway's HTTP
+# request decode path. One target per invocation is a go tool limitation.
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzRLPDecode -fuzztime=$(FUZZTIME) ./internal/chain/
 	$(GO) test -run='^$$' -fuzz=FuzzWireDecoders -fuzztime=$(FUZZTIME) ./internal/chain/
@@ -44,6 +47,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzOpenEnvelope -fuzztime=$(FUZZTIME) ./internal/crypto/
 	$(GO) test -run='^$$' -fuzz=FuzzOpenAEAD -fuzztime=$(FUZZTIME) ./internal/crypto/
 	$(GO) test -run='^$$' -fuzz=FuzzEpochHeader -fuzztime=$(FUZZTIME) ./internal/keyepoch/
+	$(GO) test -run='^$$' -fuzz=FuzzGatewayRequest -fuzztime=$(FUZZTIME) ./internal/gateway/
 
 # Instrumented-vs-disabled throughput delta (budget: <2%).
 overhead:

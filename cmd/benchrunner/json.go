@@ -26,8 +26,8 @@ type latencySummary struct {
 
 // benchDoc is the top-level BENCH_<exp>.json document.
 type benchDoc struct {
-	Experiment     string `json:"experiment"`
-	GeneratedAt    string `json:"generated_at"`
+	Experiment     string  `json:"experiment"`
+	GeneratedAt    string  `json:"generated_at"`
 	ElapsedSeconds float64 `json:"elapsed_seconds"`
 	// Rows is the experiment's native result set (workload/engine/TPS rows
 	// for the figures, operation profiles for the tables).

@@ -13,10 +13,12 @@
 //	benchrunner -exp overhead     # metrics-layer overhead guard (<2%)
 //	benchrunner -exp fastsync     # wipe-rejoin: snapshot vs genesis replay
 //	benchrunner -exp rotation     # key-epoch rotation under traffic + re-seal sweep
+//	benchrunner -exp gateway      # HTTP edge: offered-load sweep with shedding
 //	benchrunner -exp fig10 -json  # also write BENCH_fig10.json
 //	benchrunner -chaos -seed 7    # liveness-under-faults drill
 //	benchrunner -chaos -wipe 1    # …plus a wipe-and-rejoin (snapshot fast-sync)
 //	benchrunner -chaos -rotations 1  # …plus a consensus-ordered key rotation
+//	benchrunner -chaos -gwkills 2 # workload via HTTP gateways, two killed mid-run
 //	benchrunner -exp fig10 -metrics  # append the registry summary table
 package main
 
@@ -27,6 +29,7 @@ import (
 	"time"
 
 	"confide/internal/bench"
+	"confide/internal/gateway"
 	"confide/internal/metrics"
 	"confide/internal/node"
 )
@@ -43,10 +46,11 @@ func main() {
 	drop := flag.Float64("drop", 0.10, "chaos: global message drop rate")
 	wipe := flag.Int("wipe", 0, "chaos: wipe-and-rejoin fault count (forces snapshot fast-sync)")
 	rotations := flag.Int("rotations", 0, "chaos: consensus-ordered key rotations injected mid-run")
+	gwkills := flag.Int("gwkills", 0, "chaos: route the workload through HTTP gateways and kill this many mid-run")
 	flag.Parse()
 
 	if *chaos {
-		err := runChaos(*seed, *nodes, *txs, *drop, *wipe, *rotations)
+		err := runChaos(*seed, *nodes, *txs, *drop, *wipe, *rotations, *gwkills)
 		if *showMetrics {
 			fmt.Printf("\n=== metrics registry summary ===\n%s", metrics.Default().Summary())
 		}
@@ -90,6 +94,9 @@ func main() {
 	}
 	if *exp == "rotation" { // opt-in: key-epoch rotation under traffic
 		run("rotation", func() (any, error) { return runRotation(*txs) })
+	}
+	if *exp == "gateway" { // opt-in: closed-loop clients over real TCP gateways
+		run("gateway", func() (any, error) { return runGateway(*quick) })
 	}
 
 	if *showMetrics {
@@ -182,7 +189,7 @@ func runFig12(txs int) (any, error) {
 	return rows, nil
 }
 
-func runChaos(seed int64, nodes, txs int, drop float64, wipes, rotations int) error {
+func runChaos(seed int64, nodes, txs int, drop float64, wipes, rotations, gwkills int) error {
 	scenario := "leader crash + partition"
 	if wipes > 0 {
 		scenario += fmt.Sprintf(" + %d wipe-rejoin(s)", wipes)
@@ -190,16 +197,24 @@ func runChaos(seed int64, nodes, txs int, drop float64, wipes, rotations int) er
 	if rotations > 0 {
 		scenario += fmt.Sprintf(" + %d key rotation(s)", rotations)
 	}
+	if gwkills > 0 {
+		scenario += fmt.Sprintf(" + %d gateway kill(s), workload via HTTP edge", gwkills)
+	}
+	opts := node.ChaosOptions{
+		Nodes:        nodes,
+		Txs:          txs, // 0 = default
+		Seed:         seed,
+		DropRate:     drop,
+		WipeRejoins:  wipes,
+		Rotations:    rotations,
+		GatewayKills: gwkills,
+	}
+	if gwkills > 0 {
+		opts.Gateways = gateway.NewChaosDriver()
+	}
 	fmt.Printf("=== Chaos drill: %d nodes, seed %d, %.0f%% drop, %s ===\n",
 		nodes, seed, drop*100, scenario)
-	report, err := node.RunChaos(node.ChaosOptions{
-		Nodes:       nodes,
-		Txs:         txs, // 0 = default
-		Seed:        seed,
-		DropRate:    drop,
-		WipeRejoins: wipes,
-		Rotations:   rotations,
-	})
+	report, err := node.RunChaos(opts)
 	if err != nil {
 		return err
 	}
@@ -222,6 +237,11 @@ func runChaos(seed int64, nodes, txs int, drop float64, wipes, rotations int) er
 		fmt.Printf("key rotation: %d ring advance(s) across the cluster, %d stale-envelope rejection(s)\n",
 			report.Metrics["confide_keyepoch_rotations_total"],
 			report.Metrics["confide_keyepoch_stale_envelope_rejections_total"])
+	}
+	if gwkills > 0 {
+		fmt.Printf("gateway edge: %d request(s) served, %d tx(s) accepted across kills and failovers\n",
+			report.Metrics["confide_gateway_requests_total"],
+			report.Metrics["confide_gateway_accepted_txs_total"])
 	}
 	return nil
 }

@@ -10,6 +10,7 @@
 //	confide-node -workload scf -parallel 4
 //	confide-node -workload json -vm evm  # run the baseline VM
 //	confide-node -rotate 1 -epoch-window 2 -reseal-rate 512
+//	confide-node -gateway :8440 -linger 10m   # serve the HTTP client edge
 package main
 
 import (
@@ -20,10 +21,12 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"strconv"
 	"time"
 
 	"confide/internal/chain"
 	"confide/internal/core"
+	"confide/internal/gateway"
 	"confide/internal/metrics"
 	"confide/internal/node"
 	"confide/internal/tee"
@@ -44,6 +47,9 @@ func main() {
 	epochWindow := flag.Uint64("epoch-window", 0, "key-epoch acceptance window: envelopes up to N epochs behind current are accepted (0 = default)")
 	resealRate := flag.Int("reseal-rate", 0, "background re-seal sweep budget in records/second after a rotation (0 = default, negative = disabled)")
 	rotate := flag.Int("rotate", 0, "consensus-ordered key rotations to order mid-run (splits the workload into rotate+1 phases)")
+	gatewayAddr := flag.String("gateway", "", "serve the client gateway (attested HTTP edge) on this base address, e.g. :8440 — node i listens on port+i (port 0 picks ephemeral ports); combine with -linger to keep serving remote clients after the built-in workload")
+	gatewayRate := flag.Float64("gateway-rate", 0, "gateway per-client admission rate in tx/s, token-bucket with 2x burst (0 = unlimited)")
+	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "graceful gateway shutdown bound: in-flight requests get this long to finish after new submissions start being refused")
 	flag.Parse()
 
 	if *metricsAddr != "" {
@@ -87,6 +93,25 @@ func main() {
 	}
 	defer cluster.Close()
 
+	if *gatewayAddr != "" {
+		gateways, err := serveGateways(cluster, *gatewayAddr, *gatewayRate, *drainTimeout)
+		if err != nil {
+			fatal(err)
+		}
+		defer func() {
+			for _, gw := range gateways {
+				gw.Close() // graceful: refuse new work, drain in-flight
+			}
+		}()
+		// Remote clients need continuous block production once the built-in
+		// workload's synchronous drain loop is done; the background driver
+		// provides it (started here so submissions that race the workload
+		// commit too — driver and DrainAll proposals arbitrate through
+		// consensus, and a stale cut re-pools).
+		stopDriver := cluster.StartDriver(3 * time.Millisecond)
+		defer stopDriver()
+	}
+
 	addr := chain.AddressFromBytes([]byte("demo-contract"))
 	owner := chain.AddressFromBytes([]byte("demo-owner"))
 	code, err := workload.Compile(source, vm)
@@ -118,7 +143,6 @@ func main() {
 		fatal(fmt.Errorf("need at least one transaction per rotation phase (%d txs, %d phases)", *txCount, phases))
 	}
 	start := time.Now()
-	committed := 0
 	for p := 0; p < phases; p++ {
 		// Refresh the client onto the cluster's current epoch. Right after a
 		// rotation is ordered this is still the old epoch — those envelopes
@@ -141,11 +165,9 @@ func main() {
 			}
 			hashes = append(hashes, tx.Hash())
 		}
-		c, err := cluster.DrainAll(256, time.Minute)
-		if err != nil {
+		if _, err := cluster.DrainAll(256, time.Minute); err != nil {
 			fatal(err)
 		}
-		committed += c
 		if p < phases-1 {
 			_, rot, err := cluster.RotateEpoch(2)
 			if err != nil {
@@ -161,9 +183,16 @@ func main() {
 	}
 	elapsed := time.Since(start)
 
-	ok, failed := 0, 0
+	// Count commits from receipts, not from DrainAll's return: with -gateway
+	// the background driver proposes concurrently, so transactions commit
+	// through its blocks and the synchronous loop's own tally undercounts.
+	committed, ok, failed := 0, 0, 0
 	for _, h := range hashes {
-		if rpt, found := cluster.Leader().Receipt(h); found && rpt.Status == chain.ReceiptOK {
+		rpt, found := cluster.Leader().Receipt(h)
+		if found {
+			committed++
+		}
+		if found && rpt.Status == chain.ReceiptOK {
 			ok++
 		} else {
 			failed++
@@ -200,6 +229,42 @@ func main() {
 			time.Sleep(*linger)
 		}
 	}
+}
+
+// serveGateways starts one client gateway per node. With a non-zero port in
+// base, node i serves on port+i; port 0 lets every node pick an ephemeral
+// port. Either way the bound URLs are printed.
+func serveGateways(cluster *node.Cluster, base string, rate float64, drain time.Duration) ([]*gateway.Gateway, error) {
+	host, portStr, err := net.SplitHostPort(base)
+	if err != nil {
+		return nil, fmt.Errorf("-gateway %q: %w", base, err)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil || port < 0 {
+		return nil, fmt.Errorf("-gateway %q: bad port", base)
+	}
+	var gws []*gateway.Gateway
+	for i, nd := range cluster.Nodes {
+		addr := net.JoinHostPort(host, "0")
+		if port > 0 {
+			addr = net.JoinHostPort(host, strconv.Itoa(port+i))
+		}
+		gw, err := gateway.Serve(gateway.Config{
+			Node:         nd,
+			Addr:         addr,
+			RateLimit:    rate,
+			DrainTimeout: drain,
+		})
+		if err != nil {
+			for _, g := range gws {
+				g.Kill()
+			}
+			return nil, err
+		}
+		fmt.Printf("gateway: node %d serving %s\n", i, gw.URL())
+		gws = append(gws, gw)
+	}
+	return gws, nil
 }
 
 // serveMetrics mounts the registry's Prometheus handler and the pprof suite

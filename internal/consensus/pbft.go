@@ -704,6 +704,19 @@ func (r *Replica) Delivered() uint64 {
 	return r.delivered
 }
 
+// InFlight reports how many proposed sequences have not yet been delivered
+// — the depth of the consensus pipeline. A leader that keeps proposing far
+// ahead of delivery buys nothing but retransmit traffic; callers use this to
+// pace proposals against application progress.
+func (r *Replica) InFlight() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.nextSeq < r.delivered {
+		return 0
+	}
+	return r.nextSeq - r.delivered
+}
+
 // Close stops processing and the liveness loop.
 func (r *Replica) Close() {
 	r.mu.Lock()

@@ -1,0 +1,115 @@
+package gateway
+
+import (
+	"sync"
+	"time"
+)
+
+// Admission control: the gateway's first line of defence. Three gates run
+// in order on every submission —
+//
+//  1. per-client token bucket (fairness: one chatty client cannot starve
+//     the rest),
+//  2. backend pool depth (overload: when the node's verified+unverified
+//     pools are deeper than the gateway's cap, new work is shed — the
+//     consensus pipeline is already saturated and queueing more only grows
+//     latency),
+//  3. global in-flight request cap (protects the HTTP layer itself).
+//
+// Every rejection is explicit (429/503 + Retry-After + a machine-readable
+// code), which is what lets a closed-loop client back off instead of
+// timing out: the node degrades, it does not collapse.
+
+// tokenBucket is a classic leaky-bucket rate limiter. Guarded by the
+// owning limiter's lock.
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// clientLimiter keys token buckets by client identity (the SDK sends a
+// stable X-Confide-Client header; anonymous callers share their remote
+// host's bucket). Bounded: at capacity, the stalest bucket is evicted —
+// eviction only ever refills, never starves.
+type clientLimiter struct {
+	mu         sync.Mutex
+	rate       float64 // tokens per second
+	burst      float64
+	maxClients int
+	buckets    map[string]*tokenBucket
+}
+
+func newClientLimiter(rate, burst float64, maxClients int) *clientLimiter {
+	if maxClients <= 0 {
+		maxClients = 4096
+	}
+	return &clientLimiter{
+		rate:       rate,
+		burst:      burst,
+		maxClients: maxClients,
+		buckets:    make(map[string]*tokenBucket),
+	}
+}
+
+// allow consumes cost tokens from the client's bucket, reporting whether it
+// held enough. rate <= 0 disables limiting entirely.
+func (l *clientLimiter) allow(client string, cost float64, now time.Time) bool {
+	if l == nil || l.rate <= 0 {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.buckets[client]
+	if !ok {
+		if len(l.buckets) >= l.maxClients {
+			l.evictStalest()
+		}
+		b = &tokenBucket{tokens: l.burst, last: now}
+		l.buckets[client] = b
+	}
+	elapsed := now.Sub(b.last).Seconds()
+	if elapsed > 0 {
+		b.tokens += elapsed * l.rate
+		if b.tokens > l.burst {
+			b.tokens = l.burst
+		}
+		b.last = now
+	}
+	if b.tokens < cost {
+		return false
+	}
+	b.tokens -= cost
+	return true
+}
+
+// retryAfter estimates how long until the client's bucket holds cost tokens
+// again. Callers hold no lock; the estimate is advisory.
+func (l *clientLimiter) retryAfter(cost float64) time.Duration {
+	if l == nil || l.rate <= 0 {
+		return 0
+	}
+	return time.Duration(cost / l.rate * float64(time.Second))
+}
+
+// evictStalest drops the bucket that was touched longest ago. Caller holds
+// l.mu.
+func (l *clientLimiter) evictStalest() {
+	var victim string
+	var oldest time.Time
+	first := true
+	for k, b := range l.buckets {
+		if first || b.last.Before(oldest) {
+			victim, oldest, first = k, b.last, false
+		}
+	}
+	if victim != "" {
+		delete(l.buckets, victim)
+	}
+}
+
+// clients reports tracked bucket count (tests).
+func (l *clientLimiter) clients() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buckets)
+}

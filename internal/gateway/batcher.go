@@ -1,0 +1,116 @@
+package gateway
+
+import (
+	"errors"
+	"time"
+
+	"confide/internal/chain"
+	"confide/internal/node"
+)
+
+// The batcher pipelines accepted submissions into node.SubmitTxBatch: HTTP
+// handlers enqueue and park; a single goroutine drains the queue in batches
+// (up to BatchMax, or whatever arrived within BatchWait of the first
+// element) so a burst of concurrent single-tx requests turns into a few
+// pool-insertion passes instead of per-request lock churn. Each waiter gets
+// its own error back in submission order.
+
+type submission struct {
+	tx   *chain.Tx
+	done chan error // buffered(1); receives the node's verdict
+}
+
+type batcher struct {
+	node    *node.Node
+	queue   chan submission
+	max     int
+	wait    time.Duration
+	stop    chan struct{} // closed by close(): halt intake, drain, exit
+	stopped chan struct{} // closed when run() has exited
+}
+
+// errBatcherClosed reports a submission racing gateway shutdown.
+var errBatcherClosed = errors.New("gateway: batcher closed")
+
+func newBatcher(n *node.Node, max int, wait time.Duration, depth int) *batcher {
+	b := &batcher{
+		node:    n,
+		queue:   make(chan submission, depth),
+		max:     max,
+		wait:    wait,
+		stop:    make(chan struct{}),
+		stopped: make(chan struct{}),
+	}
+	go b.run()
+	return b
+}
+
+func (b *batcher) run() {
+	defer close(b.stopped)
+	for {
+		var first submission
+		select {
+		case first = <-b.queue:
+		case <-b.stop:
+			// Shutdown: flush stragglers that won the enqueue race so no
+			// accepted submission is silently dropped, then exit.
+			for {
+				select {
+				case s := <-b.queue:
+					s.done <- b.node.SubmitTx(s.tx)
+				default:
+					return
+				}
+			}
+		}
+		batch := []submission{first}
+		timer := time.NewTimer(b.wait)
+	collect:
+		for len(batch) < b.max {
+			select {
+			case s := <-b.queue:
+				batch = append(batch, s)
+			case <-timer.C:
+				break collect
+			case <-b.stop:
+				break collect
+			}
+		}
+		timer.Stop()
+		txs := make([]*chain.Tx, len(batch))
+		for i, s := range batch {
+			txs[i] = s.tx
+		}
+		mBatchSize.Observe(float64(len(batch)))
+		errs := b.node.SubmitTxBatch(txs)
+		for i, s := range batch {
+			s.done <- errs[i]
+		}
+	}
+}
+
+// enqueue hands one transaction to the pipeline and waits for the node's
+// verdict. Returns errBatcherClosed when racing shutdown.
+func (b *batcher) enqueue(tx *chain.Tx) error {
+	s := submission{tx: tx, done: make(chan error, 1)}
+	select {
+	case b.queue <- s:
+	case <-b.stop:
+		return errBatcherClosed
+	}
+	select {
+	case err := <-s.done:
+		return err
+	case <-b.stopped:
+		// run() exited without dequeuing us (we won the queue send after its
+		// final drain pass); treat as a shutdown race — the client retries
+		// idempotently against another gateway.
+		return errBatcherClosed
+	}
+}
+
+// close halts intake, flushes anything queued, and stops the pipeline.
+func (b *batcher) close() {
+	close(b.stop)
+	<-b.stopped
+}

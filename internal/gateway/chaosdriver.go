@@ -1,0 +1,123 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"confide/internal/chain"
+	"confide/internal/node"
+)
+
+// ChaosDriver implements node.GatewayDriver: it fronts every cluster node
+// with a live gateway so the chaos harness's workload flows over real TCP,
+// and lets the harness kill and replace individual edges mid-traffic. The
+// harness certifies afterwards that commits only entered through the edge.
+type ChaosDriver struct {
+	mu    sync.Mutex
+	nodes []*node.Node
+	gws   []*Gateway
+	http  *http.Client
+}
+
+// NewChaosDriver builds an idle driver; the chaos harness calls Start.
+func NewChaosDriver() *ChaosDriver {
+	return &ChaosDriver{http: &http.Client{Timeout: 3 * time.Second}}
+}
+
+// Start serves one gateway per cluster node on an ephemeral port.
+func (d *ChaosDriver) Start(c *node.Cluster) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.nodes = c.Nodes
+	d.gws = make([]*Gateway, len(c.Nodes))
+	for i, n := range c.Nodes {
+		gw, err := Serve(Config{Node: n})
+		if err != nil {
+			d.stopLocked()
+			return err
+		}
+		d.gws[i] = gw
+	}
+	return nil
+}
+
+// Submit posts one wire transaction to node i's gateway. A definitive
+// per-transaction verdict (accepted/duplicate/committed) is success; the
+// harness's retry loop handles everything else.
+func (d *ChaosDriver) Submit(i int, tx *chain.Tx) error {
+	d.mu.Lock()
+	if i < 0 || i >= len(d.gws) || d.gws[i] == nil {
+		d.mu.Unlock()
+		return fmt.Errorf("gateway: no gateway %d", i)
+	}
+	url := d.gws[i].URL() + "/v1/submit"
+	d.mu.Unlock()
+
+	body, err := json.Marshal(SubmitRequest{Tx: tx.Encode()})
+	if err != nil {
+		return err
+	}
+	resp, err := d.http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("gateway: submit rejected with HTTP %d: %s", resp.StatusCode, data)
+	}
+	var res SubmitResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		return err
+	}
+	if res.Status == StatusRejected {
+		return fmt.Errorf("gateway: submit rejected: %s", res.Error)
+	}
+	return nil
+}
+
+// Kill tears gateway i down abruptly — connections die, no drain.
+func (d *ChaosDriver) Kill(i int) {
+	d.mu.Lock()
+	gw := d.gws[i]
+	d.mu.Unlock()
+	if gw != nil {
+		gw.Kill()
+	}
+}
+
+// Restart serves a fresh gateway for node i (new ephemeral port).
+func (d *ChaosDriver) Restart(i int) error {
+	gw, err := Serve(Config{Node: d.nodes[i]})
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	d.gws[i] = gw
+	d.mu.Unlock()
+	return nil
+}
+
+// Stop closes every live gateway.
+func (d *ChaosDriver) Stop() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stopLocked()
+}
+
+func (d *ChaosDriver) stopLocked() {
+	for i, gw := range d.gws {
+		if gw != nil {
+			gw.Kill()
+			d.gws[i] = nil
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package gateway
+
+import (
+	"encoding/json"
+	"testing"
+
+	"confide/internal/chain"
+)
+
+// FuzzGatewayRequest throws arbitrary bytes at every request decode path the
+// edge exposes to the network: single submit, batch submit, tx-hash parsing,
+// and wire-proof verification. The decoders must reject garbage with errors,
+// never panic, and never accept a transaction beyond the size bound.
+func FuzzGatewayRequest(f *testing.F) {
+	tx := &chain.Tx{Type: chain.TxTypePublic, Payload: []byte("seed")}
+	single, _ := json.Marshal(SubmitRequest{Tx: tx.Encode()})
+	batch, _ := json.Marshal(BatchSubmitRequest{Txs: [][]byte{tx.Encode()}})
+	proof, _ := json.Marshal(Proof{Header: []byte{0x01}, Tx: tx.Encode()})
+	f.Add(uint8(0), []byte(single))
+	f.Add(uint8(1), []byte(batch))
+	f.Add(uint8(2), []byte("0xdeadbeef"))
+	f.Add(uint8(3), []byte(proof))
+	f.Add(uint8(0), []byte(`{"tx":"AAAA"}`))
+	f.Add(uint8(1), []byte(`{"txs":[""]}`))
+
+	f.Fuzz(func(t *testing.T, kind uint8, data []byte) {
+		switch kind % 4 {
+		case 0:
+			if tx, err := decodeSubmit(data, 256); err == nil {
+				if len(tx.Encode()) > 256 {
+					t.Fatal("decodeSubmit admitted an oversized transaction")
+				}
+			}
+		case 1:
+			if txs, err := decodeBatch(data, 4, 256); err == nil {
+				if len(txs) == 0 || len(txs) > 4 {
+					t.Fatalf("decodeBatch admitted a batch of %d", len(txs))
+				}
+			}
+		case 2:
+			if h, err := parseTxHash(string(data)); err == nil {
+				if h == (chain.Hash{}) && string(data) != zeroHashHex && string(data) != "0x"+zeroHashHex {
+					t.Fatal("parseTxHash returned zero hash for non-zero input")
+				}
+			}
+		case 3:
+			var p Proof
+			if json.Unmarshal(data, &p) == nil {
+				VerifyProof(&p) // must not panic on any shape
+			}
+		}
+	})
+}
+
+const zeroHashHex = "0000000000000000000000000000000000000000000000000000000000000000"

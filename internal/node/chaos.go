@@ -102,6 +102,17 @@ type ChaosOptions struct {
 	// re-seals to the new epoch, and the run is certified from the registry:
 	// the rotation counter must have moved on every node's ring.
 	Rotations int
+	// GatewayKills is how many gateway-crash faults are injected (default
+	// 0 = off). Requires Gateways: the workload then flows through the HTTP
+	// edge instead of in-process SubmitTx, a random node's gateway is killed
+	// abruptly mid-traffic and replaced when the fault window lifts, and the
+	// run is certified from the gateway request/accept counters.
+	GatewayKills int
+	// Gateways routes the workload through gateway edges. The node package
+	// cannot import the gateway package (the edge builds on the node), so
+	// the harness takes the driver as an interface; gateway.NewChaosDriver
+	// provides the implementation.
+	Gateways GatewayDriver
 	// FaultFor is how long each fault stays active (default 500ms); faults
 	// are scheduled sequentially so at most one is active at a time,
 	// keeping the fault count within f.
@@ -169,11 +180,25 @@ type ChaosReport struct {
 }
 
 type chaosFault struct {
-	at      time.Duration
-	until   time.Duration
-	isCrash bool // crash (else partition, unless isWipe)
-	isWipe  bool // wipe-and-rejoin (waits for height ≥ 2×CheckpointInterval)
-	target  int  // partition victim (crash targets the live leader)
+	at       time.Duration
+	until    time.Duration
+	isCrash  bool // crash (else partition, unless isWipe/isGwKill)
+	isWipe   bool // wipe-and-rejoin (waits for height ≥ 2×CheckpointInterval)
+	isGwKill bool // kill one node's gateway edge mid-traffic
+	target   int  // partition / gateway-kill victim (crash targets the live leader)
+}
+
+// GatewayDriver is the seam through which the chaos harness drives HTTP
+// gateway edges without the node package importing them. Start boots one
+// gateway per cluster node; Submit routes one transaction through node i's
+// gateway over real TCP; Kill tears gateway i down abruptly (no drain);
+// Restart serves a replacement for node i; Stop closes everything.
+type GatewayDriver interface {
+	Start(c *Cluster) error
+	Submit(i int, tx *chain.Tx) error
+	Kill(i int)
+	Restart(i int) error
+	Stop()
 }
 
 // RunChaos executes one seeded chaos drill and verifies convergence.
@@ -181,6 +206,9 @@ func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
 	opts = opts.withDefaults()
 	if opts.Nodes < 4 {
 		return nil, fmt.Errorf("chaos: need ≥ 4 nodes to tolerate a fault, got %d", opts.Nodes)
+	}
+	if opts.GatewayKills > 0 && opts.Gateways == nil {
+		return nil, fmt.Errorf("chaos: GatewayKills needs a Gateways driver")
 	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 	clamp := func(r float64) float64 {
@@ -215,6 +243,13 @@ func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
 	}
 	defer cluster.Close()
 
+	if opts.Gateways != nil {
+		if err := opts.Gateways.Start(cluster); err != nil {
+			return nil, fmt.Errorf("chaos: starting gateways: %w", err)
+		}
+		defer opts.Gateways.Stop()
+	}
+
 	mod, err := ccl.CompileCVM(chaosLedgerSrc)
 	if err != nil {
 		return nil, fmt.Errorf("chaos: compiling workload contract: %w", err)
@@ -234,12 +269,15 @@ func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
 	// checkpoint intervals) to force the snapshot path.
 	var faults []chaosFault
 	cursor := 300 * time.Millisecond
-	for i := 0; i < opts.LeaderCrashes+opts.Partitions+opts.WipeRejoins; i++ {
+	for i := 0; i < opts.LeaderCrashes+opts.Partitions+opts.GatewayKills+opts.WipeRejoins; i++ {
 		f := chaosFault{at: cursor, until: cursor + opts.FaultFor}
 		switch {
 		case i < opts.LeaderCrashes:
 			f.isCrash = true
 		case i < opts.LeaderCrashes+opts.Partitions:
+			f.target = rng.Intn(opts.Nodes)
+		case i < opts.LeaderCrashes+opts.Partitions+opts.GatewayKills:
+			f.isGwKill = true
 			f.target = rng.Intn(opts.Nodes)
 		default:
 			f.isWipe = true
@@ -277,9 +315,28 @@ func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
 
 	crashed := -1
 	partitioned := false
+	gwKilled := -1
 	wiped := make(map[int]bool) // nodes that lost their in-memory receipt map
 	var lastSubmit time.Time
 	deadline := start.Add(opts.Timeout)
+
+	// submit routes one workload transaction: in-process SubmitTx normally,
+	// over real TCP through the node's gateway when a driver is attached. A
+	// killed gateway is sidestepped like a crashed node — the client's
+	// failover, not a harness cheat.
+	submit := func(target int, tx *chain.Tx) {
+		if target == crashed {
+			target = (target + 1) % opts.Nodes
+		}
+		if opts.Gateways != nil {
+			if target == gwKilled {
+				target = (target + 1) % opts.Nodes
+			}
+			opts.Gateways.Submit(target, tx)
+			return
+		}
+		cluster.Nodes[target].SubmitTx(tx)
+	}
 
 	// Key-rotation schedule: opts.Rotations governance rotations are ordered
 	// mid-run, the first as soon as the chain moves, each next one after the
@@ -352,9 +409,13 @@ func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
 		now := time.Since(start)
 
 		// Inject and lift scheduled faults.
-		if len(faults) > 0 && crashed < 0 && !partitioned && now >= faults[0].at {
+		if len(faults) > 0 && crashed < 0 && !partitioned && gwKilled < 0 && now >= faults[0].at {
 			f := faults[0]
-			if f.isWipe {
+			if f.isGwKill {
+				opts.Gateways.Kill(f.target)
+				gwKilled = f.target
+				logEvent("kill gateway %d mid-traffic for %s", f.target, opts.FaultFor)
+			} else if f.isWipe {
 				// Wipe-and-rejoin fires only once two full checkpoint
 				// intervals of chain exist, so genesis replay would cross a
 				// checkpoint and the snapshot path is mandatory; until then
@@ -389,7 +450,7 @@ func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
 				logEvent("partition node %d away for %s", f.target, opts.FaultFor)
 			}
 		}
-		if len(faults) > 0 && now >= faults[0].until && (crashed >= 0 || partitioned) {
+		if len(faults) > 0 && now >= faults[0].until && (crashed >= 0 || partitioned || gwKilled >= 0) {
 			if crashed >= 0 {
 				cluster.Nodes[crashed].Endpoint().Recover()
 				logEvent("restart node %d", crashed)
@@ -399,6 +460,13 @@ func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
 				cluster.Net().Heal()
 				logEvent("heal partition")
 				partitioned = false
+			}
+			if gwKilled >= 0 {
+				if err := opts.Gateways.Restart(gwKilled); err != nil {
+					return nil, fmt.Errorf("chaos: restarting gateway %d: %w", gwKilled, err)
+				}
+				logEvent("restart gateway %d", gwKilled)
+				gwKilled = -1
 			}
 			faults = faults[1:]
 		}
@@ -471,11 +539,7 @@ func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
 					}
 					if pending == 0 {
 						if tx, _, rerr := client.NewConfidentialTx(chaosLedgerAddr, "credit", []byte("acctfill"), []byte{1}); rerr == nil {
-							live := rng.Intn(opts.Nodes)
-							if live == crashed {
-								live = (live + 1) % opts.Nodes
-							}
-							cluster.Nodes[live].SubmitTx(tx)
+							submit(rng.Intn(opts.Nodes), tx)
 						}
 					}
 				}
@@ -500,11 +564,7 @@ func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
 					}
 				}
 				if !committed {
-					target := rng.Intn(opts.Nodes)
-					if target == crashed {
-						target = (target + 1) % opts.Nodes
-					}
-					cluster.Nodes[target].SubmitTx(tx)
+					submit(rng.Intn(opts.Nodes), tx)
 				}
 			}
 		}
@@ -575,17 +635,21 @@ func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
 		return after.CounterSum(family) - before.CounterSum(family)
 	}
 	report.Metrics = map[string]uint64{
-		"confide_consensus_view_changes_total":         delta("confide_consensus_view_changes_total"),
-		"confide_consensus_retransmissions_total":      delta("confide_consensus_retransmissions_total"),
-		"confide_consensus_delivered_total":            delta("confide_consensus_delivered_total"),
-		"confide_p2p_drops_total":                      delta("confide_p2p_drops_total"),
-		"confide_node_blocks_committed_total":          delta("confide_node_blocks_committed_total"),
-		"confide_tee_ecalls_total":                     delta("confide_tee_ecalls_total"),
-		"confide_snapshot_installs_total":              delta("confide_snapshot_installs_total"),
-		"confide_node_snapshot_bad_chunks_total":       delta("confide_node_snapshot_bad_chunks_total"),
-		"confide_node_snapshot_install_failures_total": delta("confide_node_snapshot_install_failures_total"),
-		"confide_keyepoch_rotations_total":             delta("confide_keyepoch_rotations_total"),
+		"confide_consensus_view_changes_total":             delta("confide_consensus_view_changes_total"),
+		"confide_consensus_retransmissions_total":          delta("confide_consensus_retransmissions_total"),
+		"confide_consensus_delivered_total":                delta("confide_consensus_delivered_total"),
+		"confide_p2p_drops_total":                          delta("confide_p2p_drops_total"),
+		"confide_node_blocks_committed_total":              delta("confide_node_blocks_committed_total"),
+		"confide_tee_ecalls_total":                         delta("confide_tee_ecalls_total"),
+		"confide_snapshot_installs_total":                  delta("confide_snapshot_installs_total"),
+		"confide_node_snapshot_bad_chunks_total":           delta("confide_node_snapshot_bad_chunks_total"),
+		"confide_node_snapshot_install_failures_total":     delta("confide_node_snapshot_install_failures_total"),
+		"confide_keyepoch_rotations_total":                 delta("confide_keyepoch_rotations_total"),
 		"confide_keyepoch_stale_envelope_rejections_total": delta("confide_keyepoch_stale_envelope_rejections_total"),
+		"confide_gateway_requests_total":                   delta("confide_gateway_requests_total"),
+		"confide_gateway_accepted_txs_total":               delta("confide_gateway_accepted_txs_total"),
+		"confide_gateway_dedup_hits_total":                 delta("confide_gateway_dedup_hits_total"),
+		"confide_gateway_shed_total":                       delta("confide_gateway_shed_total"),
 	}
 	if metrics.Default().Enabled() {
 		pipelineEnds := after.HistogramCount("confide_pipeline_total_seconds") -
@@ -618,6 +682,19 @@ func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
 			}
 			if got := report.Metrics["confide_node_snapshot_install_failures_total"]; got != 0 {
 				return nil, fmt.Errorf("chaos: %d snapshot install(s) failed verification", got)
+			}
+		}
+		if opts.GatewayKills > 0 {
+			// The whole workload flowed through the HTTP edge: every unique
+			// transaction must have been accepted by some gateway at least
+			// once (commits cannot bypass the edge), and the request counters
+			// must show real traffic despite the kills.
+			if report.Metrics["confide_gateway_requests_total"] == 0 {
+				return nil, fmt.Errorf("chaos: gateway workload ran but the request counters never moved")
+			}
+			if got := report.Metrics["confide_gateway_accepted_txs_total"]; got < uint64(opts.Txs) {
+				return nil, fmt.Errorf("chaos: %d txs committed but gateways only accepted %d — some bypassed the edge",
+					opts.Txs, got)
 			}
 		}
 		if opts.Rotations > 0 {

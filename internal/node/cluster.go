@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"confide/internal/chain"
@@ -345,6 +346,61 @@ func (c *Cluster) ProcessRound(timeout time.Duration) (int, error) {
 		}
 	}
 	return count, nil
+}
+
+// driverMaxInFlight bounds how many consensus instances the driver lets a
+// leader keep in flight ahead of delivery. One: ProposeBlock stamps the
+// committed tip height, so of several overlapping instances only the first
+// to deliver applies — the rest arrive stale, and their transactions ride
+// the repool recovery path instead of committing. Serializing proposals
+// keeps every cut block applicable (and is also what stops in-flight
+// retransmit timers from flooding the network under a standing backlog).
+const driverMaxInFlight = 1
+
+// StartDriver runs the cluster duty cycle in the background: every interval,
+// each node pre-verifies its backlog and every node that believes it leads
+// proposes a block (consensus arbitrates when several believe during a view
+// change). This is what gives an over-the-wire workload — gateway clients on
+// real TCP — continuous block production without a synchronous ProcessRound
+// caller. The returned stop function halts the loop and waits for it to
+// exit. Don't combine with RestartNode: the driver reads c.Nodes unlocked.
+func (c *Cluster) StartDriver(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		interval = 5 * time.Millisecond
+	}
+	done := make(chan struct{})
+	stopped := make(chan struct{})
+	go func() {
+		defer close(stopped)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-ticker.C:
+			}
+			for _, n := range c.Nodes {
+				n.PreVerifyPending()
+				// Pace proposals against delivery: with a standing backlog an
+				// unbounded leader opens a new instance every tick, in-flight
+				// instances pile up far ahead of sequential block application,
+				// and their retransmit timers flood the network — throughput
+				// halves exactly when the chain is busiest. A small in-flight
+				// window keeps the pipeline full without the storm.
+				if n.IsLeader() && n.VerifiedPoolLen() > 0 && n.ConsensusBacklog() < driverMaxInFlight {
+					n.ProposeBlock()
+				}
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			<-stopped
+		})
+	}
 }
 
 // DrainAll processes rounds until every pool is empty or maxRounds is hit.

@@ -32,6 +32,8 @@ var (
 		"transactions committed inside applied blocks")
 	mDedupSkips = metrics.Default().Counter("confide_node_dedup_skips_total",
 		"transactions skipped at execution because an earlier block already held them")
+	mOversizedRejected = metrics.Default().Counter("confide_node_oversized_tx_rejections_total",
+		"transactions rejected at the submission boundary or on gossip receive for exceeding MaxTxBytes")
 	mBlockExecSeconds = metrics.Default().Histogram("confide_node_block_execute_seconds",
 		"per-block execution time (OCC passes)", nil)
 	mBlockCommitSeconds = metrics.Default().Histogram("confide_node_block_commit_seconds",

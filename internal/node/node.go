@@ -54,6 +54,12 @@ type Config struct {
 	// second. 0 selects the default rate; negative disables the loop (tests
 	// drive sweeps explicitly via ResealNow).
 	ResealRate int
+	// MaxTxBytes bounds the wire-encoded transaction size accepted at the
+	// submission boundary (SubmitTx, SubmitTxBatch) and re-checked on gossip
+	// receive, so one oversized envelope cannot be amplified cluster-wide
+	// before pre-verification would reject it. 0 selects DefaultMaxTxBytes;
+	// negative disables the bound.
+	MaxTxBytes int
 
 	// replicaBase, when set, overrides the replica sequence↔height base: a
 	// node restarted into a live cluster must map consensus sequences the
@@ -81,8 +87,21 @@ func (c Config) withDefaults() Config {
 	if c.SnapshotFetchWorkers == 0 {
 		c.SnapshotFetchWorkers = 4
 	}
+	if c.MaxTxBytes == 0 {
+		c.MaxTxBytes = DefaultMaxTxBytes
+	}
 	return c
 }
+
+// DefaultMaxTxBytes is the default wire-encoded transaction size cap at the
+// submission boundary: generous for the paper's workloads (the largest ABS
+// envelope is a few KiB) while keeping a single transaction from dominating
+// a block's gossip and storage budget.
+const DefaultMaxTxBytes = 128 << 10
+
+// ErrTxTooLarge reports a transaction whose wire encoding exceeds the
+// node's submission size bound (Config.MaxTxBytes).
+var ErrTxTooLarge = errors.New("node: transaction exceeds wire size limit")
 
 // Node is one platform participant.
 type Node struct {
@@ -114,6 +133,11 @@ type Node struct {
 	heightCh  chan struct{}                 // closed and replaced on every height advance
 	committed map[chain.Hash]*chain.Receipt // plaintext receipts (local index)
 	txHeight  map[chain.Hash]uint64         // tx → containing block (SPV proofs)
+	// commitHooks are receipt-notification callbacks (OnCommit): serving
+	// layers hosted on this node (the gateway's receipt long-poll) register
+	// here to learn which transactions each applied block committed.
+	commitHooks map[uint64]func(height uint64, hashes []chain.Hash)
+	nextHookID  uint64
 	// storeBase is the height below which block payloads (and hence the
 	// txHeight index) may be absent locally — set by snapshot install and
 	// pruning. Execution dedup below it falls back to the receipt store.
@@ -155,20 +179,21 @@ const gossipTopic = "confide/tx"
 func New(cfg Config, endpoint *p2p.Endpoint, n int, confEngine, pubEngine *core.Engine, store storage.KVStore) *Node {
 	cfg = cfg.withDefaults()
 	node := &Node{
-		cfg:        cfg,
-		endpoint:   endpoint,
-		store:      store,
-		confEngine: confEngine,
-		pubEngine:  pubEngine,
-		unverified: chain.NewTxPool(1 << 16),
-		verified:   chain.NewTxPool(1 << 16),
-		committed:  make(map[chain.Hash]*chain.Receipt),
-		txHeight:   make(map[chain.Hash]uint64),
-		heightCh:   make(chan struct{}),
-		stop:       make(chan struct{}),
-		tracer:     newPipelineTracer(),
-		snapshots:  snapshot.NewManager(),
-		badPeers:   make(map[p2p.NodeID]int),
+		cfg:         cfg,
+		endpoint:    endpoint,
+		store:       store,
+		confEngine:  confEngine,
+		pubEngine:   pubEngine,
+		unverified:  chain.NewTxPool(1 << 16),
+		verified:    chain.NewTxPool(1 << 16),
+		committed:   make(map[chain.Hash]*chain.Receipt),
+		txHeight:    make(map[chain.Hash]uint64),
+		commitHooks: make(map[uint64]func(uint64, []chain.Hash)),
+		heightCh:    make(chan struct{}),
+		stop:        make(chan struct{}),
+		tracer:      newPipelineTracer(),
+		snapshots:   snapshot.NewManager(),
+		badPeers:    make(map[p2p.NodeID]int),
 	}
 	node.recoverChainState()
 	node.adoptEpochState()
@@ -188,6 +213,13 @@ func New(cfg Config, endpoint *p2p.Endpoint, n int, confEngine, pubEngine *core.
 		node.replica.AdvanceTo(node.height - node.baseHeight)
 	}
 	endpoint.Subscribe(gossipTopic, func(m p2p.Message) {
+		if cfg.MaxTxBytes > 0 && len(m.Data) > cfg.MaxTxBytes {
+			// A peer relayed an oversized transaction (its own boundary
+			// check failed, or it is malicious); drop it here instead of
+			// pooling and re-gossiping it.
+			mOversizedRejected.Inc()
+			return
+		}
 		if tx, err := chain.DecodeTx(m.Data); err == nil && !node.isCommitted(tx.Hash()) {
 			if node.unverified.Add(tx) == nil {
 				node.tracer.Begin(node.traceKey(tx.Hash()))
@@ -276,6 +308,11 @@ func (n *Node) Height() uint64 {
 
 // SubmitTx accepts a client transaction and gossips it to the network.
 func (n *Node) SubmitTx(tx *chain.Tx) error {
+	encoded := tx.Encode()
+	if n.cfg.MaxTxBytes > 0 && len(encoded) > n.cfg.MaxTxBytes {
+		mOversizedRejected.Inc()
+		return ErrTxTooLarge
+	}
 	if n.isCommitted(tx.Hash()) {
 		return ErrAlreadyCommitted
 	}
@@ -283,12 +320,104 @@ func (n *Node) SubmitTx(tx *chain.Tx) error {
 		return err
 	}
 	n.tracer.Begin(n.traceKey(tx.Hash()))
-	n.endpoint.Broadcast(gossipTopic, tx.Encode())
+	n.endpoint.Broadcast(gossipTopic, encoded)
 	return nil
+}
+
+// SubmitTxBatch accepts a pipelined batch of client transactions (the
+// gateway's submission path) and returns one error slot per transaction,
+// nil for accepted ones. Each transaction is still gossiped individually —
+// gossip identity is per-transaction — but the boundary checks and pool
+// insertion run as one pass.
+func (n *Node) SubmitTxBatch(txs []*chain.Tx) []error {
+	errs := make([]error, len(txs))
+	for i, tx := range txs {
+		errs[i] = n.SubmitTx(tx)
+	}
+	return errs
+}
+
+// ConsensusBacklog reports how many consensus instances this node has
+// proposed that have not yet been delivered to the application — the depth
+// of the ordering pipeline. The cluster driver paces proposals with it.
+func (n *Node) ConsensusBacklog() uint64 { return n.replica.InFlight() }
+
+// Backlog reports this node's total uncommitted submission backlog: both
+// transaction pools plus the transactions riding in-flight consensus
+// instances. The last term matters on the leader, whose verified pool is
+// drained into proposals the moment they are cut — pool depth alone would
+// tell its gateway the node is idle exactly when the ordering pipeline is
+// fullest. Admission control gates on this.
+func (n *Node) Backlog() int {
+	inFlight := int(n.replica.InFlight())
+	perBlock := n.cfg.BlockMaxTxs
+	if perBlock <= 0 {
+		perBlock = 1
+	}
+	return n.unverified.Len() + n.verified.Len() + inFlight*perBlock
+}
+
+// MaxTxBytes reports the wire-encoded transaction size bound this node
+// enforces at its submission boundary (0 = unbounded).
+func (n *Node) MaxTxBytes() int {
+	if n.cfg.MaxTxBytes < 0 {
+		return 0
+	}
+	return n.cfg.MaxTxBytes
+}
+
+// OnCommit registers a receipt-notification hook invoked after every block
+// commit with the block height and the hashes of the transactions it
+// committed. Hooks run on the apply path (synchronously, outside the state
+// lock) and must be fast — the gateway uses one to wake receipt long-polls.
+// The returned function unregisters the hook.
+func (n *Node) OnCommit(fn func(height uint64, hashes []chain.Hash)) (remove func()) {
+	n.mu.Lock()
+	id := n.nextHookID
+	n.nextHookID++
+	n.commitHooks[id] = fn
+	n.mu.Unlock()
+	return func() {
+		n.mu.Lock()
+		delete(n.commitHooks, id)
+		n.mu.Unlock()
+	}
 }
 
 // ErrAlreadyCommitted reports a re-submission of an executed transaction.
 var ErrAlreadyCommitted = errors.New("node: transaction already committed")
+
+// repoolUncommitted returns transactions from a block that failed to apply
+// to the un-verified pool, skipping ones that already committed through
+// another block. Pool dedup makes this idempotent.
+func (n *Node) repoolUncommitted(txs []*chain.Tx) {
+	for _, tx := range txs {
+		if !n.isCommitted(tx.Hash()) {
+			n.unverified.Add(tx)
+		}
+	}
+}
+
+// promoteVerified moves a pre-verified transaction into the verified pool
+// unless it already committed. The check and the Add hold the state lock,
+// making them atomic against applyBlock, which records the commit under
+// the same lock before sweeping the pools — whichever side runs second
+// sees the other's effect. Without this, a transaction in transit through
+// pre-verification while its block commits would be re-added after the
+// sweep and sit in a follower's verified pool forever (followers never
+// propose, so nothing else clears it).
+func (n *Node) promoteVerified(tx *chain.Tx) bool {
+	h := tx.Hash()
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, done := n.committed[h]; done {
+		return false
+	}
+	if _, done := n.txHeight[h]; done {
+		return false
+	}
+	return n.verified.Add(tx) == nil
+}
 
 // PreVerifyPending moves valid transactions from the un-verified to the
 // verified pool (Figure 7 P1–P5). Every node runs this concurrently with
@@ -308,7 +437,7 @@ func (n *Node) PreVerifyPending() int {
 			// Structural check only here; the semantic checks (successor
 			// epoch, future height) run against chain state at execution.
 			if _, err := keyepoch.DecodeRotation(tx.Payload); err == nil {
-				if n.verified.Add(tx) == nil {
+				if n.promoteVerified(tx) {
 					n.tracer.Mark(n.traceKey(tx.Hash()), "preverify")
 					moved++
 				}
@@ -318,13 +447,13 @@ func (n *Node) PreVerifyPending() int {
 		}
 	}
 	for _, tx := range n.confEngine.PreVerifyBatch(confidential) {
-		if n.verified.Add(tx) == nil {
+		if n.promoteVerified(tx) {
 			n.tracer.Mark(n.traceKey(tx.Hash()), "preverify")
 			moved++
 		}
 	}
 	for _, tx := range n.pubEngine.PreVerifyBatch(public) {
-		if n.verified.Add(tx) == nil {
+		if n.promoteVerified(tx) {
 			n.tracer.Mark(n.traceKey(tx.Hash()), "preverify")
 			moved++
 		}
@@ -389,7 +518,16 @@ func (n *Node) applyBlock(payload []byte) bool {
 	tipHeight, tipHash := n.height, n.prevHash
 	n.mu.Unlock()
 	if block.Header.Height != tipHeight || block.Header.PrevHash != tipHash {
-		return false // stale (already applied via the other path) or gapped
+		// Stale (already applied via the other path) or gapped. A stale
+		// delivery can still carry transactions that never committed — a
+		// proposal cut against a tip another instance advanced past. The
+		// proposer popped those from its pool at proposal time; without
+		// re-pooling, its copies are gone and the transactions strand in
+		// every follower's pool until leadership happens to rotate. Put the
+		// uncommitted ones back (Add dedups, so nodes that still hold their
+		// gossiped copies no-op).
+		n.repoolUncommitted(block.Txs)
+		return false
 	}
 	// A synced block travelled outside consensus; re-derive the tx root
 	// before trusting its contents.
@@ -470,6 +608,18 @@ func (n *Node) applyBlock(payload []byte) bool {
 	n.blocksClosed.Add(1)
 	mBlocks.Inc()
 	mTxsCommitted.Add(uint64(len(block.Txs)))
+	// Receipt notification: serving layers (gateway long-polls) learn what
+	// this block committed. Hooks run outside the state lock so they may
+	// call back into Receipt/ProveTx.
+	n.mu.Lock()
+	hooks := make([]func(uint64, []chain.Hash), 0, len(n.commitHooks))
+	for _, fn := range n.commitHooks {
+		hooks = append(hooks, fn)
+	}
+	n.mu.Unlock()
+	for _, fn := range hooks {
+		fn(block.Header.Height, hashes)
+	}
 	// Still under applyMu: the store is quiescent, so a due checkpoint sees
 	// exactly the state after this block.
 	n.maybeCheckpoint()
