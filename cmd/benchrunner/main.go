@@ -19,6 +19,8 @@
 //	benchrunner -chaos -wipe 1    # …plus a wipe-and-rejoin (snapshot fast-sync)
 //	benchrunner -chaos -rotations 1  # …plus a consensus-ordered key rotation
 //	benchrunner -chaos -gwkills 2 # workload via HTTP gateways, two killed mid-run
+//	benchrunner -chaos -crashes 3 -diskfaults  # power-cut crashes at named crash
+//	                              # points with transient disk faults layered on
 //	benchrunner -exp fig10 -metrics  # append the registry summary table
 package main
 
@@ -47,10 +49,12 @@ func main() {
 	wipe := flag.Int("wipe", 0, "chaos: wipe-and-rejoin fault count (forces snapshot fast-sync)")
 	rotations := flag.Int("rotations", 0, "chaos: consensus-ordered key rotations injected mid-run")
 	gwkills := flag.Int("gwkills", 0, "chaos: route the workload through HTTP gateways and kill this many mid-run")
+	crashes := flag.Int("crashes", 0, "chaos: crash-and-recover disk faults (kill at a random crash point, revive from the frozen disk image)")
+	diskfaults := flag.Bool("diskfaults", false, "chaos: layer transient disk faults (ENOSPC, EIO, bit-flips, lying fsyncs) onto each crash window")
 	flag.Parse()
 
 	if *chaos {
-		err := runChaos(*seed, *nodes, *txs, *drop, *wipe, *rotations, *gwkills)
+		err := runChaos(*seed, *nodes, *txs, *drop, *wipe, *rotations, *gwkills, *crashes, *diskfaults)
 		if *showMetrics {
 			fmt.Printf("\n=== metrics registry summary ===\n%s", metrics.Default().Summary())
 		}
@@ -189,7 +193,7 @@ func runFig12(txs int) (any, error) {
 	return rows, nil
 }
 
-func runChaos(seed int64, nodes, txs int, drop float64, wipes, rotations, gwkills int) error {
+func runChaos(seed int64, nodes, txs int, drop float64, wipes, rotations, gwkills, crashes int, diskfaults bool) error {
 	scenario := "leader crash + partition"
 	if wipes > 0 {
 		scenario += fmt.Sprintf(" + %d wipe-rejoin(s)", wipes)
@@ -200,6 +204,12 @@ func runChaos(seed int64, nodes, txs int, drop float64, wipes, rotations, gwkill
 	if gwkills > 0 {
 		scenario += fmt.Sprintf(" + %d gateway kill(s), workload via HTTP edge", gwkills)
 	}
+	if crashes > 0 {
+		scenario += fmt.Sprintf(" + %d power-cut crash(es) at named crash points", crashes)
+		if diskfaults {
+			scenario += " with transient disk faults"
+		}
+	}
 	opts := node.ChaosOptions{
 		Nodes:        nodes,
 		Txs:          txs, // 0 = default
@@ -208,6 +218,8 @@ func runChaos(seed int64, nodes, txs int, drop float64, wipes, rotations, gwkill
 		WipeRejoins:  wipes,
 		Rotations:    rotations,
 		GatewayKills: gwkills,
+		Crashes:      crashes,
+		DiskFaults:   diskfaults,
 	}
 	if gwkills > 0 {
 		opts.Gateways = gateway.NewChaosDriver()
@@ -242,6 +254,17 @@ func runChaos(seed int64, nodes, txs int, drop float64, wipes, rotations, gwkill
 		fmt.Printf("gateway edge: %d request(s) served, %d tx(s) accepted across kills and failovers\n",
 			report.Metrics["confide_gateway_requests_total"],
 			report.Metrics["confide_gateway_accepted_txs_total"])
+	}
+	if crashes > 0 {
+		d := report.Disk
+		fmt.Printf("crash drill: %d crash recover(ies), %d quarantine(s), %d node fail-stop(s); sealed state re-verified on all %d nodes\n",
+			report.Metrics["confide_node_crash_recoveries_total"],
+			report.Metrics["confide_node_store_quarantines_total"],
+			report.Metrics["confide_node_store_fatal_total"], report.Nodes)
+		fmt.Printf("disk faults: %d torn tail(s), %d ENOSPC, %d read error(s), %d bit-flip(s), %d fsync lie(s), %d sticky store failure(s), %d read retr(ies)\n",
+			d.TornTails, d.WriteErrs, d.ReadErrs, d.BitFlips, d.SyncLies,
+			report.Metrics["confide_storage_sticky_failures_total"],
+			report.Metrics["confide_storage_read_retries_total"])
 	}
 	return nil
 }

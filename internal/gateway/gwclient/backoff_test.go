@@ -1,0 +1,154 @@
+package gwclient
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"confide/internal/chain"
+	"confide/internal/core"
+	"confide/internal/gateway"
+)
+
+func mustTestTx(t *testing.T) *chain.Tx {
+	t.Helper()
+	cc, err := core.NewClient(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := cc.NewPublicTx(chain.Address{0x01}, "ping", []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tx
+}
+
+func backoffClient(base, max time.Duration) *Client {
+	return &Client{cfg: Config{RetryBaseDelay: base, RetryMaxDelay: max}}
+}
+
+func TestBackoffExponentialJitterBounds(t *testing.T) {
+	c := backoffClient(10*time.Millisecond, time.Second)
+	for attempt := 0; attempt < 5; attempt++ {
+		ideal := c.cfg.RetryBaseDelay << uint(attempt)
+		lo, hi := ideal/2, ideal+ideal/2
+		var min, max time.Duration = time.Hour, 0
+		for i := 0; i < 200; i++ {
+			d := c.backoff(attempt, 0)
+			if d < lo || d >= hi {
+				t.Fatalf("attempt %d: backoff %v outside jitter window [%v, %v)", attempt, d, lo, hi)
+			}
+			if d < min {
+				min = d
+			}
+			if d > max {
+				max = d
+			}
+		}
+		if max-min < ideal/4 {
+			t.Errorf("attempt %d: jitter spread %v suspiciously narrow for base %v", attempt, max-min, ideal)
+		}
+	}
+}
+
+func TestBackoffCapAndHint(t *testing.T) {
+	c := backoffClient(10*time.Millisecond, 80*time.Millisecond)
+	// Deep attempts (including shift-overflow territory) stay under the cap.
+	for _, attempt := range []int{4, 10, 62, 63, 70} {
+		for i := 0; i < 50; i++ {
+			if d := c.backoff(attempt, 0); d > c.cfg.RetryMaxDelay {
+				t.Fatalf("attempt %d: backoff %v above cap %v", attempt, d, c.cfg.RetryMaxDelay)
+			}
+		}
+	}
+	// A larger Retry-After hint floors the delay; the cap still wins overall.
+	for i := 0; i < 50; i++ {
+		if d := c.backoff(0, 60*time.Millisecond); d < 60*time.Millisecond {
+			t.Fatalf("hint ignored: backoff %v < 60ms hint", d)
+		}
+	}
+	if d := c.backoff(0, time.Minute); d != 80*time.Millisecond {
+		t.Fatalf("oversized hint not capped: %v", d)
+	}
+}
+
+// TestSubmitRetryBudgetExhausted points the SDK at a gateway that always
+// sheds with a Retry-After hint and requires the per-call budget to cut the
+// retry loop short — returning a budget error, not sleeping through every
+// configured attempt.
+func TestSubmitRetryBudgetExhausted(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(gateway.ErrorBody{Error: gateway.CodeOverloaded, RetryAfterMs: 40})
+	}))
+	defer srv.Close()
+
+	c := &Client{
+		cfg: Config{
+			Gateways:       []string{srv.URL},
+			MaxAttempts:    100,
+			RetryBaseDelay: 5 * time.Millisecond,
+			RetryMaxDelay:  50 * time.Millisecond,
+			RetryBudget:    120 * time.Millisecond,
+			HTTPTimeout:    time.Second,
+			ClientID:       "budget-test",
+		},
+		http: srv.Client(),
+	}
+	start := time.Now()
+	err := c.SubmitTx(mustTestTx(t))
+	elapsed := time.Since(start)
+	if err == nil || !strings.Contains(err.Error(), "retry budget exhausted") {
+		t.Fatalf("want budget-exhausted error, got %v", err)
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != gateway.CodeOverloaded {
+		t.Fatalf("budget error should wrap the last gateway rejection, got %v", err)
+	}
+	if n := hits.Load(); n < 2 || n >= 100 {
+		t.Fatalf("expected a few attempts before the budget cut in, got %d", n)
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("budgeted call took %v — budget did not bound the sleeps", elapsed)
+	}
+}
+
+// TestSubmitDeterministicRejectionNoRetry confirms rejections that no other
+// gateway would answer differently (bad request) fail fast without burning
+// the retry budget.
+func TestSubmitDeterministicRejectionNoRetry(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(gateway.ErrorBody{Error: gateway.CodeBadRequest, Detail: "malformed"})
+	}))
+	defer srv.Close()
+
+	c := &Client{
+		cfg: Config{
+			Gateways:       []string{srv.URL},
+			MaxAttempts:    10,
+			RetryBaseDelay: time.Millisecond,
+			RetryMaxDelay:  time.Millisecond,
+			RetryBudget:    time.Second,
+			HTTPTimeout:    time.Second,
+			ClientID:       "fastfail-test",
+		},
+		http: srv.Client(),
+	}
+	var apiErr *APIError
+	if err := c.SubmitTx(mustTestTx(t)); !errors.As(err, &apiErr) || apiErr.Code != gateway.CodeBadRequest {
+		t.Fatalf("want bad_request APIError, got %v", err)
+	}
+	if n := hits.Load(); n != 1 {
+		t.Fatalf("deterministic rejection retried: %d attempts", n)
+	}
+}

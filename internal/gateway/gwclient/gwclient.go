@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"sync"
 	"sync/atomic"
@@ -57,6 +58,17 @@ type Config struct {
 	// MaxAttempts bounds failover retries for one submission (default
 	// 2×len(Gateways)).
 	MaxAttempts int
+	// RetryBaseDelay is the first backoff between failover attempts
+	// (default 25ms). Each further attempt doubles it, jittered ±50%.
+	RetryBaseDelay time.Duration
+	// RetryMaxDelay caps a single backoff sleep (default 2s). A gateway's
+	// Retry-After hint is honored even when it exceeds the computed backoff,
+	// but never past this cap.
+	RetryMaxDelay time.Duration
+	// RetryBudget caps the total time one SubmitTx call may spend sleeping
+	// between attempts (default 10s). Once spent, the call returns the last
+	// error even if attempts remain.
+	RetryBudget time.Duration
 }
 
 // APIError is a structured rejection from a gateway.
@@ -112,6 +124,15 @@ func Dial(cfg Config) (*Client, error) {
 	}
 	if cfg.MaxAttempts <= 0 {
 		cfg.MaxAttempts = 2 * len(cfg.Gateways)
+	}
+	if cfg.RetryBaseDelay <= 0 {
+		cfg.RetryBaseDelay = 25 * time.Millisecond
+	}
+	if cfg.RetryMaxDelay <= 0 {
+		cfg.RetryMaxDelay = 2 * time.Second
+	}
+	if cfg.RetryBudget <= 0 {
+		cfg.RetryBudget = 10 * time.Second
 	}
 	cc, err := core.NewClient(nil)
 	if err != nil {
@@ -251,6 +272,7 @@ func (c *Client) SubmitTx(tx *chain.Tx) error {
 		return err
 	}
 	var lastErr error = ErrNoGateway
+	var slept time.Duration
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
 		base := c.nextGateway()
 		var res gateway.SubmitResult
@@ -262,20 +284,49 @@ func (c *Client) SubmitTx(tx *chain.Tx) error {
 			return nil // accepted, duplicate, or committed — all terminal successes
 		}
 		lastErr = err
+		var hint time.Duration
 		var apiErr *APIError
 		if errors.As(err, &apiErr) {
 			switch apiErr.Code {
 			case gateway.CodeStaleEpoch, gateway.CodeBadRequest, gateway.CodeTxTooLarge:
 				return err // deterministic — no other gateway will differ
-			case gateway.CodeRateLimited:
-				if apiErr.RetryAfter > 0 && apiErr.RetryAfter < time.Second {
-					time.Sleep(apiErr.RetryAfter)
-				}
 			}
+			hint = apiErr.RetryAfter
 		}
-		// draining / overloaded / network error: fail over to the next one.
+		// Draining / overloaded / rate-limited / network error: back off,
+		// then fail over to the next gateway. A fleet-wide brownout must not
+		// turn every client into a synchronized retry stampede, so the
+		// exponential delay is jittered; the server's Retry-After hint wins
+		// when it asks for more.
+		if attempt == c.cfg.MaxAttempts-1 {
+			break // no sleep after the final attempt
+		}
+		delay := c.backoff(attempt, hint)
+		if slept+delay > c.cfg.RetryBudget {
+			return fmt.Errorf("gwclient: retry budget exhausted after %d attempts: %w", attempt+1, lastErr)
+		}
+		time.Sleep(delay)
+		slept += delay
 	}
 	return lastErr
+}
+
+// backoff computes the sleep before retry attempt+1: exponential from
+// RetryBaseDelay, jittered ±50% so concurrent clients desynchronize, floored
+// by the server's Retry-After hint, and capped at RetryMaxDelay.
+func (c *Client) backoff(attempt int, hint time.Duration) time.Duration {
+	d := c.cfg.RetryBaseDelay << uint(attempt)
+	if d <= 0 || d > c.cfg.RetryMaxDelay { // shift overflow guard
+		d = c.cfg.RetryMaxDelay
+	}
+	d = d/2 + time.Duration(rand.Int63n(int64(d))) // uniform in [d/2, 3d/2)
+	if hint > d {
+		d = hint
+	}
+	if d > c.cfg.RetryMaxDelay {
+		d = c.cfg.RetryMaxDelay
+	}
+	return d
 }
 
 // Receipt is an SPV-verified receipt: the raw (possibly sealed) receipt

@@ -13,6 +13,8 @@ import (
 	"confide/internal/keyepoch"
 	"confide/internal/metrics"
 	"confide/internal/p2p"
+	"confide/internal/storage/vfs"
+	"confide/internal/storage/vfs/faultfs"
 )
 
 // Chaos harness: a seeded end-to-end fault drill. It boots a cluster, keeps
@@ -108,6 +110,26 @@ type ChaosOptions struct {
 	// abruptly mid-traffic and replaced when the fault window lifts, and the
 	// run is certified from the gateway request/accept counters.
 	GatewayKills int
+	// Crashes is how many crash-and-recover disk faults are injected
+	// (default 0 = off). Each one arms a random named crash point (WAL
+	// append, memtable flush, sstable publish, prune) on a random node and
+	// lets live traffic drive the node through it — the fault filesystem
+	// freezes at the exact durable image a power cut would leave and the
+	// node dies without any clean shutdown. If traffic never reaches the
+	// armed point by the end of the fault window the crash is forced (the
+	// "power cable" fault). When the window lifts the node is revived from
+	// the frozen image: WAL replay normally, quarantine plus snapshot
+	// fast-sync when the image is corrupted beyond the WAL's tolerance.
+	// Enabling this backs every store with faultfs (synced WALs, small
+	// memtables) and turns on checkpoints, and the run is certified from
+	// the registry: every crash recovered, no committed transaction lost,
+	// identical chain prefixes, and every node's sealed state re-verifies
+	// (AuditSealedState) after convergence.
+	Crashes int
+	// DiskFaults layers transient disk faults onto the crash victim's
+	// filesystem during each crash window: ENOSPC after partial writes,
+	// transient read EIO, read bit-flips, lying fsyncs. Requires Crashes.
+	DiskFaults bool
 	// Gateways routes the workload through gateway edges. The node package
 	// cannot import the gateway package (the edge builds on the node), so
 	// the harness takes the driver as an interface; gateway.NewChaosDriver
@@ -175,17 +197,35 @@ type ChaosReport struct {
 	// move, under loss the retransmission counter must, and the pipeline
 	// must have traced at least Txs commits.
 	Metrics map[string]uint64
+	// Disk aggregates the fault filesystems' injected-fault and crash
+	// counters across all nodes (Crashes > 0 runs only).
+	Disk faultfs.Stats
 	// Events is the injected fault timeline.
 	Events []string
 }
 
 type chaosFault struct {
-	at       time.Duration
-	until    time.Duration
-	isCrash  bool // crash (else partition, unless isWipe/isGwKill)
-	isWipe   bool // wipe-and-rejoin (waits for height ≥ 2×CheckpointInterval)
-	isGwKill bool // kill one node's gateway edge mid-traffic
-	target   int  // partition / gateway-kill victim (crash targets the live leader)
+	at          time.Duration
+	until       time.Duration
+	isCrash     bool   // crash (else partition, unless isWipe/isGwKill/isDiskCrash)
+	isWipe      bool   // wipe-and-rejoin (waits for height ≥ 2×CheckpointInterval)
+	isGwKill    bool   // kill one node's gateway edge mid-traffic
+	isDiskCrash bool   // arm a crash point, kill without shutdown, revive from disk image
+	point       string // armed crash point (disk crashes)
+	target      int    // partition / gateway-kill / disk-crash victim
+}
+
+// chaosCrashPoints are the points a disk-crash fault arms: the ones the
+// drill's own traffic reliably drives (every commit appends to the WAL; the
+// 4 KiB memtable makes flushes and publishes frequent; checkpoints every 3
+// blocks make prune passes frequent). Checkpoint-install and reseal-sweep
+// fire only during fast-sync and rotation drains, so targeted tests cover
+// them instead of the randomized drill.
+var chaosCrashPoints = []string{
+	vfs.CrashWALAppend,
+	vfs.CrashMemtableFlush,
+	vfs.CrashSSTablePublish,
+	vfs.CrashPrune,
 }
 
 // GatewayDriver is the seam through which the chaos harness drives HTTP
@@ -210,6 +250,9 @@ func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
 	if opts.GatewayKills > 0 && opts.Gateways == nil {
 		return nil, fmt.Errorf("chaos: GatewayKills needs a Gateways driver")
 	}
+	if opts.DiskFaults && opts.Crashes == 0 {
+		return nil, fmt.Errorf("chaos: DiskFaults layers onto crash windows; set Crashes > 0")
+	}
 	rng := rand.New(rand.NewSource(opts.Seed))
 	clamp := func(r float64) float64 {
 		if r < 0 {
@@ -218,7 +261,9 @@ func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
 		return r
 	}
 	cluster, err := NewCluster(ClusterOptions{
-		Nodes: opts.Nodes,
+		Nodes:      opts.Nodes,
+		DiskFaults: opts.Crashes > 0,
+		FaultSeed:  opts.Seed,
 		Network: p2p.Config{
 			DropRate:      clamp(opts.DropRate),
 			DuplicateRate: clamp(opts.DuplicateRate),
@@ -269,7 +314,7 @@ func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
 	// checkpoint intervals) to force the snapshot path.
 	var faults []chaosFault
 	cursor := 300 * time.Millisecond
-	for i := 0; i < opts.LeaderCrashes+opts.Partitions+opts.GatewayKills+opts.WipeRejoins; i++ {
+	for i := 0; i < opts.LeaderCrashes+opts.Partitions+opts.GatewayKills+opts.Crashes+opts.WipeRejoins; i++ {
 		f := chaosFault{at: cursor, until: cursor + opts.FaultFor}
 		switch {
 		case i < opts.LeaderCrashes:
@@ -278,6 +323,10 @@ func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
 			f.target = rng.Intn(opts.Nodes)
 		case i < opts.LeaderCrashes+opts.Partitions+opts.GatewayKills:
 			f.isGwKill = true
+			f.target = rng.Intn(opts.Nodes)
+		case i < opts.LeaderCrashes+opts.Partitions+opts.GatewayKills+opts.Crashes:
+			f.isDiskCrash = true
+			f.point = chaosCrashPoints[rng.Intn(len(chaosCrashPoints))]
 			f.target = rng.Intn(opts.Nodes)
 		default:
 			f.isWipe = true
@@ -316,6 +365,7 @@ func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
 	crashed := -1
 	partitioned := false
 	gwKilled := -1
+	diskCrashed := -1           // disk-crash victim for the active window
 	wiped := make(map[int]bool) // nodes that lost their in-memory receipt map
 	var lastSubmit time.Time
 	deadline := start.Add(opts.Timeout)
@@ -325,7 +375,7 @@ func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
 	// killed gateway is sidestepped like a crashed node — the client's
 	// failover, not a harness cheat.
 	submit := func(target int, tx *chain.Tx) {
-		if target == crashed {
+		if target == crashed || target == diskCrashed {
 			target = (target + 1) % opts.Nodes
 		}
 		if opts.Gateways != nil {
@@ -347,17 +397,22 @@ func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
 	targetEpoch := uint64(1)
 
 	allCommitted := func() bool {
-		for i, n := range cluster.Nodes {
+		for _, n := range cluster.Nodes {
 			for _, tx := range txs {
-				if wiped[i] {
-					// A wiped node's pre-wipe receipts live only in its
-					// snapshot-installed store (rc/), not the in-memory map;
-					// their contents were already status-checked on the
-					// replicas that executed them.
-					if _, found, err := n.StoredReceipt(tx.Hash()); err != nil || !found {
+				// The in-memory receipt map holds what this node executed
+				// itself; a node that rejoined through snapshot fast-sync —
+				// wiped, crash-recovered, or simply partitioned past its
+				// peers' pruning horizon — carries earlier receipts only in
+				// its snapshot-installed store (rc/). Presence there is the
+				// certification: their contents were already status-checked
+				// on the replicas that executed them.
+				if rpt, ok := n.Receipt(tx.Hash()); ok {
+					if rpt.Status != chain.ReceiptOK {
 						return false
 					}
-				} else if rpt, ok := n.Receipt(tx.Hash()); !ok || rpt.Status != chain.ReceiptOK {
+					continue
+				}
+				if _, found, err := n.StoredReceipt(tx.Hash()); err != nil || !found {
 					return false
 				}
 			}
@@ -389,7 +444,7 @@ func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
 
 	// The drill runs until the whole fault schedule has played out AND the
 	// cluster has converged afterwards.
-	for len(faults) > 0 || crashed >= 0 || partitioned || !converged() {
+	for len(faults) > 0 || crashed >= 0 || partitioned || diskCrashed >= 0 || !converged() {
 		if time.Now().After(deadline) {
 			var state string
 			for i, n := range cluster.Nodes {
@@ -409,12 +464,27 @@ func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
 		now := time.Since(start)
 
 		// Inject and lift scheduled faults.
-		if len(faults) > 0 && crashed < 0 && !partitioned && gwKilled < 0 && now >= faults[0].at {
+		if len(faults) > 0 && crashed < 0 && !partitioned && gwKilled < 0 && diskCrashed < 0 && now >= faults[0].at {
 			f := faults[0]
 			if f.isGwKill {
 				opts.Gateways.Kill(f.target)
 				gwKilled = f.target
 				logEvent("kill gateway %d mid-traffic for %s", f.target, opts.FaultFor)
+			} else if f.isDiskCrash {
+				// Arm the crash point and let live traffic drive the victim
+				// through it; the node fail-stops itself the instant it fires.
+				// The kill is completed (and forced, if traffic never got
+				// there) when the window lifts.
+				if _, aerr := cluster.ArmCrash(f.target, f.point); aerr != nil {
+					return nil, aerr
+				}
+				if opts.DiskFaults {
+					cluster.FaultFS(f.target).SetProbs(faultfs.Probs{
+						WriteErr: 0.01, ReadErr: 0.01, ReadFlip: 0.01, SyncLie: 0.05,
+					})
+				}
+				diskCrashed = f.target
+				logEvent("arm crash point %q on node %d (transient disk faults: %v)", f.point, f.target, opts.DiskFaults)
 			} else if f.isWipe {
 				// Wipe-and-rejoin fires only once two full checkpoint
 				// intervals of chain exist, so genesis replay would cross a
@@ -450,11 +520,37 @@ func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
 				logEvent("partition node %d away for %s", f.target, opts.FaultFor)
 			}
 		}
-		if len(faults) > 0 && now >= faults[0].until && (crashed >= 0 || partitioned || gwKilled >= 0) {
+		if len(faults) > 0 && now >= faults[0].until && (crashed >= 0 || partitioned || gwKilled >= 0 || diskCrashed >= 0) {
 			if crashed >= 0 {
 				cluster.Nodes[crashed].Endpoint().Recover()
 				logEvent("restart node %d", crashed)
 				crashed = -1
+			}
+			if diskCrashed >= 0 {
+				// Complete the kill (idempotent if the armed point already
+				// froze the disk and the node fail-stopped) and bring the node
+				// back up from the crash image.
+				if cerr := cluster.CrashNode(diskCrashed); cerr != nil {
+					return nil, cerr
+				}
+				if opts.Gateways != nil {
+					opts.Gateways.Kill(diskCrashed) // edge dies with its host
+				}
+				quarantined, rerr := cluster.ReviveNode(diskCrashed)
+				if rerr != nil {
+					return nil, fmt.Errorf("chaos: reviving node %d: %w", diskCrashed, rerr)
+				}
+				if opts.Gateways != nil {
+					if rerr := opts.Gateways.Restart(diskCrashed); rerr != nil {
+						return nil, fmt.Errorf("chaos: rebinding gateway %d after revive: %w", diskCrashed, rerr)
+					}
+				}
+				// Pre-crash confidential receipts survive only sealed in the
+				// store; the in-memory index is checked via StoredReceipt,
+				// like a wiped node's.
+				wiped[diskCrashed] = true
+				logEvent("revive node %d from crash image (quarantined=%v)", diskCrashed, quarantined)
+				diskCrashed = -1
 			}
 			if partitioned {
 				cluster.Net().Heal()
@@ -616,6 +712,31 @@ func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
 		}
 	}
 	report.StateRoot = roots[0]
+	if opts.Crashes > 0 {
+		// Post-crash certification: every node's sealed state must re-verify
+		// end-to-end (AEAD open of every confidential code and state record)
+		// after the crash-restart cycles, and the audit must actually have
+		// had sealed workload to open.
+		for i, n := range cluster.Nodes {
+			st, aerr := n.ConfidentialEngine().AuditSealedState()
+			if aerr != nil {
+				return nil, fmt.Errorf("chaos: node %d sealed-state audit failed after crash drill: %w", i, aerr)
+			}
+			if st.Opened == 0 {
+				return nil, fmt.Errorf("chaos: node %d sealed-state audit opened no records — nothing was certified", i)
+			}
+		}
+		for i := range cluster.Nodes {
+			s := cluster.FaultFS(i).Stats()
+			report.Disk.WriteErrs += s.WriteErrs
+			report.Disk.ReadErrs += s.ReadErrs
+			report.Disk.BitFlips += s.BitFlips
+			report.Disk.SyncErrs += s.SyncErrs
+			report.Disk.SyncLies += s.SyncLies
+			report.Disk.TornTails += s.TornTails
+			report.Disk.Crashes += s.Crashes
+		}
+	}
 	for _, n := range cluster.Nodes {
 		if vc := n.Replica().ViewChanges(); vc > report.ViewChanges {
 			report.ViewChanges = vc
@@ -650,6 +771,11 @@ func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
 		"confide_gateway_accepted_txs_total":               delta("confide_gateway_accepted_txs_total"),
 		"confide_gateway_dedup_hits_total":                 delta("confide_gateway_dedup_hits_total"),
 		"confide_gateway_shed_total":                       delta("confide_gateway_shed_total"),
+		"confide_node_store_fatal_total":                   delta("confide_node_store_fatal_total"),
+		"confide_node_store_quarantines_total":             delta("confide_node_store_quarantines_total"),
+		"confide_node_crash_recoveries_total":              delta("confide_node_crash_recoveries_total"),
+		"confide_storage_sticky_failures_total":            delta("confide_storage_sticky_failures_total"),
+		"confide_storage_read_retries_total":               delta("confide_storage_read_retries_total"),
 	}
 	if metrics.Default().Enabled() {
 		pipelineEnds := after.HistogramCount("confide_pipeline_total_seconds") -
@@ -697,6 +823,15 @@ func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
 					opts.Txs, got)
 			}
 		}
+		if opts.Crashes > 0 {
+			// Every injected crash must have gone through a revive (WAL
+			// recovery or quarantine + fast-sync) — a crash that "recovered"
+			// without the recovery path is a harness bug, and a node that
+			// never came back would have blocked convergence above.
+			if got := report.Metrics["confide_node_crash_recoveries_total"]; got < uint64(opts.Crashes) {
+				return nil, fmt.Errorf("chaos: %d crash(es) injected but only %d crash recoveries recorded", opts.Crashes, got)
+			}
+		}
 		if opts.Rotations > 0 {
 			// Every node's ring must have advanced for every ordered
 			// rotation (a wiped-and-rejoined node re-advances on adoption,
@@ -711,19 +846,21 @@ func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
 	return report, nil
 }
 
-// chaosCheckpointInterval is the checkpoint cadence a wipe-rejoin drill runs
-// with (checkpoints stay off otherwise, matching the default deployment).
+// chaosCheckpointInterval is the checkpoint cadence a wipe-rejoin or crash
+// drill runs with (checkpoints stay off otherwise, matching the default
+// deployment). Crash drills need them so a quarantined store can rebuild by
+// snapshot fast-sync — and so the prune crash point has traffic.
 func chaosCheckpointInterval(opts ChaosOptions) uint64 {
-	if opts.WipeRejoins == 0 {
+	if opts.WipeRejoins == 0 && opts.Crashes == 0 {
 		return 0
 	}
 	return 3
 }
 
-// chaosRetention keeps two intervals of payload history in a wipe-rejoin
-// drill, so pruning is exercised without starving the tail replay.
+// chaosRetention keeps two intervals of payload history in a wipe-rejoin or
+// crash drill, so pruning is exercised without starving the tail replay.
 func chaosRetention(opts ChaosOptions) uint64 {
-	if opts.WipeRejoins == 0 {
+	if opts.WipeRejoins == 0 && opts.Crashes == 0 {
 		return 0
 	}
 	return 6

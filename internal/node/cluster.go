@@ -13,6 +13,8 @@ import (
 	"confide/internal/kms"
 	"confide/internal/p2p"
 	"confide/internal/storage"
+	"confide/internal/storage/vfs"
+	"confide/internal/storage/vfs/faultfs"
 	"confide/internal/tee"
 )
 
@@ -36,6 +38,18 @@ type ClusterOptions struct {
 	// StoreDir, when set, backs every node with a durable LSM store under
 	// StoreDir/node-<id> instead of the in-memory store.
 	StoreDir string
+	// DiskFaults backs every node's store with a seeded fault-injection
+	// filesystem (faultfs) plus a crash-point registry, enabling the
+	// ArmCrash / CrashNode / ReviveNode drill primitives. The stores are
+	// durable LSM stores over the virtual filesystem (no real disk I/O);
+	// StoreDir names the virtual root and defaults to "faultfs". WALs are
+	// synced on every commit (the durability under test is the synced WAL's)
+	// and memtables are kept small so flush and publish crash points fire
+	// under test-sized workloads.
+	DiskFaults bool
+	// FaultSeed seeds node i's fault filesystem with FaultSeed+i, so one
+	// drill seed reproduces every node's fault schedule.
+	FaultSeed int64
 	// CentralKMS provisions via the centralized service instead of the
 	// decentralized MAP.
 	CentralKMS bool
@@ -53,6 +67,11 @@ type Cluster struct {
 	Secrets *kms.Secrets
 	net     *p2p.Network
 	opts    ClusterOptions // retained for RestartNode
+	// Per-node disk-fault harness (DiskFaults only): the fault filesystem a
+	// node's store runs over and the crash-point registry shared between the
+	// store and the node.
+	faults  []*faultfs.FS
+	crashes []*vfs.CrashPoints
 }
 
 // NewCluster boots a network: a software root of trust, per-node platforms,
@@ -62,12 +81,23 @@ func NewCluster(opts ClusterOptions) (*Cluster, error) {
 	if opts.Nodes == 0 {
 		opts.Nodes = 4
 	}
+	if opts.DiskFaults && opts.StoreDir == "" {
+		// faultfs paths never touch the real disk; this names the virtual root.
+		opts.StoreDir = "faultfs"
+	}
 	root, err := tee.NewRootOfTrust()
 	if err != nil {
 		return nil, err
 	}
 	network := p2p.NewNetwork(opts.Network)
 	c := &Cluster{Root: root, net: network, opts: opts}
+	if opts.DiskFaults {
+		for i := 0; i < opts.Nodes; i++ {
+			ffs := faultfs.New(opts.FaultSeed + int64(i))
+			c.faults = append(c.faults, ffs)
+			c.crashes = append(c.crashes, vfs.NewCrashPoints(ffs))
+		}
+	}
 
 	// K-Protocol: node 0 bootstraps (or the central service does), the
 	// rest join via mutual attestation.
@@ -132,6 +162,46 @@ func NewCluster(opts ClusterOptions) (*Cluster, error) {
 	return c.buildNodes(opts, platforms, kmNodes)
 }
 
+// nodeDir is node i's store directory under StoreDir (real or virtual).
+func (c *Cluster) nodeDir(i int) string {
+	return filepath.Join(c.opts.StoreDir, fmt.Sprintf("node-%d", i))
+}
+
+// storeOptions builds node i's LSM options, routing the store through the
+// node's fault filesystem and crash points under DiskFaults.
+func (c *Cluster) storeOptions(i int) storage.LSMOptions {
+	opts := storage.LSMOptions{WriteLatency: c.opts.StoreWriteLatency}
+	if c.opts.DiskFaults {
+		opts.FS = c.faults[i]
+		opts.Crash = c.crashes[i]
+		opts.SyncWAL = true
+		opts.MemtableBytes = 4 << 10
+	}
+	return opts
+}
+
+// openStore opens node i's store: a durable LSM store when StoreDir is set
+// (over faultfs under DiskFaults), the in-memory store otherwise.
+func (c *Cluster) openStore(i int) (storage.KVStore, error) {
+	if c.opts.StoreDir != "" {
+		return storage.OpenLSM(c.nodeDir(i), c.storeOptions(i))
+	}
+	mem := storage.NewMemStore()
+	mem.SetReadLatency(c.opts.StoreReadLatency)
+	mem.SetWriteLatency(c.opts.StoreWriteLatency)
+	return mem, nil
+}
+
+// nodeConfig is node i's Config: the shared template plus the node's
+// crash-point registry under DiskFaults.
+func (c *Cluster) nodeConfig(i int) Config {
+	cfg := c.opts.Node
+	if c.crashes != nil {
+		cfg.crash = c.crashes[i]
+	}
+	return cfg
+}
+
 // buildNodes assembles the per-node stores, enclaves and engines. With
 // kmNodes nil, the engines receive c.Secrets directly (pre-provisioned
 // restart path); otherwise each node's KM enclave provisions its CS enclave
@@ -146,21 +216,9 @@ func (c *Cluster) buildNodes(opts ClusterOptions, platforms []*tee.Platform, kmN
 		if err != nil {
 			return nil, err
 		}
-		var store storage.KVStore
-		if opts.StoreDir != "" {
-			lsm, err := storage.OpenLSM(
-				filepath.Join(opts.StoreDir, fmt.Sprintf("node-%d", i)),
-				storage.LSMOptions{WriteLatency: opts.StoreWriteLatency},
-			)
-			if err != nil {
-				return nil, err
-			}
-			store = lsm
-		} else {
-			mem := storage.NewMemStore()
-			mem.SetReadLatency(opts.StoreReadLatency)
-			mem.SetWriteLatency(opts.StoreWriteLatency)
-			store = mem
+		store, err := c.openStore(i)
+		if err != nil {
+			return nil, err
 		}
 
 		// CS enclave receives the secrets from the KM enclave over local
@@ -189,7 +247,7 @@ func (c *Cluster) buildNodes(opts ClusterOptions, platforms []*tee.Platform, kmN
 			return nil, err
 		}
 		pubEngine := core.NewPublicEngine(store, opts.Node.EngineOpts)
-		c.Nodes = append(c.Nodes, New(opts.Node, endpoint, opts.Nodes, confEngine, pubEngine, store))
+		c.Nodes = append(c.Nodes, New(c.nodeConfig(i), endpoint, opts.Nodes, confEngine, pubEngine, store))
 	}
 	return c, nil
 }
@@ -210,11 +268,26 @@ func (c *Cluster) RestartNode(i int, wipe bool) error {
 	}
 	c.Nodes[i].Close()
 	if wipe && c.opts.StoreDir != "" {
-		if err := os.RemoveAll(filepath.Join(c.opts.StoreDir, fmt.Sprintf("node-%d", i))); err != nil {
+		if c.opts.DiskFaults {
+			if err := c.faults[i].RemoveAll(c.nodeDir(i)); err != nil {
+				return err
+			}
+		} else if err := os.RemoveAll(c.nodeDir(i)); err != nil {
 			return err
 		}
 	}
+	store, err := c.openStore(i)
+	if err != nil {
+		return err
+	}
+	return c.rebuildNode(i, store)
+}
 
+// rebuildNode boots a replacement node i over store on the same network
+// identity: a fresh platform and attested enclave re-provisioned with the
+// cluster secrets (the HSM-backed restart flow), with the replica's
+// seq↔height base aligned to a peer that kept running.
+func (c *Cluster) rebuildNode(i int, store storage.KVStore) error {
 	zone := 0
 	if c.opts.Zones != nil {
 		zone = c.opts.Zones[i]
@@ -223,23 +296,6 @@ func (c *Cluster) RestartNode(i int, wipe bool) error {
 	if err != nil {
 		return err
 	}
-	var store storage.KVStore
-	if c.opts.StoreDir != "" {
-		lsm, err := storage.OpenLSM(
-			filepath.Join(c.opts.StoreDir, fmt.Sprintf("node-%d", i)),
-			storage.LSMOptions{WriteLatency: c.opts.StoreWriteLatency},
-		)
-		if err != nil {
-			return err
-		}
-		store = lsm
-	} else {
-		mem := storage.NewMemStore()
-		mem.SetReadLatency(c.opts.StoreReadLatency)
-		mem.SetWriteLatency(c.opts.StoreWriteLatency)
-		store = mem
-	}
-
 	platform := tee.NewPlatform(c.Root)
 	enclaveCfg := c.opts.Enclave
 	if enclaveCfg.CodeIdentity == "" {
@@ -255,12 +311,84 @@ func (c *Cluster) RestartNode(i int, wipe bool) error {
 	}
 	pubEngine := core.NewPublicEngine(store, c.opts.Node.EngineOpts)
 
-	cfg := c.opts.Node
-	// Align the replica's seq↔height base with the peers that kept running.
-	base := c.Nodes[(i+1)%len(c.Nodes)].baseHeight
+	cfg := c.nodeConfig(i)
+	base := c.peerBase(i)
 	cfg.replicaBase = &base
 	c.Nodes[i] = New(cfg, endpoint, len(c.Nodes), confEngine, pubEngine, store)
 	return nil
+}
+
+// peerBase returns the replica base of a healthy peer of node i — under
+// overlapping faults the next-neighbour pick could land on a node that is
+// itself dead.
+func (c *Cluster) peerBase(i int) uint64 {
+	for j := 1; j < len(c.Nodes); j++ {
+		if peer := c.Nodes[(i+j)%len(c.Nodes)]; peer.Failed() == nil {
+			return peer.baseHeight
+		}
+	}
+	return c.Nodes[(i+1)%len(c.Nodes)].baseHeight
+}
+
+// ArmCrash arms the named crash point (vfs.CrashPointNames) on node i. The
+// returned channel closes the instant live traffic drives the node through
+// the point: the fault filesystem freezes at its durable image and the node
+// begins failing stop. The harness should then CrashNode(i) to finish the
+// kill and, later, ReviveNode(i). DiskFaults clusters only.
+func (c *Cluster) ArmCrash(i int, point string) (<-chan struct{}, error) {
+	if c.crashes == nil {
+		return nil, fmt.Errorf("node: ArmCrash needs a DiskFaults cluster")
+	}
+	return c.crashes[i].Arm(point), nil
+}
+
+// CrashNode kills node i the way a power cut would: the fault filesystem
+// freezes at its crash-consistent image (a no-op if an armed crash point
+// already froze it) and the node is killed WITHOUT Close — no final
+// memtable flush, no clean WAL shutdown, no store release. The dead store
+// object is abandoned; ReviveNode reopens the directory from the frozen
+// image. DiskFaults clusters only.
+func (c *Cluster) CrashNode(i int) error {
+	if c.crashes == nil {
+		return fmt.Errorf("node: CrashNode needs a DiskFaults cluster")
+	}
+	c.crashes[i].Force()
+	c.Nodes[i].Kill()
+	return nil
+}
+
+// ReviveNode restarts node i after CrashNode: transient fault injection is
+// calmed, the filesystem thaws onto its crash image, and the store reopens
+// through crash recovery — WAL replay for the common case; quarantine plus
+// a fresh store (rebuilt via snapshot fast-sync and block replay) when the
+// image is corrupted beyond the WAL's torn-tail tolerance or a snapshot
+// install was half done. Reports whether the store was quarantined.
+func (c *Cluster) ReviveNode(i int) (quarantined bool, err error) {
+	if c.crashes == nil {
+		return false, fmt.Errorf("node: ReviveNode needs a DiskFaults cluster")
+	}
+	c.faults[i].Calm()
+	c.faults[i].Reopen()
+	c.crashes[i].Reset()
+	store, quarantined, err := OpenRecoveredStore(c.nodeDir(i), c.storeOptions(i))
+	if err != nil {
+		return quarantined, err
+	}
+	mCrashRecoveries.Inc()
+	if err := c.rebuildNode(i, store); err != nil {
+		store.Close()
+		return quarantined, err
+	}
+	return quarantined, nil
+}
+
+// FaultFS exposes node i's fault filesystem (nil outside DiskFaults) for
+// transient-fault windows and stats.
+func (c *Cluster) FaultFS(i int) *faultfs.FS {
+	if c.faults == nil {
+		return nil
+	}
+	return c.faults[i]
 }
 
 // Leader returns the current leader node.

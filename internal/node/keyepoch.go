@@ -6,6 +6,7 @@ import (
 	"confide/internal/chain"
 	"confide/internal/core"
 	"confide/internal/keyepoch"
+	"confide/internal/storage/vfs"
 )
 
 // Key-epoch rotation, node side. A rotation is a governance transaction
@@ -177,6 +178,9 @@ func (n *Node) startResealLoop() {
 			current := n.confEngine.CurrentEpoch()
 			if current == 0 || !n.confEngine.StaleEpochsRetained() {
 				continue
+			}
+			if n.crashHit(vfs.CrashResealSweep) {
+				return
 			}
 			n.applyMu.Lock()
 			if n.lastDrained == current {

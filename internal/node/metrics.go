@@ -69,6 +69,12 @@ var (
 		"chain height of the most recent snapshot install (0 = never)")
 	mBlocksPruned = metrics.Default().Counter("confide_node_blocks_pruned_total",
 		"block payloads retired by checkpoint-anchored pruning")
+	mStoreFatal = metrics.Default().Counter("confide_node_store_fatal_total",
+		"nodes killed by an unrecoverable storage error (fail-stop on fsync/commit failure)")
+	mStoreQuarantines = metrics.Default().Counter("confide_node_store_quarantines_total",
+		"corrupt or half-installed stores set aside at reopen (node rebuilds via snapshot fast-sync)")
+	mCrashRecoveries = metrics.Default().Counter("confide_node_crash_recoveries_total",
+		"nodes revived from a simulated crash (store reopened from the post-crash disk image)")
 )
 
 // newPipelineTracer creates a node's view of the shared pipeline tracer

@@ -19,6 +19,7 @@ import (
 	"confide/internal/p2p"
 	"confide/internal/snapshot"
 	"confide/internal/storage"
+	"confide/internal/storage/vfs"
 )
 
 // Config shapes one node.
@@ -66,6 +67,10 @@ type Config struct {
 	// way its peers do (their base, usually 0), not from its own recovered
 	// height. Set by Cluster.RestartNode.
 	replicaBase *uint64
+	// crash is the crash-point registry shared with this node's store; nil
+	// (the default) disables crash points. Set by the cluster's disk-fault
+	// harness.
+	crash *vfs.CrashPoints
 }
 
 func (c Config) withDefaults() Config {
@@ -124,8 +129,15 @@ type Node struct {
 	// sequence s maps to block height baseHeight + s.
 	baseHeight uint64
 
-	stop     chan struct{}
-	stopOnce sync.Once
+	stop      chan struct{}
+	stopOnce  sync.Once
+	storeOnce sync.Once // closes the store (Close only; Kill leaves it)
+
+	// fatal records the first unrecoverable storage error: the node killed
+	// itself rather than acknowledge commits whose durability is unknown or
+	// execute on state that reads back wrong.
+	fatalMu  sync.Mutex
+	fatalErr error
 
 	mu        sync.Mutex
 	height    uint64
@@ -569,6 +581,13 @@ func (n *Node) applyBlock(payload []byte) bool {
 	}
 	if err := n.store.WriteBatch(batch); err != nil {
 		n.finishEpochTransitions(false, activated)
+		// A failed block commit is node-fatal unless the store was closed
+		// under us by a clean shutdown: the WAL's durability is unknown, so
+		// continuing would eventually acknowledge commits that a power cut
+		// silently discards. Fail-stop and let recovery sort out the disk.
+		if !errors.Is(err, storage.ErrClosed) {
+			n.fatalStore(fmt.Errorf("block %d commit: %w", block.Header.Height, err))
+		}
 		return false
 	}
 	n.finishEpochTransitions(true, activated)
@@ -888,12 +907,60 @@ func (n *Node) UnverifiedPoolLen() int { return n.unverified.Len() }
 // Close stops the sync loop, the consensus replica, the endpoint and the
 // store. Idempotent.
 func (n *Node) Close() {
+	n.Kill()
+	n.storeOnce.Do(func() {
+		n.store.Close()
+	})
+}
+
+// Kill stops the node WITHOUT closing the store — the crash path. A real
+// crash never runs shutdown hooks: the store gets no final flush, no clean
+// WAL close, no sstable publish. The crash harness uses Kill after freezing
+// the fault filesystem so recovery sees exactly what a power cut leaves;
+// fatalStore uses it because a node whose disk failed must stop
+// participating but must not touch the store further. Idempotent, and Close
+// after Kill still releases the store.
+func (n *Node) Kill() {
 	n.stopOnce.Do(func() {
 		close(n.stop)
 		n.replica.Close()
 		n.endpoint.Close()
-		n.store.Close()
 	})
+}
+
+// fatalStore records the node's first unrecoverable storage error and kills
+// the node asynchronously (the caller is often on the consensus delivery
+// path, which Kill waits on).
+func (n *Node) fatalStore(err error) {
+	n.fatalMu.Lock()
+	first := n.fatalErr == nil
+	if first {
+		n.fatalErr = err
+	}
+	n.fatalMu.Unlock()
+	if first {
+		mStoreFatal.Inc()
+		go n.Kill()
+	}
+}
+
+// Failed returns the storage error that killed this node, or nil while it is
+// healthy.
+func (n *Node) Failed() error {
+	n.fatalMu.Lock()
+	defer n.fatalMu.Unlock()
+	return n.fatalErr
+}
+
+// crashHit fires the named crash point if armed. It reports true when the
+// node just crashed (or already had): the caller must abandon its operation
+// immediately — the filesystem underneath is frozen.
+func (n *Node) crashHit(point string) bool {
+	if err := n.cfg.crash.Hit(point); err != nil {
+		n.fatalStore(fmt.Errorf("%s: %w", point, err))
+		return true
+	}
+	return false
 }
 
 // ErrStopped is reserved for the run loop.

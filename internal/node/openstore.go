@@ -1,0 +1,70 @@
+package node
+
+import (
+	"errors"
+	"fmt"
+
+	"confide/internal/snapshot"
+	"confide/internal/storage"
+	"confide/internal/storage/vfs"
+)
+
+// OpenRecoveredStore opens an LSM store for a node booting after an unclean
+// shutdown, handling the two states a crash can leave that must not become
+// a permanent boot failure on a replicated node:
+//
+//   - Corruption beyond the WAL's torn-tail tolerance (a lying fsync
+//     published an sstable whose data never hit the platter, bit rot in
+//     table data): OpenLSM reports ErrCorrupt.
+//   - A half-installed snapshot (crash between snapshot.Install's first
+//     mutation and the base-marker commit): the store opens cleanly but
+//     carries snapshot.InstallingKey.
+//
+// Both quarantine the directory — it is renamed aside with a ".quarantined"
+// suffix for forensics, never silently deleted — and a fresh empty store is
+// opened in its place. The node then rebuilds through snapshot fast-sync
+// plus block replay, exactly like a wiped rejoin: with 2f+1 healthy
+// replicas, local disk damage is a latency event, not a data-loss event.
+//
+// Opens verify sstable checksums in full (VerifyOnOpen) because this path
+// runs precisely when the disk's word cannot be trusted.
+func OpenRecoveredStore(dir string, opts storage.LSMOptions) (store *storage.LSMStore, quarantined bool, err error) {
+	opts.VerifyOnOpen = true
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = vfs.Default()
+	}
+	s, err := storage.OpenLSM(dir, opts)
+	if err == nil {
+		bad := false
+		if _, found, gerr := s.Get(snapshot.InstallingKey); gerr != nil || found {
+			bad = true // half-installed snapshot (or unreadable marker)
+		}
+		if !bad {
+			return s, false, nil
+		}
+		s.Close()
+	} else if !errors.Is(err, storage.ErrCorrupt) {
+		return nil, false, err
+	}
+	if err := quarantineDir(fsys, dir); err != nil {
+		return nil, false, fmt.Errorf("node: quarantine %s: %w", dir, err)
+	}
+	mStoreQuarantines.Inc()
+	s, err = storage.OpenLSM(dir, opts)
+	if err != nil {
+		return nil, true, err
+	}
+	return s, true, nil
+}
+
+// quarantineDir renames dir to dir+".quarantined", replacing any previous
+// quarantine (one generation of forensics is enough; keeping N would grow
+// without bound under repeated faults).
+func quarantineDir(fsys vfs.FS, dir string) error {
+	target := dir + ".quarantined"
+	if err := fsys.RemoveAll(target); err != nil {
+		return err
+	}
+	return fsys.Rename(dir, target)
+}

@@ -3,6 +3,7 @@ package node
 import (
 	"confide/internal/chain"
 	"confide/internal/storage"
+	"confide/internal/storage/vfs"
 )
 
 // Block payload and WAL retirement. Once a checkpoint is stable, block
@@ -57,6 +58,9 @@ func (n *Node) PrunedTo() uint64 {
 // Retention 0 disables pruning.
 func (n *Node) pruneBlocks(checkpointHeight uint64) {
 	if n.cfg.Retention == 0 {
+		return
+	}
+	if n.crashHit(vfs.CrashPrune) {
 		return
 	}
 	n.mu.Lock()

@@ -1,11 +1,15 @@
 package node
 
 import (
+	"errors"
+	"fmt"
 	"time"
 
 	"confide/internal/chain"
 	"confide/internal/p2p"
 	"confide/internal/snapshot"
+	"confide/internal/storage"
+	"confide/internal/storage/vfs"
 )
 
 // Snapshot fast-sync. Block catch-up (sync.go) replays history one block at
@@ -414,7 +418,21 @@ func (n *Node) installSnapshot(man *snapshot.Manifest, chunks [][]byte) bool {
 		n.applyMu.Unlock()
 		return false
 	}
-	if err := n.store.Put(metaBaseKey, encodeStoreBase(man.Height, man.TipHash)); err != nil {
+	if n.crashHit(vfs.CrashCheckpointInstall) {
+		n.applyMu.Unlock()
+		return false
+	}
+	// Commit the install: the base marker and the removal of the in-progress
+	// marker land in one atomic batch, so recovery sees either "installing"
+	// (quarantine) or a complete, committed install — never a half-adopted
+	// checkpoint.
+	commit := &storage.Batch{}
+	commit.Put(metaBaseKey, encodeStoreBase(man.Height, man.TipHash))
+	commit.Delete(snapshot.InstallingKey)
+	if err := n.store.WriteBatch(commit); err != nil {
+		if !errors.Is(err, storage.ErrClosed) {
+			n.fatalStore(fmt.Errorf("snapshot install commit: %w", err))
+		}
 		n.applyMu.Unlock()
 		return false
 	}

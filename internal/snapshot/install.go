@@ -12,6 +12,12 @@ import (
 // during install, keeping peak batch memory flat on large snapshots.
 const installBatchOps = 4096
 
+// InstallingKey is the durable install-in-progress marker: present between
+// Install's first mutation and the caller's commit of its chain-position
+// metadata (which must delete it in the same batch). A store that reopens
+// with this marker set is mid-install garbage and must be quarantined.
+var InstallingKey = []byte("meta/installing")
+
 // Install verifies a checkpoint end-to-end and writes its state into store.
 //
 // Verification is strictly before mutation: chunk count, per-chunk content
@@ -26,6 +32,12 @@ const installBatchOps = 4096
 // The caller is responsible for wiping or ignoring any pre-existing state
 // under the snapshot's key namespaces and for writing its own chain-position
 // metadata after Install returns.
+//
+// Crash atomicity: immediately before the first mutation, Install durably
+// writes InstallingKey. The caller must delete it in the same atomic batch
+// as its chain-position metadata; recovery code finding the marker knows the
+// store holds a half-installed snapshot and must quarantine it rather than
+// boot over it.
 func Install(store storage.KVStore, m *Manifest, chunks [][]byte, macKey []byte) error {
 	if len(chunks) != len(m.ChunkHashes) {
 		return ErrChunkCount
@@ -55,6 +67,14 @@ func Install(store storage.KVStore, m *Manifest, chunks [][]byte, macKey []byte)
 			}
 		}
 		decoded[i] = it.List
+	}
+
+	// Everything verified; mutation starts here. The marker makes the
+	// not-yet-atomic multi-batch write crash-detectable: it lands durably
+	// before any state key and outlives a crash anywhere in the write phase,
+	// because only the caller's commit batch removes it.
+	if err := store.Put(InstallingKey, chain.Encode(chain.Uint(m.Height))); err != nil {
+		return fmt.Errorf("snapshot install: mark: %w", err)
 	}
 
 	var batch storage.Batch

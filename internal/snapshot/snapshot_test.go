@@ -99,6 +99,7 @@ func TestExportInstallRoundTrip(t *testing.T) {
 	if err := Install(dst, dec, cp.Chunks, macKey); err != nil {
 		t.Fatalf("install: %v", err)
 	}
+	dst.Delete(InstallingKey) // caller's contract: cleared with its metadata
 	got := storeDump(t, dst)
 	if len(got) != len(want) {
 		t.Fatalf("installed %d keys, want %d", len(got), len(want))
@@ -215,6 +216,12 @@ func TestKeylessDeployment(t *testing.T) {
 	if err := Install(dst, cp.Manifest, cp.Chunks, nil); err != nil {
 		t.Fatalf("key-less install: %v", err)
 	}
+	// Install leaves the in-progress marker for the caller to clear in the
+	// same batch as its chain-position metadata (crash atomicity contract).
+	if _, found, _ := dst.Get(InstallingKey); !found {
+		t.Fatal("install-in-progress marker missing after Install")
+	}
+	dst.Delete(InstallingKey)
 	if got := storeDump(t, dst); len(got) != len(want) {
 		t.Fatalf("installed %d keys, want %d", len(got), len(want))
 	}

@@ -1,0 +1,97 @@
+package storage
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"confide/internal/storage/vfs"
+	"confide/internal/storage/vfs/faultfs"
+)
+
+// FuzzWALReplay feeds replayWAL (and a full OpenLSM) arbitrary log bytes as
+// they would look after a crash: the fuzz input is laid down through the
+// fault filesystem, partially synced, extended with unsynced bytes, then
+// power-cut so a seeded torn tail survives. Replay must never panic, never
+// apply a record from an unsealed batch, and the store must always open.
+func FuzzWALReplay(f *testing.F) {
+	// Seed with a well-formed log (two sealed batches), a torn one, and junk.
+	wellFormed := func() []byte {
+		fsys := faultfs.New(1)
+		fsys.MkdirAll("d", 0o755)
+		w, err := openWAL(fsys, "d/wal.log", true, nil)
+		if err != nil {
+			f.Fatal(err)
+		}
+		w.append([]byte("key-a"), []byte("val-a"), false)
+		w.appendCommit()
+		w.append([]byte("key-b"), nil, true)
+		w.appendCommit()
+		w.close()
+		h, _ := vfs.Open(fsys, "d/wal.log")
+		defer h.Close()
+		buf := make([]byte, 4096)
+		n, _ := h.ReadAt(buf, 0)
+		return buf[:n]
+	}()
+	f.Add(wellFormed, int64(1), 10)
+	f.Add(wellFormed[:len(wellFormed)-3], int64(2), 0)
+	f.Add([]byte{0xde, 0xad, 0xbe, 0xef}, int64(3), 4)
+	f.Add([]byte{}, int64(4), 100)
+
+	f.Fuzz(func(t *testing.T, data []byte, seed int64, syncedLen int) {
+		if len(data) > 1<<16 {
+			return
+		}
+		if syncedLen < 0 {
+			syncedLen = 0
+		}
+		if syncedLen > len(data) {
+			syncedLen = len(data)
+		}
+		fsys := faultfs.New(seed)
+		fsys.MkdirAll("d", 0o755)
+		h, err := fsys.OpenFile("d/wal.log", os.O_CREATE|os.O_WRONLY, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.Write(data[:syncedLen]); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if err := fsys.SyncDir("d"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.Write(data[syncedLen:]); err != nil {
+			t.Fatal(err)
+		}
+		h.Close()
+		// Power cut: the log survives as synced prefix + seeded torn tail.
+		fsys.Crash()
+		fsys.Reopen()
+
+		var replayed [][]byte
+		if err := replayWAL(fsys, "d/wal.log", func(key, value []byte, tombstone bool) {
+			replayed = append(replayed, append([]byte(nil), key...))
+		}); err != nil {
+			// Loud rejection (oversized record) is fine; silent misbehavior
+			// is what the invariants below catch.
+			return
+		}
+		// Whatever replayed must have been sealed input data: keys only ever
+		// come from the fuzz buffer, so each must appear inside it.
+		for _, k := range replayed {
+			if len(k) > 0 && !bytes.Contains(data, k) {
+				t.Fatalf("replay produced key %q absent from the log bytes", k)
+			}
+		}
+		// And the full store must open over the same mangled log.
+		s, err := OpenLSM("d", LSMOptions{FS: fsys})
+		if err != nil {
+			t.Fatalf("OpenLSM over mangled WAL: %v", err)
+		}
+		s.Close()
+	})
+}

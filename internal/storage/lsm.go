@@ -2,12 +2,15 @@ package storage
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
-	"os"
+	"io/fs"
 	"path/filepath"
 	"sort"
 	"sync"
 	"time"
+
+	"confide/internal/storage/vfs"
 )
 
 // LSMStore is a log-structured merge KV store: writes land in a WAL and an
@@ -15,9 +18,18 @@ import (
 // reads consult the memtable then tables newest-first through bloom filters;
 // compaction folds tables together and drops shadowed versions and
 // tombstones. It is the durable KVStore implementation of the platform.
+//
+// Failure semantics are fail-stop: the first unrecoverable filesystem error
+// (a failed or crashed fsync, a write error mid-WAL-record, a read that
+// stays corrupt after retries) poisons the store — every later mutation
+// returns ErrStoreFailed. Acknowledging a commit whose durability is
+// unknown, or executing on state that reads back wrong, are both worse than
+// dying; the node layer treats a poisoned store as node-fatal and restarts
+// into recovery.
 type LSMStore struct {
-	mu  sync.RWMutex
-	dir string
+	mu   sync.RWMutex
+	dir  string
+	fsys vfs.FS
 
 	mem     map[string]memEntry
 	memSize int
@@ -25,6 +37,9 @@ type LSMStore struct {
 	tables  []*sstable // oldest first
 	nextID  uint64
 	closed  bool
+
+	failMu sync.Mutex
+	failed error // sticky first unrecoverable error
 
 	opts LSMOptions
 }
@@ -45,6 +60,16 @@ type LSMOptions struct {
 	SyncWAL bool
 	// WriteLatency injects simulated device latency per WriteBatch.
 	WriteLatency time.Duration
+	// FS is the filesystem seam; nil means the real OS filesystem. Fault
+	// and crash tests substitute faultfs here.
+	FS vfs.FS
+	// Crash is the crash-point registry for this store's process; nil (the
+	// default) disables crash points.
+	Crash *vfs.CrashPoints
+	// VerifyOnOpen fully scans every sstable at open, verifying entry
+	// checksums. Used on crash-recovery reopen, where fsync lies may have
+	// published tables whose data never hit the platter.
+	VerifyOnOpen bool
 }
 
 func (o *LSMOptions) withDefaults() LSMOptions {
@@ -55,30 +80,69 @@ func (o *LSMOptions) withDefaults() LSMOptions {
 	if out.MaxTables == 0 {
 		out.MaxTables = 8
 	}
+	if out.FS == nil {
+		out.FS = vfs.Default()
+	}
 	return out
 }
 
+// ErrStoreFailed is wrapped by every operation after the store hit an
+// unrecoverable filesystem error: the store is poisoned and must be closed,
+// recovered (reopened over whatever is durable), or quarantined.
+var ErrStoreFailed = errors.New("storage: store failed")
+
+// ErrCorrupt is wrapped by OpenLSM when on-disk state is corrupted beyond
+// the WAL's torn-tail tolerance (bad sstable checksums, truncated tables).
+// Callers with a replication layer should quarantine the directory and
+// rebuild from a snapshot rather than fail boot permanently.
+var ErrCorrupt = errors.New("storage: corrupt store")
+
+// readRetries is how many times a failed sstable read is retried before the
+// store is declared failed. Transient controller errors (and faultfs's
+// injected EIO/bit-flips) usually clear on retry; persistent corruption
+// must not be masked, so after the budget the error is sticky.
+const readRetries = 3
+
 // OpenLSM opens (or creates) an LSM store in dir, replaying any WAL left by
-// a previous process.
+// a previous process. Unpublished temp tables from an interrupted flush are
+// discarded; their contents are still in the WAL.
 func OpenLSM(dir string, opts LSMOptions) (*LSMStore, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	o := opts.withDefaults()
+	fsys := o.FS
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("storage: create dir: %w", err)
 	}
 	s := &LSMStore{
 		dir:  dir,
+		fsys: fsys,
 		mem:  make(map[string]memEntry),
-		opts: opts.withDefaults(),
+		opts: o,
+	}
+	// Clear half-published tables from a crash mid-flush: anything still
+	// under a .tmp name was never linked into the store.
+	if tmps, err := fsys.Glob(filepath.Join(dir, "*.sst"+sstTmpSuffix)); err == nil {
+		for _, tmp := range tmps {
+			fsys.Remove(tmp)
+		}
 	}
 	// Open existing tables in creation order.
-	names, err := filepath.Glob(filepath.Join(dir, "*.sst"))
+	names, err := fsys.Glob(filepath.Join(dir, "*.sst"))
 	if err != nil {
 		return nil, err
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		t, err := openSSTable(name)
+		t, err := openSSTable(fsys, name)
 		if err != nil {
-			return nil, fmt.Errorf("storage: %s: %w", name, err)
+			s.closeTables()
+			return nil, fmt.Errorf("storage: %s: %w (%w)", name, err, ErrCorrupt)
+		}
+		if o.VerifyOnOpen {
+			if verr := t.verify(); verr != nil {
+				t.release()
+				s.closeTables()
+				return nil, fmt.Errorf("storage: %s: verify: %w (%w)", name, verr, ErrCorrupt)
+			}
 		}
 		s.tables = append(s.tables, t)
 		var id uint64
@@ -88,19 +152,47 @@ func OpenLSM(dir string, opts LSMOptions) (*LSMStore, error) {
 		}
 	}
 	// Replay WAL into the memtable.
-	if err := replayWAL(s.walPath(), func(key, value []byte, tombstone bool) {
+	if err := replayWAL(fsys, s.walPath(), func(key, value []byte, tombstone bool) {
 		s.memInsert(key, value, tombstone)
 	}); err != nil {
+		s.closeTables()
 		return nil, err
 	}
-	s.log, err = openWAL(s.walPath(), s.opts.SyncWAL)
+	s.log, err = openWAL(fsys, s.walPath(), o.SyncWAL, o.Crash)
 	if err != nil {
+		s.closeTables()
 		return nil, err
 	}
 	return s, nil
 }
 
+func (s *LSMStore) closeTables() {
+	for _, t := range s.tables {
+		t.release()
+	}
+	s.tables = nil
+}
+
 func (s *LSMStore) walPath() string { return filepath.Join(s.dir, "wal.log") }
+
+// fail records the store's first unrecoverable error; all later mutations
+// return it wrapped in ErrStoreFailed.
+func (s *LSMStore) fail(err error) error {
+	s.failMu.Lock()
+	defer s.failMu.Unlock()
+	if s.failed == nil {
+		s.failed = err
+		mStoreFailures.Inc()
+	}
+	return fmt.Errorf("%w: %w", ErrStoreFailed, s.failed)
+}
+
+// Failed returns the sticky error, or nil while the store is healthy.
+func (s *LSMStore) Failed() error {
+	s.failMu.Lock()
+	defer s.failMu.Unlock()
+	return s.failed
+}
 
 func (s *LSMStore) memInsert(key, value []byte, tombstone bool) {
 	k := string(key)
@@ -111,7 +203,10 @@ func (s *LSMStore) memInsert(key, value []byte, tombstone bool) {
 	s.memSize += len(k) + len(value)
 }
 
-// Get implements KVStore.
+// Get implements KVStore. Failed table reads are retried a few times
+// (transient EIO, checksum-detected transfer corruption); a read that stays
+// bad poisons the store rather than letting execution diverge on wrong
+// state.
 func (s *LSMStore) Get(key []byte) ([]byte, bool, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
@@ -126,8 +221,12 @@ func (s *LSMStore) Get(key []byte) ([]byte, bool, error) {
 	}
 	for i := len(s.tables) - 1; i >= 0; i-- {
 		v, found, tomb, err := s.tables[i].get(key)
+		for attempt := 0; err != nil && attempt < readRetries; attempt++ {
+			mReadRetries.Inc()
+			v, found, tomb, err = s.tables[i].get(key)
+		}
 		if err != nil {
-			return nil, false, err
+			return nil, false, s.fail(err)
 		}
 		if found {
 			if tomb {
@@ -166,13 +265,28 @@ func (s *LSMStore) writeBatch(b *Batch, injectLatency bool) error {
 		s.mu.Unlock()
 		return ErrClosed
 	}
+	if err := s.Failed(); err != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %w", ErrStoreFailed, err)
+	}
 	for _, op := range b.ops {
 		if err := s.log.append(op.key, op.value, op.delete); err != nil {
+			err = s.fail(err)
 			s.mu.Unlock()
 			return err
 		}
 	}
+	// Seal the batch: replay applies it all-or-nothing, so a torn tail can
+	// never expose half a block commit.
+	if err := s.log.appendCommit(); err != nil {
+		err = s.fail(err)
+		s.mu.Unlock()
+		return err
+	}
 	if err := s.log.flush(); err != nil {
+		// The WAL's durability is now unknown; acknowledging this commit —
+		// or any later one — would be a silent lie. Sticky-fail the store.
+		err = s.fail(err)
 		s.mu.Unlock()
 		return err
 	}
@@ -181,7 +295,9 @@ func (s *LSMStore) writeBatch(b *Batch, injectLatency bool) error {
 	}
 	var err error
 	if s.memSize >= s.opts.MemtableBytes {
-		err = s.flushLocked()
+		if err = s.flushLocked(); err != nil {
+			err = s.fail(err)
+		}
 	}
 	latency := s.opts.WriteLatency
 	s.mu.Unlock()
@@ -201,12 +317,18 @@ func (s *LSMStore) Flush() error {
 	if s.closed {
 		return ErrClosed
 	}
-	return s.flushLocked()
+	if err := s.flushLocked(); err != nil {
+		return s.fail(err)
+	}
+	return nil
 }
 
 func (s *LSMStore) flushLocked() error {
 	if len(s.mem) == 0 {
 		return nil
+	}
+	if err := s.opts.Crash.Hit(vfs.CrashMemtableFlush); err != nil {
+		return err
 	}
 	mMemtableFlush.Inc()
 	entries := make([]sstEntry, 0, len(s.mem))
@@ -218,24 +340,27 @@ func (s *LSMStore) flushLocked() error {
 	})
 	path := filepath.Join(s.dir, fmt.Sprintf("%012d.sst", s.nextID))
 	s.nextID++
-	if err := writeSSTable(path, entries); err != nil {
+	if err := writeSSTable(s.fsys, s.opts.Crash, path, entries); err != nil {
 		return err
 	}
-	t, err := openSSTable(path)
+	t, err := openSSTable(s.fsys, path)
 	if err != nil {
 		return err
 	}
 	s.tables = append(s.tables, t)
 	s.mem = make(map[string]memEntry)
 	s.memSize = 0
-	// Truncate the WAL: everything is durable in the table now.
+	// Truncate the WAL: everything is durable in the table now. The removal
+	// is made durable by openWAL's directory sync when the fresh log is
+	// created; a crash in between replays a WAL whose records are already
+	// in the published table — idempotent.
 	if err := s.log.close(); err != nil {
 		return err
 	}
-	if err := os.Remove(s.walPath()); err != nil && !os.IsNotExist(err) {
+	if err := s.fsys.Remove(s.walPath()); err != nil && !errors.Is(err, fs.ErrNotExist) {
 		return err
 	}
-	s.log, err = openWAL(s.walPath(), s.opts.SyncWAL)
+	s.log, err = openWAL(s.fsys, s.walPath(), s.opts.SyncWAL, s.opts.Crash)
 	if err != nil {
 		return err
 	}
@@ -253,7 +378,10 @@ func (s *LSMStore) Compact() error {
 	if s.closed {
 		return ErrClosed
 	}
-	return s.compactLocked()
+	if err := s.compactLocked(); err != nil {
+		return s.fail(err)
+	}
+	return nil
 }
 
 func (s *LSMStore) compactLocked() error {
@@ -290,10 +418,10 @@ func (s *LSMStore) compactLocked() error {
 	})
 	path := filepath.Join(s.dir, fmt.Sprintf("%012d.sst", s.nextID))
 	s.nextID++
-	if err := writeSSTable(path, entries); err != nil {
+	if err := writeSSTable(s.fsys, s.opts.Crash, path, entries); err != nil {
 		return err
 	}
-	t, err := openSSTable(path)
+	t, err := openSSTable(s.fsys, path)
 	if err != nil {
 		return err
 	}

@@ -15,4 +15,6 @@ var (
 	mBloomSkips     = metrics.Default().Counter("confide_storage_bloom_skips_total", "SSTable reads skipped by a bloom filter (definite miss)")
 	mBloomFalsePos  = metrics.Default().Counter("confide_storage_bloom_false_positives_total", "bloom filter passes where the table did not hold the key")
 	mCompactSeconds = metrics.Default().Histogram("confide_storage_compaction_seconds", "wall time per compaction pass", nil)
+	mReadRetries    = metrics.Default().Counter("confide_storage_read_retries_total", "sstable reads retried after a transient error or checksum mismatch")
+	mStoreFailures  = metrics.Default().Counter("confide_storage_sticky_failures_total", "stores poisoned by an unrecoverable filesystem error (fail-stop)")
 )

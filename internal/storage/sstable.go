@@ -6,21 +6,35 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
-	"os"
+	"path/filepath"
 	"sort"
 	"sync/atomic"
+
+	"confide/internal/storage/vfs"
 )
 
 // SSTable layout (single immutable file, keys sorted ascending):
 //
-//	"CSST"                                    magic (4 bytes)
-//	entry*                                    flags(1) klen(uvar) vlen(uvar) key val
+//	"CSS2"                                    magic (4 bytes)
+//	entry*                                    crc32(4) flags(1) klen(uvar) vlen(uvar) key val
 //	bloom bytes                               see bloom.marshal
 //	index: count(4) then per entry key-offset pairs (sparse, every 16th key)
 //	footer: entryCount(4) bloomOff(8) indexOff(8) magic (4 bytes)
+//
+// Each entry carries a crc32 over its header and payload, so a flipped bit
+// anywhere in table data is detected at read time instead of surfacing as
+// silently wrong bytes (the AEAD above catches confidential values, but
+// public chain metadata has no other integrity layer).
+//
+// Tables are published crash-atomically: written and fsynced under a .tmp
+// name, renamed into place, then the directory is fsynced. A crash leaves
+// either no table or a complete one — never a half-written file under the
+// final name.
 type sstable struct {
-	f       *os.File
+	fsys    vfs.FS
+	f       vfs.File
 	path    string
 	filter  *bloom
 	index   []indexEntry // sparse: key → file offset of its entry
@@ -41,10 +55,11 @@ type indexEntry struct {
 }
 
 const (
-	sstMagic       = "CSST"
+	sstMagic       = "CSS2"
 	sstIndexEvery  = 16
 	sstTombstone   = 0x1
 	sstFooterBytes = 4 + 8 + 8 + 4
+	sstTmpSuffix   = ".tmp"
 )
 
 // sstEntry is one key/value pair destined for an SSTable.
@@ -54,10 +69,29 @@ type sstEntry struct {
 	tombstone bool
 }
 
-// writeSSTable writes sorted entries to path. Entries must be sorted by key
-// with no duplicates.
-func writeSSTable(path string, entries []sstEntry) error {
-	f, err := os.Create(path)
+// writeSSTable crash-atomically publishes sorted entries at path: the data
+// is written and fsynced under path+".tmp", renamed into place, and the
+// parent directory fsynced so the rename itself survives power loss.
+// Entries must be sorted by key with no duplicates.
+func writeSSTable(fsys vfs.FS, crash *vfs.CrashPoints, path string, entries []sstEntry) error {
+	tmp := path + sstTmpSuffix
+	if err := writeSSTableFile(fsys, tmp, entries); err != nil {
+		return err
+	}
+	if err := crash.Hit(vfs.CrashSSTablePublish); err != nil {
+		return err
+	}
+	if err := fsys.Rename(tmp, path); err != nil {
+		return fmt.Errorf("storage: publish sstable: %w", err)
+	}
+	if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+		return fmt.Errorf("storage: sync sstable dir: %w", err)
+	}
+	return nil
+}
+
+func writeSSTableFile(fsys vfs.FS, path string, entries []sstEntry) error {
+	f, err := vfs.Create(fsys, path)
 	if err != nil {
 		return fmt.Errorf("storage: create sstable: %w", err)
 	}
@@ -88,17 +122,17 @@ func writeSSTable(path string, entries []sstEntry) error {
 		n := 1
 		n += binary.PutUvarint(hdr[n:], uint64(len(e.key)))
 		n += binary.PutUvarint(hdr[n:], uint64(len(e.value)))
-		if err := write(hdr[:n]); err != nil {
-			f.Close()
-			return err
-		}
-		if err := write(e.key); err != nil {
-			f.Close()
-			return err
-		}
-		if err := write(e.value); err != nil {
-			f.Close()
-			return err
+		crc := crc32.NewIEEE()
+		crc.Write(hdr[:n])
+		crc.Write(e.key)
+		crc.Write(e.value)
+		var crcBuf [4]byte
+		binary.LittleEndian.PutUint32(crcBuf[:], crc.Sum32())
+		for _, part := range [][]byte{crcBuf[:], hdr[:n], e.key, e.value} {
+			if err := write(part); err != nil {
+				f.Close()
+				return err
+			}
 		}
 	}
 	bloomOff := offset
@@ -148,10 +182,10 @@ func writeSSTable(path string, entries []sstEntry) error {
 
 var errCorruptSSTable = errors.New("storage: corrupt sstable")
 
-// openSSTable memory-maps the table metadata (bloom + sparse index) and
-// leaves entry data on disk, read on demand.
-func openSSTable(path string) (*sstable, error) {
-	f, err := os.Open(path)
+// openSSTable loads the table metadata (bloom + sparse index) and leaves
+// entry data on disk, read on demand.
+func openSSTable(fsys vfs.FS, path string) (*sstable, error) {
+	f, err := vfs.Open(fsys, path)
 	if err != nil {
 		return nil, fmt.Errorf("storage: open sstable: %w", err)
 	}
@@ -200,9 +234,27 @@ func openSSTable(path string) (*sstable, error) {
 		f.Close()
 		return nil, err
 	}
-	t := &sstable{f: f, path: path, filter: filter, index: index, dataEnd: bloomOff, count: count}
+	t := &sstable{fsys: fsys, f: f, path: path, filter: filter, index: index, dataEnd: bloomOff, count: count}
 	t.refs.Store(1)
 	return t, nil
+}
+
+// verify scans the full table, checking every entry checksum and the entry
+// count against the footer. Used on crash-recovery reopen, where a lying
+// fsync may have published a table whose data never reached the platter.
+func (t *sstable) verify() error {
+	n := 0
+	err := t.scan(func(_, _ []byte, _ bool) bool {
+		n++
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if n != t.count {
+		return errCorruptSSTable
+	}
+	return nil
 }
 
 // retain takes an extra reference for a streaming iterator.
@@ -216,7 +268,7 @@ func (t *sstable) release() error {
 	}
 	err := t.f.Close()
 	if t.doomed.Load() {
-		if rmErr := os.Remove(t.path); rmErr != nil && err == nil {
+		if rmErr := t.fsys.Remove(t.path); rmErr != nil && err == nil {
 			err = rmErr
 		}
 	}
@@ -294,9 +346,13 @@ func (t *sstable) get(key []byte) (value []byte, found, tombstone bool, err erro
 }
 
 func readEntry(r *bufio.Reader) (key, value []byte, tombstone bool, err error) {
+	var crcBuf [4]byte
+	if _, err := io.ReadFull(r, crcBuf[:]); err != nil {
+		return nil, nil, false, err // io.EOF at a clean entry boundary
+	}
 	flags, err := r.ReadByte()
 	if err != nil {
-		return nil, nil, false, err
+		return nil, nil, false, errCorruptSSTable
 	}
 	klen, err := binary.ReadUvarint(r)
 	if err != nil {
@@ -315,6 +371,18 @@ func readEntry(r *bufio.Reader) (key, value []byte, tombstone bool, err error) {
 	}
 	value = make([]byte, vlen)
 	if _, err := io.ReadFull(r, value); err != nil {
+		return nil, nil, false, errCorruptSSTable
+	}
+	crc := crc32.NewIEEE()
+	var hdr [1 + 2*binary.MaxVarintLen32]byte
+	hdr[0] = flags
+	n := 1
+	n += binary.PutUvarint(hdr[n:], klen)
+	n += binary.PutUvarint(hdr[n:], vlen)
+	crc.Write(hdr[:n])
+	crc.Write(key)
+	crc.Write(value)
+	if crc.Sum32() != binary.LittleEndian.Uint32(crcBuf[:]) {
 		return nil, nil, false, errCorruptSSTable
 	}
 	return key, value, flags&sstTombstone != 0, nil

@@ -9,6 +9,8 @@ import (
 	"testing"
 	"testing/quick"
 	"time"
+
+	"confide/internal/storage/vfs"
 )
 
 // storeFactories builds each KVStore implementation fresh for a subtest.
@@ -399,10 +401,10 @@ func TestSSTableLargeValuesAcrossIndexBlocks(t *testing.T) {
 			value: bytes.Repeat([]byte{byte(i)}, 3000),
 		})
 	}
-	if err := writeSSTable(path, entries); err != nil {
+	if err := writeSSTable(vfs.Default(), nil, path, entries); err != nil {
 		t.Fatal(err)
 	}
-	tab, err := openSSTable(path)
+	tab, err := openSSTable(vfs.Default(), path)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,556 @@
+// Package faultfs is a deterministic, seeded, fault-injecting in-memory
+// implementation of vfs.FS for crash and disk-fault testing.
+//
+// It models the durability semantics POSIX actually guarantees, not the ones
+// programs wish for:
+//
+//   - File content is durable only up to the last successful Sync; bytes
+//     written after it live in the "page cache" and survive a crash only as a
+//     seeded prefix (torn write).
+//   - Directory entries (creates, renames, removes) are durable only after
+//     SyncDir on the parent; a file created, written, and fsynced — but whose
+//     directory was never synced — vanishes entirely at a crash.
+//   - Sync can fail (and then the file is poisoned: every later Sync fails
+//     too, modeling post-EIO fsync semantics), or lie (report success without
+//     persisting — the firmware-cache fault).
+//   - Writes can hit ENOSPC after a partial (prefix) transfer; reads can see
+//     transient EIO or single-bit flips in the returned buffer.
+//
+// All randomness comes from one seeded source, so a drill that fails
+// reproduces byte-for-byte from its seed.
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"confide/internal/storage/vfs"
+)
+
+// Injected fault errors.
+var (
+	ErrNoSpace    = errors.New("faultfs: no space left on device (injected)")
+	ErrIO         = errors.New("faultfs: input/output error (injected)")
+	ErrSyncFailed = errors.New("faultfs: fsync failed (injected, sticky)")
+)
+
+// Probs are per-operation fault probabilities in [0,1]. The zero value
+// injects nothing, leaving only the crash semantics (torn tails, lost
+// unsynced directory entries) active.
+type Probs struct {
+	// WriteErr: probability a Write returns ENOSPC after transferring a
+	// seeded prefix of the buffer.
+	WriteErr float64
+	// ReadErr: probability a Read/ReadAt returns a transient EIO.
+	ReadErr float64
+	// ReadFlip: probability a Read/ReadAt flips one bit in the returned
+	// buffer (the media is fine; the transfer was not).
+	ReadFlip float64
+	// SyncErr: probability a Sync fails and poisons the file (all later
+	// Syncs fail too).
+	SyncErr float64
+	// SyncLie: probability a Sync reports success without persisting.
+	SyncLie float64
+}
+
+// Stats counts injected faults, for drill reports.
+type Stats struct {
+	WriteErrs int
+	ReadErrs  int
+	BitFlips  int
+	SyncErrs  int
+	SyncLies  int
+	TornTails int
+	Crashes   int
+}
+
+type inode struct {
+	mem        []byte // live content (page cache view)
+	durable    []byte // content as of the last successful sync
+	hasDurable bool
+	poisoned   bool // a sync failed; all later syncs fail
+}
+
+// FS is the fault-injecting filesystem. It implements vfs.FS and
+// vfs.Crasher.
+type FS struct {
+	mu     sync.Mutex
+	rng    *prng
+	probs  Probs
+	stats  Stats
+	frozen bool
+
+	files  map[string]*inode // live namespace
+	linked map[string]*inode // durable namespace: dir-synced names
+	dirs   map[string]bool
+}
+
+// New returns a fault filesystem seeded with seed. Fault probabilities start
+// at zero; set them with SetProbs.
+func New(seed int64) *FS {
+	return &FS{
+		rng:    newPRNG(uint64(seed)),
+		files:  make(map[string]*inode),
+		linked: make(map[string]*inode),
+		dirs:   make(map[string]bool),
+	}
+}
+
+// SetProbs installs fault probabilities (typically for a fault window).
+func (f *FS) SetProbs(p Probs) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.probs = p
+}
+
+// Calm zeroes all fault probabilities (crash semantics stay), so convergence
+// and audit phases run on a quiet disk.
+func (f *FS) Calm() { f.SetProbs(Probs{}) }
+
+// Stats returns a copy of the fault counters.
+func (f *FS) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// Crash freezes the filesystem at its crash-consistent image: every
+// operation fails with vfs.ErrCrashed until Reopen. The surviving image is
+// computed here — durable names only, durable content plus a seeded torn
+// tail of any unsynced append.
+func (f *FS) Crash() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.frozen {
+		return
+	}
+	f.frozen = true
+	f.stats.Crashes++
+	survivors := make(map[string]*inode, len(f.linked))
+	for name, ino := range f.linked {
+		content := f.crashContent(ino)
+		survivors[name] = &inode{
+			mem:        content,
+			durable:    append([]byte(nil), content...),
+			hasDurable: true,
+		}
+	}
+	f.files = survivors
+	f.linked = make(map[string]*inode, len(survivors))
+	for name, ino := range survivors {
+		f.linked[name] = ino
+	}
+}
+
+// crashContent computes what one file holds after power loss: the durable
+// content, extended by a seeded prefix of any unsynced append-only tail.
+func (f *FS) crashContent(ino *inode) []byte {
+	base := ino.durable
+	if !ino.hasDurable {
+		base = nil
+	}
+	if len(ino.mem) > len(base) && hasPrefix(ino.mem, base) {
+		tail := len(ino.mem) - len(base)
+		keep := int(f.rng.intn(uint64(tail) + 1))
+		if keep > 0 && keep < tail {
+			f.stats.TornTails++
+		}
+		out := make([]byte, len(base)+keep)
+		copy(out, ino.mem[:len(base)+keep])
+		return out
+	}
+	return append([]byte(nil), base...)
+}
+
+// Reopen thaws the filesystem on its crash image, simulating the machine
+// coming back up. The caller then reopens the store over it.
+func (f *FS) Reopen() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.frozen = false
+}
+
+// Frozen reports whether the filesystem is crashed.
+func (f *FS) Frozen() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.frozen
+}
+
+func hasPrefix(b, prefix []byte) bool {
+	if len(b) < len(prefix) {
+		return false
+	}
+	for i := range prefix {
+		if b[i] != prefix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// --- vfs.FS ---
+
+func (f *FS) OpenFile(name string, flag int, perm fs.FileMode) (vfs.File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.frozen {
+		return nil, vfs.ErrCrashed
+	}
+	name = filepath.Clean(name)
+	ino, ok := f.files[name]
+	if !ok {
+		if flag&os.O_CREATE == 0 {
+			return nil, &fs.PathError{Op: "open", Path: name, Err: fs.ErrNotExist}
+		}
+		ino = &inode{}
+		f.files[name] = ino
+	} else if flag&os.O_TRUNC != 0 {
+		ino.mem = nil
+	}
+	h := &handle{fs: f, ino: ino, name: name, append: flag&os.O_APPEND != 0, writable: flag&(os.O_WRONLY|os.O_RDWR) != 0}
+	if h.append {
+		h.pos = int64(len(ino.mem))
+	}
+	return h, nil
+}
+
+func (f *FS) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.frozen {
+		return vfs.ErrCrashed
+	}
+	oldpath, newpath = filepath.Clean(oldpath), filepath.Clean(newpath)
+	ino, ok := f.files[oldpath]
+	if ok {
+		delete(f.files, oldpath)
+		f.files[newpath] = ino
+		return nil
+	}
+	// Directory rename: move every child path under the prefix (used by
+	// quarantine, which sets a whole store directory aside).
+	prefix := oldpath + string(filepath.Separator)
+	moved := false
+	for name, ino := range f.files {
+		if len(name) > len(prefix) && name[:len(prefix)] == prefix {
+			delete(f.files, name)
+			f.files[filepath.Join(newpath, name[len(prefix):])] = ino
+			moved = true
+		}
+	}
+	for name, ino := range f.linked {
+		if len(name) > len(prefix) && name[:len(prefix)] == prefix {
+			delete(f.linked, name)
+			f.linked[filepath.Join(newpath, name[len(prefix):])] = ino
+		}
+	}
+	if f.dirs[oldpath] {
+		delete(f.dirs, oldpath)
+		f.dirs[newpath] = true
+		moved = true
+	}
+	if !moved {
+		return &fs.PathError{Op: "rename", Path: oldpath, Err: fs.ErrNotExist}
+	}
+	return nil
+}
+
+func (f *FS) Remove(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.frozen {
+		return vfs.ErrCrashed
+	}
+	name = filepath.Clean(name)
+	if _, ok := f.files[name]; !ok {
+		if f.dirs[name] {
+			delete(f.dirs, name)
+			return nil
+		}
+		return &fs.PathError{Op: "remove", Path: name, Err: fs.ErrNotExist}
+	}
+	delete(f.files, name)
+	return nil
+}
+
+func (f *FS) RemoveAll(path string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.frozen {
+		return vfs.ErrCrashed
+	}
+	path = filepath.Clean(path)
+	prefix := path + string(filepath.Separator)
+	for name := range f.files {
+		if name == path || (len(name) > len(prefix) && name[:len(prefix)] == prefix) {
+			delete(f.files, name)
+		}
+	}
+	for name := range f.linked {
+		if name == path || (len(name) > len(prefix) && name[:len(prefix)] == prefix) {
+			delete(f.linked, name)
+		}
+	}
+	for name := range f.dirs {
+		if name == path || (len(name) > len(prefix) && name[:len(prefix)] == prefix) {
+			delete(f.dirs, name)
+		}
+	}
+	return nil
+}
+
+func (f *FS) MkdirAll(path string, perm fs.FileMode) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.frozen {
+		return vfs.ErrCrashed
+	}
+	path = filepath.Clean(path)
+	for path != "." && path != string(filepath.Separator) && path != "" {
+		f.dirs[path] = true
+		path = filepath.Dir(path)
+	}
+	return nil
+}
+
+func (f *FS) Glob(pattern string) ([]string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.frozen {
+		return nil, vfs.ErrCrashed
+	}
+	var out []string
+	for name := range f.files {
+		ok, err := filepath.Match(pattern, name)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// SyncDir reconciles the durable namespace for dir with the live one: names
+// created or renamed into dir become crash-durable; names removed from it
+// durably disappear.
+func (f *FS) SyncDir(dir string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.frozen {
+		return vfs.ErrCrashed
+	}
+	dir = filepath.Clean(dir)
+	for name := range f.linked {
+		if filepath.Dir(name) == dir {
+			if _, live := f.files[name]; !live {
+				delete(f.linked, name)
+			}
+		}
+	}
+	for name, ino := range f.files {
+		if filepath.Dir(name) == dir {
+			f.linked[name] = ino
+		}
+	}
+	return nil
+}
+
+func (f *FS) Stat(name string) (fs.FileInfo, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.frozen {
+		return nil, vfs.ErrCrashed
+	}
+	name = filepath.Clean(name)
+	if ino, ok := f.files[name]; ok {
+		return fileInfo{name: filepath.Base(name), size: int64(len(ino.mem))}, nil
+	}
+	if f.dirs[name] {
+		return fileInfo{name: filepath.Base(name), dir: true}, nil
+	}
+	return nil, &fs.PathError{Op: "stat", Path: name, Err: fs.ErrNotExist}
+}
+
+// --- file handle ---
+
+type handle struct {
+	fs       *FS
+	ino      *inode
+	name     string
+	pos      int64
+	append   bool
+	writable bool
+	closed   bool
+}
+
+func (h *handle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.fs.frozen {
+		return 0, vfs.ErrCrashed
+	}
+	if h.closed || !h.writable {
+		return 0, fs.ErrClosed
+	}
+	n := len(p)
+	var failErr error
+	if h.fs.probs.WriteErr > 0 && h.fs.rng.float() < h.fs.probs.WriteErr {
+		// Short write then ENOSPC: a seeded prefix lands.
+		n = int(h.fs.rng.intn(uint64(len(p)) + 1))
+		failErr = ErrNoSpace
+		h.fs.stats.WriteErrs++
+	}
+	off := h.pos
+	if h.append {
+		off = int64(len(h.ino.mem))
+	}
+	end := off + int64(n)
+	if int64(len(h.ino.mem)) < end {
+		grown := make([]byte, end)
+		copy(grown, h.ino.mem)
+		h.ino.mem = grown
+	}
+	copy(h.ino.mem[off:end], p[:n])
+	h.pos = end
+	if failErr != nil {
+		return n, failErr
+	}
+	return n, nil
+}
+
+func (h *handle) Read(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	n, err := h.readAtLocked(p, h.pos)
+	h.pos += int64(n)
+	return n, err
+}
+
+func (h *handle) ReadAt(p []byte, off int64) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	return h.readAtLocked(p, off)
+}
+
+func (h *handle) readAtLocked(p []byte, off int64) (int, error) {
+	if h.fs.frozen {
+		return 0, vfs.ErrCrashed
+	}
+	if h.closed {
+		return 0, fs.ErrClosed
+	}
+	if h.fs.probs.ReadErr > 0 && h.fs.rng.float() < h.fs.probs.ReadErr {
+		h.fs.stats.ReadErrs++
+		return 0, ErrIO
+	}
+	if off >= int64(len(h.ino.mem)) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.ino.mem[off:])
+	if n > 0 && h.fs.probs.ReadFlip > 0 && h.fs.rng.float() < h.fs.probs.ReadFlip {
+		i := int(h.fs.rng.intn(uint64(n)))
+		p[i] ^= 1 << h.fs.rng.intn(8)
+		h.fs.stats.BitFlips++
+	}
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func (h *handle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.fs.frozen {
+		return vfs.ErrCrashed
+	}
+	if h.closed {
+		return fs.ErrClosed
+	}
+	if h.ino.poisoned {
+		return ErrSyncFailed
+	}
+	if h.fs.probs.SyncErr > 0 && h.fs.rng.float() < h.fs.probs.SyncErr {
+		h.ino.poisoned = true
+		h.fs.stats.SyncErrs++
+		return ErrSyncFailed
+	}
+	if h.fs.probs.SyncLie > 0 && h.fs.rng.float() < h.fs.probs.SyncLie {
+		h.fs.stats.SyncLies++
+		return nil // lie: durable view unchanged
+	}
+	h.ino.durable = append([]byte(nil), h.ino.mem...)
+	h.ino.hasDurable = true
+	return nil
+}
+
+func (h *handle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	h.closed = true
+	return nil
+}
+
+func (h *handle) Stat() (fs.FileInfo, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.fs.frozen {
+		return nil, vfs.ErrCrashed
+	}
+	return fileInfo{name: filepath.Base(h.name), size: int64(len(h.ino.mem))}, nil
+}
+
+func (h *handle) Name() string { return h.name }
+
+type fileInfo struct {
+	name string
+	size int64
+	dir  bool
+}
+
+func (fi fileInfo) Name() string       { return fi.name }
+func (fi fileInfo) Size() int64        { return fi.size }
+func (fi fileInfo) Mode() fs.FileMode  { return 0o644 }
+func (fi fileInfo) ModTime() time.Time { return time.Time{} }
+func (fi fileInfo) IsDir() bool        { return fi.dir }
+func (fi fileInfo) Sys() any           { return nil }
+
+// prng is a tiny deterministic generator (splitmix64) so fault schedules are
+// reproducible from the seed and independent of math/rand's global state.
+type prng struct{ state uint64 }
+
+func newPRNG(seed uint64) *prng { return &prng{state: seed ^ 0x9e3779b97f4a7c15} }
+
+func (p *prng) next() uint64 {
+	p.state += 0x9e3779b97f4a7c15
+	z := p.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (p *prng) intn(n uint64) uint64 {
+	if n == 0 {
+		return 0
+	}
+	return p.next() % n
+}
+
+func (p *prng) float() float64 {
+	return float64(p.next()>>11) / float64(1<<53)
+}
+
+var (
+	_ vfs.FS      = (*FS)(nil)
+	_ vfs.Crasher = (*FS)(nil)
+)

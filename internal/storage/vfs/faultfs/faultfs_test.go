@@ -1,0 +1,256 @@
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"testing"
+
+	"confide/internal/storage/vfs"
+)
+
+func write(t *testing.T, f *FS, name string, data []byte) vfs.File {
+	t.Helper()
+	h, err := f.OpenFile(name, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write(data); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func readAll(t *testing.T, f *FS, name string) []byte {
+	t.Helper()
+	h, err := vfs.Open(f, name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	var out []byte
+	buf := make([]byte, 64)
+	for {
+		n, err := h.Read(buf)
+		out = append(out, buf[:n]...)
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestUnsyncedFileVanishesAtCrash(t *testing.T) {
+	f := New(1)
+	h := write(t, f, "dir/a", []byte("hello"))
+	if err := h.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Content fsynced — but the directory entry never was: POSIX says the
+	// name itself is not durable, so the whole file vanishes.
+	f.Crash()
+	f.Reopen()
+	if _, err := vfs.Open(f, "dir/a"); err == nil {
+		t.Fatal("file with unsynced directory entry survived the crash")
+	}
+}
+
+func TestSyncedFileSurvivesCrashExactly(t *testing.T) {
+	f := New(2)
+	h := write(t, f, "dir/a", []byte("hello"))
+	if err := h.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SyncDir("dir"); err != nil {
+		t.Fatal(err)
+	}
+	// More bytes after the sync: only a seeded prefix of them may survive.
+	if _, err := h.Write([]byte(" world, this tail was never synced")); err != nil {
+		t.Fatal(err)
+	}
+	f.Crash()
+	f.Reopen()
+	got := readAll(t, f, "dir/a")
+	if !bytes.HasPrefix(got, []byte("hello")) {
+		t.Fatalf("synced content damaged: %q", got)
+	}
+	if len(got) > len("hello world, this tail was never synced") {
+		t.Fatalf("crash image grew bytes from nowhere: %q", got)
+	}
+}
+
+func TestCrashImageIsDeterministicPerSeed(t *testing.T) {
+	image := func(seed int64) []byte {
+		f := New(seed)
+		h := write(t, f, "dir/a", []byte("durable-part"))
+		h.Sync()
+		f.SyncDir("dir")
+		h.Write(bytes.Repeat([]byte("x"), 100))
+		f.Crash()
+		f.Reopen()
+		return readAll(t, f, "dir/a")
+	}
+	if a, b := image(42), image(42); !bytes.Equal(a, b) {
+		t.Fatalf("same seed, different crash images: %d vs %d bytes", len(a), len(b))
+	}
+}
+
+func TestFrozenFSRejectsEverything(t *testing.T) {
+	f := New(3)
+	h := write(t, f, "dir/a", []byte("x"))
+	f.Crash()
+	if !f.Frozen() {
+		t.Fatal("not frozen after Crash")
+	}
+	if _, err := h.Write([]byte("y")); !errors.Is(err, vfs.ErrCrashed) {
+		t.Fatalf("write on frozen fs: %v", err)
+	}
+	if err := h.Sync(); !errors.Is(err, vfs.ErrCrashed) {
+		t.Fatalf("sync on frozen fs: %v", err)
+	}
+	if _, err := f.OpenFile("dir/b", os.O_CREATE|os.O_RDWR, 0o644); !errors.Is(err, vfs.ErrCrashed) {
+		t.Fatalf("open on frozen fs: %v", err)
+	}
+	if err := f.Rename("dir/a", "dir/b"); !errors.Is(err, vfs.ErrCrashed) {
+		t.Fatalf("rename on frozen fs: %v", err)
+	}
+}
+
+func TestSyncErrorPoisonsFile(t *testing.T) {
+	f := New(4)
+	h := write(t, f, "a", []byte("x"))
+	f.SetProbs(Probs{SyncErr: 1})
+	if err := h.Sync(); !errors.Is(err, ErrSyncFailed) {
+		t.Fatalf("want ErrSyncFailed, got %v", err)
+	}
+	// Post-EIO semantics: the disk "recovering" does not unpoison the file.
+	f.Calm()
+	if err := h.Sync(); !errors.Is(err, ErrSyncFailed) {
+		t.Fatalf("poisoned file synced cleanly: %v", err)
+	}
+	if got := f.Stats(); got.SyncErrs != 1 {
+		t.Fatalf("stats: %+v", got)
+	}
+}
+
+func TestSyncLieLeavesDataVolatile(t *testing.T) {
+	f := New(5)
+	h := write(t, f, "dir/a", []byte("volatile"))
+	f.SyncDir("dir") // name durable, content not
+	f.SetProbs(Probs{SyncLie: 1})
+	if err := h.Sync(); err != nil {
+		t.Fatalf("a lying sync must report success, got %v", err)
+	}
+	f.Calm()
+	f.Crash()
+	f.Reopen()
+	got := readAll(t, f, "dir/a")
+	if bytes.Equal(got, []byte("volatile")) && f.Stats().TornTails == 0 {
+		t.Fatal("lied-about content survived fully intact with no torn tail recorded")
+	}
+	if f.Stats().SyncLies != 1 {
+		t.Fatalf("stats: %+v", f.Stats())
+	}
+}
+
+func TestWriteENOSPCTransfersPrefix(t *testing.T) {
+	f := New(6)
+	h := write(t, f, "a", nil)
+	f.SetProbs(Probs{WriteErr: 1})
+	n, err := h.Write(bytes.Repeat([]byte("z"), 100))
+	if !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("want ErrNoSpace, got %v", err)
+	}
+	if n < 0 || n > 100 {
+		t.Fatalf("short-write count %d out of range", n)
+	}
+	f.Calm()
+	if got := readAll(t, f, "a"); len(got) != n {
+		t.Fatalf("file holds %d bytes, short write reported %d", len(got), n)
+	}
+}
+
+func TestReadFaults(t *testing.T) {
+	f := New(7)
+	content := bytes.Repeat([]byte{0xAA}, 64)
+	h := write(t, f, "a", content)
+	h.Close()
+
+	f.SetProbs(Probs{ReadErr: 1})
+	h2, _ := vfs.Open(f, "a")
+	if _, err := h2.ReadAt(make([]byte, 8), 0); !errors.Is(err, ErrIO) {
+		t.Fatalf("want injected EIO, got %v", err)
+	}
+
+	f.SetProbs(Probs{ReadFlip: 1})
+	buf := make([]byte, 64)
+	if _, err := h2.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(buf, content) {
+		t.Fatal("bit-flip read returned pristine data")
+	}
+	if got := f.Stats(); got.ReadErrs != 1 || got.BitFlips != 1 {
+		t.Fatalf("stats: %+v", got)
+	}
+	// The media itself is clean: a calm re-read sees the real bytes.
+	f.Calm()
+	if _, err := h2.ReadAt(buf, 0); err != nil || !bytes.Equal(buf, content) {
+		t.Fatalf("calm re-read damaged: %v", err)
+	}
+}
+
+func TestDirectoryRenameMovesSubtree(t *testing.T) {
+	f := New(8)
+	h := write(t, f, "store/wal.log", []byte("log"))
+	h.Sync()
+	f.MkdirAll("store", 0o755)
+	f.SyncDir("store")
+	if err := f.Rename("store", "store.quarantined"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := vfs.Open(f, "store/wal.log"); err == nil {
+		t.Fatal("old path still live after directory rename")
+	}
+	if got := readAll(t, f, "store.quarantined/wal.log"); !bytes.Equal(got, []byte("log")) {
+		t.Fatalf("moved file content: %q", got)
+	}
+	// The durable namespace moved with it.
+	f.Crash()
+	f.Reopen()
+	if got := readAll(t, f, "store.quarantined/wal.log"); !bytes.Equal(got, []byte("log")) {
+		t.Fatalf("quarantined file not crash-durable: %q", got)
+	}
+}
+
+func TestRemoveNeedsDirSyncToBeDurable(t *testing.T) {
+	f := New(9)
+	h := write(t, f, "dir/a", []byte("x"))
+	h.Sync()
+	f.SyncDir("dir")
+	// Remove without syncing the directory: the unlink is not durable, the
+	// file is resurrected by the crash.
+	if err := f.Remove("dir/a"); err != nil {
+		t.Fatal(err)
+	}
+	f.Crash()
+	f.Reopen()
+	if _, err := vfs.Open(f, "dir/a"); err != nil {
+		t.Fatal("unsynced unlink became durable")
+	}
+	// Now sync the directory and crash again: durably gone.
+	if err := f.Remove("dir/a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SyncDir("dir"); err != nil {
+		t.Fatal(err)
+	}
+	f.Crash()
+	f.Reopen()
+	if _, err := vfs.Open(f, "dir/a"); err == nil {
+		t.Fatal("synced unlink survived the crash")
+	}
+}

@@ -1,0 +1,102 @@
+// Package vfs is the storage layer's filesystem seam. Production code runs
+// on OS (thin os wrappers plus the directory-fsync primitive POSIX durability
+// actually requires); crash and disk-fault tests substitute faultfs, a
+// deterministic in-memory implementation that models torn writes, fsync lies,
+// ENOSPC, and read corruption.
+//
+// The interface is intentionally narrow: exactly the operations wal.go,
+// sstable.go, and lsm.go perform, so every byte the store persists flows
+// through one mockable boundary.
+package vfs
+
+import (
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// File is the subset of *os.File the storage layer uses.
+type File interface {
+	io.Reader
+	io.ReaderAt
+	io.Writer
+	io.Closer
+	// Sync flushes the file to stable storage. A filesystem may return an
+	// error (device failure, ENOSPC at writeback) — or, on faulty hardware,
+	// lie; faultfs models both.
+	Sync() error
+	Stat() (fs.FileInfo, error)
+	Name() string
+}
+
+// FS is the filesystem contract for the storage layer.
+type FS interface {
+	// OpenFile is the generalized open (os.OpenFile semantics for the flag
+	// combinations the store uses: O_RDONLY; O_CREATE|O_WRONLY|O_APPEND;
+	// O_CREATE|O_WRONLY|O_TRUNC).
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// Rename atomically replaces newpath with oldpath. Durability of the
+	// rename itself requires a subsequent SyncDir on the parent.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a file. Removing a missing file returns an error
+	// satisfying errors.Is(err, fs.ErrNotExist).
+	Remove(name string) error
+	// RemoveAll deletes path and any children; missing path is not an error.
+	RemoveAll(path string) error
+	// MkdirAll creates a directory tree.
+	MkdirAll(path string, perm fs.FileMode) error
+	// Glob lists files matching pattern (filepath.Glob semantics).
+	Glob(pattern string) ([]string, error)
+	// SyncDir fsyncs a directory, making previously-renamed/created/removed
+	// entries in it durable. On POSIX a rename is not crash-durable until the
+	// containing directory is synced — skipping this is exactly the class of
+	// bug faultfs exists to surface.
+	SyncDir(dir string) error
+	// Stat reports file metadata.
+	Stat(name string) (fs.FileInfo, error)
+}
+
+// Open opens name read-only.
+func Open(fsys FS, name string) (File, error) {
+	return fsys.OpenFile(name, os.O_RDONLY, 0)
+}
+
+// Create truncate-creates name for writing.
+func Create(fsys FS, name string) (File, error) {
+	return fsys.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+}
+
+// OS is the production FS backed by the real filesystem.
+type OS struct{}
+
+func (OS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (OS) Remove(name string) error             { return os.Remove(name) }
+func (OS) RemoveAll(path string) error          { return os.RemoveAll(path) }
+func (OS) MkdirAll(path string, perm fs.FileMode) error {
+	return os.MkdirAll(path, perm)
+}
+func (OS) Glob(pattern string) ([]string, error) { return filepath.Glob(pattern) }
+func (OS) Stat(name string) (fs.FileInfo, error) { return os.Stat(name) }
+
+// SyncDir opens the directory and fsyncs it, the POSIX idiom for making
+// directory entries (renames, creates, unlinks) durable.
+func (OS) SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Default returns the production filesystem used when LSMOptions.FS is nil.
+func Default() FS { return OS{} }

@@ -7,7 +7,11 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"io/fs"
 	"os"
+	"path/filepath"
+
+	"confide/internal/storage/vfs"
 )
 
 // wal is the LSM store's write-ahead log. Every mutation is appended (and
@@ -16,21 +20,37 @@ import (
 //
 //	crc32(le, over rest) | flags(1) | keyLen(varint) | valLen(varint) | key | val
 //
-// flags bit 0 marks a tombstone.
+// flags bit 0 marks a tombstone; bit 1 marks a batch-commit record (empty
+// key/val) sealing every record appended since the previous commit. Replay
+// applies only sealed batches, so a torn tail can never surface half of an
+// atomic WriteBatch.
 type wal struct {
-	f      *os.File
+	fsys   vfs.FS
+	f      vfs.File
 	w      *bufio.Writer
 	synced bool
+	crash  *vfs.CrashPoints
 }
 
-const walTombstone = 0x1
+const (
+	walTombstone = 0x1
+	walCommit    = 0x2
+)
 
-func openWAL(path string, synced bool) (*wal, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+// openWAL opens (or creates) the log at path and fsyncs the parent
+// directory, so the file's existence survives a crash that follows
+// immediately — a freshly created-but-unlinked WAL would otherwise silently
+// lose the first synced batch.
+func openWAL(fsys vfs.FS, path string, synced bool, crash *vfs.CrashPoints) (*wal, error) {
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("storage: open wal: %w", err)
 	}
-	return &wal{f: f, w: bufio.NewWriterSize(f, 64<<10), synced: synced}, nil
+	if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: sync wal dir: %w", err)
+	}
+	return &wal{fsys: fsys, f: f, w: bufio.NewWriterSize(f, 64<<10), synced: synced, crash: crash}, nil
 }
 
 func (w *wal) append(key, value []byte, tombstone bool) error {
@@ -38,6 +58,20 @@ func (w *wal) append(key, value []byte, tombstone bool) error {
 	if tombstone {
 		flags |= walTombstone
 	}
+	if err := w.appendRecord(flags, key, value); err != nil {
+		return err
+	}
+	mWALAppends.Inc()
+	return nil
+}
+
+// appendCommit seals the records appended since the last commit marker;
+// replay discards anything after the final marker.
+func (w *wal) appendCommit() error {
+	return w.appendRecord(walCommit, nil, nil)
+}
+
+func (w *wal) appendRecord(flags byte, key, value []byte) error {
 	var hdr [1 + 2*binary.MaxVarintLen32]byte
 	hdr[0] = flags
 	n := 1
@@ -56,12 +90,14 @@ func (w *wal) append(key, value []byte, tombstone bool) error {
 			return fmt.Errorf("storage: wal append: %w", err)
 		}
 	}
-	mWALAppends.Inc()
 	return nil
 }
 
 func (w *wal) flush() error {
 	if err := w.w.Flush(); err != nil {
+		return err
+	}
+	if err := w.crash.Hit(vfs.CrashWALAppend); err != nil {
 		return err
 	}
 	if w.synced {
@@ -79,12 +115,12 @@ func (w *wal) close() error {
 	return w.f.Close()
 }
 
-// replayWAL streams records from a WAL file into fn. A truncated or
-// corrupted tail terminates replay cleanly (torn final write after a crash);
-// corruption earlier in the file is reported.
-func replayWAL(path string, fn func(key, value []byte, tombstone bool)) error {
-	f, err := os.Open(path)
-	if errors.Is(err, os.ErrNotExist) {
+// replayWAL streams sealed batches from a WAL file into fn. Records after
+// the last batch-commit marker — and any truncated or corrupted tail — are
+// discarded (torn final write after a crash); corruption is never applied.
+func replayWAL(fsys vfs.FS, path string, fn func(key, value []byte, tombstone bool)) error {
+	f, err := vfs.Open(fsys, path)
+	if errors.Is(err, fs.ErrNotExist) || errors.Is(err, os.ErrNotExist) {
 		return nil
 	}
 	if err != nil {
@@ -92,13 +128,15 @@ func replayWAL(path string, fn func(key, value []byte, tombstone bool)) error {
 	}
 	defer f.Close()
 	r := bufio.NewReaderSize(f, 64<<10)
+	type walRec struct {
+		key, value []byte
+		tombstone  bool
+	}
+	var pending []walRec
 	for {
 		var crcBuf [4]byte
 		if _, err := io.ReadFull(r, crcBuf[:]); err != nil {
-			if errors.Is(err, io.EOF) {
-				return nil
-			}
-			return nil // torn tail
+			return nil // EOF or torn tail: unsealed records stay discarded
 		}
 		flags, err := r.ReadByte()
 		if err != nil {
@@ -133,8 +171,15 @@ func replayWAL(path string, fn func(key, value []byte, tombstone bool)) error {
 		crc.Write(key)
 		crc.Write(value)
 		if crc.Sum32() != binary.LittleEndian.Uint32(crcBuf[:]) {
-			return nil // corrupted tail: stop replay at last good record
+			return nil // corrupted tail: stop replay at last sealed batch
 		}
-		fn(key, value, flags&walTombstone != 0)
+		if flags&walCommit != 0 {
+			for _, rec := range pending {
+				fn(rec.key, rec.value, rec.tombstone)
+			}
+			pending = pending[:0]
+			continue
+		}
+		pending = append(pending, walRec{key: key, value: value, tombstone: flags&walTombstone != 0})
 	}
 }
