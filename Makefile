@@ -15,7 +15,7 @@ test:
 # injection, the node layer, and the lock-free metrics registry feeding all
 # of them.
 race:
-	$(GO) test -race ./internal/consensus/... ./internal/node/... ./internal/p2p/... ./internal/metrics/... ./internal/bench/... ./internal/storage/... ./internal/gateway/...
+	$(GO) test -race ./internal/consensus/... ./internal/node/... ./internal/p2p/... ./internal/metrics/... ./internal/bench/... ./internal/storage/... ./internal/gateway/... ./internal/confassets/...
 
 vet:
 	$(GO) vet ./...
@@ -59,6 +59,8 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzEpochHeader -fuzztime=$(FUZZTIME) ./internal/keyepoch/
 	$(GO) test -run='^$$' -fuzz=FuzzGatewayRequest -fuzztime=$(FUZZTIME) ./internal/gateway/
 	$(GO) test -run='^$$' -fuzz=FuzzWALReplay -fuzztime=$(FUZZTIME) ./internal/storage/
+	$(GO) test -run='^$$' -fuzz=FuzzRangeProofVerify -fuzztime=$(FUZZTIME) ./internal/confassets/
+	$(GO) test -run='^$$' -fuzz=FuzzDisclosureReceipt -fuzztime=$(FUZZTIME) ./internal/confassets/
 
 # Instrumented-vs-disabled throughput delta (budget: <2%).
 overhead:

@@ -14,6 +14,7 @@
 //	benchrunner -exp fastsync     # wipe-rejoin: snapshot vs genesis replay
 //	benchrunner -exp rotation     # key-epoch rotation under traffic + re-seal sweep
 //	benchrunner -exp gateway      # HTTP edge: offered-load sweep with shedding
+//	benchrunner -exp confassets   # Pedersen/range-proof primitives + committed-token TPS
 //	benchrunner -exp fig10 -json  # also write BENCH_fig10.json
 //	benchrunner -chaos -seed 7    # liveness-under-faults drill
 //	benchrunner -chaos -wipe 1    # …plus a wipe-and-rejoin (snapshot fast-sync)
@@ -101,6 +102,9 @@ func main() {
 	}
 	if *exp == "gateway" { // opt-in: closed-loop clients over real TCP gateways
 		run("gateway", func() (any, error) { return runGateway(*quick) })
+	}
+	if *exp == "confassets" { // opt-in: confidential-assets primitives + token TPS
+		run("confassets", func() (any, error) { return runConfAssets(*txs, *quick) })
 	}
 
 	if *showMetrics {
@@ -267,6 +271,36 @@ func runChaos(seed int64, nodes, txs int, drop float64, wipes, rotations, gwkill
 			report.Metrics["confide_storage_read_retries_total"])
 	}
 	return nil
+}
+
+func runConfAssets(txs int, quick bool) (any, error) {
+	cfg := bench.DefaultConfAssets()
+	if txs > 0 {
+		cfg.TokenTxs = txs
+	}
+	if quick {
+		cfg.Proofs, cfg.Batches, cfg.TokenTxs = 16, []int{4, 16}, 8
+	}
+	fmt.Println("=== Confidential assets: commitment & range-proof primitives, committed-token TPS ===")
+	rows, err := bench.ConfAssets(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("%-20s %6s %7s %12s %12s %9s %7s\n", "Op", "Batch", "Iters", "ms/op", "ops/s", "Speedup", "Bytes")
+	for _, r := range rows {
+		speedup, batch, bytes := "", "", ""
+		if r.Speedup > 0 {
+			speedup = fmt.Sprintf("%.2fx", r.Speedup)
+		}
+		if r.Batch > 0 {
+			batch = fmt.Sprintf("%d", r.Batch)
+		}
+		if r.Bytes > 0 {
+			bytes = fmt.Sprintf("%d", r.Bytes)
+		}
+		fmt.Printf("%-20s %6s %7d %12.4f %12.1f %9s %7s\n", r.Op, batch, r.Iters, r.PerOpMs, r.OpsPerSec, speedup, bytes)
+	}
+	return rows, nil
 }
 
 func runProd() (any, error) {

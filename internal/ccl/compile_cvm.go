@@ -358,7 +358,7 @@ func (g *cvmGen) builtinCall(e *CallExpr) error {
 		g.b.Op(cvm.OpUnreachable)
 		return nil
 	case "input_size", "input_read", "output", "storage_get", "storage_set",
-		"sha256", "keccak256", "log", "caller", "call":
+		"sha256", "keccak256", "log", "caller", "call", "confassets":
 		if err := emitArgs(); err != nil {
 			return err
 		}
@@ -390,6 +390,8 @@ func cvmHostFor(name string) cvm.HostIndex {
 		return cvm.HostCaller
 	case "call":
 		return cvm.HostCall
+	case "confassets":
+		return cvm.HostConfAssets
 	}
 	panic("ccl: no host mapping for " + name)
 }

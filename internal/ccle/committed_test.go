@@ -1,0 +1,207 @@
+package ccle
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// committedSchema is a balance table whose amount is a Pedersen-committed
+// ulong: the commitment is public on the wire, the opening is sealed.
+const committedSchema = `
+attribute "confidential";
+attribute "committed";
+
+table Balance {
+  owner: string;
+  memo: string(confidential);
+  amount: ulong(committed);
+}
+
+root_type Balance;
+`
+
+func committedCipher(key byte) *CommittedCipher {
+	k := bytes.Repeat([]byte{key}, 32)
+	return &CommittedCipher{
+		AEADCipher: AEADCipher{Key: k, Context: []byte("contract:0xca|secver:1")},
+		BlindKey:   k,
+	}
+}
+
+func parseCommitted(t *testing.T) *Schema {
+	t.Helper()
+	s, err := ParseSchema(committedSchema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func balanceValue(amount int64) *Value {
+	return TableVal(map[string]*Value{
+		"owner":  Str("alice"),
+		"memo":   Str("payroll"),
+		"amount": Int64(amount),
+	})
+}
+
+func TestCommittedRoundTripWithKeys(t *testing.T) {
+	s := parseCommitted(t)
+	cipher := committedCipher(0x11)
+	wire, err := Encode(s, balanceValue(5000), cipher)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := Decode(s, wire, cipher)
+	if err != nil {
+		t.Fatal(err)
+	}
+	amt := v.Fields["amount"]
+	if amt.Kind != ValCommitted || !amt.Opened {
+		t.Fatalf("amount not opened: %s", amt)
+	}
+	if got, ok := amt.CommittedValue(); !ok || got != 5000 {
+		t.Fatalf("opened value %d", got)
+	}
+	if len(amt.Commitment()) != committedPointLen {
+		t.Fatalf("commitment %d bytes", len(amt.Commitment()))
+	}
+	// Re-encoding an opened committed value preserves the payload verbatim.
+	wire2, err := Encode(s, v, cipher)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := Decode(s, wire2, cipher)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(v, v2) {
+		t.Fatal("committed round trip diverged")
+	}
+}
+
+func TestCommittedAuditorView(t *testing.T) {
+	s := parseCommitted(t)
+	cipher := committedCipher(0x11)
+	wire, err := Encode(s, balanceValue(777), cipher)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No cipher at all: memo redacts, the commitment stays readable.
+	v, err := Decode(s, wire, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Fields["memo"].Kind != ValRedacted {
+		t.Fatal("memo not redacted")
+	}
+	amt := v.Fields["amount"]
+	if amt.Kind != ValCommitted || amt.Opened {
+		t.Fatalf("auditor view opened the commitment: %s", amt)
+	}
+	if len(amt.Commitment()) != committedPointLen {
+		t.Fatal("auditor cannot read the commitment")
+	}
+	// The auditor can re-encode the readable part of the tree — including
+	// the committed payload, verbatim — after dropping redacted fields.
+	delete(v.Fields, "memo")
+	if _, err := Encode(s, v, nil); err != nil {
+		t.Fatalf("auditor re-encode: %v", err)
+	}
+	// A different enclave key cannot open the commitment.
+	if _, err := Decode(s, wire, committedCipher(0x22)); err == nil {
+		t.Fatal("foreign key opened a committed field")
+	}
+}
+
+func TestCommittedDeterministicAcrossReplicas(t *testing.T) {
+	s := parseCommitted(t)
+	a, err := Encode(s, balanceValue(123456), committedCipher(0x33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Encode(s, balanceValue(123456), committedCipher(0x33))
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, _ := Decode(s, a, nil)
+	vb, _ := Decode(s, b, nil)
+	if !bytes.Equal(va.Fields["amount"].Commitment(), vb.Fields["amount"].Commitment()) {
+		t.Fatal("replicas derived different commitments for the same value")
+	}
+}
+
+func TestCommittedRequiresCommitter(t *testing.T) {
+	s := parseCommitted(t)
+	aead := &AEADCipher{Key: bytes.Repeat([]byte{1}, 32)}
+	if _, err := Encode(s, balanceValue(1), aead); err != ErrNeedCommitter {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestCommittedDecodeRejectsTampering(t *testing.T) {
+	s := parseCommitted(t)
+	cipher := committedCipher(0x11)
+	wire, err := Encode(s, balanceValue(999), cipher)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range wire {
+		bad := append([]byte(nil), wire...)
+		bad[i] ^= 0x01
+		if v, err := Decode(s, bad, cipher); err == nil {
+			// A flip confined to plaintext fields may still decode; the
+			// committed value must never silently change.
+			if got, ok := v.Fields["amount"].CommittedValue(); ok && got != 999 {
+				t.Fatalf("flip at %d changed committed value to %d", i, got)
+			}
+		}
+	}
+}
+
+func TestCommittedSchemaValidation(t *testing.T) {
+	bad := []string{
+		`attribute "committed"; table T { s: string(committed); } root_type T;`,
+		`attribute "committed"; table T { v: [ulong](committed); } root_type T;`,
+		`attribute "committed"; attribute "confidential"; table T { a: ulong(committed, confidential); } root_type T;`,
+	}
+	for _, src := range bad {
+		if _, err := ParseSchema(src); err == nil || !strings.Contains(err.Error(), "committed") {
+			t.Fatalf("%q: got %v", src, err)
+		}
+	}
+	s := parseCommitted(t)
+	if _, err := ParseSchema(s.String()); err != nil {
+		t.Fatalf("String() does not re-parse: %v", err)
+	}
+}
+
+// TestCommittedFlagStrictness: flag 0x02 on a non-committed field and
+// plain/encrypted flags on a committed field are wire errors.
+func TestCommittedFlagStrictness(t *testing.T) {
+	s := parseCommitted(t)
+	cipher := committedCipher(0x11)
+	wire, err := Encode(s, balanceValue(5), cipher)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Locate each field entry's flag byte by re-walking the framing.
+	count, data, err := readUvarint(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := len(wire) - len(data)
+	for i := uint64(0); i < count; i++ {
+		_, rest, _ := readUvarint(wire[off:])
+		off = len(wire) - len(rest)
+		flagOff := off
+		n, rest2, _ := readUvarint(wire[off+1:])
+		off = len(wire) - len(rest2) + int(n)
+		bad := append([]byte(nil), wire...)
+		bad[flagOff] ^= 0x02 // committed<->plain-ish flag mutation
+		if _, err := Decode(s, bad, cipher); err == nil {
+			t.Fatalf("flag mutation at %d accepted", flagOff)
+		}
+	}
+}

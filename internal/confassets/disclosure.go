@@ -1,0 +1,283 @@
+package confassets
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/big"
+)
+
+// Kind selects what a disclosure receipt proves about a committed value.
+type Kind uint8
+
+const (
+	// KindOpen reveals (v, r) so the named verifier can recompute
+	// C = v*G + r*H. Full opening, for the strongest audit tier.
+	KindOpen Kind = 1
+	// KindRange proves 0 <= v < 2^64 without revealing v.
+	KindRange Kind = 2
+	// KindThreshold proves v >= threshold (range proof over C - t*G).
+	KindThreshold Kind = 3
+	// KindInterval proves lo <= v <= hi (range proofs over C - lo*G and
+	// hi*G - C).
+	KindInterval Kind = 4
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindOpen:
+		return "open"
+	case KindRange:
+		return "range"
+	case KindThreshold:
+		return "threshold"
+	case KindInterval:
+		return "interval"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// ParseKind maps the wire names used by the gateway API to a Kind.
+func ParseKind(s string) (Kind, error) {
+	switch s {
+	case "open":
+		return KindOpen, nil
+	case "range":
+		return KindRange, nil
+	case "threshold":
+		return KindThreshold, nil
+	case "interval":
+		return KindInterval, nil
+	}
+	return 0, fmt.Errorf("confassets: unknown disclosure kind %q", s)
+}
+
+// ErrBadReceipt is returned when a receipt is malformed or its statement
+// does not hold.
+var ErrBadReceipt = errors.New("confassets: disclosure receipt rejected")
+
+const receiptVersion = 0x01
+
+// maxReceiptField bounds variable-length receipt fields so a malformed
+// length prefix cannot drive a large allocation.
+const maxReceiptField = 4096
+
+// Receipt is an enclave-signed selective-disclosure statement about one
+// committed state cell. The enclave unseals the cell, builds the proof for
+// the requested Kind, and signs the whole statement with the epoch's sk_tx
+// — the same key whose fingerprint is locked into the attestation report.
+// A third party therefore verifies a receipt completely offline: check the
+// ECDSA signature against the attested pk_tx, then check the cryptographic
+// statement against the carried commitment. No enclave round-trip, and the
+// receipt outlives the enclave session that produced it.
+type Receipt struct {
+	Kind       Kind
+	Contract   []byte // contract address the cell belongs to
+	Key        []byte // state key of the committed cell (public)
+	Commitment Commitment
+	Height     uint64 // chain height the cell was read at
+	Epoch      uint64 // key epoch whose sk_tx signed the receipt
+	Verifier   []byte // optional named-verifier tag, bound by the signature
+
+	Value     uint64   // KindOpen
+	Blinding  *big.Int // KindOpen
+	Threshold uint64   // KindThreshold
+	Lo, Hi    uint64   // KindInterval
+
+	Proof  *RangeProof // KindRange / KindThreshold / KindInterval lower bound
+	Proof2 *RangeProof // KindInterval upper bound
+
+	Sig []byte // ECDSA (ASN.1) over SHA-256 of SigningBytes, by epoch sk_tx
+}
+
+func appendBytesField(out, b []byte) []byte {
+	out = binary.AppendUvarint(out, uint64(len(b)))
+	return append(out, b...)
+}
+
+// SigningBytes is the canonical encoding the enclave signs: everything but
+// the signature itself.
+func (r *Receipt) SigningBytes() []byte {
+	out := make([]byte, 0, 256)
+	out = append(out, receiptVersion, byte(r.Kind))
+	out = appendBytesField(out, r.Contract)
+	out = appendBytesField(out, r.Key)
+	out = append(out, r.Commitment.Bytes()...)
+	out = binary.BigEndian.AppendUint64(out, r.Height)
+	out = binary.BigEndian.AppendUint64(out, r.Epoch)
+	out = appendBytesField(out, r.Verifier)
+	switch r.Kind {
+	case KindOpen:
+		out = binary.BigEndian.AppendUint64(out, r.Value)
+		out = append(out, scalarBytes(r.Blinding)...)
+	case KindRange:
+		out = append(out, r.Proof.Marshal()...)
+	case KindThreshold:
+		out = binary.BigEndian.AppendUint64(out, r.Threshold)
+		out = append(out, r.Proof.Marshal()...)
+	case KindInterval:
+		out = binary.BigEndian.AppendUint64(out, r.Lo)
+		out = binary.BigEndian.AppendUint64(out, r.Hi)
+		out = append(out, r.Proof.Marshal()...)
+		out = append(out, r.Proof2.Marshal()...)
+	}
+	return out
+}
+
+// Encode serializes the full receipt including the signature.
+func (r *Receipt) Encode() []byte {
+	return appendBytesField(r.SigningBytes(), r.Sig)
+}
+
+// Hash is the receipt's content address, used as the GET /v1/disclosure
+// lookup key.
+func (r *Receipt) Hash() [32]byte {
+	return sha256.Sum256(r.Encode())
+}
+
+type receiptReader struct {
+	b   []byte
+	off int
+	err bool
+}
+
+func (rd *receiptReader) take(n int) []byte {
+	if rd.err || n < 0 || rd.off+n > len(rd.b) {
+		rd.err = true
+		return nil
+	}
+	out := rd.b[rd.off : rd.off+n]
+	rd.off += n
+	return out
+}
+
+func (rd *receiptReader) bytesField() []byte {
+	if rd.err {
+		return nil
+	}
+	n, sz := binary.Uvarint(rd.b[rd.off:])
+	if sz <= 0 || n > maxReceiptField {
+		rd.err = true
+		return nil
+	}
+	rd.off += sz
+	return rd.take(int(n))
+}
+
+func (rd *receiptReader) u64() uint64 {
+	b := rd.take(8)
+	if rd.err {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+// DecodeReceipt parses a serialized receipt. Any structural defect —
+// truncation, trailing bytes, unknown version or kind, invalid points or
+// scalars — yields ErrBadReceipt, never a panic.
+func DecodeReceipt(b []byte) (*Receipt, error) {
+	rd := &receiptReader{b: b}
+	hdr := rd.take(2)
+	if rd.err || hdr[0] != receiptVersion {
+		return nil, ErrBadReceipt
+	}
+	r := &Receipt{Kind: Kind(hdr[1])}
+	r.Contract = rd.bytesField()
+	r.Key = rd.bytesField()
+	cBytes := rd.take(PointSize)
+	if rd.err {
+		return nil, ErrBadReceipt
+	}
+	var err error
+	if r.Commitment, err = DecodeCommitment(cBytes); err != nil {
+		return nil, ErrBadReceipt
+	}
+	r.Height = rd.u64()
+	r.Epoch = rd.u64()
+	r.Verifier = rd.bytesField()
+	switch r.Kind {
+	case KindOpen:
+		r.Value = rd.u64()
+		sb := rd.take(ScalarSize)
+		if rd.err {
+			return nil, ErrBadReceipt
+		}
+		if r.Blinding, err = decodeScalar(sb); err != nil {
+			return nil, ErrBadReceipt
+		}
+	case KindRange:
+		if r.Proof, err = UnmarshalRangeProof(rd.take(RangeProofSize)); err != nil || rd.err {
+			return nil, ErrBadReceipt
+		}
+	case KindThreshold:
+		r.Threshold = rd.u64()
+		if r.Proof, err = UnmarshalRangeProof(rd.take(RangeProofSize)); err != nil || rd.err {
+			return nil, ErrBadReceipt
+		}
+	case KindInterval:
+		r.Lo = rd.u64()
+		r.Hi = rd.u64()
+		if r.Proof, err = UnmarshalRangeProof(rd.take(RangeProofSize)); err != nil || rd.err {
+			return nil, ErrBadReceipt
+		}
+		if r.Proof2, err = UnmarshalRangeProof(rd.take(RangeProofSize)); err != nil || rd.err {
+			return nil, ErrBadReceipt
+		}
+	default:
+		return nil, ErrBadReceipt
+	}
+	r.Sig = rd.bytesField()
+	if rd.err || rd.off != len(b) || len(r.Sig) == 0 {
+		return nil, ErrBadReceipt
+	}
+	return r, nil
+}
+
+// VerifyStatement checks the cryptographic claim the receipt makes about
+// its commitment — without checking the signature. Callers normally use
+// Verify, which checks both.
+func (r *Receipt) VerifyStatement() error {
+	switch r.Kind {
+	case KindOpen:
+		if r.Blinding == nil || !Commit(r.Value, r.Blinding).Equal(r.Commitment) {
+			return ErrBadReceipt
+		}
+	case KindRange:
+		if !VerifyRange(r.Commitment, r.Proof) {
+			return ErrBadReceipt
+		}
+	case KindThreshold:
+		if !VerifyRange(r.Commitment.SubValue(r.Threshold), r.Proof) {
+			return ErrBadReceipt
+		}
+	case KindInterval:
+		if r.Lo > r.Hi {
+			return ErrBadReceipt
+		}
+		if !VerifyRange(r.Commitment.SubValue(r.Lo), r.Proof) {
+			return ErrBadReceipt
+		}
+		if !VerifyRange(r.Commitment.ValueMinus(r.Hi), r.Proof2) {
+			return ErrBadReceipt
+		}
+	default:
+		return ErrBadReceipt
+	}
+	return nil
+}
+
+// Verify performs the complete offline check against the attested pk_tx
+// (uncompressed SEC1, as served by the attestation endpoint): signature
+// first, then the statement. verifySig is the detached ECDSA verifier
+// (crypto.VerifyP256) — injected so this package stays free of the
+// project's key-management types.
+func (r *Receipt) Verify(pkTx []byte, verifySig func(pub, msg, sig []byte) error) error {
+	if verifySig == nil {
+		return ErrBadReceipt
+	}
+	if err := verifySig(pkTx, r.SigningBytes(), r.Sig); err != nil {
+		return fmt.Errorf("%w: bad signature", ErrBadReceipt)
+	}
+	return r.VerifyStatement()
+}

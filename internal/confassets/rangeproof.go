@@ -1,0 +1,278 @@
+package confassets
+
+import (
+	"errors"
+	"math/big"
+)
+
+// RangeBits is the bit width proven: 0 <= v < 2^64.
+const RangeBits = 64
+
+// bitProofSize is the serialized size of one bit's sub-proof:
+// C_i | A_0 | A_1 (compressed points) then c_0 | z_0 | z_1 (scalars).
+const bitProofSize = 3*PointSize + 3*ScalarSize
+
+// RangeProofSize is the fixed serialized proof length (version byte plus
+// 64 bit sub-proofs; ~12.2 KiB). The size is dominated by the per-bit
+// Σ-protocol commitments, which are carried in the proof rather than
+// recomputed so that verification reduces to pure group equations that a
+// batch verifier can fold into one random linear combination.
+const RangeProofSize = 1 + RangeBits*bitProofSize
+
+const rangeProofVersion = 0x01
+
+// ErrBadProof is returned when a proof is malformed or fails verification.
+var ErrBadProof = errors.New("confassets: range proof rejected")
+
+// bitProof is a Cramer–Damgård–Schoenmakers OR-proof that the bit
+// commitment C = b*2^i*G + r*H opens to b ∈ {0,1}: branch 0 proves
+// knowledge of r with C = r*H, branch 1 proves C - 2^i*G = r*H. The real
+// branch is a Schnorr proof; the other is simulated, and the two challenge
+// shares must sum to the transcript challenge.
+type bitProof struct {
+	C      Point    // bit commitment b*2^i*G + r_i*H
+	A0, A1 Point    // per-branch Σ-commitments
+	C0     *big.Int // branch-0 challenge share (c1 = e - c0)
+	Z0, Z1 *big.Int // per-branch responses
+}
+
+// RangeProof proves 0 <= v < 2^64 for a Pedersen commitment C by bit
+// decomposition: per-bit commitments C_i with OR-proofs that each opens to
+// 0 or 2^i, plus the implicit aggregation check sum(C_i) == C (the bit
+// blindings are split so they sum to the commitment's blinding).
+type RangeProof struct {
+	bits [RangeBits]bitProof
+}
+
+// bitChallenge derives the Fiat–Shamir challenge for bit i, bound to the
+// aggregate commitment so a proof cannot be replayed against another C.
+func bitChallenge(cBytes []byte, i int, bp *bitProof) *big.Int {
+	return hashToScalar("confide/confassets/range-chal/v1",
+		cBytes, u64Bytes(uint64(i)), bp.C.Bytes(), bp.A0.Bytes(), bp.A1.Bytes())
+}
+
+// ProveRange64 proves 0 <= v < 2^64 for C = Commit(v, r). nonceKey seeds
+// all per-bit blindings and Σ-protocol nonces; deriving it from enclave
+// key material and the transaction hash makes proving deterministic across
+// replicas (and across re-execution) without a per-replica RNG.
+func ProveRange64(v uint64, r *big.Int, nonceKey []byte) *RangeProof {
+	_, h := generators()
+	c := Commit(v, r)
+	cBytes := c.Bytes()
+
+	// Split r into per-bit blindings summing to r mod n.
+	var rbits [RangeBits]*big.Int
+	sum := new(big.Int)
+	for i := 0; i < RangeBits-1; i++ {
+		rbits[i] = deriveScalar(nonceKey, "confide/confassets/range-rbit/v1", u64Bytes(uint64(i)))
+		sum.Add(sum, rbits[i])
+	}
+	rbits[RangeBits-1] = SubScalars(r, sum.Mod(sum, groupOrder()))
+
+	p := &RangeProof{}
+	for i := 0; i < RangeBits; i++ {
+		bit := (v >> uint(i)) & 1
+		bp := &p.bits[i]
+		// C_i = bit*2^i*G + r_i*H
+		bp.C = h.mul(rbits[i])
+		if bit == 1 {
+			bp.C = bp.C.Add(mulBase(pow2(i)))
+		}
+		k := deriveScalar(nonceKey, "confide/confassets/range-nonce/v1", u64Bytes(uint64(i)), cBytes)
+		zf := deriveScalar(nonceKey, "confide/confassets/range-zfake/v1", u64Bytes(uint64(i)), cBytes)
+		cf := deriveScalar(nonceKey, "confide/confassets/range-cfake/v1", u64Bytes(uint64(i)), cBytes)
+		if bit == 0 {
+			// Real branch 0: A0 = k*H. Simulated branch 1 for target
+			// C_i - 2^i*G: A1 = zf*H - cf*target.
+			bp.A0 = h.mul(k)
+			target := bp.C.Sub(mulBase(pow2(i)))
+			bp.A1 = h.mul(zf).Sub(target.mul(cf))
+			e := bitChallenge(cBytes, i, bp)
+			bp.C0 = SubScalars(e, cf)
+			bp.Z0 = AddScalars(k, mulScalars(bp.C0, rbits[i]))
+			bp.Z1 = zf
+		} else {
+			// Real branch 1: A1 = k*H. Simulated branch 0 for target C_i.
+			bp.A1 = h.mul(k)
+			bp.A0 = h.mul(zf).Sub(bp.C.mul(cf))
+			e := bitChallenge(cBytes, i, bp)
+			bp.C0 = cf
+			c1 := SubScalars(e, cf)
+			bp.Z0 = zf
+			bp.Z1 = AddScalars(k, mulScalars(c1, rbits[i]))
+		}
+	}
+	return p
+}
+
+// VerifyRange checks a single proof against commitment c. It is fully
+// deterministic (no sampling), so the consensus apply path may call it
+// directly.
+func VerifyRange(c Commitment, p *RangeProof) bool {
+	if p == nil {
+		return false
+	}
+	_, h := generators()
+	cBytes := c.Bytes()
+	sum := Point{}
+	for i := 0; i < RangeBits; i++ {
+		bp := &p.bits[i]
+		sum = sum.Add(bp.C)
+		e := bitChallenge(cBytes, i, bp)
+		c1 := SubScalars(e, bp.C0)
+		// Branch 0: z0*H == A0 + c0*C_i
+		if !h.mul(bp.Z0).Equal(bp.A0.Add(bp.C.mul(bp.C0))) {
+			return false
+		}
+		// Branch 1: z1*H == A1 + c1*(C_i - 2^i*G)
+		target := bp.C.Sub(mulBase(pow2(i)))
+		if !h.mul(bp.Z1).Equal(bp.A1.Add(target.mul(c1))) {
+			return false
+		}
+	}
+	return sum.Equal(c.P)
+}
+
+// BatchItem pairs a commitment with its range proof for batch verification.
+type BatchItem struct {
+	C     Commitment
+	Proof *RangeProof
+}
+
+// BatchVerifyRange verifies all items at once with a random linear
+// combination: each group equation is scaled by an independent Fiat–Shamir
+// coefficient (derived from the whole batch, so it is deterministic yet
+// outside any prover's control) and folded into a single sum that must be
+// the identity. The fold needs 3 variable-base multiplications per bit
+// versus ~4 plus a fixed-base for one-at-a-time verification, and the two
+// generator terms amortize across the entire batch — the measurable
+// speedup reported in BENCH_confassets.json.
+//
+// A false result means at least one item is invalid (soundness error
+// ~2^-128 per equation); callers needing the culprit fall back to
+// VerifyRange per item.
+func BatchVerifyRange(items []BatchItem) bool {
+	if len(items) == 0 {
+		return true
+	}
+	_, h := generators()
+	n := groupOrder()
+
+	// Deterministic batch seed over every commitment and proof.
+	seedParts := make([][]byte, 0, 2*len(items))
+	for _, it := range items {
+		if it.Proof == nil {
+			return false
+		}
+		seedParts = append(seedParts, it.C.Bytes(), it.Proof.Marshal())
+	}
+	// One Fiat–Shamir coefficient rho; equation j is scaled by rho^(j+1).
+	// Schwartz–Zippel bounds the soundness error by #equations/n, which at
+	// 2^-240 for any realistic batch is as good as independent
+	// coefficients and saves one hash expansion per equation.
+	rho := hashToScalar("confide/confassets/range-batch-seed/v1", seedParts...)
+	rhoJ := new(big.Int).Set(rho)
+	nextRho := func() *big.Int {
+		r := new(big.Int).Set(rhoJ)
+		rhoJ = mulScalars(rhoJ, rho)
+		return r
+	}
+
+	coefH := new(big.Int)
+	coefG := new(big.Int)
+	acc := Point{}
+	for _, it := range items {
+		cBytes := it.C.Bytes()
+		sum := Point{}
+		for i := 0; i < RangeBits; i++ {
+			bp := &it.Proof.bits[i]
+			sum = sum.Add(bp.C)
+			e := bitChallenge(cBytes, i, bp)
+			c1 := SubScalars(e, bp.C0)
+			rho0 := nextRho()
+			rho1 := nextRho()
+			// rho0*(z0*H - A0 - c0*C_i) + rho1*(z1*H - A1 - c1*C_i + c1*2^i*G) = 0
+			coefH.Add(coefH, new(big.Int).Add(mulScalars(rho0, bp.Z0), mulScalars(rho1, bp.Z1)))
+			shifted := new(big.Int).Lsh(mulScalars(rho1, c1), uint(i))
+			coefG.Add(coefG, shifted.Mod(shifted, n))
+			ci := new(big.Int).Add(mulScalars(rho0, bp.C0), mulScalars(rho1, c1))
+			ci.Neg(ci).Mod(ci, n)
+			acc = acc.Add(bp.C.mul(ci))
+			acc = acc.Add(bp.A0.mul(new(big.Int).Sub(n, rho0)))
+			acc = acc.Add(bp.A1.mul(new(big.Int).Sub(n, rho1)))
+		}
+		if !sum.Equal(it.C.P) {
+			return false
+		}
+	}
+	acc = acc.Add(h.mul(coefH.Mod(coefH, n)))
+	acc = acc.Add(mulBase(coefG.Mod(coefG, n)))
+	return acc.IsIdentity()
+}
+
+// Marshal serializes the proof to its fixed RangeProofSize wire form.
+func (p *RangeProof) Marshal() []byte {
+	out := make([]byte, 1, RangeProofSize)
+	out[0] = rangeProofVersion
+	for i := range p.bits {
+		bp := &p.bits[i]
+		out = append(out, bp.C.Bytes()...)
+		out = append(out, bp.A0.Bytes()...)
+		out = append(out, bp.A1.Bytes()...)
+		out = append(out, scalarBytes(bp.C0)...)
+		out = append(out, scalarBytes(bp.Z0)...)
+		out = append(out, scalarBytes(bp.Z1)...)
+	}
+	return out
+}
+
+// UnmarshalRangeProof parses a serialized proof, rejecting anything
+// malformed: wrong length, unknown version, off-curve points, or
+// out-of-range scalars.
+func UnmarshalRangeProof(b []byte) (*RangeProof, error) {
+	if len(b) != RangeProofSize || b[0] != rangeProofVersion {
+		return nil, ErrBadProof
+	}
+	p := &RangeProof{}
+	off := 1
+	var err error
+	for i := range p.bits {
+		bp := &p.bits[i]
+		if bp.C, err = DecodePoint(b[off : off+PointSize]); err != nil {
+			return nil, ErrBadProof
+		}
+		off += PointSize
+		if bp.A0, err = DecodePoint(b[off : off+PointSize]); err != nil {
+			return nil, ErrBadProof
+		}
+		off += PointSize
+		if bp.A1, err = DecodePoint(b[off : off+PointSize]); err != nil {
+			return nil, ErrBadProof
+		}
+		off += PointSize
+		if bp.C0, err = decodeScalar(b[off : off+ScalarSize]); err != nil {
+			return nil, ErrBadProof
+		}
+		off += ScalarSize
+		if bp.Z0, err = decodeScalar(b[off : off+ScalarSize]); err != nil {
+			return nil, ErrBadProof
+		}
+		off += ScalarSize
+		if bp.Z1, err = decodeScalar(b[off : off+ScalarSize]); err != nil {
+			return nil, ErrBadProof
+		}
+		off += ScalarSize
+	}
+	return p, nil
+}
+
+// pow2 returns 2^i as a big.Int (i < 64 always fits the scalar field).
+func pow2(i int) *big.Int {
+	return new(big.Int).Lsh(big.NewInt(1), uint(i))
+}
+
+// mulScalars returns a*b mod n.
+func mulScalars(a, b *big.Int) *big.Int {
+	m := new(big.Int).Mul(a, b)
+	return m.Mod(m, groupOrder())
+}

@@ -1,0 +1,67 @@
+package confassets
+
+import (
+	"math/big"
+)
+
+// ZeroProofSize is the serialized commitment-to-zero proof length
+// (version | A | z).
+const ZeroProofSize = 1 + PointSize + ScalarSize
+
+const zeroProofVersion = 0x01
+
+// ZeroProof is a Schnorr proof of knowledge of r such that C = r*H, i.e.
+// that C commits to the value zero. The apply path uses it for
+// conservation: for a transfer, sum(input commitments) - sum(output
+// commitments) must be a commitment to zero, proving no value was minted
+// or burned without revealing any amount.
+type ZeroProof struct {
+	A Point
+	Z *big.Int
+}
+
+// ProveZero proves C = r*H commits to zero. The nonce is derived
+// deterministically from nonceKey and the statement (RFC-6979 style), so
+// replicas re-executing a transaction emit identical proofs.
+func ProveZero(r *big.Int, nonceKey []byte) *ZeroProof {
+	_, h := generators()
+	c := h.mul(r)
+	k := deriveScalar(nonceKey, "confide/confassets/zero-nonce/v1", c.Bytes(), scalarBytes(r))
+	a := h.mul(k)
+	e := hashToScalar("confide/confassets/zero-chal/v1", c.Bytes(), a.Bytes())
+	return &ZeroProof{A: a, Z: AddScalars(k, mulScalars(e, r))}
+}
+
+// VerifyZero checks that c commits to zero: z*H == A + e*C.
+func VerifyZero(c Commitment, p *ZeroProof) bool {
+	if p == nil {
+		return false
+	}
+	_, h := generators()
+	e := hashToScalar("confide/confassets/zero-chal/v1", c.Bytes(), p.A.Bytes())
+	return h.mul(p.Z).Equal(p.A.Add(c.P.mul(e)))
+}
+
+// Marshal serializes the proof.
+func (p *ZeroProof) Marshal() []byte {
+	out := make([]byte, 1, ZeroProofSize)
+	out[0] = zeroProofVersion
+	out = append(out, p.A.Bytes()...)
+	return append(out, scalarBytes(p.Z)...)
+}
+
+// UnmarshalZeroProof parses a serialized commitment-to-zero proof.
+func UnmarshalZeroProof(b []byte) (*ZeroProof, error) {
+	if len(b) != ZeroProofSize || b[0] != zeroProofVersion {
+		return nil, ErrBadProof
+	}
+	a, err := DecodePoint(b[1 : 1+PointSize])
+	if err != nil {
+		return nil, ErrBadProof
+	}
+	z, err := decodeScalar(b[1+PointSize:])
+	if err != nil {
+		return nil, ErrBadProof
+	}
+	return &ZeroProof{A: a, Z: z}, nil
+}

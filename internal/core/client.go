@@ -52,6 +52,11 @@ func (c *Client) SetEnvelopeKey(epoch uint64, pkTx []byte) {
 // EnvelopeEpoch reports the epoch the client currently seals to.
 func (c *Client) EnvelopeEpoch() uint64 { return c.epoch }
 
+// EnvelopePublicKey returns the attested pk_tx the client currently holds
+// (nil for public-only clients). Disclosure receipts are verified against
+// this key.
+func (c *Client) EnvelopePublicKey() []byte { return c.pkTx }
+
 // Address returns the client's on-chain address.
 func (c *Client) Address() chain.Address {
 	return chain.Address(c.signer.Address())

@@ -1,0 +1,270 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"confide/internal/ccl"
+	"confide/internal/chain"
+	"confide/internal/confassets"
+	"confide/internal/crypto"
+)
+
+// caTestSrc is a minimal committed-balance contract for engine-level tests:
+//
+//	mint <value8>  commits the 8-byte BE value, stores the record at "bal"
+//	comm           outputs the stored record's 33-byte commitment
+//	vchk <c33+proof> asks the host to verify a client range proof
+const caTestSrc = `
+fn u16at(p) -> int { return load8(p) + (load8(p + 1) << 8); }
+fn u32at(p) -> int {
+	return load8(p) + (load8(p+1) << 8) + (load8(p+2) << 16) + (load8(p+3) << 24);
+}
+
+fn invoke() {
+	let n = input_size();
+	let buf = alloc(n + 8);
+	input_read(buf, 0, n);
+	let mlen = u16at(buf);
+	let m = buf + 2;
+	let argp = m + mlen + 2;
+	let a1len = u32at(argp);
+	let a1 = argp + 4;
+	let c = load8(m);
+	if c == 109 { // 'm'int
+		let hinm = alloc(17);
+		store8(hinm, 1);
+		memcpy(hinm + 1, a1, 8);
+		memcpy(hinm + 9, "balance\x00", 8);
+		let recm = alloc(80);
+		let rnm = confassets(hinm, 17, recm, 80);
+		if rnm != 74 { fail(); }
+		storage_set("bal", 3, recm, 74);
+	}
+	if c == 99 { // 'c'omm
+		let recc = alloc(80);
+		let rnc = storage_get("bal", 3, recc, 80);
+		if rnc != 74 { fail(); }
+		let hinc = alloc(76);
+		store8(hinc, 4);
+		memcpy(hinc + 1, recc, 74);
+		let cm = alloc(33);
+		let cn = confassets(hinc, 75, cm, 33);
+		if cn != 33 { fail(); }
+		output(cm, 33);
+	}
+	if c == 118 { // 'v'chk: arg = commitment || range proof
+		let hinv = alloc(a1len + 1);
+		store8(hinv, 3);
+		memcpy(hinv + 1, a1, a1len);
+		let resv = alloc(8);
+		let vn = confassets(hinv, a1len + 1, resv, 8);
+		if vn != 1 { fail(); }
+		output(resv, 1);
+	}
+}
+`
+
+func deployCA(t *testing.T, e *Engine, addr chain.Address) {
+	t.Helper()
+	mod, err := ccl.CompileCVM(caTestSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.DeployContract(addr, ownerAddr, VMCVM, mod.Encode(), true, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConfAssetsReplicaDeterminism is the determinism contract: two
+// independent engines provisioned with the same secrets must derive
+// byte-identical commitments for the same transaction — the property the
+// consensus apply path needs for committed state to agree across replicas.
+func TestConfAssetsReplicaDeterminism(t *testing.T) {
+	addr := chain.AddressFromBytes([]byte("ca-determinism"))
+	a := newStack(t, AllOptimizations())
+	b := newStack(t, Options{}) // different optimization profile on purpose
+	deployCA(t, a.engine, addr)
+	deployCA(t, b.engine, addr)
+
+	client, err := NewClient(a.engine.EnvelopePublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	value := []byte{0, 0, 0, 0, 0, 0, 0x30, 0x39} // 12345 BE
+	mint, _, err := client.NewConfidentialTx(addr, "mint", value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	read, _, err := client.NewConfidentialTx(addr, "comm")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var outs [][]byte
+	for _, s := range []*testStack{a, b} {
+		res, err := s.engine.Execute(mint)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Receipt.Status != chain.ReceiptOK {
+			t.Fatalf("mint failed: %s", res.Receipt.Output)
+		}
+		commit(t, s, res)
+		res, err = s.engine.Execute(read)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Receipt.Status != chain.ReceiptOK {
+			t.Fatalf("comm failed: %s", res.Receipt.Output)
+		}
+		if len(res.Receipt.Output) != confassets.PointSize {
+			t.Fatalf("commitment output %d bytes", len(res.Receipt.Output))
+		}
+		outs = append(outs, res.Receipt.Output)
+	}
+	if !bytes.Equal(outs[0], outs[1]) {
+		t.Fatalf("replicas derived different commitments:\n  a=%x\n  b=%x", outs[0], outs[1])
+	}
+
+	// The full derivation chain is re-computable from the provisioned
+	// secrets: epoch-1 k_states → blinding key → blinding(contract, tx,
+	// label, counter 0) → commitment.
+	blindKey := crypto.DeriveSubKey(a.secrets.StatesKey, confAssetsBlindLabel)
+	r := confassets.DeriveBlinding(blindKey, addr[:], txHashBytes(mint), []byte("balance\x00"), 0)
+	want := confassets.Commit(12345, r)
+	if !bytes.Equal(outs[0], want.Bytes()) {
+		t.Fatalf("commitment does not match the documented derivation chain")
+	}
+}
+
+// TestConfAssetsHostVerify drives the op3 proof-check host call: a valid
+// client-side range proof passes, a bit-flipped one is rejected at the
+// apply path (the transaction fails).
+func TestConfAssetsHostVerify(t *testing.T) {
+	addr := chain.AddressFromBytes([]byte("ca-verify"))
+	s := newStack(t, AllOptimizations())
+	deployCA(t, s.engine, addr)
+
+	client, err := NewClient(s.engine.EnvelopePublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := confassets.DeriveBlinding([]byte("client-secret"), []byte("c"), []byte("t"), []byte("l"), 0)
+	proof := confassets.ProveRange64(777, r, []byte("client-nonce")).Marshal()
+	arg := append(confassets.Commit(777, r).Bytes(), proof...)
+
+	tx, _, err := client.NewConfidentialTx(addr, "vchk", arg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.engine.Execute(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Receipt.Status != chain.ReceiptOK || !bytes.Equal(res.Receipt.Output, []byte{1}) {
+		t.Fatalf("valid proof rejected: %s", res.Receipt.Output)
+	}
+
+	// Tamper with one proof byte: the host reports rejection, the contract
+	// fails, and the transaction lands as a failed receipt with no writes.
+	bad := append([]byte(nil), arg...)
+	bad[confassets.PointSize+100] ^= 0x01
+	tx2, _, err := client.NewConfidentialTx(addr, "vchk", bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = s.engine.Execute(tx2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Receipt.Status != chain.ReceiptFailed {
+		t.Fatal("tampered proof executed successfully")
+	}
+}
+
+// TestDisclosureReceiptEngine exercises Engine.DisclosureReceipt for every
+// kind, verifying each receipt offline against the attested pk_tx.
+func TestDisclosureReceiptEngine(t *testing.T) {
+	addr := chain.AddressFromBytes([]byte("ca-disclose"))
+	s := newStack(t, AllOptimizations())
+	deployCA(t, s.engine, addr)
+
+	client, err := NewClient(s.engine.EnvelopePublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	value := []byte{0, 0, 0, 0, 0, 0, 0x13, 0x88} // 5000 BE
+	mint, _, err := client.NewConfidentialTx(addr, "mint", value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.engine.Execute(mint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Receipt.Status != chain.ReceiptOK {
+		t.Fatalf("mint failed: %s", res.Receipt.Output)
+	}
+	commit(t, s, res)
+
+	pkTx := s.engine.EnvelopePublicKey()
+	reqs := []DisclosureRequest{
+		{Contract: addr, Key: []byte("bal"), Kind: confassets.KindOpen, Height: 3},
+		{Contract: addr, Key: []byte("bal"), Kind: confassets.KindRange, Height: 3},
+		{Contract: addr, Key: []byte("bal"), Kind: confassets.KindThreshold, Threshold: 1000, Height: 3},
+		{Contract: addr, Key: []byte("bal"), Kind: confassets.KindInterval, Lo: 4000, Hi: 6000, Height: 3, Verifier: []byte("auditor")},
+	}
+	for _, req := range reqs {
+		rcpt, err := s.engine.DisclosureReceipt(req)
+		if err != nil {
+			t.Fatalf("%v: %v", req.Kind, err)
+		}
+		if err := rcpt.Verify(pkTx, crypto.VerifyP256); err != nil {
+			t.Fatalf("%v: offline verification failed: %v", req.Kind, err)
+		}
+		// Round-trip through the wire form, as the gateway serves it.
+		dec, err := confassets.DecodeReceipt(rcpt.Encode())
+		if err != nil {
+			t.Fatalf("%v: decode: %v", req.Kind, err)
+		}
+		if err := dec.Verify(pkTx, crypto.VerifyP256); err != nil {
+			t.Fatalf("%v: decoded receipt failed: %v", req.Kind, err)
+		}
+		if req.Kind == confassets.KindOpen && dec.Value != 5000 {
+			t.Fatalf("open receipt value %d", dec.Value)
+		}
+	}
+
+	// Unsatisfiable predicates must refuse, not sign a false statement.
+	if _, err := s.engine.DisclosureReceipt(DisclosureRequest{
+		Contract: addr, Key: []byte("bal"), Kind: confassets.KindThreshold, Threshold: 10_000,
+	}); err != ErrDisclosureUnsatisfied {
+		t.Fatalf("threshold 10000 over value 5000: got %v", err)
+	}
+	if _, err := s.engine.DisclosureReceipt(DisclosureRequest{
+		Contract: addr, Key: []byte("bal"), Kind: confassets.KindInterval, Lo: 0, Hi: 100,
+	}); err != ErrDisclosureUnsatisfied {
+		t.Fatalf("interval [0,100] over value 5000: got %v", err)
+	}
+	// Missing cell.
+	if _, err := s.engine.DisclosureReceipt(DisclosureRequest{
+		Contract: addr, Key: []byte("nope"), Kind: confassets.KindRange,
+	}); err != ErrNoDisclosureCell {
+		t.Fatalf("missing cell: got %v", err)
+	}
+	// A receipt verified against the wrong pk_tx must fail.
+	rcpt, err := s.engine.DisclosureReceipt(reqs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, _ := crypto.GenerateEnvelopeKey()
+	if rcpt.Verify(other.Public(), crypto.VerifyP256) == nil {
+		t.Fatal("receipt verified against a foreign pk_tx")
+	}
+}
+
+func txHashBytes(tx *chain.Tx) []byte {
+	h := tx.Hash()
+	return h[:]
+}

@@ -472,6 +472,7 @@ func (e *Engine) executeRaw(tx *chain.Tx, raw *chain.RawTx, ktx []byte) (*ExecRe
 		readSet:      make(map[string]struct{}),
 		writes:       make(map[string]map[string][]byte),
 		confidential: tx.Type == chain.TxTypeConfidential,
+		txHash:       tx.Hash(),
 	}
 	input := EncodeInput(raw.Method, raw.Args...)
 	output, execErr := e.runContract(txc, raw.Contract, input, raw.From[:], 0)

@@ -353,6 +353,11 @@ type txContext struct {
 	logs         []string
 	gasUsed      uint64
 	confidential bool
+	// txHash and caCounter feed the confidential-assets blinding
+	// derivation: every commitment minted in this transaction gets a
+	// unique, replica-deterministic blinding factor.
+	txHash    chain.Hash
+	caCounter uint64
 }
 
 // frameEnv is one contract frame's view; it implements cvm.Env (and thus

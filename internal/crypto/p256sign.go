@@ -1,0 +1,52 @@
+package crypto
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/rand"
+	"crypto/sha256"
+	"fmt"
+	"math/big"
+)
+
+// SignData signs SHA-256(msg) with the envelope private key sk_tx,
+// returning an ASN.1 DER ECDSA signature. The disclosure subsystem uses
+// this to sign selective-disclosure receipts: sk_tx is the one key whose
+// public fingerprint is locked inside the attestation report, so a receipt
+// signature chains a statement about sealed state back to the attested
+// enclave identity — verifiable offline, long after the enclave session.
+func (e *EnvelopeKey) SignData(msg []byte) ([]byte, error) {
+	scalar := e.priv.Bytes()
+	d := new(big.Int).SetBytes(scalar)
+	x, y := elliptic.P256().ScalarBaseMult(scalar)
+	priv := &ecdsa.PrivateKey{
+		PublicKey: ecdsa.PublicKey{Curve: elliptic.P256(), X: x, Y: y},
+		D:         d,
+	}
+	digest := sha256.Sum256(msg)
+	sig, err := ecdsa.SignASN1(rand.Reader, priv, digest[:])
+	if err != nil {
+		return nil, fmt.Errorf("crypto: sign with envelope key: %w", err)
+	}
+	return sig, nil
+}
+
+// VerifyP256 checks an ASN.1 ECDSA signature over SHA-256(msg) against an
+// uncompressed SEC1 P-256 public key — the pk_tx wire format published by
+// the attestation endpoint. This is the client half of SignData and runs
+// fully offline.
+func VerifyP256(pub, msg, sig []byte) error {
+	if len(pub) != p256PointLen {
+		return ErrBadSignature
+	}
+	x, y := elliptic.Unmarshal(elliptic.P256(), pub)
+	if x == nil {
+		return ErrBadSignature
+	}
+	pk := &ecdsa.PublicKey{Curve: elliptic.P256(), X: x, Y: y}
+	digest := sha256.Sum256(msg)
+	if !ecdsa.VerifyASN1(pk, digest[:], sig) {
+		return ErrBadSignature
+	}
+	return nil
+}

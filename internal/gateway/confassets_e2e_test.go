@@ -1,0 +1,200 @@
+package gateway_test
+
+// End-to-end confidential-assets flow over the real network edge: issue a
+// capped supply into Pedersen-committed balances, transfer confidentially,
+// let an auditor pull an enclave-signed range receipt and verify it fully
+// offline, and confirm that a tampered range proof and an out-of-range
+// mint both fail at the apply path.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"confide/internal/ccl"
+	"confide/internal/chain"
+	"confide/internal/confassets"
+	"confide/internal/core"
+	"confide/internal/gateway"
+	"confide/internal/gateway/gwclient"
+	"confide/internal/metrics"
+	"confide/internal/workload"
+)
+
+var tokenAddr = chain.AddressFromBytes([]byte("gwconftoken"))
+
+var (
+	acctAlice = []byte("alice\x00\x00\x00")
+	acctBob   = []byte("bob\x00\x00\x00\x00\x00")
+)
+
+func u64be(v uint64) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, v)
+	return b
+}
+
+// submitToken submits one confidential token call and returns the opened
+// receipt, SPV-verified end to end.
+func submitToken(t *testing.T, client *gwclient.Client, method string, args ...[]byte) *chain.Receipt {
+	t.Helper()
+	hash, ktx, err := client.SubmitConfidential(tokenAddr, method, args...)
+	if err != nil {
+		t.Fatalf("%s: %v", method, err)
+	}
+	rcpt, err := client.WaitReceipt(hash, 20*time.Second)
+	if err != nil {
+		t.Fatalf("%s receipt: %v", method, err)
+	}
+	opened, err := gwclient.OpenReceipt(rcpt.Raw, ktx, hash)
+	if err != nil {
+		t.Fatalf("%s open receipt: %v", method, err)
+	}
+	return opened
+}
+
+// requestDisclosureEventually retries a disclosure request while the
+// serving replica may still be catching up to the committed height.
+func requestDisclosureEventually(t *testing.T, client *gwclient.Client, req gateway.DisclosureRequestBody) (*confassets.Receipt, []byte) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		rcpt, hash, err := client.RequestDisclosure(req)
+		if err == nil {
+			return rcpt, hash
+		}
+		var apiErr *gwclient.APIError
+		if !errors.As(err, &apiErr) || apiErr.Code != gateway.CodeNotFound || time.Now().After(deadline) {
+			t.Fatalf("disclosure %s: %v", req.Kind, err)
+		}
+		time.Sleep(100 * time.Millisecond) // replica lag: the cell is not committed there yet
+	}
+}
+
+func TestConfAssetsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster test")
+	}
+	n := startNet(t, gateway.Config{})
+	mod, err := ccl.CompileCVM(workload.ConfAssetsTokenSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := chain.AddressFromBytes([]byte("own"))
+	if err := n.cluster.DeployEverywhere(tokenAddr, owner, core.VMCVM, mod.Encode(), true, 1); err != nil {
+		t.Fatal(err)
+	}
+	client := n.dial(t)
+
+	// Issue 5000 to alice under a total supply cap of 10000, then move
+	// 1500 to bob. Both land as OK receipts; balances stay committed.
+	if r := submitToken(t, client, "issue", acctAlice, u64be(5000), u64be(10000)); r.Status != chain.ReceiptOK {
+		t.Fatalf("issue failed: %s", r.Output)
+	}
+	if r := submitToken(t, client, "transfer", acctAlice, acctBob, u64be(1500)); r.Status != chain.ReceiptOK {
+		t.Fatalf("transfer failed: %s", r.Output)
+	}
+	read := submitToken(t, client, "read", acctAlice)
+	if read.Status != chain.ReceiptOK || len(read.Output) != confassets.PointSize {
+		t.Fatalf("read: status %d, %d bytes", read.Status, len(read.Output))
+	}
+
+	// The auditor path: an enclave-signed range receipt over alice's
+	// committed balance, verified offline inside RequestDisclosure against
+	// the attested pk_tx. Its commitment must match what the contract
+	// itself disclosed.
+	rangeRcpt, rangeHash := requestDisclosureEventually(t, client, gateway.DisclosureRequestBody{
+		Contract: tokenAddr[:], Key: acctAlice, Kind: "range",
+	})
+	if !bytes.Equal(rangeRcpt.Commitment.Bytes(), read.Output) {
+		t.Fatal("disclosure commitment does not match the contract's own read")
+	}
+	// The receipt is fetchable by hash from the cache, re-verified offline.
+	fetched, err := client.FetchDisclosure(rangeHash)
+	if err != nil {
+		t.Fatalf("fetch disclosure: %v", err)
+	}
+	if fetched.Kind != confassets.KindRange {
+		t.Fatalf("fetched kind %d", fetched.Kind)
+	}
+
+	// Threshold ≥ 1000 holds for alice's 3500; ≥ 1 000 000 must be refused
+	// (the enclave does not sign false statements, and the refusal does
+	// not leak the value).
+	if _, _, err := client.RequestDisclosure(gateway.DisclosureRequestBody{
+		Contract: tokenAddr[:], Key: acctAlice, Kind: "threshold", Threshold: 1000,
+	}); err != nil {
+		t.Fatalf("threshold 1000: %v", err)
+	}
+	_, _, err = client.RequestDisclosure(gateway.DisclosureRequestBody{
+		Contract: tokenAddr[:], Key: acctAlice, Kind: "threshold", Threshold: 1_000_000,
+	})
+	var apiErr *gwclient.APIError
+	if !errors.As(err, &apiErr) || apiErr.Code != gateway.CodeUnsatisfied {
+		t.Fatalf("threshold 1e6: got %v", err)
+	}
+
+	// A client-side range proof checks out through the contract; the same
+	// proof with one bit flipped fails the whole transaction in the apply
+	// path.
+	r := confassets.DeriveBlinding([]byte("e2e-client"), []byte("c"), []byte("t"), []byte("l"), 0)
+	proof := confassets.ProveRange64(4242, r, []byte("e2e-nonce")).Marshal()
+	valid := append(confassets.Commit(4242, r).Bytes(), proof...)
+	if rc := submitToken(t, client, "vchk", valid); rc.Status != chain.ReceiptOK {
+		t.Fatalf("valid proof rejected: %s", rc.Output)
+	}
+	tampered := append([]byte(nil), valid...)
+	tampered[confassets.PointSize+271] ^= 0x01
+	if rc := submitToken(t, client, "vchk", tampered); rc.Status != chain.ReceiptFailed {
+		t.Fatalf("tampered proof status %d", rc.Status)
+	}
+
+	// An issuance that would push total supply past its cap traps inside
+	// the host call: the mint never happens.
+	if rc := submitToken(t, client, "issue", acctBob, u64be(9000), u64be(10000)); rc.Status != chain.ReceiptFailed {
+		t.Fatalf("out-of-range mint status %d", rc.Status)
+	}
+	// Balances are unchanged by the failed mint: threshold 3500 still
+	// holds for alice and an interval receipt brackets bob exactly.
+	if _, _, err := client.RequestDisclosure(gateway.DisclosureRequestBody{
+		Contract: tokenAddr[:], Key: acctAlice, Kind: "threshold", Threshold: 3500,
+	}); err != nil {
+		t.Fatalf("post-mint threshold: %v", err)
+	}
+	if _, _, err := client.RequestDisclosure(gateway.DisclosureRequestBody{
+		Contract: tokenAddr[:], Key: acctBob, Kind: "interval", Lo: 1500, Hi: 1500,
+	}); err != nil {
+		t.Fatalf("bob interval: %v", err)
+	}
+
+	// The disclosure routes are first-class edge endpoints: their request
+	// counters, refusal counter, and proof-generation latency must surface
+	// through /metrics and the registry Summary like every other route.
+	var expo bytes.Buffer
+	if err := metrics.Default().WriteText(&expo); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`confide_gateway_requests_total{endpoint="disclosure_request"}`,
+		`confide_gateway_requests_total{endpoint="disclosure_get"}`,
+		"confide_gateway_disclosure_receipts_total",
+		"confide_gateway_disclosure_refusals_total",
+		"confide_gateway_disclosure_gen_seconds",
+	} {
+		if !strings.Contains(expo.String(), want) {
+			t.Errorf("/metrics exposition missing %s", want)
+		}
+	}
+	sum := metrics.Default().Summary()
+	for _, want := range []string{
+		"confide_gateway_disclosure_receipts_total",
+		"confide_gateway_disclosure_gen_seconds",
+	} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("Summary table missing %s", want)
+		}
+	}
+}

@@ -58,6 +58,9 @@ type Config struct {
 	LongPollMax time.Duration
 	// DedupCap bounds the accepted-tx-hash dedup index (default 65536).
 	DedupCap int
+	// DisclosureCacheCap bounds the issued-disclosure-receipt index served
+	// by GET /v1/disclosure/{hash} (default 1024).
+	DisclosureCacheCap int
 }
 
 func (c Config) withDefaults() Config {
@@ -97,6 +100,9 @@ func (c Config) withDefaults() Config {
 	if c.DedupCap <= 0 {
 		c.DedupCap = 65536
 	}
+	if c.DisclosureCacheCap <= 0 {
+		c.DisclosureCacheCap = 1024
+	}
 	return c
 }
 
@@ -111,6 +117,8 @@ type Gateway struct {
 	limiter  *clientLimiter
 	inFlight atomic.Int64
 	draining atomic.Bool
+
+	disclosures *disclosureCache
 
 	mu      sync.Mutex
 	seen    map[chain.Hash]struct{}        // accepted here; answers idempotent retries
@@ -139,7 +147,8 @@ func Serve(cfg Config) (*Gateway, error) {
 		ln:      ln,
 		batcher: newBatcher(cfg.Node, cfg.BatchMax, cfg.BatchWait, 4*cfg.BatchMax),
 		limiter: newClientLimiter(cfg.RateLimit, cfg.RateBurst, 0),
-		seen:    make(map[chain.Hash]struct{}),
+		seen:        make(map[chain.Hash]struct{}),
+		disclosures: newDisclosureCache(cfg.DisclosureCacheCap),
 		waiters: make(map[chain.Hash][]chan struct{}),
 		drainCh: make(chan struct{}),
 		closed:  make(chan struct{}),
@@ -153,6 +162,8 @@ func Serve(cfg Config) (*Gateway, error) {
 	mux.Handle("GET /v1/receipt/{hash}", gw.wrap("receipt", gw.handleReceipt))
 	mux.Handle("GET /v1/header/{height}", gw.wrap("header", gw.handleHeader))
 	mux.Handle("GET /v1/health", gw.wrap("health", gw.handleHealth))
+	mux.Handle("POST /v1/disclosure/request", gw.wrap("disclosure_request", gw.handleDisclosureRequest))
+	mux.Handle("GET /v1/disclosure/{hash}", gw.wrap("disclosure_get", gw.handleDisclosureGet))
 	gw.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
 	go gw.srv.Serve(ln)
 	return gw, nil

@@ -26,7 +26,9 @@ import (
 	"time"
 
 	"confide/internal/chain"
+	"confide/internal/confassets"
 	"confide/internal/core"
+	"confide/internal/crypto"
 	"confide/internal/gateway"
 	"confide/internal/tee"
 )
@@ -424,6 +426,119 @@ func (c *Client) headerQuorum(height uint64, header []byte, deadline time.Time) 
 // OpenReceipt decrypts a sealed confidential receipt with k_tx.
 func OpenReceipt(sealed []byte, ktx []byte, txHash chain.Hash) (*chain.Receipt, error) {
 	return core.OpenReceipt(sealed, ktx, txHash)
+}
+
+// ErrBadDisclosure reports a disclosure receipt that failed offline
+// verification or does not match what was requested.
+var ErrBadDisclosure = errors.New("gwclient: invalid disclosure receipt")
+
+// RequestDisclosure asks a gateway's serving engine for a selective-
+// disclosure receipt and verifies it offline before returning it: the
+// sk_tx signature must check out against the attested pk_tx from the key
+// exchange, the embedded proof must verify against the public commitment,
+// and the receipt must state exactly what was requested — an untrusted
+// edge cannot substitute a different (validly signed) statement. Returns
+// the receipt and its hash (the handle GET /v1/disclosure/{hash} serves).
+func (c *Client) RequestDisclosure(req gateway.DisclosureRequestBody) (*confassets.Receipt, []byte, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	var lastErr error = ErrNoGateway
+	for range c.cfg.Gateways {
+		base := c.nextGateway()
+		var resp gateway.DisclosureResponse
+		if err := c.postJSON(base+"/v1/disclosure/request", body, &resp); err != nil {
+			var apiErr *APIError
+			if errors.As(err, &apiErr) {
+				switch apiErr.Code {
+				case gateway.CodeUnsatisfied, gateway.CodeNotFound, gateway.CodeBadRequest:
+					return nil, nil, err // deterministic — no other gateway will differ
+				}
+			}
+			lastErr = err
+			continue
+		}
+		rcpt, err := c.verifyDisclosure(resp.Receipt)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if err := matchDisclosure(rcpt, req); err != nil {
+			lastErr = err
+			continue
+		}
+		h := rcpt.Hash()
+		return rcpt, h[:], nil
+	}
+	return nil, nil, lastErr
+}
+
+// FetchDisclosure retrieves a previously-issued receipt by hash and
+// verifies it offline — the auditor path: given only a receipt hash and
+// the attested pk_tx, no gateway needs to be trusted.
+func (c *Client) FetchDisclosure(hash []byte) (*confassets.Receipt, error) {
+	var lastErr error = ErrNoGateway
+	for range c.cfg.Gateways {
+		base := c.nextGateway()
+		var resp gateway.DisclosureResponse
+		if err := c.getJSON(base+"/v1/disclosure/"+hex.EncodeToString(hash), &resp); err != nil {
+			lastErr = err
+			continue
+		}
+		if !resp.Found {
+			lastErr = fmt.Errorf("%w: receipt not held by %s", ErrBadDisclosure, base)
+			continue
+		}
+		rcpt, err := c.verifyDisclosure(resp.Receipt)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		h := rcpt.Hash()
+		if !bytes.Equal(h[:], hash) {
+			lastErr = fmt.Errorf("%w: gateway %s served a different receipt", ErrBadDisclosure, base)
+			continue
+		}
+		return rcpt, nil
+	}
+	return nil, lastErr
+}
+
+// verifyDisclosure decodes and fully verifies one wire receipt offline.
+func (c *Client) verifyDisclosure(enc []byte) (*confassets.Receipt, error) {
+	rcpt, err := confassets.DecodeReceipt(enc)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadDisclosure, err)
+	}
+	c.mu.Lock()
+	pkTx := c.core.EnvelopePublicKey()
+	c.mu.Unlock()
+	if pkTx == nil {
+		return nil, errors.New("gwclient: no attested pk_tx; Dial with a Verifier first")
+	}
+	if err := rcpt.Verify(pkTx, crypto.VerifyP256); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadDisclosure, err)
+	}
+	return rcpt, nil
+}
+
+// matchDisclosure checks that a verified receipt states what was asked.
+func matchDisclosure(r *confassets.Receipt, req gateway.DisclosureRequestBody) error {
+	kind, err := confassets.ParseKind(req.Kind)
+	if err != nil {
+		return err
+	}
+	switch {
+	case r.Kind != kind,
+		!bytes.Equal(r.Contract, req.Contract),
+		!bytes.Equal(r.Key, req.Key),
+		!bytes.Equal(r.Verifier, req.Verifier),
+		kind == confassets.KindThreshold && r.Threshold != req.Threshold,
+		kind == confassets.KindInterval && (r.Lo != req.Lo || r.Hi != req.Hi):
+		return fmt.Errorf("%w: receipt does not match the request", ErrBadDisclosure)
+	}
+	return nil
 }
 
 // Health fetches one gateway's health summary.

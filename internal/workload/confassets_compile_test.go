@@ -1,0 +1,18 @@
+package workload
+
+import (
+	"testing"
+
+	"confide/internal/ccl"
+)
+
+// The confidential-assets token must compile for CONFIDE-VM (its host
+// interface is CVM-only; the EVM backend rejects the builtin by design).
+func TestConfAssetsTokenCompiles(t *testing.T) {
+	if _, err := ccl.CompileCVM(ConfAssetsTokenSrc); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ccl.CompileEVM(ConfAssetsTokenSrc); err == nil {
+		t.Fatal("EVM backend unexpectedly accepted the confassets builtin")
+	}
+}
