@@ -64,20 +64,41 @@ type Committer interface {
 // CommittedCipher is the production Cipher for schemas with committed
 // fields: AEAD for confidential grades plus deterministic Pedersen
 // commitments for committed ones. The blinding is derived from BlindKey,
-// the cipher context, the schema path and the value itself, so replicas
-// encoding the same state derive byte-identical commitments.
+// the cipher context, the per-transaction salt, the schema path and the
+// value itself, so replicas encoding the same state in the same
+// transaction derive byte-identical commitments, while re-encodings in
+// different transactions do not: without the salt, a field returning to a
+// previous value would emit the same public commitment bytes — a
+// deterministic-encryption equality leak to anyone watching the wire.
 type CommittedCipher struct {
 	AEADCipher
 	// BlindKey is derived from k_states (e.g. DeriveSubKey(k_states,
 	// "confide/confassets-blinding")).
 	BlindKey []byte
+	// TxSalt is the per-encoding component mixed into every blinding —
+	// typically the executing transaction's hash, identical across
+	// replicas, unique across transactions. Required: CommitField refuses
+	// to produce fresh commitments without it. Decoding is unaffected (the
+	// blinding travels inside the sealed opening), so payloads committed
+	// under any salt remain openable.
+	TxSalt []byte
 }
+
+// ErrNeedTxSalt is returned when committing a fresh value without a
+// per-transaction salt, which would silently reintroduce the equality
+// leak.
+var ErrNeedTxSalt = errors.New("ccle: committed field needs a per-transaction salt (CommittedCipher.TxSalt)")
 
 // CommitField implements Committer.
 func (c *CommittedCipher) CommitField(value uint64, aad []byte) ([]byte, error) {
+	if len(c.TxSalt) == 0 {
+		return nil, ErrNeedTxSalt
+	}
 	var vb [8]byte
 	binary.BigEndian.PutUint64(vb[:], value)
-	r := confassets.DeriveBlinding(c.BlindKey, c.Context, aad, vb[:], 0)
+	// The field path and value ride in the label slot; vb is fixed-width
+	// and last, so the concatenation cannot be ambiguous.
+	r := confassets.DeriveBlinding(c.BlindKey, c.Context, c.TxSalt, append(append([]byte(nil), aad...), vb[:]...), 0)
 	cm := confassets.Commit(value, r).Bytes()
 	opening := append(vb[:], confassets.ScalarBytes(r)...)
 	sealed, err := c.Seal(opening, append(append([]byte("committed|"), aad...), cm...))

@@ -22,10 +22,15 @@ root_type Balance;
 `
 
 func committedCipher(key byte) *CommittedCipher {
+	return saltedCipher(key, []byte("tx-0001"))
+}
+
+func saltedCipher(key byte, txSalt []byte) *CommittedCipher {
 	k := bytes.Repeat([]byte{key}, 32)
 	return &CommittedCipher{
 		AEADCipher: AEADCipher{Key: k, Context: []byte("contract:0xca|secver:1")},
 		BlindKey:   k,
+		TxSalt:     txSalt,
 	}
 }
 
@@ -117,6 +122,8 @@ func TestCommittedAuditorView(t *testing.T) {
 
 func TestCommittedDeterministicAcrossReplicas(t *testing.T) {
 	s := parseCommitted(t)
+	// Same keys, same transaction salt — replicas applying the same
+	// transaction must emit byte-identical commitments.
 	a, err := Encode(s, balanceValue(123456), committedCipher(0x33))
 	if err != nil {
 		t.Fatal(err)
@@ -129,6 +136,46 @@ func TestCommittedDeterministicAcrossReplicas(t *testing.T) {
 	vb, _ := Decode(s, b, nil)
 	if !bytes.Equal(va.Fields["amount"].Commitment(), vb.Fields["amount"].Commitment()) {
 		t.Fatal("replicas derived different commitments for the same value")
+	}
+}
+
+// TestCommittedNoCrossTxEquality: re-encoding the same value in a different
+// transaction must not repeat the public commitment bytes (the
+// deterministic-encryption equality leak), and commitments from any salt
+// remain openable because the blinding rides in the sealed opening.
+func TestCommittedNoCrossTxEquality(t *testing.T) {
+	s := parseCommitted(t)
+	tx1 := saltedCipher(0x33, []byte("tx-0001"))
+	tx2 := saltedCipher(0x33, []byte("tx-0002"))
+	a, err := Encode(s, balanceValue(123456), tx1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Encode(s, balanceValue(123456), tx2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	va, _ := Decode(s, a, nil)
+	vb, _ := Decode(s, b, nil)
+	if bytes.Equal(va.Fields["amount"].Commitment(), vb.Fields["amount"].Commitment()) {
+		t.Fatal("commitments repeat across transactions: equality leak")
+	}
+	// A later transaction's cipher still opens payloads sealed earlier.
+	opened, err := Decode(s, a, tx2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := opened.Fields["amount"].CommittedValue(); !ok || got != 123456 {
+		t.Fatalf("cross-salt open: %d", got)
+	}
+}
+
+// TestCommittedRequiresTxSalt: fresh commitments without a per-transaction
+// salt are refused rather than silently deterministic.
+func TestCommittedRequiresTxSalt(t *testing.T) {
+	s := parseCommitted(t)
+	if _, err := Encode(s, balanceValue(1), saltedCipher(0x11, nil)); err != ErrNeedTxSalt {
+		t.Fatalf("got %v", err)
 	}
 }
 

@@ -57,6 +57,28 @@ func ParseKind(s string) (Kind, error) {
 // does not hold.
 var ErrBadReceipt = errors.New("confassets: disclosure receipt rejected")
 
+// DisclosureStatementBytes is the canonical, domain-separated encoding of a
+// disclosure request that the requester signs and the enclave verifies. It
+// covers every field that selects what is disclosed and to whom — the
+// target cell, the statement kind and its parameters, the verifier tag, the
+// requester's own verification key, and the chain height the signature was
+// stamped at (the enclave's replay-freshness anchor). Its SHA-256 is also
+// the digest handed to the contract's authorize rule, so a grant approves
+// exactly one statement shape, not blanket access.
+func DisclosureStatementBytes(contract, key []byte, kind Kind, threshold, lo, hi uint64, verifier, requesterPub []byte, sigHeight uint64) []byte {
+	out := make([]byte, 0, 160)
+	out = append(out, []byte("confide/disclosure-request/v1")...)
+	out = append(out, byte(kind))
+	out = appendBytesField(out, contract)
+	out = appendBytesField(out, key)
+	out = binary.BigEndian.AppendUint64(out, threshold)
+	out = binary.BigEndian.AppendUint64(out, lo)
+	out = binary.BigEndian.AppendUint64(out, hi)
+	out = appendBytesField(out, verifier)
+	out = appendBytesField(out, requesterPub)
+	return binary.BigEndian.AppendUint64(out, sigHeight)
+}
+
 const receiptVersion = 0x01
 
 // maxReceiptField bounds variable-length receipt fields so a malformed

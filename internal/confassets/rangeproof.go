@@ -60,11 +60,17 @@ func ProveRange64(v uint64, r *big.Int, nonceKey []byte) *RangeProof {
 	c := Commit(v, r)
 	cBytes := c.Bytes()
 
-	// Split r into per-bit blindings summing to r mod n.
+	// Split r into per-bit blindings summing to r mod n. Each blinding is
+	// bound to the aggregate commitment, like every other nonce below: if a
+	// caller reuses one nonceKey across two different commitments, the
+	// per-bit commitments still come out unrelated. Without the cBytes
+	// binding, two proofs under one nonceKey would share rbits[0..62] and
+	// the public differences C_i − C_i' ∈ {0, ±2^i·G} would leak, bit by
+	// bit, how the two hidden values differ.
 	var rbits [RangeBits]*big.Int
 	sum := new(big.Int)
 	for i := 0; i < RangeBits-1; i++ {
-		rbits[i] = deriveScalar(nonceKey, "confide/confassets/range-rbit/v1", u64Bytes(uint64(i)))
+		rbits[i] = deriveScalar(nonceKey, "confide/confassets/range-rbit/v2", u64Bytes(uint64(i)), cBytes)
 		sum.Add(sum, rbits[i])
 	}
 	rbits[RangeBits-1] = SubScalars(r, sum.Mod(sum, groupOrder()))

@@ -102,6 +102,23 @@ func (c *Client) signedRaw(contract chain.Address, method string, args [][]byte)
 	return raw, nil
 }
 
+// SignDisclosure authenticates a disclosure request: it stamps the client's
+// verification key into the request and signs the canonical statement
+// bytes. The enclave verifies the signature, derives the requester's
+// on-chain address from the key, and consults the target contract's
+// authorize rule before building any proof. Callers set SigHeight to a
+// recent chain height first; Verifier and the statement parameters are
+// covered by the signature, so they cannot be altered in flight.
+func (c *Client) SignDisclosure(req *DisclosureRequest) error {
+	req.RequesterPub = c.signer.Public()
+	sig, err := c.signer.Sign(req.SigningBytes())
+	if err != nil {
+		return err
+	}
+	req.Sig = sig
+	return nil
+}
+
 // NewPublicTx builds a plaintext (TYPE=0) transaction.
 func (c *Client) NewPublicTx(contract chain.Address, method string, args ...[]byte) (*chain.Tx, error) {
 	raw, err := c.signedRaw(contract, method, args)

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"bytes"
+	"crypto/sha256"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -171,22 +173,21 @@ func (f *frameEnv) ConfAssetsCall(in []byte) ([]byte, error) {
 		if to.v+amount < to.v {
 			return nil, confErr("transfer: recipient balance overflow")
 		}
+		// Conservation is enforced arithmetically: both input records were
+		// re-authenticated against their commitments (decodeCARecord), and
+		// the balance/overflow checks above guarantee
+		// from.v + to.v == newFrom.v + newTo.v over uint64, so the
+		// homomorphic difference sum(inputs) − sum(outputs) is a commitment
+		// to zero by construction. No zero-proof is generated here: this
+		// host derives both the outputs and their blindings itself, so a
+		// proof it verified against its own material could never fail and
+		// would guarantee nothing. External parties who need evidence of
+		// conservation check the published commitments homomorphically, or
+		// demand disclosure receipts over them.
 		newFrom := &caRecord{v: from.v - amount, r: f.nextBlinding(blindKey, fromLabel)}
 		newFrom.c = confassets.Commit(newFrom.v, newFrom.r)
 		newTo := &caRecord{v: to.v + amount, r: f.nextBlinding(blindKey, toLabel)}
 		newTo.c = confassets.Commit(newTo.v, newTo.r)
-		// Conservation, enforced in the apply path: the homomorphic
-		// difference sum(inputs) - sum(outputs) must be a commitment to
-		// zero, proven with the excess blinding. A transfer that mints or
-		// burns value cannot produce this proof.
-		excess := confassets.SubScalars(
-			confassets.AddScalars(from.r, to.r),
-			confassets.AddScalars(newFrom.r, newTo.r))
-		diff := from.c.Add(to.c).Sub(newFrom.c.Add(newTo.c))
-		zp := confassets.ProveZero(excess, blindKey)
-		if !confassets.VerifyZero(diff, zp) {
-			return nil, confErr("transfer: conservation check failed")
-		}
 		return append(newFrom.encode(), newTo.encode()...), nil
 
 	case caOpVerify:
@@ -260,22 +261,64 @@ func (f *frameEnv) ConfAssetsCall(in []byte) ([]byte, error) {
 }
 
 // DisclosureRequest asks the engine for a selective-disclosure receipt
-// over one committed state cell.
+// over one committed state cell. Requests are authenticated: the requester
+// signs the canonical statement bytes with its transaction-signing key, and
+// the enclave consults the target contract's authorize rule (the same
+// well-known method receipt access uses) with the requester's derived
+// address before building any proof.
 type DisclosureRequest struct {
 	Contract  chain.Address
-	Key       []byte            // state key of the committed cell
-	Kind      confassets.Kind   // what to prove
-	Threshold uint64            // KindThreshold
-	Lo, Hi    uint64            // KindInterval
-	Verifier  []byte            // optional named-verifier tag
-	Height    uint64            // chain height, stamped by the node
+	Key       []byte          // state key of the committed cell
+	Kind      confassets.Kind // what to prove
+	Threshold uint64          // KindThreshold
+	Lo, Hi    uint64          // KindInterval
+	Verifier  []byte          // named-verifier tag; for KindOpen, must be the requester
+	Height    uint64          // chain height, stamped by the node
+
+	// RequesterPub is the requester's verification key (PKIX, as in
+	// chain.RawTx.SenderPub); the on-chain requester address is derived
+	// from it exactly as for transactions.
+	RequesterPub []byte
+	// SigHeight is the chain height the requester stamped into the
+	// signature; the enclave bounds |Height − SigHeight| to refuse stale
+	// captured requests.
+	SigHeight uint64
+	// Sig is the requester's ECDSA signature over SigningBytes.
+	Sig []byte
 }
+
+// SigningBytes is the canonical encoding the requester signs; its SHA-256
+// is the digest the contract's authorize rule decides on.
+func (req *DisclosureRequest) SigningBytes() []byte {
+	return confassets.DisclosureStatementBytes(req.Contract[:], req.Key,
+		req.Kind, req.Threshold, req.Lo, req.Hi,
+		req.Verifier, req.RequesterPub, req.SigHeight)
+}
+
+// disclosureSigWindow bounds how many blocks a signed disclosure request
+// stays acceptable around its SigHeight. Within the window a captured
+// request can be replayed, but a replay can only re-issue a receipt for the
+// identical statement the owner already authorized.
+const disclosureSigWindow = 128
+
+// ErrDisclosureDenied is returned when the target contract's authorize rule
+// refuses the requester.
+var ErrDisclosureDenied = errors.New("core: disclosure: contract denied the requester")
 
 // DisclosureReceipt unseals the committed cell inside the enclave, builds
 // the requested proof, and signs the statement with the current epoch's
 // sk_tx — the key whose fingerprint the attestation report vouches for.
 // The opening never leaves the enclave (except for KindOpen, which is the
 // explicit open-to-named-verifier tier).
+//
+// Before any cell is touched, the request itself must pass three gates
+// inside the enclave: the requester's signature over the canonical
+// statement bytes verifies, the signature's height stamp is fresh, and the
+// target contract's authorize rule — a read-only execution with the
+// requester as caller, exactly as for receipt access — approves the
+// statement digest. KindOpen additionally requires the verifier tag to be
+// the authenticated requester, so a full opening can only be issued to the
+// party the contract approved, never to a bystander naming someone else.
 func (e *Engine) DisclosureReceipt(req DisclosureRequest) (*confassets.Receipt, error) {
 	if e.ring == nil || e.enclave == nil {
 		return nil, errors.New("core: disclosure requires the confidential engine")
@@ -283,8 +326,23 @@ func (e *Engine) DisclosureReceipt(req DisclosureRequest) (*confassets.Receipt, 
 	if len(req.Key) == 0 || len(req.Key) > 256 || len(req.Verifier) > 256 {
 		return nil, errors.New("core: disclosure: bad key or verifier")
 	}
+	if len(req.RequesterPub) == 0 || len(req.Sig) == 0 {
+		return nil, errors.New("core: disclosure: request is not signed")
+	}
 	var receipt *confassets.Receipt
-	err := e.enclave.Ecall(len(req.Key)+len(req.Verifier), tee.CopyInOut, func() error {
+	err := e.enclave.Ecall(len(req.Key)+len(req.Verifier)+len(req.RequesterPub)+len(req.Sig), tee.CopyInOut, func() error {
+		signing := req.SigningBytes()
+		if err := crypto.Verify(req.RequesterPub, signing, req.Sig); err != nil {
+			return fmt.Errorf("core: disclosure: bad request signature: %w", err)
+		}
+		if req.Height > req.SigHeight+disclosureSigWindow || req.SigHeight > req.Height+disclosureSigWindow {
+			return fmt.Errorf("core: disclosure: signature height %d outside freshness window at height %d",
+				req.SigHeight, req.Height)
+		}
+		h := crypto.Keccak256(req.RequesterPub)
+		var requester chain.Address
+		copy(requester[:], h[12:])
+
 		rec, _, err := e.sdm.loadContract(req.Contract)
 		if err != nil {
 			return err
@@ -292,6 +350,29 @@ func (e *Engine) DisclosureReceipt(req DisclosureRequest) (*confassets.Receipt, 
 		if !rec.Confidential {
 			return errors.New("core: disclosure: contract is not confidential")
 		}
+
+		// Consult the contract's access rule with the authenticated
+		// requester as caller and the statement digest as subject; writes
+		// are discarded. Anything but an explicit 0x01 approval refuses.
+		digest := sha256.Sum256(signing)
+		txc := &txContext{
+			engine:       e,
+			readSet:      make(map[string]struct{}),
+			writes:       make(map[string]map[string][]byte),
+			confidential: true,
+		}
+		input := EncodeInput(AuthorizeMethod, requester[:], digest[:])
+		out, err := e.runContract(txc, req.Contract, input, requester[:], 0)
+		if err != nil {
+			return fmt.Errorf("core: disclosure rule: %w", err)
+		}
+		if len(out) != 1 || out[0] != 0x01 {
+			return ErrDisclosureDenied
+		}
+		if req.Kind == confassets.KindOpen && !bytes.Equal(req.Verifier, requester[:]) {
+			return errors.New("core: disclosure: open receipts must name the authenticated requester as verifier")
+		}
+
 		raw, found, err := e.sdm.load(req.Contract, rec.SecVer, true, req.Key)
 		if err != nil {
 			return err
@@ -313,9 +394,13 @@ func (e *Engine) DisclosureReceipt(req DisclosureRequest) (*confassets.Receipt, 
 			Epoch:      epoch,
 			Verifier:   append([]byte(nil), req.Verifier...),
 		}
-		// Proof nonces are derived from the cell's own opening: secret,
-		// deterministic, and scoped to this statement.
-		nk := crypto.DeriveSubKey(confassets.ScalarBytes(cell.r), "confide/disclosure-nonce")
+		// Proof nonces are derived from the cell's own opening: secret and
+		// deterministic. The statement parameters are mixed into the label
+		// so receipts over the same cell for different statements (and the
+		// two proofs of an interval) never share a nonce key — belt and
+		// braces on top of the prover's own commitment binding.
+		nk := crypto.DeriveSubKey(confassets.ScalarBytes(cell.r),
+			fmt.Sprintf("confide/disclosure-nonce/v2|%d|%d|%d|%d", req.Kind, req.Threshold, req.Lo, req.Hi))
 		switch req.Kind {
 		case confassets.KindOpen:
 			receipt.Value, receipt.Blinding = cell.v, cell.r

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bytes"
+	"math/big"
 	"testing"
 
 	"confide/internal/ccl"
@@ -15,6 +16,8 @@ import (
 //	mint <value8>  commits the 8-byte BE value, stores the record at "bal"
 //	comm           outputs the stored record's 33-byte commitment
 //	vchk <c33+proof> asks the host to verify a client range proof
+//	grant <addr20> grants disclosure/receipt access to an address
+//	authorize <addr20> <digest32> approves when a grant exists
 const caTestSrc = `
 fn u16at(p) -> int { return load8(p) + (load8(p + 1) << 8); }
 fn u32at(p) -> int {
@@ -61,6 +64,22 @@ fn invoke() {
 		let vn = confassets(hinv, a1len + 1, resv, 8);
 		if vn != 1 { fail(); }
 		output(resv, 1);
+	}
+	if c == 103 { // 'g'rant <requester-addr(20)>
+		let one = alloc(4);
+		store8(one, 1);
+		storage_set(a1, 20, one, 1);
+	}
+	if c == 97 { // 'a'uthorize <requester(20)> <digest(32)>
+		let tmp = alloc(4);
+		let got = storage_get(a1, 20, tmp, 4);
+		let res = alloc(4);
+		if got == 1 {
+			store8(res, 1);
+		} else {
+			store8(res, 0);
+		}
+		output(res, 1);
 	}
 }
 `
@@ -183,8 +202,28 @@ func TestConfAssetsHostVerify(t *testing.T) {
 	}
 }
 
+// runCA executes one confidential transaction against the test contract and
+// commits it.
+func runCA(t *testing.T, s *testStack, client *Client, addr chain.Address, method string, args ...[]byte) {
+	t.Helper()
+	tx, _, err := client.NewConfidentialTx(addr, method, args...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.engine.Execute(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Receipt.Status != chain.ReceiptOK {
+		t.Fatalf("%s failed: %s", method, res.Receipt.Output)
+	}
+	commit(t, s, res)
+}
+
 // TestDisclosureReceiptEngine exercises Engine.DisclosureReceipt for every
-// kind, verifying each receipt offline against the attested pk_tx.
+// kind, verifying each receipt offline against the attested pk_tx. Requests
+// are signed by a client the contract granted; the authentication and
+// authorization gates are exercised negatively below.
 func TestDisclosureReceiptEngine(t *testing.T) {
 	addr := chain.AddressFromBytes([]byte("ca-disclose"))
 	s := newStack(t, AllOptimizations())
@@ -194,29 +233,28 @@ func TestDisclosureReceiptEngine(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	clientAddr := client.Address()
 	value := []byte{0, 0, 0, 0, 0, 0, 0x13, 0x88} // 5000 BE
-	mint, _, err := client.NewConfidentialTx(addr, "mint", value)
-	if err != nil {
-		t.Fatal(err)
+	runCA(t, s, client, addr, "mint", value)
+	runCA(t, s, client, addr, "grant", clientAddr[:])
+
+	sign := func(req DisclosureRequest) DisclosureRequest {
+		t.Helper()
+		if err := client.SignDisclosure(&req); err != nil {
+			t.Fatal(err)
+		}
+		return req
 	}
-	res, err := s.engine.Execute(mint)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if res.Receipt.Status != chain.ReceiptOK {
-		t.Fatalf("mint failed: %s", res.Receipt.Output)
-	}
-	commit(t, s, res)
 
 	pkTx := s.engine.EnvelopePublicKey()
 	reqs := []DisclosureRequest{
-		{Contract: addr, Key: []byte("bal"), Kind: confassets.KindOpen, Height: 3},
-		{Contract: addr, Key: []byte("bal"), Kind: confassets.KindRange, Height: 3},
-		{Contract: addr, Key: []byte("bal"), Kind: confassets.KindThreshold, Threshold: 1000, Height: 3},
-		{Contract: addr, Key: []byte("bal"), Kind: confassets.KindInterval, Lo: 4000, Hi: 6000, Height: 3, Verifier: []byte("auditor")},
+		{Contract: addr, Key: []byte("bal"), Kind: confassets.KindOpen, Height: 3, SigHeight: 3, Verifier: clientAddr[:]},
+		{Contract: addr, Key: []byte("bal"), Kind: confassets.KindRange, Height: 3, SigHeight: 3},
+		{Contract: addr, Key: []byte("bal"), Kind: confassets.KindThreshold, Threshold: 1000, Height: 3, SigHeight: 3},
+		{Contract: addr, Key: []byte("bal"), Kind: confassets.KindInterval, Lo: 4000, Hi: 6000, Height: 3, SigHeight: 3, Verifier: []byte("auditor")},
 	}
 	for _, req := range reqs {
-		rcpt, err := s.engine.DisclosureReceipt(req)
+		rcpt, err := s.engine.DisclosureReceipt(sign(req))
 		if err != nil {
 			t.Fatalf("%v: %v", req.Kind, err)
 		}
@@ -237,30 +275,107 @@ func TestDisclosureReceiptEngine(t *testing.T) {
 	}
 
 	// Unsatisfiable predicates must refuse, not sign a false statement.
-	if _, err := s.engine.DisclosureReceipt(DisclosureRequest{
+	if _, err := s.engine.DisclosureReceipt(sign(DisclosureRequest{
 		Contract: addr, Key: []byte("bal"), Kind: confassets.KindThreshold, Threshold: 10_000,
-	}); err != ErrDisclosureUnsatisfied {
+	})); err != ErrDisclosureUnsatisfied {
 		t.Fatalf("threshold 10000 over value 5000: got %v", err)
 	}
-	if _, err := s.engine.DisclosureReceipt(DisclosureRequest{
+	if _, err := s.engine.DisclosureReceipt(sign(DisclosureRequest{
 		Contract: addr, Key: []byte("bal"), Kind: confassets.KindInterval, Lo: 0, Hi: 100,
-	}); err != ErrDisclosureUnsatisfied {
+	})); err != ErrDisclosureUnsatisfied {
 		t.Fatalf("interval [0,100] over value 5000: got %v", err)
 	}
 	// Missing cell.
-	if _, err := s.engine.DisclosureReceipt(DisclosureRequest{
+	if _, err := s.engine.DisclosureReceipt(sign(DisclosureRequest{
 		Contract: addr, Key: []byte("nope"), Kind: confassets.KindRange,
-	}); err != ErrNoDisclosureCell {
+	})); err != ErrNoDisclosureCell {
 		t.Fatalf("missing cell: got %v", err)
 	}
 	// A receipt verified against the wrong pk_tx must fail.
-	rcpt, err := s.engine.DisclosureReceipt(reqs[1])
+	rcpt, err := s.engine.DisclosureReceipt(sign(reqs[1]))
 	if err != nil {
 		t.Fatal(err)
 	}
 	other, _ := crypto.GenerateEnvelopeKey()
 	if rcpt.Verify(other.Public(), crypto.VerifyP256) == nil {
 		t.Fatal("receipt verified against a foreign pk_tx")
+	}
+
+	// --- Authentication and authorization gates ---
+
+	// Unsigned requests never reach the cell.
+	if _, err := s.engine.DisclosureReceipt(DisclosureRequest{
+		Contract: addr, Key: []byte("bal"), Kind: confassets.KindRange, Height: 3,
+	}); err == nil {
+		t.Fatal("unsigned disclosure request accepted")
+	}
+	// Tampering with a signed statement invalidates the signature.
+	tampered := sign(DisclosureRequest{
+		Contract: addr, Key: []byte("bal"), Kind: confassets.KindThreshold, Threshold: 1000, Height: 3, SigHeight: 3,
+	})
+	tampered.Threshold = 1
+	if _, err := s.engine.DisclosureReceipt(tampered); err == nil {
+		t.Fatal("tampered disclosure request accepted")
+	}
+	// A well-signed request from an ungranted identity is denied by the
+	// contract's rule.
+	stranger, err := NewClient(s.engine.EnvelopePublicKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	strangerReq := DisclosureRequest{
+		Contract: addr, Key: []byte("bal"), Kind: confassets.KindRange, Height: 3, SigHeight: 3,
+	}
+	if err := stranger.SignDisclosure(&strangerReq); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.engine.DisclosureReceipt(strangerReq); err != ErrDisclosureDenied {
+		t.Fatalf("ungranted requester: got %v", err)
+	}
+	// A captured signature goes stale outside the freshness window.
+	stale := sign(DisclosureRequest{
+		Contract: addr, Key: []byte("bal"), Kind: confassets.KindRange, SigHeight: 3,
+	})
+	stale.Height = 3 + disclosureSigWindow + 1
+	if _, err := s.engine.DisclosureReceipt(stale); err == nil {
+		t.Fatal("stale disclosure request accepted")
+	}
+	// Full openings are verifier-bound to the authenticated requester.
+	if _, err := s.engine.DisclosureReceipt(sign(DisclosureRequest{
+		Contract: addr, Key: []byte("bal"), Kind: confassets.KindOpen, Height: 3, SigHeight: 3,
+		Verifier: []byte("somebody-else\x00\x00\x00\x00\x00\x00\x00"),
+	})); err == nil {
+		t.Fatal("open receipt issued to a verifier other than the requester")
+	}
+}
+
+// TestRangeProofNonceKeyReuse is the regression test for the per-bit
+// blinding binding: even if one nonce key is (wrongly) reused across two
+// different commitments, no bit position may relate the two proofs' bit
+// commitments by 0 or ±2^i·G — the differences that would otherwise leak
+// how the two hidden values differ bit by bit.
+func TestRangeProofNonceKeyReuse(t *testing.T) {
+	nk := []byte("shared-nonce-key")
+	r1 := confassets.DeriveBlinding([]byte("k"), []byte("c"), []byte("t"), []byte("1"), 0)
+	r2 := confassets.DeriveBlinding([]byte("k"), []byte("c"), []byte("t"), []byte("2"), 0)
+	p1 := confassets.ProveRange64(0xA5A5, r1, nk).Marshal()
+	p2 := confassets.ProveRange64(0x5A5A, r2, nk).Marshal()
+	bitStride := len(p1[1:]) / confassets.RangeBits
+	zero := confassets.Commit(0, new(big.Int))
+	for i := 0; i < confassets.RangeBits; i++ {
+		c1, err := confassets.DecodeCommitment(p1[1+i*bitStride : 1+i*bitStride+confassets.PointSize])
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2, err := confassets.DecodeCommitment(p2[1+i*bitStride : 1+i*bitStride+confassets.PointSize])
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := c1.Sub(c2)
+		pow := uint64(1) << uint(i)
+		if d.Equal(zero) || d.SubValue(pow).Equal(zero) || d.ValueMinus(pow).Equal(zero) {
+			t.Fatalf("bit %d: related bit commitments leak the value difference", i)
+		}
 	}
 }
 

@@ -89,6 +89,13 @@ func TestConfAssetsEndToEnd(t *testing.T) {
 	}
 	client := n.dial(t)
 
+	// The contract's authorize rule gates disclosure: grant this client's
+	// address before any receipt can be requested.
+	clientAddr := client.Address()
+	if r := submitToken(t, client, "grant", clientAddr[:]); r.Status != chain.ReceiptOK {
+		t.Fatalf("grant failed: %s", r.Output)
+	}
+
 	// Issue 5000 to alice under a total supply cap of 10000, then move
 	// 1500 to bob. Both land as OK receipts; balances stay committed.
 	if r := submitToken(t, client, "issue", acctAlice, u64be(5000), u64be(10000)); r.Status != chain.ReceiptOK {
@@ -119,6 +126,18 @@ func TestConfAssetsEndToEnd(t *testing.T) {
 	}
 	if fetched.Kind != confassets.KindRange {
 		t.Fatalf("fetched kind %d", fetched.Kind)
+	}
+
+	// An ungranted client's signed request is refused by the contract's
+	// rule with a 403 — authentication alone is not enough, and the
+	// refusal carries no information about the committed value.
+	outsider := n.dial(t)
+	_, _, err = outsider.RequestDisclosure(gateway.DisclosureRequestBody{
+		Contract: tokenAddr[:], Key: acctAlice, Kind: "range",
+	})
+	var deniedErr *gwclient.APIError
+	if !errors.As(err, &deniedErr) || deniedErr.Code != gateway.CodeDenied {
+		t.Fatalf("ungranted disclosure: got %v", err)
 	}
 
 	// Threshold ≥ 1000 holds for alice's 3500; ≥ 1 000 000 must be refused

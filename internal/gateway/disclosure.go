@@ -21,6 +21,10 @@ const CodeUnsatisfied = "unsatisfied"
 
 // DisclosureRequestBody is POST /v1/disclosure/request: ask the serving
 // engine for a selective-disclosure receipt over one committed state cell.
+// Requests carry the requester's own signature over the canonical statement
+// bytes; the gateway is untrusted transport and forwards it verbatim — the
+// enclave verifies the signature and asks the target contract's authorize
+// rule whether this requester may see this statement.
 type DisclosureRequestBody struct {
 	Contract  []byte `json:"contract"` // 20-byte contract address
 	Key       []byte `json:"key"`      // state key of the committed cell
@@ -28,7 +32,11 @@ type DisclosureRequestBody struct {
 	Threshold uint64 `json:"threshold,omitempty"`
 	Lo        uint64 `json:"lo,omitempty"`
 	Hi        uint64 `json:"hi,omitempty"`
-	Verifier  []byte `json:"verifier,omitempty"` // optional named-verifier tag
+	Verifier  []byte `json:"verifier,omitempty"` // named-verifier tag; for "open", the requester itself
+
+	RequesterPub []byte `json:"requester_pub"`        // requester verification key (PKIX)
+	SigHeight    uint64 `json:"sig_height,omitempty"` // chain height stamped into the signature
+	Sig          []byte `json:"sig"`                  // ECDSA over the canonical statement bytes
 }
 
 // DisclosureResponse carries one enclave-signed receipt. The gateway is
@@ -88,10 +96,23 @@ func (c *disclosureCache) get(h [32]byte) ([]byte, bool) {
 	return enc, ok
 }
 
-func (g *Gateway) handleDisclosureRequest(w http.ResponseWriter, r *http.Request) {
-	if !g.admit(w, r, 1) {
-		return
+// disclosureCost prices a disclosure request in admission-limiter tokens.
+// Receipt generation is not a cheap lookup: proof-bearing kinds run a full
+// 64-bit range proof (hundreds of scalar multiplications) inside an Ecall,
+// and an interval runs two, so they are charged well above a plain
+// submission to keep proof generation from becoming a CPU-exhaustion lever.
+func disclosureCost(kind confassets.Kind) float64 {
+	switch kind {
+	case confassets.KindInterval:
+		return 32
+	case confassets.KindRange, confassets.KindThreshold:
+		return 16
+	default: // open: rule consultation + a signature, no range proof
+		return 2
 	}
+}
+
+func (g *Gateway) handleDisclosureRequest(w http.ResponseWriter, r *http.Request) {
 	body, err := readBody(r, 0)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, ErrorBody{Error: CodeBadRequest, Detail: err.Error()})
@@ -113,19 +134,29 @@ func (g *Gateway) handleDisclosureRequest(w http.ResponseWriter, r *http.Request
 		writeError(w, http.StatusBadRequest, ErrorBody{Error: CodeBadRequest, Detail: err.Error()})
 		return
 	}
+	if !g.admit(w, r, disclosureCost(kind)) {
+		return
+	}
 
 	start := time.Now()
 	rcpt, err := g.node.ConfidentialEngine().DisclosureReceipt(core.DisclosureRequest{
-		Contract:  contract,
-		Key:       req.Key,
-		Kind:      kind,
-		Threshold: req.Threshold,
-		Lo:        req.Lo,
-		Hi:        req.Hi,
-		Verifier:  req.Verifier,
-		Height:    g.node.Height(),
+		Contract:     contract,
+		Key:          req.Key,
+		Kind:         kind,
+		Threshold:    req.Threshold,
+		Lo:           req.Lo,
+		Hi:           req.Hi,
+		Verifier:     req.Verifier,
+		Height:       g.node.Height(),
+		RequesterPub: req.RequesterPub,
+		SigHeight:    req.SigHeight,
+		Sig:          req.Sig,
 	})
 	switch {
+	case errors.Is(err, core.ErrDisclosureDenied):
+		mDisclosureRefused.Inc()
+		writeError(w, http.StatusForbidden, ErrorBody{Error: CodeDenied, Detail: "the contract's authorize rule refused the requester"})
+		return
 	case errors.Is(err, core.ErrNoDisclosureCell):
 		mDisclosureRefused.Inc()
 		writeError(w, http.StatusNotFound, ErrorBody{Error: CodeNotFound, Detail: "no committed cell at that key"})
@@ -154,6 +185,9 @@ func (g *Gateway) handleDisclosureRequest(w http.ResponseWriter, r *http.Request
 }
 
 func (g *Gateway) handleDisclosureGet(w http.ResponseWriter, r *http.Request) {
+	if !g.admit(w, r, 1) {
+		return
+	}
 	raw, err := hex.DecodeString(r.PathValue("hash"))
 	if err != nil || len(raw) != 32 {
 		writeError(w, http.StatusBadRequest, ErrorBody{Error: CodeBadRequest, Detail: "bad receipt hash"})

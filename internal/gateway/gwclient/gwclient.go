@@ -439,7 +439,58 @@ var ErrBadDisclosure = errors.New("gwclient: invalid disclosure receipt")
 // and the receipt must state exactly what was requested — an untrusted
 // edge cannot substitute a different (validly signed) statement. Returns
 // the receipt and its hash (the handle GET /v1/disclosure/{hash} serves).
+//
+// The request is authenticated automatically: the client stamps a recent
+// chain height, signs the canonical statement bytes with its transaction
+// key, and — for kind "open" — names itself as the verifier, since the
+// enclave only releases full openings to the authenticated requester. The
+// target contract's authorize rule must have granted this client's address.
 func (c *Client) RequestDisclosure(req gateway.DisclosureRequestBody) (*confassets.Receipt, []byte, error) {
+	kind, err := confassets.ParseKind(req.Kind)
+	if err != nil {
+		return nil, nil, err
+	}
+	if kind == confassets.KindOpen && len(req.Verifier) == 0 {
+		a := c.Address()
+		req.Verifier = a[:]
+	}
+	var height uint64
+	var healthErr error = ErrNoGateway
+	for range c.cfg.Gateways {
+		h, err := c.Health(c.nextGateway())
+		if err != nil {
+			healthErr = err
+			continue
+		}
+		height, healthErr = h.Height, nil
+		break
+	}
+	if healthErr != nil {
+		return nil, nil, fmt.Errorf("gwclient: cannot stamp a fresh height: %w", healthErr)
+	}
+	var contract chain.Address
+	if len(req.Contract) != len(contract) {
+		return nil, nil, fmt.Errorf("gwclient: contract must be a %d-byte address", len(contract))
+	}
+	copy(contract[:], req.Contract)
+	creq := core.DisclosureRequest{
+		Contract:  contract,
+		Key:       req.Key,
+		Kind:      kind,
+		Threshold: req.Threshold,
+		Lo:        req.Lo,
+		Hi:        req.Hi,
+		Verifier:  req.Verifier,
+		SigHeight: height,
+	}
+	c.mu.Lock()
+	err = c.core.SignDisclosure(&creq)
+	c.mu.Unlock()
+	if err != nil {
+		return nil, nil, err
+	}
+	req.RequesterPub, req.SigHeight, req.Sig = creq.RequesterPub, creq.SigHeight, creq.Sig
+
 	body, err := json.Marshal(req)
 	if err != nil {
 		return nil, nil, err
@@ -452,7 +503,7 @@ func (c *Client) RequestDisclosure(req gateway.DisclosureRequestBody) (*confasse
 			var apiErr *APIError
 			if errors.As(err, &apiErr) {
 				switch apiErr.Code {
-				case gateway.CodeUnsatisfied, gateway.CodeNotFound, gateway.CodeBadRequest:
+				case gateway.CodeUnsatisfied, gateway.CodeNotFound, gateway.CodeBadRequest, gateway.CodeDenied:
 					return nil, nil, err // deterministic — no other gateway will differ
 				}
 			}

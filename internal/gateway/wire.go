@@ -40,6 +40,7 @@ const (
 	CodeStaleEpoch  = "stale_epoch"  // envelope sealed to an epoch outside the acceptance window
 	CodeNotFound    = "not_found"    // unknown transaction / height
 	CodeRejected    = "rejected"     // node refused the transaction (pool full, …)
+	CodeDenied      = "denied"       // the contract's authorize rule refused the requester
 )
 
 // ErrorBody is the JSON error envelope on every non-2xx response.

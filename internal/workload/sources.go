@@ -396,6 +396,8 @@ fn invoke() {
 //	transfer <from 8> <to 8> <amount 8 BE>
 //	read     <acct 8>            → 33-byte commitment
 //	vchk     <commitment 33 || range proof>  → [1] or trap
+//	grant    <addr 20>           grants disclosure access to an address
+//	authorize <addr 20> <digest 32>  the engine's disclosure/receipt rule
 const ConfAssetsTokenSrc = cclPrelude + `
 fn loadrec(key, rec) -> int {
 	let n = storage_get(key, 8, rec, 80);
@@ -484,6 +486,30 @@ fn invoke() {
 		let vn = confassets(vin, vlen + 1, vres, 8);
 		if vn != 1 { fail(); }
 		output(vres, 1);
+	}
+	if c == 103 { // 'g'rant: allow an address to request disclosures
+		let gaddr = arg(buf, 0) + 4;
+		let gkey = alloc(28);
+		memcpy(gkey, "acl:\x00\x00\x00\x00", 8);
+		memcpy(gkey + 8, gaddr, 20);
+		let one = alloc(4);
+		store8(one, 1);
+		storage_set(gkey, 28, one, 1);
+	}
+	if c == 97 { // 'a'uthorize <requester 20> <digest 32>
+		let qaddr = arg(buf, 0) + 4;
+		let qkey = alloc(28);
+		memcpy(qkey, "acl:\x00\x00\x00\x00", 8);
+		memcpy(qkey + 8, qaddr, 20);
+		let tmp = alloc(4);
+		let got = storage_get(qkey, 28, tmp, 4);
+		let ares = alloc(4);
+		if got == 1 {
+			store8(ares, 1);
+		} else {
+			store8(ares, 0);
+		}
+		output(ares, 1);
 	}
 }
 `
