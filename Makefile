@@ -15,7 +15,7 @@ test:
 # injection, the node layer, and the lock-free metrics registry feeding all
 # of them.
 race:
-	$(GO) test -race ./internal/consensus/... ./internal/node/... ./internal/p2p/... ./internal/metrics/... ./internal/bench/... ./internal/storage/... ./internal/gateway/... ./internal/confassets/...
+	$(GO) test -race ./internal/consensus/... ./internal/node/... ./internal/p2p/... ./internal/metrics/... ./internal/bench/... ./internal/storage/... ./internal/gateway/... ./internal/confassets/... ./internal/cvm/...
 
 vet:
 	$(GO) vet ./...
@@ -61,6 +61,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzWALReplay -fuzztime=$(FUZZTIME) ./internal/storage/
 	$(GO) test -run='^$$' -fuzz=FuzzRangeProofVerify -fuzztime=$(FUZZTIME) ./internal/confassets/
 	$(GO) test -run='^$$' -fuzz=FuzzDisclosureReceipt -fuzztime=$(FUZZTIME) ./internal/confassets/
+	$(GO) test -run='^$$' -fuzz=FuzzCompiledVsInterp -fuzztime=$(FUZZTIME) ./internal/cvm/compile/
 
 # Instrumented-vs-disabled throughput delta (budget: <2%).
 overhead:

@@ -15,6 +15,7 @@
 //	benchrunner -exp rotation     # key-epoch rotation under traffic + re-seal sweep
 //	benchrunner -exp gateway      # HTTP edge: offered-load sweep with shedding
 //	benchrunner -exp confassets   # Pedersen/range-proof primitives + committed-token TPS
+//	benchrunner -exp vmcompile    # CONFIDE-VM AOT compiler vs interpreter vs EVM (VM level)
 //	benchrunner -exp fig10 -json  # also write BENCH_fig10.json
 //	benchrunner -chaos -seed 7    # liveness-under-faults drill
 //	benchrunner -chaos -wipe 1    # …plus a wipe-and-rejoin (snapshot fast-sync)
@@ -105,6 +106,9 @@ func main() {
 	}
 	if *exp == "confassets" { // opt-in: confidential-assets primitives + token TPS
 		run("confassets", func() (any, error) { return runConfAssets(*txs, *quick) })
+	}
+	if *exp == "vmcompile" { // opt-in: AOT-compiled vs interpreted vs EVM at the VM level
+		run("vmcompile", func() (any, error) { return runVMCompile(*txs) })
 	}
 
 	if *showMetrics {
@@ -299,6 +303,23 @@ func runConfAssets(txs int, quick bool) (any, error) {
 			bytes = fmt.Sprintf("%d", r.Bytes)
 		}
 		fmt.Printf("%-20s %6s %7d %12.4f %12.1f %9s %7s\n", r.Op, batch, r.Iters, r.PerOpMs, r.OpsPerSec, speedup, bytes)
+	}
+	return rows, nil
+}
+
+func runVMCompile(txs int) (any, error) {
+	cfg := bench.DefaultVMCompile()
+	if txs > 0 {
+		cfg.Txs = txs
+	}
+	fmt.Println("=== VM compile: AOT closure-threaded vs interpreted CONFIDE-VM vs EVM (VM level) ===")
+	rows, err := bench.VMCompile(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("%-26s %12s %14s %14s %9s\n", "Workload", "EVM tx/s", "CVM-interp", "CVM-compiled", "Speedup")
+	for _, r := range rows {
+		fmt.Printf("%-26s %12.1f %14.1f %14.1f %8.2fx\n", r.Workload, r.EVMTPS, r.InterpTPS, r.CompiledTPS, r.Speedup)
 	}
 	return rows, nil
 }

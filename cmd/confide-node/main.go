@@ -50,6 +50,7 @@ func main() {
 	gatewayAddr := flag.String("gateway", "", "serve the client gateway (attested HTTP edge) on this base address, e.g. :8440 — node i listens on port+i (port 0 picks ephemeral ports); combine with -linger to keep serving remote clients after the built-in workload")
 	gatewayRate := flag.Float64("gateway-rate", 0, "gateway per-client admission rate in tx/s, token-bucket with 2x burst (0 = unlimited)")
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "graceful gateway shutdown bound: in-flight requests get this long to finish after new submissions start being refused")
+	noCompile := flag.Bool("no-compile", false, "disable the deploy-time CVM compiler; every transaction runs on the interpreter (replicas with and without this flag stay byte-identical)")
 	flag.Parse()
 
 	if *metricsAddr != "" {
@@ -74,6 +75,9 @@ func main() {
 	fmt.Printf("booting %d-node network (K-Protocol: decentralized MAP)...\n", *nodes)
 	engineOpts := core.AllOptimizations()
 	engineOpts.EpochWindow = *epochWindow
+	if *noCompile {
+		engineOpts.Compile = false
+	}
 	cluster, err := node.NewCluster(node.ClusterOptions{
 		Nodes: *nodes,
 		Node: node.Config{

@@ -509,6 +509,13 @@ func Figure12(cfg Fig12Config) ([]Fig12Row, error) {
 			gen:       workload.ABSFlatInput,
 			preVerify: true,
 		},
+		{
+			name:      "+compile (AOT closure threading)",
+			opts:      core.Options{CodeCache: true, MemPool: true, PreVerify: true, Fuse: true, Compile: true},
+			source:    workload.ABSTransferFlatSrc,
+			gen:       workload.ABSFlatInput,
+			preVerify: true,
+		},
 	}
 	var rows []Fig12Row
 	base := 0.0

@@ -76,13 +76,16 @@ func TestFigure12Smoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 5 {
-		t.Fatalf("rows = %d, want 5", len(rows))
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(rows))
 	}
-	// The fully optimized configuration must beat Base (skipped under the
+	// The fully optimized configurations must beat Base (skipped under the
 	// race detector, whose instrumentation skews relative timings).
 	if !raceEnabled && rows[4].TPS <= rows[0].TPS {
 		t.Errorf("all-opts (%.1f) should beat base (%.1f)", rows[4].TPS, rows[0].TPS)
+	}
+	if !raceEnabled && rows[5].TPS <= rows[0].TPS {
+		t.Errorf("all-opts+compile (%.1f) should beat base (%.1f)", rows[5].TPS, rows[0].TPS)
 	}
 }
 

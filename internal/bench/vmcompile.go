@@ -1,0 +1,181 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"confide/internal/core"
+	"confide/internal/cvm"
+	"confide/internal/cvm/compile"
+	"confide/internal/evm"
+	"confide/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// VM-compile experiment: raw VM execution throughput for the three tiers —
+// EVM interpreter, CONFIDE-VM interpreter (OPT4 fused) and CONFIDE-VM
+// ahead-of-time compiled — on the four Figure 10 synthetic workloads plus
+// the ABS transfer. This isolates the dispatch/operand-stack cost the
+// compiler removes: no cluster, no envelopes, no storage commit, just the
+// VM hot loop against an in-memory Env.
+// ---------------------------------------------------------------------------
+
+// VMCompileRow is one workload's measurement across the three tiers.
+type VMCompileRow struct {
+	Workload    string  `json:"workload"`
+	EVMTPS      float64 `json:"evm_tps"`
+	InterpTPS   float64 `json:"cvm_interp_tps"`
+	CompiledTPS float64 `json:"cvm_compiled_tps"`
+	// Speedup is compiled over interpreted CONFIDE-VM.
+	Speedup float64 `json:"speedup"`
+}
+
+// VMCompileConfig parameterizes the experiment.
+type VMCompileConfig struct {
+	// Txs per measurement cell.
+	Txs int
+}
+
+// DefaultVMCompile returns laptop-scaled parameters.
+func DefaultVMCompile() VMCompileConfig { return VMCompileConfig{Txs: 96} }
+
+// vmEnv is the minimal in-memory Env the VM-level cells run against
+// (evm.Env is an alias of cvm.Env, so one env serves all tiers).
+type vmEnv struct {
+	storage map[string][]byte
+	input   []byte
+	output  []byte
+	caller  []byte
+}
+
+func newVMEnv() *vmEnv {
+	return &vmEnv{storage: make(map[string][]byte), caller: make([]byte, 20)}
+}
+
+func (e *vmEnv) GetStorage(key []byte) ([]byte, bool, error) {
+	v, ok := e.storage[string(key)]
+	return v, ok, nil
+}
+func (e *vmEnv) SetStorage(key, value []byte) error { e.storage[string(key)] = value; return nil }
+func (e *vmEnv) Input() []byte                      { return e.input }
+func (e *vmEnv) SetOutput(o []byte)                 { e.output = o }
+func (e *vmEnv) Log(string)                         {}
+func (e *vmEnv) Caller() []byte                     { return e.caller }
+func (e *vmEnv) CallContract([]byte, []byte) ([]byte, error) {
+	return nil, fmt.Errorf("bench: no cross-contract calls at VM level")
+}
+
+// VMCompile measures the three execution tiers on every workload. Before
+// timing, each cell's compiled and interpreted runs are cross-checked on
+// output and gas — a benchmark that drifted from the interpreter would be
+// measuring a different machine.
+func VMCompile(cfg VMCompileConfig) ([]VMCompileRow, error) {
+	if cfg.Txs == 0 {
+		cfg = DefaultVMCompile()
+	}
+	type cell struct {
+		name string
+		src  string
+		gen  func(*rand.Rand) (string, [][]byte)
+	}
+	var cells []cell
+	for _, w := range workload.SyntheticWorkloads() {
+		cells = append(cells, cell{w.Name, w.Source, w.Input})
+	}
+	cells = append(cells, cell{"ABS Transfer (flat)", workload.ABSTransferFlatSrc, workload.ABSFlatInput})
+
+	var rows []VMCompileRow
+	for _, c := range cells {
+		row, err := vmCompileCell(c.name, c.src, c.gen, cfg.Txs)
+		if err != nil {
+			return nil, fmt.Errorf("vmcompile %s: %w", c.name, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func vmCompileCell(name, src string, gen func(*rand.Rand) (string, [][]byte), txs int) (VMCompileRow, error) {
+	cvmCode, err := workload.CompileCVM(src)
+	if err != nil {
+		return VMCompileRow{}, err
+	}
+	evmCode, err := workload.CompileEVM(src)
+	if err != nil {
+		return VMCompileRow{}, err
+	}
+	prog, err := cvm.LoadProgram(cvmCode, cvm.BuildOptions{Fuse: true})
+	if err != nil {
+		return VMCompileRow{}, err
+	}
+	unit, err := compile.Compile(prog)
+	if err != nil {
+		return VMCompileRow{}, err
+	}
+
+	// Pre-generate the input stream once so every tier executes the exact
+	// same transactions.
+	rng := rand.New(rand.NewSource(33))
+	inputs := make([][]byte, txs)
+	for i := range inputs {
+		method, args := gen(rng)
+		inputs[i] = core.EncodeInput(method, args...)
+	}
+
+	// Differential guard: compiled output and gas must match the
+	// interpreter on this workload before we bother timing it.
+	for i := 0; i < 4 && i < txs; i++ {
+		ienv, cenv := newVMEnv(), newVMEnv()
+		ienv.input, cenv.input = inputs[i], inputs[i]
+		vm := cvm.NewVM(prog, ienv, cvm.Config{})
+		if _, err := vm.Run(); err != nil {
+			return VMCompileRow{}, fmt.Errorf("interp: %w", err)
+		}
+		if _, used, err := unit.Run(cenv, cvm.Config{}); err != nil {
+			return VMCompileRow{}, fmt.Errorf("compiled: %w", err)
+		} else if used != vm.GasUsed() || string(cenv.output) != string(ienv.output) {
+			return VMCompileRow{}, fmt.Errorf("compiled diverges from interpreter (gas %d vs %d)", used, vm.GasUsed())
+		}
+	}
+
+	timeTier := func(run func(input []byte) error) (float64, error) {
+		start := time.Now()
+		for _, in := range inputs {
+			if err := run(in); err != nil {
+				return 0, err
+			}
+		}
+		return float64(txs) / time.Since(start).Seconds(), nil
+	}
+
+	var row VMCompileRow
+	row.Workload = name
+	buf := make([]byte, 8*cvm.PageSize)
+
+	if row.EVMTPS, err = timeTier(func(in []byte) error {
+		env := newVMEnv()
+		env.input = in
+		return evm.New(evmCode, env, evm.Config{}).Run()
+	}); err != nil {
+		return row, fmt.Errorf("evm: %w", err)
+	}
+	if row.InterpTPS, err = timeTier(func(in []byte) error {
+		env := newVMEnv()
+		env.input = in
+		_, err := cvm.NewVM(prog, env, cvm.Config{MemoryBuffer: buf}).Run()
+		return err
+	}); err != nil {
+		return row, fmt.Errorf("interp: %w", err)
+	}
+	if row.CompiledTPS, err = timeTier(func(in []byte) error {
+		env := newVMEnv()
+		env.input = in
+		_, _, err := unit.Run(env, cvm.Config{MemoryBuffer: buf})
+		return err
+	}); err != nil {
+		return row, fmt.Errorf("compiled: %w", err)
+	}
+	row.Speedup = row.CompiledTPS / row.InterpTPS
+	return row, nil
+}

@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"math/rand"
+	"testing"
+
+	"confide/internal/core"
+	"confide/internal/cvm"
+	"confide/internal/cvm/compile"
+	"confide/internal/workload"
+)
+
+func absSetup(b *testing.B) (*cvm.Program, *compile.Unit, [][]byte) {
+	b.Helper()
+	code, err := workload.CompileCVM(workload.ABSTransferFlatSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := cvm.LoadProgram(code, cvm.BuildOptions{Fuse: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	unit, err := compile.Compile(prog)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(33))
+	inputs := make([][]byte, 64)
+	for i := range inputs {
+		method, args := workload.ABSFlatInput(rng)
+		inputs[i] = core.EncodeInput(method, args...)
+	}
+	return prog, unit, inputs
+}
+
+func BenchmarkABSInterp(b *testing.B) {
+	prog, _, inputs := absSetup(b)
+	buf := make([]byte, 8*cvm.PageSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env := newVMEnv()
+		env.input = inputs[i%len(inputs)]
+		if _, err := cvm.NewVM(prog, env, cvm.Config{MemoryBuffer: buf}).Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkABSCompiled(b *testing.B) {
+	_, unit, inputs := absSetup(b)
+	buf := make([]byte, 8*cvm.PageSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env := newVMEnv()
+		env.input = inputs[i%len(inputs)]
+		if _, _, err := unit.Run(env, cvm.Config{MemoryBuffer: buf}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"confide/internal/chain"
 	"confide/internal/crypto"
 	"confide/internal/cvm"
+	"confide/internal/cvm/compile"
 	"confide/internal/evm"
 	"confide/internal/keyepoch"
 	"confide/internal/kms"
@@ -27,6 +28,12 @@ type Options struct {
 	PreVerify bool
 	// Fuse enables superinstruction fusion in CONFIDE-VM (OPT4).
 	Fuse bool
+	// Compile enables the CONFIDE-VM ahead-of-time compiler: at deploy time
+	// (and on first call) fused programs are lowered to closure-threaded
+	// code cached alongside the decoded form; programs the compiler
+	// declines fall back to the interpreter transparently. Requires
+	// CodeCache (compiled units live in its entries).
+	Compile bool
 	// GasLimit per transaction; 0 = VM default.
 	GasLimit uint64
 	// CodeCacheSize bounds the code cache; 0 = 128 programs.
@@ -40,7 +47,7 @@ type Options struct {
 // AllOptimizations turns every engine optimization on (the production
 // configuration).
 func AllOptimizations() Options {
-	return Options{CodeCache: true, MemPool: true, PreVerify: true, Fuse: true}
+	return Options{CodeCache: true, MemPool: true, PreVerify: true, Fuse: true, Compile: true}
 }
 
 // Engine executes smart-contract transactions. In confidential mode it is
@@ -302,6 +309,11 @@ func (e *Engine) DeployContract(addr chain.Address, owner chain.Address, vm VMKi
 		}
 		if err := cvm.AnalyzeProgram(prog); err != nil {
 			return fmt.Errorf("core: deploy: %w", err)
+		}
+		// Warm the code cache at deploy time so the compile cost (and the
+		// decline decision) is paid once, off the transaction path.
+		if e.opts.Compile && e.codeCache != nil {
+			_, _, _ = e.codeCache.LoadWithArtifact(code, cvm.BuildOptions{Fuse: e.opts.Fuse}, compileArtifact)
 		}
 	}
 	rec := &ContractRecord{VM: vm, Confidential: confidential, SecVer: secver, Owner: owner}
@@ -589,8 +601,21 @@ func (e *Engine) runContract(txc *txContext, addr chain.Address, input []byte, c
 	switch rec.VM {
 	case VMCVM:
 		var prog *cvm.Program
+		var unit *compile.Unit
 		if e.codeCache != nil {
-			prog, err = e.codeCache.Load(code, cvm.BuildOptions{Fuse: e.opts.Fuse})
+			var art any
+			if e.opts.Compile {
+				prog, art, err = e.codeCache.LoadWithArtifact(code, cvm.BuildOptions{Fuse: e.opts.Fuse}, compileArtifact)
+				if u, ok := art.(*compile.Unit); ok {
+					unit = u
+				} else if art != nil {
+					// Decline tombstone: decided once per code hash, every
+					// later invocation interprets without re-compiling.
+					compile.RecordFallbackRun()
+				}
+			} else {
+				prog, err = e.codeCache.Load(code, cvm.BuildOptions{Fuse: e.opts.Fuse})
+			}
 		} else {
 			prog, err = cvm.LoadProgram(code, cvm.BuildOptions{Fuse: e.opts.Fuse})
 		}
@@ -611,9 +636,16 @@ func (e *Engine) runContract(txc *txContext, addr chain.Address, input []byte, c
 			}
 			cfg.MemoryBuffer = pooled
 		}
-		vm := cvm.NewVM(prog, frame, cfg)
-		_, runErr := vm.Run()
-		txc.gasUsed += vm.GasUsed()
+		var runErr error
+		if unit != nil {
+			var used uint64
+			_, used, runErr = unit.Run(frame, cfg)
+			txc.gasUsed += used
+		} else {
+			vm := cvm.NewVM(prog, frame, cfg)
+			_, runErr = vm.Run()
+			txc.gasUsed += vm.GasUsed()
+		}
 		if pooled != nil {
 			if e.enclave != nil {
 				e.enclave.Pool().Put(pooled)

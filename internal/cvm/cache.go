@@ -23,6 +23,11 @@ type CodeCache struct {
 type cacheEntry struct {
 	key  [32]byte
 	prog *Program
+	// compiled holds the deploy-time compiled artifact (or a decline
+	// tombstone) attached by LoadWithArtifact; nil when no compile was
+	// attempted. It shares the entry's LRU slot so the enclave code-cache
+	// budget covers decoded and compiled forms together.
+	compiled any
 }
 
 // NewCodeCache creates a cache holding up to capacity programs.
@@ -40,15 +45,47 @@ func NewCodeCache(capacity int) *CodeCache {
 // Load returns the cached program for wire, building (and caching) it on
 // miss.
 func (c *CodeCache) Load(wire []byte, opts BuildOptions) (*Program, error) {
+	prog, _, err := c.LoadWithArtifact(wire, opts, nil)
+	return prog, err
+}
+
+// LoadWithArtifact is Load plus an attached build artifact: on miss (or on
+// a hit whose entry has no artifact yet) build is invoked with the decoded
+// program and its result — typically a compiled unit, or a decline
+// tombstone — is cached alongside. build runs outside the cache lock;
+// concurrent builders may race, in which case the first artifact stored
+// wins and the losers' results are dropped. A nil build leaves artifacts
+// untouched.
+func (c *CodeCache) LoadWithArtifact(wire []byte, opts BuildOptions, build func(*Program) any) (*Program, any, error) {
 	key := sha256.Sum256(wire)
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
 		c.order.MoveToFront(el)
 		c.hits++
-		prog := el.Value.(*cacheEntry).prog
+		e := el.Value.(*cacheEntry)
+		prog, art := e.prog, e.compiled
 		c.mu.Unlock()
 		mCacheHits.Inc()
-		return prog, nil
+		if art != nil || build == nil {
+			if art != nil && build != nil {
+				mCompiledHits.Inc()
+			}
+			return prog, art, nil
+		}
+		// The entry predates compilation (cached before Compile was
+		// enabled): attach the artifact once.
+		art = build(prog)
+		c.mu.Lock()
+		if el, ok := c.entries[key]; ok {
+			e := el.Value.(*cacheEntry)
+			if e.compiled == nil {
+				e.compiled = art
+			} else {
+				art = e.compiled
+			}
+		}
+		c.mu.Unlock()
+		return prog, art, nil
 	}
 	c.misses++
 	c.mu.Unlock()
@@ -56,23 +93,31 @@ func (c *CodeCache) Load(wire []byte, opts BuildOptions) (*Program, error) {
 
 	prog, err := LoadProgram(wire, opts)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
+	}
+	var art any
+	if build != nil {
+		art = build(prog)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.entries[key]; ok {
 		// Raced with another loader; keep the existing entry.
 		c.order.MoveToFront(el)
-		return el.Value.(*cacheEntry).prog, nil
+		e := el.Value.(*cacheEntry)
+		if e.compiled == nil && art != nil {
+			e.compiled = art
+		}
+		return e.prog, e.compiled, nil
 	}
-	el := c.order.PushFront(&cacheEntry{key: key, prog: prog})
+	el := c.order.PushFront(&cacheEntry{key: key, prog: prog, compiled: art})
 	c.entries[key] = el
 	if c.order.Len() > c.cap {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
 		delete(c.entries, oldest.Value.(*cacheEntry).key)
 	}
-	return prog, nil
+	return prog, art, nil
 }
 
 // Stats reports cache effectiveness.

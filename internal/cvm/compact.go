@@ -1,0 +1,42 @@
+package cvm
+
+// compact erases the nop slides the fusion pass leaves behind. Fusion
+// rewrites patterns in place so branch targets stay valid without fixup;
+// that keeps the pass simple but makes the interpreter pay a dispatch per
+// dead slot forever after. Compaction runs once at build time: it drops
+// every OpNop and rewrites the relative offset of each branch so control
+// flow lands on the same instructions. Nops are gas-free in the
+// interpreter, so erasing them changes neither gas accounting nor any
+// other observable behavior — only the dispatch count.
+func compact(code []Instr) []Instr {
+	// newIdx[i] = index of instruction i in the compacted code; for a nop
+	// that is the index of the next surviving instruction (a branch landing
+	// on a nop slides forward through it, so forwarding the target is
+	// exact). newIdx[len(code)] maps "branch to end" to the new end.
+	newIdx := make([]int, len(code)+1)
+	n := 0
+	for i, in := range code {
+		newIdx[i] = n
+		if in.Op != OpNop {
+			n++
+		}
+	}
+	newIdx[len(code)] = n
+	if n == len(code) {
+		return code
+	}
+
+	out := make([]Instr, 0, n)
+	for i, in := range code {
+		if in.Op == OpNop {
+			continue
+		}
+		switch in.Op {
+		case OpBr, OpBrIf, OpFusedBrLtU, OpFusedBrEqz, OpFusedBrNe:
+			oldTarget := i + 1 + int(in.A)
+			in.A = int64(newIdx[oldTarget] - (newIdx[i] + 1))
+		}
+		out = append(out, in)
+	}
+	return out
+}

@@ -1,0 +1,67 @@
+package compile
+
+import (
+	"errors"
+	"time"
+
+	"confide/internal/cvm"
+)
+
+// Compile lowers a decoded (and fused) program to a closure-threaded Unit.
+// It returns a declineError (inspect with Reason) when the program is
+// outside the compiler's envelope — unknown opcode, operand stacks deeper
+// than the register-frame bound, or oversized code — in which case the
+// caller keeps interpreting the program; a decline is never a deploy
+// failure.
+func Compile(p *cvm.Program) (*Unit, error) {
+	start := time.Now()
+	total := 0
+	irfs := make([]*irFunc, p.NumFuncs())
+	for fn := 0; fn < p.NumFuncs(); fn++ {
+		irf, err := lowerFunc(p, fn)
+		if err != nil {
+			countDecline(err)
+			return nil, err
+		}
+		irfs[fn] = irf
+		for _, b := range irf.blocks {
+			total += len(b.ops) + 1
+		}
+	}
+	if total > maxCompiledCode {
+		err := decline("code-size", "compiled code has %d ops, limit %d", total, maxCompiledCode)
+		countDecline(err)
+		return nil, err
+	}
+
+	u := &Unit{
+		fns:      make([]cfunc, len(irfs)),
+		memPages: p.MemPages(),
+		data:     p.DataSegments(),
+	}
+	for i, irf := range irfs {
+		u.fns[i] = buildFunc(u, irf)
+	}
+	mCompileSeconds.ObserveSince(start)
+	mCompiledUnits.Inc()
+	return u, nil
+}
+
+// Reason extracts the decline reason label ("opcode", "stack-depth",
+// "stack-analysis", "code-size") from a Compile error, or "" when err is
+// not a decline.
+func Reason(err error) string {
+	var d *declineError
+	if errors.As(err, &d) {
+		return d.reason
+	}
+	return ""
+}
+
+func countDecline(err error) {
+	reason := Reason(err)
+	if reason == "" {
+		reason = "other"
+	}
+	declineCounter(reason).Inc()
+}

@@ -1,0 +1,977 @@
+package compile
+
+import (
+	"fmt"
+
+	"confide/internal/cvm"
+)
+
+// machine is one compiled invocation's runtime state — the compiled
+// counterpart of the interpreter's VM. One global budget replaces the
+// interpreter's per-frame budget locals: the interpreter reconciles its
+// frame budgets through vm.gasUsed at every call and host boundary, so a
+// single running budget observes identical values at every observable
+// point.
+type machine struct {
+	env      cvm.Env
+	mem      []byte
+	budget   uint64
+	gasLimit uint64
+	depth    int
+	ret      int64
+	// frames is the register arena: every call's frame is a slice of this
+	// slab, bump-allocated at fp. Growing swaps in a fresh slab without
+	// copying — live frames keep referencing their original backing arrays
+	// through their own slices, and each frame is only ever touched through
+	// its slice.
+	frames []int64
+	fp     int
+	// hostArgs is scratch for host-call arguments (max arity 5). Reuse is
+	// safe: a nested contract call runs on its own machine.
+	hostArgs [8]int64
+}
+
+// alloc bump-allocates an n-register frame. The caller must release it by
+// subtracting n from m.fp after the callee returns.
+func (m *machine) alloc(n int) []int64 {
+	if m.fp+n > len(m.frames) {
+		grow := 2 * len(m.frames)
+		if grow < m.fp+n {
+			grow = m.fp + n
+		}
+		m.frames = make([]int64, grow)
+	}
+	f := m.frames[m.fp : m.fp+n]
+	m.fp += n
+	return f
+}
+
+func (m *machine) charge(cost uint64) error {
+	if m.budget < cost {
+		m.budget = 0
+		return cvm.ErrOutOfGas
+	}
+	m.budget -= cost
+	return nil
+}
+
+// step is one compiled operation (a charge region, a host call or a
+// contract call).
+type step func(m *machine, r []int64) error
+
+// termFn ends a block: returns the next block index, or a negative index
+// to return from the function.
+type termFn func(m *machine, r []int64) (int, error)
+
+type cfunc struct {
+	params, locals, results int
+	regCount                int
+	// blocks holds one composed closure per basic block: all steps plus the
+	// terminator fused into a single call.
+	blocks []termFn
+}
+
+// Unit is a compiled program: every function lowered to closure-threaded
+// blocks. A Unit is immutable after Compile and safe for concurrent Runs
+// (all mutable state lives in the per-invocation machine).
+type Unit struct {
+	fns      []cfunc
+	memPages int
+	data     []cvm.DataSegment
+}
+
+// Run invokes compiled function 0 ("invoke") — the drop-in counterpart of
+// cvm.VM.Run plus NewVM, returning the entry result and the gas consumed.
+func (u *Unit) Run(env cvm.Env, cfg cvm.Config, args ...int64) (ret int64, gasUsed uint64, err error) {
+	cvm.RecordRunStart()
+	mCompiledRuns.Inc()
+	defer func() { cvm.RecordRunEnd(gasUsed) }()
+
+	f := &u.fns[0]
+	if len(args) != f.params {
+		return 0, 0, fmt.Errorf("cvm: entry wants %d args, got %d", f.params, len(args))
+	}
+	gas := cfg.GasLimit
+	if gas == 0 {
+		gas = cvm.DefaultGasLimit
+	}
+	need := u.memPages * cvm.PageSize
+	var mem []byte
+	if cfg.MemoryBuffer != nil && cap(cfg.MemoryBuffer) >= need {
+		mem = cfg.MemoryBuffer[:need]
+		for i := range mem {
+			mem[i] = 0
+		}
+	} else {
+		mem = make([]byte, need)
+	}
+	for _, d := range u.data {
+		copy(mem[d.Offset:], d.Bytes)
+	}
+
+	m := &machine{env: env, mem: mem, budget: gas, gasLimit: gas}
+	m.frames = make([]int64, f.regCount+256)
+	r := m.frames[:f.regCount]
+	m.fp = f.regCount
+	copy(r, args)
+	err = u.runFunc(m, 0, r)
+	gasUsed = m.gasLimit - m.budget
+	if err != nil {
+		return 0, gasUsed, err
+	}
+	if f.results == 1 {
+		ret = m.ret
+	}
+	return ret, gasUsed, nil
+}
+
+// runFunc threads the block closures of one function. Depth accounting
+// matches the interpreter: incremented before the check so the 65th
+// nested call traps, before any callee gas is charged.
+func (u *Unit) runFunc(m *machine, fn int, r []int64) error {
+	m.depth++
+	if m.depth > cvm.MaxCallDepth {
+		return fmt.Errorf("%w: call depth exceeded", cvm.ErrTrap)
+	}
+	blocks := u.fns[fn].blocks
+	bi := 0
+	for {
+		next, err := blocks[bi](m, r)
+		if err != nil {
+			return err
+		}
+		if next < 0 {
+			m.depth--
+			return nil
+		}
+		bi = next
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Charge regions
+//
+// Ops are grouped into REGIONS: maximal runs of pure and memory-effect ops
+// (everything except host and contract calls, whose gas state is
+// observable by the environment). A region pays ONE combined gas charge up
+// front, which is observably identical to the interpreter's stepwise
+// charges:
+//
+//   - Out-of-gas is total: ErrOutOfGas always reports gasUsed = gasLimit
+//     and the failed run's memory and registers are discarded.
+//   - Traps are position-exact: the interpreter reports the gas consumed
+//     up to and including the trapping instruction. A region op that traps
+//     therefore refunds the unexecuted suffix cost, reconstructing the
+//     interpreter's trap-point gas exactly.
+//   - A combined charge that fails must not decide the OOG-vs-trap
+//     outcome (an op might trap before the interpreter would exhaust the
+//     budget), so a region whose total exceeds the remaining budget drops
+//     to a stepwise slow path charging op by op. That path runs at most
+//     once per execution: a region is straight-line code, so a short
+//     budget can only end in out-of-gas or a trap inside it.
+//
+// Inside a region, ops are a flat rop array executed by one jump-table
+// switch — the per-op indirect closure call would otherwise dominate
+// tight loops. Blocks, terminators, host calls and contract calls remain
+// closure-threaded.
+// ---------------------------------------------------------------------------
+
+// rop codes. Binary op codes are contiguous in the interpreter opcode
+// order so binCode can derive them.
+const (
+	rMovImm = iota
+	rMov
+	rEqz
+	rSelect
+	// register-register binary ops
+	rAdd
+	rSub
+	rMul
+	rAnd
+	rOr
+	rXor
+	rShl
+	rShrS
+	rShrU
+	rEq
+	rNe
+	rLtS
+	rLtU
+	rGtS
+	rGtU
+	rLeS
+	rLeU
+	rGeS
+	rGeU
+	// register-immediate binary ops (same order, offset by rImmOff)
+	rAddI
+	rSubI
+	rMulI
+	rAndI
+	rOrI
+	rXorI
+	rShlI
+	rShrSI
+	rShrUI
+	rEqI
+	rNeI
+	rLtSI
+	rLtUI
+	rGtSI
+	rGtUI
+	rLeSI
+	rLeUI
+	rGeSI
+	rGeUI
+	// trapping / memory ops
+	rDivS
+	rDivU
+	rRemS
+	rRemU
+	rLoad
+	rStore
+	rLoad8
+	rStore8
+	rMemSize
+	rMemGrow
+	rMemCopy
+	rMemFill
+	// fused pairs: an add feeding an in-place load collapses to one op
+	// (the shape of every byte-scan loop: mem[base+i])
+	rLoad8AB
+	rLoadAB
+)
+
+const rImmOff = rAddI - rAdd
+
+// rop is one region op in flat executable form.
+type rop struct {
+	code         uint8
+	dst, a, b, c int32
+	imm          int64
+	// cost is this op's own charge (slow path only).
+	cost uint64
+	// refund is the cost of everything after this op in its region
+	// (including any merged terminator cost) — returned to the budget when
+	// this op traps, so trap-point gas matches the interpreter.
+	refund uint64
+}
+
+// binCode maps a binary opcode to its register-register rop code.
+func binCode(op cvm.Op) uint8 {
+	switch op {
+	case cvm.OpI64Add:
+		return rAdd
+	case cvm.OpI64Sub:
+		return rSub
+	case cvm.OpI64Mul:
+		return rMul
+	case cvm.OpI64And:
+		return rAnd
+	case cvm.OpI64Or:
+		return rOr
+	case cvm.OpI64Xor:
+		return rXor
+	case cvm.OpI64Shl:
+		return rShl
+	case cvm.OpI64ShrS:
+		return rShrS
+	case cvm.OpI64ShrU:
+		return rShrU
+	case cvm.OpI64Eq:
+		return rEq
+	case cvm.OpI64Ne:
+		return rNe
+	case cvm.OpI64LtS:
+		return rLtS
+	case cvm.OpI64LtU:
+		return rLtU
+	case cvm.OpI64GtS:
+		return rGtS
+	case cvm.OpI64GtU:
+		return rGtU
+	case cvm.OpI64LeS:
+		return rLeS
+	case cvm.OpI64LeU:
+		return rLeU
+	case cvm.OpI64GeS:
+		return rGeS
+	case cvm.OpI64GeU:
+		return rGeU
+	}
+	panic("compile: binCode on " + op.Name())
+}
+
+// encodeOp flattens one IR op to a rop (refund filled in by encodeRegion).
+func encodeOp(op irOp) rop {
+	e := rop{dst: int32(op.dst), a: int32(op.a), b: int32(op.b), c: int32(op.c), imm: op.imm, cost: op.cost}
+	switch op.kind {
+	case irMovImm:
+		e.code = rMovImm
+	case irMov:
+		e.code = rMov
+	case irEqz:
+		e.code = rEqz
+	case irSelect:
+		e.code = rSelect
+	case irBin:
+		e.code = binCode(op.op)
+	case irBinImm:
+		e.code = binCode(op.op) + rImmOff
+		switch op.op {
+		case cvm.OpI64Shl, cvm.OpI64ShrS, cvm.OpI64ShrU:
+			e.imm = int64(uint64(op.imm) & 63)
+		}
+	case irDiv:
+		switch op.op {
+		case cvm.OpI64DivS:
+			e.code = rDivS
+		case cvm.OpI64DivU:
+			e.code = rDivU
+		case cvm.OpI64RemS:
+			e.code = rRemS
+		default: // OpI64RemU
+			e.code = rRemU
+		}
+	case irLoad:
+		e.code = rLoad
+	case irStore:
+		e.code = rStore
+	case irLoad8:
+		e.code = rLoad8
+	case irStore8:
+		e.code = rStore8
+	case irMemSize:
+		e.code = rMemSize
+	case irMemGrow:
+		e.code = rMemGrow
+	case irMemCopy:
+		e.code = rMemCopy
+	case irMemFill:
+		e.code = rMemFill
+	default:
+		panic("compile: encodeOp on non-region op")
+	}
+	return e
+}
+
+// encodeRegion flattens a region, fuses add+load pairs, and computes
+// suffix refunds and the combined cost (including any merged terminator
+// cost). Fusing a pure add into the in-place load consuming its result is
+// gas-exact: the pair's cost accumulates on the fused op, and if the load
+// traps the interpreter would have consumed both charges too.
+func encodeRegion(ops []irOp, termCost uint64) ([]rop, uint64) {
+	rops := make([]rop, 0, len(ops))
+	for _, op := range ops {
+		e := encodeOp(op)
+		if (e.code == rLoad8 || e.code == rLoad) && e.dst == e.a && len(rops) > 0 {
+			l := &rops[len(rops)-1]
+			// An in-place load always targets the stack top, so a previous
+			// op writing that slot is its sole producer and its value has
+			// no other reader.
+			if l.code == rAdd && l.dst == e.a {
+				fused := rLoad8AB
+				if e.code == rLoad {
+					fused = rLoadAB
+				}
+				*l = rop{code: uint8(fused), dst: e.dst, a: l.a, b: l.b, imm: e.imm, cost: l.cost + e.cost}
+				continue
+			}
+		}
+		rops = append(rops, e)
+	}
+	suffix := termCost
+	for i := len(rops) - 1; i >= 0; i-- {
+		rops[i].refund = suffix
+		suffix += rops[i].cost
+	}
+	return rops, suffix
+}
+
+// runOps executes a region's ops without charging. On a trap it returns
+// the trapping op's index so the caller can decide whether to refund
+// (fast path) or not (stepwise slow path).
+func runOps(m *machine, r []int64, ops []rop) (int, error) {
+	for i := range ops {
+		op := &ops[i]
+		switch op.code {
+		case rMovImm:
+			r[op.dst] = op.imm
+		case rMov:
+			r[op.dst] = r[op.a]
+		case rEqz:
+			r[op.dst] = b2i(r[op.a] == 0)
+		case rSelect:
+			if r[op.c] != 0 {
+				r[op.dst] = r[op.a]
+			} else {
+				r[op.dst] = r[op.b]
+			}
+
+		case rAdd:
+			r[op.dst] = r[op.a] + r[op.b]
+		case rSub:
+			r[op.dst] = r[op.a] - r[op.b]
+		case rMul:
+			r[op.dst] = r[op.a] * r[op.b]
+		case rAnd:
+			r[op.dst] = r[op.a] & r[op.b]
+		case rOr:
+			r[op.dst] = r[op.a] | r[op.b]
+		case rXor:
+			r[op.dst] = r[op.a] ^ r[op.b]
+		case rShl:
+			r[op.dst] = r[op.a] << (uint64(r[op.b]) & 63)
+		case rShrS:
+			r[op.dst] = r[op.a] >> (uint64(r[op.b]) & 63)
+		case rShrU:
+			r[op.dst] = int64(uint64(r[op.a]) >> (uint64(r[op.b]) & 63))
+		case rEq:
+			r[op.dst] = b2i(r[op.a] == r[op.b])
+		case rNe:
+			r[op.dst] = b2i(r[op.a] != r[op.b])
+		case rLtS:
+			r[op.dst] = b2i(r[op.a] < r[op.b])
+		case rLtU:
+			r[op.dst] = b2i(uint64(r[op.a]) < uint64(r[op.b]))
+		case rGtS:
+			r[op.dst] = b2i(r[op.a] > r[op.b])
+		case rGtU:
+			r[op.dst] = b2i(uint64(r[op.a]) > uint64(r[op.b]))
+		case rLeS:
+			r[op.dst] = b2i(r[op.a] <= r[op.b])
+		case rLeU:
+			r[op.dst] = b2i(uint64(r[op.a]) <= uint64(r[op.b]))
+		case rGeS:
+			r[op.dst] = b2i(r[op.a] >= r[op.b])
+		case rGeU:
+			r[op.dst] = b2i(uint64(r[op.a]) >= uint64(r[op.b]))
+
+		case rAddI:
+			r[op.dst] = r[op.a] + op.imm
+		case rSubI:
+			r[op.dst] = r[op.a] - op.imm
+		case rMulI:
+			r[op.dst] = r[op.a] * op.imm
+		case rAndI:
+			r[op.dst] = r[op.a] & op.imm
+		case rOrI:
+			r[op.dst] = r[op.a] | op.imm
+		case rXorI:
+			r[op.dst] = r[op.a] ^ op.imm
+		case rShlI:
+			r[op.dst] = r[op.a] << uint64(op.imm)
+		case rShrSI:
+			r[op.dst] = r[op.a] >> uint64(op.imm)
+		case rShrUI:
+			r[op.dst] = int64(uint64(r[op.a]) >> uint64(op.imm))
+		case rEqI:
+			r[op.dst] = b2i(r[op.a] == op.imm)
+		case rNeI:
+			r[op.dst] = b2i(r[op.a] != op.imm)
+		case rLtSI:
+			r[op.dst] = b2i(r[op.a] < op.imm)
+		case rLtUI:
+			r[op.dst] = b2i(uint64(r[op.a]) < uint64(op.imm))
+		case rGtSI:
+			r[op.dst] = b2i(r[op.a] > op.imm)
+		case rGtUI:
+			r[op.dst] = b2i(uint64(r[op.a]) > uint64(op.imm))
+		case rLeSI:
+			r[op.dst] = b2i(r[op.a] <= op.imm)
+		case rLeUI:
+			r[op.dst] = b2i(uint64(r[op.a]) <= uint64(op.imm))
+		case rGeSI:
+			r[op.dst] = b2i(r[op.a] >= op.imm)
+		case rGeUI:
+			r[op.dst] = b2i(uint64(r[op.a]) >= uint64(op.imm))
+
+		case rDivS:
+			bv := r[op.b]
+			if bv == 0 {
+				return i, fmt.Errorf("%w: division by zero", cvm.ErrTrap)
+			}
+			r[op.dst] = r[op.a] / bv
+		case rDivU:
+			bv := r[op.b]
+			if bv == 0 {
+				return i, fmt.Errorf("%w: division by zero", cvm.ErrTrap)
+			}
+			r[op.dst] = int64(uint64(r[op.a]) / uint64(bv))
+		case rRemS:
+			bv := r[op.b]
+			if bv == 0 {
+				return i, fmt.Errorf("%w: division by zero", cvm.ErrTrap)
+			}
+			r[op.dst] = r[op.a] % bv
+		case rRemU:
+			bv := r[op.b]
+			if bv == 0 {
+				return i, fmt.Errorf("%w: division by zero", cvm.ErrTrap)
+			}
+			r[op.dst] = int64(uint64(r[op.a]) % uint64(bv))
+
+		case rLoad:
+			v, err := cvm.LoadU64(m.mem, r[op.a]+op.imm)
+			if err != nil {
+				return i, err
+			}
+			r[op.dst] = v
+		case rStore:
+			if err := cvm.StoreU64(m.mem, r[op.a]+op.imm, r[op.b]); err != nil {
+				return i, err
+			}
+		case rLoad8:
+			addr := r[op.a] + op.imm
+			if addr < 0 || addr >= int64(len(m.mem)) {
+				return i, fmt.Errorf("%w: load8 at %d out of bounds", cvm.ErrTrap, addr)
+			}
+			r[op.dst] = int64(m.mem[addr])
+		case rLoad8AB:
+			addr := r[op.a] + r[op.b] + op.imm
+			if addr < 0 || addr >= int64(len(m.mem)) {
+				return i, fmt.Errorf("%w: load8 at %d out of bounds", cvm.ErrTrap, addr)
+			}
+			r[op.dst] = int64(m.mem[addr])
+		case rLoadAB:
+			v, err := cvm.LoadU64(m.mem, r[op.a]+r[op.b]+op.imm)
+			if err != nil {
+				return i, err
+			}
+			r[op.dst] = v
+		case rStore8:
+			addr := r[op.a] + op.imm
+			if addr < 0 || addr >= int64(len(m.mem)) {
+				return i, fmt.Errorf("%w: store8 at %d out of bounds", cvm.ErrTrap, addr)
+			}
+			m.mem[addr] = byte(r[op.b])
+
+		case rMemSize:
+			r[op.dst] = int64(len(m.mem) / cvm.PageSize)
+		case rMemGrow:
+			delta := r[op.a]
+			old := int64(len(m.mem) / cvm.PageSize)
+			if delta < 0 || delta > cvm.MaxMemPages || old+delta > cvm.MaxMemPages {
+				r[op.dst] = -1
+			} else {
+				m.mem = append(m.mem, make([]byte, delta*cvm.PageSize)...)
+				r[op.dst] = old
+			}
+		case rMemCopy:
+			dst, src, n := r[op.a], r[op.b], r[op.c]
+			if n < 0 || src < 0 || dst < 0 ||
+				n > int64(len(m.mem))-src || n > int64(len(m.mem))-dst {
+				return i, fmt.Errorf("%w: memory.copy out of bounds", cvm.ErrTrap)
+			}
+			copy(m.mem[dst:dst+n], m.mem[src:src+n])
+		case rMemFill:
+			dst, val, n := r[op.a], r[op.b], r[op.c]
+			if n < 0 || dst < 0 || n > int64(len(m.mem))-dst {
+				return i, fmt.Errorf("%w: memory.fill out of bounds", cvm.ErrTrap)
+			}
+			for j := dst; j < dst+n; j++ {
+				m.mem[j] = byte(val)
+			}
+		}
+	}
+	return 0, nil
+}
+
+// slowRegion executes a region charging each op individually — the exact
+// interpreter schedule, used when the budget cannot cover the region.
+func slowRegion(m *machine, r []int64, rops []rop, termCost uint64) error {
+	for i := range rops {
+		if err := m.charge(rops[i].cost); err != nil {
+			return err
+		}
+		if _, err := runOps(m, r, rops[i:i+1]); err != nil {
+			return err
+		}
+	}
+	return m.charge(termCost)
+}
+
+// regionStep compiles a mid-block charge region (one followed by a host
+// or contract call).
+func regionStep(ops []irOp) step {
+	rops, total := encodeRegion(ops, 0)
+	return func(m *machine, r []int64) error {
+		if m.budget < total {
+			return slowRegion(m, r, rops, 0)
+		}
+		m.budget -= total
+		if i, err := runOps(m, r, rops); err != nil {
+			m.budget += rops[i].refund
+			return err
+		}
+		return nil
+	}
+}
+
+// regionTerm fuses a block's trailing charge region with its terminator:
+// the region's combined charge covers the terminator's cost. Conditional
+// terminators — the shape of every loop back-edge — evaluate their
+// predicate inline instead of through a separate terminator closure, and
+// a branch back to this same block (self, -1 when the block has other
+// steps) iterates inside the closure without re-dispatching through
+// runFunc.
+func regionTerm(ops []irOp, t irTerm, self int) termFn {
+	termCost := t.cost
+	t.cost = 0
+	rops, total := encodeRegion(ops, termCost)
+	if t.kind == tCond {
+		pred := makePred(t)
+		taken, takenRet, fall, fallRet := t.taken, t.takenRet, t.fall, t.fallRet
+		loopTaken, loopFall := taken == self && self >= 0, fall == self && self >= 0
+		return func(m *machine, r []int64) (int, error) {
+			for {
+				if m.budget < total {
+					if err := slowRegion(m, r, rops, termCost); err != nil {
+						return 0, err
+					}
+				} else {
+					m.budget -= total
+					if i, err := runOps(m, r, rops); err != nil {
+						m.budget += rops[i].refund
+						return 0, err
+					}
+				}
+				if pred(r) {
+					if loopTaken {
+						continue
+					}
+					if taken < 0 {
+						if takenRet >= 0 {
+							m.ret = r[takenRet]
+						}
+						return -1, nil
+					}
+					return taken, nil
+				}
+				if loopFall {
+					continue
+				}
+				if fall < 0 {
+					if fallRet >= 0 {
+						m.ret = r[fallRet]
+					}
+					return -1, nil
+				}
+				return fall, nil
+			}
+		}
+	}
+	tf := buildTerm(t)
+	return func(m *machine, r []int64) (int, error) {
+		if m.budget < total {
+			if err := slowRegion(m, r, rops, termCost); err != nil {
+				return 0, err
+			}
+			return tf(m, r)
+		}
+		m.budget -= total
+		if i, err := runOps(m, r, rops); err != nil {
+			m.budget += rops[i].refund
+			return 0, err
+		}
+		return tf(m, r)
+	}
+}
+
+// buildFunc converts lowered IR into closure chains: one closure per
+// block, charge regions inside it, host/contract calls as their own
+// steps.
+func buildFunc(u *Unit, irf *irFunc) cfunc {
+	cf := cfunc{
+		params:   irf.params,
+		locals:   irf.locals,
+		results:  irf.results,
+		regCount: irf.regCount,
+	}
+	for bi, blk := range irf.blocks {
+		var steps []step
+		var region []irOp
+		for _, op := range blk.ops {
+			if op.kind == irHost || op.kind == irCall {
+				if len(region) > 0 {
+					steps = append(steps, regionStep(region))
+					region = nil
+				}
+				steps = append(steps, effStep(u, op))
+				continue
+			}
+			region = append(region, op)
+		}
+		var tf termFn
+		if len(region) > 0 {
+			// A block with host/call steps must re-run them on a
+			// back-edge through normal dispatch, so only pure blocks
+			// self-loop inside their closure.
+			self := -1
+			if len(steps) == 0 {
+				self = bi
+			}
+			tf = regionTerm(region, blk.term, self)
+		} else {
+			tf = buildTerm(blk.term)
+		}
+		cf.blocks = append(cf.blocks, composeBlock(steps, tf))
+	}
+	return cf
+}
+
+// composeBlock fuses a block's steps and terminator into one closure so
+// runFunc makes a single call per block.
+func composeBlock(steps []step, tf termFn) termFn {
+	switch len(steps) {
+	case 0:
+		return tf
+	case 1:
+		s0 := steps[0]
+		return func(m *machine, r []int64) (int, error) {
+			if err := s0(m, r); err != nil {
+				return 0, err
+			}
+			return tf(m, r)
+		}
+	case 2:
+		s0, s1 := steps[0], steps[1]
+		return func(m *machine, r []int64) (int, error) {
+			if err := s0(m, r); err != nil {
+				return 0, err
+			}
+			if err := s1(m, r); err != nil {
+				return 0, err
+			}
+			return tf(m, r)
+		}
+	default:
+		return func(m *machine, r []int64) (int, error) {
+			for _, s := range steps {
+				if err := s(m, r); err != nil {
+					return 0, err
+				}
+			}
+			return tf(m, r)
+		}
+	}
+}
+
+// effStep compiles a host or contract call — the two effectful ops whose
+// gas state is observable by the environment and which therefore carry
+// their own charges (exactly where the interpreter places them: the
+// instruction charge up front, the host surcharge after).
+func effStep(u *Unit, op irOp) step {
+	cost := op.cost
+	switch op.kind {
+	case irHost:
+		idx := cvm.HostIndex(op.imm)
+		nargs, nres, hgas := cvm.HostSig(idx)
+		base, d := op.a, op.dst
+		return func(m *machine, r []int64) error {
+			if err := m.charge(cost); err != nil {
+				return err
+			}
+			if err := m.charge(hgas); err != nil {
+				return err
+			}
+			args := m.hostArgs[:nargs]
+			copy(args, r[base:base+nargs])
+			ret, err := cvm.DispatchHost(m.env, m.mem, idx, args)
+			if err != nil {
+				return err
+			}
+			if nres == 1 {
+				r[d] = ret
+			}
+			return nil
+		}
+
+	case irCall:
+		callee := int(op.imm)
+		base, d := op.a, op.dst
+		return func(m *machine, r []int64) error {
+			if err := m.charge(cost); err != nil {
+				return err
+			}
+			f := &u.fns[callee]
+			// Frames come from the bump arena, which reuses memory across
+			// sibling calls: params are copied in, remaining locals are
+			// zeroed explicitly, and stack registers may stay dirty — the
+			// height dataflow guarantees every stack slot is written before
+			// it is read on every path.
+			rr := m.alloc(f.regCount)
+			copy(rr, r[base:base+f.params])
+			for i := f.params; i < f.locals; i++ {
+				rr[i] = 0
+			}
+			err := u.runFunc(m, callee, rr)
+			m.fp -= f.regCount
+			if err != nil {
+				return err
+			}
+			if f.results == 1 {
+				r[d] = m.ret
+			}
+			return nil
+		}
+	}
+	panic("compile: effStep on non-boundary op")
+}
+
+// buildTerm compiles a block terminator. Zero-cost variants exist for
+// every kind because regionTerm merges the terminator's cost into the
+// preceding region's charge.
+func buildTerm(t irTerm) termFn {
+	cost := t.cost
+	switch t.kind {
+	case tTrap:
+		return func(m *machine, r []int64) (int, error) {
+			if err := m.charge(cost); err != nil {
+				return 0, err
+			}
+			return 0, fmt.Errorf("%w: unreachable executed", cvm.ErrTrap)
+		}
+
+	case tJump:
+		taken, takenRet := t.taken, t.takenRet
+		if taken >= 0 {
+			if cost == 0 {
+				return func(m *machine, r []int64) (int, error) { return taken, nil }
+			}
+			return func(m *machine, r []int64) (int, error) {
+				if err := m.charge(cost); err != nil {
+					return 0, err
+				}
+				return taken, nil
+			}
+		}
+		if takenRet >= 0 {
+			if cost == 0 {
+				return func(m *machine, r []int64) (int, error) {
+					m.ret = r[takenRet]
+					return -1, nil
+				}
+			}
+			return func(m *machine, r []int64) (int, error) {
+				if err := m.charge(cost); err != nil {
+					return 0, err
+				}
+				m.ret = r[takenRet]
+				return -1, nil
+			}
+		}
+		if cost == 0 {
+			return func(m *machine, r []int64) (int, error) { return -1, nil }
+		}
+		return func(m *machine, r []int64) (int, error) {
+			if err := m.charge(cost); err != nil {
+				return 0, err
+			}
+			return -1, nil
+		}
+
+	case tCond:
+		pred := makePred(t)
+		taken, takenRet, fall, fallRet := t.taken, t.takenRet, t.fall, t.fallRet
+		if cost == 0 {
+			return func(m *machine, r []int64) (int, error) {
+				if pred(r) {
+					if taken < 0 {
+						if takenRet >= 0 {
+							m.ret = r[takenRet]
+						}
+						return -1, nil
+					}
+					return taken, nil
+				}
+				if fall < 0 {
+					if fallRet >= 0 {
+						m.ret = r[fallRet]
+					}
+					return -1, nil
+				}
+				return fall, nil
+			}
+		}
+		return func(m *machine, r []int64) (int, error) {
+			if err := m.charge(cost); err != nil {
+				return 0, err
+			}
+			if pred(r) {
+				if taken < 0 {
+					if takenRet >= 0 {
+						m.ret = r[takenRet]
+					}
+					return -1, nil
+				}
+				return taken, nil
+			}
+			if fall < 0 {
+				if fallRet >= 0 {
+					m.ret = r[fallRet]
+				}
+				return -1, nil
+			}
+			return fall, nil
+		}
+	}
+	panic("compile: unknown terminator kind")
+}
+
+// makePred compiles a conditional terminator's predicate.
+func makePred(t irTerm) func(r []int64) bool {
+	a, b, k := t.a, t.b, t.imm
+	if t.bImm {
+		switch t.op {
+		case cvm.OpI64Eq:
+			return func(r []int64) bool { return r[a] == k }
+		case cvm.OpI64Ne:
+			return func(r []int64) bool { return r[a] != k }
+		case cvm.OpI64LtS:
+			return func(r []int64) bool { return r[a] < k }
+		case cvm.OpI64LtU:
+			return func(r []int64) bool { return uint64(r[a]) < uint64(k) }
+		case cvm.OpI64GtS:
+			return func(r []int64) bool { return r[a] > k }
+		case cvm.OpI64GtU:
+			return func(r []int64) bool { return uint64(r[a]) > uint64(k) }
+		case cvm.OpI64LeS:
+			return func(r []int64) bool { return r[a] <= k }
+		case cvm.OpI64LeU:
+			return func(r []int64) bool { return uint64(r[a]) <= uint64(k) }
+		case cvm.OpI64GeS:
+			return func(r []int64) bool { return r[a] >= k }
+		case cvm.OpI64GeU:
+			return func(r []int64) bool { return uint64(r[a]) >= uint64(k) }
+		}
+		panic("compile: makePred imm on " + t.op.Name())
+	}
+	switch t.op {
+	case cvm.OpBrIf:
+		return func(r []int64) bool { return r[a] != 0 }
+	case cvm.OpI64Eqz:
+		return func(r []int64) bool { return r[a] == 0 }
+	case cvm.OpI64Eq:
+		return func(r []int64) bool { return r[a] == r[b] }
+	case cvm.OpI64Ne:
+		return func(r []int64) bool { return r[a] != r[b] }
+	case cvm.OpI64LtS:
+		return func(r []int64) bool { return r[a] < r[b] }
+	case cvm.OpI64LtU:
+		return func(r []int64) bool { return uint64(r[a]) < uint64(r[b]) }
+	case cvm.OpI64GtS:
+		return func(r []int64) bool { return r[a] > r[b] }
+	case cvm.OpI64GtU:
+		return func(r []int64) bool { return uint64(r[a]) > uint64(r[b]) }
+	case cvm.OpI64LeS:
+		return func(r []int64) bool { return r[a] <= r[b] }
+	case cvm.OpI64LeU:
+		return func(r []int64) bool { return uint64(r[a]) <= uint64(r[b]) }
+	case cvm.OpI64GeS:
+		return func(r []int64) bool { return r[a] >= r[b] }
+	case cvm.OpI64GeU:
+		return func(r []int64) bool { return uint64(r[a]) >= uint64(r[b]) }
+	}
+	panic("compile: makePred on " + t.op.Name())
+}

@@ -1,0 +1,181 @@
+// Package compile is the CONFIDE-VM ahead-of-time compiler: a deploy-time
+// pipeline that lowers decoded (and fused) CVM programs through a small
+// register-based IR into closure-threaded Go code, eliminating the
+// interpreter's per-instruction switch dispatch and operand-stack traffic.
+//
+// The pipeline per function:
+//
+//  1. Stack elimination. The same exact-height dataflow the deploy gate
+//     runs (cvm.AnalyzeProgram) proves the operand-stack height at every
+//     reachable instruction. Heights are static, so operand-stack slot i
+//     becomes virtual register numLocals+i in a flat per-call frame; all
+//     push/pop traffic disappears.
+//  2. Lowering to IR with peephole folding: local.get/i64.const feeding a
+//     pure binary op fold into the op's operands, const-const operations
+//     fold to constants, compares feeding a conditional branch fold into
+//     compare-and-branch terminators, and the fusion pass's nop slides
+//     (already compacted at build time) never reach the IR.
+//  3. Closure threading. Each basic block becomes a chain of Go closures —
+//     runs of pure IR ops merge into single closures with one combined gas
+//     charge — ended by a terminator closure that picks the next block.
+//
+// Determinism is the contract: compiled execution must be a drop-in
+// semantic clone of the interpreter — identical results, identical trap
+// messages, identical host-call sequences and identical gas accounting —
+// so replicas mixing compiled and interpreted execution stay
+// byte-identical. The argument is structural: trapping and effectful ops
+// (loads, stores, div, host calls, calls) keep their exact interpreter
+// charge sequence and share the interpreter's bounds checks and host
+// dispatch (cvm.LoadU64, cvm.DispatchHost); only pure, non-trapping ops
+// are merged, and an out-of-gas inside a pure run is unobservable because
+// ErrOutOfGas always reports gasUsed = gasLimit and failed transactions
+// discard all writes. FuzzCompiledVsInterp checks the claim differentially
+// rather than trusting the inspection.
+package compile
+
+import "confide/internal/cvm"
+
+// irKind discriminates IR operations. Registers are indices into the
+// per-call frame: [0, locals) are the function's locals (parameters
+// first), [locals, regCount) are materialized operand-stack slots.
+type irKind uint8
+
+const (
+	// Pure, non-trapping ops: mergeable into closure runs.
+	irMov    irKind = iota // r[dst] = r[a]
+	irMovImm               // r[dst] = imm
+	irBin                  // r[dst] = r[a] <op> r[b]
+	irBinImm               // r[dst] = r[a] <op> imm
+	irEqz                  // r[dst] = (r[a] == 0)
+	irSelect               // r[dst] = r[c] != 0 ? r[a] : r[b]
+
+	// Effectful / trapping ops: one closure each, exact charge sequence.
+	irDiv     // r[dst] = r[a] <op> r[b]; traps on zero divisor
+	irLoad    // r[dst] = mem64[r[a]+imm]
+	irStore   // mem64[r[a]+imm] = r[b]
+	irLoad8   // r[dst] = mem8[r[a]+imm]
+	irStore8  // mem8[r[a]+imm] = r[b]
+	irMemSize // r[dst] = pages
+	irMemGrow // r[dst] = grow(r[a])
+	irMemCopy // copy(dst=r[a], src=r[b], n=r[c])
+	irMemFill // fill(dst=r[a], val=r[b], n=r[c])
+	irHost    // host[imm](r[a:a+nargs]) → r[dst]
+	irCall    // call fn imm, args r[a:a+params] → r[dst]
+)
+
+// irOp is one IR operation. cost is the number of source instructions this
+// op accounts for (folded producers included); the runtime charges it as
+// gas exactly where the interpreter would have.
+type irOp struct {
+	kind    irKind
+	op      cvm.Op // arithmetic/compare op for irBin/irBinImm/irDiv
+	dst     int
+	a, b, c int
+	imm     int64
+	cost    uint64
+}
+
+// termKind discriminates block terminators.
+type termKind uint8
+
+const (
+	tJump termKind = iota // unconditional: taken (or return)
+	tCond                 // predicate picks taken vs fall
+	tTrap                 // unreachable
+)
+
+// irTerm ends a basic block. taken/fall are successor block indices, -1
+// meaning "return from the function"; takenRet/fallRet are the registers
+// holding that path's result (-1 when the function returns nothing). Each
+// return site carries its own result register because different return
+// points may reach the function end at different stack heights.
+type irTerm struct {
+	kind termKind
+	op   cvm.Op // predicate for tCond: OpBrIf (r[a]!=0), OpI64Eqz, or a compare
+	a, b int
+	imm  int64
+	bImm bool // predicate right operand is imm rather than r[b]
+	cost uint64
+
+	taken, fall       int
+	takenRet, fallRet int
+}
+
+type irBlock struct {
+	ops  []irOp
+	term irTerm
+}
+
+type irFunc struct {
+	params, locals, results int
+	regCount                int
+	blocks                  []irBlock
+}
+
+// pure reports whether an IR kind can be merged into a closure run.
+func (k irKind) pure() bool { return k <= irSelect }
+
+func isCmp(op cvm.Op) bool { return op >= cvm.OpI64Eq && op <= cvm.OpI64GeU }
+
+func isCommutative(op cvm.Op) bool {
+	switch op {
+	case cvm.OpI64Add, cvm.OpI64Mul, cvm.OpI64And, cvm.OpI64Or, cvm.OpI64Xor,
+		cvm.OpI64Eq, cvm.OpI64Ne:
+		return true
+	}
+	return false
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// evalBin constant-folds a pure binary op, mirroring the interpreter's
+// arithmetic exactly (shift masking, unsigned compares). Divisions are
+// never constant-folded — they trap and stay runtime ops.
+func evalBin(op cvm.Op, a, b int64) int64 {
+	switch op {
+	case cvm.OpI64Add:
+		return a + b
+	case cvm.OpI64Sub:
+		return a - b
+	case cvm.OpI64Mul:
+		return a * b
+	case cvm.OpI64And:
+		return a & b
+	case cvm.OpI64Or:
+		return a | b
+	case cvm.OpI64Xor:
+		return a ^ b
+	case cvm.OpI64Shl:
+		return a << (uint64(b) & 63)
+	case cvm.OpI64ShrS:
+		return a >> (uint64(b) & 63)
+	case cvm.OpI64ShrU:
+		return int64(uint64(a) >> (uint64(b) & 63))
+	case cvm.OpI64Eq:
+		return b2i(a == b)
+	case cvm.OpI64Ne:
+		return b2i(a != b)
+	case cvm.OpI64LtS:
+		return b2i(a < b)
+	case cvm.OpI64LtU:
+		return b2i(uint64(a) < uint64(b))
+	case cvm.OpI64GtS:
+		return b2i(a > b)
+	case cvm.OpI64GtU:
+		return b2i(uint64(a) > uint64(b))
+	case cvm.OpI64LeS:
+		return b2i(a <= b)
+	case cvm.OpI64LeU:
+		return b2i(uint64(a) <= uint64(b))
+	case cvm.OpI64GeS:
+		return b2i(a >= b)
+	case cvm.OpI64GeU:
+		return b2i(uint64(a) >= uint64(b))
+	}
+	panic("compile: evalBin on non-pure op " + op.Name())
+}

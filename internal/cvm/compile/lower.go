@@ -1,0 +1,540 @@
+package compile
+
+import (
+	"fmt"
+
+	"confide/internal/cvm"
+)
+
+// Decline thresholds. Functions deeper than maxCompiledHeight are refused
+// so the interpreter's operand-stack overflow trap stays unreachable for
+// compiled programs (64 frames × 512 slots = 32768, half the interpreter's
+// 64Ki ceiling even before frame residue — so the trap the register
+// machine cannot reproduce cannot fire). Oversized programs are refused to
+// bound deploy-time compile cost inside the enclave.
+const (
+	maxCompiledHeight = 512
+	maxCompiledCode   = 1 << 16
+)
+
+// declineError reports a program the compiler refuses; the engine falls
+// back to the interpreter. reason is a small closed vocabulary used as a
+// metric label.
+type declineError struct {
+	reason string
+	detail string
+}
+
+func (e *declineError) Error() string {
+	return "compile: declined (" + e.reason + "): " + e.detail
+}
+
+func decline(reason, format string, args ...any) error {
+	return &declineError{reason: reason, detail: fmt.Sprintf(format, args...)}
+}
+
+func isBranchOp(op cvm.Op) bool {
+	switch op {
+	case cvm.OpBr, cvm.OpBrIf, cvm.OpFusedBrLtU, cvm.OpFusedBrEqz, cvm.OpFusedBrNe:
+		return true
+	}
+	return false
+}
+
+func isTerminalOp(op cvm.Op) bool {
+	switch op {
+	case cvm.OpReturn, cvm.OpUnreachable, cvm.OpBr:
+		return true
+	}
+	return false
+}
+
+// effect mirrors the deploy gate's stackEffect table for every opcode the
+// compiler understands; anything else declines the program.
+func effect(p *cvm.Program, in cvm.Instr) (pops, pushes int, err error) {
+	switch in.Op {
+	case cvm.OpNop, cvm.OpUnreachable, cvm.OpReturn, cvm.OpBr, cvm.OpFusedIncLocal:
+		return 0, 0, nil
+	case cvm.OpBrIf, cvm.OpDrop, cvm.OpLocalSet, cvm.OpFusedBrEqz:
+		return 1, 0, nil
+	case cvm.OpCall:
+		if in.A < 0 || int(in.A) >= p.NumFuncs() {
+			return 0, 0, decline("stack-analysis", "call target %d out of range", in.A)
+		}
+		np, _, nr := p.FuncSig(int(in.A))
+		return np, nr, nil
+	case cvm.OpHost:
+		if in.A < 0 || in.A >= int64(cvm.NumHostFuncs) {
+			return 0, 0, decline("stack-analysis", "host index %d out of range", in.A)
+		}
+		na, nr, _ := cvm.HostSig(cvm.HostIndex(in.A))
+		return na, nr, nil
+	case cvm.OpSelect:
+		return 3, 1, nil
+	case cvm.OpLocalGet, cvm.OpI64Const, cvm.OpMemorySize, cvm.OpFusedAddLL, cvm.OpFusedLoad8L:
+		return 0, 1, nil
+	case cvm.OpLocalTee, cvm.OpI64Eqz, cvm.OpI64Load, cvm.OpI64Load8U,
+		cvm.OpMemoryGrow, cvm.OpFusedConstAdd:
+		return 1, 1, nil
+	case cvm.OpI64Add, cvm.OpI64Sub, cvm.OpI64Mul, cvm.OpI64DivS, cvm.OpI64DivU,
+		cvm.OpI64RemS, cvm.OpI64RemU, cvm.OpI64And, cvm.OpI64Or, cvm.OpI64Xor,
+		cvm.OpI64Shl, cvm.OpI64ShrS, cvm.OpI64ShrU,
+		cvm.OpI64Eq, cvm.OpI64Ne, cvm.OpI64LtS, cvm.OpI64LtU, cvm.OpI64GtS,
+		cvm.OpI64GtU, cvm.OpI64LeS, cvm.OpI64LeU, cvm.OpI64GeS, cvm.OpI64GeU:
+		return 2, 1, nil
+	case cvm.OpI64Store, cvm.OpI64Store8, cvm.OpFusedBrLtU, cvm.OpFusedBrNe:
+		return 2, 0, nil
+	case cvm.OpMemoryCopy, cvm.OpMemoryFill:
+		return 3, 0, nil
+	case cvm.OpFusedGet2, cvm.OpFusedGetConst:
+		return 0, 2, nil
+	}
+	return 0, 0, decline("opcode", "unsupported opcode %s", in.Op.Name())
+}
+
+// analyzeHeights re-runs the deploy gate's exact-height dataflow so the
+// compiler has a proven stack height for every reachable instruction —
+// the fact that makes stack elimination sound. heights[ip] == -1 marks
+// unreachable code (never lowered).
+func analyzeHeights(p *cvm.Program, fn int) (heights []int, maxH int, err error) {
+	_, _, results := p.FuncSig(fn)
+	code := p.Code(fn)
+	n := len(code)
+	heights = make([]int, n)
+	for i := range heights {
+		heights[i] = -1
+	}
+	type item struct{ ip, h int }
+	work := []item{{0, 0}}
+	for len(work) > 0 {
+		it := work[len(work)-1]
+		work = work[:len(work)-1]
+		ip, h := it.ip, it.h
+		for {
+			if ip > n {
+				return nil, 0, decline("stack-analysis", "control flow escapes function body")
+			}
+			if ip == n {
+				if h < results {
+					return nil, 0, decline("stack-analysis", "fall-through height %d, need %d result(s)", h, results)
+				}
+				break
+			}
+			if known := heights[ip]; known != -1 {
+				if known != h {
+					return nil, 0, decline("stack-analysis", "inconsistent stack height at %d: %d vs %d", ip, known, h)
+				}
+				break
+			}
+			heights[ip] = h
+			in := code[ip]
+			pops, pushes, err := effect(p, in)
+			if err != nil {
+				return nil, 0, err
+			}
+			if h < pops {
+				return nil, 0, decline("stack-analysis", "underflow at %d (%s)", ip, in.Op.Name())
+			}
+			h = h - pops + pushes
+			if h > maxH {
+				maxH = h
+			}
+			if in.Op == cvm.OpReturn && h < results {
+				return nil, 0, decline("stack-analysis", "return at %d with height %d, need %d result(s)", ip, h, results)
+			}
+			if isBranchOp(in.Op) {
+				target := ip + 1 + int(in.A)
+				if target < 0 || target > n {
+					return nil, 0, decline("stack-analysis", "branch target %d out of range at %d", target, ip)
+				}
+				if target == n && h < results {
+					return nil, 0, decline("stack-analysis", "branch to end at %d with height %d, need %d result(s)", ip, h, results)
+				}
+				if target < n {
+					work = append(work, item{target, h})
+				}
+			}
+			if isTerminalOp(in.Op) {
+				break
+			}
+			ip++
+		}
+	}
+	return heights, maxH, nil
+}
+
+// blockBuilder accumulates one basic block's IR with peephole folding.
+// carry holds gas owed by erased zero-IR instructions (drops) and is
+// attached to the next op or the terminator, preserving exact accounting.
+type blockBuilder struct {
+	locals int
+	ops    []irOp
+	carry  uint64
+}
+
+func (b *blockBuilder) stackReg(r int) bool { return r >= b.locals }
+
+func (b *blockBuilder) last() *irOp {
+	if len(b.ops) == 0 {
+		return nil
+	}
+	return &b.ops[len(b.ops)-1]
+}
+
+func (b *blockBuilder) pop() irOp {
+	op := b.ops[len(b.ops)-1]
+	b.ops = b.ops[:len(b.ops)-1]
+	return op
+}
+
+// emit appends one IR op, folding adjacent producers into pure binary
+// consumers. Eliding the producer of a consumed stack slot is sound
+// because a slot at or above the post-consumption height is dead: every
+// later read of that slot is preceded by a write (the height analysis
+// proves successors enter at the lower height). Folded producers add
+// their gas cost to the consumer, so runs charge identical totals at
+// positions indistinguishable from the interpreter's (all ops involved
+// are pure and non-trapping). Note every foldable mov (stack-slot
+// destination) reads a local, never a stack slot, so eliding one can
+// never skip over an intervening write to its source.
+func (b *blockBuilder) emit(op irOp) {
+	op.cost += b.carry
+	b.carry = 0
+	if op.kind == irBin {
+		if l := b.last(); l != nil && l.dst == op.b && b.stackReg(op.b) {
+			switch l.kind {
+			case irMovImm:
+				prev := b.pop()
+				op = irOp{kind: irBinImm, op: op.op, dst: op.dst, a: op.a, imm: prev.imm, cost: op.cost + prev.cost}
+			case irMov:
+				prev := b.pop()
+				op.b = prev.a
+				op.cost += prev.cost
+			}
+		}
+	}
+	if op.kind == irBin || op.kind == irBinImm {
+		if l := b.last(); l != nil && l.dst == op.a && b.stackReg(op.a) {
+			switch l.kind {
+			case irMov:
+				prev := b.pop()
+				op.a = prev.a
+				op.cost += prev.cost
+			case irMovImm:
+				if op.kind == irBinImm {
+					prev := b.pop()
+					op = irOp{kind: irMovImm, dst: op.dst, imm: evalBin(op.op, prev.imm, op.imm), cost: op.cost + prev.cost}
+				} else if isCommutative(op.op) {
+					prev := b.pop()
+					op = irOp{kind: irBinImm, op: op.op, dst: op.dst, a: op.b, imm: prev.imm, cost: op.cost + prev.cost}
+				}
+			}
+		}
+	}
+	b.ops = append(b.ops, op)
+}
+
+// foldCond folds the producer of a conditional terminator's condition
+// into the terminator itself: compares become compare-and-branch,
+// constants decide the branch at compile time.
+func (b *blockBuilder) foldCond(t irTerm) irTerm {
+	if t.op != cvm.OpBrIf || !b.stackReg(t.a) {
+		return t
+	}
+	l := b.last()
+	if l == nil || l.dst != t.a {
+		return t
+	}
+	switch l.kind {
+	case irBin:
+		if isCmp(l.op) {
+			prev := b.pop()
+			t.op, t.a, t.b = prev.op, prev.a, prev.b
+			t.cost += prev.cost
+		}
+	case irBinImm:
+		if isCmp(l.op) {
+			prev := b.pop()
+			t.op, t.a, t.imm, t.bImm = prev.op, prev.a, prev.imm, true
+			t.cost += prev.cost
+		}
+	case irEqz:
+		prev := b.pop()
+		t.op, t.a = cvm.OpI64Eqz, prev.a
+		t.cost += prev.cost
+	case irMov:
+		prev := b.pop()
+		t.a = prev.a
+		t.cost += prev.cost
+		return b.foldCond(t) // source is a local: recursion stops there
+	case irMovImm:
+		prev := b.pop()
+		t.cost += prev.cost
+		if prev.imm == 0 {
+			t.taken, t.takenRet = t.fall, t.fallRet
+		}
+		t.kind = tJump
+	}
+	return t
+}
+
+// lowerFunc turns one bytecode function into register-IR basic blocks.
+func lowerFunc(p *cvm.Program, fn int) (*irFunc, error) {
+	params, locals, results := p.FuncSig(fn)
+	code := p.Code(fn)
+	n := len(code)
+	heights, maxH, err := analyzeHeights(p, fn)
+	if err != nil {
+		return nil, err
+	}
+	if maxH > maxCompiledHeight {
+		return nil, decline("stack-depth", "function %d peak operand-stack height %d exceeds %d", fn, maxH, maxCompiledHeight)
+	}
+	out := &irFunc{params: params, locals: locals, results: results, regCount: locals + maxH}
+	if n == 0 {
+		// Empty body: valid only for zero-result functions (analysis above
+		// rejected the rest). One empty block that returns immediately.
+		out.blocks = []irBlock{{term: irTerm{kind: tJump, taken: -1, takenRet: -1, fall: -1, fallRet: -1}}}
+		return out, nil
+	}
+
+	// Basic-block leaders: the entry, every reachable branch target, and
+	// every reachable instruction following a branch or terminal op.
+	leader := make([]bool, n)
+	leader[0] = true
+	for ip := 0; ip < n; ip++ {
+		if heights[ip] < 0 {
+			continue
+		}
+		op := code[ip].Op
+		if isBranchOp(op) {
+			if t := ip + 1 + int(code[ip].A); t < n {
+				leader[t] = true
+			}
+		}
+		if (isBranchOp(op) || isTerminalOp(op)) && ip+1 < n && heights[ip+1] >= 0 {
+			leader[ip+1] = true
+		}
+	}
+	blockOf := make(map[int]int)
+	var starts []int
+	for ip := 0; ip < n; ip++ {
+		if leader[ip] && heights[ip] >= 0 {
+			blockOf[ip] = len(starts)
+			starts = append(starts, ip)
+		}
+	}
+
+	for _, start := range starts {
+		blk, err := lowerBlock(p, fn, heights, blockOf, start)
+		if err != nil {
+			return nil, err
+		}
+		out.blocks = append(out.blocks, blk)
+	}
+	return out, nil
+}
+
+// lowerBlock lowers the straight-line run starting at a leader.
+func lowerBlock(p *cvm.Program, fn int, heights []int, blockOf map[int]int, start int) (irBlock, error) {
+	_, locals, results := p.FuncSig(fn)
+	code := p.Code(fn)
+	n := len(code)
+	b := blockBuilder{locals: locals}
+	h := heights[start]
+	rg := func(slot int) int { return locals + slot }
+	// retReg names the register carrying this path's result when control
+	// returns at stack height hh; different return sites may return from
+	// different heights, so each terminator captures its own.
+	retReg := func(hh int) int {
+		if results == 1 {
+			return rg(hh - 1)
+		}
+		return -1
+	}
+
+	ip := start
+	for {
+		if ip == n {
+			return irBlock{ops: b.ops, term: irTerm{
+				kind: tJump, cost: b.carry,
+				taken: -1, takenRet: retReg(h), fall: -1, fallRet: -1,
+			}}, nil
+		}
+		if ip != start {
+			if bi, isLeader := blockOf[ip]; isLeader {
+				return irBlock{ops: b.ops, term: irTerm{
+					kind: tJump, cost: b.carry,
+					taken: bi, takenRet: -1, fall: -1, fallRet: -1,
+				}}, nil
+			}
+		}
+		in := code[ip]
+		switch in.Op {
+		case cvm.OpNop:
+			// Gas-free in the interpreter; emits nothing.
+
+		case cvm.OpUnreachable:
+			return irBlock{ops: b.ops, term: irTerm{kind: tTrap, cost: b.carry + 1}}, nil
+
+		case cvm.OpReturn:
+			return irBlock{ops: b.ops, term: irTerm{
+				kind: tJump, cost: b.carry + 1,
+				taken: -1, takenRet: retReg(h), fall: -1, fallRet: -1,
+			}}, nil
+
+		case cvm.OpBr:
+			t := irTerm{kind: tJump, cost: b.carry + 1, fall: -1, fallRet: -1}
+			if tgt := ip + 1 + int(in.A); tgt == n {
+				t.taken, t.takenRet = -1, retReg(h)
+			} else {
+				t.taken, t.takenRet = blockOf[tgt], -1
+			}
+			return irBlock{ops: b.ops, term: t}, nil
+
+		case cvm.OpBrIf, cvm.OpFusedBrLtU, cvm.OpFusedBrEqz, cvm.OpFusedBrNe:
+			t := irTerm{kind: tCond, cost: b.carry + 1}
+			switch in.Op {
+			case cvm.OpBrIf:
+				t.op, t.a = cvm.OpBrIf, rg(h-1)
+				h--
+			case cvm.OpFusedBrLtU:
+				t.op, t.a, t.b = cvm.OpI64LtU, rg(h-2), rg(h-1)
+				h -= 2
+			case cvm.OpFusedBrEqz:
+				t.op, t.a = cvm.OpI64Eqz, rg(h-1)
+				h--
+			case cvm.OpFusedBrNe:
+				t.op, t.a, t.b = cvm.OpI64Ne, rg(h-2), rg(h-1)
+				h -= 2
+			}
+			if tgt := ip + 1 + int(in.A); tgt == n {
+				t.taken, t.takenRet = -1, retReg(h)
+			} else {
+				t.taken, t.takenRet = blockOf[tgt], -1
+			}
+			if fall := ip + 1; fall == n {
+				t.fall, t.fallRet = -1, retReg(h)
+			} else {
+				t.fall, t.fallRet = blockOf[fall], -1
+			}
+			t = b.foldCond(t)
+			return irBlock{ops: b.ops, term: t}, nil
+
+		case cvm.OpCall:
+			np, _, nr := p.FuncSig(int(in.A))
+			base := rg(h - np)
+			dst := -1
+			if nr == 1 {
+				dst = base
+			}
+			b.emit(irOp{kind: irCall, imm: in.A, a: base, dst: dst, cost: 1})
+			h = h - np + nr
+
+		case cvm.OpHost:
+			na, nr, _ := cvm.HostSig(cvm.HostIndex(in.A))
+			base := rg(h - na)
+			dst := -1
+			if nr == 1 {
+				dst = base
+			}
+			b.emit(irOp{kind: irHost, imm: in.A, a: base, dst: dst, cost: 1})
+			h = h - na + nr
+
+		case cvm.OpDrop:
+			b.carry++
+			h--
+
+		case cvm.OpSelect:
+			b.emit(irOp{kind: irSelect, dst: rg(h - 3), a: rg(h - 3), b: rg(h - 2), c: rg(h - 1), cost: 1})
+			h -= 2
+
+		case cvm.OpLocalGet:
+			b.emit(irOp{kind: irMov, dst: rg(h), a: int(in.A), cost: 1})
+			h++
+		case cvm.OpLocalSet:
+			// Retarget: when the op just emitted produced the slot being
+			// popped, write the local directly instead of moving. Sound
+			// because the popped slot is dead (every later read of it is
+			// preceded by a push) and reads of an op's own operands happen
+			// before its destination write, so dst aliasing a source local
+			// is fine. Restricted to pure producers: the set's gas joins
+			// the producer's charge, and only a non-trapping producer
+			// guarantees no observable gas point between the two.
+			if l := b.last(); l != nil && l.kind.pure() && l.dst == rg(h-1) {
+				l.dst = int(in.A)
+				l.cost += 1 + b.carry
+				b.carry = 0
+			} else {
+				b.emit(irOp{kind: irMov, dst: int(in.A), a: rg(h - 1), cost: 1})
+			}
+			h--
+		case cvm.OpLocalTee:
+			b.emit(irOp{kind: irMov, dst: int(in.A), a: rg(h - 1), cost: 1})
+
+		case cvm.OpI64Const:
+			b.emit(irOp{kind: irMovImm, dst: rg(h), imm: in.A, cost: 1})
+			h++
+
+		case cvm.OpI64Add, cvm.OpI64Sub, cvm.OpI64Mul, cvm.OpI64And, cvm.OpI64Or,
+			cvm.OpI64Xor, cvm.OpI64Shl, cvm.OpI64ShrS, cvm.OpI64ShrU,
+			cvm.OpI64Eq, cvm.OpI64Ne, cvm.OpI64LtS, cvm.OpI64LtU, cvm.OpI64GtS,
+			cvm.OpI64GtU, cvm.OpI64LeS, cvm.OpI64LeU, cvm.OpI64GeS, cvm.OpI64GeU:
+			b.emit(irOp{kind: irBin, op: in.Op, dst: rg(h - 2), a: rg(h - 2), b: rg(h - 1), cost: 1})
+			h--
+
+		case cvm.OpI64DivS, cvm.OpI64DivU, cvm.OpI64RemS, cvm.OpI64RemU:
+			b.emit(irOp{kind: irDiv, op: in.Op, dst: rg(h - 2), a: rg(h - 2), b: rg(h - 1), cost: 1})
+			h--
+
+		case cvm.OpI64Eqz:
+			b.emit(irOp{kind: irEqz, dst: rg(h - 1), a: rg(h - 1), cost: 1})
+
+		case cvm.OpI64Load:
+			b.emit(irOp{kind: irLoad, dst: rg(h - 1), a: rg(h - 1), imm: in.A, cost: 1})
+		case cvm.OpI64Store:
+			b.emit(irOp{kind: irStore, a: rg(h - 2), b: rg(h - 1), imm: in.A, cost: 1})
+			h -= 2
+		case cvm.OpI64Load8U:
+			b.emit(irOp{kind: irLoad8, dst: rg(h - 1), a: rg(h - 1), imm: in.A, cost: 1})
+		case cvm.OpI64Store8:
+			b.emit(irOp{kind: irStore8, a: rg(h - 2), b: rg(h - 1), imm: in.A, cost: 1})
+			h -= 2
+
+		case cvm.OpMemorySize:
+			b.emit(irOp{kind: irMemSize, dst: rg(h), cost: 1})
+			h++
+		case cvm.OpMemoryGrow:
+			b.emit(irOp{kind: irMemGrow, dst: rg(h - 1), a: rg(h - 1), cost: 1})
+		case cvm.OpMemoryCopy:
+			b.emit(irOp{kind: irMemCopy, a: rg(h - 3), b: rg(h - 2), c: rg(h - 1), cost: 1})
+			h -= 3
+		case cvm.OpMemoryFill:
+			b.emit(irOp{kind: irMemFill, a: rg(h - 3), b: rg(h - 2), c: rg(h - 1), cost: 1})
+			h -= 3
+
+		case cvm.OpFusedIncLocal:
+			b.emit(irOp{kind: irBinImm, op: cvm.OpI64Add, dst: int(in.A), a: int(in.A), imm: in.B, cost: 1})
+		case cvm.OpFusedGet2:
+			b.emit(irOp{kind: irMov, dst: rg(h), a: int(in.A), cost: 1})
+			b.emit(irOp{kind: irMov, dst: rg(h + 1), a: int(in.B), cost: 0})
+			h += 2
+		case cvm.OpFusedAddLL:
+			b.emit(irOp{kind: irBin, op: cvm.OpI64Add, dst: rg(h), a: int(in.A), b: int(in.B), cost: 1})
+			h++
+		case cvm.OpFusedConstAdd:
+			b.emit(irOp{kind: irBinImm, op: cvm.OpI64Add, dst: rg(h - 1), a: rg(h - 1), imm: in.A, cost: 1})
+		case cvm.OpFusedGetConst:
+			b.emit(irOp{kind: irMov, dst: rg(h), a: int(in.A), cost: 1})
+			b.emit(irOp{kind: irMovImm, dst: rg(h + 1), imm: in.B, cost: 0})
+			h += 2
+		case cvm.OpFusedLoad8L:
+			b.emit(irOp{kind: irLoad8, dst: rg(h), a: int(in.A), imm: in.B, cost: 1})
+			h++
+
+		default:
+			return irBlock{}, decline("opcode", "unsupported opcode %s", in.Op.Name())
+		}
+		ip++
+	}
+}

@@ -1,0 +1,32 @@
+package compile
+
+import "confide/internal/metrics"
+
+var (
+	mCompileSeconds = metrics.Default().Histogram(
+		"confide_cvm_compile_seconds",
+		"Time to compile one program to closure-threaded code.",
+		nil)
+	mCompiledUnits = metrics.Default().Counter(
+		"confide_cvm_compile_units_total",
+		"Programs successfully compiled to closure-threaded units.")
+	mCompiledRuns = metrics.Default().Counter(
+		"confide_cvm_compile_compiled_runs_total",
+		"Contract invocations executed by the compiled runtime.")
+	mFallbackRuns = metrics.Default().Counter(
+		"confide_cvm_compile_fallback_runs_total",
+		"Contract invocations that fell back to the interpreter because the program was declined by the compiler.")
+)
+
+// declineCounter returns the per-reason decline counter.
+func declineCounter(reason string) *metrics.Counter {
+	return metrics.Default().Counter(
+		"confide_cvm_compile_declines_total",
+		"Programs the compiler declined, by reason; declined programs run interpreted.",
+		metrics.L{K: "reason", V: reason})
+}
+
+// RecordFallbackRun counts an interpreter execution of a program the
+// compiler declined. The engine calls it so /metrics shows the
+// compiled-vs-interpreted run mix.
+func RecordFallbackRun() { mFallbackRuns.Inc() }

@@ -76,6 +76,9 @@ const (
 	HostConfAssets HostIndex = 10
 
 	numHostFuncs = 11
+	// NumHostFuncs exports the host-table size for the compiler's
+	// validation pass.
+	NumHostFuncs = numHostFuncs
 )
 
 // hostSig describes a host function's arity.
@@ -112,50 +115,71 @@ type ConfAssetsEnv interface {
 	ConfAssetsCall(input []byte) ([]byte, error)
 }
 
-// errTrap wraps contract traps (bounds violations, div by zero, etc.).
-var errTrap = errors.New("cvm: trap")
+// ErrTrap is the sentinel every contract trap wraps (bounds violations,
+// div by zero, etc.). Exported so the ahead-of-time compiler's runtime can
+// produce traps indistinguishable from the interpreter's.
+var ErrTrap = errors.New("cvm: trap")
+
+// errTrap is the internal alias the interpreter predates ErrTrap with.
+var errTrap = ErrTrap
 
 // Trap reports whether err is a VM trap (as opposed to an engine error).
 func Trap(err error) bool { return errors.Is(err, errTrap) }
 
-// callHost dispatches one host call against the environment. Buffer reads
-// and writes are bounds-checked against linear memory.
+// HostSig reports a host function's arity and fixed gas surcharge. The
+// compiled runtime charges host calls exactly like the interpreter.
+func HostSig(idx HostIndex) (args, results int, gas uint64) {
+	sig := hostSigs[idx]
+	return sig.args, sig.results, sig.gas
+}
+
+// callHost dispatches one host call against the environment.
 func (vm *VM) callHost(idx HostIndex, args []int64) (int64, error) {
+	return DispatchHost(vm.env.Env, vm.mem, idx, args)
+}
+
+// DispatchHost executes one host call against env with mem as the calling
+// program's linear memory. Buffer reads and writes are bounds-checked
+// against mem. It is the single host-ABI implementation shared by the
+// interpreter and the compiled runtime, so the two execution tiers cannot
+// drift: identical inputs produce identical outputs, identical traps with
+// identical messages, and identical side-effect sequences on env.
+func DispatchHost(env Env, mem []byte, idx HostIndex, args []int64) (int64, error) {
 	mHostCalls.Inc()
 	switch idx {
 	case HostInputSize:
-		return int64(len(vm.env.Input())), nil
+		return int64(len(env.Input())), nil
 
 	case HostInputRead:
 		dst, off, n := args[0], args[1], args[2]
-		in := vm.env.Input()
+		in := env.Input()
 		if off < 0 || n < 0 || off > int64(len(in)) {
 			return 0, fmt.Errorf("%w: input_read out of range", errTrap)
 		}
 		end := off + n
-		if end > int64(len(in)) {
+		if end > int64(len(in)) || end < 0 {
 			end = int64(len(in))
 		}
 		chunk := in[off:end]
-		if err := vm.memWrite(dst, chunk); err != nil {
+		if err := memWriteAt(mem, dst, chunk); err != nil {
 			return 0, err
 		}
 		return int64(len(chunk)), nil
 
 	case HostOutputWrite:
-		buf, err := vm.memRead(args[0], args[1])
+		buf, err := memReadAt(mem, args[0], args[1])
 		if err != nil {
 			return 0, err
 		}
-		vm.env.SetOutput(append([]byte(nil), buf...))
+		env.SetOutput(append([]byte(nil), buf...))
 		return 0, nil
 
 	case HostStorageGet:
-		key, err := vm.memRead(args[0], args[1])
+		key, err := memReadAt(mem, args[0], args[1])
 		if err != nil {
 			return 0, err
 		}
-		val, found, err := vm.env.GetStorage(key)
+		val, found, err := env.GetStorage(key)
 		if err != nil {
 			return 0, err
 		}
@@ -165,76 +189,76 @@ func (vm *VM) callHost(idx HostIndex, args []int64) (int64, error) {
 		if int64(len(val)) > args[3] {
 			return int64(len(val)), nil
 		}
-		if err := vm.memWrite(args[2], val); err != nil {
+		if err := memWriteAt(mem, args[2], val); err != nil {
 			return 0, err
 		}
 		return int64(len(val)), nil
 
 	case HostStorageSet:
-		key, err := vm.memRead(args[0], args[1])
+		key, err := memReadAt(mem, args[0], args[1])
 		if err != nil {
 			return 0, err
 		}
-		val, err := vm.memRead(args[2], args[3])
+		val, err := memReadAt(mem, args[2], args[3])
 		if err != nil {
 			return 0, err
 		}
-		return 0, vm.env.SetStorage(append([]byte(nil), key...), append([]byte(nil), val...))
+		return 0, env.SetStorage(append([]byte(nil), key...), append([]byte(nil), val...))
 
 	case HostSha256:
-		buf, err := vm.memRead(args[0], args[1])
+		buf, err := memReadAt(mem, args[0], args[1])
 		if err != nil {
 			return 0, err
 		}
 		sum := sha256.Sum256(buf)
-		return 0, vm.memWrite(args[2], sum[:])
+		return 0, memWriteAt(mem, args[2], sum[:])
 
 	case HostKeccak256:
-		buf, err := vm.memRead(args[0], args[1])
+		buf, err := memReadAt(mem, args[0], args[1])
 		if err != nil {
 			return 0, err
 		}
 		sum := ccrypto.Keccak256(buf)
-		return 0, vm.memWrite(args[2], sum[:])
+		return 0, memWriteAt(mem, args[2], sum[:])
 
 	case HostLog:
-		buf, err := vm.memRead(args[0], args[1])
+		buf, err := memReadAt(mem, args[0], args[1])
 		if err != nil {
 			return 0, err
 		}
-		vm.env.Log(string(buf))
+		env.Log(string(buf))
 		return 0, nil
 
 	case HostCaller:
-		return 0, vm.memWrite(args[0], vm.env.Caller())
+		return 0, memWriteAt(mem, args[0], env.Caller())
 
 	case HostCall:
-		addr, err := vm.memRead(args[0], 20)
+		addr, err := memReadAt(mem, args[0], 20)
 		if err != nil {
 			return 0, err
 		}
-		input, err := vm.memRead(args[1], args[2])
+		input, err := memReadAt(mem, args[1], args[2])
 		if err != nil {
 			return 0, err
 		}
-		out, err := vm.env.CallContract(append([]byte(nil), addr...), append([]byte(nil), input...))
+		out, err := env.CallContract(append([]byte(nil), addr...), append([]byte(nil), input...))
 		if err != nil {
 			return -1, nil
 		}
 		if int64(len(out)) > args[4] {
 			return int64(len(out)), nil
 		}
-		if err := vm.memWrite(args[3], out); err != nil {
+		if err := memWriteAt(mem, args[3], out); err != nil {
 			return 0, err
 		}
 		return int64(len(out)), nil
 
 	case HostConfAssets:
-		cae, ok := vm.env.Env.(ConfAssetsEnv)
+		cae, ok := env.(ConfAssetsEnv)
 		if !ok {
 			return 0, fmt.Errorf("%w: confassets host not supported by this engine", errTrap)
 		}
-		input, err := vm.memRead(args[0], args[1])
+		input, err := memReadAt(mem, args[0], args[1])
 		if err != nil {
 			return 0, err
 		}
@@ -248,7 +272,7 @@ func (vm *VM) callHost(idx HostIndex, args []int64) (int64, error) {
 		if int64(len(out)) > args[3] {
 			return int64(len(out)), nil
 		}
-		if err := vm.memWrite(args[2], out); err != nil {
+		if err := memWriteAt(mem, args[2], out); err != nil {
 			return 0, err
 		}
 		return int64(len(out)), nil

@@ -31,6 +31,14 @@ const (
 	maxStack     = 64 << 10
 )
 
+// Exported limit aliases so the compiled runtime enforces the same bounds.
+const (
+	MaxCallDepth = maxCallDepth
+	MaxMemPages  = maxMemPages
+	// DefaultGasLimit applies when Config.GasLimit is zero.
+	DefaultGasLimit = 100_000_000
+)
+
 // ErrOutOfGas reports gas exhaustion.
 var ErrOutOfGas = errors.New("cvm: out of gas")
 
@@ -48,7 +56,7 @@ type Config struct {
 func NewVM(prog *Program, env Env, cfg Config) *VM {
 	gas := cfg.GasLimit
 	if gas == 0 {
-		gas = 100_000_000
+		gas = DefaultGasLimit
 	}
 	need := prog.memPages * PageSize
 	var mem []byte
@@ -98,23 +106,37 @@ func (vm *VM) Run(args ...int64) (int64, error) {
 	return 0, nil
 }
 
-func (vm *VM) memRead(ptr, n int64) ([]byte, error) {
-	if ptr < 0 || n < 0 || ptr+n > int64(len(vm.mem)) {
+// Bounds checks below are written in overflow-safe form (compare against
+// len-n instead of adding to the untrusted offset): contract-controlled
+// pointers near the int64 boundary must trap like any other out-of-range
+// address, not wrap around and panic the process.
+
+func memReadAt(mem []byte, ptr, n int64) ([]byte, error) {
+	if ptr < 0 || n < 0 || ptr > int64(len(mem)) || n > int64(len(mem))-ptr {
 		return nil, fmt.Errorf("%w: memory read [%d,+%d) out of bounds", errTrap, ptr, n)
 	}
-	return vm.mem[ptr : ptr+n], nil
+	return mem[ptr : ptr+n], nil
 }
 
-func (vm *VM) memWrite(ptr int64, data []byte) error {
-	if ptr < 0 || ptr+int64(len(data)) > int64(len(vm.mem)) {
+func memWriteAt(mem []byte, ptr int64, data []byte) error {
+	if ptr < 0 || ptr > int64(len(mem)) || int64(len(data)) > int64(len(mem))-ptr {
 		return fmt.Errorf("%w: memory write [%d,+%d) out of bounds", errTrap, ptr, len(data))
 	}
-	copy(vm.mem[ptr:], data)
+	copy(mem[ptr:], data)
 	return nil
 }
 
+// LoadU64 reads the little-endian 64-bit word at addr, trapping like the
+// i64.load instruction. Shared with the compiled runtime so both execution
+// tiers use one bounds check and one trap message.
+func LoadU64(mem []byte, addr int64) (int64, error) { return loadU64(mem, addr) }
+
+// StoreU64 writes the little-endian 64-bit word at addr, trapping like the
+// i64.store instruction. Shared with the compiled runtime.
+func StoreU64(mem []byte, addr int64, v int64) error { return storeU64(mem, addr, v) }
+
 func loadU64(mem []byte, addr int64) (int64, error) {
-	if addr < 0 || addr+8 > int64(len(mem)) {
+	if addr < 0 || addr > int64(len(mem))-8 {
 		return 0, fmt.Errorf("%w: load at %d out of bounds", errTrap, addr)
 	}
 	b := mem[addr:]
@@ -123,7 +145,7 @@ func loadU64(mem []byte, addr int64) (int64, error) {
 }
 
 func storeU64(mem []byte, addr int64, v int64) error {
-	if addr < 0 || addr+8 > int64(len(mem)) {
+	if addr < 0 || addr > int64(len(mem))-8 {
 		return fmt.Errorf("%w: store at %d out of bounds", errTrap, addr)
 	}
 	u := uint64(v)
@@ -423,7 +445,7 @@ func (vm *VM) call(fn int) error {
 			}
 			delta := stack[len(stack)-1]
 			old := int64(len(vm.mem) / PageSize)
-			if delta < 0 || old+delta > maxMemPages {
+			if delta < 0 || delta > maxMemPages || old+delta > maxMemPages {
 				stack[len(stack)-1] = -1
 				break
 			}
@@ -439,7 +461,7 @@ func (vm *VM) call(fn int) error {
 			dst := stack[len(stack)-3]
 			stack = stack[:len(stack)-3]
 			if n < 0 || src < 0 || dst < 0 ||
-				src+n > int64(len(vm.mem)) || dst+n > int64(len(vm.mem)) {
+				n > int64(len(vm.mem))-src || n > int64(len(vm.mem))-dst {
 				flush()
 				vm.gasUsed = vm.gasLimit - budget
 				return fmt.Errorf("%w: memory.copy out of bounds", errTrap)
@@ -454,7 +476,7 @@ func (vm *VM) call(fn int) error {
 			val := stack[len(stack)-2]
 			dst := stack[len(stack)-3]
 			stack = stack[:len(stack)-3]
-			if n < 0 || dst < 0 || dst+n > int64(len(vm.mem)) {
+			if n < 0 || dst < 0 || n > int64(len(vm.mem))-dst {
 				flush()
 				vm.gasUsed = vm.gasLimit - budget
 				return fmt.Errorf("%w: memory.fill out of bounds", errTrap)

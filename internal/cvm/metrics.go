@@ -12,4 +12,11 @@ var (
 	mHostCalls    = metrics.Default().Counter("confide_cvm_host_calls_total", "host functions invoked from contract code")
 	mCacheHits    = metrics.Default().Counter("confide_cvm_code_cache_hits_total", "code cache lookups served without a rebuild")
 	mCacheMisses  = metrics.Default().Counter("confide_cvm_code_cache_misses_total", "code cache lookups that rebuilt the program")
+	mCompiledHits = metrics.Default().Counter("confide_cvm_code_cache_compiled_hits_total", "code cache hits that also carried a compiled unit")
 )
+
+// RecordRunStart and RecordRunEnd let the compiled runtime feed the same
+// process-wide run/instruction counters as the interpreter, keeping
+// aggregate VM telemetry comparable across execution tiers.
+func RecordRunStart()            { mRuns.Inc() }
+func RecordRunEnd(gasUsed uint64) { mInstructions.Add(gasUsed) }

@@ -41,7 +41,7 @@ func BuildProgram(m *Module, opts BuildOptions) (*Program, error) {
 			return nil, fmt.Errorf("cvm: function %d: %w", i, err)
 		}
 		if opts.Fuse {
-			instrs = fuse(instrs)
+			instrs = compact(fuse(instrs))
 		}
 		p.funcs = append(p.funcs, progFunc{
 			numParams:  f.NumParams,
@@ -75,3 +75,17 @@ func (p *Program) NumFuncs() int { return len(p.funcs) }
 
 // Code exposes a function's decoded instructions (for disassembly/tests).
 func (p *Program) Code(fn int) []Instr { return p.funcs[fn].code }
+
+// FuncSig reports function fn's frame shape: parameter count, local count
+// (parameters included) and result count. The ahead-of-time compiler uses
+// it to size register frames and lower calls.
+func (p *Program) FuncSig(fn int) (numParams, numLocals, numResults int) {
+	f := &p.funcs[fn]
+	return f.numParams, f.numLocals, f.numResults
+}
+
+// MemPages reports the program's initial linear-memory size in pages.
+func (p *Program) MemPages() int { return p.memPages }
+
+// DataSegments exposes the static memory initializers.
+func (p *Program) DataSegments() []DataSegment { return p.data }

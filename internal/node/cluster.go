@@ -29,6 +29,12 @@ type ClusterOptions struct {
 	Network p2p.Config
 	// Node configures per-node execution.
 	Node Config
+	// PerNodeEngineOpts overrides Node.EngineOpts for individual nodes
+	// (index i applies to node i; missing/short entries keep the default).
+	// Heterogeneous engine configurations — e.g. some replicas running the
+	// CVM ahead-of-time compiler while others interpret — must still commit
+	// byte-identical state; the mixed-cluster tests drive this.
+	PerNodeEngineOpts map[int]core.Options
 	// Enclave configures the CS enclaves (delay injection etc.).
 	Enclave tee.Config
 	// StoreReadLatency / StoreWriteLatency model the storage device
@@ -162,6 +168,16 @@ func NewCluster(opts ClusterOptions) (*Cluster, error) {
 	return c.buildNodes(opts, platforms, kmNodes)
 }
 
+// engineOpts resolves node i's engine options: the per-node override when
+// present (surviving restarts and crash-recovery rebuilds), else the
+// cluster-wide default.
+func (c *Cluster) engineOpts(i int) core.Options {
+	if o, ok := c.opts.PerNodeEngineOpts[i]; ok {
+		return o
+	}
+	return c.opts.Node.EngineOpts
+}
+
 // nodeDir is node i's store directory under StoreDir (real or virtual).
 func (c *Cluster) nodeDir(i int) string {
 	return filepath.Join(c.opts.StoreDir, fmt.Sprintf("node-%d", i))
@@ -242,11 +258,11 @@ func (c *Cluster) buildNodes(opts ClusterOptions, platforms []*tee.Platform, kmN
 			}
 		}
 
-		confEngine, err := core.NewConfidentialEngineOn(cs, secrets, store, opts.Node.EngineOpts)
+		confEngine, err := core.NewConfidentialEngineOn(cs, secrets, store, c.engineOpts(i))
 		if err != nil {
 			return nil, err
 		}
-		pubEngine := core.NewPublicEngine(store, opts.Node.EngineOpts)
+		pubEngine := core.NewPublicEngine(store, c.engineOpts(i))
 		c.Nodes = append(c.Nodes, New(c.nodeConfig(i), endpoint, opts.Nodes, confEngine, pubEngine, store))
 	}
 	return c, nil
@@ -305,11 +321,11 @@ func (c *Cluster) rebuildNode(i int, store storage.KVStore) error {
 	if err != nil {
 		return err
 	}
-	confEngine, err := core.NewConfidentialEngineOn(cs, c.Secrets, store, c.opts.Node.EngineOpts)
+	confEngine, err := core.NewConfidentialEngineOn(cs, c.Secrets, store, c.engineOpts(i))
 	if err != nil {
 		return err
 	}
-	pubEngine := core.NewPublicEngine(store, c.opts.Node.EngineOpts)
+	pubEngine := core.NewPublicEngine(store, c.engineOpts(i))
 
 	cfg := c.nodeConfig(i)
 	base := c.peerBase(i)
