@@ -15,7 +15,7 @@ test:
 # injection, the node layer, and the lock-free metrics registry feeding all
 # of them.
 race:
-	$(GO) test -race ./internal/consensus/... ./internal/node/... ./internal/p2p/... ./internal/metrics/... ./internal/bench/... ./internal/storage/... ./internal/gateway/... ./internal/confassets/... ./internal/cvm/...
+	$(GO) test -race ./internal/consensus/... ./internal/node/... ./internal/p2p/... ./internal/metrics/... ./internal/bench/... ./internal/storage/... ./internal/gateway/... ./internal/confassets/... ./internal/cvm/... ./internal/pipeline/...
 
 vet:
 	$(GO) vet ./...
@@ -26,12 +26,15 @@ vet:
 # recover through snapshot fast-sync; the third orders a key-epoch rotation
 # mid-faults, certified from the keyepoch registry deltas; the fourth
 # routes the whole workload through the HTTP gateways and kills two of
-# them mid-run, certified from the gateway registry deltas.
+# them mid-run, certified from the gateway registry deltas; the fifth runs
+# the same fault schedule with pipelined block production (depth 8, four
+# OCC lanes), so leader kills land while several proposals are in flight.
 chaos:
 	$(GO) run ./cmd/benchrunner -chaos -seed 1
 	$(GO) run ./cmd/benchrunner -chaos -seed 1 -wipe 1
 	$(GO) run ./cmd/benchrunner -chaos -seed 1 -rotations 1
 	$(GO) run ./cmd/benchrunner -chaos -seed 1 -gwkills 2
+	$(GO) run ./cmd/benchrunner -chaos -seed 1 -pipeline-depth 8 -exec-workers 4
 
 # Seeded crash drill: power-cut nodes at named storage crash points under
 # live traffic, with transient disk faults (ENOSPC, EIO, bit-flips, lying
@@ -62,6 +65,7 @@ fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzRangeProofVerify -fuzztime=$(FUZZTIME) ./internal/confassets/
 	$(GO) test -run='^$$' -fuzz=FuzzDisclosureReceipt -fuzztime=$(FUZZTIME) ./internal/confassets/
 	$(GO) test -run='^$$' -fuzz=FuzzCompiledVsInterp -fuzztime=$(FUZZTIME) ./internal/cvm/compile/
+	$(GO) test -run='^$$' -fuzz=FuzzScheduler -fuzztime=$(FUZZTIME) ./internal/pipeline/
 
 # Instrumented-vs-disabled throughput delta (budget: <2%).
 overhead:

@@ -73,8 +73,16 @@ func runGateway(quick bool) (any, error) {
 			// ratio a scheduler lottery instead of a property of admission.
 			BlockMaxTxs: 16,
 			EngineOpts:  core.AllOptimizations(),
+			// Pipelined production (PR 10): with depth 8 the edge's drain
+			// rate is eight blocks per tick instead of one, so the cadence
+			// ceiling the admission sweep pushes against is ~3200 tps rather
+			// than 400. The view timeout is generous for the same reason the
+			// pipeline sweep's is: a saturated single-core box can starve
+			// heartbeats long enough to look like a dead leader.
+			PipelineDepth: 8,
+			ExecWorkers:   4,
 			Consensus: consensus.Options{
-				ViewTimeout:        500 * time.Millisecond,
+				ViewTimeout:        2 * time.Second,
 				RetransmitInterval: 20 * time.Millisecond,
 				RetransmitMax:      200 * time.Millisecond,
 				HeartbeatInterval:  50 * time.Millisecond,
@@ -102,10 +110,10 @@ func runGateway(quick bool) (any, error) {
 	var gws []*gateway.Gateway
 	for _, nd := range cluster.Nodes {
 		// The shed threshold sits a few block budgets above the pipeline's
-		// standing depth (one 16-tx block rides in consensus at full
+		// standing depth (eight 16-tx blocks ride in consensus at full
 		// throttle): admission's job is to keep the backlog at a depth the
 		// pipeline drains at full speed, and shed everything beyond it.
-		gw, err := gateway.Serve(gateway.Config{Node: nd, MaxPoolDepth: 64})
+		gw, err := gateway.Serve(gateway.Config{Node: nd, MaxPoolDepth: 256})
 		if err != nil {
 			return nil, err
 		}

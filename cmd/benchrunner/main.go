@@ -16,6 +16,7 @@
 //	benchrunner -exp gateway      # HTTP edge: offered-load sweep with shedding
 //	benchrunner -exp confassets   # Pedersen/range-proof primitives + committed-token TPS
 //	benchrunner -exp vmcompile    # CONFIDE-VM AOT compiler vs interpreter vs EVM (VM level)
+//	benchrunner -exp pipeline     # pipelined scheduler: depth × OCC-lane × conflict sweep
 //	benchrunner -exp fig10 -json  # also write BENCH_fig10.json
 //	benchrunner -chaos -seed 7    # liveness-under-faults drill
 //	benchrunner -chaos -wipe 1    # …plus a wipe-and-rejoin (snapshot fast-sync)
@@ -30,6 +31,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/debug"
+	"runtime/pprof"
 	"time"
 
 	"confide/internal/bench"
@@ -53,10 +56,30 @@ func main() {
 	gwkills := flag.Int("gwkills", 0, "chaos: route the workload through HTTP gateways and kill this many mid-run")
 	crashes := flag.Int("crashes", 0, "chaos: crash-and-recover disk faults (kill at a random crash point, revive from the frozen disk image)")
 	diskfaults := flag.Bool("diskfaults", false, "chaos: layer transient disk faults (ENOSPC, EIO, bit-flips, lying fsyncs) onto each crash window")
+	pipeDepth := flag.Int("pipeline-depth", 0, "chaos: leader proposal window (0/1 = serialized legacy mode)")
+	execWorkers := flag.Int("exec-workers", 0, "chaos: OCC speculation lanes per node (0 = sequential)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	flag.Parse()
 
+	// The sweeps run 4 replicas plus load generation on one core; the
+	// default 100% GC target spends a visible slice of the measurement
+	// window re-collecting a small, fast-churning heap. Trade heap
+	// headroom for mutator time — harness-only, no library code changes.
+	debug.SetGCPercent(400)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		pprof.StartCPUProfile(f)
+		defer pprof.StopCPUProfile()
+	}
+
 	if *chaos {
-		err := runChaos(*seed, *nodes, *txs, *drop, *wipe, *rotations, *gwkills, *crashes, *diskfaults)
+		err := runChaos(*seed, *nodes, *txs, *drop, *wipe, *rotations, *gwkills, *crashes, *diskfaults, *pipeDepth, *execWorkers)
 		if *showMetrics {
 			fmt.Printf("\n=== metrics registry summary ===\n%s", metrics.Default().Summary())
 		}
@@ -109,6 +132,9 @@ func main() {
 	}
 	if *exp == "vmcompile" { // opt-in: AOT-compiled vs interpreted vs EVM at the VM level
 		run("vmcompile", func() (any, error) { return runVMCompile(*txs) })
+	}
+	if *exp == "pipeline" { // opt-in: pipelined-scheduler depth × lanes × conflict sweep
+		run("pipeline", func() (any, error) { return runPipeline(*quick) })
 	}
 
 	if *showMetrics {
@@ -201,7 +227,7 @@ func runFig12(txs int) (any, error) {
 	return rows, nil
 }
 
-func runChaos(seed int64, nodes, txs int, drop float64, wipes, rotations, gwkills, crashes int, diskfaults bool) error {
+func runChaos(seed int64, nodes, txs int, drop float64, wipes, rotations, gwkills, crashes int, diskfaults bool, pipeDepth, execWorkers int) error {
 	scenario := "leader crash + partition"
 	if wipes > 0 {
 		scenario += fmt.Sprintf(" + %d wipe-rejoin(s)", wipes)
@@ -218,16 +244,21 @@ func runChaos(seed int64, nodes, txs int, drop float64, wipes, rotations, gwkill
 			scenario += " with transient disk faults"
 		}
 	}
+	if pipeDepth > 1 {
+		scenario += fmt.Sprintf(" + pipelined ordering (depth %d, %d OCC lanes)", pipeDepth, execWorkers)
+	}
 	opts := node.ChaosOptions{
-		Nodes:        nodes,
-		Txs:          txs, // 0 = default
-		Seed:         seed,
-		DropRate:     drop,
-		WipeRejoins:  wipes,
-		Rotations:    rotations,
-		GatewayKills: gwkills,
-		Crashes:      crashes,
-		DiskFaults:   diskfaults,
+		Nodes:         nodes,
+		Txs:           txs, // 0 = default
+		Seed:          seed,
+		DropRate:      drop,
+		WipeRejoins:   wipes,
+		Rotations:     rotations,
+		GatewayKills:  gwkills,
+		Crashes:       crashes,
+		DiskFaults:    diskfaults,
+		PipelineDepth: pipeDepth,
+		ExecWorkers:   execWorkers,
 	}
 	if gwkills > 0 {
 		opts.Gateways = gateway.NewChaosDriver()

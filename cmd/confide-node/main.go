@@ -50,6 +50,8 @@ func main() {
 	gatewayAddr := flag.String("gateway", "", "serve the client gateway (attested HTTP edge) on this base address, e.g. :8440 — node i listens on port+i (port 0 picks ephemeral ports); combine with -linger to keep serving remote clients after the built-in workload")
 	gatewayRate := flag.Float64("gateway-rate", 0, "gateway per-client admission rate in tx/s, token-bucket with 2x burst (0 = unlimited)")
 	drainTimeout := flag.Duration("drain-timeout", 5*time.Second, "graceful gateway shutdown bound: in-flight requests get this long to finish after new submissions start being refused")
+	pipelineDepth := flag.Int("pipeline-depth", 1, "consensus proposals a leader keeps in flight ahead of execution (1 = serialized; >1 enables predicted-parent pipelining with execute-behind-order)")
+	execWorkers := flag.Int("exec-workers", 0, "parallel OCC lanes for the speculative execution pass (0 = -parallel's value); any mix across replicas commits identical state")
 	noCompile := flag.Bool("no-compile", false, "disable the deploy-time CVM compiler; every transaction runs on the interpreter (replicas with and without this flag stay byte-identical)")
 	flag.Parse()
 
@@ -87,6 +89,8 @@ func main() {
 			CheckpointInterval: *ckptInterval,
 			Retention:          *retention,
 			ResealRate:         *resealRate,
+			PipelineDepth:      *pipelineDepth,
+			ExecWorkers:        *execWorkers,
 		},
 		Enclave:          tee.Config{InjectDelays: true},
 		StoreReadLatency: 200 * time.Microsecond,

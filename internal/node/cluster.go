@@ -35,6 +35,11 @@ type ClusterOptions struct {
 	// CVM ahead-of-time compiler while others interpret — must still commit
 	// byte-identical state; the mixed-cluster tests drive this.
 	PerNodeEngineOpts map[int]core.Options
+	// PerNodeExecWorkers overrides Node.ExecWorkers for individual nodes.
+	// Replicas with different OCC lane counts must commit byte-identical
+	// state (speculation reads only the pre-block snapshot; validation is
+	// sequential); the mixed-workers determinism test drives this.
+	PerNodeExecWorkers map[int]int
 	// Enclave configures the CS enclaves (delay injection etc.).
 	Enclave tee.Config
 	// StoreReadLatency / StoreWriteLatency model the storage device
@@ -214,6 +219,9 @@ func (c *Cluster) nodeConfig(i int) Config {
 	cfg := c.opts.Node
 	if c.crashes != nil {
 		cfg.crash = c.crashes[i]
+	}
+	if w, ok := c.opts.PerNodeExecWorkers[i]; ok {
+		cfg.ExecWorkers = w
 	}
 	return cfg
 }
@@ -492,25 +500,43 @@ func (c *Cluster) ProcessRound(timeout time.Duration) (int, error) {
 	return count, nil
 }
 
-// driverMaxInFlight bounds how many consensus instances the driver lets a
-// leader keep in flight ahead of delivery. One: ProposeBlock stamps the
-// committed tip height, so of several overlapping instances only the first
-// to deliver applies — the rest arrive stale, and their transactions ride
-// the repool recovery path instead of committing. Serializing proposals
-// keeps every cut block applicable (and is also what stops in-flight
-// retransmit timers from flooding the network under a standing backlog).
-const driverMaxInFlight = 1
+// driverDepth resolves the driver's in-flight proposal window from the
+// cluster's node config: Config.PipelineDepth, minimum 1. Depth 1 keeps the
+// PR 5 serialized behavior (propose only after the previous delivery) as
+// the fallback mode; deeper windows are made safe by the block scheduler's
+// predicted-parent chaining — blocks cut against the in-flight tip no
+// longer deliver stale. The bound still matters: an unbounded leader opens
+// a new instance every tick, in-flight instances pile up far ahead of
+// sequential application, and their retransmit timers flood the network.
+func (c *Cluster) driverDepth() uint64 {
+	if d := c.opts.Node.PipelineDepth; d > 1 {
+		return uint64(d)
+	}
+	return 1
+}
 
 // StartDriver runs the cluster duty cycle in the background: every interval,
 // each node pre-verifies its backlog and every node that believes it leads
-// proposes a block (consensus arbitrates when several believe during a view
-// change). This is what gives an over-the-wire workload — gateway clients on
-// real TCP — continuous block production without a synchronous ProcessRound
-// caller. The returned stop function halts the loop and waits for it to
-// exit. Don't combine with RestartNode: the driver reads c.Nodes unlocked.
+// proposes blocks (consensus arbitrates when several believe during a view
+// change) until its in-flight window — PipelineDepth — is full. This is what
+// gives an over-the-wire workload — gateway clients on real TCP — continuous
+// block production without a synchronous ProcessRound caller. The returned
+// stop function halts the loop and waits for it to exit. Don't combine with
+// RestartNode: the driver reads c.Nodes unlocked.
 func (c *Cluster) StartDriver(interval time.Duration) (stop func()) {
 	if interval <= 0 {
 		interval = 5 * time.Millisecond
+	}
+	depth := c.driverDepth()
+	// Pre-verification effort follows leadership: the leader needs a full
+	// verified pool to cut blocks from (and its enclave's attestation lets
+	// followers skip re-verifying), while followers only need enough of a
+	// warm pool to take over smoothly on a view change.
+	blockMax := c.opts.Node.withDefaults().BlockMaxTxs
+	fullBudget := blockMax * 2
+	trickle := blockMax / 4
+	if trickle < 1 {
+		trickle = 1
 	}
 	done := make(chan struct{})
 	stopped := make(chan struct{})
@@ -525,15 +551,19 @@ func (c *Cluster) StartDriver(interval time.Duration) (stop func()) {
 			case <-ticker.C:
 			}
 			for _, n := range c.Nodes {
-				n.PreVerifyPending()
-				// Pace proposals against delivery: with a standing backlog an
-				// unbounded leader opens a new instance every tick, in-flight
-				// instances pile up far ahead of sequential block application,
-				// and their retransmit timers flood the network — throughput
-				// halves exactly when the chain is busiest. A small in-flight
-				// window keeps the pipeline full without the storm.
-				if n.IsLeader() && n.VerifiedPoolLen() > 0 && n.ConsensusBacklog() < driverMaxInFlight {
-					n.ProposeBlock()
+				if n.IsLeader() {
+					n.PreVerifyPendingN(fullBudget)
+				} else {
+					n.PreVerifyPendingN(trickle)
+				}
+				// Fill the pipeline up to depth each tick: with predicted-
+				// parent chaining every one of these blocks is applicable on
+				// delivery, so the window raises the per-tick ordering budget
+				// from one block to depth blocks.
+				for n.IsLeader() && n.VerifiedPoolLen() > 0 && n.ConsensusBacklog() < depth {
+					if _, err := n.ProposeBlock(); err != nil {
+						break
+					}
 				}
 			}
 		}

@@ -40,7 +40,7 @@ func driveHealthy(c *Cluster, skip int) {
 			continue
 		}
 		n.PreVerifyPending()
-		if n.IsLeader() && n.ConsensusBacklog() < driverMaxInFlight {
+		if n.IsLeader() && n.ConsensusBacklog() < c.driverDepth() {
 			n.ProposeBlock()
 		}
 	}

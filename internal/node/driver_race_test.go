@@ -1,6 +1,7 @@
 package node
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"time"
@@ -21,11 +22,29 @@ import (
 // promoteVerified makes the committed-check and the pool insert atomic
 // against applyBlock. Enclave delay injection and store read latency widen
 // the race window enough to hit it reliably before the fix.
+//
+// The test runs at pipeline depth 1 (the serialized PR 5 mode this was
+// written against) and depth 4 (predicted-parent pipelining with the
+// execute-behind-order queue and parallel OCC lanes) — the regression
+// guarantees must hold identically in both.
 func TestDrainAllWithDriver(t *testing.T) {
-	for iter := 0; iter < 6; iter++ {
+	for _, depth := range []int{1, 4} {
+		t.Run(fmt.Sprintf("depth=%d", depth), func(t *testing.T) {
+			testDrainAllWithDriver(t, depth)
+		})
+	}
+}
+
+func testDrainAllWithDriver(t *testing.T, depth int) {
+	for iter := 0; iter < 3; iter++ {
 		cluster, err := NewCluster(ClusterOptions{
-			Nodes:            4,
-			Node:             Config{BlockMaxTxs: 32, EngineOpts: core.AllOptimizations()},
+			Nodes: 4,
+			Node: Config{
+				BlockMaxTxs:   32,
+				EngineOpts:    core.AllOptimizations(),
+				PipelineDepth: depth,
+				ExecWorkers:   depth, // widen the OCC lanes along with the window
+			},
 			Enclave:          tee.Config{InjectDelays: true},
 			StoreReadLatency: 200 * time.Microsecond,
 		})

@@ -46,6 +46,14 @@ var (
 	mOCCConflicts = metrics.Default().Counter("confide_node_occ_conflicts_total",
 		"speculative results discarded and re-executed by the validation pass")
 
+	// Attested pre-verification: whether followers could accept the
+	// proposer enclave's signature attestation or had to fall back to full
+	// per-transaction ECDSA.
+	mVerifyTagAccepted = metrics.Default().Counter("confide_node_verify_tag_total",
+		"block pre-verification attestation tags, by outcome", metrics.L{K: "outcome", V: "accepted"})
+	mVerifyTagRejected = metrics.Default().Counter("confide_node_verify_tag_total",
+		"block pre-verification attestation tags, by outcome", metrics.L{K: "outcome", V: "rejected"})
+
 	// Catch-up path selection: how lagging nodes rejoined the tip.
 	mSyncPathBlocks = metrics.Default().Counter("confide_node_sync_path_total",
 		"catch-up progress, by path", metrics.L{K: "path", V: "blocks"})

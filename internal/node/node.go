@@ -17,6 +17,7 @@ import (
 	"confide/internal/keyepoch"
 	"confide/internal/metrics"
 	"confide/internal/p2p"
+	"confide/internal/pipeline"
 	"confide/internal/snapshot"
 	"confide/internal/storage"
 	"confide/internal/storage/vfs"
@@ -29,6 +30,21 @@ type Config struct {
 	// Parallelism is the execution fan-out (the paper's 1/4/6-way
 	// experiments). Default 1.
 	Parallelism int
+	// PipelineDepth bounds how many consensus proposals a leader keeps in
+	// flight ahead of block application (the driver's pacing window, and
+	// the -pipeline-depth flag). Depth 1 — the default — reproduces the
+	// serialized PR 5 behavior exactly: blocks apply synchronously on the
+	// consensus delivery path and the driver proposes only after delivery.
+	// Depth > 1 engages the pipeline subsystem: proposals chain off the
+	// predicted parent (the tip of the in-flight chain) and delivered
+	// blocks execute behind ordering on a dedicated executor goroutine.
+	PipelineDepth int
+	// ExecWorkers widens the speculative OCC pass with a persistent lane
+	// pool of this many workers (the -exec-workers flag). 0 falls back to
+	// Parallelism's transient fan-out semantics, but over persistent lanes
+	// when > 1. Validation stays sequential in block order regardless, so
+	// any ExecWorkers mix across replicas commits identical state.
+	ExecWorkers int
 	// EngineOpts configures both engines' optimizations.
 	EngineOpts core.Options
 	// Consensus tunes the replica's liveness timers (view timeout,
@@ -80,6 +96,9 @@ func (c Config) withDefaults() Config {
 	if c.Parallelism == 0 {
 		c.Parallelism = 1
 	}
+	if c.PipelineDepth <= 0 {
+		c.PipelineDepth = 1
+	}
 	if c.SyncInterval == 0 {
 		c.SyncInterval = 100 * time.Millisecond
 	}
@@ -125,6 +144,18 @@ type Node struct {
 	// sync race to apply the same heights, and the height guard inside
 	// applyBlock makes whichever path loses a no-op.
 	applyMu sync.Mutex
+	// proposeMu serializes ProposeBlock so the Predict→Track window of the
+	// block scheduler sees a consistent predicted chain.
+	proposeMu sync.Mutex
+	// sched tracks the predicted chain of in-flight proposals (pipelined
+	// leaders chain new blocks off its tip, not the committed tip) and
+	// drives abort/re-pool when a predicted ancestor fails.
+	sched *pipeline.Scheduler
+	// executor is the execute-behind-order queue (PipelineDepth > 1 only;
+	// nil means delivery applies blocks synchronously, the depth-1 mode).
+	executor *pipeline.Executor
+	// lanes is the persistent OCC worker pool (execWays > 1 only).
+	lanes *pipeline.Lanes
 	// baseHeight is the chain height when the replica was created; replica
 	// sequence s maps to block height baseHeight + s.
 	baseHeight uint64
@@ -206,6 +237,18 @@ func New(cfg Config, endpoint *p2p.Endpoint, n int, confEngine, pubEngine *core.
 		tracer:      newPipelineTracer(),
 		snapshots:   snapshot.NewManager(),
 		badPeers:    make(map[p2p.NodeID]int),
+		sched:       pipeline.NewScheduler(),
+	}
+	if ways := node.execWays(); ways > 1 {
+		node.lanes = pipeline.NewLanes(ways)
+	}
+	if cfg.PipelineDepth > 1 {
+		// Execute behind ordering: consensus delivery enqueues, this
+		// goroutine applies. The queue bound doubles the pipeline depth so
+		// delivery backpressures only when execution falls well behind.
+		node.executor = pipeline.NewExecutor(cfg.PipelineDepth*2, func(b *chain.Block, payload []byte) {
+			node.applyDecoded(b, payload)
+		})
 	}
 	node.recoverChainState()
 	node.adoptEpochState()
@@ -355,18 +398,33 @@ func (n *Node) SubmitTxBatch(txs []*chain.Tx) []error {
 func (n *Node) ConsensusBacklog() uint64 { return n.replica.InFlight() }
 
 // Backlog reports this node's total uncommitted submission backlog: both
-// transaction pools plus the transactions riding in-flight consensus
-// instances. The last term matters on the leader, whose verified pool is
-// drained into proposals the moment they are cut — pool depth alone would
-// tell its gateway the node is idle exactly when the ordering pipeline is
-// fullest. Admission control gates on this.
+// transaction pools, the transactions riding in-flight proposals (counted
+// exactly from the block scheduler's predicted chain, not estimated as
+// instances × BlockMaxTxs as before — partially-full blocks no longer
+// overcount), and the transactions sitting in delivered-but-unexecuted
+// blocks on the executor queue. The in-flight terms matter on the leader,
+// whose verified pool is drained into proposals the moment they are cut —
+// pool depth alone would tell its gateway the node is idle exactly when
+// the ordering pipeline is fullest. Admission control gates on this.
 func (n *Node) Backlog() int {
-	inFlight := int(n.replica.InFlight())
-	perBlock := n.cfg.BlockMaxTxs
-	if perBlock <= 0 {
-		perBlock = 1
+	total := n.unverified.Len() + n.verified.Len() + n.sched.InFlightTxs()
+	if n.executor != nil {
+		total += n.executor.QueuedTxs()
 	}
-	return n.unverified.Len() + n.verified.Len() + inFlight*perBlock
+	return total
+}
+
+// syncedHeight is the chain height this node has already secured locally:
+// the executed tip plus the consensus-delivered blocks waiting on the
+// execute-behind-order queue. The catch-up sync layer gates on this — the
+// queued blocks will land without any peer's help, so only a gap beyond
+// them is genuinely missing.
+func (n *Node) syncedHeight() uint64 {
+	h := n.Height()
+	if n.executor != nil {
+		h += uint64(n.executor.Depth())
+	}
+	return h
 }
 
 // MaxTxBytes reports the wire-encoded transaction size bound this node
@@ -432,10 +490,19 @@ func (n *Node) promoteVerified(tx *chain.Tx) bool {
 }
 
 // PreVerifyPending moves valid transactions from the un-verified to the
-// verified pool (Figure 7 P1–P5). Every node runs this concurrently with
-// ordering.
+// verified pool (Figure 7 P1–P5) at the full per-call budget.
 func (n *Node) PreVerifyPending() int {
-	batch := n.unverified.PopBatch(n.cfg.BlockMaxTxs * 2)
+	return n.PreVerifyPendingN(n.cfg.BlockMaxTxs * 2)
+}
+
+// PreVerifyPendingN is PreVerifyPending with an explicit transaction budget.
+// The driver gives the leader the full budget and followers a trickle: with
+// block-level attestation, follower execution accepts the proposer enclave's
+// signature checks, so a follower's own pre-verification only feeds the pool
+// it would propose from after a view change — worth keeping warm, not worth
+// three replicas' worth of redundant ECDSA per transaction.
+func (n *Node) PreVerifyPendingN(budget int) int {
+	batch := n.unverified.PopBatch(budget)
 	if len(batch) == 0 {
 		return 0
 	}
@@ -476,27 +543,51 @@ func (n *Node) PreVerifyPending() int {
 // ProposeBlock makes the leader cut a block from the verified pool (empty
 // blocks are allowed — production emits them on a timer) and start
 // consensus on it. Returns the number of transactions proposed.
+//
+// The block chains off the *predicted* parent: the tip of the in-flight
+// proposal chain when proposals are pipelined, the committed tip otherwise.
+// This is what makes pipelining correct — PR 5 serialized the driver
+// because blocks stamped with the committed tip delivered stale once more
+// than one instance overlapped. If the scheduler finds its prediction
+// invalidated (view change, a foreign block at a predicted height), the
+// invalidated proposals' transactions re-enter the pool here.
 func (n *Node) ProposeBlock() (int, error) {
 	if !n.replica.IsLeader() {
 		return 0, consensus.ErrNotLeader
 	}
-	txs := n.verified.PopBatch(n.cfg.BlockMaxTxs)
+	n.proposeMu.Lock()
+	defer n.proposeMu.Unlock()
+	view := n.replica.View()
 	n.mu.Lock()
+	tipHeight, tipHash := n.height, n.prevHash
+	n.mu.Unlock()
+	height, parent, aborted := n.sched.Predict(view, tipHeight, tipHash)
+	if len(aborted) > 0 {
+		n.repoolUncommitted(aborted)
+	}
+	txs := n.verified.PopBatch(n.cfg.BlockMaxTxs)
 	block := &chain.Block{
 		Header: chain.Header{
-			Height:    n.height,
-			PrevHash:  n.prevHash,
+			Height:    height,
+			PrevHash:  parent,
 			Timestamp: uint64(time.Now().UnixNano()),
 			Proposer:  uint32(n.endpoint.ID()),
 		},
 		Txs: txs,
 	}
-	n.mu.Unlock()
 	block.ComputeTxRoot()
+	// Everything in the verified pool passed signature pre-verification in
+	// this node's enclave; attest that fact so followers can accept the
+	// batch without re-running ECDSA per transaction. The tag rides outside
+	// the header, leaving the block hash (and the scheduler's tracking of
+	// it) unchanged.
+	block.VerifyTag = n.confEngine.AttestPreVerified(height, block.Header.TxRoot)
+	n.sched.Track(height, block.Hash(), parent, txs)
 	if _, err := n.replica.Propose(block.Encode()); err != nil {
 		// The proposal never entered consensus (view changed under us, or
 		// the replica closed); the transactions go back to the pool instead
-		// of vanishing.
+		// of vanishing, and the prediction is withdrawn.
+		n.sched.Untrack(height, block.Hash())
 		for _, tx := range txs {
 			n.verified.Add(tx)
 		}
@@ -505,11 +596,25 @@ func (n *Node) ProposeBlock() (int, error) {
 	return len(txs), nil
 }
 
-// onCommit executes a consensus-committed block. Every replica runs this
-// with identical inputs; the OCC scheduler preserves block-order semantics,
-// so all replicas reach identical state.
+// onCommit receives a consensus-committed block. Every replica sees
+// identical inputs in identical order; the OCC scheduler preserves
+// block-order semantics, so all replicas reach identical state. At pipeline
+// depth 1 the block applies synchronously here (the serialized fallback
+// mode); at depth > 1 it is handed to the execute-behind-order queue so the
+// delivery loop returns to consensus while execution proceeds.
 func (n *Node) onCommit(seq uint64, payload []byte) {
-	n.applyBlock(payload)
+	if n.executor == nil {
+		n.applyBlock(payload)
+		return
+	}
+	block, err := chain.DecodeBlock(payload)
+	if err != nil {
+		return
+	}
+	// From delivery to application the block's transactions are accounted
+	// to the executor queue, not the predicted chain.
+	n.sched.Delivered(block.Header.Height, block.Hash())
+	n.executor.Submit(block, payload)
 }
 
 // applyBlock validates and executes one encoded block at the current chain
@@ -522,7 +627,12 @@ func (n *Node) applyBlock(payload []byte) bool {
 	if err != nil {
 		return false
 	}
+	return n.applyDecoded(block, payload)
+}
 
+// applyDecoded is applyBlock past decoding — the executor queue carries
+// blocks already decoded, so it enters here.
+func (n *Node) applyDecoded(block *chain.Block, payload []byte) bool {
 	n.applyMu.Lock()
 	defer n.applyMu.Unlock()
 
@@ -549,6 +659,31 @@ func (n *Node) applyBlock(payload []byte) bool {
 	}
 	if chain.MerkleRoot(leaves) != block.Header.TxRoot {
 		return false
+	}
+
+	// If the proposer's enclave attested pre-verification of this batch (and
+	// the tag checks out against our ring), seed the engines' caches so
+	// execution skips per-transaction ECDSA. The tx root above already binds
+	// the tag to exactly these transactions. A missing or bad tag costs
+	// nothing but the shortcut: execution falls back to verifying every
+	// signature itself.
+	if len(block.VerifyTag) > 0 {
+		if n.confEngine.VerifyPreVerifyTag(block.Header.Height, block.Header.TxRoot, block.VerifyTag) {
+			var conf, pub []*chain.Tx
+			for _, tx := range block.Txs {
+				switch tx.Type {
+				case chain.TxTypeConfidential:
+					conf = append(conf, tx)
+				case chain.TxTypePublic:
+					pub = append(pub, tx)
+				}
+			}
+			n.confEngine.TrustPreVerified(conf)
+			n.pubEngine.TrustPreVerified(pub)
+			mVerifyTagAccepted.Inc()
+		} else {
+			mVerifyTagRejected.Inc()
+		}
 	}
 
 	// Ordering is complete for every transaction in the block: consensus has
@@ -607,6 +742,14 @@ func (n *Node) applyBlock(payload []byte) bool {
 	close(n.heightCh) // wake WaitHeight parkers
 	n.heightCh = make(chan struct{})
 	n.mu.Unlock()
+	// The committed tip advanced: consume the predicted chain's head if
+	// this was the predicted block, or abort the whole in-flight suffix if
+	// a different block landed at a predicted height (view change winner,
+	// catch-up sync). Aborted transactions re-enter the pool; execution
+	// dedup keeps any that later committed elsewhere from running twice.
+	if aborted := n.sched.Applied(block.Header.Height, block.Hash()); len(aborted) > 0 {
+		n.repoolUncommitted(aborted)
+	}
 	// Committed transactions leave this node's pools (followers hold their
 	// own gossiped copies), and their pre-verification metadata leaves the
 	// enclave.
@@ -623,6 +766,7 @@ func (n *Node) applyBlock(payload []byte) bool {
 		n.tracer.End(key)
 	}
 	n.confEngine.DropPreVerified(hashes)
+	n.pubEngine.DropPreVerified(hashes)
 	n.txsExecuted.Add(uint64(len(block.Txs)))
 	n.blocksClosed.Add(1)
 	mBlocks.Inc()
@@ -672,6 +816,15 @@ func (n *Node) maybeCheckpoint() {
 		n.replica.CompactLog(height - n.baseHeight)
 	}
 	n.pruneBlocks(height)
+}
+
+// execWays resolves the speculative-pass fan-out: ExecWorkers when set,
+// else the legacy Parallelism knob.
+func (n *Node) execWays() int {
+	if n.cfg.ExecWorkers > 0 {
+		return n.cfg.ExecWorkers
+	}
+	return n.cfg.Parallelism
 }
 
 // engineFor routes a transaction to its engine.
@@ -734,30 +887,20 @@ func (n *Node) executeBlock(block *chain.Block) ([]*core.ExecResult, *storage.Ba
 		gov[i] = true
 		results[i] = n.applyGovernance(tx, block.Header.Height)
 	}
-	ways := n.cfg.Parallelism
-	if ways > 1 && len(txs) > 1 {
-		var wg sync.WaitGroup
-		work := make(chan int, len(txs))
-		for i := range txs {
-			work <- i
-		}
-		close(work)
-		for w := 0; w < ways; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for i := range work {
-					if skip[i] || gov[i] {
-						continue
-					}
-					res, err := n.engineFor(txs[i]).Execute(txs[i])
-					if err == nil {
-						results[i] = res
-					}
-				}
-			}()
-		}
-		wg.Wait()
+	if n.lanes != nil && len(txs) > 1 {
+		// Speculative pass over the persistent OCC lane pool. Each lane
+		// reads only the pre-block snapshot, so worker count cannot change
+		// results — the sequential validation pass below is the only place
+		// effects become visible, in block order, on every replica.
+		n.lanes.Run(len(txs), func(i int) {
+			if skip[i] || gov[i] {
+				return
+			}
+			res, err := n.engineFor(txs[i]).Execute(txs[i])
+			if err == nil {
+				results[i] = res
+			}
+		})
 	} else {
 		for i, tx := range txs {
 			if skip[i] || gov[i] {
@@ -923,8 +1066,18 @@ func (n *Node) Close() {
 func (n *Node) Kill() {
 	n.stopOnce.Do(func() {
 		close(n.stop)
+		if n.executor != nil {
+			// First: unblock a delivery loop parked in Submit and wait out
+			// the in-progress block application, so replica.Close below
+			// cannot deadlock against it and the store sees no new writes
+			// after Kill returns.
+			n.executor.Close()
+		}
 		n.replica.Close()
 		n.endpoint.Close()
+		if n.lanes != nil {
+			n.lanes.Close()
+		}
 	})
 }
 

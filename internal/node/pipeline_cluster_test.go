@@ -1,0 +1,298 @@
+package node
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"math/rand"
+	"testing"
+	"time"
+
+	"confide/internal/chain"
+	"confide/internal/core"
+	"confide/internal/p2p"
+)
+
+// pipelineLedgerTxs builds a conflict-heavy confidential workload: seeded
+// credits followed by moves/credits over a small hot account set, so the
+// parallel OCC lanes see real read/write conflicts.
+func pipelineLedgerTxs(t *testing.T, c *Cluster, seed int64, n int) []*chain.Tx {
+	t.Helper()
+	client := newClusterClient(t, c)
+	rng := rand.New(rand.NewSource(seed))
+	accounts := []string{"acc-a", "acc-b", "acc-c", "acc-d"}
+	var txs []*chain.Tx
+	for _, a := range accounts {
+		tx, _, err := client.NewConfidentialTx(ledgerAddr, "credit", acct(a), []byte{200})
+		if err != nil {
+			t.Fatal(err)
+		}
+		txs = append(txs, tx)
+	}
+	for len(txs) < n {
+		from := accounts[rng.Intn(len(accounts))]
+		to := accounts[rng.Intn(len(accounts))]
+		var tx *chain.Tx
+		var err error
+		if rng.Intn(3) == 0 {
+			tx, _, err = client.NewConfidentialTx(ledgerAddr, "credit", acct(from), []byte{byte(1 + rng.Intn(5))})
+		} else {
+			tx, _, err = client.NewConfidentialTx(ledgerAddr, "move", acct(from), acct(to))
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		txs = append(txs, tx)
+	}
+	return txs
+}
+
+// waitCommittedEverywhere polls until every transaction has a receipt on
+// every node, or fails at the deadline.
+func waitCommittedEverywhere(t *testing.T, c *Cluster, txs []*chain.Tx, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		missing := 0
+		for _, n := range c.Nodes {
+			for _, tx := range txs {
+				if _, ok := n.Receipt(tx.Hash()); !ok {
+					missing++
+				}
+			}
+		}
+		if missing == 0 {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d (node, tx) receipts still missing after %s", missing, timeout)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// headerChainRoot hashes node's header chain [0, height) — equal roots mean
+// byte-identical chains, and execution determinism then implies identical
+// state.
+func headerChainRoot(t *testing.T, n *Node, height uint64) chain.Hash {
+	t.Helper()
+	hasher := sha256.New()
+	for h := uint64(0); h < height; h++ {
+		hdr, err := n.HeaderAt(h)
+		if err != nil {
+			t.Fatalf("node %d missing header %d: %v", n.ID(), h, err)
+		}
+		hasher.Write(hdr)
+	}
+	var root chain.Hash
+	copy(root[:], hasher.Sum(nil))
+	return root
+}
+
+// TestPipelinedDriverCommitsAll runs the background driver with a deep
+// proposal window and parallel OCC lanes: every submitted transaction must
+// commit on every node, with byte-identical header chains — the basic
+// no-tx-loss property PR 5 bought by serializing, now under pipelining.
+func TestPipelinedDriverCommitsAll(t *testing.T) {
+	cluster, err := NewCluster(ClusterOptions{
+		Nodes: 4,
+		Node: Config{
+			BlockMaxTxs:   8,
+			PipelineDepth: 4,
+			ExecWorkers:   4,
+			EngineOpts:    core.AllOptimizations(),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	if err := cluster.DeployEverywhere(ledgerAddr, chain.AddressFromBytes([]byte("own")), core.VMCVM, ledgerModule(t), true, 1); err != nil {
+		t.Fatal(err)
+	}
+	txs := pipelineLedgerTxs(t, cluster, 7, 96)
+	stop := cluster.StartDriver(2 * time.Millisecond)
+	defer stop()
+	for _, tx := range txs {
+		if err := cluster.Leader().SubmitTx(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitCommittedEverywhere(t, cluster, txs, 30*time.Second)
+	stop()
+
+	// With 96 txs over 8-tx blocks the run needs ≥ 12 blocks; pipelining
+	// must not have forked or diverged any replica.
+	height := cluster.Nodes[0].Height()
+	if height < 12 {
+		t.Fatalf("height %d < 12 — blocks did not fill", height)
+	}
+	for _, n := range cluster.Nodes[1:] {
+		if err := n.WaitHeight(height, 10*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	root := headerChainRoot(t, cluster.Nodes[0], height)
+	for _, n := range cluster.Nodes[1:] {
+		if got := headerChainRoot(t, n, height); got != root {
+			t.Fatalf("node %d header chain %x != node 0 %x", n.ID(), got[:8], root[:8])
+		}
+	}
+}
+
+// TestMixedExecWorkersDeterminism mixes replicas with 1, 2, 4 and 8 OCC
+// lanes inside one cluster running pipelined: every replica must commit the
+// byte-identical chain and identical plaintext state, because speculation
+// reads only the pre-block snapshot and the validation pass serializes in
+// block order regardless of lane count.
+func TestMixedExecWorkersDeterminism(t *testing.T) {
+	cluster, err := NewCluster(ClusterOptions{
+		Nodes: 4,
+		Node: Config{
+			BlockMaxTxs:   8,
+			PipelineDepth: 4,
+			EngineOpts:    core.AllOptimizations(),
+		},
+		PerNodeExecWorkers: map[int]int{0: 1, 1: 2, 2: 4, 3: 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	if err := cluster.DeployEverywhere(ledgerAddr, chain.AddressFromBytes([]byte("own")), core.VMCVM, ledgerModule(t), true, 1); err != nil {
+		t.Fatal(err)
+	}
+	txs := pipelineLedgerTxs(t, cluster, 11, 80)
+	client := newClusterClient(t, cluster)
+	stop := cluster.StartDriver(2 * time.Millisecond)
+	defer stop()
+	for _, tx := range txs {
+		if err := cluster.Leader().SubmitTx(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitCommittedEverywhere(t, cluster, txs, 30*time.Second)
+	stop()
+
+	height := cluster.Nodes[0].Height()
+	for _, n := range cluster.Nodes[1:] {
+		if err := n.WaitHeight(height, 10*time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	root := headerChainRoot(t, cluster.Nodes[0], height)
+	for _, n := range cluster.Nodes[1:] {
+		if got := headerChainRoot(t, n, height); got != root {
+			t.Fatalf("node %d (workers differ) header chain %x != node 0 %x", n.ID(), got[:8], root[:8])
+		}
+	}
+	// Receipts and enclave-read balances must agree across every replica,
+	// not just the header chains.
+	for _, tx := range txs {
+		base, ok := cluster.Nodes[0].Receipt(tx.Hash())
+		if !ok {
+			t.Fatal("missing baseline receipt")
+		}
+		for _, n := range cluster.Nodes[1:] {
+			got, ok := n.Receipt(tx.Hash())
+			if !ok || got.Status != base.Status || !bytes.Equal(got.Output, base.Output) {
+				t.Fatalf("node %d receipt diverges from node 0", n.ID())
+			}
+		}
+	}
+	for _, a := range []string{"acc-a", "acc-b", "acc-c", "acc-d"} {
+		read, _, err := client.NewConfidentialTx(ledgerAddr, "read", acct(a))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var base []byte
+		for i, n := range cluster.Nodes {
+			res, err := n.ConfidentialEngine().Execute(read)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i == 0 {
+				base = res.Receipt.Output
+			} else if !bytes.Equal(res.Receipt.Output, base) {
+				t.Fatalf("balance %q differs on node %d: %v vs %v", a, i, res.Receipt.Output, base)
+			}
+		}
+	}
+}
+
+// TestBacklogCountsActualInFlightTxs pins the Backlog fix: the in-flight
+// term must be the exact number of transactions riding unexecuted
+// proposals, not instances × BlockMaxTxs. A partially-full block in a
+// partitioned (undeliverable) consensus instance must count its actual
+// size; before the fix it counted as a full block.
+func TestBacklogCountsActualInFlightTxs(t *testing.T) {
+	cluster, err := NewCluster(ClusterOptions{
+		Nodes: 4,
+		Node: Config{
+			BlockMaxTxs:   32,
+			PipelineDepth: 4,
+			EngineOpts:    core.AllOptimizations(),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	if err := cluster.DeployEverywhere(ledgerAddr, chain.AddressFromBytes([]byte("own")), core.VMCVM, ledgerModule(t), true, 1); err != nil {
+		t.Fatal(err)
+	}
+	leader := cluster.Leader()
+	txs := pipelineLedgerTxs(t, cluster, 5, 10)
+
+	// Isolate the leader so its proposal cannot deliver, keeping the txs
+	// in flight deterministically.
+	var rest []p2p.NodeID
+	for _, n := range cluster.Nodes {
+		if n.ID() != leader.ID() {
+			rest = append(rest, n.ID())
+		}
+	}
+	cluster.Net().Partition([][]p2p.NodeID{{leader.ID()}, rest})
+	for _, tx := range txs {
+		if err := leader.SubmitTx(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	leader.PreVerifyPending()
+	if got := leader.Backlog(); got != len(txs) {
+		t.Fatalf("pre-proposal backlog = %d, want %d (pool only)", got, len(txs))
+	}
+	if _, err := leader.ProposeBlock(); err != nil {
+		t.Fatal(err)
+	}
+	if got := leader.Backlog(); got != len(txs) {
+		t.Fatalf("in-flight backlog = %d, want exactly %d (old estimate: BlockMaxTxs=32)", got, len(txs))
+	}
+	// A second proposal chains off the predicted parent and cuts an empty
+	// block; backlog must not budge.
+	if _, err := leader.ProposeBlock(); err != nil {
+		t.Fatal(err)
+	}
+	if got := leader.Backlog(); got != len(txs) {
+		t.Fatalf("backlog after empty pipelined proposal = %d, want %d", got, len(txs))
+	}
+
+	// Heal; retransmission completes both instances and the backlog drains
+	// to zero as the blocks execute.
+	cluster.Net().Heal()
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		if leader.Backlog() == 0 && leader.Height() >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("backlog never drained: %d (height %d)", leader.Backlog(), leader.Height())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, tx := range txs {
+		if _, ok := leader.Receipt(tx.Hash()); !ok {
+			h := tx.Hash()
+			t.Fatalf("tx lost through the partition: %x", h[:6])
+		}
+	}
+}

@@ -63,7 +63,13 @@ func (n *Node) onSyncStatus(m p2p.Message) {
 	if err != nil {
 		return
 	}
-	height := n.Height()
+	// Compare against what the node has already secured locally, not the
+	// executed tip: under pipelining (execute-behind-order) the tip trails
+	// delivery by up to the window depth at all times, and treating that
+	// lag as missing blocks turns every height announcement into a
+	// redundant full-block re-request of blocks already sitting in the
+	// executor queue.
+	height := n.syncedHeight()
 	if peerHeight <= height {
 		return
 	}

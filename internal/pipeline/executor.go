@@ -1,0 +1,120 @@
+package pipeline
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"confide/internal/chain"
+)
+
+// queued is one ordered block awaiting execution.
+type queued struct {
+	block   *chain.Block
+	payload []byte
+}
+
+// Executor is the execute-behind-order queue: consensus delivery enqueues
+// ordered blocks and returns immediately, and a single executor goroutine
+// applies them in delivery order. The queue is bounded — when execution
+// falls more than capacity blocks behind, Submit blocks, which stalls only
+// the replica's delivery loop (the consensus message handlers keep running,
+// so PBFT rounds for later instances proceed while execution catches up).
+//
+// Sequential application is deliberate: block order is the serialization
+// contract. Parallelism lives inside a block (Lanes), not across blocks.
+type Executor struct {
+	apply func(*chain.Block, []byte)
+	queue chan queued
+	stop  chan struct{}
+	done  chan struct{}
+	once  sync.Once
+
+	queuedBlocks atomic.Int64
+	queuedTxs    atomic.Int64
+}
+
+// NewExecutor starts the executor goroutine. capacity bounds how many
+// delivered-but-unexecuted blocks may queue before delivery backpressures;
+// apply is invoked once per block, in delivery order.
+func NewExecutor(capacity int, apply func(*chain.Block, []byte)) *Executor {
+	if capacity < 1 {
+		capacity = 1
+	}
+	e := &Executor{
+		apply: apply,
+		queue: make(chan queued, capacity),
+		stop:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go e.run()
+	return e
+}
+
+func (e *Executor) run() {
+	defer close(e.done)
+	for {
+		select {
+		case q := <-e.queue:
+			e.apply(q.block, q.payload)
+			e.queuedBlocks.Add(-1)
+			e.queuedTxs.Add(-int64(len(q.block.Txs)))
+			mExecQueueBlocks.Add(-1)
+			mExecQueueTxs.Add(-int64(len(q.block.Txs)))
+		case <-e.stop:
+			// Queued blocks are dropped, not applied: they are ordered
+			// consensus output the replica's committed log (or catch-up
+			// sync) re-delivers after a restart, so no transaction is lost.
+			// Only the accounting is unwound.
+			for {
+				select {
+				case q := <-e.queue:
+					e.queuedBlocks.Add(-1)
+					e.queuedTxs.Add(-int64(len(q.block.Txs)))
+					mExecQueueBlocks.Add(-1)
+					mExecQueueTxs.Add(-int64(len(q.block.Txs)))
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// Submit enqueues one delivered block, blocking while the queue is full.
+// Returns false once the executor is closed (the block is dropped; see run).
+func (e *Executor) Submit(block *chain.Block, payload []byte) bool {
+	select {
+	case <-e.stop:
+		return false
+	default:
+	}
+	e.queuedBlocks.Add(1)
+	e.queuedTxs.Add(int64(len(block.Txs)))
+	mExecQueueBlocks.Add(1)
+	mExecQueueTxs.Add(int64(len(block.Txs)))
+	select {
+	case e.queue <- queued{block: block, payload: payload}:
+		return true
+	case <-e.stop:
+		e.queuedBlocks.Add(-1)
+		e.queuedTxs.Add(-int64(len(block.Txs)))
+		mExecQueueBlocks.Add(-1)
+		mExecQueueTxs.Add(-int64(len(block.Txs)))
+		return false
+	}
+}
+
+// QueuedTxs reports transactions sitting in delivered-but-unexecuted blocks
+// (including the one currently executing) — the executor's contribution to
+// the node backlog.
+func (e *Executor) QueuedTxs() int { return int(e.queuedTxs.Load()) }
+
+// Depth reports queued blocks, including the one currently executing.
+func (e *Executor) Depth() int { return int(e.queuedBlocks.Load()) }
+
+// Close stops the executor and waits for the in-progress block application
+// (if any) to finish. Idempotent.
+func (e *Executor) Close() {
+	e.once.Do(func() { close(e.stop) })
+	<-e.done
+}

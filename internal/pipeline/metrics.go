@@ -1,0 +1,30 @@
+package pipeline
+
+import "confide/internal/metrics"
+
+// Pipeline observability: the depth×workers bench sweep explains its own
+// results from these series. Gauges aggregate by delta across the in-process
+// nodes of a cluster, like the node package's counters.
+var (
+	// Scheduler: predicted-chain depth and the abort/repool recovery path.
+	mSchedDepth = metrics.Default().Gauge("confide_pipeline_sched_inflight_blocks",
+		"predicted (proposed, not yet applied) blocks across all schedulers")
+	mSchedTracked = metrics.Default().Counter("confide_pipeline_sched_tracked_total",
+		"proposals entered into the predicted chain")
+	mSchedAborted = metrics.Default().Counter("confide_pipeline_sched_aborted_total",
+		"predicted blocks aborted (view change, foreign block at a predicted height)")
+	mSchedRepooledTxs = metrics.Default().Counter("confide_pipeline_sched_repooled_txs_total",
+		"transactions returned for re-pooling by predicted-chain aborts")
+
+	// Executor: execute-behind-order queue occupancy.
+	mExecQueueBlocks = metrics.Default().Gauge("confide_pipeline_exec_queue_blocks",
+		"delivered blocks awaiting execution (including the one executing)")
+	mExecQueueTxs = metrics.Default().Gauge("confide_pipeline_exec_queue_txs",
+		"transactions inside delivered blocks awaiting execution")
+
+	// Lanes: per-block pool utilization (busy time / workers × wall time).
+	// Per-lane busy counters are registered per lane index in NewLanes.
+	mLaneUtilization = metrics.Default().Histogram("confide_pipeline_lane_utilization",
+		"fraction of the OCC lane pool kept busy per Run (0..1)",
+		[]float64{0.1, 0.25, 0.5, 0.75, 0.9, 1})
+)

@@ -1,0 +1,173 @@
+package pipeline
+
+import (
+	"testing"
+
+	"confide/internal/chain"
+)
+
+func mkTxs(n int, tag byte) []*chain.Tx {
+	txs := make([]*chain.Tx, n)
+	for i := range txs {
+		txs[i] = &chain.Tx{Type: chain.TxTypePublic, Payload: []byte{tag, byte(i)}}
+	}
+	return txs
+}
+
+func hash(b byte) chain.Hash {
+	var h chain.Hash
+	h[0] = b
+	return h
+}
+
+// The predicted chain extends one block per Predict/Track pair: heights are
+// contiguous and each prediction's parent is the previous tracked hash.
+func TestSchedulerPredictsChainedParents(t *testing.T) {
+	s := NewScheduler()
+	tip := hash(0xaa)
+
+	h1, p1, aborted := s.Predict(0, 10, tip)
+	if h1 != 10 || p1 != tip || len(aborted) != 0 {
+		t.Fatalf("first predict: got (%d, %x, %d aborted), want (10, tip, 0)", h1, p1[:4], len(aborted))
+	}
+	s.Track(h1, hash(1), p1, mkTxs(3, 1))
+
+	h2, p2, aborted := s.Predict(0, 10, tip)
+	if h2 != 11 || p2 != hash(1) || len(aborted) != 0 {
+		t.Fatalf("second predict: got (%d, %x), want (11, tracked hash)", h2, p2[:4])
+	}
+	s.Track(h2, hash(2), p2, mkTxs(2, 2))
+
+	h3, p3, _ := s.Predict(0, 10, tip)
+	if h3 != 12 || p3 != hash(2) {
+		t.Fatalf("third predict: got (%d, %x), want (12, second hash)", h3, p3[:4])
+	}
+	if s.Depth() != 2 {
+		t.Fatalf("depth = %d, want 2", s.Depth())
+	}
+	if got := s.InFlightTxs(); got != 5 {
+		t.Fatalf("in-flight txs = %d, want 5", got)
+	}
+}
+
+// A matching Applied consumes the head; the rest of the chain stays intact.
+func TestSchedulerAppliedMatchConsumesHead(t *testing.T) {
+	s := NewScheduler()
+	tip := hash(0xaa)
+	h1, p1, _ := s.Predict(0, 10, tip)
+	s.Track(h1, hash(1), p1, mkTxs(3, 1))
+	h2, p2, _ := s.Predict(0, 10, tip)
+	s.Track(h2, hash(2), p2, mkTxs(2, 2))
+
+	if aborted := s.Applied(10, hash(1)); len(aborted) != 0 {
+		t.Fatalf("matching apply aborted %d txs", len(aborted))
+	}
+	if s.Depth() != 1 {
+		t.Fatalf("depth = %d after consuming head, want 1", s.Depth())
+	}
+	// Prediction now continues from the surviving entry against the new tip.
+	h3, p3, aborted := s.Predict(0, 11, hash(1))
+	if h3 != 12 || p3 != hash(2) || len(aborted) != 0 {
+		t.Fatalf("predict after apply: got (%d, %x, %d aborted), want (12, entry2, 0)", h3, p3[:4], len(aborted))
+	}
+}
+
+// A foreign block at a predicted height aborts the head and everything
+// chained off it; every in-flight transaction comes back exactly once.
+func TestSchedulerAppliedMismatchAbortsSuffix(t *testing.T) {
+	s := NewScheduler()
+	tip := hash(0xaa)
+	h1, p1, _ := s.Predict(0, 10, tip)
+	s.Track(h1, hash(1), p1, mkTxs(3, 1))
+	h2, p2, _ := s.Predict(0, 10, tip)
+	s.Track(h2, hash(2), p2, mkTxs(2, 2))
+
+	aborted := s.Applied(10, hash(0xff))
+	if len(aborted) != 5 {
+		t.Fatalf("aborted %d txs, want all 5", len(aborted))
+	}
+	if s.Depth() != 0 {
+		t.Fatalf("depth = %d after mismatch, want 0", s.Depth())
+	}
+}
+
+// A view change invalidates every prediction: the new view's first Predict
+// returns all in-flight transactions for re-pooling.
+func TestSchedulerViewChangeAbortsAll(t *testing.T) {
+	s := NewScheduler()
+	tip := hash(0xaa)
+	h1, p1, _ := s.Predict(3, 10, tip)
+	s.Track(h1, hash(1), p1, mkTxs(4, 1))
+
+	_, _, aborted := s.Predict(4, 10, tip)
+	if len(aborted) != 4 {
+		t.Fatalf("view change aborted %d txs, want 4", len(aborted))
+	}
+	if s.Depth() != 0 {
+		t.Fatalf("depth = %d, want 0", s.Depth())
+	}
+}
+
+// A tip that no longer links to the predicted chain (snapshot install,
+// catch-up past the predictions) aborts everything.
+func TestSchedulerBrokenTipLinkAborts(t *testing.T) {
+	s := NewScheduler()
+	h1, p1, _ := s.Predict(0, 10, hash(0xaa))
+	s.Track(h1, hash(1), p1, mkTxs(2, 1))
+
+	h, p, aborted := s.Predict(0, 20, hash(0xbb))
+	if len(aborted) != 2 {
+		t.Fatalf("aborted %d txs, want 2", len(aborted))
+	}
+	if h != 20 || p != hash(0xbb) {
+		t.Fatalf("predict fell back to (%d, %x), want the committed tip", h, p[:4])
+	}
+}
+
+// Delivered entries leave the in-flight count (their transactions are
+// accounted to the executor queue) but still match in Applied.
+func TestSchedulerDeliveredAccounting(t *testing.T) {
+	s := NewScheduler()
+	tip := hash(0xaa)
+	h1, p1, _ := s.Predict(0, 10, tip)
+	s.Track(h1, hash(1), p1, mkTxs(3, 1))
+	h2, p2, _ := s.Predict(0, 10, tip)
+	s.Track(h2, hash(2), p2, mkTxs(2, 2))
+
+	s.Delivered(10, hash(1))
+	if got := s.InFlightTxs(); got != 2 {
+		t.Fatalf("in-flight txs = %d after delivery, want 2 (undelivered only)", got)
+	}
+	if aborted := s.Applied(10, hash(1)); len(aborted) != 0 {
+		t.Fatalf("delivered entry no longer matches Applied")
+	}
+}
+
+// Untrack withdraws a proposal that never entered consensus.
+func TestSchedulerUntrack(t *testing.T) {
+	s := NewScheduler()
+	tip := hash(0xaa)
+	h1, p1, _ := s.Predict(0, 10, tip)
+	s.Track(h1, hash(1), p1, mkTxs(3, 1))
+	s.Untrack(h1, hash(1))
+	if s.Depth() != 0 || s.InFlightTxs() != 0 {
+		t.Fatalf("untrack left depth=%d txs=%d", s.Depth(), s.InFlightTxs())
+	}
+	h, p, _ := s.Predict(0, 10, tip)
+	if h != 10 || p != tip {
+		t.Fatalf("predict after untrack: (%d, %x), want committed tip", h, p[:4])
+	}
+}
+
+// A stale re-apply below the predicted chain is ignored.
+func TestSchedulerStaleApplyIgnored(t *testing.T) {
+	s := NewScheduler()
+	h1, p1, _ := s.Predict(0, 10, hash(0xaa))
+	s.Track(h1, hash(1), p1, mkTxs(2, 1))
+	if aborted := s.Applied(7, hash(0x77)); len(aborted) != 0 {
+		t.Fatalf("stale apply aborted %d txs", len(aborted))
+	}
+	if s.Depth() != 1 {
+		t.Fatalf("stale apply disturbed the chain: depth=%d", s.Depth())
+	}
+}
