@@ -188,9 +188,11 @@ const preVerifyMACLabel = "confide/preverify-attest-mac"
 // digest.
 const preVerifyTagLen = 8 + 32
 
-// preVerifyMAC computes the attestation digest over (height, txRoot) under
-// the epoch's derived key. Nil when the engine holds no ring secrets.
-func (e *Engine) preVerifyMAC(epoch, height uint64, txRoot chain.Hash) []byte {
+// preVerifyMAC computes the attestation digest over (height, proposer,
+// txRoot) under the epoch's derived key. Nil when the engine holds no ring
+// secrets. Binding the proposer keeps a tag minted for one replica's block
+// from validating another replica's block with the same height and root.
+func (e *Engine) preVerifyMAC(epoch, height uint64, proposer uint32, txRoot chain.Hash) []byte {
 	if e.ring == nil || epoch == 0 {
 		return nil
 	}
@@ -198,32 +200,68 @@ func (e *Engine) preVerifyMAC(epoch, height uint64, txRoot chain.Hash) []byte {
 	if err != nil {
 		return nil
 	}
-	var msg [8 + 32]byte
+	var msg [8 + 4 + 32]byte
 	binary.BigEndian.PutUint64(msg[:8], height)
-	copy(msg[8:], txRoot[:])
+	binary.BigEndian.PutUint32(msg[8:12], proposer)
+	copy(msg[12:], txRoot[:])
 	mac := hmac.New(sha256.New, crypto.DeriveSubKey(key, preVerifyMACLabel))
 	mac.Write(msg[:])
 	return mac.Sum(nil)
 }
 
 // AttestPreVerified produces the proposer-side attestation tag for a block:
-// the enclave's claim that every transaction under txRoot passed signature
-// pre-verification (step P3) before proposal. The tag is epoch-prefixed so
-// followers can derive the matching key across rotations. A public engine
-// (no ring) returns nil and blocks go out untagged — followers then verify
-// every signature themselves, exactly as before.
-func (e *Engine) AttestPreVerified(height uint64, txRoot chain.Hash) []byte {
-	if e.ring == nil {
+// the enclave's claim that every transaction in txs passed signature
+// pre-verification (step P3) inside THIS enclave before proposal. The claim
+// is enforced at the enclave boundary, not assumed: the tx root is
+// recomputed from the supplied transactions and the tag is refused (nil)
+// unless every public and confidential transaction has a locally verified
+// pre-verification cache entry. Attestation-seeded entries do not qualify —
+// trust must be grounded in a signature this enclave checked itself, never
+// chained transitively through another proposer's tag. Cache lookups, root
+// computation and the MAC all run in one ecall, so an untrusted host can
+// neither substitute the root nor skip the cache check; forging a tag over
+// unverified transactions requires compromising the enclave itself.
+//
+// The tag is epoch-prefixed so followers can derive the matching key across
+// rotations. A public engine (no ring) returns nil and blocks go out
+// untagged — followers then verify every signature themselves, exactly as
+// before. Governance transactions are outside the claim (they carry no
+// account signature and are checked semantically at execution).
+func (e *Engine) AttestPreVerified(height uint64, proposer uint32, txs []*chain.Tx) []byte {
+	if e.ring == nil || e.preCache == nil {
 		return nil
 	}
-	epoch := e.ring.Current()
-	digest := e.preVerifyMAC(epoch, height, txRoot)
-	if digest == nil {
-		return nil
+	attest := func() []byte {
+		leaves := make([]chain.Hash, len(txs))
+		for i, tx := range txs {
+			leaves[i] = tx.Hash()
+			switch tx.Type {
+			case chain.TxTypePublic, chain.TxTypeConfidential:
+				meta, ok := e.preCache.get(leaves[i])
+				if !ok || !meta.verified || meta.attested {
+					return nil
+				}
+			}
+		}
+		epoch := e.ring.Current()
+		digest := e.preVerifyMAC(epoch, height, proposer, chain.MerkleRoot(leaves))
+		if digest == nil {
+			return nil
+		}
+		tag := make([]byte, preVerifyTagLen)
+		binary.BigEndian.PutUint64(tag[:8], epoch)
+		copy(tag[8:], digest)
+		return tag
 	}
-	tag := make([]byte, preVerifyTagLen)
-	binary.BigEndian.PutUint64(tag[:8], epoch)
-	copy(tag[8:], digest)
+	var tag []byte
+	if e.enclave != nil {
+		_ = e.enclave.Ecall(len(txs)*32, tee.CopyInOut, func() error {
+			tag = attest()
+			return nil
+		})
+	} else {
+		tag = attest()
+	}
 	return tag
 }
 
@@ -231,7 +269,7 @@ func (e *Engine) AttestPreVerified(height uint64, txRoot chain.Hash) []byte {
 // ring. False means the follower must fall back to full per-transaction
 // signature verification — an invalid tag never rejects a block, it only
 // withdraws the shortcut.
-func (e *Engine) VerifyPreVerifyTag(height uint64, txRoot chain.Hash, tag []byte) bool {
+func (e *Engine) VerifyPreVerifyTag(height uint64, proposer uint32, txRoot chain.Hash, tag []byte) bool {
 	if e.ring == nil || len(tag) != preVerifyTagLen {
 		return false
 	}
@@ -239,9 +277,13 @@ func (e *Engine) VerifyPreVerifyTag(height uint64, txRoot chain.Hash, tag []byte
 	if epoch == 0 || !e.ring.Accepts(epoch) {
 		return false
 	}
-	want := e.preVerifyMAC(epoch, height, txRoot)
+	want := e.preVerifyMAC(epoch, height, proposer, txRoot)
 	return want != nil && hmac.Equal(want, tag[8:])
 }
+
+// Confidential reports whether this engine runs in confidential mode (holds
+// ring secrets and a CS enclave).
+func (e *Engine) Confidential() bool { return e.confidential }
 
 // CurrentEpoch reports the engine's active key epoch (0 for a public
 // engine, which has no keys to version).

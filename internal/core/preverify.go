@@ -76,11 +76,13 @@ func (c *preVerifyCache) Len() int {
 }
 
 // PreVerifyBatch implements the pre-verification phase (P1–P5): a batch of
-// confidential transactions is pushed into the CS enclave in one ecall,
-// each envelope is opened and its signature checked in parallel, metadata
-// is cached, and the valid transactions are returned for the verified pool.
-// Public transactions are verified outside the enclave. Invalid
-// transactions are dropped.
+// transactions is pushed into the CS enclave in one ecall, each envelope is
+// opened and its signature checked in parallel, metadata is cached, and the
+// valid transactions are returned for the verified pool. On a confidential
+// engine, public transactions are verified inside the enclave too — only
+// in-enclave checks can later be covered by the block attestation tag
+// (AttestPreVerified). On a public engine the same path runs in the
+// untrusted host. Invalid transactions are dropped.
 func (e *Engine) PreVerifyBatch(txs []*chain.Tx) []*chain.Tx {
 	if len(txs) == 0 {
 		return nil
@@ -196,11 +198,14 @@ func (e *Engine) PreVerifyBatch(txs []*chain.Tx) []*chain.Tx {
 }
 
 // TrustPreVerified seeds the cache with attestation-backed entries: the
-// proposer's enclave vouched (via the block's MAC tag) that these
+// proposer's enclave vouched (via the block's MAC tag, which it only mints
+// over transactions its own pre-verification cache verified) that these
 // transactions passed signature pre-verification, so this replica may skip
 // re-running ECDSA on them. Entries from local pre-verification are kept —
 // they additionally hold the recovered k_tx, which an attestation cannot
-// supply.
+// supply. Attested entries never ground a new attestation in turn
+// (AttestPreVerified rejects them), so trust does not chain across
+// proposers.
 func (e *Engine) TrustPreVerified(txs []*chain.Tx) {
 	if e.preCache == nil {
 		return

@@ -9,7 +9,6 @@ import (
 	"errors"
 	"fmt"
 	"sync"
-	"sync/atomic"
 )
 
 // Signer holds an ECDSA P-256 key used to sign raw transactions. The
@@ -76,11 +75,39 @@ var ErrBadSignature = errors.New("crypto: invalid signature")
 // verification key), and PKIX parsing is pure, so caching is safe. The
 // cache is dropped wholesale when it fills rather than tracking recency —
 // the active sender set is far below the bound in any realistic run.
+// Lookups (the hot path) stay lock-free on the sync.Map; insertions and the
+// wholesale eviction serialize under parsedKeyMu, which is what makes the
+// size bound real: with unsynchronized stores racing the sweep, entries
+// stored mid-sweep survive while the counter resets, and the map creeps
+// past the cap across fill cycles.
 var parsedKeyCache sync.Map // string(der) -> *ecdsa.PublicKey
 
-var parsedKeyCount atomic.Int64
+var (
+	parsedKeyMu    sync.Mutex
+	parsedKeyCount int // guarded by parsedKeyMu; exact map size between stores
+)
 
 const parsedKeyCacheMax = 16384
+
+// cacheParsedKey inserts a parsed key, evicting everything (but the new
+// entry) when the cache is full. Insertions are rare — once per distinct
+// sender key per fill cycle — so the mutex sees no meaningful contention.
+func cacheParsedKey(der string, key *ecdsa.PublicKey) {
+	parsedKeyMu.Lock()
+	defer parsedKeyMu.Unlock()
+	if _, loaded := parsedKeyCache.LoadOrStore(der, key); loaded {
+		return
+	}
+	parsedKeyCount++
+	if parsedKeyCount > parsedKeyCacheMax {
+		parsedKeyCache.Range(func(k, _ any) bool {
+			parsedKeyCache.Delete(k)
+			return true
+		})
+		parsedKeyCache.Store(der, key)
+		parsedKeyCount = 1
+	}
+}
 
 // Verify checks sig over msg against the serialized public key pub.
 func Verify(pub, msg, sig []byte) error {
@@ -96,14 +123,7 @@ func Verify(pub, msg, sig []byte) error {
 		if !ok {
 			return ErrBadSignature
 		}
-		if parsedKeyCount.Add(1) > parsedKeyCacheMax {
-			parsedKeyCache.Range(func(k, _ any) bool {
-				parsedKeyCache.Delete(k)
-				return true
-			})
-			parsedKeyCount.Store(1)
-		}
-		parsedKeyCache.Store(string(pub), ecPub)
+		cacheParsedKey(string(pub), ecPub)
 	}
 	digest := sha256.Sum256(msg)
 	if !ecdsa.VerifyASN1(ecPub, digest[:], sig) {

@@ -2,6 +2,9 @@ package crypto
 
 import (
 	"bytes"
+	"crypto/ecdsa"
+	"fmt"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -47,6 +50,35 @@ func TestVerifyRejectsGarbageKeyAndSig(t *testing.T) {
 	if err := Verify(s.Public(), []byte("m"), []byte("not asn1")); err != ErrBadSignature {
 		t.Errorf("garbage sig: err = %v, want ErrBadSignature", err)
 	}
+}
+
+// The parsed-key cache bound holds under concurrent insertion pressure:
+// wholesale eviction and the stores racing it must not let the map creep
+// past parsedKeyCacheMax. Uses synthetic keys — the cache never dereferences
+// them, so there is no need to pay for real keygen.
+func TestParsedKeyCacheBounded(t *testing.T) {
+	var wg sync.WaitGroup
+	key := &ecdsa.PublicKey{}
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 3*parsedKeyCacheMax/8; i++ {
+				cacheParsedKey(fmt.Sprintf("worker-%d-key-%d", g, i), key)
+			}
+		}(g)
+	}
+	wg.Wait()
+	size := 0
+	parsedKeyCache.Range(func(_, _ any) bool { size++; return true })
+	if size > parsedKeyCacheMax {
+		t.Fatalf("cache size %d exceeds cap %d", size, parsedKeyCacheMax)
+	}
+	parsedKeyMu.Lock()
+	if parsedKeyCount != size {
+		t.Fatalf("counter %d drifted from map size %d", parsedKeyCount, size)
+	}
+	parsedKeyMu.Unlock()
 }
 
 func TestAddressDeterministic(t *testing.T) {

@@ -525,6 +525,15 @@ func (n *Node) PreVerifyPendingN(budget int) int {
 			public = append(public, tx)
 		}
 	}
+	// When a confidential engine is present, public transactions pre-verify
+	// through the CS enclave too (PreVerifyBatch handles both classes): the
+	// block attestation tag only vouches for signatures checked inside the
+	// enclave, so host-side verification could never be covered by it. A
+	// pure-public deployment keeps verifying in the host and emits no tags.
+	if n.confEngine.Confidential() {
+		confidential = append(confidential, public...)
+		public = nil
+	}
 	for _, tx := range n.confEngine.PreVerifyBatch(confidential) {
 		if n.promoteVerified(tx) {
 			n.tracer.Mark(n.traceKey(tx.Hash()), "preverify")
@@ -578,10 +587,12 @@ func (n *Node) ProposeBlock() (int, error) {
 	block.ComputeTxRoot()
 	// Everything in the verified pool passed signature pre-verification in
 	// this node's enclave; attest that fact so followers can accept the
-	// batch without re-running ECDSA per transaction. The tag rides outside
-	// the header, leaving the block hash (and the scheduler's tracking of
-	// it) unchanged.
-	block.VerifyTag = n.confEngine.AttestPreVerified(height, block.Header.TxRoot)
+	// batch without re-running ECDSA per transaction. The enclave re-checks
+	// its own cache and recomputes the root before tagging (AttestPreVerified
+	// refuses otherwise), so the tag cannot claim more than the enclave
+	// actually verified. The tag rides outside the header, leaving the block
+	// hash (and the scheduler's tracking of it) unchanged.
+	block.VerifyTag = n.confEngine.AttestPreVerified(height, uint32(n.endpoint.ID()), txs)
 	n.sched.Track(height, block.Hash(), parent, txs)
 	if _, err := n.replica.Propose(block.Encode()); err != nil {
 		// The proposal never entered consensus (view changed under us, or
@@ -668,7 +679,7 @@ func (n *Node) applyDecoded(block *chain.Block, payload []byte) bool {
 	// nothing but the shortcut: execution falls back to verifying every
 	// signature itself.
 	if len(block.VerifyTag) > 0 {
-		if n.confEngine.VerifyPreVerifyTag(block.Header.Height, block.Header.TxRoot, block.VerifyTag) {
+		if n.confEngine.VerifyPreVerifyTag(block.Header.Height, block.Header.Proposer, block.Header.TxRoot, block.VerifyTag) {
 			var conf, pub []*chain.Tx
 			for _, tx := range block.Txs {
 				switch tx.Type {

@@ -28,6 +28,12 @@ type Executor struct {
 	stop  chan struct{}
 	done  chan struct{}
 	once  sync.Once
+	// sendMu is held (shared) for the duration of every Submit. Close takes
+	// it exclusively after run() exits, so its final drain observes every
+	// send that raced with shutdown — without it, a Submit that passed the
+	// stop check before Close could land its send after run()'s drain and
+	// strand the block with its accounting inflated.
+	sendMu sync.RWMutex
 
 	queuedBlocks atomic.Int64
 	queuedTxs    atomic.Int64
@@ -83,6 +89,10 @@ func (e *Executor) run() {
 // Submit enqueues one delivered block, blocking while the queue is full.
 // Returns false once the executor is closed (the block is dropped; see run).
 func (e *Executor) Submit(block *chain.Block, payload []byte) bool {
+	// Never blocks indefinitely under the read lock: once stop closes, the
+	// send select below always has a ready case.
+	e.sendMu.RLock()
+	defer e.sendMu.RUnlock()
 	select {
 	case <-e.stop:
 		return false
@@ -117,4 +127,22 @@ func (e *Executor) Depth() int { return int(e.queuedBlocks.Load()) }
 func (e *Executor) Close() {
 	e.once.Do(func() { close(e.stop) })
 	<-e.done
+	// Exclusive-lock barrier: every Submit in flight when stop closed has
+	// returned, and any later Submit fails the stop check before sending.
+	// Whatever such a racing Submit managed to enqueue after run()'s drain
+	// is unwound here, keeping the queue metrics honest for anything that
+	// reads Backlog()/syncedHeight() during shutdown.
+	e.sendMu.Lock()
+	defer e.sendMu.Unlock()
+	for {
+		select {
+		case q := <-e.queue:
+			e.queuedBlocks.Add(-1)
+			e.queuedTxs.Add(-int64(len(q.block.Txs)))
+			mExecQueueBlocks.Add(-1)
+			mExecQueueTxs.Add(-int64(len(q.block.Txs)))
+		default:
+			return
+		}
+	}
 }

@@ -146,3 +146,33 @@ func TestExecutorClose(t *testing.T) {
 		t.Fatalf("accounting not unwound after Close: txs=%d depth=%d", e.QueuedTxs(), e.Depth())
 	}
 }
+
+// A Submit racing Close must never strand a block in the queue with its
+// accounting inflated: a send that slips in between run()'s drain and
+// Close's return is unwound by Close's final drain, behind a lock barrier
+// that waits out every in-flight Submit.
+func TestExecutorSubmitCloseRace(t *testing.T) {
+	for i := 0; i < 100; i++ {
+		e := NewExecutor(4, func(b *chain.Block, payload []byte) {})
+		start := make(chan struct{})
+		var wg sync.WaitGroup
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for h := uint64(0); h < 8; h++ {
+					e.Submit(block(h, 2), nil)
+				}
+			}()
+		}
+		closed := make(chan struct{})
+		go func() { <-start; e.Close(); close(closed) }()
+		close(start)
+		wg.Wait()
+		<-closed
+		if e.QueuedTxs() != 0 || e.Depth() != 0 {
+			t.Fatalf("iteration %d: stranded accounting after Close: txs=%d depth=%d", i, e.QueuedTxs(), e.Depth())
+		}
+	}
+}
